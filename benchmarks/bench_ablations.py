@@ -1,0 +1,165 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Three ablations, each isolating one mechanism the paper's design depends
+on:
+
+* **CONFIG_JUMP_LABEL** (§6.1) — static keys implemented by code patching
+  are invisible to the memory instrumentation, so data-flow generation
+  cannot reach bugs #2/#4; random generation still can.
+* **Non-determinism re-runs** (§4.3.2) — without the multiple
+  different-start-time re-runs, timing noise is indistinguishable from
+  interference and the inherently-noisy conntrack dump (bug F's file)
+  floods the results with an unreliable report.
+* **Bounds learning** (§7 future work) — the envelope detector recovers
+  exactly the class the boolean non-det filter gives up on: it detects
+  bug F while staying clean on the fixed kernel.
+"""
+
+from repro import CampaignConfig, Kit, KernelConfig, MachineConfig, linux_5_13
+from repro.core import BoundsDetector, Detector, Outcome, TestCase
+from repro.core.spec import default_specification
+from repro.corpus import build_corpus, seed_programs
+from repro.kernel import fixed_kernel, known_bug_kernel
+from repro.vm import Machine, MachineConfig as MC
+
+from benchmarks.support import emit_table
+
+_FLOWLABEL_BUGS = {"2", "4"}
+
+
+def test_ablation_jump_label(benchmark):
+    corpus = build_corpus(100, seed=1)
+
+    def campaign(jump_label):
+        config = CampaignConfig(
+            machine=MachineConfig(kernel=KernelConfig(jump_label=jump_label),
+                                  bugs=linux_5_13()),
+            corpus=list(corpus),
+            diagnose=False,
+        )
+        return Kit(config).run()
+
+    patched = benchmark.pedantic(campaign, args=(True,), rounds=1,
+                                 iterations=1)
+    plain = campaign(False)
+
+    lines = [f"{'CONFIG_JUMP_LABEL':<20} {'DF-IA finds #2/#4':<20} "
+             f"{'all numbered bugs'}",
+             "-" * 64]
+    for label, result in (("y (code patching)", patched),
+                          ("n (plain memory)", plain)):
+        hit = bool(result.bugs_found() & _FLOWLABEL_BUGS)
+        numbered = sorted(b for b in result.bugs_found() if b.isdigit())
+        lines.append(f"{label:<20} {('yes' if hit else 'NO'):<20} "
+                     f"{numbered}")
+    lines.append("")
+    lines.append("paper §6.1: the static key's data flow is invisible under "
+                 "code patching; disabling the option exposes it")
+    emit_table("ablation_jump_label", "Ablation: CONFIG_JUMP_LABEL vs "
+                                      "data-flow analysis", lines)
+
+    assert not patched.bugs_found() & _FLOWLABEL_BUGS
+    assert _FLOWLABEL_BUGS <= plain.bugs_found()
+
+
+def test_ablation_nondet_reruns(benchmark):
+    """Fewer re-run offsets => timing noise masquerades as interference."""
+    seeds = seed_programs()
+    spec = default_specification()
+    case = TestCase(0, 1, seeds["udp_send"], seeds["read_nf_conntrack"])
+
+    def outcome_with_offsets(offsets):
+        machine = Machine(MC(bugs=known_bug_kernel("F")))
+        from repro.core import NondetAnalyzer
+
+        detector = Detector(machine, spec,
+                            NondetAnalyzer(machine, offsets=offsets))
+        return detector.check_case(case)
+
+    single = benchmark.pedantic(outcome_with_offsets, args=((0,),),
+                                rounds=3, iterations=1)
+    triple = outcome_with_offsets((0, 7, 101))
+
+    lines = [f"{'re-run offsets':<18} {'outcome':<22} note",
+             "-" * 72,
+             f"{'1 (no variation)':<18} {single.outcome.value:<22} "
+             "timing noise survives as a (non-reproducible) report",
+             f"{'3 (paper design)':<18} {triple.outcome.value:<22} "
+             "the unreliable divergence is identified and dropped"]
+    emit_table("ablation_nondet", "Ablation: non-determinism re-runs "
+                                  "(§4.3.2)", lines)
+
+    assert single.outcome is Outcome.REPORT, \
+        "without varied re-runs the noisy divergence looks like a bug"
+    assert triple.outcome is Outcome.FILTERED_NONDET
+
+
+def test_ablation_bounds_detector(benchmark):
+    """§7 extension: envelopes recover the non-deterministic-resource class."""
+    seeds = seed_programs()
+    spec = default_specification()
+
+    baseline = Detector(Machine(MC(bugs=known_bug_kernel("F"))), spec)
+    baseline_outcome = baseline.check_case(
+        TestCase(0, 1, seeds["udp_send"], seeds["read_nf_conntrack"]))
+
+    buggy_bounds = BoundsDetector(Machine(MC(bugs=known_bug_kernel("F"))),
+                                  spec)
+    violations = benchmark(buggy_bounds.check, seeds["udp_send"],
+                           seeds["read_nf_conntrack"])
+
+    clean_bounds = BoundsDetector(Machine(MC(bugs=fixed_kernel())), spec)
+    clean = clean_bounds.check(seeds["udp_send"], seeds["read_nf_conntrack"])
+
+    lines = [f"{'detector':<26} {'bug-F kernel':<22} {'fixed kernel'}",
+             "-" * 64,
+             f"{'functional interference':<26} "
+             f"{baseline_outcome.outcome.value:<22} (not applicable)",
+             f"{'bounds learning (§7)':<26} "
+             f"{f'{len(violations)} violation(s)':<22} "
+             f"{len(clean)} violation(s)"]
+    emit_table("ablation_bounds", "Ablation: bounds-learning detector "
+                                  "(§7 future work)", lines)
+
+    assert baseline_outcome.outcome is Outcome.FILTERED_NONDET
+    assert violations and not clean
+
+
+def test_ablation_concurrent_schedules(benchmark):
+    """§7 extension: interleaved schedules recover transient interference.
+
+    A sender that creates and closes a socket restores every counter
+    before the receiver runs — two-phase execution sees nothing.  The
+    schedule-exploring detector witnesses the interference on exactly
+    the interleavings where the receiver samples mid-sender.
+    """
+    from repro.core import ConcurrentDetector, sequential_schedule
+    from repro.corpus import prog
+
+    transient = prog(("socket", 2, 1, 6), ("close", "r0"))
+    probe = prog(("open", "/proc/net/sockstat", 0),
+                 ("pread64", "r0", 512, 0),
+                 ("pread64", "r0", 512, 0))
+
+    sequential = Detector(Machine(MC(bugs=linux_5_13())),
+                          default_specification())
+    baseline = sequential.check_case(TestCase(0, 1, transient, probe))
+
+    concurrent = ConcurrentDetector(Machine(MC(bugs=linux_5_13())),
+                                    default_specification())
+    report = benchmark(concurrent.check_case, transient, probe)
+
+    lines = [f"{'detector':<28} {'outcome'}",
+             "-" * 56,
+             f"{'two-phase (paper baseline)':<28} {baseline.outcome.value}",
+             f"{'interleaved schedules (§7)':<28} "
+             f"witnessed on {report.schedules}"]
+    lines.append("")
+    lines.append("the two-phase order "
+                 f"{sequential_schedule(2, 3)!r} is not a witness: the "
+                 "interference is transient")
+    emit_table("ablation_concurrent", "Ablation: concurrency extension "
+                                      "(transient interference)", lines)
+
+    assert baseline.outcome is Outcome.PASS
+    assert report is not None and report.transient_only

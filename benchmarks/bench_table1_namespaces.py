@@ -1,0 +1,40 @@
+"""Table 1: Linux namespace types and the resource each isolates.
+
+Table 1 is descriptive, so the regeneration is an inventory check —
+every type must be constructible, joinable via ``unshare``, and distinct
+from the initial instance.  The benchmark measures namespace creation
+throughput (``unshare`` with all eight flags), the hot setup path of
+every container boot.
+"""
+
+from repro.kernel import Kernel
+from repro.kernel.namespaces import (
+    ALL_NAMESPACE_FLAGS,
+    CLONE_FLAGS,
+    ISOLATED_RESOURCE,
+    NamespaceType,
+)
+
+from benchmarks.support import emit_table
+
+
+def test_table1_namespace_inventory(benchmark):
+    kernel = Kernel()
+
+    def unshare_fresh_task():
+        task = kernel.spawn_task()
+        kernel.unshare(task, ALL_NAMESPACE_FLAGS)
+        return task
+
+    task = benchmark(unshare_fresh_task)
+
+    lines = [f"{'Namespace type':<12} {'Kernel resource isolated'}",
+             "-" * 50]
+    for ns_type in NamespaceType:
+        instance = task.nsproxy.get(ns_type)
+        assert instance is not kernel.init_nsproxy.get(ns_type)
+        assert instance.NS_TYPE == ns_type
+        lines.append(f"{ns_type.name:<12} {ISOLATED_RESOURCE[ns_type]}")
+    assert len(list(NamespaceType)) == 8
+    assert len(CLONE_FLAGS) == 8
+    emit_table("table1", "Table 1: Linux namespace types", lines)

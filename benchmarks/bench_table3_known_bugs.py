@@ -1,0 +1,41 @@
+"""Table 3: known Linux namespace bugs reproduced by functional
+interference testing.
+
+Runs every historical-bug scenario (one kernel preset per row) plus the
+two §6.2 out-of-reach cases, and regenerates the table.  The expected
+outcome matches the paper: 5 of the 7 scenarios detected, with F masked
+by non-determinism and G unreachable without runtime resource IDs.
+
+The benchmark times one complete scenario campaign (bug A), i.e. the
+cost of a targeted regression check against one historical kernel.
+"""
+
+from repro.core.known_bugs import SCENARIOS, TABLE3_ROWS, reproduce_known_bug
+
+from benchmarks.support import emit_table
+
+
+def test_table3_known_bug_reproduction(benchmark):
+    outcome_a = benchmark.pedantic(reproduce_known_bug, args=("A",),
+                                   rounds=3, iterations=1)
+    assert outcome_a.detected
+
+    lines = [f"{'ID':<3} {'Kernel':<7} {'NS':<5} {'Detected':<9} "
+             f"{'Expected':<9} Scenario",
+             "-" * 96]
+    detected_rows = 0
+    for bug_id, scenario in SCENARIOS.items():
+        outcome = reproduce_known_bug(bug_id)
+        expected = "yes" if scenario.detectable else "no"
+        actual = "yes" if outcome.detected else "no"
+        assert actual == expected, bug_id
+        if bug_id in TABLE3_ROWS and outcome.detected:
+            detected_rows += 1
+        lines.append(f"{bug_id:<3} {outcome.kernel_version:<7} "
+                     f"{outcome.namespace:<5} {actual:<9} {expected:<9} "
+                     f"{scenario.description}")
+    lines.append("")
+    lines.append(f"paper: 5/7 known bugs reproduced — here: "
+                 f"{detected_rows}/5 Table-3 rows detected, F and G "
+                 "correctly out of reach")
+    emit_table("table3", "Table 3: known namespace bugs reproduced", lines)

@@ -1,0 +1,66 @@
+"""Table 5: test report filtering effectiveness (§6.4).
+
+Regenerates the filtering funnel from the main DF-IA campaign:
+
+    tests executed -> initial candidate reports
+                   -> after non-determinism filtering
+                   -> after non-det + resource filtering
+
+The shape target is the paper's: the two filters together remove the
+large majority of candidates, and the non-determinism filter does most
+of the work.  The benchmark times the non-determinism analysis of one
+time-sensitive receiver program (three snapshot-restored re-runs with
+rebased clocks).
+"""
+
+from repro import MachineConfig, linux_5_13
+from repro.core import NondetAnalyzer, NondetStore
+from repro.corpus import seed_programs
+from repro.vm import Machine
+
+from benchmarks.support import emit_table
+
+
+def test_table5_report_filtering(campaign_513, benchmark):
+    # Benchmark: non-det identification for one receiver program (cache
+    # defeated each round by using a fresh store).
+    machine = Machine(MachineConfig(bugs=linux_5_13()))
+    program = seed_programs()["read_uptime"]
+
+    def analyze():
+        analyzer = NondetAnalyzer(machine, store=NondetStore())
+        return analyzer.nondet_paths(program)
+
+    marks = benchmark(analyze)
+    assert marks
+
+    stats = campaign_513.stats
+    initial = stats.initial_reports
+
+    def pct(value):
+        return f"{100.0 * value / initial:5.1f}%" if initial else "  n/a"
+
+    lines = [f"{'':<38} {'Number':>8} {'Percentage':>11}",
+             "-" * 60,
+             f"{'Tests executed':<38} {stats.cases_total:>8}",
+             f"{'Initial reports':<38} {initial:>8} {pct(initial):>11}",
+             f"{'After non-det filtering':<38} {stats.after_nondet:>8} "
+             f"{pct(stats.after_nondet):>11}",
+             f"{'After non-det + resource filtering':<38} "
+             f"{stats.after_resource:>8} {pct(stats.after_resource):>11}",
+             "",
+             "paper: 1,132,761 executed; 15,353 -> 891 (5.80%) -> 808 (5.26%)"]
+    emit_table("table5", "Table 5: test report filtering effectiveness", lines)
+
+    # Shape assertions: a strict funnel, with non-det doing real work.
+    assert stats.cases_total >= initial
+    assert initial >= stats.after_nondet >= stats.after_resource
+    assert stats.after_resource == len(campaign_513.reports)
+    assert stats.outcomes.get("nondet", 0) > 0, \
+        "the non-determinism filter must absorb some candidates"
+    # The resource filter removes few (often zero) candidates under DF
+    # generation — §6.4 explains why: the generation gate guarantees the
+    # receiver touches protected resources, so unprotected syscalls are
+    # rarely exercised.  The filter's behaviour itself is covered by
+    # unit tests (crypto-probe case in tests/core).
+    assert stats.outcomes.get("resource", 0) >= 0

@@ -1,0 +1,75 @@
+"""Table 6: test report aggregation results (§6.4).
+
+Regenerates the per-bug breakdown from the main campaign: filtered
+reports, AGG-RS groups, and AGG-R groups for each Table-2 bug plus the
+FP (false positive) and UI (under investigation) columns.  The shape
+target: group counts are far below raw report counts, and most bugs
+collapse into a couple of groups each.
+
+The benchmark times the aggregation pass itself over the campaign's
+full report set.
+"""
+
+from repro.core import aggregate
+from repro.core.aggregation import receiver_signature, sender_signature
+from repro.core.oracle import FALSE_POSITIVE, UNDER_INVESTIGATION, classify_all
+
+from benchmarks.support import emit_table
+
+_COLUMNS = [str(bug) for bug in range(1, 10)] + [FALSE_POSITIVE,
+                                                 UNDER_INVESTIGATION]
+
+
+def test_table6_report_aggregation(campaign_513, benchmark):
+    reports = campaign_513.reports
+    groups = benchmark(aggregate, reports)
+
+    # Label every report (a report may witness several bugs).
+    labels_of = {id(report): classify_all(report) for report in reports}
+
+    def label_count(label, items):
+        return sum(1 for r in items if label in labels_of[id(r)])
+
+    lines = [f"{'':<18}" + "".join(f"{c:>6}" for c in _COLUMNS) + f"{'Total':>8}",
+             "-" * 92]
+
+    row = [label_count(label, reports) for label in _COLUMNS]
+    lines.append(f"{'Filtered reports':<18}"
+                 + "".join(f"{v:>6}" for v in row) + f"{len(reports):>8}")
+
+    agg_rs_row = [
+        sum(1 for members in groups.agg_rs.values()
+            if label_count(label, members))
+        for label in _COLUMNS
+    ]
+    lines.append(f"{'AGG-RS groups':<18}"
+                 + "".join(f"{v:>6}" for v in agg_rs_row)
+                 + f"{groups.agg_rs_count:>8}")
+
+    agg_r_row = [
+        sum(1 for members in groups.agg_r.values()
+            if label_count(label, members))
+        for label in _COLUMNS
+    ]
+    lines.append(f"{'AGG-R groups':<18}"
+                 + "".join(f"{v:>6}" for v in agg_r_row)
+                 + f"{groups.agg_r_count:>8}")
+
+    lines.append("")
+    lines.append("paper totals: 808 reports -> 71 AGG-RS -> 32 AGG-R "
+                 "(FP: 19 AGG-RS / 4 AGG-R)")
+    emit_table("table6", "Table 6: test report aggregation results", lines)
+
+    # Shape assertions.
+    assert groups.agg_r_count <= groups.agg_rs_count <= len(reports)
+    for bug in map(str, range(1, 10)):
+        assert label_count(bug, reports) > 0, f"bug {bug} missing"
+    # Aggregation must actually compress: strictly fewer groups than
+    # reports (the paper's 808 -> 71 -> 32 funnel).
+    assert groups.agg_rs_count < len(reports)
+
+    # Every group's members agree on the receiver signature by construction.
+    for (receiver_sig, sender_sig), members in groups.agg_rs.items():
+        for member in members:
+            assert receiver_signature(member) == receiver_sig
+            assert sender_signature(member) == sender_sig

@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_table*.py`` regenerates one table of the paper's evaluation
+(§6) and benchmarks the pipeline stage behind it.  Campaign results are
+computed once per session and shared; every bench both prints its table
+and writes it under ``benchmarks/results/`` so the numbers survive the
+pytest output capture.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import CampaignConfig, Kit, MachineConfig, linux_5_13
+from repro.corpus import build_corpus
+
+from benchmarks.support import BENCH_CORPUS_SIZE
+
+
+@pytest.fixture(scope="session")
+def bench_corpus():
+    return build_corpus(BENCH_CORPUS_SIZE, seed=1)
+
+
+@pytest.fixture(scope="session")
+def campaign_513(bench_corpus):
+    """The main DF-IA campaign against simulated Linux 5.13 (Tables 2/5/6)."""
+    config = CampaignConfig(
+        machine=MachineConfig(bugs=linux_5_13()),
+        corpus=list(bench_corpus),
+        strategy="df-ia",
+    )
+    return Kit(config).run()

@@ -1,0 +1,22 @@
+"""Helpers shared by the benchmark harness."""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+#: Corpus scale for benchmark campaigns (paper: 98,853 — see DESIGN.md's
+#: scaled-down-parameters table).
+BENCH_CORPUS_SIZE = 200
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit_table(name: str, title: str, lines: Sequence[str]) -> str:
+    """Print a regenerated table and persist it to benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    text = "\n".join([title, "=" * len(title), *lines, ""])
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text)
+    print(f"\n{text}[written to {path}]")
+    return text

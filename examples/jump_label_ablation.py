@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""CONFIG_JUMP_LABEL ablation — the paper's §6.1 bug-#2 war story.
+
+The flow-label mode switch (``ipv6_flowlabel_exclusive``) is a static
+key.  With ``CONFIG_JUMP_LABEL=y`` (the distro default) static keys are
+implemented by *code patching*, so KIT's memory instrumentation never
+sees the data flow and the DF strategies cannot generate the test case.
+The paper found bug #2 anyway — through random generation — and notes
+that rebuilding with the option off lets the data-flow analysis find it.
+
+This example runs the same corpus four ways and prints who finds the
+flow-label bugs (#2/#4):
+
+                       DF-IA      RAND
+  jump_label=y          miss      find
+  jump_label=n          find      find
+
+Run:  python examples/jump_label_ablation.py
+"""
+
+from repro import CampaignConfig, Kit, KernelConfig, MachineConfig, linux_5_13
+from repro.corpus import build_corpus
+
+
+def run(corpus, jump_label, strategy, budget):
+    config = CampaignConfig(
+        machine=MachineConfig(kernel=KernelConfig(jump_label=jump_label),
+                              bugs=linux_5_13()),
+        corpus=corpus,
+        strategy=strategy,
+        rand_budget=budget,
+        diagnose=False,
+    )
+    return Kit(config).run()
+
+
+def main() -> None:
+    corpus = build_corpus(100, seed=1)
+    flowlabel_bugs = {"2", "4"}
+
+    print("Does each configuration find the flow-label bugs (#2/#4)?\n")
+    print(f"{'CONFIG_JUMP_LABEL':<19} {'strategy':<9} {'finds #2/#4':<12} "
+          f"{'all bugs found'}")
+    print("-" * 68)
+
+    budget = None
+    for jump_label in (True, False):
+        for strategy in ("df-ia", "rand"):
+            if strategy == "rand" and budget is None:
+                budget = 400
+            result = run(corpus, jump_label, strategy, budget)
+            found = result.bugs_found()
+            hit = "FOUND" if found & flowlabel_bugs else "missed"
+            label = "y (code patching)" if jump_label else "n (plain memory)"
+            print(f"{label:<19} {strategy:<9} {hit:<12} "
+                  f"{sorted(found)}")
+
+    print("\nWith the jump label compiled in, the static-key read never "
+          "reaches the\nmemory trace, so no DF cluster covers it — only "
+          "random pairing stumbles\ninto the bug, exactly as §6.1 reports.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Patch gating: regression-test namespace isolation across two kernels.
+
+The downstream workflow a maintainer wants from a KIT-style tool:
+
+1. run the same campaign against the current kernel and a patched build,
+2. diff the AGG-RS groups (the paper's identity for "the same
+   functional interference", §4.4),
+3. require the gate: the patch resolves its target groups and
+   introduces nothing new,
+4. triage whatever persists, carrying decisions forward.
+
+Here the "patch" fixes bug #1 (the ptype leak) on top of the 5.13
+preset; everything else — including the spec-imperfection false
+positives — persists, and the triage session records it.
+
+Run:  python examples/patch_regression_gate.py
+"""
+
+from repro import CampaignConfig, Kit, MachineConfig, linux_5_13
+from repro.core import TriageSession, classify, diff_campaigns
+from repro.corpus import build_corpus
+
+
+def run(corpus, bugs):
+    return Kit(CampaignConfig(machine=MachineConfig(bugs=bugs),
+                              corpus=list(corpus))).run()
+
+
+def main() -> None:
+    corpus = build_corpus(120, seed=1)
+    print("running the campaign against Linux 5.13...")
+    before = run(corpus, linux_5_13())
+    print(f"  {len(before.reports)} reports, "
+          f"{before.groups.agg_rs_count} AGG-RS groups")
+
+    print("running the same campaign against 5.13 + ptype fix...")
+    after = run(corpus, linux_5_13().copy(ptype_leak=False))
+    print(f"  {len(after.reports)} reports, "
+          f"{after.groups.agg_rs_count} AGG-RS groups\n")
+
+    diff = diff_campaigns(before, after)
+    print(diff.render())
+
+    # The gate a CI job would enforce on the patch:
+    assert not diff.introduced, "patch introduced new interference!"
+    assert any("ptype" in key[0] for key in diff.resolved), \
+        "patch failed to resolve its target"
+    print("\ngate PASSED: the fix resolved its groups and added nothing.")
+
+    # Triage what persists (the remaining 5.13 bugs + FP groups).
+    session = TriageSession(after.groups)
+    for key in session.pending_groups():
+        label = classify(session.representative(key))
+        if label == "FP":
+            session.drop_false_positive(key, note="unprotected resource",
+                                        whole_receiver=True)
+        elif label == "UI":
+            session.mark_investigating(key)
+        else:
+            session.confirm_bug(key, note=f"Table 2 bug #{label}")
+    print(f"triage: {session.summary()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,358 @@
+"""Command-line interface for the KIT reproduction.
+
+Installed as ``kit-repro``; also runnable as ``python -m repro.cli``.
+
+Subcommands
+-----------
+
+``run``
+    Run a full campaign against a kernel preset and print found bugs,
+    statistics, and (optionally) the reports.
+``known-bugs``
+    Reproduce the Table-3 historical-bug scenarios.
+``compare``
+    Compare generation strategies on one corpus (Table 4's experiment).
+``corpus``
+    Generate a corpus and save it to a directory, or inspect one.
+``show``
+    Decode a ``.prog`` file and execute it against a preset kernel,
+    printing the strace-style trace.
+``inspect``
+    Reload a saved campaign JSON and summarize it.
+``coverage``
+    Profile a corpus and report kernel coverage.
+``spec``
+    Print the default protected-resource specification.
+``gate``
+    Run one campaign per kernel preset, diff at the AGG-R level, and
+    fail when the transition introduces interference.
+``syscalls``
+    Render the declared syscall surface as markdown.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.coverage import coverage_of_profiles
+from .core.decode import decode_trace
+from .core.known_bugs import SCENARIOS, reproduce_known_bug
+from .core.detection import Detector
+from .core.minimize import minimize_report
+from .core.nondet import NondetAnalyzer
+from .core.persist import load_campaign, save_campaign
+from .core.spec import default_specification
+from .core.pipeline import CampaignConfig, CampaignResult, Kit
+from .core.profile import Profiler
+from .corpus.generator import build_corpus
+from .corpus.program import TestProgram
+from .corpus.store import load_corpus, save_corpus
+from .kernel.bugs import BugFlags, fixed_kernel, known_bug_kernel, linux_5_13
+from .kernel.kernel import KernelConfig
+from .vm.machine import Machine, MachineConfig, RECEIVER
+
+
+def _kernel_preset(name: str) -> BugFlags:
+    normalized = name.lower().replace("-", ".")
+    if normalized in ("5.13", "linux.5.13", "buggy"):
+        return linux_5_13()
+    if normalized in ("fixed", "patched"):
+        return fixed_kernel()
+    if name.upper() in SCENARIOS:
+        return known_bug_kernel(name.upper())
+    raise SystemExit(f"unknown kernel preset {name!r} "
+                     "(try: 5.13, fixed, or a known-bug id A-G)")
+
+
+def _machine_config(args: argparse.Namespace) -> MachineConfig:
+    return MachineConfig(
+        kernel=KernelConfig(jump_label=args.jump_label),
+        bugs=_kernel_preset(args.kernel),
+    )
+
+
+def _print_campaign(result: CampaignResult, show_reports: bool) -> None:
+    stats = result.stats
+    print(f"corpus: {stats.corpus_size} programs, "
+          f"flows: {stats.flow_count}, clusters: {stats.cluster_count}")
+    print(f"cases: {stats.cases_total} executed "
+          f"({stats.executions_per_second():.0f}/s), outcomes: "
+          + ", ".join(f"{k}={v}" for k, v in sorted(stats.outcomes.items())))
+    print(f"funnel: {stats.initial_reports} candidates -> "
+          f"{stats.after_nondet} -> {stats.after_resource} reports")
+    print(f"groups: {result.groups.agg_rs_count} AGG-RS / "
+          f"{result.groups.agg_r_count} AGG-R")
+    print(f"bugs found: {sorted(result.bugs_found()) or 'none'}")
+    if show_reports:
+        for report in result.reports:
+            print()
+            print(report.render())
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    if args.corpus_dir:
+        loaded = load_corpus(args.corpus_dir)
+        if not loaded.ok:
+            for name, error in loaded.errors:
+                print(f"corpus error: {name}: {error}", file=sys.stderr)
+            return 1
+        corpus: Optional[List[TestProgram]] = loaded.programs
+    else:
+        corpus = None
+    config = CampaignConfig(
+        machine=_machine_config(args),
+        corpus=corpus,
+        corpus_size=args.corpus_size,
+        corpus_seed=args.seed,
+        strategy=args.strategy,
+        rand_budget=args.rand_budget,
+        workers=args.workers,
+        nondet_dir=args.nondet_cache,
+    )
+    progress = print if args.verbose else None
+    result = Kit(config).run(progress=progress)
+    _print_campaign(result, show_reports=args.reports)
+    if args.minimize and result.reports:
+        machine = Machine(config.machine)
+        detector = Detector(machine, config.spec, NondetAnalyzer(machine))
+        print()
+        for report in result.reports:
+            print(minimize_report(detector, report).render())
+            print()
+    if args.save:
+        save_campaign(result, args.save)
+        print(f"campaign saved to {args.save}")
+    if args.markdown:
+        from .core.render_md import save_campaign_markdown
+
+        save_campaign_markdown(result, args.markdown)
+        print(f"markdown report written to {args.markdown}")
+    return 0
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    result = load_campaign(args.campaign)
+    print(f"kernel {result.config.strategy} campaign, "
+          f"{len(result.reports)} reports")
+    _print_campaign(result, show_reports=args.reports)
+    return 0
+
+
+def cmd_coverage(args: argparse.Namespace) -> int:
+    corpus = build_corpus(args.corpus_size, seed=args.seed)
+    machine = Machine(_machine_config(args))
+    profiles = Profiler(machine).profile_corpus(corpus)
+    print(coverage_of_profiles(profiles).render())
+    return 0
+
+
+def cmd_spec(args: argparse.Namespace) -> int:
+    print(default_specification().describe())
+    return 0
+
+
+def cmd_gate(args: argparse.Namespace) -> int:
+    """Run the same campaign on two kernels and enforce the clean-fix gate."""
+    from .core.regress import diff_campaigns
+    from .corpus.generator import build_corpus
+
+    corpus = build_corpus(args.corpus_size, seed=args.seed)
+
+    def campaign(preset_name):
+        config = CampaignConfig(
+            machine=MachineConfig(bugs=_kernel_preset(preset_name)),
+            corpus=list(corpus),
+        )
+        return Kit(config).run()
+
+    before = campaign(args.before)
+    after = campaign(args.after)
+    diff = diff_campaigns(before, after)
+    print(diff.render())
+    if diff.introduced:
+        print("GATE FAILED: new interference introduced")
+        return 1
+    print("gate passed: nothing introduced")
+    return 0
+
+
+def cmd_syscalls(args: argparse.Namespace) -> int:
+    from .kernel.syscalls.describe import surface_markdown
+
+    text = surface_markdown()
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def cmd_known_bugs(args: argparse.Namespace) -> int:
+    bug_ids = args.bugs or list(SCENARIOS)
+    failures = 0
+    for bug_id in bug_ids:
+        outcome = reproduce_known_bug(bug_id)
+        scenario = outcome.scenario
+        status = "detected" if outcome.detected else "not detected"
+        expected = "" if outcome.detected == scenario.detectable \
+            else "  ** UNEXPECTED **"
+        failures += outcome.detected != scenario.detectable
+        print(f"{scenario.bug_id} (kernel {outcome.kernel_version}, "
+              f"{outcome.namespace}): {status}{expected}")
+        print(f"    {scenario.description}")
+    return 1 if failures else 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    corpus = build_corpus(args.corpus_size, seed=args.seed)
+    print(f"corpus: {len(corpus)} programs")
+    budget = None
+    for strategy in ("df-ia", "df-st-1", "df-st-2", "rand"):
+        config = CampaignConfig(
+            machine=_machine_config(args),
+            corpus=list(corpus),
+            strategy=strategy,
+            rand_budget=budget,
+            diagnose=False,
+        )
+        result = Kit(config).run()
+        if strategy == "df-ia":
+            budget = 8 * result.stats.cases_total
+        numbered = sorted(b for b in result.bugs_found() if b.isdigit())
+        count = (result.stats.cluster_count if strategy != "rand"
+                 else result.stats.cases_total)
+        print(f"{strategy:<8} cases={count:<6} bugs={len(numbered)}/9 "
+              f"{numbered}")
+    return 0
+
+
+def cmd_corpus(args: argparse.Namespace) -> int:
+    if args.generate:
+        corpus = build_corpus(args.corpus_size, seed=args.seed)
+        written = save_corpus(args.directory, corpus)
+        print(f"wrote {written} programs to {args.directory}")
+        return 0
+    loaded = load_corpus(args.directory)
+    print(f"{len(loaded.programs)} programs, {len(loaded.errors)} errors")
+    for name, error in loaded.errors:
+        print(f"  {name}: {error}", file=sys.stderr)
+    return 0 if loaded.ok else 1
+
+
+def cmd_show(args: argparse.Namespace) -> int:
+    with open(args.program) as handle:
+        program = TestProgram.parse(handle.read())
+    print("--- program ---")
+    print(program.serialize())
+    machine = Machine(_machine_config(args))
+    machine.reset()
+    result = machine.run(RECEIVER, program)
+    print("--- trace ---")
+    print(decode_trace(result.records))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="kit-repro",
+        description="KIT (ASPLOS 2023) reproduction: functional interference "
+                    "testing for OS-level virtualization.",
+    )
+    parser.add_argument("--kernel", default="5.13",
+                        help="kernel preset: 5.13, fixed, or A-G "
+                             "(default: 5.13)")
+    parser.add_argument("--jump-label", action="store_true",
+                        help="enable CONFIG_JUMP_LABEL (blinds data-flow "
+                             "analysis to static keys, §6.1)")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run = subparsers.add_parser("run", help="run a full campaign")
+    run.add_argument("--corpus-size", type=int, default=150)
+    run.add_argument("--corpus-dir", help="load the corpus from a directory")
+    run.add_argument("--seed", type=int, default=1)
+    run.add_argument("--strategy", default="df-ia",
+                     choices=["df-ia", "df-st-1", "df-st-2", "df", "rand"])
+    run.add_argument("--rand-budget", type=int)
+    run.add_argument("--workers", type=int, default=0,
+                     help="distributed execution worker threads")
+    run.add_argument("--nondet-cache", help="directory for non-det marks")
+    run.add_argument("--reports", action="store_true",
+                     help="print every report in full")
+    run.add_argument("--save", help="write the campaign result to a JSON file")
+    run.add_argument("--minimize", action="store_true",
+                     help="print a minimal verified reproducer per report")
+    run.add_argument("--markdown",
+                     help="write a human-readable campaign report (md)")
+    run.add_argument("--verbose", action="store_true")
+    run.set_defaults(handler=cmd_run)
+
+    inspect = subparsers.add_parser("inspect",
+                                    help="reload and summarize a saved campaign")
+    inspect.add_argument("campaign")
+    inspect.add_argument("--reports", action="store_true")
+    inspect.set_defaults(handler=cmd_inspect)
+
+    coverage = subparsers.add_parser("coverage",
+                                     help="profile a corpus and report kernel "
+                                          "coverage")
+    coverage.add_argument("--corpus-size", type=int, default=100)
+    coverage.add_argument("--seed", type=int, default=1)
+    coverage.set_defaults(handler=cmd_coverage)
+
+    known = subparsers.add_parser("known-bugs",
+                                  help="reproduce Table-3 scenarios")
+    known.add_argument("bugs", nargs="*", help="scenario ids (default: all)")
+    known.set_defaults(handler=cmd_known_bugs)
+
+    compare = subparsers.add_parser("compare",
+                                    help="compare generation strategies")
+    compare.add_argument("--corpus-size", type=int, default=120)
+    compare.add_argument("--seed", type=int, default=1)
+    compare.set_defaults(handler=cmd_compare)
+
+    corpus = subparsers.add_parser("corpus", help="manage corpus directories")
+    corpus.add_argument("directory")
+    corpus.add_argument("--generate", action="store_true")
+    corpus.add_argument("--corpus-size", type=int, default=200)
+    corpus.add_argument("--seed", type=int, default=1)
+    corpus.set_defaults(handler=cmd_corpus)
+
+    spec = subparsers.add_parser("spec",
+                                 help="print the default protected-resource "
+                                      "specification")
+    spec.set_defaults(handler=cmd_spec)
+
+    gate = subparsers.add_parser("gate",
+                                 help="diff campaigns across two kernel "
+                                      "presets and fail on new interference")
+    gate.add_argument("before", help="baseline kernel preset")
+    gate.add_argument("after", help="candidate kernel preset")
+    gate.add_argument("--corpus-size", type=int, default=100)
+    gate.add_argument("--seed", type=int, default=1)
+    gate.set_defaults(handler=cmd_gate)
+
+    syscalls = subparsers.add_parser("syscalls",
+                                     help="document the declared syscall "
+                                          "surface")
+    syscalls.add_argument("--output", help="write to a file instead of stdout")
+    syscalls.set_defaults(handler=cmd_syscalls)
+
+    show = subparsers.add_parser("show",
+                                 help="decode and execute one .prog file")
+    show.add_argument("program")
+    show.set_defaults(handler=cmd_show)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,95 @@
+"""Test report aggregation (paper §4.4, Table 6).
+
+"KIT aggregates test reports based on the identified system call pairs
+that trigger and detect the functional interference.  KIT first
+aggregates test reports by grouping them by the interfered receiver
+system call (AGG-R).  In each AGG-R group, KIT further aggregates test
+reports by grouping them on the culprit sender system call (AGG-RS)…
+The system call is represented using its name and the file descriptors
+used by the system call."
+
+A call's signature is its name plus the resource descriptors it used —
+for opened files, the path behind the descriptor (so ``pread64`` of
+``/proc/net/ptype`` and of ``/proc/net/sockstat`` land in different
+groups, as they detect different interference).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..vm.executor import SyscallRecord
+from .report import TestReport
+
+
+def call_signature(record: Optional[SyscallRecord]) -> str:
+    """Name + descriptor representation of one executed call."""
+    if record is None:
+        return "<unknown>"
+    descriptor_parts = []
+    for arg_name in sorted(record.arg_kinds):
+        kind = record.arg_kinds[arg_name]
+        subject = record.subjects.get(arg_name, "")
+        descriptor_parts.append(f"{kind}:{subject}" if subject else kind)
+    if record.ret_kind is not None:
+        subject = record.subjects.get("ret", "")
+        descriptor_parts.append(
+            f"ret={record.ret_kind}:{subject}" if subject else f"ret={record.ret_kind}"
+        )
+    inner = ", ".join(descriptor_parts)
+    return f"{record.name}({inner})"
+
+
+def receiver_signature(report: TestReport) -> str:
+    """Signature of the interfered receiver call (first culprit pair)."""
+    if report.culprit_pairs:
+        index = report.culprit_pairs[0].receiver_index
+    elif report.interfered_indices:
+        index = report.interfered_indices[0]
+    else:
+        return "<none>"
+    return call_signature(report.receiver_record(index))
+
+
+def sender_signature(report: TestReport) -> str:
+    """Signature of the culprit sender call (first culprit pair)."""
+    if not report.culprit_pairs:
+        return "<undiagnosed>"
+    index = report.culprit_pairs[0].sender_index
+    return call_signature(report.record_for(report.sender_records, index))
+
+
+@dataclass
+class ReportGroups:
+    """AGG-R and AGG-RS groupings of a report set."""
+
+    agg_r: Dict[str, List[TestReport]] = field(default_factory=dict)
+    agg_rs: Dict[Tuple[str, str], List[TestReport]] = field(default_factory=dict)
+
+    @property
+    def agg_r_count(self) -> int:
+        return len(self.agg_r)
+
+    @property
+    def agg_rs_count(self) -> int:
+        return len(self.agg_rs)
+
+    def drop_agg_r(self, receiver_sig: str) -> List[TestReport]:
+        """The user triage action of §6.4: dismiss a whole AGG-R group
+        (e.g. after confirming one of its reports is a false positive)."""
+        dropped = self.agg_r.pop(receiver_sig, [])
+        for key in [k for k in self.agg_rs if k[0] == receiver_sig]:
+            del self.agg_rs[key]
+        return dropped
+
+
+def aggregate(reports: List[TestReport]) -> ReportGroups:
+    """Group *reports* by receiver signature, then by sender signature."""
+    groups = ReportGroups()
+    for report in reports:
+        r_sig = receiver_signature(report)
+        s_sig = sender_signature(report)
+        groups.agg_r.setdefault(r_sig, []).append(report)
+        groups.agg_rs.setdefault((r_sig, s_sig), []).append(report)
+    return groups

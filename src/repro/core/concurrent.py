@@ -1,0 +1,177 @@
+"""Concurrency functional interference testing — the §7 extension.
+
+KIT's two-phase execution (sender fully, then receiver) cannot witness
+*transient* interference: a sender that perturbs shared kernel state and
+restores it before finishing — create a socket, bump the global
+counter, close it — leaves nothing for the receiver to observe.  The
+paper notes most known bugs do not need concurrency, and proposes
+combining KIT with concurrency testing tools as future work.
+
+This module is that combination at syscall granularity.  A *schedule* is
+a string over ``{'S', 'R'}`` fixing the syscall interleaving of the two
+programs; the two-phase baseline is simply ``"SS…RR…"``.  For each test
+case the detector:
+
+1. computes the receiver-alone baseline and its non-determinism marks,
+   exactly as the sequential detector does;
+2. replays the pair under each schedule in a bounded, deterministic
+   schedule set (snapshot-restored per schedule);
+3. applies the same filter chain (Algorithm 1 + non-det marks + the
+   specification) to the receiver's trace from each schedule;
+4. reports interference along with the *witness schedules* on which it
+   manifested.
+
+Interference visible under some schedule but not the sequential one is
+precisely the transient class.  Everything stays deterministic: the
+schedule, not wall-clock racing, decides the interleaving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..corpus.program import TestProgram
+from ..vm.executor import Executor, SteppedExecution
+from ..vm.machine import RECEIVER, SENDER, Machine
+from .nondet import NondetAnalyzer
+from .spec import Specification
+from .trace_ast import apply_nondet_marks, build_trace_ast, syscall_trace_cmp
+
+
+def sequential_schedule(sender_calls: int, receiver_calls: int) -> str:
+    """The paper's two-phase order: all sender calls, then the receiver."""
+    return "S" * sender_calls + "R" * receiver_calls
+
+
+def round_robin_schedule(sender_calls: int, receiver_calls: int,
+                         receiver_leads: int = 0) -> str:
+    """Alternate S/R after letting the receiver run *receiver_leads* calls."""
+    tokens: List[str] = ["R"] * min(receiver_leads, receiver_calls)
+    remaining_r = receiver_calls - len(tokens)
+    remaining_s = sender_calls
+    while remaining_s or remaining_r:
+        if remaining_s:
+            tokens.append("S")
+            remaining_s -= 1
+        if remaining_r:
+            tokens.append("R")
+            remaining_r -= 1
+    return "".join(tokens)
+
+
+def default_schedules(sender_calls: int, receiver_calls: int) -> List[str]:
+    """A bounded, deterministic schedule set: the sequential baseline plus
+    round-robins with every receiver lead-in length."""
+    schedules = [sequential_schedule(sender_calls, receiver_calls)]
+    for lead in range(receiver_calls):
+        candidate = round_robin_schedule(sender_calls, receiver_calls, lead)
+        if candidate not in schedules:
+            schedules.append(candidate)
+    return schedules
+
+
+@dataclass
+class ConcurrentReport:
+    """Interference witnessed under at least one interleaving."""
+
+    sender: TestProgram
+    receiver: TestProgram
+    #: schedule -> interfered receiver call indices (protected only).
+    witnesses: Dict[str, List[int]] = field(default_factory=dict)
+
+    @property
+    def schedules(self) -> List[str]:
+        return sorted(self.witnesses)
+
+    @property
+    def transient_only(self) -> bool:
+        """True when the sequential (two-phase) schedule did NOT witness
+        the interference — the class invisible to baseline functional
+        interference testing."""
+        for schedule in self.witnesses:
+            sender_calls = schedule.count("S")
+            if schedule == "S" * sender_calls + "R" * (len(schedule)
+                                                       - sender_calls):
+                return False
+        return True
+
+
+class ConcurrentDetector:
+    """Schedule-exploring functional interference detector."""
+
+    def __init__(self, machine: Machine, spec: Specification,
+                 nondet: Optional[NondetAnalyzer] = None):
+        self._machine = machine
+        self._spec = spec
+        self._nondet = nondet or NondetAnalyzer(machine)
+        self.schedules_executed = 0
+
+    def check_case(self, sender: TestProgram, receiver: TestProgram,
+                   schedules: Optional[Sequence[str]] = None
+                   ) -> Optional[ConcurrentReport]:
+        """Run the pair under every schedule; None when nothing survives."""
+        sender_calls = len(sender.calls)
+        receiver_calls = len(receiver.calls)
+        if schedules is None:
+            schedules = default_schedules(sender_calls, receiver_calls)
+        self._validate(schedules, sender_calls, receiver_calls)
+
+        machine = self._machine
+        machine.reset()
+        alone = machine.run(RECEIVER, receiver)
+        marks = self._nondet.nondet_paths(receiver)
+
+        witnesses: Dict[str, List[int]] = {}
+        for schedule in schedules:
+            receiver_result = self._run_schedule(sender, receiver, schedule)
+            self.schedules_executed += 1
+            tree_alone = apply_nondet_marks(build_trace_ast(alone.records),
+                                            marks)
+            tree_sched = apply_nondet_marks(
+                build_trace_ast(receiver_result.records), marks)
+            diffs = syscall_trace_cmp(tree_alone, tree_sched)
+            interfered: Set[int] = set()
+            for diff in diffs:
+                index = diff.call_index
+                if index is None:
+                    continue
+                record = receiver_result.records[index] \
+                    if index < len(receiver_result.records) else None
+                if record is not None and \
+                        self._spec.call_accesses_protected(record):
+                    interfered.add(index)
+            if interfered:
+                witnesses[schedule] = sorted(interfered)
+        if not witnesses:
+            return None
+        return ConcurrentReport(sender, receiver, witnesses)
+
+    # -- internals -----------------------------------------------------------
+
+    def _run_schedule(self, sender: TestProgram, receiver: TestProgram,
+                      schedule: str):
+        machine = self._machine
+        machine.reset()
+        sender_session = SteppedExecution(
+            Executor(machine.kernel, machine.task_for(SENDER)), sender)
+        receiver_session = SteppedExecution(
+            Executor(machine.kernel, machine.task_for(RECEIVER)), receiver)
+        for token in schedule:
+            if token == "S":
+                sender_session.step()
+            else:
+                receiver_session.step()
+        return receiver_session.result()
+
+    @staticmethod
+    def _validate(schedules: Sequence[str], sender_calls: int,
+                  receiver_calls: int) -> None:
+        for schedule in schedules:
+            if schedule.count("S") != sender_calls or \
+                    schedule.count("R") != receiver_calls:
+                raise ValueError(
+                    f"schedule {schedule!r} does not cover "
+                    f"{sender_calls}xS + {receiver_calls}xR")
+            if set(schedule) - {"S", "R"}:
+                raise ValueError(f"bad schedule token in {schedule!r}")

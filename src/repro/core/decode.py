@@ -1,0 +1,117 @@
+"""strace-style syscall trace decoding (paper §5.2).
+
+KIT decodes syscall results to text "with a system call decoding library,
+which we customize from strace".  The pipeline itself consumes the AST
+form directly (:mod:`repro.core.trace_ast`), but human-readable traces
+are what bug reports, logs, and the CLI show — this module renders them.
+
+Example output::
+
+    socket(0x11, 0x3, 0x3) = 3 <sock_packet>
+    pread64(3</proc/net/ptype>, 0x1000, 0x0) = 129
+      | Type Device      Function
+      | ALL              packet_rcv
+    connect(3<socket(UDP)>, 0xa000001, 0x1f90) = -1 EPERM
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional, Sequence
+
+from ..kernel.errno import errno_name
+from ..vm.executor import SyscallRecord
+
+#: Truncate rendered file contents beyond this many lines.
+MAX_CONTENT_LINES = 12
+
+
+def decode_record(record: SyscallRecord) -> str:
+    """One record -> one strace-like line (plus indented content lines)."""
+    arg_names = _arg_names(record)
+    rendered_args = []
+    for position, value in enumerate(record.args):
+        name = arg_names[position] if position < len(arg_names) else None
+        rendered_args.append(_render_arg(record, name, value))
+    call = f"{record.name}({', '.join(rendered_args)})"
+
+    if record.errno:
+        line = f"{call} = -1 {errno_name(record.errno)}"
+    else:
+        line = f"{call} = {record.retval}"
+        if record.ret_kind is not None:
+            line += f" <{record.ret_kind}>"
+    extras = _render_details(record)
+    if extras:
+        line += "\n" + "\n".join(extras)
+    return line
+
+
+def decode_trace(records: Sequence[Optional[SyscallRecord]]) -> str:
+    """A whole execution -> multi-line strace-like text."""
+    lines: List[str] = []
+    for index, record in enumerate(records):
+        if record is None:
+            lines.append(f"# call {index} removed")
+        else:
+            lines.append(decode_record(record))
+    return "\n".join(lines)
+
+
+def _arg_names(record: SyscallRecord) -> List[str]:
+    from ..kernel.syscalls import DECLS
+
+    if record.name in DECLS:
+        return [spec.name for spec in DECLS.get(record.name).args]
+    return []
+
+
+def _render_arg(record: SyscallRecord, name: Optional[str], value: Any) -> str:
+    if isinstance(value, str):
+        return '"' + value.replace('"', '\\"') + '"'
+    rendered = hex(value) if isinstance(value, int) else repr(value)
+    if name is not None and name in record.arg_kinds:
+        subject = record.subjects.get(name)
+        annotation = subject if subject else record.arg_kinds[name]
+        # strace's fd annotation style: 3</proc/net/ptype>.
+        return f"{value}<{annotation}>"
+    return rendered
+
+
+def _render_details(record: SyscallRecord) -> List[str]:
+    lines: List[str] = []
+    for key in sorted(record.details):
+        value = record.details[key]
+        if isinstance(value, str) and "\n" in value:
+            content = value.rstrip("\n").split("\n")
+            shown = content[:MAX_CONTENT_LINES]
+            lines.extend(f"  | {line}" for line in shown)
+            if len(content) > MAX_CONTENT_LINES:
+                lines.append(f"  | ... ({len(content) - MAX_CONTENT_LINES} "
+                             "more lines)")
+        elif isinstance(value, dict):
+            fields = ", ".join(f"{k}={v}" for k, v in sorted(value.items()))
+            lines.append(f"  {key} = {{{fields}}}")
+        elif isinstance(value, (list, tuple)):
+            lines.append(f"  {key} = [{', '.join(map(str, value))}]")
+        elif isinstance(value, str):
+            lines.append(f"  {key} = \"{value}\"")
+        else:
+            lines.append(f"  {key} = {value}")
+    return lines
+
+
+def side_by_side(alone: Sequence[Optional[SyscallRecord]],
+                 with_sender: Sequence[Optional[SyscallRecord]],
+                 interfered: Iterable[int] = ()) -> str:
+    """Two receiver traces, marking the interfered calls — report style."""
+    marked = set(interfered)
+    lines: List[str] = []
+    for index in range(max(len(alone), len(with_sender))):
+        marker = ">>" if index in marked else "  "
+        record_a = alone[index] if index < len(alone) else None
+        record_b = with_sender[index] if index < len(with_sender) else None
+        first_a = decode_record(record_a).splitlines()[0] if record_a else "-"
+        first_b = decode_record(record_b).splitlines()[0] if record_b else "-"
+        lines.append(f"{marker} [{index}] alone: {first_a}")
+        lines.append(f"{marker}     with-S: {first_b}")
+    return "\n".join(lines)

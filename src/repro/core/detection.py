@@ -1,0 +1,148 @@
+"""Functional interference bug detection (paper §4.3).
+
+For each test case:
+
+1. run both executions (§4.2) and build the receiver trace ASTs,
+2. compare raw — no divergence means the case passes,
+3. apply the receiver program's non-determinism marks (§4.3.2) and
+   compare again — divergence that evaporates was timing noise,
+4. keep only divergences on syscalls that access namespace-protected
+   resources per the specification (§4.3.1),
+5. what survives is a :class:`~repro.core.report.TestReport`.
+
+The stage-by-stage outcome taxonomy feeds Table 5 (report filtering
+effectiveness) directly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+from ..corpus.program import TestProgram
+from ..vm.machine import Machine
+from .execution import TestCaseRunner
+from .generation import TestCase
+from .nondet import NondetAnalyzer
+from .report import TestReport
+from .spec import Specification
+from .trace_ast import (
+    NodeDiff,
+    apply_nondet_marks,
+    build_trace_ast,
+    syscall_trace_cmp,
+)
+
+
+class Outcome(enum.Enum):
+    """What happened to one executed test case."""
+
+    PASS = "pass"                      # no divergence at all
+    FILTERED_NONDET = "nondet"        # divergence was non-deterministic
+    FILTERED_RESOURCE = "resource"    # divergence on unprotected resources
+    REPORT = "report"                  # functional interference detected
+
+
+@dataclass
+class DetectionResult:
+    """Outcome of checking one test case."""
+
+    case: TestCase
+    outcome: Outcome
+    report: Optional[TestReport] = None
+    raw_diff_count: int = 0
+
+
+class Detector:
+    """The §4.3 detection pipeline bound to one machine."""
+
+    def __init__(self, machine: Machine, spec: Specification,
+                 nondet: Optional[NondetAnalyzer] = None):
+        self._machine = machine
+        self._spec = spec
+        self._runner = TestCaseRunner(machine)
+        self._nondet = nondet or NondetAnalyzer(machine)
+
+    @property
+    def runner(self) -> TestCaseRunner:
+        return self._runner
+
+    @property
+    def nondet(self) -> NondetAnalyzer:
+        return self._nondet
+
+    # -- public API -------------------------------------------------------------
+
+    def check_case(self, case: TestCase) -> DetectionResult:
+        (interfered, diffs, raw_count,
+         sender_result, alone_result, with_result) = self._analyze(
+            case.sender, case.receiver)
+        if raw_count == 0:
+            return DetectionResult(case, Outcome.PASS)
+        if not diffs:
+            return DetectionResult(case, Outcome.FILTERED_NONDET,
+                                   raw_diff_count=raw_count)
+        if not interfered:
+            return DetectionResult(case, Outcome.FILTERED_RESOURCE,
+                                   raw_diff_count=raw_count)
+        protected_diffs = [d for d in diffs if d.call_index in interfered]
+        report = TestReport(
+            case=case,
+            interfered_indices=sorted(interfered),
+            diffs=protected_diffs,
+            sender_records=sender_result.records,
+            receiver_alone_records=alone_result.records,
+            receiver_with_records=with_result.records,
+        )
+        return DetectionResult(case, Outcome.REPORT, report=report,
+                               raw_diff_count=raw_count)
+
+    def interference_set(self, sender: TestProgram,
+                         receiver: TestProgram) -> Set[int]:
+        """Protected-interfered receiver call indices for (sender, receiver).
+
+        This is ``TestFuncI`` in Algorithm 2 — diagnosis re-runs modified
+        senders through the same full filter chain.
+        """
+        interfered, *_ = self._analyze(sender, receiver)
+        return interfered
+
+    # -- internals ----------------------------------------------------------------
+
+    def _analyze(self, sender: TestProgram, receiver: TestProgram
+                 ) -> Tuple[Set[int], List[NodeDiff], int, object, object, object]:
+        alone_result = self._runner.receiver_alone(receiver)
+        sender_result, with_result = self._runner.run_with_sender(sender, receiver)
+
+        tree_alone = build_trace_ast(alone_result.records)
+        tree_with = build_trace_ast(with_result.records)
+        raw_diffs = syscall_trace_cmp(tree_alone, tree_with)
+        if not raw_diffs:
+            return set(), [], 0, sender_result, alone_result, with_result
+
+        marks = self._nondet.nondet_paths(receiver)
+        apply_nondet_marks(tree_alone, marks)
+        apply_nondet_marks(tree_with, marks)
+        diffs = syscall_trace_cmp(tree_alone, tree_with)
+        if not diffs:
+            return set(), [], len(raw_diffs), sender_result, alone_result, with_result
+
+        interfered: Set[int] = set()
+        for diff in diffs:
+            index = diff.call_index
+            if index is None:
+                continue
+            if self._call_protected(alone_result.records, with_result.records,
+                                    index):
+                interfered.add(index)
+        return (interfered, diffs, len(raw_diffs),
+                sender_result, alone_result, with_result)
+
+    def _call_protected(self, alone_records, with_records, index: int) -> bool:
+        for records in (with_records, alone_records):
+            if 0 <= index < len(records):
+                record = records[index]
+                if record is not None and self._spec.call_accesses_protected(record):
+                    return True
+        return False

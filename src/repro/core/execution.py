@@ -1,0 +1,59 @@
+"""Test case execution (paper §4.2).
+
+"KIT executes a test case twice… in one execution, it first executes the
+sender program in the sender container, and then executes the receiver
+program, during which it collects the system call trace of the receiver.
+In another execution, KIT skips the sender program execution and only
+executes the receiver program."
+
+Every execution starts from the VM snapshot.  The receiver-alone trace
+depends only on the receiver program and the snapshot, so it is cached
+per program — many test cases share receiver programs, and the cache is
+the execution-side counterpart of the paper's per-program
+non-determinism cache.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..corpus.program import TestProgram
+from ..vm.executor import ExecutionResult
+from ..vm.machine import RECEIVER, SENDER, Machine
+
+
+class TestCaseRunner:
+    """Runs sender/receiver pairs from the snapshot."""
+
+    __test__ = False  # not a pytest class, despite the name
+
+    def __init__(self, machine: Machine):
+        self._machine = machine
+        self._baselines: Dict[str, ExecutionResult] = {}
+        #: Test-case executions performed (the §6.5 throughput unit).
+        self.cases_executed = 0
+
+    def run_with_sender(self, sender: TestProgram,
+                        receiver: TestProgram) -> Tuple[ExecutionResult,
+                                                        ExecutionResult]:
+        """Execution A: sender then receiver; returns both results."""
+        machine = self._machine
+        machine.reset()
+        sender_result = machine.run(SENDER, sender)
+        receiver_result = machine.run(RECEIVER, receiver)
+        self.cases_executed += 1
+        return sender_result, receiver_result
+
+    def receiver_alone(self, receiver: TestProgram) -> ExecutionResult:
+        """Execution B: receiver only, from the same snapshot (cached)."""
+        cached = self._baselines.get(receiver.hash_hex)
+        if cached is not None:
+            return cached
+        machine = self._machine
+        machine.reset()
+        result = machine.run(RECEIVER, receiver)
+        self._baselines[receiver.hash_hex] = result
+        return result
+
+    def clear_caches(self) -> None:
+        self._baselines.clear()

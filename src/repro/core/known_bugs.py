@@ -1,0 +1,161 @@
+"""Reproducing known historical namespace bugs (paper §6.2, Table 3).
+
+"We evaluated the effectiveness of KIT in detecting known Linux
+namespace isolation bugs… In total, we collected 7 known bugs, and KIT
+was able to reproduce 5 of them."
+
+Each scenario below boots the historical kernel containing exactly one
+bug (via :func:`repro.kernel.bugs.known_bug_kernel`) and runs a KIT
+campaign over a corpus that — like the paper's hand-written C
+reproducers — contains programs exercising the relevant syscalls.  Two
+scenarios are *expected to stay undetected*:
+
+* **F** — ``/proc/net/nf_conntrack`` leaks other namespaces' entries,
+  but the file is non-deterministic even without interference, so the
+  non-determinism filter (correctly) suppresses the divergence.
+* **G** — ``sock_diag`` matches unix sockets across namespaces, but
+  witnessing it requires the sender's runtime-allocated inode, which a
+  fixed receiver program cannot know.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..corpus.program import TestProgram
+from ..corpus.seeds import seed_programs
+from ..kernel.bugs import TABLE3_BUGS, known_bug_kernel
+from ..kernel.kernel import KernelConfig
+from ..vm.machine import ContainerConfig, MachineConfig, SENDER
+from .pipeline import CampaignConfig, CampaignResult, Kit
+
+
+@dataclass(frozen=True)
+class KnownBugScenario:
+    """One Table-3 (or §6.2) reproduction setup."""
+
+    bug_id: str
+    description: str
+    sender_seeds: Tuple[str, ...]
+    receiver_seeds: Tuple[str, ...]
+    #: Paper's "CR syscall trace diff" column.
+    expected_diff: str
+    #: Whether functional interference testing can detect it (§6.2).
+    detectable: bool = True
+    #: Sender runs in the host mount namespace (Table 3's "(Host)").
+    sender_on_host: bool = False
+
+
+SCENARIOS: Dict[str, KnownBugScenario] = {
+    "A": KnownBugScenario(
+        "A", "Change prio using PRIO_USER / read prio of current process",
+        sender_seeds=("prio_set_user",),
+        receiver_seeds=("prio_get",),
+        expected_diff="Value changes",
+    ),
+    "B": KnownBugScenario(
+        "B", "Create network devices / listen on kobject uevent",
+        sender_seeds=("netdev_add",),
+        receiver_seeds=("uevent_listen",),
+        expected_diff="Receive queue uevents",
+    ),
+    "C": KnownBugScenario(
+        "C", "Setup IPVS / read /proc/net/ip_vs",
+        sender_seeds=("ipvs_add",),
+        receiver_seeds=("read_ip_vs",),
+        expected_diff="Read IPVS information from CS",
+    ),
+    "D": KnownBugScenario(
+        "D", "Set nf_conntrack_max / read nf_conntrack_max",
+        sender_seeds=("conntrack_max_write",),
+        receiver_seeds=("conntrack_max_read",),
+        expected_diff="Value changes",
+    ),
+    "E": KnownBugScenario(
+        "E", "(Host) create files in /tmp / read unmounted /tmp via io_uring",
+        sender_seeds=("tmp_write",),
+        receiver_seeds=("iouring_tmp_list", "getdents_tmp"),
+        expected_diff="Observe newly created files",
+        sender_on_host=True,
+    ),
+    "F": KnownBugScenario(
+        "F", "Create conntrack entries / read /proc/net/nf_conntrack",
+        sender_seeds=("udp_send",),
+        receiver_seeds=("read_nf_conntrack",),
+        expected_diff="(masked by inherent non-determinism)",
+        detectable=False,
+    ),
+    "G": KnownBugScenario(
+        "G", "Create unix socket / query sock_diag by runtime inode",
+        sender_seeds=("unix_socket",),
+        receiver_seeds=("unix_diag_probe",),
+        expected_diff="(requires the sender's runtime resource ID)",
+        detectable=False,
+    ),
+}
+
+#: The Table-3 rows proper (F and G are §6.2 prose).
+TABLE3_ROWS = ("A", "B", "C", "D", "E")
+
+
+@dataclass
+class KnownBugOutcome:
+    """Result of one known-bug reproduction campaign."""
+
+    scenario: KnownBugScenario
+    kernel_version: str
+    namespace: str
+    detected: bool
+    result: CampaignResult
+
+
+def scenario_corpus(scenario: KnownBugScenario,
+                    extra: Optional[List[TestProgram]] = None) -> List[TestProgram]:
+    """The campaign corpus: the scenario's seeds plus optional filler."""
+    seeds = seed_programs()
+    corpus = [seeds[name] for name in scenario.sender_seeds]
+    corpus += [seeds[name] for name in scenario.receiver_seeds]
+    if extra:
+        corpus += extra
+    # Deduplicate while preserving order.
+    unique: List[TestProgram] = []
+    seen = set()
+    for program in corpus:
+        if program.hash_hex not in seen:
+            seen.add(program.hash_hex)
+            unique.append(program)
+    return unique
+
+
+def scenario_machine_config(scenario: KnownBugScenario) -> MachineConfig:
+    __, version, __ = TABLE3_BUGS[scenario.bug_id]
+    sender = ContainerConfig(SENDER)
+    if scenario.sender_on_host:
+        sender = sender.host_mount_ns()
+    return MachineConfig(
+        kernel=KernelConfig(version=version),
+        bugs=known_bug_kernel(scenario.bug_id),
+        sender=sender,
+    )
+
+
+def reproduce_known_bug(bug_id: str, strategy: str = "df-ia",
+                        extra_corpus: Optional[List[TestProgram]] = None
+                        ) -> KnownBugOutcome:
+    """Run a KIT campaign against the historical kernel for *bug_id*."""
+    scenario = SCENARIOS[bug_id.upper()]
+    __, version, namespace = TABLE3_BUGS[scenario.bug_id]
+    config = CampaignConfig(
+        machine=scenario_machine_config(scenario),
+        corpus=scenario_corpus(scenario, extra_corpus),
+        strategy=strategy,
+    )
+    result = Kit(config).run()
+    detected = scenario.bug_id in result.bugs_found()
+    return KnownBugOutcome(scenario, version, namespace, detected, result)
+
+
+def reproduce_all(strategy: str = "df-ia") -> List[KnownBugOutcome]:
+    """Run every Table-3/§6.2 scenario; order follows the paper."""
+    return [reproduce_known_bug(bug_id, strategy) for bug_id in SCENARIOS]

@@ -1,0 +1,124 @@
+"""Report minimization: turn a report into a minimal reproducer.
+
+Algorithm 2 already names the culprit sender/receiver syscall pair; a
+triager wants the matching *programs* cut down to just those calls and
+their data dependencies — the shape of the C reproducers the paper's
+authors attached to their kernel reports.
+
+Minimization keeps, per program, the culprit calls plus the backward
+closure of their result references (a call that produces an fd a culprit
+call uses must stay), replaces everything else with holes, and then
+*verifies* the minimized pair still triggers the interference through
+the full detection filter chain.  If verification fails — diagnosis can
+be approximate when calls interact through shared state rather than
+through results — the original pair is kept and the outcome says so.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Set
+
+from ..corpus.program import TestProgram
+from .detection import Detector
+from .report import TestReport
+
+
+@dataclass
+class MinimizedCase:
+    """A minimal (or best-effort) reproducer for one report."""
+
+    sender: TestProgram
+    receiver: TestProgram
+    #: Did the minimized pair re-trigger the interference?
+    verified: bool
+    #: Live call counts, for quick "how small did it get" summaries.
+    sender_calls: int = 0
+    receiver_calls: int = 0
+
+    def render(self) -> str:
+        status = "verified" if self.verified else "NOT verified (kept original)"
+        return "\n".join([
+            f"--- minimized reproducer ({status}) ---",
+            "# sender",
+            self.sender.serialize(),
+            "# receiver",
+            self.receiver.serialize(),
+        ])
+
+
+def dependency_closure(program: TestProgram, keep: Iterable[int]) -> Set[int]:
+    """*keep* plus every call whose result they (transitively) consume."""
+    needed: Set[int] = set(keep)
+    frontier = list(needed)
+    while frontier:
+        index = frontier.pop()
+        call = program.calls[index]
+        if call is None:
+            continue
+        for ref in call.references():
+            if ref not in needed:
+                needed.add(ref)
+                frontier.append(ref)
+    return needed
+
+
+def reduce_to(program: TestProgram, keep: Iterable[int]) -> TestProgram:
+    """Hole out every call not in the dependency closure of *keep*."""
+    needed = dependency_closure(program, keep)
+    reduced = program
+    for index in program.live_call_indices():
+        if index not in needed:
+            reduced = reduced.without_call(index)
+    return reduced
+
+
+def prefix_through(program: TestProgram, last_index: int) -> TestProgram:
+    """Drop every call after *last_index* (keep the stateful prefix)."""
+    reduced = program
+    for index in program.live_call_indices():
+        if index > last_index:
+            reduced = reduced.without_call(index)
+    return reduced
+
+
+def minimize_report(detector: Detector, report: TestReport) -> MinimizedCase:
+    """Cut the report's programs down to the culprit calls and verify.
+
+    Two attempts, strongest reduction first:
+
+    1. *closure*: culprit calls plus their result-dependency closure —
+       minimal, but blind to state dependencies (a ``setsockopt`` that
+       configures a socket leaves no result edge to the ``sendto`` that
+       needs it);
+    2. *prefix*: every call up to and including the last culprit on each
+       side — larger, but preserves all prior state.
+
+    Whichever attempt first re-triggers the interference wins; if
+    neither does, the original pair is returned unverified.
+    """
+    if not report.culprit_pairs:
+        return _unverified(report)
+    sender_keep = [pair.sender_index for pair in report.culprit_pairs]
+    receiver_keep = [pair.receiver_index for pair in report.culprit_pairs]
+
+    attempts = [
+        (reduce_to(report.case.sender, sender_keep),
+         reduce_to(report.case.receiver, receiver_keep)),
+        (prefix_through(report.case.sender, max(sender_keep)),
+         prefix_through(report.case.receiver, max(receiver_keep))),
+    ]
+    for sender_min, receiver_min in attempts:
+        if detector.interference_set(sender_min, receiver_min):
+            return MinimizedCase(
+                sender_min, receiver_min, verified=True,
+                sender_calls=len(sender_min.live_call_indices()),
+                receiver_calls=len(receiver_min.live_call_indices()))
+    return _unverified(report)
+
+
+def _unverified(report: TestReport) -> MinimizedCase:
+    return MinimizedCase(
+        report.case.sender, report.case.receiver, verified=False,
+        sender_calls=len(report.case.sender.live_call_indices()),
+        receiver_calls=len(report.case.receiver.live_call_indices()))

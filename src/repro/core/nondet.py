@@ -1,0 +1,98 @@
+"""Non-deterministic result identification (paper §4.3.2).
+
+"Many non-deterministic system call results are caused by timing… To
+systematically identify such cases, KIT re-runs the receiver program
+multiple times with different starting times, so that system call
+results that are sensitive to timing vary between different executions."
+
+Here, "different starting times" are snapshot restores with rebased
+virtual-clock boot offsets.  The resulting trace ASTs are compared and
+every varying node's path is marked non-deterministic; the mark set is
+cached per test program ("KIT saves this non-determinism information to
+disk for each test program to reduce the need to rerun the test program
+in future testing campaigns").
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, FrozenSet, Optional, Sequence, Tuple
+
+from ..corpus.program import TestProgram
+from ..kernel.clock import DEFAULT_BOOT_NS
+from ..vm.machine import RECEIVER, Machine
+from .trace_ast import Path, build_trace_ast, nondet_paths_from_runs
+
+#: Boot offsets (seconds added to the default boot time) for the re-runs.
+#: Chosen to differ pairwise at second granularity *and* modulo small
+#: divisors, so periodic background state (conntrack churn) also varies.
+DEFAULT_OFFSET_SECONDS: Tuple[int, ...] = (0, 7, 101)
+
+
+def offsets_to_boot_ns(offsets: Sequence[int]) -> Tuple[int, ...]:
+    return tuple(DEFAULT_BOOT_NS + s * 1_000_000_000 for s in offsets)
+
+
+class NondetStore:
+    """On-disk cache of non-determinism marks, keyed by program hash."""
+
+    def __init__(self, directory: Optional[str] = None):
+        self._directory = directory
+        self._memory: Dict[str, FrozenSet[Path]] = {}
+        if directory is not None:
+            os.makedirs(directory, exist_ok=True)
+
+    def get(self, program_hash: str) -> Optional[FrozenSet[Path]]:
+        if program_hash in self._memory:
+            return self._memory[program_hash]
+        if self._directory is None:
+            return None
+        file_path = self._file_for(program_hash)
+        if not os.path.exists(file_path):
+            return None
+        with open(file_path) as handle:
+            raw = json.load(handle)
+        marks = frozenset(tuple(path) for path in raw)
+        self._memory[program_hash] = marks
+        return marks
+
+    def put(self, program_hash: str, marks: FrozenSet[Path]) -> None:
+        self._memory[program_hash] = marks
+        if self._directory is None:
+            return
+        with open(self._file_for(program_hash), "w") as handle:
+            json.dump(sorted(list(path) for path in marks), handle)
+
+    def _file_for(self, program_hash: str) -> str:
+        return os.path.join(self._directory, f"{program_hash}.nondet.json")
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+
+class NondetAnalyzer:
+    """Computes (and caches) non-determinism marks for receiver programs."""
+
+    def __init__(self, machine: Machine, store: Optional[NondetStore] = None,
+                 offsets: Sequence[int] = DEFAULT_OFFSET_SECONDS):
+        self._machine = machine
+        # Explicit None check: an empty NondetStore is falsy (it has a
+        # __len__), so ``store or NondetStore()`` would discard it.
+        self._store = store if store is not None else NondetStore()
+        self._boot_offsets = offsets_to_boot_ns(offsets)
+        self.runs_executed = 0
+
+    def nondet_paths(self, program: TestProgram) -> FrozenSet[Path]:
+        cached = self._store.get(program.hash_hex)
+        if cached is not None:
+            return cached
+        trees = []
+        for boot_ns in self._boot_offsets:
+            self._machine.reset(boot_offset_ns=boot_ns)
+            result = self._machine.run(RECEIVER, program)
+            trees.append(build_trace_ast(result.records))
+            self.runs_executed += 1
+        marks = nondet_paths_from_runs(trees)
+        self._store.put(program.hash_hex, marks)
+        return marks

@@ -1,0 +1,173 @@
+"""Campaign persistence: save and reload results as JSON.
+
+A testing campaign's valuable output — the reports, their diagnosis, the
+per-stage statistics — should survive the process that produced it, so
+triage can happen later or elsewhere (the paper's workflow spreads report
+analysis over weeks).  ``save_campaign`` writes a self-contained JSON
+document; ``load_campaign`` restores a fully usable
+:class:`~repro.core.pipeline.CampaignResult` whose reports support
+re-aggregation, oracle classification, and rendering.
+
+Programs are stored in their text serialization; syscall records are
+stored field-by-field.  The machine/spec configuration is summarized (not
+round-tripped): reloading a campaign does not require rebuilding kernels.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict, Optional
+
+from ..corpus.program import TestProgram
+from ..vm.executor import SyscallRecord
+from .aggregation import aggregate
+from .generation import GenerationResult, TestCase
+from .pipeline import CampaignConfig, CampaignResult, CampaignStats
+from .report import CulpritPair, TestReport
+from .trace_ast import NodeDiff
+
+FORMAT_VERSION = 1
+
+
+# -- encoding -------------------------------------------------------------------
+
+def _encode_record(record: Optional[SyscallRecord]) -> Optional[Dict[str, Any]]:
+    if record is None:
+        return None
+    return {
+        "index": record.index,
+        "name": record.name,
+        "args": list(record.args),
+        "retval": record.retval,
+        "errno": record.errno,
+        "details": record.details,
+        "arg_kinds": record.arg_kinds,
+        "ret_kind": record.ret_kind,
+        "subjects": record.subjects,
+    }
+
+
+def _encode_report(report: TestReport) -> Dict[str, Any]:
+    return {
+        "sender": report.case.sender.serialize(),
+        "receiver": report.case.receiver.serialize(),
+        "sender_index": report.case.sender_index,
+        "receiver_index": report.case.receiver_index,
+        "interfered_indices": report.interfered_indices,
+        "diffs": [
+            {"path": list(d.path), "label": d.label,
+             "value_a": d.value_a, "value_b": d.value_b}
+            for d in report.diffs
+        ],
+        "sender_records": [_encode_record(r) for r in report.sender_records],
+        "receiver_alone_records": [
+            _encode_record(r) for r in report.receiver_alone_records],
+        "receiver_with_records": [
+            _encode_record(r) for r in report.receiver_with_records],
+        "culprit_pairs": [
+            {"sender_index": p.sender_index, "receiver_index": p.receiver_index}
+            for p in report.culprit_pairs
+        ],
+    }
+
+
+def campaign_to_dict(result: CampaignResult) -> Dict[str, Any]:
+    config = result.config
+    return {
+        "format_version": FORMAT_VERSION,
+        "config": {
+            "strategy": config.strategy,
+            "corpus_size": config.corpus_size,
+            "corpus_seed": config.corpus_seed,
+            "rep_seed": config.rep_seed,
+            "kernel_version": config.machine.kernel.version,
+            "bugs_enabled": config.machine.bugs.enabled(),
+        },
+        "stats": dataclasses.asdict(result.stats),
+        "generation": {
+            "strategy": result.generation.strategy,
+            "cluster_count": result.generation.cluster_count,
+            "flow_count": result.generation.flow_count,
+            "overlap_addresses": result.generation.overlap_addresses,
+        },
+        "reports": [_encode_report(r) for r in result.reports],
+    }
+
+
+def save_campaign(result: CampaignResult, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(campaign_to_dict(result), handle, indent=1)
+
+
+# -- decoding -------------------------------------------------------------------
+
+def _decode_record(data: Optional[Dict[str, Any]]) -> Optional[SyscallRecord]:
+    if data is None:
+        return None
+    return SyscallRecord(
+        index=data["index"],
+        name=data["name"],
+        args=tuple(data["args"]),
+        retval=data["retval"],
+        errno=data["errno"],
+        details=data["details"],
+        arg_kinds=data["arg_kinds"],
+        ret_kind=data["ret_kind"],
+        subjects=data["subjects"],
+    )
+
+
+def _decode_report(data: Dict[str, Any]) -> TestReport:
+    case = TestCase(
+        sender_index=data["sender_index"],
+        receiver_index=data["receiver_index"],
+        sender=TestProgram.parse(data["sender"]),
+        receiver=TestProgram.parse(data["receiver"]),
+    )
+    report = TestReport(
+        case=case,
+        interfered_indices=list(data["interfered_indices"]),
+        diffs=[
+            NodeDiff(tuple(d["path"]), d["label"], d["value_a"], d["value_b"])
+            for d in data["diffs"]
+        ],
+        sender_records=[_decode_record(r) for r in data["sender_records"]],
+        receiver_alone_records=[
+            _decode_record(r) for r in data["receiver_alone_records"]],
+        receiver_with_records=[
+            _decode_record(r) for r in data["receiver_with_records"]],
+    )
+    report.culprit_pairs = [
+        CulpritPair(p["sender_index"], p["receiver_index"])
+        for p in data["culprit_pairs"]
+    ]
+    return report
+
+
+def campaign_from_dict(data: Dict[str, Any]) -> CampaignResult:
+    if data.get("format_version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported campaign format "
+                         f"{data.get('format_version')!r}")
+    stats = CampaignStats(**data["stats"])
+    reports = [_decode_report(r) for r in data["reports"]]
+    generation = GenerationResult(
+        strategy=data["generation"]["strategy"],
+        test_cases=[],
+        cluster_count=data["generation"]["cluster_count"],
+        flow_count=data["generation"]["flow_count"],
+        overlap_addresses=data["generation"]["overlap_addresses"],
+    )
+    config = CampaignConfig(
+        strategy=data["config"]["strategy"],
+        corpus_size=data["config"]["corpus_size"],
+        corpus_seed=data["config"]["corpus_seed"],
+        rep_seed=data["config"]["rep_seed"],
+    )
+    return CampaignResult(config, stats, generation, reports,
+                          aggregate(reports))
+
+
+def load_campaign(path: str) -> CampaignResult:
+    with open(path) as handle:
+        return campaign_from_dict(json.load(handle))

@@ -1,0 +1,266 @@
+"""The end-to-end KIT pipeline (paper Figure 3).
+
+``Kit`` wires the four stages together — test case generation (§4.1),
+execution (§4.2), detection (§4.3), and report aggregation (§4.4) — and
+collects the bookkeeping the paper's evaluation tables are built from.
+
+A campaign is fully described by a :class:`CampaignConfig`; results come
+back as a :class:`CampaignResult` carrying the reports, the AGG-R /
+AGG-RS groups, the per-stage statistics, and (via the evaluation-only
+oracle) the set of injected bugs the campaign discovered.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+from ..corpus.generator import build_corpus
+from ..corpus.program import TestProgram
+from ..vm.cluster import run_distributed
+from ..vm.machine import Machine, MachineConfig
+from .aggregation import ReportGroups, aggregate
+from .clustering import strategy_by_name
+from .detection import DetectionResult, Detector, Outcome
+from .diagnosis import Diagnoser
+from .generation import GenerationResult, TestCase, TestCaseGenerator
+from .nondet import DEFAULT_OFFSET_SECONDS, NondetAnalyzer, NondetStore
+from .oracle import FALSE_POSITIVE, UNDER_INVESTIGATION, classify_all
+from .profile import Profiler
+from .report import TestReport
+from .spec import Specification, default_specification
+
+Progress = Callable[[str], None]
+
+
+@dataclass
+class CampaignConfig:
+    """Everything one KIT campaign needs."""
+
+    machine: MachineConfig = field(default_factory=MachineConfig)
+    spec: Specification = field(default_factory=default_specification)
+    #: Input corpus (syzkaller stand-in): size and generator seed, or an
+    #: explicit program list overriding both.
+    corpus_size: int = 200
+    corpus_seed: int = 1
+    corpus: Optional[List[TestProgram]] = None
+    #: Table-4 strategy: df-ia | df-st-1 | df-st-2 | df | rand.
+    strategy: str = "df-ia"
+    #: Test-case budget for the RAND baseline (callers doing Table-4
+    #: comparisons pass the DF budget explicitly).
+    rand_budget: Optional[int] = None
+    rand_seed: int = 7
+    #: Seed for the weighted reservoir choosing cluster representatives.
+    rep_seed: int = 0
+    #: Cap on executed test cases (None = exercise every cluster).
+    max_test_cases: Optional[int] = None
+    #: Receiver re-run boot offsets for non-determinism identification.
+    nondet_offsets: tuple = DEFAULT_OFFSET_SECONDS
+    #: Directory for the on-disk non-determinism cache (None = in-memory).
+    nondet_dir: Optional[str] = None
+    #: Directory for the on-disk profile cache (None = profile every run).
+    profile_dir: Optional[str] = None
+    #: Run Algorithm 2 on each report.
+    diagnose: bool = True
+    #: Worker threads for distributed execution (0 = in-process).
+    workers: int = 0
+
+
+@dataclass
+class CampaignStats:
+    """Per-stage counters; the raw material of Tables 4-6 and §6.5."""
+
+    corpus_size: int = 0
+    profile_runs: int = 0
+    profile_seconds: float = 0.0
+    analysis_seconds: float = 0.0
+    flow_count: int = 0
+    cluster_count: int = 0
+    overlap_addresses: int = 0
+    cases_total: int = 0
+    cases_executed: int = 0
+    execution_seconds: float = 0.0
+    #: Table 5 counters.
+    initial_reports: int = 0
+    after_nondet: int = 0
+    after_resource: int = 0
+    nondet_runs: int = 0
+    diagnosis_reruns: int = 0
+    diagnosis_seconds: float = 0.0
+    outcomes: Dict[str, int] = field(default_factory=dict)
+
+    def executions_per_second(self) -> float:
+        if self.execution_seconds <= 0:
+            return 0.0
+        return self.cases_executed / self.execution_seconds
+
+
+@dataclass
+class CampaignResult:
+    """Everything a campaign produced."""
+
+    config: CampaignConfig
+    stats: CampaignStats
+    generation: GenerationResult
+    reports: List[TestReport]
+    groups: ReportGroups
+
+    def labels(self) -> Dict[str, List[TestReport]]:
+        """Oracle label -> reports witnessing it (evaluation only).
+
+        A report can witness several bugs and thus appear under several
+        labels (see :func:`repro.core.oracle.classify_all`).
+        """
+        labelled: Dict[str, List[TestReport]] = {}
+        for report in self.reports:
+            for label in classify_all(report):
+                labelled.setdefault(label, []).append(report)
+        return labelled
+
+    def bugs_found(self) -> Set[str]:
+        """The injected-bug labels witnessed by at least one report."""
+        return {
+            label for label in self.labels()
+            if label not in (FALSE_POSITIVE, UNDER_INVESTIGATION)
+        }
+
+
+class Kit:
+    """The KIT testing framework, end to end."""
+
+    def __init__(self, config: Optional[CampaignConfig] = None):
+        self.config = config or CampaignConfig()
+
+    # -- pipeline ------------------------------------------------------------
+
+    def run(self, progress: Optional[Progress] = None) -> CampaignResult:
+        config = self.config
+        stats = CampaignStats()
+        say = progress or (lambda message: None)
+
+        corpus = config.corpus if config.corpus is not None else build_corpus(
+            config.corpus_size, seed=config.corpus_seed)
+        stats.corpus_size = len(corpus)
+        machine = Machine(config.machine)
+
+        generation = self._generate(machine, corpus, stats, say)
+        cases = generation.test_cases
+        if config.max_test_cases is not None:
+            cases = cases[:config.max_test_cases]
+        stats.cases_total = len(cases)
+
+        say(f"executing {len(cases)} test cases ({generation.strategy})")
+        results = self._execute(machine, cases, stats)
+
+        reports = [r.report for r in results if r.report is not None]
+        stats.initial_reports = sum(
+            1 for r in results if r.raw_diff_count > 0 or r.outcome is Outcome.REPORT
+        )
+        stats.after_nondet = sum(
+            1 for r in results
+            if r.outcome in (Outcome.FILTERED_RESOURCE, Outcome.REPORT)
+        )
+        stats.after_resource = len(reports)
+        for result in results:
+            key = result.outcome.value
+            stats.outcomes[key] = stats.outcomes.get(key, 0) + 1
+
+        if config.diagnose and reports:
+            say(f"diagnosing {len(reports)} reports (Algorithm 2)")
+            self._diagnose(machine, reports, stats)
+
+        groups = aggregate(reports)
+        say(f"done: {len(reports)} reports, "
+            f"{groups.agg_rs_count} AGG-RS / {groups.agg_r_count} AGG-R groups")
+        return CampaignResult(config, stats, generation, reports, groups)
+
+    # -- stages ----------------------------------------------------------------
+
+    def _generate(self, machine: Machine, corpus: List[TestProgram],
+                  stats: CampaignStats, say: Progress) -> GenerationResult:
+        config = self.config
+        if config.strategy.lower() == "rand":
+            budget = config.rand_budget or len(corpus)
+            generator = TestCaseGenerator(corpus, None, config.spec)
+            say(f"RAND: sampling {budget} random pairs")
+            return generator.generate_random(budget, seed=config.rand_seed)
+
+        say(f"profiling {len(corpus)} programs (4 runs each)")
+        start = time.monotonic()
+        if config.profile_dir is not None:
+            from .profile_store import CachingProfiler
+
+            profiler = CachingProfiler(machine, config.profile_dir)
+        else:
+            profiler = Profiler(machine)
+        profiles = profiler.profile_corpus(corpus)
+        stats.profile_runs = profiler.runs_executed
+        stats.profile_seconds = time.monotonic() - start
+
+        start = time.monotonic()
+        generator = TestCaseGenerator(corpus, profiles, config.spec)
+        result = generator.generate(strategy_by_name(config.strategy),
+                                    max_clusters=config.max_test_cases,
+                                    rep_seed=config.rep_seed)
+        stats.analysis_seconds = time.monotonic() - start
+        stats.flow_count = result.flow_count
+        stats.cluster_count = result.cluster_count
+        stats.overlap_addresses = result.overlap_addresses
+        return result
+
+    def _execute(self, machine: Machine, cases: List[TestCase],
+                 stats: CampaignStats) -> List[DetectionResult]:
+        config = self.config
+        start = time.monotonic()
+        if config.workers > 0:
+            results = self._execute_distributed(cases, stats)
+        else:
+            detector = self._make_detector(machine)
+            results = [detector.check_case(case) for case in cases]
+            stats.cases_executed = detector.runner.cases_executed
+            stats.nondet_runs = detector.nondet.runs_executed
+        stats.execution_seconds = time.monotonic() - start
+        return results
+
+    def _execute_distributed(self, cases: List[TestCase],
+                             stats: CampaignStats) -> List[DetectionResult]:
+        config = self.config
+        detectors: Dict[int, Detector] = {}
+
+        def case_runner(machine: Machine, case: TestCase) -> DetectionResult:
+            detector = detectors.get(id(machine))
+            if detector is None:
+                detector = self._make_detector(machine)
+                detectors[id(machine)] = detector
+            return detector.check_case(case)
+
+        job_results = run_distributed(config.machine, cases, case_runner,
+                                      workers=config.workers)
+        results = []
+        for job in job_results:
+            if job.error is not None:
+                raise RuntimeError(f"worker failure: {job.error}")
+            results.append(job.outcome)
+        stats.cases_executed = sum(d.runner.cases_executed
+                                   for d in detectors.values())
+        stats.nondet_runs = sum(d.nondet.runs_executed
+                                for d in detectors.values())
+        return results
+
+    def _diagnose(self, machine: Machine, reports: List[TestReport],
+                  stats: CampaignStats) -> None:
+        start = time.monotonic()
+        detector = self._make_detector(machine)
+        diagnoser = Diagnoser(detector)
+        for report in reports:
+            diagnoser.diagnose(report)
+        stats.diagnosis_reruns = diagnoser.reruns
+        stats.diagnosis_seconds = time.monotonic() - start
+
+    def _make_detector(self, machine: Machine) -> Detector:
+        config = self.config
+        store = NondetStore(config.nondet_dir)
+        analyzer = NondetAnalyzer(machine, store=store,
+                                  offsets=config.nondet_offsets)
+        return Detector(machine, config.spec, analyzer)

@@ -1,0 +1,78 @@
+"""Per-program kernel profiling (paper §4.1.1, §6.5).
+
+"KIT executes each test program four times… KIT executes each test
+program twice in both the sender and receiver container.  In one
+execution KIT collects the system call trace and in another execution it
+collects the execution trace… Two trace collections have to run
+separately as collecting execution traces using instrumentation may
+affect the system call trace."
+
+Every run restores the VM snapshot first, so profiles are functions of
+the program alone (the stable execution environment of §4.1.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..corpus.program import TestProgram
+from ..kernel.ktrace import KernelTracer
+from ..vm.executor import CallAccesses, SyscallRecord
+from ..vm.machine import RECEIVER, SENDER, Machine
+
+
+@dataclass
+class ContainerProfile:
+    """One container's view of a program: syscall trace + memory accesses."""
+
+    records: List[Optional[SyscallRecord]]
+    accesses: List[Optional[CallAccesses]]
+
+    def total_accesses(self) -> int:
+        return sum(len(a) for a in self.accesses if a is not None)
+
+
+@dataclass
+class ProgramProfile:
+    """Both containers' profiles of one test program."""
+
+    index: int
+    program: TestProgram
+    sender: ContainerProfile
+    receiver: ContainerProfile
+
+
+class Profiler:
+    """Runs the 4-execution profiling protocol against a machine."""
+
+    def __init__(self, machine: Machine):
+        self._machine = machine
+        self.runs_executed = 0
+
+    def profile(self, program: TestProgram, index: int = 0) -> ProgramProfile:
+        return ProgramProfile(
+            index=index,
+            program=program,
+            sender=self._profile_container(SENDER, program),
+            receiver=self._profile_container(RECEIVER, program),
+        )
+
+    def _profile_container(self, container: str,
+                           program: TestProgram) -> ContainerProfile:
+        machine = self._machine
+        # Run 1: plain syscall trace, no instrumentation attached.
+        machine.reset()
+        plain = machine.run(container, program)
+        self.runs_executed += 1
+        # Run 2: execution trace under instrumentation.
+        machine.reset()
+        machine.attach_tracer(KernelTracer())
+        traced = machine.run(container, program, profile=True)
+        machine.attach_tracer(None)
+        self.runs_executed += 1
+        return ContainerProfile(records=plain.records,
+                                accesses=traced.accesses or [])
+
+    def profile_corpus(self, corpus: Sequence[TestProgram]) -> List[ProgramProfile]:
+        return [self.profile(program, index) for index, program in enumerate(corpus)]

@@ -1,0 +1,100 @@
+"""Campaign regression diffing: compare namespace isolation across kernels.
+
+The natural downstream use of a KIT-style tool is regression testing —
+run the same campaign against two kernels (a release and a patched
+build, or two versions) and ask *which interference appeared,
+disappeared, or persisted*.  This module diffs two
+:class:`~repro.core.pipeline.CampaignResult`\\ s by their AGG-RS group
+signatures: the (receiver call, sender call) pair is the paper's
+identity for "the same functional interference" (§4.4), so it is the
+right join key across campaigns.
+
+Typical use::
+
+    before = Kit(CampaignConfig(machine=MachineConfig(bugs=linux_5_13()),
+                                corpus=corpus)).run()
+    after = Kit(CampaignConfig(machine=MachineConfig(bugs=fixed_kernel()),
+                               corpus=corpus)).run()
+    diff = diff_campaigns(before, after)
+    assert not diff.introduced, "the patch must not add interference"
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from .pipeline import CampaignResult
+from .report import TestReport
+
+GroupKey = Tuple[str, str]  # (receiver signature, sender signature)
+
+#: Join levels for cross-campaign diffing.  AGG-RS keys carry the sender
+#: signature too, but *which* sender represents a cluster is sampled per
+#: campaign — the same underlying interference can resurface under a new
+#: sender signature and masquerade as "introduced".  The receiver-level
+#: key (AGG-R) identifies the observation point alone and is stable, so
+#: gating decisions should use it; AGG-RS detail is for humans.
+LEVEL_AGG_RS = "agg-rs"
+LEVEL_AGG_R = "agg-r"
+
+
+@dataclass
+class CampaignDiff:
+    """AGG-RS-level difference between two campaigns."""
+
+    #: Present only in the "after" campaign: new interference.
+    introduced: Dict[GroupKey, List[TestReport]] = field(default_factory=dict)
+    #: Present only in the "before" campaign: fixed interference.
+    resolved: Dict[GroupKey, List[TestReport]] = field(default_factory=dict)
+    #: Present in both.
+    persisting: Dict[GroupKey, List[TestReport]] = field(default_factory=dict)
+
+    @property
+    def clean_fix(self) -> bool:
+        """True when everything was resolved and nothing new appeared."""
+        return not self.introduced and not self.persisting
+
+    def render(self) -> str:
+        lines = [
+            f"introduced: {len(self.introduced)} group(s)",
+            f"resolved:   {len(self.resolved)} group(s)",
+            f"persisting: {len(self.persisting)} group(s)",
+        ]
+        for title, groups in (("+ introduced", self.introduced),
+                              ("- resolved", self.resolved),
+                              ("= persisting", self.persisting)):
+            for (receiver_sig, sender_sig) in sorted(groups):
+                arrow = f"{sender_sig}  ->  " if sender_sig else ""
+                lines.append(f"  {title}: {arrow}{receiver_sig}")
+        return "\n".join(lines)
+
+
+def diff_campaigns(before: CampaignResult, after: CampaignResult,
+                   level: str = LEVEL_AGG_R) -> CampaignDiff:
+    """Diff two campaigns by group signature.
+
+    *level* selects the join key: ``"agg-r"`` (default, stable across
+    campaigns — use for gating) or ``"agg-rs"`` (finer, representative-
+    dependent — use for inspection).
+    """
+    if level == LEVEL_AGG_R:
+        before_groups = {(key, ""): value
+                         for key, value in before.groups.agg_r.items()}
+        after_groups = {(key, ""): value
+                        for key, value in after.groups.agg_r.items()}
+    elif level == LEVEL_AGG_RS:
+        before_groups = dict(before.groups.agg_rs)
+        after_groups = dict(after.groups.agg_rs)
+    else:
+        raise ValueError(f"unknown diff level {level!r}")
+    diff = CampaignDiff()
+    for key, reports in after_groups.items():
+        if key in before_groups:
+            diff.persisting[key] = reports
+        else:
+            diff.introduced[key] = reports
+    for key, reports in before_groups.items():
+        if key not in after_groups:
+            diff.resolved[key] = reports
+    return diff

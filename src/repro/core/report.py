@@ -1,0 +1,93 @@
+"""Test reports: what KIT hands the user for each detected interference."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..kernel.errno import errno_name
+from ..vm.executor import SyscallRecord
+from .generation import TestCase
+from .trace_ast import NodeDiff
+
+
+@dataclass(frozen=True)
+class CulpritPair:
+    """Algorithm 2's output: the sender call responsible for interference
+    on a receiver call (both are call indices into their programs)."""
+
+    sender_index: int
+    receiver_index: int
+
+
+@dataclass
+class TestReport:
+    """One confirmed functional-interference report."""
+
+    __test__ = False  # not a pytest class, despite the name
+
+    case: TestCase
+    #: Receiver call indices whose results diverged on protected resources.
+    interfered_indices: List[int]
+    #: The surviving AST differences (non-det and unprotected filtered out).
+    diffs: List[NodeDiff]
+    sender_records: List[Optional[SyscallRecord]]
+    receiver_alone_records: List[Optional[SyscallRecord]]
+    receiver_with_records: List[Optional[SyscallRecord]]
+    #: Filled in by diagnosis (Algorithm 2).
+    culprit_pairs: List[CulpritPair] = field(default_factory=list)
+
+    def record_for(self, records: List[Optional[SyscallRecord]],
+                   index: int) -> Optional[SyscallRecord]:
+        if 0 <= index < len(records):
+            return records[index]
+        return None
+
+    def receiver_record(self, index: int) -> Optional[SyscallRecord]:
+        """Prefer the with-sender record (the interfered one)."""
+        record = self.record_for(self.receiver_with_records, index)
+        if record is not None:
+            return record
+        return self.record_for(self.receiver_alone_records, index)
+
+    def first_interfered_record(self) -> Optional[SyscallRecord]:
+        for index in self.interfered_indices:
+            record = self.receiver_record(index)
+            if record is not None:
+                return record
+        return None
+
+    def render(self) -> str:
+        """Human-readable report, KIT-style."""
+        lines = ["=== functional interference report ==="]
+        lines.append("--- sender program ---")
+        lines.append(self.case.sender.serialize())
+        lines.append("--- receiver program ---")
+        lines.append(self.case.receiver.serialize())
+        lines.append("--- interfered receiver calls ---")
+        for index in self.interfered_indices:
+            alone = self.record_for(self.receiver_alone_records, index)
+            with_s = self.record_for(self.receiver_with_records, index)
+            lines.append(f"  call {index}: {_summarize(alone)}  ->  "
+                         f"{_summarize(with_s)}")
+        if self.diffs:
+            lines.append("--- trace differences ---")
+            for diff in self.diffs[:16]:
+                lines.append(f"  {'/'.join(map(str, diff.path))} {diff.label}: "
+                             f"{diff.value_a!r} != {diff.value_b!r}")
+        if self.culprit_pairs:
+            lines.append("--- culprit syscall pairs (sender -> receiver) ---")
+            for pair in self.culprit_pairs:
+                sender = self.record_for(self.sender_records, pair.sender_index)
+                receiver = self.receiver_record(pair.receiver_index)
+                lines.append(f"  {_summarize(sender)}  ->  {_summarize(receiver)}")
+        return "\n".join(lines)
+
+
+def _summarize(record: Optional[SyscallRecord]) -> str:
+    if record is None:
+        return "<missing>"
+    status = "OK" if record.ok else errno_name(record.errno)
+    subject = record.subject()
+    subject_part = f" [{subject}]" if subject else ""
+    return f"{record.name}()={record.retval} {status}{subject_part}"

@@ -1,0 +1,200 @@
+"""The partial kernel specification (paper §4.3.1, §5.3).
+
+KIT does not know which kernel resources namespaces protect — the user
+tells it, incrementally, through a *partial specification* with two
+encoding formats:
+
+1. **Resource identifiers** — syzlang-style type tags for file
+   descriptors and IPC ids ("it is efficient to select system calls that
+   access namespace-protected resources that require specific file
+   descriptors as the system call parameter").  A syscall that uses or
+   returns a descriptor of a protected kind is selected.
+2. **Checker functions** — small callbacks matching call signatures for
+   syscalls that take no descriptor (priorities, hostnames, mounts, …).
+
+The same specification is used twice: at generation time, to keep only
+data flows whose *reader* syscall touches a protected resource (§4.1.1),
+and at detection time, to drop divergences on unprotected resources
+(§4.3.1).
+
+The default specification mirrors the paper's: it covers the PID, mount,
+net, IPC, and user namespaces, deliberately leaves genuinely global
+surfaces (``/proc/crypto``, generic ``/proc`` files) unselected, and —
+also like the paper's — is imperfect in a documented way: ``stat``-family
+calls are selected because files are mount-namespace resources, yet
+their ``st_dev`` minor numbers are global, which is exactly the §6.4
+false-positive class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, FrozenSet, List, Sequence, Set, Tuple
+
+from ..corpus.program import TestProgram
+from ..vm.executor import SyscallRecord
+
+Checker = Callable[[SyscallRecord], bool]
+
+#: The "57 fd types" analogue: descriptor kinds selected as protected.
+DEFAULT_PROTECTED_KINDS: FrozenSet[str] = frozenset({
+    # net namespace
+    "sock_tcp", "sock_tcp6", "sock_udp", "sock_udp6", "sock_packet",
+    "sock_rds", "sock_sctp", "sock_unix", "sock_netlink_uevent",
+    "fd_proc_net", "fd_proc_sys_net",
+    # ipc namespace
+    "msqid", "shmid", "semid", "fd_mqueue",
+    # mount namespace
+    "fd_file", "fd_io_uring",
+    # namespace references themselves (nsfs)
+    "fd_ns",
+    # uts namespace (hostname sysctl)
+    "fd_proc_sys_kernel",
+})
+
+#: Kinds that exist but are deliberately NOT protected (documentation).
+KNOWN_UNPROTECTED_KINDS: FrozenSet[str] = frozenset({
+    "fd_proc",       # generic /proc (crypto, uptime, meminfo, version)
+    "fd_proc_sys",   # non-net, non-kernel sysctls
+    "fd", "sock_netlink",
+})
+
+
+# -- checker functions (the paper wrote 17; each is a few lines) ------------------
+
+def check_priority(record: SyscallRecord) -> bool:
+    """Priorities are per-task state, visible through the PID namespace."""
+    return record.name in ("getpriority", "setpriority")
+
+
+def check_pid(record: SyscallRecord) -> bool:
+    """PID numbers are the PID namespace's protected resource."""
+    return record.name == "getpid"
+
+
+def check_hostname(record: SyscallRecord) -> bool:
+    """The hostname is the UTS namespace's protected resource."""
+    return record.name in ("gethostname", "sethostname")
+
+
+def check_mount_table(record: SyscallRecord) -> bool:
+    """Mount/umount manipulate the mount namespace's protected table."""
+    return record.name in ("mount", "umount2")
+
+
+def check_path_ops(record: SyscallRecord) -> bool:
+    """Path-based file ops resolve through the mount namespace."""
+    return record.name in ("stat", "mkdir", "unlink", "open")
+
+
+def check_dirents(record: SyscallRecord) -> bool:
+    return record.name in ("getdents64", "io_uring_getdents")
+
+
+def check_netdev(record: SyscallRecord) -> bool:
+    """Net devices live in the network namespace."""
+    return record.name == "ip_link_add"
+
+
+def check_ipvs(record: SyscallRecord) -> bool:
+    """IPVS services live in the network namespace."""
+    return record.name == "ipvs_add_service"
+
+
+def check_unix_diag(record: SyscallRecord) -> bool:
+    """sock_diag queries net-namespace socket tables."""
+    return record.name == "unix_diag"
+
+
+def check_unshare(record: SyscallRecord) -> bool:
+    return record.name == "unshare"
+
+
+DEFAULT_CHECKERS: Tuple[Checker, ...] = (
+    check_priority,
+    check_pid,
+    check_hostname,
+    check_mount_table,
+    check_path_ops,
+    check_dirents,
+    check_netdev,
+    check_ipvs,
+    check_unix_diag,
+    check_unshare,
+)
+
+
+@dataclass(frozen=True)
+class Specification:
+    """A partial specification of namespace-protected resources."""
+
+    protected_kinds: FrozenSet[str] = DEFAULT_PROTECTED_KINDS
+    checkers: Tuple[Checker, ...] = DEFAULT_CHECKERS
+
+    def call_accesses_protected(self, record: SyscallRecord) -> bool:
+        """Does this executed call touch a protected resource?"""
+        for kind in record.resource_kinds():
+            if kind in self.protected_kinds:
+                return True
+        for checker in self.checkers:
+            if checker(record):
+                return True
+        return False
+
+    def any_protected(self, records: Sequence[SyscallRecord]) -> bool:
+        return any(self.call_accesses_protected(r) for r in records if r is not None)
+
+    # -- incremental refinement (§3.2's "interactive strategy") ----------------
+
+    def with_kinds(self, *kinds: str) -> "Specification":
+        return Specification(self.protected_kinds | set(kinds), self.checkers)
+
+    def without_kinds(self, *kinds: str) -> "Specification":
+        return Specification(self.protected_kinds - set(kinds), self.checkers)
+
+    def with_checker(self, checker: Checker) -> "Specification":
+        return Specification(self.protected_kinds, self.checkers + (checker,))
+
+
+    def describe(self) -> str:
+        """Human-readable dump of the partial specification."""
+        lines = ["protected resource kinds:"]
+        lines += [f"  {kind}" for kind in sorted(self.protected_kinds)]
+        lines.append("checker functions:")
+        for checker in self.checkers:
+            doc = (checker.__doc__ or "").strip().split("\n")[0]
+            lines.append(f"  {checker.__name__}: {doc}" if doc
+                         else f"  {checker.__name__}")
+        return "\n".join(lines)
+
+    def matching_entries(self, record: SyscallRecord) -> List[str]:
+        """Which spec entries select this call (for spec coverage)."""
+        entries = [kind for kind in record.resource_kinds()
+                   if kind in self.protected_kinds]
+        entries += [checker.__name__ for checker in self.checkers
+                    if checker(record)]
+        return entries
+
+
+def default_specification() -> Specification:
+    return Specification()
+
+
+def select_dependent_calls(program: TestProgram, seed_index: int) -> Set[int]:
+    """Seed-call expansion (§5.3): calls data-dependent on *seed_index*.
+
+    When the user highlights a seed call (e.g. ``open("/proc/net/…")``),
+    KIT selects every call with an explicit data dependency on its
+    result — transitively, since descriptors are forwarded.
+    """
+    selected = {seed_index}
+    changed = True
+    while changed:
+        changed = False
+        for index, call in enumerate(program.calls):
+            if call is None or index in selected:
+                continue
+            if any(ref in selected for ref in call.references()):
+                selected.add(index)
+                changed = True
+    return selected

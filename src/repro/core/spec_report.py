@@ -1,0 +1,74 @@
+"""Specification coverage: which spec entries earn their keep.
+
+The specification is refined *interactively* (§3.2): users add resource
+kinds and checkers as they triage.  Refinement needs feedback — which
+entries actually selected the calls behind this campaign's reports, and
+which never fired at all (dead weight, or coverage the corpus is not
+exercising yet).
+
+:func:`spec_coverage` answers both from a finished campaign: per-entry
+report counts, the entries behind each report, and the never-fired
+remainder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from .pipeline import CampaignResult
+from .report import TestReport
+from .spec import Specification
+
+
+@dataclass
+class SpecCoverage:
+    """How the specification's entries participated in a campaign."""
+
+    #: entry (kind or checker name) -> number of reports it admitted.
+    fired: Dict[str, int] = field(default_factory=dict)
+    #: entries that admitted no report at all.
+    unused: List[str] = field(default_factory=list)
+    #: report index -> entries that admitted its interfered calls.
+    per_report: Dict[int, Set[str]] = field(default_factory=dict)
+
+    def render(self) -> str:
+        lines = ["spec entries by reports admitted:"]
+        for entry, count in sorted(self.fired.items(),
+                                   key=lambda item: (-item[1], item[0])):
+            lines.append(f"  {count:>4}  {entry}")
+        lines.append(f"never fired ({len(self.unused)}):")
+        for entry in self.unused:
+            lines.append(f"        {entry}")
+        return "\n".join(lines)
+
+
+def _all_entries(spec: Specification) -> List[str]:
+    return sorted(spec.protected_kinds) + \
+        [checker.__name__ for checker in spec.checkers]
+
+
+def spec_coverage(result: CampaignResult,
+                  spec: Specification) -> SpecCoverage:
+    """Analyse which spec entries admitted each report's interfered calls."""
+    coverage = SpecCoverage()
+    seen: Dict[str, int] = {entry: 0 for entry in _all_entries(spec)}
+    for index, report in enumerate(result.reports):
+        entries = _entries_for_report(report, spec)
+        coverage.per_report[index] = entries
+        for entry in entries:
+            seen[entry] = seen.get(entry, 0) + 1
+    coverage.fired = {entry: count for entry, count in seen.items() if count}
+    coverage.unused = sorted(entry for entry, count in seen.items()
+                             if not count)
+    return coverage
+
+
+def _entries_for_report(report: TestReport,
+                        spec: Specification) -> Set[str]:
+    entries: Set[str] = set()
+    for index in report.interfered_indices:
+        record = report.receiver_record(index)
+        if record is not None:
+            entries.update(spec.matching_entries(record))
+    return entries

@@ -1,0 +1,188 @@
+"""System-call trace ASTs and the comparison algorithm (paper §4.3.2).
+
+A receiver execution's syscall records are decoded into an abstract
+syntax tree: one child of the root per program call slot, with subtrees
+for the return value, errno, and every decoded out-parameter (file
+contents split per line, stat structs split per field, …).  Fine-grained
+structure is the point — it lets the non-determinism filter mark *just*
+the timestamp leaf of an ``fstat`` result while the size leaf stays
+comparable (the paper's motivating example).
+
+:func:`syscall_trace_cmp` is Algorithm 1 verbatim: recurse while both
+nodes are deterministic; report the node pair when values or child
+counts differ; halt the subtree when either side carries ``det=False``.
+
+Tree positions are identified by *paths* (tuples of child indices), which
+is how non-determinism marks computed from one set of runs are applied
+to freshly built trees of the same program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, FrozenSet, Iterator, List, Optional, Sequence, Tuple
+
+from ..kernel.errno import errno_name
+from ..vm.executor import SyscallRecord
+
+Path = Tuple[int, ...]
+
+
+@dataclass
+class TraceNode:
+    """One node of a syscall-trace AST."""
+
+    label: str
+    value: Optional[str] = None
+    children: List["TraceNode"] = field(default_factory=list)
+    #: Algorithm 1's det flag; False = result is non-deterministic.
+    det: bool = True
+
+    def child(self, index: int) -> "TraceNode":
+        return self.children[index]
+
+    def walk(self, path: Path = ()) -> Iterator[Tuple[Path, "TraceNode"]]:
+        yield path, self
+        for index, child in enumerate(self.children):
+            yield from child.walk(path + (index,))
+
+    def at(self, path: Path) -> Optional["TraceNode"]:
+        node = self
+        for index in path:
+            if index >= len(node.children):
+                return None
+            node = node.children[index]
+        return node
+
+    def render(self, indent: int = 0) -> str:  # pragma: no cover - debug aid
+        det = "" if self.det else " [nondet]"
+        line = "  " * indent + f"{self.label}={self.value!r}{det}"
+        return "\n".join([line] + [c.render(indent + 1) for c in self.children])
+
+
+@dataclass(frozen=True)
+class NodeDiff:
+    """One divergence reported by Algorithm 1."""
+
+    path: Path
+    label: str
+    value_a: Optional[str]
+    value_b: Optional[str]
+
+    @property
+    def call_index(self) -> Optional[int]:
+        """The receiver call this divergence belongs to (root child index)."""
+        return self.path[0] if self.path else None
+
+
+# -- building -------------------------------------------------------------------
+
+
+def build_trace_ast(records: Sequence[Optional[SyscallRecord]]) -> TraceNode:
+    """Decode an execution's records into a trace AST.
+
+    Removed calls (holes from Algorithm 2's RemoveCall) keep their child
+    slot so call indices stay aligned across program variants.
+    """
+    root = TraceNode("trace", "trace")
+    for index, record in enumerate(records):
+        if record is None:
+            root.children.append(TraceNode(f"call{index}", "removed"))
+            continue
+        call = TraceNode(f"call{index}", record.name)
+        call.children.append(TraceNode("ret", str(record.retval)))
+        call.children.append(
+            TraceNode("errno", errno_name(record.errno) if record.errno else "OK")
+        )
+        for key in sorted(record.details):
+            call.children.append(_decode_detail(key, record.details[key]))
+        root.children.append(call)
+    return root
+
+
+def _decode_detail(key: str, value: Any) -> TraceNode:
+    if isinstance(value, dict):
+        node = TraceNode(key, key)
+        for sub_key in sorted(value):
+            node.children.append(_decode_detail(sub_key, value[sub_key]))
+        return node
+    if isinstance(value, (list, tuple)):
+        node = TraceNode(key, key)
+        for index, item in enumerate(value):
+            node.children.append(TraceNode(f"{key}[{index}]", str(item)))
+        return node
+    if isinstance(value, str) and "\n" in value:
+        # File contents: one leaf per line (strace-decoder equivalent).
+        node = TraceNode(key, key)
+        for index, line in enumerate(value.split("\n")):
+            node.children.append(TraceNode(f"line{index}", line))
+        return node
+    return TraceNode(key, str(value))
+
+
+# -- Algorithm 1 -------------------------------------------------------------------
+
+
+def syscall_trace_cmp(tree_a: TraceNode, tree_b: TraceNode,
+                      path: Path = ()) -> List[NodeDiff]:
+    """Compare two trace ASTs; return the differing node pairs.
+
+    Faithful to Algorithm 1: comparison of a subtree halts when either
+    node is flagged non-deterministic; a value or child-count mismatch
+    reports the node pair and does not descend further.
+    """
+    diffs: List[NodeDiff] = []
+    if not (tree_a.det and tree_b.det):
+        return diffs
+    if tree_a.value != tree_b.value or len(tree_a.children) != len(tree_b.children):
+        diffs.append(NodeDiff(path, tree_a.label, tree_a.value, tree_b.value))
+        return diffs
+    for index in range(len(tree_a.children)):
+        diffs.extend(
+            syscall_trace_cmp(tree_a.children[index], tree_b.children[index],
+                              path + (index,))
+        )
+    return diffs
+
+
+# -- non-determinism marks -----------------------------------------------------------
+
+
+def nondet_paths_from_runs(trees: Sequence[TraceNode]) -> FrozenSet[Path]:
+    """Paths whose node varies across *trees* of the same program.
+
+    A node is non-deterministic if its value or child count differs in
+    any pair of runs; when the child count differs, descent stops (the
+    whole subtree is summarized by one mark), matching how the det flag
+    halts Algorithm 1.
+    """
+    marks: set = set()
+    if len(trees) < 2:
+        return frozenset()
+
+    def visit(nodes: List[TraceNode], path: Path) -> None:
+        first = nodes[0]
+        values = {node.value for node in nodes}
+        counts = {len(node.children) for node in nodes}
+        if len(counts) > 1:
+            marks.add(path)
+            return
+        if len(values) > 1:
+            marks.add(path)
+            # Value variance does not preclude stable children: fstat's
+            # struct node never varies, only its timestamp leaf; keep
+            # descending so stable siblings stay comparable.
+        for index in range(len(first.children)):
+            visit([node.children[index] for node in nodes], path + (index,))
+
+    visit(list(trees), ())
+    return frozenset(marks)
+
+
+def apply_nondet_marks(tree: TraceNode, marks: FrozenSet[Path]) -> TraceNode:
+    """Set ``det=False`` on every marked path of *tree* (in place)."""
+    for path in marks:
+        node = tree.at(path)
+        if node is not None:
+            node.det = False
+    return tree

@@ -1,0 +1,138 @@
+"""Triage sessions: the §6.4 report-analysis workflow as an API.
+
+The paper's authors spent ~30 person-hours triaging reports, working
+group by group: examine one report per AGG-RS group, label the group
+(confirmed bug / false positive / still investigating), and — once a
+report is confirmed FP — drop its whole AGG-RS or AGG-R group to
+suppress the redundant siblings.
+
+:class:`TriageSession` captures that workflow so decisions are explicit,
+auditable, and persistable alongside the campaign: every verdict names
+its group; dropping cascades exactly as §6.4 describes; the summary says
+how much of the campaign is settled.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from .aggregation import ReportGroups
+from .report import TestReport
+
+GroupKey = Tuple[str, str]
+
+
+class Verdict(enum.Enum):
+    """The triager's decision for one AGG-RS group."""
+
+    CONFIRMED_BUG = "confirmed-bug"
+    FALSE_POSITIVE = "false-positive"
+    INVESTIGATING = "investigating"
+
+
+@dataclass
+class GroupDecision:
+    verdict: Verdict
+    note: str = ""
+
+
+@dataclass
+class TriageSession:
+    """Stateful triage over one campaign's report groups."""
+
+    groups: ReportGroups
+    decisions: Dict[GroupKey, GroupDecision] = field(default_factory=dict)
+
+    # -- examination -------------------------------------------------------
+
+    def pending_groups(self) -> List[GroupKey]:
+        """AGG-RS groups without a settled verdict, stable order."""
+        return [key for key in sorted(self.groups.agg_rs)
+                if self.decisions.get(key) is None
+                or self.decisions[key].verdict is Verdict.INVESTIGATING]
+
+    def representative(self, key: GroupKey) -> TestReport:
+        """One report per group is all a triager needs to read (§6.4)."""
+        return self.groups.agg_rs[key][0]
+
+    # -- verdicts ------------------------------------------------------------
+
+    def confirm_bug(self, key: GroupKey, note: str = "") -> None:
+        self._decide(key, Verdict.CONFIRMED_BUG, note)
+
+    def mark_investigating(self, key: GroupKey, note: str = "") -> None:
+        self._decide(key, Verdict.INVESTIGATING, note)
+
+    def drop_false_positive(self, key: GroupKey, note: str = "",
+                            whole_receiver: bool = False) -> List[GroupKey]:
+        """Mark *key* FP; optionally cascade over its whole AGG-R group.
+
+        Returns every group key the decision settled — the §6.4 payoff:
+        "once the user confirms one false positive test report, the
+        entire AGG-RS group it belongs to can be dropped… users can even
+        drop the entire AGG-R group."
+        """
+        settled = [key]
+        self._decide(key, Verdict.FALSE_POSITIVE, note)
+        if whole_receiver:
+            receiver_sig = key[0]
+            for other in sorted(self.groups.agg_rs):
+                if other[0] == receiver_sig and other != key and \
+                        other not in self.decisions:
+                    self._decide(other, Verdict.FALSE_POSITIVE,
+                                 f"cascaded from {key[1]}: {note}")
+                    settled.append(other)
+        return settled
+
+    def _decide(self, key: GroupKey, verdict: Verdict, note: str) -> None:
+        if key not in self.groups.agg_rs:
+            raise KeyError(f"no such AGG-RS group: {key}")
+        self.decisions[key] = GroupDecision(verdict, note)
+
+    # -- bookkeeping --------------------------------------------------------
+
+    def confirmed(self) -> List[GroupKey]:
+        return [key for key, decision in sorted(self.decisions.items())
+                if decision.verdict is Verdict.CONFIRMED_BUG]
+
+    def dropped(self) -> List[GroupKey]:
+        return [key for key, decision in sorted(self.decisions.items())
+                if decision.verdict is Verdict.FALSE_POSITIVE]
+
+    def reports_to_examine(self) -> int:
+        """How many reports triage actually requires: one per open group."""
+        return len(self.pending_groups())
+
+    def summary(self) -> str:
+        total = self.groups.agg_rs_count
+        return (f"{total} AGG-RS groups: "
+                f"{len(self.confirmed())} confirmed, "
+                f"{len(self.dropped())} dropped as FP, "
+                f"{len(self.pending_groups())} pending")
+
+    # -- persistence ------------------------------------------------------------
+
+    def save(self, path: str) -> None:
+        payload = [
+            {"receiver": key[0], "sender": key[1],
+             "verdict": decision.verdict.value, "note": decision.note}
+            for key, decision in sorted(self.decisions.items())
+        ]
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=1)
+
+    def load(self, path: str) -> int:
+        """Re-apply saved decisions to matching groups; returns how many."""
+        with open(path) as handle:
+            payload = json.load(handle)
+        applied = 0
+        for entry in payload:
+            key = (entry["receiver"], entry["sender"])
+            if key in self.groups.agg_rs:
+                self.decisions[key] = GroupDecision(
+                    Verdict(entry["verdict"]), entry.get("note", ""))
+                applied += 1
+        return applied

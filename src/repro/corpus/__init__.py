@@ -1,0 +1,22 @@
+"""Test-program corpus: program model, seeds, and the random generator."""
+
+from .generator import ProgramGenerator, build_corpus
+from .program import Arg, Call, ConstArg, ResultArg, TestProgram, prog
+from .seeds import seed_list, seed_programs
+from .store import LoadReport, load_corpus, save_corpus
+
+__all__ = [
+    "Arg",
+    "Call",
+    "ConstArg",
+    "ProgramGenerator",
+    "ResultArg",
+    "TestProgram",
+    "LoadReport",
+    "build_corpus",
+    "load_corpus",
+    "save_corpus",
+    "prog",
+    "seed_list",
+    "seed_programs",
+]

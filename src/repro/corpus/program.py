@@ -1,0 +1,224 @@
+"""Test programs: sequences of system calls, syzkaller-style.
+
+A :class:`TestProgram` is an ordered tuple of :class:`Call`\\ s.  Each
+call's result implicitly defines a variable ``r<i>`` that later calls can
+reference through :class:`ResultArg` — the same dependency model
+syzkaller programs use (``r0 = socket(...); bind(r0, ...)``).
+
+Programs serialize to/from a human-readable text form so corpora can be
+stored on disk and reports stay legible::
+
+    r0 = socket(0x2, 0x1, 0x6)
+    bind(r0, 0x7f000001, 0x50)
+
+:meth:`TestProgram.without_call` implements the ``RemoveCall`` operation
+of Algorithm 2 (report diagnosis): the call is replaced by a hole that
+keeps result numbering stable; references to a removed result resolve to
+0 at execution time, like syzkaller's default-value substitution.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+
+@dataclass(frozen=True)
+class ConstArg:
+    """A literal argument value (int or str)."""
+
+    value: Union[int, str]
+
+    def render(self) -> str:
+        if isinstance(self.value, int):
+            return hex(self.value)
+        return '"' + str(self.value).replace('"', '\\"') + '"'
+
+
+@dataclass(frozen=True)
+class ResultArg:
+    """A reference to the result of an earlier call (``r<index>``)."""
+
+    index: int
+
+    def render(self) -> str:
+        return f"r{self.index}"
+
+
+Arg = Union[ConstArg, ResultArg]
+
+
+@dataclass(frozen=True)
+class Call:
+    """One syscall invocation."""
+
+    name: str
+    args: Tuple[Arg, ...] = ()
+
+    def render(self, index: int, define_result: bool) -> str:
+        rendered = ", ".join(arg.render() for arg in self.args)
+        prefix = f"r{index} = " if define_result else ""
+        return f"{prefix}{self.name}({rendered})"
+
+    def references(self) -> List[int]:
+        return [arg.index for arg in self.args if isinstance(arg, ResultArg)]
+
+
+_CALL_RE = re.compile(
+    r"^(?:r(?P<res>\d+)\s*=\s*)?(?P<name>\w+)\((?P<args>.*)\)$"
+)
+_REMOVED_RE = re.compile(r"^#\s*r(?P<res>\d+) removed$")
+
+
+class TestProgram:
+    """An immutable sequence of calls (holes allowed after removal)."""
+
+    __test__ = False  # not a pytest class, despite the name
+
+    __slots__ = ("calls", "_hash_hex")
+
+    def __init__(self, calls: Sequence[Optional[Call]]):
+        self.calls: Tuple[Optional[Call], ...] = tuple(calls)
+        self._hash_hex: Optional[str] = None
+
+    # -- identity ------------------------------------------------------------
+
+    def serialize(self) -> str:
+        lines = []
+        for index, call in enumerate(self.calls):
+            if call is None:
+                lines.append(f"# r{index} removed")
+            else:
+                lines.append(call.render(index, define_result=True))
+        return "\n".join(lines)
+
+    @property
+    def hash_hex(self) -> str:
+        """Stable content hash (used as the non-determinism cache key)."""
+        if self._hash_hex is None:
+            digest = hashlib.sha1(self.serialize().encode()).hexdigest()
+            self._hash_hex = digest
+        return self._hash_hex
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, TestProgram) and self.calls == other.calls
+
+    def __hash__(self) -> int:
+        return hash(self.calls)
+
+    def __len__(self) -> int:
+        return len(self.calls)
+
+    def __iter__(self) -> Iterator[Optional[Call]]:
+        return iter(self.calls)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TestProgram({self.serialize()!r})"
+
+    # -- transformation ----------------------------------------------------
+
+    def without_call(self, index: int) -> "TestProgram":
+        """Algorithm 2's ``RemoveCall``: drop call *index*, keep numbering."""
+        if not 0 <= index < len(self.calls):
+            raise IndexError(index)
+        calls = list(self.calls)
+        calls[index] = None
+        return TestProgram(calls)
+
+    def live_call_indices(self) -> List[int]:
+        return [i for i, call in enumerate(self.calls) if call is not None]
+
+    def concatenate(self, other: "TestProgram") -> "TestProgram":
+        """Append *other*, re-basing its result references."""
+        offset = len(self.calls)
+        rebased: List[Optional[Call]] = list(self.calls)
+        for call in other.calls:
+            if call is None:
+                rebased.append(None)
+                continue
+            args = tuple(
+                ResultArg(arg.index + offset) if isinstance(arg, ResultArg) else arg
+                for arg in call.args
+            )
+            rebased.append(Call(call.name, args))
+        return TestProgram(rebased)
+
+    # -- parsing ---------------------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str) -> "TestProgram":
+        """Parse the :meth:`serialize` text form back into a program."""
+        calls: List[Optional[Call]] = []
+        for raw_line in text.strip().splitlines():
+            line = raw_line.strip()
+            if not line:
+                continue
+            removed = _REMOVED_RE.match(line)
+            if removed:
+                calls.append(None)
+                continue
+            match = _CALL_RE.match(line)
+            if match is None:
+                raise ValueError(f"unparseable program line: {line!r}")
+            args = _parse_args(match.group("args"))
+            calls.append(Call(match.group("name"), tuple(args)))
+        return cls(calls)
+
+
+def _parse_args(text: str) -> List[Arg]:
+    args: List[Arg] = []
+    for token in _split_args(text):
+        token = token.strip()
+        if not token:
+            continue
+        if token.startswith("r") and token[1:].isdigit():
+            args.append(ResultArg(int(token[1:])))
+        elif token.startswith('"'):
+            args.append(ConstArg(token[1:-1].replace('\\"', '"')))
+        elif token.startswith(("0x", "-0x")) or token.lstrip("-").isdigit():
+            args.append(ConstArg(int(token, 0)))
+        else:
+            raise ValueError(f"unparseable argument: {token!r}")
+    return args
+
+
+def _split_args(text: str) -> List[str]:
+    """Split on commas outside string literals."""
+    parts: List[str] = []
+    current = []
+    in_string = False
+    for char in text:
+        if char == '"':
+            in_string = not in_string
+            current.append(char)
+        elif char == "," and not in_string:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    if current:
+        parts.append("".join(current))
+    return parts
+
+
+def prog(*calls: Tuple) -> TestProgram:
+    """Terse program builder for seeds and tests.
+
+    Each element is ``(name, arg, …)``; int/str args become literals and
+    ``"r0"``-style strings become result references::
+
+        prog(("socket", 2, 1, 6), ("bind", "r0", 0x7f000001, 80))
+    """
+    built: List[Call] = []
+    for entry in calls:
+        name, *raw_args = entry
+        args: List[Arg] = []
+        for raw in raw_args:
+            if isinstance(raw, str) and re.fullmatch(r"r\d+", raw):
+                args.append(ResultArg(int(raw[1:])))
+            else:
+                args.append(ConstArg(raw))
+        built.append(Call(name, tuple(args)))
+    return TestProgram(built)

@@ -1,0 +1,78 @@
+"""On-disk corpus storage — the syzkaller ``corpus.db`` stand-in.
+
+A corpus directory holds one ``<hash>.prog`` text file per program (the
+human-readable serialization) plus an ``index.txt`` that fixes the corpus
+order, so campaigns are reproducible from disk.  Programs that fail to
+parse are reported, not silently dropped — a corrupted corpus should be
+loud.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, List, Tuple
+
+from .program import TestProgram
+
+_INDEX_NAME = "index.txt"
+_SUFFIX = ".prog"
+
+
+@dataclass
+class LoadReport:
+    """Outcome of loading a corpus directory."""
+
+    programs: List[TestProgram] = field(default_factory=list)
+    #: (filename, error message) for entries that failed to load.
+    errors: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+
+def save_corpus(directory: str, corpus: Iterable[TestProgram]) -> int:
+    """Write *corpus* under *directory*; returns the number written."""
+    os.makedirs(directory, exist_ok=True)
+    ordered = list(corpus)
+    names = []
+    for program in ordered:
+        name = program.hash_hex + _SUFFIX
+        names.append(name)
+        with open(os.path.join(directory, name), "w") as handle:
+            handle.write(program.serialize() + "\n")
+    with open(os.path.join(directory, _INDEX_NAME), "w") as handle:
+        handle.write("\n".join(names) + ("\n" if names else ""))
+    return len(ordered)
+
+
+def load_corpus(directory: str) -> LoadReport:
+    """Load a corpus directory written by :func:`save_corpus`.
+
+    Without an index (e.g. a hand-assembled directory), ``*.prog`` files
+    are loaded in sorted-name order.
+    """
+    report = LoadReport()
+    index_path = os.path.join(directory, _INDEX_NAME)
+    if os.path.exists(index_path):
+        with open(index_path) as handle:
+            names = [line.strip() for line in handle if line.strip()]
+    else:
+        names = sorted(name for name in os.listdir(directory)
+                       if name.endswith(_SUFFIX))
+    for name in names:
+        path = os.path.join(directory, name)
+        try:
+            with open(path) as handle:
+                program = TestProgram.parse(handle.read())
+        except (OSError, ValueError) as error:
+            report.errors.append((name, str(error)))
+            continue
+        expected = name[:-len(_SUFFIX)]
+        if program.hash_hex != expected:
+            report.errors.append(
+                (name, f"content hash {program.hash_hex} != filename"))
+            continue
+        report.programs.append(program)
+    return report

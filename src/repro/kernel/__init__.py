@@ -1,0 +1,28 @@
+"""The simulated Linux kernel — KIT's system under test.
+
+This package is the substrate substitution for Linux 5.13 under
+QEMU/KVM: a picklable kernel state machine exposing the same two
+observation surfaces KIT uses on real kernels — syscall results and
+instrumented kernel memory-access traces.  See DESIGN.md for the full
+substitution argument.
+"""
+
+from .bugs import BugFlags, fixed_kernel, known_bug_kernel, linux_5_13
+from .errno import SyscallError, errno_name
+from .kernel import Kernel, KernelConfig, SyscallResult
+from .ktrace import KernelTracer
+from .namespaces import NamespaceType
+
+__all__ = [
+    "BugFlags",
+    "Kernel",
+    "KernelConfig",
+    "KernelTracer",
+    "NamespaceType",
+    "SyscallError",
+    "SyscallResult",
+    "errno_name",
+    "fixed_kernel",
+    "known_bug_kernel",
+    "linux_5_13",
+]

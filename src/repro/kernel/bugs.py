@@ -1,0 +1,140 @@
+"""The injected-bug registry.
+
+Every functional interference bug the paper reports (Table 2), reproduces
+(Table 3), or declares out of reach (§6.2) is modelled as a boolean flag
+that switches a specific kernel code path between its vulnerable and its
+patched form.  The flag placements mirror each bug's documented root
+cause — see the docstrings in the subsystem modules.
+
+Presets bundle the flags into "kernel versions":
+
+* :func:`linux_5_13` — the paper's main target: all nine Table-2 bugs.
+  (Documented 5.13 bugs such as D/F are disabled, mirroring §5.2's
+  container tuning that keeps known interference out of new-bug runs.)
+* :func:`known_bug_kernel` — one historical kernel per Table-3 row.
+* :func:`fixed_kernel` — everything patched; the true-negative baseline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+
+@dataclass
+class BugFlags:
+    """One boolean per modelled bug; all False = fully patched kernel."""
+
+    # -- Table 2: new bugs found by KIT in Linux 5.13 ----------------------
+    #: #1 — /proc/net/ptype shows packet_type of other namespaces.
+    ptype_leak: bool = False
+    #: #2/#4 — ipv6_flowlabel_exclusive static key is global.
+    flowlabel_exclusive_global: bool = False
+    #: #3 — RDS bind table keyed without the namespace.
+    rds_bind_global: bool = False
+    #: #5 — /proc/net/sockstat 'sockets: used' counter is global.
+    sockstat_used_global: bool = False
+    #: #6 — socket cookie allocator is global.
+    socket_cookie_global: bool = False
+    #: #7 — SCTP association ID space is global.
+    sctp_assoc_id_global: bool = False
+    #: #8/#9 — per-protocol memory accounting is global (sockstat mem /
+    #: /proc/net/protocols memory).
+    proto_mem_global: bool = False
+
+    # -- Table 3: known historical bugs ------------------------------------
+    #: A — setpriority(PRIO_USER) crosses PID namespaces (Linux 4.4).
+    prio_user_crosses_pidns: bool = False
+    #: B — netdev queue uevents broadcast to all namespaces (Linux 3.14).
+    uevent_broadcast_all_ns: bool = False
+    #: C — /proc/net/ip_vs dumps services of all namespaces (Linux 4.15).
+    ipvs_proc_no_ns_check: bool = False
+    #: D — nf_conntrack_max sysctl is global (Linux 5.13, CVE-2021-38209).
+    conntrack_max_global: bool = False
+    #: E — io_uring resolves paths in the init mount ns (5.6, CVE-2020-29373).
+    iouring_wrong_mnt_ns: bool = False
+
+    # -- §6.2: bugs functional interference testing cannot detect ----------
+    #: F — /proc/net/nf_conntrack dumps other namespaces' entries, but the
+    #: file is non-deterministic even without interference.
+    conntrack_proc_leak: bool = False
+    #: G — unix sock_diag matches sockets of any namespace, but detection
+    #: needs the sender's runtime-allocated inode.
+    unix_diag_cross_ns: bool = False
+
+    # -- §2.1: historical motivation --------------------------------------
+    #: msgctl(IPC_STAT) reports raw global PIDs across PID namespaces.
+    msg_stat_global_pid: bool = False
+
+    def enabled(self) -> List[str]:
+        return [f.name for f in dataclasses.fields(self) if getattr(self, f.name)]
+
+    def copy(self, **overrides: bool) -> "BugFlags":
+        return dataclasses.replace(self, **overrides)
+
+
+#: Paper bug number -> (flag, short description, resource column of Table 2).
+TABLE2_BUGS: Dict[int, Tuple[str, str, str]] = {
+    1: ("ptype_leak", "Read /proc/net/ptype shows ptype from other ns", "ptype"),
+    2: ("flowlabel_exclusive_global", "Transmit with unregistered flow label fails",
+        "IPv6 / flow label"),
+    3: ("rds_bind_global", "RDS bind fails across namespaces", "RDS / address"),
+    4: ("flowlabel_exclusive_global", "Connect with unregistered flow label fails",
+        "IPv6 / flow label"),
+    5: ("sockstat_used_global", "Counter in /proc/net/sockstat increases",
+        "proto / socket"),
+    6: ("socket_cookie_global", "Socket cookie changes", "socket / cookie"),
+    7: ("sctp_assoc_id_global", "SCTP association ID changes", "SCTP / assoc_id"),
+    8: ("proto_mem_global", "mem counter in /proc/net/sockstat increases",
+        "proto / memory"),
+    9: ("proto_mem_global", "memory counter in /proc/net/protocols increases",
+        "proto / memory"),
+}
+
+#: Table 3 row -> (flag, kernel version, namespace).
+TABLE3_BUGS: Dict[str, Tuple[str, str, str]] = {
+    "A": ("prio_user_crosses_pidns", "4.4", "pid"),
+    "B": ("uevent_broadcast_all_ns", "3.14", "net"),
+    "C": ("ipvs_proc_no_ns_check", "4.15", "net"),
+    "D": ("conntrack_max_global", "5.13", "net"),
+    "E": ("iouring_wrong_mnt_ns", "5.6", "mnt"),
+    # §6.2 non-detectable rows (not in Table 3, reported in prose):
+    "F": ("conntrack_proc_leak", "4.9", "net"),
+    "G": ("unix_diag_cross_ns", "4.13", "net"),
+}
+
+#: The bug IDs the paper says plain random generation (RAND) still found.
+RAND_DETECTABLE = {1, 2, 5, 7, 9}
+
+
+def fixed_kernel() -> BugFlags:
+    """A kernel with every modelled bug patched."""
+    return BugFlags()
+
+
+def linux_5_13() -> BugFlags:
+    """Stable Linux 5.13 as KIT tested it: the nine Table-2 bugs present."""
+    return BugFlags(
+        ptype_leak=True,
+        flowlabel_exclusive_global=True,
+        rds_bind_global=True,
+        sockstat_used_global=True,
+        socket_cookie_global=True,
+        sctp_assoc_id_global=True,
+        proto_mem_global=True,
+    )
+
+
+def known_bug_kernel(bug_id: str) -> BugFlags:
+    """The historical kernel containing exactly one Table-3/§6.2 bug."""
+    flag, __, __ = TABLE3_BUGS[bug_id.upper()]
+    return BugFlags(**{flag: True})
+
+
+def kernel_version_for(bug_id: str) -> str:
+    return TABLE3_BUGS[bug_id.upper()][1]
+
+
+def table2_flag_names() -> Iterable[str]:
+    return sorted({flag for flag, __, __ in TABLE2_BUGS.values()})

@@ -1,0 +1,112 @@
+"""Cgroups and the cgroup namespace (Table 1: "Cgroups root directory").
+
+The model covers what the namespace isolates: a global cgroup hierarchy
+(paths), each task's membership, and the *virtualized view* through
+``/proc/self/cgroup`` — a task sees its cgroup path relative to its
+namespace's root, and Linux renders paths outside that root with a
+``/..`` escape marker (which is precisely the information the namespace
+exists to hide).
+
+``unshare(CLONE_NEWCGROUP)`` pins the new namespace's root to the
+caller's current cgroup, as in Linux.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .errno import EEXIST, ENOENT, SyscallError
+from .ktrace import kfunc
+from .memory import KDict, KStruct
+from .namespaces import CgroupNamespace, NamespaceType
+from .task import Task
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .kernel import Kernel
+
+
+class Cgroup(KStruct):
+    """One node of the global cgroup hierarchy."""
+
+    FIELDS = {"nr_tasks": 4}
+
+    def __init__(self, kernel: "Kernel", path: str):
+        super().__init__(kernel.arena)
+        self.path = path
+
+
+class CgroupSubsystem:
+    """The global hierarchy plus membership and the procfs view."""
+
+    def __init__(self, kernel: "Kernel"):
+        self._kernel = kernel
+        self.groups = KDict(kernel.arena)
+        self.groups.insert("/", Cgroup(kernel, "/"))
+
+    @property
+    def tracer(self):
+        return self._kernel.tracer
+
+    # -- hierarchy ---------------------------------------------------------
+
+    @kfunc
+    def create(self, task: Task, path: str) -> int:
+        """mkdir in cgroupfs: create a (namespace-relative) cgroup."""
+        absolute = self.resolve(task, path)
+        if self.groups.lookup(absolute) is not None:
+            raise SyscallError(EEXIST, absolute)
+        parent = absolute.rsplit("/", 1)[0] or "/"
+        if self.groups.lookup(parent) is None:
+            raise SyscallError(ENOENT, f"parent {parent}")
+        self.groups.insert(absolute, Cgroup(self._kernel, absolute))
+        return 0
+
+    @kfunc
+    def enter(self, task: Task, path: str) -> int:
+        """Write to cgroup.procs: move the task into a cgroup."""
+        absolute = self.resolve(task, path)
+        target = self.groups.lookup(absolute)
+        if target is None:
+            raise SyscallError(ENOENT, absolute)
+        current = self.groups.lookup(task.cgroup_path)
+        if current is not None:
+            current.kset("nr_tasks", max(0, current.peek("nr_tasks") - 1))
+        target.kset("nr_tasks", target.peek("nr_tasks") + 1)
+        task.cgroup_path = absolute
+        return 0
+
+    def resolve(self, task: Task, path: str) -> str:
+        """A namespace-relative path -> the global hierarchy path."""
+        root = self._ns_root(task)
+        if not path.startswith("/"):
+            raise SyscallError(ENOENT, path)
+        if root == "/":
+            return path
+        return root if path == "/" else root + path
+
+    def _ns_root(self, task: Task) -> str:
+        ns = task.nsproxy.get(NamespaceType.CGROUP)
+        root = ns.peek("root_path")
+        return root if isinstance(root, str) and root else "/"
+
+    # -- views ----------------------------------------------------------------
+
+    @kfunc
+    def render_proc_cgroup(self, reader: Task, target: Task) -> str:
+        """``/proc/<pid>/cgroup`` as seen from *reader*'s namespace."""
+        root = self._ns_root(reader)
+        path = target.cgroup_path
+        if root != "/":
+            if path == root:
+                path = "/"
+            elif path.startswith(root + "/"):
+                path = path[len(root):]
+            else:
+                # Outside the reader's root: Linux shows an escape marker
+                # instead of the real location.
+                path = "/.."
+        return f"0::{path}\n"
+
+    def on_unshare(self, task: Task, namespace: CgroupNamespace) -> None:
+        """CLONE_NEWCGROUP pins the new root to the caller's cgroup."""
+        namespace.poke("root_path", task.cgroup_path)

@@ -1,0 +1,63 @@
+"""Virtual time for the simulated kernel.
+
+All timing in the simulator derives from one virtual clock so executions
+are perfectly repeatable *except* for the boot offset, which the test
+harness varies deliberately.
+
+This models the paper's approach to non-determinism (§4.3.2): system-call
+results that depend on invocation time (timestamps in ``fstat``, the
+uptime file, …) vary across receiver re-executions *because KIT re-runs
+the receiver with different starting times*.  Here, "different starting
+time" is literally a different ``boot_offset``.
+
+The clock is deliberately **not traced** by the memory instrumentation —
+the paper excludes timekeeping/debug internals from instrumentation since
+they produce non-deterministic traces that swamp the data-flow analysis.
+"""
+
+from __future__ import annotations
+
+#: Virtual nanoseconds advanced per timer tick (one tick per syscall).
+#: 100 ms approximates a heavily instrumented syscall's wall-clock cost
+#: and — importantly for fidelity — makes a preceding sender execution
+#: shift the receiver's time-derived results across second boundaries,
+#: reproducing the timing-induced candidate reports that dominate the
+#: paper's Table-5 funnel (15,353 -> 891 after non-det filtering).
+TICK_NS = 100_000_000
+
+#: Default virtual boot time: seconds since the epoch, arbitrary but fixed.
+DEFAULT_BOOT_NS = 1_600_000_000 * 1_000_000_000
+
+
+class VirtualClock:
+    """Deterministic kernel clock: ``now = boot_offset + ticks * TICK_NS``.
+
+    ``tick()`` is invoked by the kernel's timer interrupt between
+    syscalls; the amount of virtual time elapsed therefore depends only
+    on the syscall sequence executed, never on wall-clock time.
+    """
+
+    __slots__ = ("boot_offset_ns", "ticks")
+
+    def __init__(self, boot_offset_ns: int = DEFAULT_BOOT_NS):
+        self.boot_offset_ns = boot_offset_ns
+        self.ticks = 0
+
+    def tick(self, count: int = 1) -> None:
+        """Advance virtual time by *count* timer interrupts."""
+        self.ticks += count
+
+    def now_ns(self) -> int:
+        """Current virtual time in nanoseconds since the virtual epoch."""
+        return self.boot_offset_ns + self.ticks * TICK_NS
+
+    def now_sec(self) -> int:
+        return self.now_ns() // 1_000_000_000
+
+    def uptime_ns(self) -> int:
+        """Nanoseconds since (virtual) boot."""
+        return self.ticks * TICK_NS
+
+    def rebase(self, boot_offset_ns: int) -> None:
+        """Change the boot offset — the harness's 'different starting time'."""
+        self.boot_offset_ns = boot_offset_ns

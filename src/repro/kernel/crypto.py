@@ -1,0 +1,71 @@
+"""The kernel crypto algorithm table behind ``/proc/crypto``.
+
+``/proc/crypto`` is **not** protected by any namespace — it is genuinely
+global in Linux.  A sender allocating a transform bumps the algorithm's
+reference count, which a receiver can observe through ``/proc/crypto``.
+
+That is real, deterministic, cross-container interference on an
+*unprotected* resource: exactly the class of candidate report that KIT's
+specification filter must drop (paper §6.4 reports such cases among the
+filtered false positives).  This module exists to exercise that filter.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List
+
+from .errno import ENOENT, SyscallError
+from .ktrace import kfunc
+from .memory import KDict, KernelArena, KStruct
+from .task import Task
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .kernel import Kernel
+
+#: Algorithms registered at boot, as a real kernel would have.
+BUILTIN_ALGORITHMS = ("sha256", "aes", "crc32c", "ghash")
+
+
+class CryptoAlg(KStruct):
+    """One entry of the global crypto algorithm table."""
+
+    FIELDS = {"refcnt": 4, "priority": 4}
+
+    def __init__(self, arena: KernelArena, name: str, priority: int = 100):
+        super().__init__(arena, refcnt=1, priority=priority)
+        self.name = name
+
+
+class CryptoSubsystem:
+    """Global (non-namespaced) crypto algorithm registry."""
+
+    def __init__(self, kernel: "Kernel"):
+        self._kernel = kernel
+        self.algorithms = KDict(kernel.arena)
+        for name in BUILTIN_ALGORITHMS:
+            self.algorithms.insert(name, CryptoAlg(kernel.arena, name))
+
+    @property
+    def tracer(self):
+        return self._kernel.tracer
+
+    @kfunc
+    def crypto_alloc(self, task: Task, name: str) -> int:
+        """Allocate a transform: bumps the global refcount (interference!)."""
+        alg = self.algorithms.lookup(name)
+        if alg is None:
+            raise SyscallError(ENOENT, f"no algorithm {name!r}")
+        alg.kset("refcnt", alg.kget("refcnt") + 1)
+        return 0
+
+    @kfunc
+    def render_proc_crypto(self, task: Task) -> str:
+        """Render ``/proc/crypto`` — identical for every reader namespace."""
+        lines: List[str] = []
+        for name in sorted(self.algorithms.peek_items()):
+            alg = self.algorithms.lookup(name)
+            lines.append(f"name         : {name}")
+            lines.append(f"refcnt       : {alg.kget('refcnt')}")
+            lines.append(f"priority     : {alg.kget('priority')}")
+            lines.append("")
+        return "\n".join(lines)

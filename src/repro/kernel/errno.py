@@ -1,0 +1,82 @@
+"""Linux error numbers used by the simulated kernel.
+
+Only the errno values that the simulated syscall surface can actually
+return are defined.  Values match ``asm-generic/errno.h`` so that decoded
+traces read like real strace output.
+"""
+
+from __future__ import annotations
+
+EPERM = 1
+ENOENT = 2
+ESRCH = 3
+EINTR = 4
+EIO = 5
+EBADF = 9
+EAGAIN = 11
+ENOMEM = 12
+EACCES = 13
+EFAULT = 14
+EBUSY = 16
+EXDEV = 18
+EEXIST = 17
+ENODEV = 19
+ENOTDIR = 20
+EISDIR = 21
+EINVAL = 22
+ENFILE = 23
+EMFILE = 24
+ENOTTY = 25
+ENOSPC = 28
+ESPIPE = 29
+EROFS = 30
+ERANGE = 34
+ENOSYS = 38
+ENOTEMPTY = 39
+ELOOP = 40
+ENOMSG = 42
+EIDRM = 43
+ENOTSOCK = 88
+EDESTADDRREQ = 89
+EMSGSIZE = 90
+EPROTONOSUPPORT = 93
+EOPNOTSUPP = 95
+EAFNOSUPPORT = 97
+EADDRINUSE = 98
+EADDRNOTAVAIL = 99
+ENETUNREACH = 101
+ECONNABORTED = 103
+ECONNRESET = 104
+ENOBUFS = 105
+EISCONN = 106
+ENOTCONN = 107
+ETIMEDOUT = 110
+ECONNREFUSED = 111
+EALREADY = 114
+EINPROGRESS = 115
+
+_NAMES = {
+    value: name
+    for name, value in sorted(globals().items())
+    if name.isupper() and isinstance(value, int)
+}
+
+
+def errno_name(errno: int) -> str:
+    """Return the symbolic name for *errno* (e.g. ``1`` -> ``"EPERM"``)."""
+    return _NAMES.get(errno, f"E?{errno}")
+
+
+class SyscallError(Exception):
+    """Raised by syscall handlers to signal an errno result.
+
+    The executor converts this into a ``-1`` return value with the
+    carried errno, mirroring the kernel/libc contract.
+    """
+
+    def __init__(self, errno: int, message: str = ""):
+        super().__init__(message or errno_name(errno))
+        self.errno = errno
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SyscallError({errno_name(self.errno)})"

@@ -1,0 +1,89 @@
+"""Per-task file descriptor tables.
+
+Each simulated task owns an :class:`FdTable` mapping small integers to
+:class:`FileObject` instances.  File objects carry a ``resource_kind``
+string — the syzlang-style resource identifier KIT's specification layer
+matches against (paper §4.3.1 / §5.3), e.g. ``"sock_packet"`` or
+``"fd_proc_net"``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List
+
+from .errno import EBADF, EMFILE, SyscallError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .kernel import Kernel
+    from .task import Task
+
+
+class FileObject:
+    """Base class for anything an fd can refer to.
+
+    Subclasses set :attr:`resource_kind` to the syzlang-lite resource
+    identifier of the descriptor type and may override :meth:`on_close`
+    to release kernel state.
+    """
+
+    resource_kind = "fd"
+
+    def __init__(self) -> None:
+        self.refcount = 1
+
+    def on_close(self, kernel: "Kernel", task: "Task") -> None:
+        """Release kernel state when the last reference drops."""
+
+    def describe(self) -> str:
+        return f"<{self.resource_kind}>"
+
+
+class FdTable:
+    """Lowest-free-slot fd allocation with a ulimit-style cap.
+
+    Descriptors 0-2 are reserved (stdin/stdout/stderr of the executor),
+    so the first allocated fd is 3 — keeping decoded traces familiar.
+    """
+
+    FIRST_FD = 3
+    MAX_FDS = 128
+
+    def __init__(self, max_fds: int = MAX_FDS):
+        self._fds: Dict[int, FileObject] = {}
+        self._max_fds = max_fds
+
+    def install(self, file_object: FileObject) -> int:
+        """Place *file_object* at the lowest free descriptor."""
+        for fd in range(self.FIRST_FD, self._max_fds):
+            if fd not in self._fds:
+                self._fds[fd] = file_object
+                return fd
+        raise SyscallError(EMFILE, "fd table full")
+
+    def get(self, fd: int) -> FileObject:
+        try:
+            return self._fds[fd]
+        except (KeyError, TypeError):
+            raise SyscallError(EBADF, f"bad file descriptor {fd!r}") from None
+
+    def get_as(self, fd: int, file_type: type, errno: int = EBADF) -> FileObject:
+        """Fetch *fd* and require it to be an instance of *file_type*."""
+        file_object = self.get(fd)
+        if not isinstance(file_object, file_type):
+            raise SyscallError(errno, f"fd {fd} is not a {file_type.__name__}")
+        return file_object
+
+    def remove(self, fd: int) -> FileObject:
+        try:
+            return self._fds.pop(fd)
+        except KeyError:
+            raise SyscallError(EBADF, f"bad file descriptor {fd}") from None
+
+    def open_fds(self) -> List[int]:
+        return sorted(self._fds)
+
+    def __contains__(self, fd: int) -> bool:
+        return fd in self._fds
+
+    def __len__(self) -> int:
+        return len(self._fds)

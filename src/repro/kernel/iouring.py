@@ -1,0 +1,84 @@
+"""io_uring path resolution — known bug E (CVE-2020-29373, Linux 5.6).
+
+io_uring defers filesystem operations to kernel worker threads.  On the
+buggy kernel those workers resolved paths with the *init* task's
+filesystem context instead of the submitting task's, so a process that
+had unmounted (or never could see) a host mount could still traverse it
+by routing the open through io_uring — escaping its mount namespace.
+
+The model collapses the SQE/CQE machinery into two operations (a path
+read and a directory listing) that take the same wrong-namespace turn.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from .errno import EISDIR, ENOTDIR, SyscallError
+from .fdtable import FileObject
+from .ktrace import kfunc
+from .task import Task
+from .vfs import MntNamespace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .kernel import Kernel
+
+
+class IoUringFile(FileObject):
+    """An io_uring instance fd."""
+
+    resource_kind = "fd_io_uring"
+
+    def describe(self) -> str:
+        return "io_uring"
+
+
+class IoUringSubsystem:
+    """The (simplified) io_uring submission paths."""
+
+    def __init__(self, kernel: "Kernel"):
+        self._kernel = kernel
+
+    @property
+    def tracer(self):
+        return self._kernel.tracer
+
+    @kfunc
+    def setup(self, task: Task) -> IoUringFile:
+        return IoUringFile()
+
+    def _resolution_ns(self, task: Task) -> MntNamespace:
+        """The mount namespace the worker resolves paths in.
+
+        Buggy kernel: the init mount namespace (the escape).  Fixed
+        kernel: the submitter's own namespace, like a plain syscall.
+        """
+        if self._kernel.bugs.iouring_wrong_mnt_ns:
+            return self._kernel.init_mnt_ns
+        from .namespaces import NamespaceType
+
+        ns = task.nsproxy.get(NamespaceType.MNT)
+        assert isinstance(ns, MntNamespace)
+        return ns
+
+    @kfunc
+    def read_path(self, task: Task, path: str, count: int) -> str:
+        """IORING_OP_OPENAT + IORING_OP_READ on *path*."""
+        vfs = self._kernel.vfs
+        mount, inode, __ = vfs.lookup(task, path, mnt_ns=self._resolution_ns(task))
+        if inode.is_dir:
+            raise SyscallError(EISDIR, path)
+        if inode.proc_key is not None:
+            content = self._kernel.procfs.render(task, inode.proc_key)
+        else:
+            content = inode.content
+        return content[:max(count, 0)]
+
+    @kfunc
+    def list_path(self, task: Task, path: str) -> List[str]:
+        """IORING_OP_OPENAT + getdents-equivalent on a directory."""
+        vfs = self._kernel.vfs
+        mount, inode, relative = vfs.lookup(task, path, mnt_ns=self._resolution_ns(task))
+        if not inode.is_dir:
+            raise SyscallError(ENOTDIR, path)
+        return vfs.list_dir(mount, relative)

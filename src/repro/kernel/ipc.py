@@ -1,0 +1,382 @@
+"""System V IPC: message queues, shared memory, semaphores.
+
+All three object families are keyed per IPC namespace, as in Linux.
+The historical §2.1 bug is modelled here: ``msgctl(IPC_STAT)`` reports
+the PID of the last sender (``msg_lspid``).  On the buggy kernel
+(Linux < 4.17 area) the *global* PID number is returned even to readers
+in a different PID namespace; the fixed kernel translates the PID into
+the reader's PID namespace and reports 0 when the task is not visible
+there.
+
+Per paper §5.2, container setup applies a per-namespace message quota
+(``ulimit``-style) so that cross-namespace *resource contention* — which
+is documented, not a new bug — cannot produce false-positive reports.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List
+
+from .errno import EEXIST, EINVAL, ENOMSG, ENOSPC, SyscallError
+from .fdtable import FileObject
+from .ktrace import kfunc
+from .memory import KDict, KernelArena, KStruct
+from .namespaces import Namespace, NamespaceType
+from .task import Task
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .kernel import Kernel
+
+#: ``msgctl``/``shmctl``/``semctl`` command numbers.
+IPC_RMID = 0
+IPC_SET = 1
+IPC_STAT = 2
+
+#: ``*get`` flag bits.
+IPC_CREAT = 0o1000
+IPC_EXCL = 0o2000
+
+IPC_PRIVATE = 0
+
+#: Per-namespace quota applied by container setup (§5.2).
+DEFAULT_MSG_QUOTA = 16
+
+
+class IpcNamespace(Namespace):
+    """An IPC namespace: independent SysV object tables + POSIX mqueues."""
+
+    NS_TYPE = NamespaceType.IPC
+    FIELDS = {"inum": 8, "msg_next_id": 4, "shm_next_id": 4, "sem_next_id": 4}
+
+    def __init__(self, arena: KernelArena, inum: int, msg_quota: int = DEFAULT_MSG_QUOTA):
+        super().__init__(arena, inum)
+        self.msg_queues = KDict(arena)  # id -> MsgQueue
+        self.msg_keys = KDict(arena)  # key -> id
+        self.shm_segments = KDict(arena)  # id -> ShmSegment
+        self.shm_keys = KDict(arena)
+        self.sem_sets = KDict(arena)  # id -> SemSet
+        self.sem_keys = KDict(arena)
+        self.msg_quota = msg_quota
+        #: POSIX message queues: name -> PosixMqueue (Table 1 places
+        #: these under the IPC namespace as well).
+        self.posix_mqueues = KDict(arena)
+
+    def next_id(self, family: str) -> int:
+        field = f"{family}_next_id"
+        ipc_id = self.peek(field) + 1
+        self.poke(field, ipc_id)
+        # Linux multiplies by a seq stride; a small stride keeps traces tidy.
+        return ipc_id * 32768 // 32768
+
+
+class MsgQueue(KStruct):
+    """A System V message queue."""
+
+    FIELDS = {"key": 4, "qnum": 8, "lspid": 4, "lrpid": 4, "ctime": 8}
+
+    def __init__(self, arena: KernelArena, key: int, ctime: int):
+        super().__init__(arena, key=key, ctime=ctime)
+        self.messages: List[tuple] = []  # (mtype, text)
+
+
+class ShmSegment(KStruct):
+    """A System V shared memory segment."""
+
+    FIELDS = {"key": 4, "size": 8, "cpid": 4, "nattch": 4}
+
+    def __init__(self, arena: KernelArena, key: int, size: int, cpid: int):
+        super().__init__(arena, key=key, size=size, cpid=cpid)
+
+
+class SemSet(KStruct):
+    """A System V semaphore set."""
+
+    FIELDS = {"key": 4, "nsems": 4}
+
+    def __init__(self, arena: KernelArena, key: int, nsems: int):
+        super().__init__(arena, key=key, nsems=nsems)
+        self.values = [0] * nsems
+
+
+class PosixMqueue(KStruct):
+    """A POSIX message queue (``mq_overview(7)``)."""
+
+    FIELDS = {"curmsgs": 4, "maxmsg": 4}
+
+    def __init__(self, arena: KernelArena, name: str, maxmsg: int = 10):
+        super().__init__(arena, maxmsg=maxmsg)
+        self.name = name
+        self.messages: List[tuple] = []  # (priority, text), max-prio first
+
+
+class MqFile(FileObject):
+    """An open POSIX message queue descriptor."""
+
+    resource_kind = "fd_mqueue"
+
+    def __init__(self, queue: PosixMqueue):
+        super().__init__()
+        self.queue = queue
+
+    def describe(self) -> str:
+        return f"mqueue:{self.queue.name}"
+
+
+class IpcSubsystem:
+    """Syscall-facing System V IPC implementation."""
+
+    def __init__(self, kernel: "Kernel"):
+        self._kernel = kernel
+
+    @property
+    def tracer(self):
+        return self._kernel.tracer
+
+    @staticmethod
+    def _ns_of(task: Task) -> IpcNamespace:
+        ns = task.nsproxy.get(NamespaceType.IPC)
+        assert isinstance(ns, IpcNamespace)
+        return ns
+
+    # -- message queues ---------------------------------------------------
+
+    @kfunc
+    def msgget(self, task: Task, key: int, flags: int) -> int:
+        ns = self._ns_of(task)
+        if key != IPC_PRIVATE:
+            existing = ns.msg_keys.lookup(key)
+            if existing is not None:
+                if flags & IPC_CREAT and flags & IPC_EXCL:
+                    raise SyscallError(EEXIST)
+                return existing
+            if not flags & IPC_CREAT:
+                raise SyscallError(ENOMSG)
+        if len(ns.msg_queues) >= ns.msg_quota:
+            raise SyscallError(ENOSPC, "per-namespace msg quota")
+        queue = MsgQueue(self._kernel.arena, key, self._kernel.clock.now_sec())
+        msqid = ns.next_id("msg")
+        ns.msg_queues.insert(msqid, queue)
+        if key != IPC_PRIVATE:
+            ns.msg_keys.insert(key, msqid)
+        return msqid
+
+    def _queue(self, ns: IpcNamespace, msqid: int) -> MsgQueue:
+        queue = ns.msg_queues.lookup(msqid)
+        if queue is None:
+            raise SyscallError(EINVAL, f"no msg queue {msqid}")
+        return queue
+
+    @kfunc
+    def msgsnd(self, task: Task, msqid: int, mtype: int, text: str) -> int:
+        ns = self._ns_of(task)
+        queue = self._queue(ns, msqid)
+        queue.messages.append((mtype, text))
+        queue.kset("qnum", queue.peek("qnum") + 1)
+        queue.kset("lspid", self._global_pid(task))
+        return 0
+
+    @kfunc
+    def msgrcv(self, task: Task, msqid: int) -> str:
+        ns = self._ns_of(task)
+        queue = self._queue(ns, msqid)
+        if not queue.messages:
+            raise SyscallError(ENOMSG)
+        __, text = queue.messages.pop(0)
+        queue.kset("qnum", queue.peek("qnum") - 1)
+        queue.kset("lrpid", self._global_pid(task))
+        return text
+
+    def _global_pid(self, task: Task) -> int:
+        """The kernel-internal PID (init-namespace number, struct pid)."""
+        root_ns = self._kernel.init_task.pid_ns
+        vpid = task.vpid_in(root_ns)
+        return vpid if vpid is not None else task.pid
+
+    @kfunc
+    def msgctl(self, task: Task, msqid: int, cmd: int) -> Dict[str, int]:
+        """``msgctl(2)``: IPC_STAT returns the queue status struct.
+
+        The ``msg_lspid`` field is where the §2.1 historical bug lives:
+        buggy kernels report the raw global PID; fixed kernels translate
+        into the caller's PID namespace (0 when not visible).
+        """
+        ns = self._ns_of(task)
+        queue = self._queue(ns, msqid)
+        if cmd == IPC_RMID:
+            ns.msg_queues.delete(msqid)
+            key = queue.peek("key")
+            if key != IPC_PRIVATE and key in ns.msg_keys.peek_items():
+                ns.msg_keys.delete(key)
+            return {"ret": 0}
+        if cmd != IPC_STAT:
+            raise SyscallError(EINVAL)
+        lspid = queue.kget("lspid")
+        lrpid = queue.kget("lrpid")
+        if not self._kernel.bugs.msg_stat_global_pid:
+            lspid = self._translate_pid(task, lspid)
+            lrpid = self._translate_pid(task, lrpid)
+        return {
+            "msg_qnum": queue.kget("qnum"),
+            "msg_lspid": lspid,
+            "msg_lrpid": lrpid,
+            "msg_ctime": queue.kget("ctime"),
+        }
+
+    def _translate_pid(self, reader: Task, raw_pid: int) -> int:
+        """Map a global PID into *reader*'s PID namespace (fixed behaviour)."""
+        if raw_pid == 0:
+            return 0
+        for candidate in self._kernel.tasks.all_tasks():
+            if candidate.pid == raw_pid or raw_pid in candidate.pid_numbers.values():
+                vpid = candidate.vpid_in(reader.pid_ns)
+                return vpid if vpid is not None else 0
+        return 0
+
+    # -- POSIX message queues ----------------------------------------------
+
+    @kfunc
+    def mq_open(self, task: Task, name: str, flags: int) -> MqFile:
+        """``mq_open(3)``; names live in the caller's IPC namespace."""
+        if not name.startswith("/") or len(name) < 2:
+            raise SyscallError(EINVAL, f"bad mq name {name!r}")
+        ns = self._ns_of(task)
+        queue = ns.posix_mqueues.lookup(name)
+        if queue is None:
+            if not flags & IPC_CREAT:
+                raise SyscallError(ENOMSG, name)
+            if len(ns.posix_mqueues) >= ns.msg_quota:
+                raise SyscallError(ENOSPC, "per-namespace mq quota")
+            queue = PosixMqueue(self._kernel.arena, name)
+            ns.posix_mqueues.insert(name, queue)
+        elif flags & IPC_CREAT and flags & IPC_EXCL:
+            raise SyscallError(EEXIST, name)
+        return MqFile(queue)
+
+    @kfunc
+    def mq_send(self, task: Task, mq: MqFile, text: str, priority: int) -> int:
+        queue = mq.queue
+        if queue.peek("curmsgs") >= queue.kget("maxmsg"):
+            raise SyscallError(ENOSPC, "queue full")
+        queue.messages.append((priority, text))
+        queue.messages.sort(key=lambda item: -item[0])
+        queue.kset("curmsgs", queue.peek("curmsgs") + 1)
+        return 0
+
+    @kfunc
+    def mq_receive(self, task: Task, mq: MqFile) -> str:
+        queue = mq.queue
+        if not queue.messages:
+            raise SyscallError(ENOMSG)
+        __, text = queue.messages.pop(0)
+        queue.kset("curmsgs", queue.peek("curmsgs") - 1)
+        return text
+
+    @kfunc
+    def mq_unlink(self, task: Task, name: str) -> int:
+        ns = self._ns_of(task)
+        if ns.posix_mqueues.lookup(name) is None:
+            raise SyscallError(ENOMSG, name)
+        ns.posix_mqueues.delete(name)
+        return 0
+
+    # -- shared memory ----------------------------------------------------
+
+    @kfunc
+    def shmget(self, task: Task, key: int, size: int, flags: int) -> int:
+        ns = self._ns_of(task)
+        if size <= 0:
+            raise SyscallError(EINVAL)
+        if key != IPC_PRIVATE:
+            existing = ns.shm_keys.lookup(key)
+            if existing is not None:
+                if flags & IPC_CREAT and flags & IPC_EXCL:
+                    raise SyscallError(EEXIST)
+                return existing
+            if not flags & IPC_CREAT:
+                raise SyscallError(ENOMSG)
+        segment = ShmSegment(self._kernel.arena, key, size, task.pid)
+        shmid = ns.next_id("shm")
+        ns.shm_segments.insert(shmid, segment)
+        if key != IPC_PRIVATE:
+            ns.shm_keys.insert(key, shmid)
+        return shmid
+
+    @kfunc
+    def shmctl(self, task: Task, shmid: int, cmd: int) -> Dict[str, int]:
+        ns = self._ns_of(task)
+        segment = ns.shm_segments.lookup(shmid)
+        if segment is None:
+            raise SyscallError(EINVAL)
+        if cmd == IPC_RMID:
+            ns.shm_segments.delete(shmid)
+            return {"ret": 0}
+        if cmd != IPC_STAT:
+            raise SyscallError(EINVAL)
+        return {
+            "shm_segsz": segment.kget("size"),
+            "shm_cpid": segment.kget("cpid"),
+            "shm_nattch": segment.kget("nattch"),
+        }
+
+    @kfunc
+    def shmat(self, task: Task, shmid: int) -> int:
+        """``shmat(2)`` (attachment bookkeeping only — no address space)."""
+        ns = self._ns_of(task)
+        segment = ns.shm_segments.lookup(shmid)
+        if segment is None:
+            raise SyscallError(EINVAL)
+        segment.kset("nattch", segment.peek("nattch") + 1)
+        return 0
+
+    @kfunc
+    def shmdt(self, task: Task, shmid: int) -> int:
+        ns = self._ns_of(task)
+        segment = ns.shm_segments.lookup(shmid)
+        if segment is None:
+            raise SyscallError(EINVAL)
+        if segment.peek("nattch") <= 0:
+            raise SyscallError(EINVAL, "not attached")
+        segment.kset("nattch", segment.peek("nattch") - 1)
+        return 0
+
+    # -- semaphores ---------------------------------------------------------
+
+    @kfunc
+    def semget(self, task: Task, key: int, nsems: int, flags: int) -> int:
+        ns = self._ns_of(task)
+        if nsems <= 0 or nsems > 250:
+            raise SyscallError(EINVAL)
+        if key != IPC_PRIVATE:
+            existing = ns.sem_keys.lookup(key)
+            if existing is not None:
+                if flags & IPC_CREAT and flags & IPC_EXCL:
+                    raise SyscallError(EEXIST)
+                return existing
+            if not flags & IPC_CREAT:
+                raise SyscallError(ENOMSG)
+        sem_set = SemSet(self._kernel.arena, key, nsems)
+        semid = ns.next_id("sem")
+        ns.sem_sets.insert(semid, sem_set)
+        if key != IPC_PRIVATE:
+            ns.sem_keys.insert(key, semid)
+        return semid
+
+    @kfunc
+    def semop(self, task: Task, semid: int, sem_num: int, delta: int) -> int:
+        """``semop(2)`` with one sembuf; would-block becomes EAGAIN
+        (IPC_NOWAIT semantics — the executor never blocks)."""
+        from .errno import EAGAIN, ERANGE
+
+        ns = self._ns_of(task)
+        sem_set = ns.sem_sets.lookup(semid)
+        if sem_set is None:
+            raise SyscallError(EINVAL)
+        if not 0 <= sem_num < sem_set.peek("nsems"):
+            raise SyscallError(ERANGE, f"semnum {sem_num}")
+        value = sem_set.values[sem_num] + delta
+        if value < 0:
+            raise SyscallError(EAGAIN, "would block")
+        sem_set.values[sem_num] = value
+        # Traced write: semaphore values are shared IPC-ns state.
+        sem_set.kset("nsems", sem_set.peek("nsems"))
+        return 0

@@ -1,0 +1,317 @@
+"""Traced kernel memory — the simulated kernel's address space.
+
+Every piece of mutable kernel state in the simulator lives in one of the
+containers defined here, all of which are allocated from a
+:class:`KernelArena`:
+
+* :class:`KStruct` — a C-struct-like object with declared fields.  Field
+  loads/stores are reported to the kernel tracer with the field's address
+  (struct base + field offset), its width, and the instruction address of
+  the kernel-model code performing the access.
+* :class:`KCell` — a scalar global variable (one addressed word).
+* :class:`KList` / :class:`KDict` — linked-list / table containers whose
+  *structural* mutations (insert, remove) are writes to a header word and
+  whose traversals are reads of it, matching how list heads behave in
+  real kernel memory traces.
+
+This is the load-bearing substitution for KIT's compiler instrumentation:
+KIT's data-flow analysis only needs (width, r/w, address, instruction
+address, call stack) tuples for accesses to shared kernel memory, and the
+arena provides exactly those with the same aliasing semantics (state that
+is global in Linux is a single arena allocation here; state that is
+per-namespace is allocated per namespace instance, so its addresses never
+collide across containers).
+
+Struct/cell values are ordinary Python attributes so snapshots are plain
+pickles; the arena holds no values, only the address map and the tracer
+hook.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from .ktrace import INSTRUCTIONS, KernelTracer
+
+_WORD = 8
+_ALLOC_ALIGN = 64
+
+
+def _align(value: int, alignment: int) -> int:
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+class KernelArena:
+    """Address allocator and trace hook for simulated kernel memory."""
+
+    _HEAP_BASE = 0xFFFF888000000000
+
+    def __init__(self) -> None:
+        self._next_addr = self._HEAP_BASE
+        self.tracer: Optional[KernelTracer] = None
+
+    # The tracer is runtime instrumentation state, never kernel state:
+    # exclude it from snapshots.
+    def __getstate__(self) -> Dict[str, Any]:
+        return {"_next_addr": self._next_addr}
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self._next_addr = state["_next_addr"]
+        self.tracer = None
+
+    def alloc(self, size: int) -> int:
+        """Reserve *size* bytes and return the base address."""
+        addr = self._next_addr
+        self._next_addr += _align(max(size, 1), _ALLOC_ALIGN)
+        return addr
+
+    def record(self, addr: int, width: int, is_write: bool, depth: int = 2) -> None:
+        """Report one memory access to the tracer, if tracing is active.
+
+        *depth* selects the stack frame whose source location becomes the
+        instruction address — the kernel-model line that performed the
+        access, not the accessor helper itself.
+        """
+        tracer = self.tracer
+        if tracer is None or not tracer.enabled:
+            return
+        frame = sys._getframe(depth)
+        ip = INSTRUCTIONS.address_for(frame.f_code.co_filename, frame.f_lineno)
+        tracer.on_access(addr, width, is_write, ip)
+
+
+class KStruct:
+    """Base class for traced kernel structures.
+
+    Subclasses declare ``FIELDS`` mapping field name to width in bytes::
+
+        class PacketType(KStruct):
+            FIELDS = {"ptype": 2, "dev": 8, "netns": 8}
+
+    Offsets are computed at class definition time (cumulative, naturally
+    aligned), so a field's address is stable for the lifetime of the
+    object.  Reads and writes go through :meth:`kget` / :meth:`kset`.
+
+    Set ``TRACED = False`` on subclasses that model untraced subsystems
+    (the paper excludes e.g. scheduler internals and debug hooks from
+    instrumentation).
+    """
+
+    FIELDS: Dict[str, int] = {}
+    TRACED = True
+
+    _offsets: Dict[str, int]
+    _size: int
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        super().__init_subclass__(**kwargs)
+        offsets: Dict[str, int] = {}
+        offset = 0
+        for name, width in cls.FIELDS.items():
+            offset = _align(offset, min(width, _WORD))
+            offsets[name] = offset
+            offset += width
+        cls._offsets = offsets
+        cls._size = max(offset, 1)
+
+    def __init__(self, arena: KernelArena, **initial: Any):
+        self._arena = arena
+        self._base = arena.alloc(self._size)
+        self._values: Dict[str, Any] = {name: 0 for name in self.FIELDS}
+        for name, value in initial.items():
+            if name not in self.FIELDS:
+                raise KeyError(f"{type(self).__name__} has no field {name!r}")
+            self._values[name] = value
+
+    @property
+    def base_address(self) -> int:
+        return self._base
+
+    def field_address(self, field: str) -> int:
+        return self._base + self._offsets[field]
+
+    def kget(self, field: str) -> Any:
+        """Traced load of *field*."""
+        if self.TRACED:
+            self._arena.record(self._base + self._offsets[field], self.FIELDS[field], False)
+        return self._values[field]
+
+    def kset(self, field: str, value: Any) -> None:
+        """Traced store to *field*."""
+        if self.TRACED:
+            self._arena.record(self._base + self._offsets[field], self.FIELDS[field], True)
+        self._values[field] = value
+
+    def peek(self, field: str) -> Any:
+        """Untraced load — for assertions, decoding, and tests only."""
+        return self._values[field]
+
+    def poke(self, field: str, value: Any) -> None:
+        """Untraced store — for setup code that models boot-time init."""
+        self._values[field] = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        fields = ", ".join(f"{k}={v!r}" for k, v in self._values.items())
+        return f"{type(self).__name__}@{self._base:#x}({fields})"
+
+
+class KCell:
+    """A scalar kernel global (e.g. a counter shared by all namespaces)."""
+
+    __slots__ = ("_arena", "_addr", "_width", "_value")
+
+    def __init__(self, arena: KernelArena, width: int = _WORD, init: Any = 0):
+        self._arena = arena
+        self._addr = arena.alloc(width)
+        self._width = width
+        self._value = init
+
+    def __getstate__(self) -> Tuple[Any, ...]:
+        return (self._arena, self._addr, self._width, self._value)
+
+    def __setstate__(self, state: Tuple[Any, ...]) -> None:
+        self._arena, self._addr, self._width, self._value = state
+
+    @property
+    def address(self) -> int:
+        return self._addr
+
+    def get(self, depth: int = 2) -> Any:
+        """Traced load.
+
+        *depth* picks the frame credited as the instruction address;
+        helpers that wrap a cell on behalf of their caller (e.g. jump
+        labels, which the real kernel inlines at each use site) pass 3 so
+        the *call site* owns the access, as inlining would make it.
+        """
+        self._arena.record(self._addr, self._width, False, depth)
+        return self._value
+
+    def set(self, value: Any, depth: int = 2) -> None:
+        self._arena.record(self._addr, self._width, True, depth)
+        self._value = value
+
+    def add(self, delta: int, depth: int = 2) -> Any:
+        """Traced read-modify-write, like ``atomic_add`` (one read, one write)."""
+        self._arena.record(self._addr, self._width, False, depth)
+        self._arena.record(self._addr, self._width, True, depth)
+        self._value += delta
+        return self._value
+
+    def peek(self) -> Any:
+        return self._value
+
+    def poke(self, value: Any) -> None:
+        self._value = value
+
+
+class KList:
+    """A traced list with a header word, like a kernel ``list_head``.
+
+    Structural mutations write the header; traversal reads it.  This makes
+    a sender's insert and a receiver's iteration overlap on the header
+    address — precisely the write/read pair KIT's data-flow analysis keys
+    on for list-carried interference (e.g. the global ``ptype`` lists of
+    bug #1).
+    """
+
+    __slots__ = ("_arena", "_addr", "_items")
+
+    def __init__(self, arena: KernelArena):
+        self._arena = arena
+        self._addr = arena.alloc(_WORD)
+        self._items: List[Any] = []
+
+    def __getstate__(self) -> Tuple[Any, ...]:
+        return (self._arena, self._addr, self._items)
+
+    def __setstate__(self, state: Tuple[Any, ...]) -> None:
+        self._arena, self._addr, self._items = state
+
+    @property
+    def address(self) -> int:
+        return self._addr
+
+    def append(self, item: Any) -> None:
+        self._arena.record(self._addr, _WORD, True)
+        self._items.append(item)
+
+    def remove(self, item: Any) -> None:
+        self._arena.record(self._addr, _WORD, True)
+        self._items.remove(item)
+
+    def pop_front(self) -> Any:
+        """Dequeue the oldest item (traced write, like list_del)."""
+        self._arena.record(self._addr, _WORD, True)
+        return self._items.pop(0)
+
+    def __iter__(self) -> Iterator[Any]:
+        self._arena.record(self._addr, _WORD, False)
+        return iter(list(self._items))
+
+    def __len__(self) -> int:
+        self._arena.record(self._addr, _WORD, False)
+        return len(self._items)
+
+    def peek_items(self) -> List[Any]:
+        """Untraced view for tests and decoding."""
+        return list(self._items)
+
+
+class KDict:
+    """A traced table (IDR/radix-tree stand-in) keyed by integers or strings.
+
+    Like :class:`KList`, mutations write and lookups read a single header
+    word; values are typically :class:`KStruct` instances whose field
+    accesses are traced individually.
+    """
+
+    __slots__ = ("_arena", "_addr", "_items")
+
+    def __init__(self, arena: KernelArena):
+        self._arena = arena
+        self._addr = arena.alloc(_WORD)
+        self._items: Dict[Any, Any] = {}
+
+    def __getstate__(self) -> Tuple[Any, ...]:
+        return (self._arena, self._addr, self._items)
+
+    def __setstate__(self, state: Tuple[Any, ...]) -> None:
+        self._arena, self._addr, self._items = state
+
+    @property
+    def address(self) -> int:
+        return self._addr
+
+    def insert(self, key: Any, value: Any) -> None:
+        self._arena.record(self._addr, _WORD, True)
+        self._items[key] = value
+
+    def delete(self, key: Any) -> None:
+        self._arena.record(self._addr, _WORD, True)
+        del self._items[key]
+
+    def lookup(self, key: Any, default: Any = None) -> Any:
+        self._arena.record(self._addr, _WORD, False)
+        return self._items.get(key, default)
+
+    def __contains__(self, key: Any) -> bool:
+        self._arena.record(self._addr, _WORD, False)
+        return key in self._items
+
+    def __iter__(self) -> Iterator[Any]:
+        self._arena.record(self._addr, _WORD, False)
+        return iter(dict(self._items))
+
+    def __len__(self) -> int:
+        self._arena.record(self._addr, _WORD, False)
+        return len(self._items)
+
+    def values(self) -> List[Any]:
+        self._arena.record(self._addr, _WORD, False)
+        return list(self._items.values())
+
+    def peek_items(self) -> Dict[Any, Any]:
+        """Untraced view for tests and decoding."""
+        return dict(self._items)

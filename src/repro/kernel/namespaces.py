@@ -1,0 +1,197 @@
+"""Linux namespace model (paper Table 1).
+
+Eight namespace types, each protecting one class of kernel resource:
+
+=========  =========================================
+Type       Kernel resource isolated
+=========  =========================================
+PID        Process ID
+Mount      Mount point
+UTS        Hostname
+IPC        System V IPC; POSIX message queue
+Net        Network stack
+User       UID; GID; capabilities
+Cgroup     Cgroups root directory
+Time       System time
+=========  =========================================
+
+A process is always associated with exactly one instance of each type,
+collected in its :class:`NsProxy`.  ``unshare`` creates-and-joins fresh
+instances for the requested types; ``setns`` switches to an existing
+instance.  Subsystem state that Linux keeps per-namespace hangs off the
+concrete ``Namespace`` subclasses defined by each subsystem module.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Dict, Iterable, List
+
+from .memory import KernelArena, KStruct
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .kernel import Kernel
+
+
+class NamespaceType(enum.IntEnum):
+    """The eight Linux namespace types."""
+
+    PID = 0
+    MNT = 1
+    UTS = 2
+    IPC = 3
+    NET = 4
+    USER = 5
+    CGROUP = 6
+    TIME = 7
+
+
+#: ``unshare(2)`` / ``clone(2)`` flag values, matching ``sched.h``.
+CLONE_NEWNS = 0x00020000
+CLONE_NEWCGROUP = 0x02000000
+CLONE_NEWUTS = 0x04000000
+CLONE_NEWIPC = 0x08000000
+CLONE_NEWUSER = 0x10000000
+CLONE_NEWPID = 0x20000000
+CLONE_NEWNET = 0x40000000
+CLONE_NEWTIME = 0x00000080
+
+CLONE_FLAGS: Dict[NamespaceType, int] = {
+    NamespaceType.MNT: CLONE_NEWNS,
+    NamespaceType.CGROUP: CLONE_NEWCGROUP,
+    NamespaceType.UTS: CLONE_NEWUTS,
+    NamespaceType.IPC: CLONE_NEWIPC,
+    NamespaceType.USER: CLONE_NEWUSER,
+    NamespaceType.PID: CLONE_NEWPID,
+    NamespaceType.NET: CLONE_NEWNET,
+    NamespaceType.TIME: CLONE_NEWTIME,
+}
+
+ALL_NAMESPACE_FLAGS = 0
+for _flag in CLONE_FLAGS.values():
+    ALL_NAMESPACE_FLAGS |= _flag
+
+#: Resource isolated by each namespace type (Table 1 of the paper).
+ISOLATED_RESOURCE: Dict[NamespaceType, str] = {
+    NamespaceType.PID: "Process ID",
+    NamespaceType.MNT: "Mount point",
+    NamespaceType.UTS: "Hostname",
+    NamespaceType.IPC: "System V IPC; POSIX message queue",
+    NamespaceType.NET: "Network stack",
+    NamespaceType.USER: "UID; GID; capabilities",
+    NamespaceType.CGROUP: "Cgroups root directory",
+    NamespaceType.TIME: "System time",
+}
+
+
+def flags_to_types(flags: int) -> List[NamespaceType]:
+    """Decode a CLONE_NEW* bitmask into namespace types."""
+    return [ns_type for ns_type, flag in CLONE_FLAGS.items() if flags & flag]
+
+
+class Namespace(KStruct):
+    """Base class for a namespace instance.
+
+    Every instance gets a unique inode number (``inum``), like the
+    ``/proc/<pid>/ns/*`` inodes user space compares to tell instances
+    apart.  Subsystem state lives on concrete subclasses.
+    """
+
+    FIELDS = {"inum": 8}
+    NS_TYPE: NamespaceType
+
+    def __init__(self, arena: KernelArena, inum: int):
+        super().__init__(arena, inum=inum)
+
+    @property
+    def inum(self) -> int:
+        """Untraced identity accessor (used for bookkeeping, not dataflow)."""
+        return self.peek("inum")
+
+    def __eq__(self, other: object) -> bool:
+        return self is other
+
+    def __hash__(self) -> int:
+        return id(self)
+
+
+class UserNamespace(Namespace):
+    """User namespace: UID/GID mappings and capability domain."""
+
+    NS_TYPE = NamespaceType.USER
+    FIELDS = {"inum": 8, "owner_uid": 4, "level": 4}
+
+
+class CgroupNamespace(Namespace):
+    """Cgroup namespace: virtualized cgroup root directory."""
+
+    NS_TYPE = NamespaceType.CGROUP
+    FIELDS = {"inum": 8, "root_path": 8}
+
+
+class TimeNamespace(Namespace):
+    """Time namespace: per-namespace boottime/monotonic clock offsets."""
+
+    NS_TYPE = NamespaceType.TIME
+    FIELDS = {"inum": 8, "monotonic_offset": 8, "boottime_offset": 8}
+
+
+class NsProxy:
+    """The set of namespace instances a task is associated with.
+
+    Mirrors ``struct nsproxy``: one instance per type, copy-on-unshare.
+    """
+
+    __slots__ = ("namespaces",)
+
+    def __init__(self, namespaces: Dict[NamespaceType, Namespace]):
+        missing = set(NamespaceType) - set(namespaces)
+        if missing:
+            raise ValueError(f"nsproxy missing namespace types: {sorted(missing)}")
+        self.namespaces = dict(namespaces)
+
+    def get(self, ns_type: NamespaceType) -> Namespace:
+        return self.namespaces[ns_type]
+
+    def copy_with(self, replacements: Dict[NamespaceType, Namespace]) -> "NsProxy":
+        updated = dict(self.namespaces)
+        updated.update(replacements)
+        return NsProxy(updated)
+
+    def shares_with(self, other: "NsProxy", ns_type: NamespaceType) -> bool:
+        """True if both proxies use the same instance of *ns_type*."""
+        return self.namespaces[ns_type] is other.namespaces[ns_type]
+
+    def types_differing_from(self, other: "NsProxy") -> List[NamespaceType]:
+        return [t for t in NamespaceType if not self.shares_with(other, t)]
+
+
+class NamespaceRegistry:
+    """Allocates namespace inode numbers and tracks live instances.
+
+    The initial namespaces created at boot use the well-known inum range
+    Linux reserves (0xEFFFFFxx) so traces are recognizable.
+    """
+
+    _INITIAL_INUM = 0xEFFFFFF0
+    _DYNAMIC_INUM = 0xF0000000
+
+    def __init__(self) -> None:
+        self._next_inum = self._DYNAMIC_INUM
+        self.instances: Dict[NamespaceType, List[Namespace]] = {
+            ns_type: [] for ns_type in NamespaceType
+        }
+
+    def initial_inum(self, ns_type: NamespaceType) -> int:
+        return self._INITIAL_INUM + int(ns_type)
+
+    def next_inum(self) -> int:
+        inum = self._next_inum
+        self._next_inum += 1
+        return inum
+
+    def register(self, namespace: Namespace) -> None:
+        self.instances[namespace.NS_TYPE].append(namespace)
+
+    def live(self, ns_type: NamespaceType) -> Iterable[Namespace]:
+        return list(self.instances[ns_type])

@@ -1,0 +1,12 @@
+"""The simulated network stack.
+
+Most of the paper's findings live here: 7 of the 9 new bugs (Table 2) and
+3 of the 5 reproduced known bugs (Table 3) are network-namespace bugs,
+which the paper attributes to the subsystem's complexity.  Each submodule
+documents the bug(s) it hosts.
+"""
+
+from .netns import NetNamespace
+from .socket import NetSubsystem, Socket
+
+__all__ = ["NetNamespace", "NetSubsystem", "Socket"]

@@ -1,0 +1,130 @@
+"""Netfilter connection tracking — known bugs D and F.
+
+**Bug D** (CVE-2021-38209, Linux 5.13): the ``nf_conntrack_max`` sysctl
+is a single global — a privileged user inside *any* network namespace can
+read and write the host-wide limit through
+``/proc/sys/net/netfilter/nf_conntrack_max``.  The fixed kernel gives
+each namespace its own value.
+
+**Bug F** (the paper's first §6.2 *non-detectable* case, commit
+e77e6ff502ea): ``/proc/net/nf_conntrack`` dumps conntrack entries of
+*other* namespaces.  KIT cannot detect it, because the file's contents
+are non-deterministic even without any interference: entries carry
+ticking timeout counters and background traffic churns the table.  The
+simulation reproduces both properties — per-entry timeouts derived from
+the virtual clock, plus boot-offset-dependent background entries created
+from the timer interrupt — so the non-determinism filter (correctly,
+per the paper) suppresses the leak.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from ..ktrace import kfunc
+from ..memory import KCell, KList, KStruct
+from ..task import Task
+from .netns import NetNamespace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..kernel import Kernel
+
+#: Conntrack entry lifetime, seconds (``nf_conntrack_udp_timeout``-ish).
+ENTRY_TIMEOUT_SEC = 180
+
+
+class ConntrackEntry(KStruct):
+    """One tracked connection."""
+
+    FIELDS = {"src_port": 2, "dst_port": 2, "created_sec": 8}
+
+    def __init__(self, kernel: "Kernel", ns: NetNamespace, proto: str,
+                 src_port: int, dst_port: int, created_sec: int):
+        super().__init__(kernel.arena, src_port=src_port, dst_port=dst_port,
+                         created_sec=created_sec)
+        self.ns = ns
+        self.proto = proto
+
+
+class ConntrackSubsystem:
+    """Entry table(s), the max sysctl, and the procfs dump."""
+
+    def __init__(self, kernel: "Kernel"):
+        self._kernel = kernel
+        #: The buggy single global sysctl value (bug D).
+        self.global_max = KCell(kernel.arena, 4, init=65536)
+        #: Entries of every namespace (the dump iterates this, bug F).
+        self.entries = KList(kernel.arena)
+
+    @property
+    def tracer(self):
+        return self._kernel.tracer
+
+    # -- sysctl (bug D) ----------------------------------------------------
+
+    @kfunc
+    def sysctl_read_max(self, task: Task, ns: NetNamespace) -> int:
+        if self._kernel.bugs.conntrack_max_global:
+            return self.global_max.get()
+        return ns.nf_conntrack_max.get()
+
+    @kfunc
+    def sysctl_write_max(self, task: Task, ns: NetNamespace, value: int) -> int:
+        from ..errno import EPERM, SyscallError
+        from ..task import CAP_NET_ADMIN
+
+        if not task.capable(CAP_NET_ADMIN):
+            raise SyscallError(EPERM, "conntrack sysctls need CAP_NET_ADMIN")
+        if self._kernel.bugs.conntrack_max_global:
+            self.global_max.set(value)
+        else:
+            ns.nf_conntrack_max.set(value)
+        return 0
+
+    # -- entries (bug F) -----------------------------------------------------
+
+    def track(self, ns: NetNamespace, proto: str, src_port: int, dst_port: int) -> None:
+        """Record a connection (called from the transmit path)."""
+        entry = ConntrackEntry(self._kernel, ns, proto, src_port, dst_port,
+                               self._kernel.clock.now_sec())
+        self.entries.append(entry)
+        ns.conntrack.append(entry)
+
+    def background_churn(self) -> None:
+        """Timer-interrupt work: background traffic on the host.
+
+        The number of live background entries depends on the boot offset,
+        so two receiver-alone executions started at different times see
+        different dumps — the inherent non-determinism that makes bug F
+        invisible to functional interference testing (§6.2).
+        """
+        init_ns = self._kernel.init_net
+        boot_sec = self._kernel.clock.boot_offset_ns // 1_000_000_000
+        wanted = boot_sec % 3  # 0..2 background flows, boot-time dependent
+        have = sum(1 for e in self.entries.peek_items() if e.proto == "udp-bg")
+        while have < wanted:
+            self.track(init_ns, "udp-bg", 30000 + have, 53)
+            have += 1
+
+    @kfunc
+    def render_proc_conntrack(self, task: Task, ns: NetNamespace) -> str:
+        """``/proc/net/nf_conntrack``.
+
+        Buggy kernel: dumps entries of all namespaces.  Fixed kernel:
+        only the reader's.  Either way each line carries the remaining
+        timeout, which ticks with the clock.
+        """
+        now = self._kernel.clock.now_sec()
+        lines: List[str] = []
+        if self._kernel.bugs.conntrack_proc_leak:
+            visible = list(self.entries)
+        else:
+            visible = list(ns.conntrack)
+        for entry in visible:
+            remaining = max(0, ENTRY_TIMEOUT_SEC - (now - entry.kget("created_sec")))
+            lines.append(
+                f"ipv4     2 {entry.proto:<6} 17 {remaining} "
+                f"src=10.0.0.1 dst=10.0.0.2 sport={entry.kget('src_port')} "
+                f"dport={entry.kget('dst_port')}"
+            )
+        return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,199 @@
+"""IPv6 flow label management — bugs #2 and #4 (paper §6.1, Figure 5).
+
+Linux uses a two-stage management model.  While no *exclusive* flow label
+is registered anywhere, any process may stamp packets with any label and
+the expensive collision checks are skipped.  The moment one exclusive
+label exists, the strict model kicks in: using an unregistered label on
+``sendto`` (bug #2) or ``connect`` (bug #4) is rejected.
+
+The root cause of both bugs is that the mode switch,
+``ipv6_flowlabel_exclusive``, is a **global static key** rather than
+per-net-namespace state: one container registering an exclusive label
+flips every other container into the strict model.
+
+The static key is a *jump label* — implemented by code patching, not by
+a normal memory access — so KIT's profiling instrumentation cannot see
+reads of it.  :class:`JumpLabel` reproduces that: with
+``config.jump_label`` enabled, reads/writes bypass the traced arena
+entirely (data-flow analysis is blind to them, §6.1); with the config
+off, the key degrades to an ordinary traced cell, and the data-flow
+analysis finds the bug.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..errno import EEXIST, EINVAL, EPERM, SyscallError
+from ..ktrace import kfunc
+from ..memory import KCell, KernelArena, KStruct
+from ..task import Task
+from .netns import NetNamespace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..kernel import Kernel
+
+#: ``IPV6_FLOWLABEL_MGR`` share modes (``linux/in6.h``).
+FL_SHARE_NONE = 0
+FL_SHARE_ANY = 255
+FL_SHARE_PROCESS = 1
+FL_SHARE_USER = 2
+FL_SHARE_EXCL = 4
+
+#: ``flr_action`` values.
+FL_ACTION_GET = 1
+FL_ACTION_PUT = 2
+
+_LABEL_MASK = 0xFFFFF
+
+
+class JumpLabel:
+    """A static-branch key, optionally invisible to memory tracing.
+
+    ``CONFIG_JUMP_LABEL=y`` (the default in distro kernels) implements
+    static keys by code patching; the paper notes this hides the
+    ``ipv6_flowlabel_exclusive`` data flow from KIT's instrumentation.
+    """
+
+    __slots__ = ("_patched", "_count", "_cell")
+
+    def __init__(self, arena: KernelArena, patched: bool):
+        self._patched = patched
+        self._count = 0
+        self._cell: Optional[KCell] = None if patched else KCell(arena, 4)
+
+    def inc(self) -> None:
+        if self._patched:
+            self._count += 1
+        else:
+            # depth=3: credit the call site, as static-key code patching
+            # would place the write at each inlined location.
+            self._cell.set(self._cell.peek() + 1, depth=3)
+
+    def dec(self) -> None:
+        if self._patched:
+            self._count -= 1
+        else:
+            self._cell.set(self._cell.peek() - 1, depth=3)
+
+    def enabled(self) -> bool:
+        if self._patched:
+            return self._count > 0
+        # depth=3: each static_branch_unlikely() use site is a distinct
+        # instruction in the real kernel; credit the caller's line.
+        return self._cell.get(depth=3) > 0
+
+    def peek_count(self) -> int:
+        return self._count if self._patched else self._cell.peek()
+
+
+class FlowLabel(KStruct):
+    """One registered flow label (``struct ip6_flowlabel``)."""
+
+    FIELDS = {"label": 4, "share": 4, "owner_pid": 4}
+
+    def __init__(self, arena: KernelArena, label: int, share: int, owner_pid: int):
+        super().__init__(arena, label=label, share=share, owner_pid=owner_pid)
+
+
+class FlowLabelSubsystem:
+    """Flow label registration and the send/connect-time checks."""
+
+    def __init__(self, kernel: "Kernel"):
+        self._kernel = kernel
+        #: The global static key — shared by all namespaces (the bug).
+        self.exclusive_global = JumpLabel(kernel.arena, patched=kernel.config.jump_label)
+
+    @property
+    def tracer(self):
+        return self._kernel.tracer
+
+    @kfunc
+    def fl_create(self, task: Task, ns: NetNamespace, label: int, share: int) -> int:
+        """Register a flow label (``IPV6_FLOWLABEL_MGR`` / ``FL_ACTION_GET``)."""
+        label &= _LABEL_MASK
+        if label == 0:
+            raise SyscallError(EINVAL, "label 0 is reserved")
+        if ns.flowlabels.lookup(label) is not None:
+            existing = ns.flowlabels.lookup(label)
+            if existing.kget("share") == FL_SHARE_EXCL or share == FL_SHARE_EXCL:
+                raise SyscallError(EEXIST, f"label {label:#x} taken")
+            return 0
+        entry = FlowLabel(self._kernel.arena, label, share, task.pid)
+        ns.flowlabels.insert(label, entry)
+        if self._fl_shared_exclusive(share):
+            # fl_create(): static_branch_deferred_inc(&ipv6_flowlabel_exclusive)
+            # — the increment is *global*, which is the root cause of
+            # bugs #2 and #4.  The fixed kernel accounts per-namespace.
+            if self._kernel.bugs.flowlabel_exclusive_global:
+                self.exclusive_global.inc()
+            else:
+                ns.flowlabel_exclusive.set(ns.flowlabel_exclusive.peek() + 1)
+        return 0
+
+    @kfunc
+    def fl_release(self, task: Task, ns: NetNamespace, label: int) -> int:
+        label &= _LABEL_MASK
+        entry = ns.flowlabels.lookup(label)
+        if entry is None:
+            raise SyscallError(EINVAL, f"label {label:#x} not registered")
+        ns.flowlabels.delete(label)
+        if self._fl_shared_exclusive(entry.kget("share")):
+            if self._kernel.bugs.flowlabel_exclusive_global:
+                self.exclusive_global.dec()
+            else:
+                ns.flowlabel_exclusive.set(ns.flowlabel_exclusive.peek() - 1)
+        return 0
+
+    @staticmethod
+    def _fl_shared_exclusive(share: int) -> bool:
+        return share == FL_SHARE_EXCL
+
+    @kfunc
+    def check_flowlabel_xmit(self, task: Task, ns: NetNamespace, label: int) -> None:
+        """``fl6_sock_lookup`` check on the ``ip6_sendmsg`` path (bug #2).
+
+        In the lenient model this is a no-op.  In the strict model the
+        label must be registered in the namespace; unregistered labels
+        are rejected — which is how the receiver observes the bug.
+
+        The static-key read is written out inline (rather than shared
+        with the connect path) because ``static_branch_unlikely`` is
+        inlined per use site in the real kernel: the transmit-path and
+        connect-path checks are *different instructions*, which is what
+        lets DF-IA distinguish bugs #2 and #4 (Table 2 counts them
+        separately).
+        """
+        label &= _LABEL_MASK
+        if label == 0:
+            return
+        if self._kernel.bugs.flowlabel_exclusive_global:
+            strict = self.exclusive_global.enabled()
+        else:
+            strict = ns.flowlabel_exclusive.get() > 0
+        if strict:
+            self._require_registered(task, ns, label)
+
+    @kfunc
+    def check_flowlabel_connect(self, task: Task, ns: NetNamespace, label: int) -> None:
+        """``fl6_sock_lookup`` check on the ``ip6_datagram_connect`` path
+        (bug #4).  See :meth:`check_flowlabel_xmit` for why the static-key
+        read is duplicated here."""
+        label &= _LABEL_MASK
+        if label == 0:
+            return
+        if self._kernel.bugs.flowlabel_exclusive_global:
+            strict = self.exclusive_global.enabled()
+        else:
+            strict = ns.flowlabel_exclusive.get() > 0
+        if strict:
+            self._require_registered(task, ns, label)
+
+    @kfunc
+    def _require_registered(self, task: Task, ns: NetNamespace, label: int) -> None:
+        """Strict-model lookup: shared tail of both check paths."""
+        entry = ns.flowlabels.lookup(label)
+        if entry is None:
+            raise SyscallError(EPERM, f"unregistered flow label {label:#x}")
+        if entry.kget("share") == FL_SHARE_EXCL and entry.kget("owner_pid") != task.pid:
+            raise SyscallError(EPERM, f"exclusive flow label {label:#x}")

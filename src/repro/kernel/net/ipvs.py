@@ -1,0 +1,75 @@
+"""IP Virtual Server — known bug C (Linux 4.15, commit c5504f724c86).
+
+IPVS keeps virtual-service state per network namespace, but the
+``/proc/net/ip_vs`` seq file iterated the service table without checking
+the reader's namespace, leaking another container's load-balancer
+configuration.  The fix filters services by namespace.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from ..errno import EEXIST, EPERM, SyscallError
+from ..ktrace import kfunc
+from ..memory import KList, KStruct
+from ..task import Task
+from .netns import NetNamespace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..kernel import Kernel
+
+
+class IpvsService(KStruct):
+    """One virtual service (VIP:port)."""
+
+    FIELDS = {"addr": 4, "port": 2}
+
+    def __init__(self, kernel: "Kernel", ns: NetNamespace, addr: int, port: int):
+        super().__init__(kernel.arena, addr=addr, port=port)
+        self.ns = ns
+
+
+class IpvsSubsystem:
+    """Service registration and the procfs dump."""
+
+    def __init__(self, kernel: "Kernel"):
+        self._kernel = kernel
+        #: All services, every namespace (what the buggy dump iterates).
+        self.services = KList(kernel.arena)
+
+    @property
+    def tracer(self):
+        return self._kernel.tracer
+
+    @kfunc
+    def add_service(self, task: Task, ns: NetNamespace, addr: int, port: int) -> int:
+        from ..task import CAP_NET_ADMIN
+
+        if not task.capable(CAP_NET_ADMIN):
+            raise SyscallError(EPERM, "IP_VS_SO_SET_ADD needs CAP_NET_ADMIN")
+        for service in self.services.peek_items():
+            if service.ns is ns and service.peek("addr") == addr \
+                    and service.peek("port") == port:
+                raise SyscallError(EEXIST, "service exists")
+        service = IpvsService(self._kernel, ns, addr, port)
+        self.services.append(service)
+        ns.ipvs_services.append(service)
+        return 0
+
+    @kfunc
+    def render_proc_ip_vs(self, task: Task, ns: NetNamespace) -> str:
+        """``/proc/net/ip_vs`` — ns check missing on the buggy kernel."""
+        lines: List[str] = [
+            "IP Virtual Server version 1.2.1 (size=4096)",
+            "Prot LocalAddress:Port Scheduler Flags",
+        ]
+        if self._kernel.bugs.ipvs_proc_no_ns_check:
+            visible = list(self.services)
+        else:
+            visible = [s for s in self.services if s.ns is ns]
+        for service in visible:
+            lines.append(
+                f"TCP  {service.kget('addr'):08X}:{service.kget('port'):04X} wlc"
+            )
+        return "\n".join(lines) + "\n"

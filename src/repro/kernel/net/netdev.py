@@ -1,0 +1,138 @@
+"""Network devices, their queue kobjects, and uevent broadcast — known bug B.
+
+Creating a net device emits kobject uevents: one for the device itself
+and one per RX/TX queue.  Device kobjects are tagged with their network
+namespace, so their uevents are delivered only to listeners in that
+namespace.  The historical bug (Linux 3.14, commit 82ef3d5d5f3f) is that
+the *queue* kobjects were missing the namespace tag: their "add@…/queues/…"
+uevents were broadcast to every namespace, letting a container observe
+device creation in other containers.
+
+Delivery model: each namespace keeps a pending-uevent queue; an
+``AF_NETLINK``/``NETLINK_KOBJECT_UEVENT`` socket reads from its
+namespace's queue.  (In Linux delivery requires a live listener socket;
+KIT's container setup opens the listener before the snapshot, so a
+pending queue that survives the sender window is the equivalent
+observable — see DESIGN.md.)
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from ..errno import EEXIST, EINVAL, EPERM, SyscallError
+from ..ktrace import kfunc
+from ..memory import KStruct
+from ..task import Task
+from .netns import NetNamespace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..kernel import Kernel
+
+
+class NetDevice(KStruct):
+    """``struct net_device`` (the slice the model needs)."""
+
+    FIELDS = {"ifindex": 4, "mtu": 4, "num_rx_queues": 4, "num_tx_queues": 4}
+
+    def __init__(self, kernel: "Kernel", name: str, ifindex: int,
+                 rx_queues: int = 1, tx_queues: int = 1):
+        super().__init__(kernel.arena, ifindex=ifindex, mtu=1500,
+                         num_rx_queues=rx_queues, num_tx_queues=tx_queues)
+        self.name = name
+
+
+class NetDevSubsystem:
+    """Device registration and uevent emission."""
+
+    def __init__(self, kernel: "Kernel"):
+        self._kernel = kernel
+
+    @property
+    def tracer(self):
+        return self._kernel.tracer
+
+    def create_loopback(self, ns: NetNamespace) -> NetDevice:
+        """Boot-time loopback registration; emits no uevents of interest."""
+        device = NetDevice(self._kernel, "lo", ns.alloc_ifindex())
+        ns.devices.insert("lo", device)
+        return device
+
+    @kfunc
+    def register_netdev(self, task: Task, ns: NetNamespace, name: str) -> int:
+        """Create a (virtual) net device in *ns* and emit its uevents."""
+        from ..task import CAP_NET_ADMIN
+
+        if not task.capable(CAP_NET_ADMIN):
+            raise SyscallError(EPERM, "RTM_NEWLINK needs CAP_NET_ADMIN")
+        if not name or len(name) > 15:
+            raise SyscallError(EINVAL, "bad interface name")
+        if ns.devices.lookup(name) is not None:
+            raise SyscallError(EEXIST, f"device {name} exists")
+        device = NetDevice(self._kernel, name, ns.alloc_ifindex())
+        ns.devices.insert(name, device)
+        # The device kobject is namespace-tagged: own namespace only.
+        self._deliver(ns, f"add@/devices/virtual/net/{name}", everywhere=False)
+        # Queue kobjects: namespace-tagged only on the fixed kernel.
+        everywhere = self._kernel.bugs.uevent_broadcast_all_ns
+        for index in range(device.kget("num_rx_queues")):
+            self._deliver(ns, f"add@/devices/virtual/net/{name}/queues/rx-{index}",
+                          everywhere=everywhere)
+        for index in range(device.kget("num_tx_queues")):
+            self._deliver(ns, f"add@/devices/virtual/net/{name}/queues/tx-{index}",
+                          everywhere=everywhere)
+        return device.kget("ifindex")
+
+    def _deliver(self, origin: NetNamespace, payload: str, everywhere: bool) -> None:
+        if everywhere:
+            targets = [
+                ns for ns in self._kernel.namespaces.live(NetNamespace.NS_TYPE)
+            ]
+        else:
+            targets = [origin]
+        for ns in targets:
+            ns.uevent_queue.append(payload)
+
+    @kfunc
+    def create_veth_pair(self, task: Task, ns: NetNamespace,
+                         peer_ns: NetNamespace, name: str) -> int:
+        """``ip link add <name> type veth peer netns <fd>``.
+
+        Creates one end in the caller's namespace and the peer end in
+        *peer_ns*, wiring the two namespaces together: datagrams sent in
+        either may be delivered to sockets bound in the other.  This is
+        deliberate, *authorized* cross-container communication (paper
+        §2: isolation must hold "except through authorized means (e.g.,
+        valid communication channels)") — KIT will observe it as
+        interference and the user dismisses it in triage.
+        """
+        from ..task import CAP_NET_ADMIN
+
+        if not task.capable(CAP_NET_ADMIN):
+            raise SyscallError(EPERM, "veth creation needs CAP_NET_ADMIN")
+        if ns is peer_ns:
+            raise SyscallError(EINVAL, "veth peer must be another namespace")
+        self.register_netdev(task, ns, name)
+        peer_name = f"{name}-peer"
+        if peer_ns.devices.lookup(peer_name) is not None:
+            raise SyscallError(EEXIST, peer_name)
+        peer_device = NetDevice(self._kernel, peer_name,
+                                peer_ns.alloc_ifindex())
+        peer_ns.devices.insert(peer_name, peer_device)
+        peer_ns.uevent_queue.append(
+            f"add@/devices/virtual/net/{peer_name}")
+        ns.veth_peers.append(peer_ns)
+        peer_ns.veth_peers.append(ns)
+        return 0
+
+    @kfunc
+    def render_proc_dev(self, task: Task, ns: NetNamespace) -> str:
+        """``/proc/net/dev`` — correctly per-namespace."""
+        lines: List[str] = [
+            "Inter-|   Receive",
+            " face |bytes    packets",
+        ]
+        for name in sorted(ns.devices.peek_items()):
+            device = ns.devices.lookup(name)
+            lines.append(f"{name:>6}: {0:8d} {device.kget('mtu'):8d}")
+        return "\n".join(lines) + "\n"

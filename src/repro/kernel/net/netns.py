@@ -1,0 +1,91 @@
+"""Per-network-namespace state (``struct net``).
+
+Every field here is state Linux keeps (or, post-fix, *should* keep) per
+network namespace.  The buggy global twins of several of these fields
+live in :mod:`repro.kernel.net.socket` and friends; which copy a code
+path consults is decided by the kernel's bug registry, so flipping a bug
+flag toggles between the vulnerable and the patched kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from ..memory import KCell, KDict, KernelArena, KList
+from ..namespaces import Namespace, NamespaceType
+
+
+class NetNamespace(Namespace):
+    """A network namespace instance."""
+
+    NS_TYPE = NamespaceType.NET
+    FIELDS = {"inum": 8, "ifindex_next": 4}
+
+    def __init__(self, arena: KernelArena, inum: int):
+        super().__init__(arena, inum)
+        self.poke("ifindex_next", 0)
+
+        # -- socket accounting (per-ns copies; fixed kernels use these) --
+        #: 'sockets: used' counter of /proc/net/sockstat (bug #5's fixed twin).
+        self.sockets_used = KCell(arena, 4)
+        #: socket cookie allocator (bug #6's fixed twin).
+        self.cookie_next = KCell(arena, 8)
+        #: SCTP association ID allocator (bug #7's fixed twin).
+        self.sctp_assoc_next = KCell(arena, 4)
+        #: per-protocol inuse counts (always per-ns, as in Linux).
+        self.proto_inuse = KDict(arena)
+        #: per-protocol memory pages (bugs #8/#9's fixed twin).
+        self.proto_mem = KDict(arena)
+
+        # -- IPv6 flow labels ------------------------------------------
+        #: label -> FlowLabel struct, per-ns as documented.
+        self.flowlabels = KDict(arena)
+        #: per-ns exclusive-label count (bugs #2/#4's fixed twin).
+        self.flowlabel_exclusive = KCell(arena, 4)
+
+        # -- port/bind tables (per-ns, correct) -------------------------
+        #: (proto, addr, port) -> Socket.
+        self.port_table = KDict(arena)
+        #: RDS per-ns bind table (bug #3's fixed twin).
+        self.rds_binds = KDict(arena)
+
+        # -- devices and uevents ----------------------------------------
+        #: name -> NetDevice.
+        self.devices = KDict(arena)
+        #: Namespaces this one is wired to by veth pairs — the paper's
+        #: §2 "authorized means" of cross-container communication.
+        self.veth_peers: List[Any] = []
+        #: pending kobject uevent payloads for listeners in this ns
+        #: (traced: uevent delivery is a kernel data flow, known bug B).
+        self.uevent_queue = KList(arena)
+
+        # -- netfilter ---------------------------------------------------
+        #: per-ns conntrack entry list (fixed twin of the global list).
+        self.conntrack = KList(arena)
+        #: per-ns nf_conntrack_max (bug D's fixed twin).
+        self.nf_conntrack_max = KCell(arena, 4, init=65536)
+        #: per-ns IPVS service list (bug C's fixed twin).
+        self.ipvs_services = KList(arena)
+
+        # -- unix ---------------------------------------------------------
+        #: per-ns abstract-address allocator.
+        self.unix_autobind_next = KCell(arena, 4)
+
+    def alloc_ifindex(self) -> int:
+        ifindex = self.peek("ifindex_next") + 1
+        self.poke("ifindex_next", ifindex)
+        return ifindex
+
+    def proto_inuse_cell(self, arena: KernelArena, proto: str) -> KCell:
+        cell = self.proto_inuse.lookup(proto)
+        if cell is None:
+            cell = KCell(arena, 4)
+            self.proto_inuse.insert(proto, cell)
+        return cell
+
+    def proto_mem_cell(self, arena: KernelArena, proto: str) -> KCell:
+        cell = self.proto_mem.lookup(proto)
+        if cell is None:
+            cell = KCell(arena, 8)
+            self.proto_mem.insert(proto, cell)
+        return cell

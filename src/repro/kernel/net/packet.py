@@ -1,0 +1,94 @@
+"""Packet sockets and the global ``ptype`` lists — bug #1 (paper §2.2, §6.1).
+
+The kernel keeps the registered ``packet_type`` handlers of *all* network
+namespaces on global lists (``ptype_all`` / ``ptype_base``).  The procfs
+file ``/proc/net/ptype`` dumps them.  ``ptype_seq_show()`` shows an entry
+when ``pt->dev == NULL || dev_net(pt->dev) == seq_file_net(seq)`` — and a
+packet socket's handler has ``dev == NULL``, so on the buggy kernel every
+namespace sees every other namespace's packet sockets (Figure 4).  The
+fix (merged upstream a week after the KIT report) also compares the
+owning socket's namespace.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from ..ktrace import kfunc
+from ..memory import KList, KStruct
+from ..task import Task
+from .netns import NetNamespace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..kernel import Kernel
+    from .socket import Socket
+
+#: Ethernet protocol numbers accepted by ``socket(AF_PACKET, …, proto)``.
+ETH_P_ALL = 0x0003
+ETH_P_IP = 0x0800
+ETH_P_ARP = 0x0806
+ETH_P_IPV6 = 0x86DD
+
+
+class PacketType(KStruct):
+    """``struct packet_type``: one protocol handler registration."""
+
+    FIELDS = {"ptype": 2, "dev": 8}
+
+    def __init__(self, kernel: "Kernel", ptype: int, func: str,
+                 sock: Optional["Socket"] = None):
+        super().__init__(kernel.arena, ptype=ptype, dev=0)
+        self.func = func
+        #: The owning packet socket; None for built-in protocol handlers.
+        self.sock = sock
+
+
+class PtypeSubsystem:
+    """The global handler lists plus the ``/proc/net/ptype`` renderer."""
+
+    def __init__(self, kernel: "Kernel"):
+        self._kernel = kernel
+        self.ptype_all = KList(kernel.arena)
+        self.ptype_base = KList(kernel.arena)
+        # Built-in handlers registered at boot, as on a real kernel.
+        for proto, func in ((ETH_P_IP, "ip_rcv"), (ETH_P_ARP, "arp_rcv"),
+                            (ETH_P_IPV6, "ipv6_rcv")):
+            self.ptype_base.append(PacketType(kernel, proto, func))
+
+    @property
+    def tracer(self):
+        return self._kernel.tracer
+
+    @kfunc
+    def dev_add_pack(self, sock: "Socket", proto: int) -> PacketType:
+        """Register the packet socket's handler on the global lists."""
+        entry = PacketType(self._kernel, proto, "packet_rcv", sock=sock)
+        if proto == ETH_P_ALL:
+            self.ptype_all.append(entry)
+        else:
+            self.ptype_base.append(entry)
+        return entry
+
+    @kfunc
+    def dev_remove_pack(self, entry: PacketType) -> None:
+        target = self.ptype_all if entry.peek("ptype") == ETH_P_ALL else self.ptype_base
+        target.remove(entry)
+
+    @kfunc
+    def render_proc_ptype(self, task: Task, reader_ns: NetNamespace) -> str:
+        """``ptype_seq_show()`` over both global lists.
+
+        Buggy kernel: socket-backed entries have ``dev == NULL`` and are
+        shown to every namespace.  Fixed kernel: such entries are shown
+        only when the owning socket's namespace matches the reader's.
+        """
+        lines: List[str] = ["Type Device      Function"]
+        leak = self._kernel.bugs.ptype_leak
+        for entry in list(self.ptype_all) + list(self.ptype_base):
+            if entry.sock is not None:
+                if not leak and entry.sock.netns is not reader_ns:
+                    continue
+            ptype = entry.kget("ptype")
+            label = "ALL " if ptype == ETH_P_ALL else f"{ptype:04x}"
+            lines.append(f"{label}             {entry.func}")
+        return "\n".join(lines) + "\n"

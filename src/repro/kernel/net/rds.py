@@ -1,0 +1,59 @@
+"""RDS (Reliable Datagram Sockets) binding — bug #3.
+
+The paper found that RDS namespace support "stopped halfway": the bind
+table that maps a transport address to a socket is keyed **globally**, so
+a socket in one namespace binding ``(addr, port)`` makes the same bind
+fail with ``EADDRINUSE`` in every other namespace.  The fixed behaviour
+keys the table per network namespace.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..errno import EADDRINUSE, EINVAL, SyscallError
+from ..ktrace import kfunc
+from ..memory import KDict
+from .netns import NetNamespace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..kernel import Kernel
+    from .socket import Socket
+
+
+class RdsSubsystem:
+    """The RDS bind table(s)."""
+
+    def __init__(self, kernel: "Kernel"):
+        self._kernel = kernel
+        #: The buggy, namespace-oblivious table: (addr, port) -> Socket.
+        self.global_binds = KDict(kernel.arena)
+
+    @property
+    def tracer(self):
+        return self._kernel.tracer
+
+    @kfunc
+    def rds_bind(self, sock: "Socket", ns: NetNamespace, addr: int, port: int) -> int:
+        if port == 0:
+            raise SyscallError(EINVAL, "RDS requires an explicit port")
+        key = (addr, port)
+        if self._kernel.bugs.rds_bind_global:
+            table = self.global_binds
+        else:
+            table = ns.rds_binds
+        if table.lookup(key) is not None:
+            raise SyscallError(EADDRINUSE, f"RDS {addr:#x}:{port} already bound")
+        table.insert(key, sock)
+        sock.rds_bound_key = key
+        return 0
+
+    @kfunc
+    def rds_release(self, sock: "Socket", ns: NetNamespace) -> None:
+        key = getattr(sock, "rds_bound_key", None)
+        if key is None:
+            return
+        table = self.global_binds if self._kernel.bugs.rds_bind_global else ns.rds_binds
+        if table.lookup(key) is sock:
+            table.delete(key)
+        sock.rds_bound_key = None

@@ -1,0 +1,89 @@
+"""rtnetlink: link management over an AF_NETLINK/NETLINK_ROUTE socket.
+
+The message-based interface behind ``ip link``: user space sends an
+``RTM_*`` request on a route socket and reads the kernel's reply (or
+dump) back from the same socket.  The model keeps netlink's
+request/response shape — replies are queued on the socket — while
+collapsing the binary nlmsghdr layout into (message type, name) pairs.
+
+``RTM_GETLINK`` dumps the *caller's namespace* devices (correctly
+isolated, like ``/proc/net/dev``); ``RTM_NEWLINK``/``RTM_DELLINK``
+create and remove devices, emitting the add/remove uevents whose
+namespace tagging known bug B concerns.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..errno import EINVAL, ENODEV, EOPNOTSUPP, EPERM, SyscallError
+from ..ktrace import kfunc
+from ..task import Task
+from .netns import NetNamespace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..kernel import Kernel
+    from .socket import Socket
+
+#: rtnetlink message types (linux/rtnetlink.h).
+RTM_NEWLINK = 16
+RTM_DELLINK = 17
+RTM_GETLINK = 18
+
+
+class RtnetlinkSubsystem:
+    """RTM_* request handling for route sockets."""
+
+    def __init__(self, kernel: "Kernel"):
+        self._kernel = kernel
+
+    @property
+    def tracer(self):
+        return self._kernel.tracer
+
+    @kfunc
+    def request(self, task: Task, sock: "Socket", msg_type: int,
+                name: str) -> int:
+        """Handle one request; replies are queued on *sock*.
+
+        Returns the number of reply messages queued.
+        """
+        ns = sock.netns
+        if msg_type == RTM_GETLINK:
+            return self._dump_links(ns, sock)
+        if msg_type == RTM_NEWLINK:
+            ifindex = self._kernel.netdev.register_netdev(task, ns, name)
+            sock.rx_queue.append(f"RTM_NEWLINK ifindex={ifindex} name={name}")
+            return 1
+        if msg_type == RTM_DELLINK:
+            return self._del_link(task, ns, sock, name)
+        raise SyscallError(EOPNOTSUPP, f"rtnetlink message {msg_type}")
+
+    def _dump_links(self, ns: NetNamespace, sock: "Socket") -> int:
+        count = 0
+        for name in sorted(ns.devices.peek_items()):
+            device = ns.devices.lookup(name)
+            sock.rx_queue.append(
+                f"RTM_NEWLINK ifindex={device.kget('ifindex')} "
+                f"name={name} mtu={device.kget('mtu')}")
+            count += 1
+        sock.rx_queue.append("NLMSG_DONE")
+        return count + 1
+
+    def _del_link(self, task: Task, ns: NetNamespace, sock: "Socket",
+                  name: str) -> int:
+        from ..task import CAP_NET_ADMIN
+
+        if not task.capable(CAP_NET_ADMIN):
+            raise SyscallError(EPERM, "RTM_DELLINK needs CAP_NET_ADMIN")
+        if name == "lo":
+            raise SyscallError(EINVAL, "cannot delete loopback")
+        device = ns.devices.lookup(name)
+        if device is None:
+            raise SyscallError(ENODEV, name)
+        ns.devices.delete(name)
+        # Device removal uevent: correctly tagged to its own namespace
+        # (the historical bug was queue-add events only).
+        ns.uevent_queue.append(f"remove@/devices/virtual/net/{name}")
+        sock.rx_queue.append(f"RTM_DELLINK name={name}")
+        return 1

@@ -1,0 +1,44 @@
+"""SCTP association IDs — bug #7.
+
+SCTP hands every association an identifier from an IDR.  The ID space is
+**global**, not per network namespace: a container creating associations
+advances the allocator for everyone, so the IDs observed by another
+container change.  The paper reports that developers acknowledged the
+space "ought to be" per-namespace but left it unfixed due to the
+implementation effort involved (the bug's Table 2 status is "Known").
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..ktrace import kfunc
+from ..memory import KCell
+from .netns import NetNamespace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..kernel import Kernel
+    from .socket import Socket
+
+
+class SctpSubsystem:
+    """The SCTP association ID allocator(s)."""
+
+    def __init__(self, kernel: "Kernel"):
+        self._kernel = kernel
+        #: The global IDR cursor shared by all namespaces (the bug).
+        self.assoc_next_global = KCell(kernel.arena, 4)
+
+    @property
+    def tracer(self):
+        return self._kernel.tracer
+
+    @kfunc
+    def assoc_request(self, sock: "Socket", ns: NetNamespace) -> int:
+        """Create an association and return its ID."""
+        if self._kernel.bugs.sctp_assoc_id_global:
+            assoc_id = self.assoc_next_global.add(1)
+        else:
+            assoc_id = ns.sctp_assoc_next.add(1)
+        sock.sctp_assoc_id = assoc_id
+        return assoc_id

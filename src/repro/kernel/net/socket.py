@@ -1,0 +1,514 @@
+"""The socket layer: creation, binding, data transfer, accounting.
+
+Hosts four of the Table-2 bugs directly:
+
+* **#5** — the ``sockets: used`` counter shown by ``/proc/net/sockstat``
+  is a single global incremented by every socket creation in any
+  namespace (fixed: per-namespace counter).
+* **#6** — socket cookies are assigned from a global monotonically
+  increasing allocator, so a container generating cookies changes the
+  values other containers observe (fixed: per-namespace allocator).
+* **#8 / #9** — protocol memory accounting (``sk_memory_allocated``) is
+  global per protocol; the totals surface in the ``mem`` column of
+  ``/proc/net/sockstat`` (#8) and the ``memory`` column of
+  ``/proc/net/protocols`` (#9).
+
+and routes bind/connect/transmit through the flow label (bugs #2/#4),
+RDS (#3), SCTP (#7), conntrack (D/F) and unix-diag (G) subsystems.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from ..errno import (
+    EADDRINUSE,
+    EAGAIN,
+    ECONNREFUSED,
+    EINVAL,
+    EISCONN,
+    ENOENT,
+    ENOTCONN,
+    EOPNOTSUPP,
+    EPROTONOSUPPORT,
+    ESRCH,
+    SyscallError,
+)
+from ..fdtable import FileObject
+from ..ktrace import kfunc
+from ..memory import KCell, KDict
+from ..namespaces import NamespaceType
+from ..task import Task
+from .netns import NetNamespace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..kernel import Kernel
+
+# -- address families -------------------------------------------------------
+AF_UNIX = 1
+AF_INET = 2
+AF_NETLINK = 16
+AF_PACKET = 17
+AF_RDS = 21
+AF_INET6 = 10
+
+# -- socket types -------------------------------------------------------------
+SOCK_STREAM = 1
+SOCK_DGRAM = 2
+SOCK_RAW = 3
+SOCK_SEQPACKET = 5
+
+# -- protocols ----------------------------------------------------------------
+IPPROTO_TCP = 6
+IPPROTO_UDP = 17
+IPPROTO_SCTP = 132
+NETLINK_ROUTE = 0
+NETLINK_KOBJECT_UEVENT = 15
+
+# -- socket options -----------------------------------------------------------
+SOL_SOCKET = 1
+SO_COOKIE = 57
+SOL_IPV6 = 41
+IPV6_FLOWLABEL_MGR = 32
+IPV6_FLOWINFO_SEND = 33
+SOL_SCTP = 132
+SCTP_GET_ASSOC_ID = 1
+SCTP_SOCKOPT_CONNECTX = 2
+
+#: Memory "pages" charged per transmitted buffer (sk_mem accounting).
+_PAGES_PER_SEND = 1
+
+
+def _resource_kind(family: int, sock_type: int, proto: int) -> str:
+    """The syzlang-lite resource identifier for a socket fd."""
+    if family == AF_PACKET:
+        return "sock_packet"
+    if family == AF_RDS:
+        return "sock_rds"
+    if family == AF_UNIX:
+        return "sock_unix"
+    if family == AF_NETLINK:
+        if proto == NETLINK_KOBJECT_UEVENT:
+            return "sock_netlink_uevent"
+        if proto == NETLINK_ROUTE:
+            return "sock_netlink_route"
+        return "sock_netlink"
+    if proto == IPPROTO_SCTP:
+        return "sock_sctp"
+    if family == AF_INET6:
+        return "sock_tcp6" if sock_type == SOCK_STREAM else "sock_udp6"
+    if sock_type == SOCK_STREAM:
+        return "sock_tcp"
+    return "sock_udp"
+
+
+def _proto_name(family: int, sock_type: int, proto: int) -> str:
+    if proto == IPPROTO_SCTP:
+        return "SCTP"
+    if family in (AF_INET, AF_INET6):
+        return "TCP" if sock_type == SOCK_STREAM else "UDP"
+    if family == AF_UNIX:
+        return "UNIX"
+    if family == AF_PACKET:
+        return "PACKET"
+    if family == AF_RDS:
+        return "RDS"
+    return "NETLINK"
+
+
+class Socket(FileObject):
+    """An open socket."""
+
+    def __init__(self, kernel: "Kernel", netns: NetNamespace,
+                 family: int, sock_type: int, proto: int):
+        super().__init__()
+        self.netns = netns
+        self.family = family
+        self.type = sock_type
+        self.proto = proto
+        self.proto_name = _proto_name(family, sock_type, proto)
+        self.bound: Optional[Tuple[int, int]] = None
+        self.connected: Optional[Tuple[int, int]] = None
+        self.listening = False
+        self.flowlabel = 0
+        self.cookie = 0
+        self.sctp_assoc_id = 0
+        self.rds_bound_key: Optional[Tuple[int, int]] = None
+        self.ptype_entry = None
+        self.unix_ino = 0
+        self.rx_queue: List[str] = []
+        #: Pending inbound connections (filled by connect, drained by accept).
+        self.accept_queue: List["Socket"] = []
+        #: Protocol memory pages currently charged to this socket.
+        self.pages_charged = 0
+
+    @property
+    def resource_kind(self) -> str:  # type: ignore[override]
+        return _resource_kind(self.family, self.type, self.proto)
+
+    def describe(self) -> str:
+        return f"socket({self.proto_name})"
+
+    def on_close(self, kernel: "Kernel", task: Task) -> None:
+        kernel.net.release(self)
+
+
+class UnixSocketTable:
+    """Global registry of unix sockets by inode — known bug G.
+
+    The ``sock_diag``-style lookup on the buggy kernel searches sockets
+    of **all** namespaces by inode (commit 0f5da659d8f1 fixed the
+    namespace check).  The inode is allocated at runtime, so a fixed
+    receiver program cannot know the value the sender obtained — the
+    class of bug §6.2 explains functional interference testing cannot
+    detect.
+    """
+
+    def __init__(self, kernel: "Kernel"):
+        self._kernel = kernel
+        self.by_ino = KDict(kernel.arena)
+        # Inodes come from the kernel-wide anonymous inode counter;
+        # like real inode numbers they are far outside anything a
+        # pre-written test program would guess (the crux of bug G's
+        # non-detectability, §6.2).
+        self.ino_next = KCell(kernel.arena, 8, init=0xBEEF0000)
+
+
+class NetSubsystem:
+    """Socket syscall implementations plus global accounting state."""
+
+    def __init__(self, kernel: "Kernel"):
+        self._kernel = kernel
+        arena = kernel.arena
+        #: Global 'sockets: used' counter (bug #5; fixed twin is per-ns).
+        self.sockets_used_global = KCell(arena, 4)
+        #: Global socket cookie allocator (bug #6).
+        self.cookie_next_global = KCell(arena, 8)
+        #: Global per-protocol memory accounting (bugs #8/#9).
+        self.proto_mem_global: Dict[str, KCell] = {
+            "TCP": KCell(arena, 8),
+            "UDP": KCell(arena, 8),
+            "SCTP": KCell(arena, 8),
+        }
+        self.unix = UnixSocketTable(kernel)
+
+    @property
+    def tracer(self):
+        return self._kernel.tracer
+
+    @staticmethod
+    def _netns_of(task: Task) -> NetNamespace:
+        ns = task.nsproxy.get(NamespaceType.NET)
+        assert isinstance(ns, NetNamespace)
+        return ns
+
+    # -- creation / release -------------------------------------------------
+
+    @kfunc
+    def socket_create(self, task: Task, family: int, sock_type: int, proto: int) -> Socket:
+        ns = self._netns_of(task)
+        self._validate_triple(family, sock_type, proto)
+        sock = Socket(self._kernel, ns, family, sock_type, proto)
+        self._account_socket(ns, sock, created=True)
+        # Initial buffer allocation charges protocol memory — a second
+        # call site of the (globally mis-accounted) sk_mem path, like
+        # the many inlined sk_mem_charge sites in the real kernel.
+        self._charge_memory(ns, sock, _PAGES_PER_SEND)
+        if family == AF_PACKET:
+            sock.ptype_entry = self._kernel.ptype.dev_add_pack(sock, proto)
+        if family == AF_UNIX:
+            sock.unix_ino = self.unix.ino_next.add(1)
+            self.unix.by_ino.insert(sock.unix_ino, sock)
+        return sock
+
+    def _validate_triple(self, family: int, sock_type: int, proto: int) -> None:
+        if family not in (AF_UNIX, AF_INET, AF_INET6, AF_NETLINK, AF_PACKET, AF_RDS):
+            raise SyscallError(EINVAL, f"family {family}")
+        if family == AF_RDS and sock_type != SOCK_SEQPACKET:
+            raise SyscallError(EPROTONOSUPPORT, "RDS is SOCK_SEQPACKET")
+        if proto == IPPROTO_SCTP and family not in (AF_INET, AF_INET6):
+            raise SyscallError(EPROTONOSUPPORT, "SCTP is inet-only")
+        if family == AF_NETLINK and proto not in (NETLINK_KOBJECT_UEVENT,
+                                                   NETLINK_ROUTE):
+            raise SyscallError(EPROTONOSUPPORT,
+                               "only uevent/route netlink modelled")
+
+    @kfunc
+    def _account_socket(self, ns: NetNamespace, sock: Socket, created: bool) -> None:
+        delta = 1 if created else -1
+        # sock_inuse_add(): the buggy kernel counts into one global cell.
+        if self._kernel.bugs.sockstat_used_global:
+            self.sockets_used_global.add(delta)
+        else:
+            ns.sockets_used.add(delta)
+        # Per-protocol inuse is per-namespace even on the buggy kernel.
+        ns.proto_inuse_cell(self._kernel.arena, sock.proto_name).add(delta)
+
+    @kfunc
+    def release(self, sock: Socket) -> None:
+        ns = sock.netns
+        self._account_socket(ns, sock, created=False)
+        # sk_mem_uncharge: destruction releases the pages this socket
+        # charged, so a create-then-close sender leaves the accounting
+        # exactly as it found it (transient interference — only the
+        # concurrency extension can witness it).
+        if sock.pages_charged:
+            self._charge_memory(ns, sock, -sock.pages_charged)
+            sock.pages_charged = 0
+        if sock.ptype_entry is not None:
+            self._kernel.ptype.dev_remove_pack(sock.ptype_entry)
+            sock.ptype_entry = None
+        if sock.rds_bound_key is not None:
+            self._kernel.rds.rds_release(sock, ns)
+        if sock.unix_ino and sock.unix_ino in self.unix.by_ino.peek_items():
+            self.unix.by_ino.delete(sock.unix_ino)
+        if sock.bound is not None and sock.family in (AF_INET, AF_INET6):
+            key = (sock.proto_name, sock.bound[0], sock.bound[1])
+            if ns.port_table.lookup(key) is sock:
+                ns.port_table.delete(key)
+
+    # -- bind / listen / connect ------------------------------------------
+
+    @kfunc
+    def bind(self, task: Task, sock: Socket, addr: int, port: int) -> int:
+        ns = self._netns_of(task)
+        if sock.bound is not None:
+            raise SyscallError(EINVAL, "already bound")
+        if sock.family == AF_RDS:
+            self._kernel.rds.rds_bind(sock, ns, addr, port)
+            sock.bound = (addr, port)
+            return 0
+        if sock.family in (AF_INET, AF_INET6):
+            key = (sock.proto_name, addr, port)
+            if port != 0 and ns.port_table.lookup(key) is not None:
+                raise SyscallError(EADDRINUSE)
+            ns.port_table.insert(key, sock)
+            sock.bound = (addr, port)
+            return 0
+        if sock.family in (AF_UNIX, AF_NETLINK, AF_PACKET):
+            sock.bound = (addr, port)
+            return 0
+        raise SyscallError(EOPNOTSUPP)
+
+    @kfunc
+    def listen(self, task: Task, sock: Socket) -> int:
+        if sock.family not in (AF_INET, AF_INET6, AF_UNIX):
+            raise SyscallError(EOPNOTSUPP)
+        if sock.bound is None:
+            raise SyscallError(EINVAL, "listen on unbound socket")
+        sock.listening = True
+        return 0
+
+    @kfunc
+    def connect(self, task: Task, sock: Socket, addr: int, port: int) -> int:
+        ns = self._netns_of(task)
+        if sock.connected is not None:
+            raise SyscallError(EISCONN)
+        if sock.family == AF_INET6 and sock.flowlabel:
+            # ip6_datagram_connect() -> fl6_sock_lookup(): bug #4's check.
+            self._kernel.flowlabel.check_flowlabel_connect(task, ns, sock.flowlabel)
+        if sock.proto == IPPROTO_SCTP:
+            # Creating the association draws an ID — bug #7's allocator.
+            self._kernel.sctp.assoc_request(sock, ns)
+            sock.connected = (addr, port)
+            return 0
+        if sock.family in (AF_INET, AF_INET6) and sock.type == SOCK_STREAM:
+            key = (sock.proto_name, addr, port)
+            peer = ns.port_table.lookup(key)
+            if peer is None or not peer.listening:
+                raise SyscallError(ECONNREFUSED)
+            sock.connected = (addr, port)
+            peer.accept_queue.append(sock)
+            return 0
+        # Datagram "connect" just pins the default destination.
+        sock.connected = (addr, port)
+        return 0
+
+    @kfunc
+    def accept(self, task: Task, sock: Socket) -> Socket:
+        """``accept(2)``: dequeue one pending connection."""
+        ns = self._netns_of(task)
+        if not sock.listening:
+            raise SyscallError(EINVAL, "accept on non-listening socket")
+        if not sock.accept_queue:
+            raise SyscallError(EAGAIN)
+        client = sock.accept_queue.pop(0)
+        child = Socket(self._kernel, ns, sock.family, sock.type, sock.proto)
+        self._account_socket(ns, child, created=True)
+        self._charge_memory(ns, child, _PAGES_PER_SEND)
+        child.connected = client.bound or (0, 0)
+        return child
+
+    @kfunc
+    def getsockname(self, task: Task, sock: Socket) -> Tuple[int, int]:
+        """``getsockname(2)``: the socket's bound address."""
+        return sock.bound or (0, 0)
+
+    # -- data transfer -------------------------------------------------------
+
+    @kfunc
+    def sendto(self, task: Task, sock: Socket, size: int, addr: int, port: int) -> int:
+        ns = self._netns_of(task)
+        if size < 0:
+            raise SyscallError(EINVAL)
+        if sock.family == AF_NETLINK:
+            raise SyscallError(EOPNOTSUPP)
+        if sock.family == AF_INET6 and sock.flowlabel:
+            # ip6_sendmsg() path: bug #2's check.
+            self._kernel.flowlabel.check_flowlabel_xmit(task, ns, sock.flowlabel)
+        if sock.type == SOCK_STREAM and sock.connected is None \
+                and sock.family in (AF_INET, AF_INET6):
+            raise SyscallError(ENOTCONN)
+        self._charge_memory(ns, sock, _PAGES_PER_SEND)
+        if sock.proto == IPPROTO_UDP or (sock.family in (AF_INET, AF_INET6)
+                                         and sock.type == SOCK_DGRAM):
+            src_port = sock.bound[1] if sock.bound else 0
+            self._kernel.conntrack.track(ns, "udp", src_port, port)
+            peer = ns.port_table.lookup((sock.proto_name, addr, port))
+            if peer is None:
+                # Authorized cross-namespace route: a veth pair wires
+                # this namespace to others (paper §2's "valid
+                # communication channels").
+                for linked_ns in ns.veth_peers:
+                    peer = linked_ns.port_table.lookup(
+                        (sock.proto_name, addr, port))
+                    if peer is not None:
+                        break
+            if peer is not None:
+                peer.rx_queue.append("x" * size)
+        return size
+
+    @kfunc
+    def _charge_memory(self, ns: NetNamespace, sock: Socket, pages: int) -> None:
+        """``sk_memory_allocated_add`` — global on the buggy kernel (#8/#9)."""
+        if sock.proto_name not in self.proto_mem_global:
+            return
+        if self._kernel.bugs.proto_mem_global:
+            self.proto_mem_global[sock.proto_name].add(pages)
+        else:
+            ns.proto_mem_cell(self._kernel.arena, sock.proto_name).add(pages)
+        sock.pages_charged += pages
+
+    @kfunc
+    def recvfrom(self, task: Task, sock: Socket, count: int) -> str:
+        ns = self._netns_of(task)
+        if sock.family == AF_NETLINK and sock.proto == NETLINK_KOBJECT_UEVENT:
+            if len(ns.uevent_queue) == 0:
+                raise SyscallError(EAGAIN)
+            return ns.uevent_queue.pop_front()[:count]
+        if not sock.rx_queue:
+            raise SyscallError(EAGAIN)
+        return sock.rx_queue.pop(0)[:count]
+
+    # -- socket options ---------------------------------------------------------
+
+    @kfunc
+    def setsockopt(self, task: Task, sock: Socket, level: int, optname: int,
+                   value: int, extra: int = 0) -> int:
+        ns = self._netns_of(task)
+        if level == SOL_IPV6 and optname == IPV6_FLOWLABEL_MGR:
+            if sock.family != AF_INET6:
+                raise SyscallError(EINVAL, "flow labels are IPv6-only")
+            return self._kernel.flowlabel.fl_create(task, ns, value, extra)
+        if level == SOL_IPV6 and optname == IPV6_FLOWINFO_SEND:
+            if sock.family != AF_INET6:
+                raise SyscallError(EINVAL)
+            sock.flowlabel = value & 0xFFFFF
+            return 0
+        if level == SOL_SCTP and optname == SCTP_SOCKOPT_CONNECTX:
+            if sock.proto != IPPROTO_SCTP:
+                raise SyscallError(EINVAL)
+            self._kernel.sctp.assoc_request(sock, ns)
+            return 0
+        raise SyscallError(ENOENT, f"sockopt {level}/{optname}")
+
+    @kfunc
+    def getsockopt(self, task: Task, sock: Socket, level: int, optname: int) -> int:
+        ns = self._netns_of(task)
+        if level == SOL_SOCKET and optname == SO_COOKIE:
+            return self._sock_gen_cookie(ns, sock)
+        if level == SOL_SCTP and optname == SCTP_GET_ASSOC_ID:
+            if sock.proto != IPPROTO_SCTP:
+                raise SyscallError(EINVAL)
+            if sock.sctp_assoc_id == 0:
+                raise SyscallError(ENOTCONN, "no association yet")
+            return sock.sctp_assoc_id
+        raise SyscallError(ENOENT, f"sockopt {level}/{optname}")
+
+    @kfunc
+    def _sock_gen_cookie(self, ns: NetNamespace, sock: Socket) -> int:
+        """Lazily assign the socket cookie — bug #6's allocator."""
+        if sock.cookie == 0:
+            if self._kernel.bugs.socket_cookie_global:
+                sock.cookie = self.cookie_next_global.add(1)
+            else:
+                sock.cookie = ns.cookie_next.add(1)
+        return sock.cookie
+
+    # -- sock_diag (bug G) ---------------------------------------------------
+
+    @kfunc
+    def unix_diag_by_ino(self, task: Task, ino: int) -> Dict[str, int]:
+        """Query a unix socket by inode, as SOCK_DIAG does.
+
+        Buggy kernel: matches sockets in any namespace.  Fixed kernel:
+        only the caller's.  Detecting the buggy variant requires knowing
+        the exact runtime-allocated inode — which is why KIT (correctly)
+        cannot detect it (§6.2).
+        """
+        ns = self._netns_of(task)
+        sock = self.unix.by_ino.lookup(ino)
+        if sock is None:
+            raise SyscallError(ENOENT)
+        if not self._kernel.bugs.unix_diag_cross_ns and sock.netns is not ns:
+            raise SyscallError(ENOENT)
+        return {"udiag_ino": ino, "udiag_type": sock.type}
+
+    # -- procfs renderers ---------------------------------------------------
+
+    @kfunc
+    def render_sockstat(self, task: Task, ns: NetNamespace) -> str:
+        """``/proc/net/sockstat`` — bugs #5 (used) and #8 (mem)."""
+        if self._kernel.bugs.sockstat_used_global:
+            used = self.sockets_used_global.get()
+        else:
+            used = ns.sockets_used.get()
+        lines = [f"sockets: used {used}"]
+        for proto in ("TCP", "UDP"):
+            inuse = ns.proto_inuse_cell(self._kernel.arena, proto).get()
+            # sockstat_seq_show reads sk_memory_allocated: a distinct
+            # instruction from the /proc/net/protocols reader (bug #8).
+            if self._kernel.bugs.proto_mem_global:
+                mem = self.proto_mem_global[proto].get()
+            else:
+                mem = ns.proto_mem_cell(self._kernel.arena, proto).get()
+            lines.append(f"{proto}: inuse {inuse} mem {mem}")
+        return "\n".join(lines) + "\n"
+
+    @kfunc
+    def render_protocols(self, task: Task, ns: NetNamespace) -> str:
+        """``/proc/net/protocols`` — bug #9 (memory column)."""
+        lines = ["protocol  size sockets  memory"]
+        for proto, size in (("TCP", 2048), ("UDP", 1088), ("SCTP", 1824)):
+            inuse = ns.proto_inuse_cell(self._kernel.arena, proto).get()
+            # proto_seq_show's own read of sk_memory_allocated (bug #9).
+            if self._kernel.bugs.proto_mem_global:
+                mem = self.proto_mem_global[proto].get()
+            else:
+                mem = ns.proto_mem_cell(self._kernel.arena, proto).get()
+            lines.append(f"{proto:<9} {size:4d} {inuse:7d} {mem:7d}")
+        return "\n".join(lines) + "\n"
+
+    @kfunc
+    def render_proc_unix(self, task: Task, ns: NetNamespace) -> str:
+        """``/proc/net/unix`` — correctly filtered by namespace here."""
+        lines = ["Num       RefCount Protocol Flags    Type St Inode"]
+        for ino in sorted(self.unix.by_ino.peek_items()):
+            sock = self.unix.by_ino.lookup(ino)
+            if sock.netns is not ns:
+                continue
+            lines.append(
+                f"0000000000000000: 00000002 00000000 00000000 "
+                f"{sock.type:04d} 01 {ino}"
+            )
+        return "\n".join(lines) + "\n"

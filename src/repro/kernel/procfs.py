@@ -1,0 +1,267 @@
+"""procfs: the kernel's window into namespace-protected (and some
+unprotected) state.
+
+``/proc/net/*`` renders against the *reader's* network namespace, like
+Linux (where ``/proc/net`` is a per-namespace magic symlink).  Several of
+these files are the receiver-side observation point of the paper's bugs:
+
+========================================  =======================
+File                                      Bug observed through it
+========================================  =======================
+``/proc/net/ptype``                       #1 (packet_type leak)
+``/proc/net/sockstat``                    #5 (used), #8 (mem)
+``/proc/net/protocols``                   #9 (memory column)
+``/proc/net/ip_vs``                       known bug C
+``/proc/sys/net/netfilter/…_max``         known bug D
+``/proc/net/nf_conntrack``                known bug F (non-detectable)
+``/proc/crypto``                          unprotected (FP filter food)
+``/proc/uptime``, ``/proc/meminfo``       time-dependent (non-det food)
+========================================  =======================
+"""
+
+from __future__ import annotations
+
+import re
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from .errno import EACCES, EINVAL, SyscallError
+from .ktrace import kfunc
+from .namespaces import NamespaceType
+from .task import Task
+from .vfs import Inode, SuperBlock
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .kernel import Kernel
+
+#: Static directory layout (dir key -> entry names).
+_DIRECTORIES: Dict[str, List[str]] = {
+    "": ["net", "sys", "sysvipc", "self", "crypto", "uptime", "meminfo",
+         "mounts", "loadavg", "stat", "version"],
+    "net": ["ptype", "sockstat", "protocols", "dev", "ip_vs",
+            "nf_conntrack", "unix", "tcp", "udp"],
+    "sys": ["net", "kernel"],
+    "sys/net": ["netfilter"],
+    "sys/net/netfilter": ["nf_conntrack_max"],
+    "sys/kernel": ["hostname"],
+    "sysvipc": ["msg"],
+    "self": ["status", "ns", "cgroup", "timens_offsets"],
+    "self/ns": ["pid", "mnt", "uts", "ipc", "net", "user", "cgroup", "time"],
+}
+
+_FILES = {
+    "net/ptype", "net/sockstat", "net/protocols", "net/dev", "net/ip_vs",
+    "net/nf_conntrack", "net/unix", "net/tcp", "net/udp",
+    "sys/net/netfilter/nf_conntrack_max", "sys/kernel/hostname",
+    "sysvipc/msg", "crypto", "uptime", "meminfo", "mounts", "loadavg",
+    "stat", "version",
+}
+
+_STATUS_RE = re.compile(r"^(self|\d+)/status$")
+_CGROUP_RE = re.compile(r"^(self|\d+)/cgroup$")
+
+
+class ProcFs:
+    """Lazy inode table plus the render/write dispatchers."""
+
+    def __init__(self, kernel: "Kernel"):
+        self._kernel = kernel
+
+    @property
+    def tracer(self):
+        return self._kernel.tracer
+
+    # -- lookup ---------------------------------------------------------------
+
+    def lookup(self, sb: SuperBlock, relative: str) -> Optional[Inode]:
+        """Find (lazily creating) the inode for a proc path."""
+        inode = sb.files.lookup(relative)
+        if inode is not None:
+            return inode
+        if relative in _DIRECTORIES:
+            inode = sb._new_inode(self._kernel.arena, is_dir=True, mtime=0)
+        elif relative in _FILES or _STATUS_RE.match(relative) or \
+                _CGROUP_RE.match(relative) or \
+                relative == "self/timens_offsets" or \
+                relative.startswith("self/ns/"):
+            inode = sb._new_inode(self._kernel.arena, is_dir=False, mtime=0)
+            inode.proc_key = relative
+        else:
+            return None
+        sb.files.insert(relative, inode)
+        return inode
+
+    def list_dir(self, relative: str, task: Optional[Task] = None) -> List[str]:
+        names = list(_DIRECTORIES.get(relative, []))
+        if relative == "" and task is not None:
+            # Per-process entries visible in the reader's PID namespace.
+            names += [str(vpid) for vpid in
+                      sorted(task.pid_ns.tasks.peek_items())]
+        return sorted(names)
+
+    # -- read -----------------------------------------------------------------
+
+    @kfunc
+    def render(self, task: Task, key: str) -> str:
+        """Produce the file content for *key* as seen by *task*."""
+        kernel = self._kernel
+        net_ns = task.nsproxy.get(NamespaceType.NET)
+        if key == "net/ptype":
+            return kernel.ptype.render_proc_ptype(task, net_ns)
+        if key == "net/sockstat":
+            return kernel.net.render_sockstat(task, net_ns)
+        if key == "net/protocols":
+            return kernel.net.render_protocols(task, net_ns)
+        if key == "net/dev":
+            return kernel.netdev.render_proc_dev(task, net_ns)
+        if key == "net/ip_vs":
+            return kernel.ipvs.render_proc_ip_vs(task, net_ns)
+        if key == "net/nf_conntrack":
+            return kernel.conntrack.render_proc_conntrack(task, net_ns)
+        if key == "net/unix":
+            return kernel.net.render_proc_unix(task, net_ns)
+        if key == "sys/net/netfilter/nf_conntrack_max":
+            return f"{kernel.conntrack.sysctl_read_max(task, net_ns)}\n"
+        if key == "sys/kernel/hostname":
+            uts = task.nsproxy.get(NamespaceType.UTS)
+            return f"{uts.get_hostname()}\n"
+        if key == "crypto":
+            return kernel.crypto.render_proc_crypto(task)
+        if key == "uptime":
+            uptime = kernel.clock.uptime_ns() / 1e9
+            # The idle column depends on boot time: inherently non-det.
+            idle = (kernel.clock.boot_offset_ns // 1_000_000_000) % 89 / 10.0
+            return f"{uptime:.2f} {idle:.2f}\n"
+        if key == "meminfo":
+            free_kb = 8_000_000 + (kernel.clock.now_sec() % 97) * 16
+            return (
+                "MemTotal:       16384000 kB\n"
+                f"MemFree:        {free_kb} kB\n"
+            )
+        if key == "loadavg":
+            # Load depends on machine history: boot-offset jittered.
+            base = (kernel.clock.boot_offset_ns // 1_000_000_000) % 7
+            load = base / 10.0 + kernel.clock.ticks % 5 / 100.0
+            runnable = 1 + base % 2
+            return (f"{load:.2f} {load:.2f} {load:.2f} "
+                    f"{runnable}/{len(kernel.tasks.all_tasks())} 0\n")
+        if key == "stat":
+            # Aggregate CPU time: pure function of ticks (deterministic
+            # given the execution, shifted by a preceding sender).
+            ticks = kernel.clock.ticks
+            return (f"cpu  {ticks} 0 {ticks // 2} {ticks * 10}\n"
+                    f"ctxt {kernel.syscall_seq * 3}\n"
+                    f"processes {len(kernel.tasks.all_tasks())}\n")
+        if key == "version":
+            return (
+                f"Linux version {self._kernel.config.version} "
+                "(kit@sim) (gcc 9.3.0) #1 SMP\n"
+            )
+        if key == "mounts":
+            return kernel.vfs.render_proc_mounts(task)
+        if key == "sysvipc/msg":
+            return self._render_sysvipc_msg(task)
+        if key in ("net/tcp", "net/udp"):
+            return self._render_net_sockets(task, key.rsplit("/", 1)[-1])
+        if _STATUS_RE.match(key):
+            return self._render_status(task, key.split("/", 1)[0])
+        if _CGROUP_RE.match(key):
+            target = self._resolve_pid(task, key.split("/", 1)[0])
+            return kernel.cgroup.render_proc_cgroup(task, target)
+        if key == "self/timens_offsets":
+            time_ns = task.nsproxy.get(NamespaceType.TIME)
+            return (f"monotonic {time_ns.kget('monotonic_offset')}\n"
+                    f"boottime {time_ns.kget('boottime_offset')}\n")
+        if key.startswith("self/ns/"):
+            ns_type_name = key.rsplit("/", 1)[-1]
+            from .nsfs import NS_FILE_NAMES
+
+            ns_type = NS_FILE_NAMES.get(ns_type_name)
+            if ns_type is None:
+                raise SyscallError(EINVAL, key)
+            return f"{ns_type_name}:[{task.nsproxy.get(ns_type).inum}]\n"
+        raise SyscallError(EINVAL, f"unknown proc key {key!r}")
+
+    def _resolve_pid(self, reader: Task, who: str) -> Task:
+        if who == "self":
+            return reader
+        target = self._kernel.tasks.find_in_ns(reader.pid_ns, int(who))
+        if target is None:
+            raise SyscallError(EINVAL, f"no pid {who} here")
+        return target
+
+    def _render_status(self, reader: Task, who: str) -> str:
+        """``/proc/<pid>/status`` — PIDs translated into the reader's
+        namespace, the visibility boundary the PID namespace enforces."""
+        target = self._resolve_pid(reader, who)
+        vpid = target.vpid_in(reader.pid_ns) or 0
+        # NSpid: the pid at each namespace level, outermost-visible first,
+        # starting from the reader's namespace (as Linux renders it).
+        ns_chain = [ns for ns in target.pid_ns.ancestry()][::-1]
+        visible = [str(target.vpid_in(ns)) for ns in ns_chain
+                   if target.vpid_in(ns) is not None
+                   and (ns is reader.pid_ns or ns.peek("level") >=
+                        reader.pid_ns.peek("level"))]
+        return (
+            f"Name:\t{target.comm}\n"
+            f"Pid:\t{vpid}\n"
+            f"NSpid:\t{' '.join(visible) or vpid}\n"
+            f"Uid:\t{target.peek('uid')}\n"
+        )
+
+    def _render_sysvipc_msg(self, task: Task) -> str:
+        """``/proc/sysvipc/msg`` — the reader's IPC namespace only."""
+        ipc_ns = task.nsproxy.get(NamespaceType.IPC)
+        lines = ["       key      msqid  qnum  lspid  lrpid"]
+        for msqid in sorted(ipc_ns.msg_queues.peek_items()):
+            queue = ipc_ns.msg_queues.lookup(msqid)
+            lines.append(f"{queue.kget('key'):>10} {msqid:>10} "
+                         f"{queue.kget('qnum'):>5} {queue.kget('lspid'):>6} "
+                         f"{queue.kget('lrpid'):>6}")
+        return "\n".join(lines) + "\n"
+
+    def _render_net_sockets(self, task: Task, proto: str) -> str:
+        """``/proc/net/tcp`` / ``udp`` — bound sockets of the reader's
+        namespace (correctly per-namespace, like Linux)."""
+        net_ns = task.nsproxy.get(NamespaceType.NET)
+        wanted = proto.upper()
+        lines = ["  sl  local_address st"]
+        index = 0
+        for key in sorted(net_ns.port_table.peek_items()):
+            proto_name, addr, port = key
+            if proto_name != wanted:
+                continue
+            sock = net_ns.port_table.lookup(key)
+            state = "0A" if sock.listening else "07"
+            lines.append(f"{index:>4}: {addr:08X}:{port:04X} {state}")
+            index += 1
+        return "\n".join(lines) + "\n"
+
+    # -- write ----------------------------------------------------------------
+
+    @kfunc
+    def write(self, task: Task, key: str, data: str) -> int:
+        kernel = self._kernel
+        net_ns = task.nsproxy.get(NamespaceType.NET)
+        if key == "sys/net/netfilter/nf_conntrack_max":
+            try:
+                value = int(data.strip())
+            except ValueError:
+                raise SyscallError(EINVAL, "not a number") from None
+            kernel.conntrack.sysctl_write_max(task, net_ns, value)
+            return len(data)
+        if key == "sys/kernel/hostname":
+            uts = task.nsproxy.get(NamespaceType.UTS)
+            uts.set_hostname(data.strip())
+            return len(data)
+        if key == "self/timens_offsets":
+            # "monotonic <ns>" / "boottime <ns>", as Linux accepts.
+            time_ns = task.nsproxy.get(NamespaceType.TIME)
+            try:
+                clock_name, offset = data.split()
+                field = {"monotonic": "monotonic_offset",
+                         "boottime": "boottime_offset"}[clock_name]
+                time_ns.kset(field, int(offset))
+            except (ValueError, KeyError):
+                raise SyscallError(EINVAL, "timens_offsets format") from None
+            return len(data)
+        raise SyscallError(EACCES, f"{key} is read-only")

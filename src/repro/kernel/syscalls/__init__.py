@@ -1,0 +1,26 @@
+"""Syscall dispatch for the simulated kernel.
+
+Importing this package registers every declared syscall (see
+:mod:`.table`); :func:`dispatch` is the kernel's syscall entry point.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from ..errno import ENOSYS, SyscallError
+from .decl import DECLS, ArgSpec, SyscallDecl
+from .table import HANDLERS
+
+__all__ = ["DECLS", "ArgSpec", "SyscallDecl", "dispatch"]
+
+
+def dispatch(kernel, task, name: str, args: List[Any]):
+    """Invoke syscall *name* for *task*; raises SyscallError on failure."""
+    handler = HANDLERS.get(name)
+    if handler is None:
+        raise SyscallError(ENOSYS, f"unknown syscall {name!r}")
+    decl = DECLS.get(name)
+    if len(args) != len(decl.args):
+        raise SyscallError(ENOSYS, f"{name} expects {len(decl.args)} args")
+    return handler(kernel, task, args)

@@ -1,0 +1,74 @@
+"""Render the declared syscall surface as documentation.
+
+The syzlang-lite declarations are the single source of truth for what
+the simulated kernel accepts and what the corpus generator can produce;
+this module turns them into a markdown reference (``kit-repro syscalls``
+or ``docs/SYSCALLS.md``).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .decl import DeclRegistry, SyscallDecl
+from . import DECLS
+
+
+def _format_arg(spec) -> str:
+    if spec.kind in ("fd", "res"):
+        return f"{spec.name}: {spec.kind}<{spec.resource}>"
+    if spec.choices:
+        shown = ", ".join(_short(choice) for choice in spec.choices[:4])
+        suffix = ", …" if len(spec.choices) > 4 else ""
+        return f"{spec.name}: {spec.kind}[{shown}{suffix}]"
+    return f"{spec.name}: {spec.kind}"
+
+
+def _short(value) -> str:
+    if isinstance(value, int):
+        return hex(value)
+    text = str(value)
+    return text if len(text) <= 24 else text[:21] + "…"
+
+
+def describe_syscall(decl: SyscallDecl) -> str:
+    args = ", ".join(_format_arg(spec) for spec in decl.args)
+    ret = f" -> {decl.ret_resource}" if decl.ret_resource else ""
+    return f"{decl.name}({args}){ret}"
+
+
+def surface_markdown(registry: DeclRegistry = DECLS) -> str:
+    """The whole declared surface as a markdown document."""
+    decls = list(registry.all())
+    producers = [d for d in decls if d.ret_resource is not None]
+    lines: List[str] = [
+        "# Simulated kernel syscall surface",
+        "",
+        f"{len(decls)} declared syscalls; {len(producers)} produce a "
+        "resource.  Generated from the syzlang-lite registry "
+        "(`repro.kernel.syscalls.decl`) — regenerate with "
+        "`kit-repro syscalls`.",
+        "",
+        "| syscall | signature | weight |",
+        "|---------|-----------|--------|",
+    ]
+    for decl in decls:
+        lines.append(f"| `{decl.name}` | `{describe_syscall(decl)}` "
+                     f"| {decl.weight} |")
+    lines += [
+        "",
+        "## Resource kinds",
+        "",
+    ]
+    kinds = sorted({d.ret_resource for d in producers} |
+                   {a.resource for d in decls for a in d.resource_args()})
+    for kind in kinds:
+        produced_by = [d.name for d in producers
+                       if d.ret_resource == kind]
+        consumed_by = [d.name for d in decls
+                       if any(a.resource == kind for a in d.resource_args())]
+        lines.append(f"- `{kind}`: produced by "
+                     f"{', '.join(f'`{n}`' for n in produced_by) or '—'}; "
+                     f"consumed by "
+                     f"{', '.join(f'`{n}`' for n in consumed_by) or '—'}")
+    return "\n".join(lines) + "\n"

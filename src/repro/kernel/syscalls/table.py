@@ -1,0 +1,731 @@
+"""Syscall declarations and handlers.
+
+Each entry couples a syzlang-lite declaration (argument domains for the
+corpus generator, resource typing for the specification layer) with a
+thin handler that adapts the call onto the subsystem implementations.
+
+The value domains are the corpus generator's raw material — they play
+the role of syzkaller's argument grammars.  Domains deliberately include
+both values that hit interesting kernel paths and values that fail, as a
+fuzzing corpus would.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+from ..errno import EBADF, EINVAL, ENOTDIR, EPERM, ESPIPE, SyscallError
+from ..fdtable import FileObject
+from ..ipc import IPC_CREAT, IPC_PRIVATE, IPC_RMID, IPC_STAT
+from ..iouring import IoUringFile
+from ..ipc import MqFile
+from ..nsfs import NsFile, open_ns_file, setns as do_setns
+from ..kernel import Kernel, SyscallResult
+from ..namespaces import (
+    CLONE_NEWIPC,
+    CLONE_NEWNET,
+    CLONE_NEWNS,
+    CLONE_NEWPID,
+    CLONE_NEWUSER,
+    CLONE_NEWUTS,
+    NamespaceType,
+)
+from ..net.flowlabel import FL_SHARE_ANY, FL_SHARE_EXCL
+from ..net.packet import ETH_P_ALL, ETH_P_IP
+from ..net.socket import (
+    AF_INET,
+    AF_INET6,
+    AF_NETLINK,
+    AF_PACKET,
+    AF_RDS,
+    AF_UNIX,
+    IPPROTO_SCTP,
+    IPPROTO_TCP,
+    IPPROTO_UDP,
+    IPV6_FLOWINFO_SEND,
+    IPV6_FLOWLABEL_MGR,
+    NETLINK_KOBJECT_UEVENT,
+    SCTP_GET_ASSOC_ID,
+    SCTP_SOCKOPT_CONNECTX,
+    SO_COOKIE,
+    SOCK_DGRAM,
+    SOCK_RAW,
+    SOCK_SEQPACKET,
+    SOCK_STREAM,
+    SOL_IPV6,
+    SOL_SCTP,
+    SOL_SOCKET,
+    Socket,
+)
+from ..task import PRIO_PGRP, PRIO_PROCESS, PRIO_USER, Task
+from ..vfs import O_CREAT, O_DIRECTORY, O_RDONLY, O_RDWR, O_WRONLY, OpenFile
+from .decl import DECLS, ArgSpec, SyscallDecl
+
+Handler = Callable[[Kernel, Task, List[Any]], SyscallResult]
+HANDLERS: Dict[str, Handler] = {}
+
+# -- common value domains -----------------------------------------------------
+
+PROC_PATHS = (
+    "/proc/net/ptype", "/proc/net/sockstat", "/proc/net/protocols",
+    "/proc/net/dev", "/proc/net/ip_vs", "/proc/net/nf_conntrack",
+    "/proc/net/unix", "/proc/sys/net/netfilter/nf_conntrack_max",
+    "/proc/sys/kernel/hostname", "/proc/crypto", "/proc/uptime",
+    "/proc/meminfo", "/proc/version",
+)
+NS_PATHS = ("/proc/self/ns/net", "/proc/self/ns/uts", "/proc/self/ns/ipc",
+            "/proc/self/ns/mnt")
+FILE_PATHS = ("/tmp/f0", "/tmp/f1", "/tmp/d0/f0", "/etc/hostname")
+DIR_PATHS = ("/tmp", "/tmp/d0", "/etc", "/proc", "/proc/net")
+ALL_PATHS = PROC_PATHS + FILE_PATHS + DIR_PATHS
+
+PORTS = (0, 80, 4000, 8080, 20000)
+ADDRS = (0x7F000001, 0x0A000001, 0x0A000002)
+FLOW_LABELS = (0xBEEF, 0xCAFE, 0x1)
+SIZES = (0, 1, 64, 512)
+COUNTS = (64, 512, 4096)
+
+
+def syscall(decl: SyscallDecl) -> Callable[[Handler], Handler]:
+    """Register *decl* and bind the decorated handler to it."""
+
+    def register(handler: Handler) -> Handler:
+        DECLS.add(decl)
+        HANDLERS[decl.name] = handler
+        return handler
+
+    return register
+
+
+def _int(value: Any) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise SyscallError(EINVAL, f"expected int, got {value!r}")
+    return value
+
+
+def _fd_object(task: Task, value: Any) -> FileObject:
+    return task.fdtable.get(_int(value) if isinstance(value, int) else value)
+
+
+# -- process / namespaces ----------------------------------------------------
+
+@syscall(SyscallDecl("getpid", args=(), weight=0.3))
+def sys_getpid(kernel: Kernel, task: Task, args: List[Any]) -> SyscallResult:
+    return SyscallResult(task.pid)
+
+
+@syscall(SyscallDecl("unshare", args=(
+    ArgSpec("flags", "flags", choices=(CLONE_NEWNET, CLONE_NEWUTS, CLONE_NEWIPC,
+                                       CLONE_NEWNS, CLONE_NEWPID, CLONE_NEWUSER)),
+), weight=0.1))
+def sys_unshare(kernel: Kernel, task: Task, args: List[Any]) -> SyscallResult:
+    return SyscallResult(kernel.unshare(task, _int(args[0])))
+
+
+@syscall(SyscallDecl("setpriority", args=(
+    ArgSpec("which", "int", choices=(PRIO_PROCESS, PRIO_PGRP, PRIO_USER)),
+    ArgSpec("who", "int", choices=(0,)),
+    ArgSpec("prio", "int", choices=(-5, 1, 10, 19)),
+)))
+def sys_setpriority(kernel: Kernel, task: Task, args: List[Any]) -> SyscallResult:
+    return SyscallResult(
+        kernel.sched.sys_setpriority(task, _int(args[0]), _int(args[1]), _int(args[2]))
+    )
+
+
+@syscall(SyscallDecl("getpriority", args=(
+    ArgSpec("which", "int", choices=(PRIO_PROCESS, PRIO_PGRP, PRIO_USER)),
+    ArgSpec("who", "int", choices=(0,)),
+)))
+def sys_getpriority(kernel: Kernel, task: Task, args: List[Any]) -> SyscallResult:
+    return SyscallResult(kernel.sched.sys_getpriority(task, _int(args[0]), _int(args[1])))
+
+
+@syscall(SyscallDecl("clock_gettime", args=(
+    ArgSpec("clk_id", "int", choices=(0, 1)),
+), weight=0.3))
+def sys_clock_gettime(kernel: Kernel, task: Task, args: List[Any]) -> SyscallResult:
+    now = kernel.clock.now_ns()
+    if _int(args[0]) == 1:  # CLOCK_MONOTONIC
+        time_ns = task.nsproxy.get(NamespaceType.TIME)
+        now = kernel.clock.uptime_ns() + time_ns.kget("monotonic_offset")
+    return SyscallResult(0, {"tv_sec": now // 10**9, "tv_nsec": now % 10**9})
+
+
+@syscall(SyscallDecl("sethostname", args=(
+    ArgSpec("name", "str", choices=("kit-a", "kit-b", "container0")),
+)))
+def sys_sethostname(kernel: Kernel, task: Task, args: List[Any]) -> SyscallResult:
+    from ..task import CAP_SYS_ADMIN
+
+    if not task.capable(CAP_SYS_ADMIN):
+        raise SyscallError(EPERM, "sethostname needs CAP_SYS_ADMIN")
+    uts = task.nsproxy.get(NamespaceType.UTS)
+    uts.set_hostname(str(args[0]))
+    return SyscallResult(0)
+
+
+@syscall(SyscallDecl("gethostname", args=()))
+def sys_gethostname(kernel: Kernel, task: Task, args: List[Any]) -> SyscallResult:
+    uts = task.nsproxy.get(NamespaceType.UTS)
+    return SyscallResult(0, {"name": uts.get_hostname()})
+
+
+# -- files ---------------------------------------------------------------------
+
+@syscall(SyscallDecl("open", args=(
+    ArgSpec("path", "path", choices=ALL_PATHS + NS_PATHS),
+    ArgSpec("flags", "flags", choices=(O_RDONLY, O_RDWR, O_RDONLY | O_DIRECTORY,
+                                       O_CREAT | O_RDWR, O_WRONLY)),
+), ret_resource="fd_file", weight=2.0))
+def sys_open(kernel: Kernel, task: Task, args: List[Any]) -> SyscallResult:
+    path = str(args[0])
+    if path.startswith("/proc/self/ns/"):
+        # nsfs: opening a namespace file captures the current instance.
+        ns_file = open_ns_file(task, path)
+        return SyscallResult(task.fdtable.install(ns_file))
+    open_file = kernel.vfs.open(task, path, _int(args[1]))
+    fd = task.fdtable.install(open_file)
+    return SyscallResult(fd, {"path": open_file.path})
+
+
+@syscall(SyscallDecl("read", args=(
+    ArgSpec("fd", "fd", resource="fd"),
+    ArgSpec("count", "int", choices=COUNTS),
+), weight=2.0))
+def sys_read(kernel: Kernel, task: Task, args: List[Any]) -> SyscallResult:
+    file_object = _fd_object(task, args[0])
+    count = _int(args[1])
+    if isinstance(file_object, Socket):
+        data = kernel.net.recvfrom(task, file_object, count)
+        return SyscallResult(len(data), {"data": data})
+    if isinstance(file_object, OpenFile):
+        data = kernel.vfs.read_file(task, file_object, count, file_object.offset)
+        file_object.offset += len(data)
+        return SyscallResult(len(data), {"data": data})
+    raise SyscallError(EBADF)
+
+
+@syscall(SyscallDecl("pread64", args=(
+    ArgSpec("fd", "fd", resource="fd_file"),
+    ArgSpec("count", "int", choices=COUNTS),
+    ArgSpec("offset", "int", choices=(0, 8, 64)),
+)))
+def sys_pread64(kernel: Kernel, task: Task, args: List[Any]) -> SyscallResult:
+    file_object = _fd_object(task, args[0])
+    if not isinstance(file_object, OpenFile):
+        raise SyscallError(ESPIPE)
+    data = kernel.vfs.read_file(task, file_object, _int(args[1]), _int(args[2]))
+    return SyscallResult(len(data), {"data": data})
+
+
+@syscall(SyscallDecl("write", args=(
+    ArgSpec("fd", "fd", resource="fd_file"),
+    ArgSpec("data", "str", choices=("hello", "65536", "1", "kit-data")),
+)))
+def sys_write(kernel: Kernel, task: Task, args: List[Any]) -> SyscallResult:
+    file_object = _fd_object(task, args[0])
+    if not isinstance(file_object, OpenFile):
+        raise SyscallError(EBADF)
+    data = str(args[1])
+    written = kernel.vfs.write_file(task, file_object, data, file_object.offset)
+    file_object.offset += written
+    return SyscallResult(written)
+
+
+@syscall(SyscallDecl("lseek", args=(
+    ArgSpec("fd", "fd", resource="fd_file"),
+    ArgSpec("offset", "int", choices=(0, 4, 32)),
+    ArgSpec("whence", "int", choices=(0, 1)),
+), weight=0.3))
+def sys_lseek(kernel: Kernel, task: Task, args: List[Any]) -> SyscallResult:
+    file_object = _fd_object(task, args[0])
+    if not isinstance(file_object, OpenFile):
+        raise SyscallError(ESPIPE)
+    offset, whence = _int(args[1]), _int(args[2])
+    if whence == 0:
+        file_object.offset = offset
+    elif whence == 1:
+        file_object.offset += offset
+    else:
+        raise SyscallError(EINVAL)
+    return SyscallResult(file_object.offset)
+
+
+@syscall(SyscallDecl("close", args=(ArgSpec("fd", "fd", resource="fd"),), weight=0.7))
+def sys_close(kernel: Kernel, task: Task, args: List[Any]) -> SyscallResult:
+    file_object = task.fdtable.remove(_int(args[0]))
+    file_object.refcount -= 1
+    if file_object.refcount <= 0:
+        file_object.on_close(kernel, task)
+    return SyscallResult(0)
+
+
+@syscall(SyscallDecl("dup", args=(ArgSpec("fd", "fd", resource="fd"),),
+                     ret_resource="fd_file", weight=0.3))
+def sys_dup(kernel: Kernel, task: Task, args: List[Any]) -> SyscallResult:
+    file_object = _fd_object(task, args[0])
+    file_object.refcount += 1
+    return SyscallResult(task.fdtable.install(file_object))
+
+
+@syscall(SyscallDecl("setns", args=(
+    ArgSpec("fd", "fd", resource="fd_ns"),
+    ArgSpec("nstype", "int", choices=(0,)),
+), weight=0.2))
+def sys_setns(kernel: Kernel, task: Task, args: List[Any]) -> SyscallResult:
+    ns_file = _fd_object(task, args[0])
+    if not isinstance(ns_file, NsFile):
+        raise SyscallError(EINVAL, "setns needs a namespace fd")
+    return SyscallResult(do_setns(kernel, task, ns_file))
+
+
+@syscall(SyscallDecl("stat", args=(ArgSpec("path", "path", choices=ALL_PATHS),)))
+def sys_stat(kernel: Kernel, task: Task, args: List[Any]) -> SyscallResult:
+    mount, inode, __ = kernel.vfs.lookup(task, str(args[0]))
+    return SyscallResult(0, {"stat": kernel.vfs.stat_inode(task, mount, inode)})
+
+
+@syscall(SyscallDecl("fstat", args=(ArgSpec("fd", "fd", resource="fd_file"),)))
+def sys_fstat(kernel: Kernel, task: Task, args: List[Any]) -> SyscallResult:
+    file_object = _fd_object(task, args[0])
+    if not isinstance(file_object, OpenFile):
+        raise SyscallError(EBADF)
+    stat = kernel.vfs.stat_inode(task, file_object.mount, file_object.inode)
+    return SyscallResult(0, {"stat": stat})
+
+
+@syscall(SyscallDecl("getdents64", args=(ArgSpec("fd", "fd", resource="fd_file"),)))
+def sys_getdents64(kernel: Kernel, task: Task, args: List[Any]) -> SyscallResult:
+    file_object = _fd_object(task, args[0])
+    if not isinstance(file_object, OpenFile) or not file_object.inode.is_dir:
+        raise SyscallError(ENOTDIR)
+    mount = file_object.mount
+    relative = file_object.path[len(mount.mountpoint.rstrip("/")):].lstrip("/")
+    entries = kernel.vfs.list_dir(mount, relative, task)
+    return SyscallResult(len(entries), {"entries": entries})
+
+
+@syscall(SyscallDecl("mkdir", args=(
+    ArgSpec("path", "path", choices=("/tmp/d0", "/tmp/d1", "/tmp/mnt")),
+), weight=0.5))
+def sys_mkdir(kernel: Kernel, task: Task, args: List[Any]) -> SyscallResult:
+    return SyscallResult(kernel.vfs.mkdir(task, str(args[0])))
+
+
+@syscall(SyscallDecl("unlink", args=(
+    ArgSpec("path", "path", choices=FILE_PATHS),
+), weight=0.3))
+def sys_unlink(kernel: Kernel, task: Task, args: List[Any]) -> SyscallResult:
+    return SyscallResult(kernel.vfs.unlink(task, str(args[0])))
+
+
+@syscall(SyscallDecl("mount", args=(
+    ArgSpec("source", "str", choices=("none",)),
+    ArgSpec("target", "path", choices=("/tmp/d0", "/tmp/mnt", "/tmp")),
+    ArgSpec("fstype", "str", choices=("tmpfs", "ramfs")),
+), weight=0.5))
+def sys_mount(kernel: Kernel, task: Task, args: List[Any]) -> SyscallResult:
+    return SyscallResult(kernel.vfs.mount(task, str(args[0]), str(args[1]), str(args[2])))
+
+
+@syscall(SyscallDecl("umount2", args=(
+    ArgSpec("target", "path", choices=("/tmp", "/tmp/d0", "/tmp/mnt")),
+), weight=0.3))
+def sys_umount2(kernel: Kernel, task: Task, args: List[Any]) -> SyscallResult:
+    return SyscallResult(kernel.vfs.umount(task, str(args[0])))
+
+
+@syscall(SyscallDecl("rename", args=(
+    ArgSpec("old", "path", choices=FILE_PATHS),
+    ArgSpec("new", "path", choices=("/tmp/renamed", "/tmp/f9")),
+), weight=0.3))
+def sys_rename(kernel: Kernel, task: Task, args: List[Any]) -> SyscallResult:
+    return SyscallResult(kernel.vfs.rename(task, str(args[0]), str(args[1])))
+
+
+@syscall(SyscallDecl("rmdir", args=(
+    ArgSpec("path", "path", choices=("/tmp/d0", "/tmp/d1")),
+), weight=0.2))
+def sys_rmdir(kernel: Kernel, task: Task, args: List[Any]) -> SyscallResult:
+    return SyscallResult(kernel.vfs.rmdir(task, str(args[0])))
+
+
+@syscall(SyscallDecl("symlink", args=(
+    ArgSpec("target", "path", choices=FILE_PATHS),
+    ArgSpec("linkpath", "path", choices=("/tmp/l0", "/tmp/l1")),
+), weight=0.2))
+def sys_symlink(kernel: Kernel, task: Task, args: List[Any]) -> SyscallResult:
+    return SyscallResult(kernel.vfs.symlink(task, str(args[0]), str(args[1])))
+
+
+@syscall(SyscallDecl("readlink", args=(
+    ArgSpec("path", "path", choices=("/tmp/l0", "/tmp/l1")),
+), weight=0.2))
+def sys_readlink(kernel: Kernel, task: Task, args: List[Any]) -> SyscallResult:
+    target = kernel.vfs.readlink(task, str(args[0]))
+    return SyscallResult(len(target), {"target": target})
+
+
+@syscall(SyscallDecl("statfs", args=(
+    ArgSpec("path", "path", choices=DIR_PATHS),
+), weight=0.3))
+def sys_statfs(kernel: Kernel, task: Task, args: List[Any]) -> SyscallResult:
+    return SyscallResult(0, {"statfs": kernel.vfs.statfs(task, str(args[0]))})
+
+
+# -- io_uring (known bug E) --------------------------------------------------
+
+@syscall(SyscallDecl("io_uring_setup", args=(), ret_resource="fd_io_uring",
+                     weight=0.4))
+def sys_io_uring_setup(kernel: Kernel, task: Task, args: List[Any]) -> SyscallResult:
+    return SyscallResult(task.fdtable.install(kernel.iouring.setup(task)))
+
+
+@syscall(SyscallDecl("io_uring_read", args=(
+    ArgSpec("fd", "fd", resource="fd_io_uring"),
+    ArgSpec("path", "path", choices=FILE_PATHS + ("/etc/hostname",)),
+    ArgSpec("count", "int", choices=COUNTS),
+), weight=0.4))
+def sys_io_uring_read(kernel: Kernel, task: Task, args: List[Any]) -> SyscallResult:
+    if not isinstance(_fd_object(task, args[0]), IoUringFile):
+        raise SyscallError(EBADF)
+    data = kernel.iouring.read_path(task, str(args[1]), _int(args[2]))
+    return SyscallResult(len(data), {"data": data})
+
+
+@syscall(SyscallDecl("io_uring_getdents", args=(
+    ArgSpec("fd", "fd", resource="fd_io_uring"),
+    ArgSpec("path", "path", choices=DIR_PATHS),
+), weight=0.4))
+def sys_io_uring_getdents(kernel: Kernel, task: Task, args: List[Any]) -> SyscallResult:
+    if not isinstance(_fd_object(task, args[0]), IoUringFile):
+        raise SyscallError(EBADF)
+    entries = kernel.iouring.list_path(task, str(args[1]))
+    return SyscallResult(len(entries), {"entries": entries})
+
+
+# -- System V IPC ----------------------------------------------------------------
+
+@syscall(SyscallDecl("msgget", args=(
+    ArgSpec("key", "int", choices=(IPC_PRIVATE, 0xAA, 0xBB)),
+    ArgSpec("flags", "flags", choices=(IPC_CREAT, IPC_CREAT | 0o600, 0)),
+), ret_resource="msqid"))
+def sys_msgget(kernel: Kernel, task: Task, args: List[Any]) -> SyscallResult:
+    return SyscallResult(kernel.ipc.msgget(task, _int(args[0]), _int(args[1])))
+
+
+@syscall(SyscallDecl("msgsnd", args=(
+    ArgSpec("msqid", "res", resource="msqid"),
+    ArgSpec("mtype", "int", choices=(1, 2)),
+    ArgSpec("text", "str", choices=("ping", "pong")),
+)))
+def sys_msgsnd(kernel: Kernel, task: Task, args: List[Any]) -> SyscallResult:
+    return SyscallResult(kernel.ipc.msgsnd(task, _int(args[0]), _int(args[1]),
+                                           str(args[2])))
+
+
+@syscall(SyscallDecl("msgrcv", args=(ArgSpec("msqid", "res", resource="msqid"),)))
+def sys_msgrcv(kernel: Kernel, task: Task, args: List[Any]) -> SyscallResult:
+    data = kernel.ipc.msgrcv(task, _int(args[0]))
+    return SyscallResult(len(data), {"data": data})
+
+
+@syscall(SyscallDecl("msgctl", args=(
+    ArgSpec("msqid", "res", resource="msqid"),
+    ArgSpec("cmd", "int", choices=(IPC_STAT, IPC_RMID)),
+)))
+def sys_msgctl(kernel: Kernel, task: Task, args: List[Any]) -> SyscallResult:
+    struct = kernel.ipc.msgctl(task, _int(args[0]), _int(args[1]))
+    return SyscallResult(0, {"msqid_ds": struct} if "msg_qnum" in struct else {})
+
+
+@syscall(SyscallDecl("shmget", args=(
+    ArgSpec("key", "int", choices=(IPC_PRIVATE, 0xCC)),
+    ArgSpec("size", "int", choices=(4096, 8192)),
+    ArgSpec("flags", "flags", choices=(IPC_CREAT, IPC_CREAT | 0o600)),
+), ret_resource="shmid", weight=0.5))
+def sys_shmget(kernel: Kernel, task: Task, args: List[Any]) -> SyscallResult:
+    return SyscallResult(kernel.ipc.shmget(task, _int(args[0]), _int(args[1]),
+                                           _int(args[2])))
+
+
+@syscall(SyscallDecl("shmctl", args=(
+    ArgSpec("shmid", "res", resource="shmid"),
+    ArgSpec("cmd", "int", choices=(IPC_STAT, IPC_RMID)),
+), weight=0.5))
+def sys_shmctl(kernel: Kernel, task: Task, args: List[Any]) -> SyscallResult:
+    struct = kernel.ipc.shmctl(task, _int(args[0]), _int(args[1]))
+    return SyscallResult(0, {"shmid_ds": struct} if "shm_segsz" in struct else {})
+
+
+@syscall(SyscallDecl("semget", args=(
+    ArgSpec("key", "int", choices=(IPC_PRIVATE, 0xDD)),
+    ArgSpec("nsems", "int", choices=(1, 4)),
+    ArgSpec("flags", "flags", choices=(IPC_CREAT,)),
+), ret_resource="semid", weight=0.4))
+def sys_semget(kernel: Kernel, task: Task, args: List[Any]) -> SyscallResult:
+    return SyscallResult(kernel.ipc.semget(task, _int(args[0]), _int(args[1]),
+                                           _int(args[2])))
+
+
+# -- sockets -------------------------------------------------------------------
+
+@syscall(SyscallDecl("socket", args=(
+    ArgSpec("family", "int", choices=(AF_INET, AF_INET6, AF_UNIX, AF_PACKET,
+                                      AF_RDS, AF_NETLINK)),
+    ArgSpec("type", "int", choices=(SOCK_STREAM, SOCK_DGRAM, SOCK_RAW,
+                                    SOCK_SEQPACKET)),
+    ArgSpec("proto", "int", choices=(0, IPPROTO_TCP, IPPROTO_UDP, IPPROTO_SCTP,
+                                     ETH_P_ALL, ETH_P_IP,
+                                     NETLINK_KOBJECT_UEVENT)),  # 0 is also NETLINK_ROUTE
+), ret_resource="sock", weight=3.0))
+def sys_socket(kernel: Kernel, task: Task, args: List[Any]) -> SyscallResult:
+    sock = kernel.net.socket_create(task, _int(args[0]), _int(args[1]), _int(args[2]))
+    return SyscallResult(task.fdtable.install(sock))
+
+
+@syscall(SyscallDecl("bind", args=(
+    ArgSpec("fd", "fd", resource="sock"),
+    ArgSpec("addr", "int", choices=ADDRS),
+    ArgSpec("port", "int", choices=PORTS),
+)))
+def sys_bind(kernel: Kernel, task: Task, args: List[Any]) -> SyscallResult:
+    sock = task.fdtable.get_as(_int(args[0]), Socket)
+    return SyscallResult(kernel.net.bind(task, sock, _int(args[1]), _int(args[2])))
+
+
+@syscall(SyscallDecl("listen", args=(ArgSpec("fd", "fd", resource="sock"),),
+                     weight=0.5))
+def sys_listen(kernel: Kernel, task: Task, args: List[Any]) -> SyscallResult:
+    sock = task.fdtable.get_as(_int(args[0]), Socket)
+    return SyscallResult(kernel.net.listen(task, sock))
+
+
+@syscall(SyscallDecl("connect", args=(
+    ArgSpec("fd", "fd", resource="sock"),
+    ArgSpec("addr", "int", choices=ADDRS),
+    ArgSpec("port", "int", choices=PORTS),
+)))
+def sys_connect(kernel: Kernel, task: Task, args: List[Any]) -> SyscallResult:
+    sock = task.fdtable.get_as(_int(args[0]), Socket)
+    return SyscallResult(kernel.net.connect(task, sock, _int(args[1]), _int(args[2])))
+
+
+@syscall(SyscallDecl("sendto", args=(
+    ArgSpec("fd", "fd", resource="sock"),
+    ArgSpec("size", "int", choices=SIZES),
+    ArgSpec("addr", "int", choices=ADDRS),
+    ArgSpec("port", "int", choices=PORTS),
+), weight=1.5))
+def sys_sendto(kernel: Kernel, task: Task, args: List[Any]) -> SyscallResult:
+    sock = task.fdtable.get_as(_int(args[0]), Socket)
+    return SyscallResult(kernel.net.sendto(task, sock, _int(args[1]),
+                                           _int(args[2]), _int(args[3])))
+
+
+@syscall(SyscallDecl("recvfrom", args=(
+    ArgSpec("fd", "fd", resource="sock"),
+    ArgSpec("count", "int", choices=COUNTS),
+)))
+def sys_recvfrom(kernel: Kernel, task: Task, args: List[Any]) -> SyscallResult:
+    sock = task.fdtable.get_as(_int(args[0]), Socket)
+    data = kernel.net.recvfrom(task, sock, _int(args[1]))
+    return SyscallResult(len(data), {"data": data})
+
+
+@syscall(SyscallDecl("setsockopt", args=(
+    ArgSpec("fd", "fd", resource="sock"),
+    ArgSpec("level", "int", choices=(SOL_SOCKET, SOL_IPV6, SOL_SCTP)),
+    ArgSpec("optname", "int", choices=(IPV6_FLOWLABEL_MGR, IPV6_FLOWINFO_SEND,
+                                       SCTP_SOCKOPT_CONNECTX)),
+    ArgSpec("value", "int", choices=FLOW_LABELS),
+    ArgSpec("extra", "int", choices=(FL_SHARE_EXCL, FL_SHARE_ANY, 0)),
+)))
+def sys_setsockopt(kernel: Kernel, task: Task, args: List[Any]) -> SyscallResult:
+    sock = task.fdtable.get_as(_int(args[0]), Socket)
+    return SyscallResult(kernel.net.setsockopt(task, sock, _int(args[1]),
+                                               _int(args[2]), _int(args[3]),
+                                               _int(args[4])))
+
+
+@syscall(SyscallDecl("getsockopt", args=(
+    ArgSpec("fd", "fd", resource="sock"),
+    ArgSpec("level", "int", choices=(SOL_SOCKET, SOL_SCTP)),
+    ArgSpec("optname", "int", choices=(SO_COOKIE, SCTP_GET_ASSOC_ID)),
+)))
+def sys_getsockopt(kernel: Kernel, task: Task, args: List[Any]) -> SyscallResult:
+    sock = task.fdtable.get_as(_int(args[0]), Socket)
+    value = kernel.net.getsockopt(task, sock, _int(args[1]), _int(args[2]))
+    return SyscallResult(0, {"optval": value})
+
+
+@syscall(SyscallDecl("accept", args=(ArgSpec("fd", "fd", resource="sock"),),
+                     ret_resource="sock", weight=0.4))
+def sys_accept(kernel: Kernel, task: Task, args: List[Any]) -> SyscallResult:
+    sock = task.fdtable.get_as(_int(args[0]), Socket)
+    child = kernel.net.accept(task, sock)
+    return SyscallResult(task.fdtable.install(child))
+
+
+@syscall(SyscallDecl("getsockname", args=(ArgSpec("fd", "fd", resource="sock"),),
+                     weight=0.3))
+def sys_getsockname(kernel: Kernel, task: Task, args: List[Any]) -> SyscallResult:
+    sock = task.fdtable.get_as(_int(args[0]), Socket)
+    addr, port = kernel.net.getsockname(task, sock)
+    return SyscallResult(0, {"addr": addr, "port": port})
+
+
+# -- POSIX message queues --------------------------------------------------------
+
+@syscall(SyscallDecl("mq_open", args=(
+    ArgSpec("name", "str", choices=("/kitq", "/mq0")),
+    ArgSpec("flags", "flags", choices=(IPC_CREAT, IPC_CREAT | 0o600, 0)),
+), ret_resource="fd_mqueue", weight=0.5))
+def sys_mq_open(kernel: Kernel, task: Task, args: List[Any]) -> SyscallResult:
+    mq = kernel.ipc.mq_open(task, str(args[0]), _int(args[1]))
+    return SyscallResult(task.fdtable.install(mq))
+
+
+@syscall(SyscallDecl("mq_send", args=(
+    ArgSpec("fd", "fd", resource="fd_mqueue"),
+    ArgSpec("text", "str", choices=("ping", "pong")),
+    ArgSpec("priority", "int", choices=(0, 1, 9)),
+), weight=0.4))
+def sys_mq_send(kernel: Kernel, task: Task, args: List[Any]) -> SyscallResult:
+    mq = task.fdtable.get_as(_int(args[0]), MqFile)
+    return SyscallResult(kernel.ipc.mq_send(task, mq, str(args[1]),
+                                            _int(args[2])))
+
+
+@syscall(SyscallDecl("mq_receive", args=(
+    ArgSpec("fd", "fd", resource="fd_mqueue"),
+), weight=0.4))
+def sys_mq_receive(kernel: Kernel, task: Task, args: List[Any]) -> SyscallResult:
+    mq = task.fdtable.get_as(_int(args[0]), MqFile)
+    text = kernel.ipc.mq_receive(task, mq)
+    return SyscallResult(len(text), {"data": text})
+
+
+@syscall(SyscallDecl("mq_unlink", args=(
+    ArgSpec("name", "str", choices=("/kitq", "/mq0")),
+), weight=0.2))
+def sys_mq_unlink(kernel: Kernel, task: Task, args: List[Any]) -> SyscallResult:
+    return SyscallResult(kernel.ipc.mq_unlink(task, str(args[0])))
+
+
+@syscall(SyscallDecl("semop", args=(
+    ArgSpec("semid", "res", resource="semid"),
+    ArgSpec("sem_num", "int", choices=(0, 1)),
+    ArgSpec("delta", "int", choices=(1, -1, 2)),
+), weight=0.3))
+def sys_semop(kernel: Kernel, task: Task, args: List[Any]) -> SyscallResult:
+    return SyscallResult(kernel.ipc.semop(task, _int(args[0]), _int(args[1]),
+                                          _int(args[2])))
+
+
+@syscall(SyscallDecl("shmat", args=(
+    ArgSpec("shmid", "res", resource="shmid"),
+), weight=0.3))
+def sys_shmat(kernel: Kernel, task: Task, args: List[Any]) -> SyscallResult:
+    return SyscallResult(kernel.ipc.shmat(task, _int(args[0])))
+
+
+@syscall(SyscallDecl("shmdt", args=(
+    ArgSpec("shmid", "res", resource="shmid"),
+), weight=0.2))
+def sys_shmdt(kernel: Kernel, task: Task, args: List[Any]) -> SyscallResult:
+    return SyscallResult(kernel.ipc.shmdt(task, _int(args[0])))
+
+
+# -- rtnetlink -------------------------------------------------------------------
+
+@syscall(SyscallDecl("nl_request", args=(
+    ArgSpec("fd", "fd", resource="sock_netlink_route"),
+    ArgSpec("msg_type", "int", choices=(16, 17, 18)),  # NEW/DEL/GETLINK
+    ArgSpec("name", "str", choices=("veth0", "dummy0", "lo", "")),
+), weight=0.5))
+def sys_nl_request(kernel: Kernel, task: Task, args: List[Any]) -> SyscallResult:
+    """sendmsg(2) of one rtnetlink request; replies land on the socket."""
+    sock = task.fdtable.get_as(_int(args[0]), Socket)
+    from ..net.socket import AF_NETLINK, NETLINK_ROUTE
+
+    if sock.family != AF_NETLINK or sock.proto != NETLINK_ROUTE:
+        raise SyscallError(EINVAL, "not a route socket")
+    queued = kernel.rtnetlink.request(task, sock, _int(args[1]), str(args[2]))
+    return SyscallResult(queued)
+
+
+# -- cgroups -------------------------------------------------------------------
+
+@syscall(SyscallDecl("cgroup_create", args=(
+    ArgSpec("path", "str", choices=("/app", "/app/web", "/batch")),
+), weight=0.3))
+def sys_cgroup_create(kernel: Kernel, task: Task, args: List[Any]) -> SyscallResult:
+    """mkdir in cgroupfs (namespace-relative path)."""
+    return SyscallResult(kernel.cgroup.create(task, str(args[0])))
+
+
+@syscall(SyscallDecl("cgroup_enter", args=(
+    ArgSpec("path", "str", choices=("/app", "/app/web", "/batch", "/")),
+), weight=0.3))
+def sys_cgroup_enter(kernel: Kernel, task: Task, args: List[Any]) -> SyscallResult:
+    """write to cgroup.procs (namespace-relative path)."""
+    return SyscallResult(kernel.cgroup.enter(task, str(args[0])))
+
+
+# -- netlink shorthands ---------------------------------------------------------
+
+@syscall(SyscallDecl("ip_link_add", args=(
+    ArgSpec("name", "str", choices=("veth0", "dummy0", "br0")),
+), weight=0.8))
+def sys_ip_link_add(kernel: Kernel, task: Task, args: List[Any]) -> SyscallResult:
+    """RTM_NEWLINK shorthand: create a virtual net device."""
+    ns = task.nsproxy.get(NamespaceType.NET)
+    return SyscallResult(kernel.netdev.register_netdev(task, ns, str(args[0])))
+
+
+@syscall(SyscallDecl("veth_create", args=(
+    ArgSpec("name", "str", choices=("veth0", "veth1")),
+    ArgSpec("peer_ns_fd", "fd", resource="fd_ns"),
+), weight=0.2))
+def sys_veth_create(kernel: Kernel, task: Task, args: List[Any]) -> SyscallResult:
+    """ip link add type veth with the peer end in another namespace."""
+    ns_file = _fd_object(task, args[1])
+    if not isinstance(ns_file, NsFile):
+        raise SyscallError(EINVAL, "peer must be a namespace fd")
+    from ..net.netns import NetNamespace as _NetNs
+
+    if not isinstance(ns_file.namespace, _NetNs):
+        raise SyscallError(EINVAL, "peer fd must reference a net namespace")
+    ns = task.nsproxy.get(NamespaceType.NET)
+    return SyscallResult(kernel.netdev.create_veth_pair(
+        task, ns, ns_file.namespace, str(args[0])))
+
+
+@syscall(SyscallDecl("ipvs_add_service", args=(
+    ArgSpec("addr", "int", choices=ADDRS),
+    ArgSpec("port", "int", choices=(80, 443)),
+), weight=0.5))
+def sys_ipvs_add_service(kernel: Kernel, task: Task, args: List[Any]) -> SyscallResult:
+    """setsockopt(IP_VS_SO_SET_ADD) shorthand."""
+    ns = task.nsproxy.get(NamespaceType.NET)
+    return SyscallResult(kernel.ipvs.add_service(task, ns, _int(args[0]),
+                                                 _int(args[1])))
+
+
+@syscall(SyscallDecl("unix_diag", args=(
+    ArgSpec("ino", "int", choices=(10001, 10002, 12345)),
+), weight=0.3))
+def sys_unix_diag(kernel: Kernel, task: Task, args: List[Any]) -> SyscallResult:
+    """SOCK_DIAG-by-inode shorthand (known bug G's probe)."""
+    struct = kernel.net.unix_diag_by_ino(task, _int(args[0]))
+    return SyscallResult(0, {"unix_diag": struct})
+
+
+@syscall(SyscallDecl("crypto_alloc", args=(
+    ArgSpec("alg", "str", choices=("sha256", "aes", "crc32c")),
+), weight=0.4))
+def sys_crypto_alloc(kernel: Kernel, task: Task, args: List[Any]) -> SyscallResult:
+    """AF_ALG bind shorthand: take a reference on a crypto algorithm."""
+    return SyscallResult(kernel.crypto.crypto_alloc(task, str(args[0])))

@@ -1,0 +1,241 @@
+"""Tasks, PID namespaces, and scheduler priorities.
+
+The task model carries exactly the state the tested syscall surface
+needs: credentials, an fd table, an nsproxy, per-PID-namespace PID
+numbers, and a nice value.
+
+PID namespaces form a hierarchy; a task created in namespace *N* has a
+PID number in *N* and in every ancestor of *N* (``struct pid`` has one
+``upid`` per level), which is what makes cross-namespace PID visibility
+bugs (like the msgctl IPC_STAT leak of §2.1) expressible.
+
+Known bug A (paper Table 3) lives here: ``setpriority(PRIO_USER, …)`` on
+the buggy kernel walks *every* task of the matching UID in the system,
+crossing PID-namespace boundaries; the fixed kernel restricts the walk to
+tasks visible in the caller's PID namespace.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from .errno import EACCES, EINVAL, ESRCH, SyscallError
+from .fdtable import FdTable
+from .ktrace import kfunc
+from .memory import KDict, KernelArena, KStruct
+from .namespaces import Namespace, NamespaceType, NsProxy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .kernel import Kernel
+
+#: ``setpriority(2)`` / ``getpriority(2)`` "which" values.
+PRIO_PROCESS = 0
+PRIO_PGRP = 1
+PRIO_USER = 2
+
+PRIO_MIN = -20
+PRIO_MAX = 19
+
+#: Capability numbers (linux/capability.h); possession is derived from
+#: the task's effective UID, root-in-namespace style.
+CAP_NET_ADMIN = 12
+CAP_SYS_ADMIN = 21
+CAP_SYS_NICE = 23
+
+
+class PidNamespace(Namespace):
+    """A PID namespace instance: its own PID number space."""
+
+    NS_TYPE = NamespaceType.PID
+    FIELDS = {"inum": 8, "last_pid": 4, "level": 4}
+
+    def __init__(self, arena: KernelArena, inum: int, parent: Optional["PidNamespace"] = None):
+        super().__init__(arena, inum)
+        self.parent = parent
+        self.poke("level", 0 if parent is None else parent.peek("level") + 1)
+        #: vpid -> Task, the processes visible in this namespace.
+        self.tasks = KDict(arena)
+
+    def alloc_pid(self) -> int:
+        """Allocate the next PID number in this namespace."""
+        vpid = self.peek("last_pid") + 1
+        self.poke("last_pid", vpid)
+        return vpid
+
+    def ancestry(self) -> List["PidNamespace"]:
+        """This namespace followed by all ancestors, innermost first."""
+        chain: List[PidNamespace] = []
+        node: Optional[PidNamespace] = self
+        while node is not None:
+            chain.append(node)
+            node = node.parent
+        return chain
+
+
+class Task(KStruct):
+    """A simulated process."""
+
+    FIELDS = {"nice": 4, "uid": 4, "euid": 4}
+
+    def __init__(
+        self,
+        arena: KernelArena,
+        nsproxy: NsProxy,
+        uid: int = 0,
+        comm: str = "executor",
+    ):
+        super().__init__(arena, nice=0, uid=uid, euid=uid)
+        self.comm = comm
+        self.nsproxy = nsproxy
+        self.fdtable = FdTable()
+        #: Membership in the global cgroup hierarchy.
+        self.cgroup_path = "/" 
+        #: PidNamespace -> PID number, one entry per level (struct upid).
+        self.pid_numbers: Dict[PidNamespace, int] = {}
+        self.exited = False
+
+    @property
+    def pid_ns(self) -> PidNamespace:
+        ns = self.nsproxy.get(NamespaceType.PID)
+        assert isinstance(ns, PidNamespace)
+        return ns
+
+    def vpid_in(self, pid_ns: PidNamespace) -> Optional[int]:
+        """This task's PID as seen from *pid_ns*, or None if invisible."""
+        return self.pid_numbers.get(pid_ns)
+
+    def capable(self, capability: int) -> bool:
+        """``ns_capable``-style check: root (euid 0) holds every
+        capability in its own user namespace.  Container tasks run as
+        (namespace-)root by default, like the paper's test setup, so
+        privileged namespace operations succeed inside containers —
+        which is precisely what makes bugs like D reachable from an
+        unprivileged host user."""
+        return self.peek("euid") == 0
+
+    @property
+    def pid(self) -> int:
+        """PID in the task's own namespace."""
+        return self.pid_numbers[self.pid_ns]
+
+
+class TaskTable:
+    """All live tasks plus PID allocation across the namespace hierarchy."""
+
+    def __init__(self, arena: KernelArena):
+        self._arena = arena
+        self.tasks: List[Task] = []
+
+    def attach(self, task: Task) -> None:
+        """Register *task*, allocating a PID at every pid-ns level."""
+        for level_ns in task.pid_ns.ancestry():
+            vpid = level_ns.alloc_pid()
+            task.pid_numbers[level_ns] = vpid
+            level_ns.tasks.insert(vpid, task)
+        self.tasks.append(task)
+
+    def detach(self, task: Task) -> None:
+        for level_ns, vpid in task.pid_numbers.items():
+            level_ns.tasks.delete(vpid)
+        self.tasks.remove(task)
+        task.exited = True
+
+    def find_in_ns(self, pid_ns: PidNamespace, vpid: int) -> Optional[Task]:
+        return pid_ns.tasks.lookup(vpid)
+
+    def all_tasks(self) -> List[Task]:
+        return list(self.tasks)
+
+
+class Scheduler:
+    """The slice of the scheduler the priority syscalls touch.
+
+    Holds a back-reference to the kernel for tracing and bug flags.
+    """
+
+    def __init__(self, kernel: "Kernel"):
+        self._kernel = kernel
+
+    @property
+    def tracer(self):
+        return self._kernel.tracer
+
+    @kfunc
+    def set_user_nice(self, task: Task, nice: int) -> None:
+        task.kset("nice", nice)
+
+    @kfunc
+    def task_nice(self, task: Task) -> int:
+        return task.kget("nice")
+
+    @kfunc
+    def set_one_prio(self, caller: Task, task: Task, nice: int) -> None:
+        if task.kget("uid") != caller.kget("euid") and caller.kget("euid") != 0:
+            return
+        self.set_user_nice(task, nice)
+
+    @kfunc
+    def sys_setpriority(self, caller: Task, which: int, who: int, nice: int) -> int:
+        """``setpriority(2)``.
+
+        PRIO_USER on the buggy kernel (known bug A) iterates every task
+        in the system whose UID matches, including tasks in other PID
+        namespaces; the fixed kernel only walks tasks visible in the
+        caller's PID namespace.
+        """
+        nice = max(PRIO_MIN, min(PRIO_MAX, nice))
+        if nice < 0 and not caller.capable(CAP_SYS_NICE):
+            raise SyscallError(EACCES, "raising priority needs CAP_SYS_NICE")
+        if which == PRIO_PROCESS:
+            task = caller if who == 0 else self._kernel.tasks.find_in_ns(caller.pid_ns, who)
+            if task is None:
+                raise SyscallError(ESRCH)
+            self.set_one_prio(caller, task, nice)
+            return 0
+        if which == PRIO_PGRP:
+            # Process groups are collapsed to single tasks in this model.
+            task = caller if who == 0 else self._kernel.tasks.find_in_ns(caller.pid_ns, who)
+            if task is None:
+                raise SyscallError(ESRCH)
+            self.set_one_prio(caller, task, nice)
+            return 0
+        if which == PRIO_USER:
+            uid = caller.kget("euid") if who == 0 else who
+            for task in self._iter_user_tasks(caller, uid):
+                self.set_one_prio(caller, task, nice)
+            return 0
+        raise SyscallError(EINVAL)
+
+    @kfunc
+    def sys_getpriority(self, caller: Task, which: int, who: int) -> int:
+        """``getpriority(2)``; returns the kernel's ``20 - nice`` encoding."""
+        if which == PRIO_PROCESS or which == PRIO_PGRP:
+            task = caller if who == 0 else self._kernel.tasks.find_in_ns(caller.pid_ns, who)
+            if task is None:
+                raise SyscallError(ESRCH)
+            return 20 - self.task_nice(task)
+        if which == PRIO_USER:
+            uid = caller.kget("euid") if who == 0 else who
+            best: Optional[int] = None
+            for task in self._iter_user_tasks(caller, uid):
+                nice = self.task_nice(task)
+                if best is None or nice < best:
+                    best = nice
+            if best is None:
+                raise SyscallError(ESRCH)
+            return 20 - best
+        raise SyscallError(EINVAL)
+
+    def _iter_user_tasks(self, caller: Task, uid: int) -> List[Task]:
+        """Tasks affected by PRIO_USER — the site of known bug A."""
+        bugs = self._kernel.bugs
+        candidates = []
+        for task in self._kernel.tasks.all_tasks():
+            if task.kget("uid") != uid:
+                continue
+            if not bugs.prio_user_crosses_pidns:
+                # Fixed kernel: only tasks visible in the caller's pid ns.
+                if task.vpid_in(caller.pid_ns) is None:
+                    continue
+            candidates.append(task)
+        return candidates

@@ -1,0 +1,33 @@
+"""UTS namespace: hostname isolation.
+
+A correctly-isolated subsystem — it exists so campaigns exercise syscalls
+on protected resources that do *not* interfere, keeping the true-negative
+path honest.
+"""
+
+from __future__ import annotations
+
+from .errno import EINVAL, SyscallError
+from .memory import KernelArena
+from .namespaces import Namespace, NamespaceType
+
+_HOST_NAME_MAX = 64
+
+
+class UtsNamespace(Namespace):
+    """A UTS namespace instance holding the hostname."""
+
+    NS_TYPE = NamespaceType.UTS
+    FIELDS = {"inum": 8, "hostname": 8}
+
+    def __init__(self, arena: KernelArena, inum: int, hostname: str = "kit-vm"):
+        super().__init__(arena, inum)
+        self.poke("hostname", hostname)
+
+    def set_hostname(self, name: str) -> None:
+        if not name or len(name) > _HOST_NAME_MAX:
+            raise SyscallError(EINVAL, "hostname length")
+        self.kset("hostname", name)
+
+    def get_hostname(self) -> str:
+        return self.kget("hostname")

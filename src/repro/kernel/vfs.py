@@ -1,0 +1,525 @@
+"""Virtual filesystem: superblocks, mounts, mount namespaces.
+
+Semantics follow Linux where it matters to isolation testing:
+
+* A *superblock* owns the file tree and the device number; *mounts* map a
+  path in some mount namespace to a superblock.
+* ``unshare(CLONE_NEWNS)`` copies the mount table — the copies point at
+  the **same** superblocks (sharing files is legitimate, mount namespaces
+  only isolate the mount points themselves).  Container runtimes obtain
+  private ``/tmp`` trees by mounting a fresh tmpfs after unsharing, which
+  is what the simulated container setup does (paper §5.2 tunes container
+  settings the same way, to keep documented/legitimate sharing out of the
+  results).
+* Anonymous superblocks draw their device minor from a **global**
+  allocator (``get_anon_bdev`` in Linux).  The minor is visible through
+  ``stat.st_dev`` and is *not* namespace-protected — the paper's §6.4
+  false-positive analysis calls out exactly this (procfs/ramfs minor
+  device numbers), so the global allocator is modelled faithfully to
+  exercise report filtering and FP aggregation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+from .errno import (
+    EBUSY,
+    EEXIST,
+    EINVAL,
+    EISDIR,
+    ENOENT,
+    ENOTDIR,
+    ENOTEMPTY,
+    EPERM,
+    EROFS,
+    EXDEV,
+    SyscallError,
+)
+from .fdtable import FileObject
+from .ktrace import kfunc
+from .memory import KDict, KernelArena, KStruct
+from .namespaces import Namespace, NamespaceType
+from .task import Task
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .kernel import Kernel
+
+#: open(2) flag bits used by the model.
+O_RDONLY = 0
+O_WRONLY = 0o1
+O_RDWR = 0o2
+O_CREAT = 0o100
+O_EXCL = 0o200
+O_DIRECTORY = 0o200000
+
+#: Mode bits for the ``st_mode`` field.
+S_IFREG = 0o100000
+S_IFDIR = 0o040000
+
+_SUPPORTED_FS = ("tmpfs", "ramfs", "proc")
+
+
+def normalize_path(path: str) -> str:
+    """Collapse a user-supplied path to canonical ``/a/b`` form."""
+    if not path or not path.startswith("/"):
+        raise SyscallError(ENOENT, f"bad path {path!r}")
+    parts = [part for part in path.split("/") if part and part != "."]
+    return "/" + "/".join(parts)
+
+
+class Inode(KStruct):
+    """A file or directory inside one superblock."""
+
+    FIELDS = {"ino": 8, "size": 8, "mode": 4, "nlink": 4, "mtime": 8}
+
+    def __init__(self, arena: KernelArena, ino: int, is_dir: bool, mtime: int):
+        mode = (S_IFDIR | 0o755) if is_dir else (S_IFREG | 0o644)
+        super().__init__(arena, ino=ino, mode=mode, nlink=2 if is_dir else 1, mtime=mtime)
+        self.is_dir = is_dir
+        self.content = ""
+        #: For procfs inodes: the key the proc renderer dispatches on.
+        self.proc_key: Optional[str] = None
+        #: For symlinks: the stored target path (not followed on lookup;
+        #: readlink exposes it — keeps path resolution loop-free).
+        self.symlink_target: Optional[str] = None
+
+
+class SuperBlock(KStruct):
+    """A filesystem instance: file tree plus device number."""
+
+    FIELDS = {"s_dev": 4, "next_ino": 8}
+
+    def __init__(self, arena: KernelArena, fs_type: str, s_dev: int):
+        super().__init__(arena, s_dev=s_dev, next_ino=1)
+        self.fs_type = fs_type
+        #: Relative path ("" = root) -> Inode.
+        self.files = KDict(arena)
+        root = self._new_inode(arena, is_dir=True, mtime=0)
+        self.files.insert("", root)
+
+    def _new_inode(self, arena: KernelArena, is_dir: bool, mtime: int) -> Inode:
+        ino = self.peek("next_ino")
+        self.poke("next_ino", ino + 1)
+        return Inode(arena, ino, is_dir, mtime)
+
+
+class Mount(KStruct):
+    """One entry of a mount namespace's mount table."""
+
+    FIELDS = {"mnt_id": 4}
+
+    def __init__(self, arena: KernelArena, mnt_id: int, mountpoint: str, sb: SuperBlock):
+        super().__init__(arena, mnt_id=mnt_id)
+        self.mountpoint = mountpoint
+        self.sb = sb
+
+
+class MntNamespace(Namespace):
+    """A mount namespace: an independent mount table."""
+
+    NS_TYPE = NamespaceType.MNT
+    FIELDS = {"inum": 8}
+
+    def __init__(self, arena: KernelArena, inum: int):
+        super().__init__(arena, inum)
+        self.mounts: List[Mount] = []
+
+    def find_mount(self, path: str) -> Optional[Mount]:
+        """Longest-prefix mount covering *path*; later mounts shadow earlier."""
+        best: Optional[Mount] = None
+        for mount in self.mounts:
+            point = mount.mountpoint
+            if path == point or path.startswith(point.rstrip("/") + "/") or point == "/":
+                if best is None or len(point) >= len(best.mountpoint):
+                    best = mount
+        return best
+
+    def mount_at(self, path: str) -> Optional[Mount]:
+        """The topmost (most recent) mount at exactly *path*."""
+        for mount in reversed(self.mounts):
+            if mount.mountpoint == path:
+                return mount
+        return None
+
+
+class OpenFile(FileObject):
+    """An open regular file, directory, or procfs node."""
+
+    def __init__(self, mount: Mount, inode: Inode, path: str, flags: int):
+        super().__init__()
+        self.mount = mount
+        self.inode = inode
+        self.path = path
+        self.flags = flags
+        self.offset = 0
+
+    @property
+    def resource_kind(self) -> str:  # type: ignore[override]
+        if self.inode.proc_key is not None:
+            key = self.inode.proc_key
+            if key.startswith("net/"):
+                return "fd_proc_net"
+            if key.startswith("sys/net/"):
+                return "fd_proc_sys_net"
+            if key.startswith("sys/kernel/"):
+                return "fd_proc_sys_kernel"
+            if key.startswith("sys/"):
+                return "fd_proc_sys"
+            return "fd_proc"
+        return "fd_file"
+
+    def describe(self) -> str:
+        return self.path
+
+
+class Vfs:
+    """Mount/lookup/IO engine shared by the file syscalls."""
+
+    def __init__(self, kernel: "Kernel"):
+        self._kernel = kernel
+        arena = kernel.arena
+        # Global anonymous-device minor allocator (get_anon_bdev).
+        from .memory import KCell
+
+        self.anon_dev_next = KCell(arena, 4, init=0x10)
+        self.mnt_id_next = KCell(arena, 4, init=1)
+
+    @property
+    def tracer(self):
+        return self._kernel.tracer
+
+    # -- construction ------------------------------------------------------
+
+    def new_superblock(self, fs_type: str) -> SuperBlock:
+        """Create a superblock, drawing a minor from the global allocator."""
+        if fs_type not in _SUPPORTED_FS:
+            raise SyscallError(ENOENT, f"unknown fs {fs_type!r}")
+        s_dev = self.anon_dev_next.add(1)
+        return SuperBlock(self._kernel.arena, fs_type, s_dev)
+
+    def new_mount(self, mountpoint: str, sb: SuperBlock) -> Mount:
+        mnt_id = self.mnt_id_next.add(1)
+        return Mount(self._kernel.arena, mnt_id, mountpoint, sb)
+
+    def copy_mnt_ns(self, source: MntNamespace, inum: int) -> MntNamespace:
+        """``unshare(CLONE_NEWNS)``: copy the table, share the superblocks."""
+        ns = MntNamespace(self._kernel.arena, inum)
+        for mount in source.mounts:
+            ns.mounts.append(self.new_mount(mount.mountpoint, mount.sb))
+        return ns
+
+    def install_standard_tree(self, mnt_ns: MntNamespace) -> None:
+        """Populate *mnt_ns* with a fresh root/proc/tmp layout.
+
+        Used at boot for the init namespace, and by container setup as
+        the pivot_root-style private rootfs a container runtime provides
+        — nothing in the resulting table shares a superblock with any
+        other namespace, so only genuine kernel channels (not plain
+        shared mounts) can carry cross-container data flows.
+        """
+        root_sb = self.new_superblock("tmpfs")
+        now = self._kernel.clock.now_sec()
+        for path, is_dir in (("tmp", True), ("etc", True), ("proc", True),
+                             ("etc/hostname", False)):
+            inode = root_sb._new_inode(self._kernel.arena, is_dir=is_dir,
+                                       mtime=now)
+            root_sb.files.insert(path, inode)
+        hostname = root_sb.files.lookup("etc/hostname")
+        hostname.content = "kit-vm\n"
+        hostname.poke("size", len(hostname.content))
+        mnt_ns.mounts.append(self.new_mount("/", root_sb))
+        mnt_ns.mounts.append(self.new_mount("/proc", self.new_superblock("proc")))
+        mnt_ns.mounts.append(self.new_mount("/tmp", self.new_superblock("tmpfs")))
+
+    # -- resolution --------------------------------------------------------
+
+    @staticmethod
+    def _mnt_ns_of(task: Task) -> MntNamespace:
+        ns = task.nsproxy.get(NamespaceType.MNT)
+        assert isinstance(ns, MntNamespace)
+        return ns
+
+    @kfunc
+    def resolve(self, task: Task, path: str, mnt_ns: Optional[MntNamespace] = None
+                ) -> Tuple[Mount, str]:
+        """Resolve *path* to (mount, path-relative-to-superblock-root).
+
+        *mnt_ns* overrides the task's mount namespace — the hook known
+        bug E (io_uring) uses to resolve in the wrong namespace.
+        """
+        path = normalize_path(path)
+        ns = mnt_ns if mnt_ns is not None else self._mnt_ns_of(task)
+        mount = ns.find_mount(path)
+        if mount is None:
+            raise SyscallError(ENOENT, f"nothing mounted covering {path}")
+        point = mount.mountpoint.rstrip("/")
+        relative = path[len(point):].lstrip("/")
+        return mount, relative
+
+    @kfunc
+    def lookup(self, task: Task, path: str, mnt_ns: Optional[MntNamespace] = None
+               ) -> Tuple[Mount, Inode, str]:
+        mount, relative = self.resolve(task, path, mnt_ns)
+        if mount.sb.fs_type == "proc":
+            inode = self._kernel.procfs.lookup(mount.sb, relative)
+            if inode is None:
+                raise SyscallError(ENOENT, f"no proc entry {relative!r}")
+            return mount, inode, relative
+        inode = mount.sb.files.lookup(relative)
+        if inode is None:
+            raise SyscallError(ENOENT, path)
+        return mount, inode, relative
+
+    # -- directory ops -----------------------------------------------------
+
+    @kfunc
+    def mkdir(self, task: Task, path: str) -> int:
+        mount, relative = self.resolve(task, path)
+        if mount.sb.fs_type == "proc":
+            raise SyscallError(EROFS, "procfs is read-only")
+        if not relative:
+            raise SyscallError(EEXIST)
+        if mount.sb.files.lookup(relative) is not None:
+            raise SyscallError(EEXIST)
+        self._require_parent_dir(mount.sb, relative)
+        inode = mount.sb._new_inode(
+            self._kernel.arena, is_dir=True, mtime=self._kernel.clock.now_sec()
+        )
+        mount.sb.files.insert(relative, inode)
+        return 0
+
+    @kfunc
+    def unlink(self, task: Task, path: str) -> int:
+        mount, relative = self.resolve(task, path)
+        if mount.sb.fs_type == "proc":
+            raise SyscallError(EROFS, "procfs is read-only")
+        inode = mount.sb.files.lookup(relative)
+        if inode is None:
+            raise SyscallError(ENOENT, path)
+        if inode.is_dir:
+            raise SyscallError(EISDIR, path)
+        mount.sb.files.delete(relative)
+        return 0
+
+    @kfunc
+    def rmdir(self, task: Task, path: str) -> int:
+        mount, relative = self.resolve(task, path)
+        if mount.sb.fs_type == "proc":
+            raise SyscallError(EROFS, "procfs is read-only")
+        inode = mount.sb.files.lookup(relative)
+        if inode is None:
+            raise SyscallError(ENOENT, path)
+        if not inode.is_dir:
+            raise SyscallError(ENOTDIR, path)
+        if not relative:
+            raise SyscallError(EBUSY, "cannot rmdir /")
+        if self.list_dir(mount, relative):
+            raise SyscallError(ENOTEMPTY, path)
+        mount.sb.files.delete(relative)
+        return 0
+
+    @kfunc
+    def rename(self, task: Task, old_path: str, new_path: str) -> int:
+        """``rename(2)`` within one superblock (EXDEV across mounts)."""
+        old_mount, old_rel = self.resolve(task, old_path)
+        new_mount, new_rel = self.resolve(task, new_path)
+        if old_mount.sb is not new_mount.sb:
+            raise SyscallError(EXDEV, "cross-device rename")
+        if old_mount.sb.fs_type == "proc":
+            raise SyscallError(EROFS, "procfs is read-only")
+        inode = old_mount.sb.files.lookup(old_rel)
+        if inode is None:
+            raise SyscallError(ENOENT, old_path)
+        if not new_rel:
+            raise SyscallError(EBUSY, new_path)
+        self._require_parent_dir(new_mount.sb, new_rel)
+        existing = new_mount.sb.files.lookup(new_rel)
+        if existing is not None and existing.is_dir:
+            raise SyscallError(EISDIR, new_path)
+        old_mount.sb.files.delete(old_rel)
+        new_mount.sb.files.insert(new_rel, inode)
+        return 0
+
+    @kfunc
+    def symlink(self, task: Task, target: str, link_path: str) -> int:
+        mount, relative = self.resolve(task, link_path)
+        if mount.sb.fs_type == "proc":
+            raise SyscallError(EROFS, "procfs is read-only")
+        if not relative or mount.sb.files.lookup(relative) is not None:
+            raise SyscallError(EEXIST, link_path)
+        self._require_parent_dir(mount.sb, relative)
+        inode = mount.sb._new_inode(self._kernel.arena, is_dir=False,
+                                    mtime=self._kernel.clock.now_sec())
+        inode.symlink_target = target
+        inode.kset("size", len(target))
+        mount.sb.files.insert(relative, inode)
+        return 0
+
+    @kfunc
+    def readlink(self, task: Task, path: str) -> str:
+        __, inode, ___ = self.lookup(task, path)
+        if inode.symlink_target is None:
+            raise SyscallError(EINVAL, f"{path} is not a symlink")
+        return inode.symlink_target
+
+    @kfunc
+    def statfs(self, task: Task, path: str) -> Dict[str, Any]:
+        """``statfs(2)``: filesystem type and device of the covering mount."""
+        mount, __ = self.resolve(task, path)
+        fs_magic = {"tmpfs": 0x01021994, "ramfs": 0x858458F6,
+                    "proc": 0x9FA0}[mount.sb.fs_type]
+        return {
+            "f_type": fs_magic,
+            "f_dev": mount.sb.kget("s_dev"),
+            "f_files": len(mount.sb.files),
+        }
+
+    @kfunc
+    def render_proc_mounts(self, task: Task) -> str:
+        """``/proc/mounts`` — the reader's mount namespace table."""
+        mnt_ns = self._mnt_ns_of(task)
+        lines = []
+        for mnt in mnt_ns.mounts:
+            lines.append(f"none {mnt.mountpoint} {mnt.sb.fs_type} rw 0 0")
+        return "\n".join(lines) + "\n"
+
+    def _require_parent_dir(self, sb: SuperBlock, relative: str) -> None:
+        parent = relative.rsplit("/", 1)[0] if "/" in relative else ""
+        inode = sb.files.lookup(parent)
+        if inode is None:
+            raise SyscallError(ENOENT, f"parent of {relative!r}")
+        if not inode.is_dir:
+            raise SyscallError(ENOTDIR, f"parent of {relative!r}")
+
+    @kfunc
+    def list_dir(self, mount: Mount, relative: str,
+                 task: Optional[Task] = None) -> List[str]:
+        """Names directly under *relative* in the mount's superblock."""
+        if mount.sb.fs_type == "proc":
+            return self._kernel.procfs.list_dir(relative, task)
+        prefix = relative + "/" if relative else ""
+        names = []
+        for path in mount.sb.files.peek_items():
+            if not path or not path.startswith(prefix):
+                continue
+            remainder = path[len(prefix):]
+            if remainder and "/" not in remainder:
+                names.append(remainder)
+        return sorted(names)
+
+    # -- open/create -------------------------------------------------------
+
+    @kfunc
+    def open(self, task: Task, path: str, flags: int) -> OpenFile:
+        path = normalize_path(path)
+        mount, relative = self.resolve(task, path)
+        sb = mount.sb
+        if sb.fs_type == "proc":
+            inode = self._kernel.procfs.lookup(sb, relative)
+            if inode is None:
+                raise SyscallError(ENOENT, path)
+            return OpenFile(mount, inode, path, flags)
+        inode = sb.files.lookup(relative)
+        if inode is None:
+            if not flags & O_CREAT:
+                raise SyscallError(ENOENT, path)
+            if not relative:
+                raise SyscallError(EISDIR, path)
+            self._require_parent_dir(sb, relative)
+            inode = sb._new_inode(
+                self._kernel.arena, is_dir=False, mtime=self._kernel.clock.now_sec()
+            )
+            sb.files.insert(relative, inode)
+        elif flags & O_CREAT and flags & O_EXCL:
+            raise SyscallError(EEXIST, path)
+        if flags & O_DIRECTORY and not inode.is_dir:
+            raise SyscallError(ENOTDIR, path)
+        return OpenFile(mount, inode, path, flags)
+
+    # -- IO ------------------------------------------------------------------
+
+    @kfunc
+    def read_file(self, task: Task, open_file: OpenFile, count: int, offset: int) -> str:
+        inode = open_file.inode
+        if inode.is_dir:
+            raise SyscallError(EISDIR, open_file.path)
+        if inode.proc_key is not None:
+            content = self._kernel.procfs.render(task, inode.proc_key)
+        else:
+            inode.kget("size")  # traced size load, as generic_file_read does
+            content = inode.content
+        return content[offset:offset + max(count, 0)]
+
+    @kfunc
+    def write_file(self, task: Task, open_file: OpenFile, data: str, offset: int) -> int:
+        inode = open_file.inode
+        if inode.is_dir:
+            raise SyscallError(EISDIR, open_file.path)
+        if inode.proc_key is not None:
+            return self._kernel.procfs.write(task, inode.proc_key, data)
+        content = inode.content
+        if offset > len(content):
+            content = content + "\0" * (offset - len(content))
+        inode.content = content[:offset] + data + content[offset + len(data):]
+        inode.kset("size", len(inode.content))
+        inode.kset("mtime", self._kernel.clock.now_sec())
+        return len(data)
+
+    @kfunc
+    def stat_inode(self, task: Task, mount: Mount, inode: Inode) -> Dict[str, int]:
+        """Fill a ``struct stat`` for *inode*.
+
+        ``st_dev`` carries the superblock's globally-allocated minor; the
+        time fields come from the virtual clock for procfs nodes (which
+        report "now" in Linux), making them time-dependent results that
+        the non-determinism filter must learn to ignore (§4.3.2).
+        """
+        if inode.proc_key is not None:
+            mtime = self._kernel.clock.now_sec()
+            size = 0
+        else:
+            mtime = inode.kget("mtime")
+            size = inode.kget("size")
+        return {
+            "st_dev": mount.sb.kget("s_dev"),
+            "st_ino": inode.kget("ino"),
+            "st_mode": inode.kget("mode"),
+            "st_nlink": inode.kget("nlink"),
+            "st_size": size,
+            "st_mtime": mtime,
+        }
+
+    # -- mount/umount --------------------------------------------------------
+
+    @kfunc
+    def mount(self, task: Task, source: str, target: str, fs_type: str) -> int:
+        from .task import CAP_SYS_ADMIN
+
+        if not task.capable(CAP_SYS_ADMIN):
+            raise SyscallError(EPERM, "mount needs CAP_SYS_ADMIN")
+        target = normalize_path(target)
+        ns = self._mnt_ns_of(task)
+        # Target must exist as a directory in the current view.
+        mount, inode, __ = self.lookup(task, target)
+        if not inode.is_dir:
+            raise SyscallError(ENOTDIR, target)
+        sb = self.new_superblock(fs_type)
+        ns.mounts.append(self.new_mount(target, sb))
+        return 0
+
+    @kfunc
+    def umount(self, task: Task, target: str) -> int:
+        from .task import CAP_SYS_ADMIN
+
+        if not task.capable(CAP_SYS_ADMIN):
+            raise SyscallError(EPERM, "umount needs CAP_SYS_ADMIN")
+        target = normalize_path(target)
+        ns = self._mnt_ns_of(task)
+        if target == "/":
+            raise SyscallError(EBUSY, "cannot umount /")
+        mount = ns.mount_at(target)
+        if mount is None:
+            raise SyscallError(EINVAL, f"{target} is not a mountpoint here")
+        ns.mounts.remove(mount)
+        return 0

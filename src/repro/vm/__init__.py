@@ -1,0 +1,23 @@
+"""VM layer: machines, snapshots, executors, and the distributed cluster."""
+
+from .cluster import ClusterServer, ClusterWorker, Job, JobResult, run_distributed
+from .executor import ExecutionResult, Executor, SyscallRecord
+from .machine import RECEIVER, SENDER, ContainerConfig, Machine, MachineConfig
+from .snapshot import Snapshot
+
+__all__ = [
+    "ClusterServer",
+    "ClusterWorker",
+    "ContainerConfig",
+    "ExecutionResult",
+    "Executor",
+    "Job",
+    "JobResult",
+    "Machine",
+    "MachineConfig",
+    "RECEIVER",
+    "SENDER",
+    "Snapshot",
+    "SyscallRecord",
+    "run_distributed",
+]

@@ -1,0 +1,122 @@
+"""Distributed test execution — the server/client mode of §5.2.
+
+KIT "can run distributed tests… When running in server mode, KIT exposes
+several RPC services to clients to distribute VM snapshots, transfer
+test cases, and collect test results."  This module reproduces that job
+protocol with an in-process server and worker threads: the server hands
+out the machine configuration (from which each worker boots an identical
+machine — snapshot distribution), streams jobs, and collects results in
+completion order while preserving a deterministic merge by job id.
+
+The worker body is generic over a ``case_runner`` callable so the
+cluster layer stays independent of the detection pipeline built on top.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, List, Optional
+
+from .machine import Machine, MachineConfig
+
+
+@dataclass
+class Job:
+    """One unit of distributed work."""
+
+    job_id: int
+    payload: Any
+
+
+@dataclass
+class JobResult:
+    """A completed job."""
+
+    job_id: int
+    outcome: Any
+    worker: int
+    error: Optional[str] = None
+
+
+class ClusterServer:
+    """Job distribution and result collection."""
+
+    def __init__(self, machine_config: MachineConfig, payloads: Iterable[Any]):
+        self._machine_config = machine_config
+        self._jobs: "queue.Queue[Optional[Job]]" = queue.Queue()
+        self._results: List[JobResult] = []
+        self._lock = threading.Lock()
+        self._count = 0
+        for payload in payloads:
+            self._jobs.put(Job(self._count, payload))
+            self._count += 1
+
+    # -- "RPC" surface ---------------------------------------------------------
+
+    def fetch_machine_config(self) -> MachineConfig:
+        """Snapshot distribution: workers boot from the same config."""
+        return self._machine_config
+
+    def fetch_job(self) -> Optional[Job]:
+        try:
+            return self._jobs.get_nowait()
+        except queue.Empty:
+            return None
+
+    def submit_result(self, result: JobResult) -> None:
+        with self._lock:
+            self._results.append(result)
+
+    # -- results -----------------------------------------------------------------
+
+    def results_in_order(self) -> List[JobResult]:
+        with self._lock:
+            return sorted(self._results, key=lambda r: r.job_id)
+
+    @property
+    def job_count(self) -> int:
+        return self._count
+
+
+class ClusterWorker(threading.Thread):
+    """One test client: boots a machine, pulls jobs, pushes results."""
+
+    def __init__(self, server: ClusterServer, worker_id: int,
+                 case_runner: Callable[[Machine, Any], Any]):
+        super().__init__(name=f"kit-worker-{worker_id}", daemon=True)
+        self._server = server
+        self._worker_id = worker_id
+        self._case_runner = case_runner
+
+    def run(self) -> None:
+        machine = Machine(self._server.fetch_machine_config())
+        while True:
+            job = self._server.fetch_job()
+            if job is None:
+                return
+            try:
+                outcome = self._case_runner(machine, job.payload)
+                result = JobResult(job.job_id, outcome, self._worker_id)
+            except Exception as error:  # defensive: report, don't kill worker
+                result = JobResult(job.job_id, None, self._worker_id,
+                                   error=f"{type(error).__name__}: {error}")
+            self._server.submit_result(result)
+
+
+def run_distributed(machine_config: MachineConfig, payloads: Iterable[Any],
+                    case_runner: Callable[[Machine, Any], Any],
+                    workers: int = 2) -> List[JobResult]:
+    """Run *payloads* through *case_runner* on a worker pool.
+
+    Returns results ordered by job id, so the output is independent of
+    worker scheduling.
+    """
+    server = ClusterServer(machine_config, payloads)
+    pool = [ClusterWorker(server, i, case_runner) for i in range(max(1, workers))]
+    for worker in pool:
+        worker.start()
+    for worker in pool:
+        worker.join()
+    return server.results_in_order()

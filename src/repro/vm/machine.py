@@ -1,0 +1,119 @@
+"""A test machine: one kernel, two containers, one snapshot.
+
+Mirrors KIT's VM setup (§4.1.1 / §5.2): boot the target kernel, create
+two processes, confine each to fresh namespace instances (the
+containers), apply the container tuning of §5.2 — here, a private tmpfs
+on ``/tmp`` as container runtimes do, plus the per-namespace IPC quota
+already built into :class:`~repro.kernel.ipc.IpcNamespace` — then take
+the snapshot every run restores from.
+
+Container namespace flags are configurable per campaign: the Table-3
+bug-E reproduction runs its sender in the *host* mount namespace (the
+paper's "(Host)" annotation) by clearing ``CLONE_NEWNS`` from the sender
+container's flags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..corpus.program import TestProgram
+from ..kernel.bugs import BugFlags
+from ..kernel.kernel import Kernel, KernelConfig
+from ..kernel.ktrace import KernelTracer
+from ..kernel.namespaces import ALL_NAMESPACE_FLAGS, CLONE_NEWNS, NamespaceType
+from ..kernel.task import Task
+from .executor import ExecutionResult, Executor
+from .snapshot import Snapshot
+
+SENDER = "sender"
+RECEIVER = "receiver"
+
+
+@dataclass(frozen=True)
+class ContainerConfig:
+    """How one container is set up before the snapshot."""
+
+    name: str
+    unshare_flags: int = ALL_NAMESPACE_FLAGS
+    #: Install a private rootfs (root/proc/tmp) after unsharing the
+    #: mount namespace, as container runtimes do via pivot_root.  With
+    #: this on, no superblock is shared with the host or the other
+    #: container, so mount-table manipulation inside a test program
+    #: cannot reach foreign files through legitimate sharing — only
+    #: genuine kernel bugs can (§5.2's container tuning).
+    pivot_root: bool = True
+    uid: int = 0
+
+    def host_mount_ns(self) -> "ContainerConfig":
+        """Variant sharing the host mount namespace (Table 3, bug E)."""
+        return replace(self, unshare_flags=self.unshare_flags & ~CLONE_NEWNS,
+                       pivot_root=False)
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Everything needed to boot identical machines (cluster distribution)."""
+
+    kernel: KernelConfig = field(default_factory=KernelConfig)
+    bugs: BugFlags = field(default_factory=BugFlags)
+    sender: ContainerConfig = field(default_factory=lambda: ContainerConfig(SENDER))
+    receiver: ContainerConfig = field(default_factory=lambda: ContainerConfig(RECEIVER))
+
+
+class Machine:
+    """One bootable, snapshottable test machine."""
+
+    def __init__(self, config: Optional[MachineConfig] = None):
+        self.config = config or MachineConfig()
+        self.kernel: Kernel = None  # type: ignore[assignment]
+        self.sender_task: Task = None  # type: ignore[assignment]
+        self.receiver_task: Task = None  # type: ignore[assignment]
+        self.snapshot = self._boot_and_snapshot()
+        self.reset()
+
+    # -- boot ------------------------------------------------------------------
+
+    def _boot_and_snapshot(self) -> Snapshot:
+        kernel = Kernel(config=self.config.kernel, bugs=self.config.bugs)
+        for container in (self.config.sender, self.config.receiver):
+            task = kernel.spawn_task(uid=container.uid, comm=container.name)
+            if container.unshare_flags:
+                kernel.unshare(task, container.unshare_flags)
+            if container.pivot_root and container.unshare_flags & CLONE_NEWNS:
+                mnt_ns = task.nsproxy.get(NamespaceType.MNT)
+                mnt_ns.mounts.clear()
+                kernel.vfs.install_standard_tree(mnt_ns)
+        return Snapshot.take(kernel, description="post-container-setup")
+
+    # -- state control -----------------------------------------------------
+
+    def reset(self, boot_offset_ns: Optional[int] = None) -> None:
+        """Reload the snapshot (optionally with a rebased clock)."""
+        kernel = self.snapshot.restore(boot_offset_ns)
+        self._bind(kernel)
+
+    def _bind(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+        tasks = {task.comm: task for task in kernel.tasks.all_tasks()}
+        self.sender_task = tasks[self.config.sender.name]
+        self.receiver_task = tasks[self.config.receiver.name]
+
+    def attach_tracer(self, tracer: Optional[KernelTracer]) -> None:
+        self.kernel.attach_tracer(tracer)
+
+    # -- execution ----------------------------------------------------------
+
+    def task_for(self, container: str) -> Task:
+        if container == SENDER:
+            return self.sender_task
+        if container == RECEIVER:
+            return self.receiver_task
+        raise ValueError(f"unknown container {container!r}")
+
+    def run(self, container: str, program: TestProgram,
+            profile: bool = False) -> ExecutionResult:
+        """Execute *program* in *container* against the current state."""
+        executor = Executor(self.kernel, self.task_for(container))
+        return executor.run(program, profile=profile)

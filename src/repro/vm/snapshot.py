@@ -1,0 +1,46 @@
+"""Kernel snapshots — the QEMU/QMP snapshot stand-in (§5.2).
+
+A snapshot is a pickled kernel; ``restore()`` deserializes a completely
+independent copy, so every test-case execution and profiling run starts
+from the identical machine state (§4.1.1's "systematic execution
+environment").  Tracers are excluded from snapshots by the kernel's own
+``__getstate__``.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Optional
+
+from ..kernel.kernel import Kernel
+
+
+class Snapshot:
+    """An immutable, restorable kernel state."""
+
+    __slots__ = ("blob", "description")
+
+    def __init__(self, blob: bytes, description: str = ""):
+        self.blob = blob
+        self.description = description
+
+    @classmethod
+    def take(cls, kernel: Kernel, description: str = "") -> "Snapshot":
+        return cls(pickle.dumps(kernel, protocol=pickle.HIGHEST_PROTOCOL),
+                   description)
+
+    def restore(self, boot_offset_ns: Optional[int] = None) -> Kernel:
+        """Materialize a fresh kernel from the snapshot.
+
+        *boot_offset_ns* rebases the virtual clock — the mechanism behind
+        "re-runs the receiver program multiple times with different
+        starting times" (§4.3.2).
+        """
+        kernel: Kernel = pickle.loads(self.blob)
+        if boot_offset_ns is not None:
+            kernel.clock.rebase(boot_offset_ns)
+        return kernel
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.blob)

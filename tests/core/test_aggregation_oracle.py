@@ -1,0 +1,148 @@
+"""Unit tests for report aggregation (§4.4) and the evaluation oracle."""
+
+import pytest
+
+from repro.core.aggregation import (
+    aggregate,
+    call_signature,
+    receiver_signature,
+    sender_signature,
+)
+from repro.core.detection import Detector, Outcome
+from repro.core.diagnosis import Diagnoser
+from repro.core.generation import TestCase
+from repro.core.oracle import (
+    FALSE_POSITIVE,
+    UNDER_INVESTIGATION,
+    classify,
+    classify_all,
+)
+from repro.core.spec import default_specification
+from repro.corpus.seeds import seed_programs
+from repro.kernel import linux_5_13
+from repro.vm import Machine, MachineConfig
+from repro.vm.executor import SyscallRecord
+
+
+@pytest.fixture(scope="module")
+def detector():
+    machine = Machine(MachineConfig(bugs=linux_5_13()))
+    return Detector(machine, default_specification())
+
+
+def make_report(detector, sender_name, receiver_name, diagnose=True):
+    seeds = seed_programs()
+    result = detector.check_case(
+        TestCase(0, 1, seeds[sender_name], seeds[receiver_name]))
+    assert result.outcome is Outcome.REPORT, (sender_name, receiver_name)
+    if diagnose:
+        Diagnoser(detector).diagnose(result.report)
+    return result.report
+
+
+class TestCallSignature:
+    def test_none_record(self):
+        assert call_signature(None) == "<unknown>"
+
+    def test_fd_kind_and_subject_in_signature(self):
+        record = SyscallRecord(0, "pread64", (3, 10, 0), 10, 0, {},
+                               {"fd": "fd_proc_net"},
+                               None, {"fd": "/proc/net/ptype"})
+        assert call_signature(record) == "pread64(fd_proc_net:/proc/net/ptype)"
+
+    def test_ret_kind_in_signature(self):
+        record = SyscallRecord(0, "socket", (2, 1, 6), 3, 0, {}, {},
+                               "sock_tcp", {"ret": "socket(TCP)"})
+        assert call_signature(record) == "socket(ret=sock_tcp:socket(TCP))"
+
+    def test_distinct_proc_files_distinct_signatures(self, detector):
+        ptype = make_report(detector, "packet_socket", "read_ptype")
+        sockstat = make_report(detector, "tcp_socket", "read_sockstat")
+        assert receiver_signature(ptype) != receiver_signature(sockstat)
+
+
+class TestAggregation:
+    def test_same_interference_lands_in_one_group(self, detector):
+        first = make_report(detector, "packet_socket", "read_ptype")
+        second = make_report(detector, "packet_socket_ip", "read_ptype")
+        groups = aggregate([first, second])
+        assert groups.agg_r_count == 1
+        # Same receiver, same sender syscall signature -> one AGG-RS group.
+        assert groups.agg_rs_count == 1
+
+    def test_different_receivers_split_agg_r(self, detector):
+        reports = [
+            make_report(detector, "packet_socket", "read_ptype"),
+            make_report(detector, "tcp_socket", "read_sockstat"),
+        ]
+        groups = aggregate(reports)
+        assert groups.agg_r_count == 2
+
+    def test_agg_rs_refines_agg_r(self, detector):
+        reports = [
+            make_report(detector, "packet_socket", "read_ptype"),
+            make_report(detector, "packet_socket_ip", "read_ptype"),
+            make_report(detector, "tcp_socket", "read_sockstat"),
+            make_report(detector, "udp_send", "read_sockstat"),
+        ]
+        groups = aggregate(reports)
+        assert groups.agg_rs_count >= groups.agg_r_count
+
+    def test_group_counts_bounded_by_reports(self, detector):
+        reports = [
+            make_report(detector, "packet_socket", "read_ptype"),
+            make_report(detector, "tcp_socket", "read_sockstat"),
+        ]
+        groups = aggregate(reports)
+        assert groups.agg_rs_count <= len(reports)
+
+    def test_drop_agg_r_removes_nested_groups(self, detector):
+        reports = [
+            make_report(detector, "packet_socket", "read_ptype"),
+            make_report(detector, "tcp_socket", "read_sockstat"),
+        ]
+        groups = aggregate(reports)
+        sig = receiver_signature(reports[0])
+        dropped = groups.drop_agg_r(sig)
+        assert dropped == [reports[0]]
+        assert all(key[0] != sig for key in groups.agg_rs)
+
+    def test_undiagnosed_report_gets_fallback_signature(self, detector):
+        report = make_report(detector, "packet_socket", "read_ptype",
+                             diagnose=False)
+        assert sender_signature(report) == "<undiagnosed>"
+        assert receiver_signature(report) != "<none>"
+
+
+class TestOracle:
+    @pytest.mark.parametrize("sender,receiver,label", [
+        ("packet_socket", "read_ptype", "1"),
+        ("flowlabel_register_exclusive", "flowlabel_send", "2"),
+        ("rds_bind", "rds_bind", "3"),
+        ("flowlabel_register_exclusive", "flowlabel_connect", "4"),
+        ("tcp_socket", "read_sockstat", "5"),
+        ("socket_cookie", "socket_cookie", "6"),
+        ("sctp_assoc", "sctp_assoc", "7"),
+        ("udp_send", "read_sockstat", "8"),
+        ("udp_send", "read_protocols", "9"),
+    ])
+    def test_table2_bug_labels(self, detector, sender, receiver, label):
+        report = make_report(detector, sender, receiver)
+        assert label in classify_all(report)
+
+    def test_multi_bug_report_gets_multiple_labels(self, detector):
+        """udp_send moves both the used and the mem counters of sockstat."""
+        report = make_report(detector, "udp_send", "read_sockstat")
+        assert {"5", "8"} <= classify_all(report)
+
+    def test_primary_label_is_canonical(self, detector):
+        report = make_report(detector, "udp_send", "read_sockstat")
+        assert classify(report) == "5"
+
+    def test_mount_stat_fp_class(self, detector):
+        report = make_report(detector, "mount_and_stat", "mount_and_stat")
+        assert classify(report) == FALSE_POSITIVE
+
+    def test_unix_ino_drift_is_under_investigation(self, detector):
+        report = make_report(detector, "unix_socket", "unix_list_own")
+        assert classify(report) == UNDER_INVESTIGATION

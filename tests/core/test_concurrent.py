@@ -1,0 +1,124 @@
+"""Tests for the concurrency functional interference extension (§7)."""
+
+import pytest
+
+from repro.core.concurrent import (
+    ConcurrentDetector,
+    default_schedules,
+    round_robin_schedule,
+    sequential_schedule,
+)
+from repro.core.detection import Detector, Outcome
+from repro.core.generation import TestCase
+from repro.core.spec import default_specification
+from repro.corpus.program import prog
+from repro.corpus.seeds import seed_programs
+from repro.kernel import fixed_kernel, linux_5_13
+from repro.vm import Machine, MachineConfig
+
+#: A sender whose interference is fully transient: the socket (and its
+#: global accounting) is gone before the program ends.
+TRANSIENT_SENDER = prog(("socket", 2, 1, 6), ("close", "r0"))
+
+#: A receiver that samples the counters twice.
+DOUBLE_PROBE = prog(("open", "/proc/net/sockstat", 0),
+                    ("pread64", "r0", 512, 0),
+                    ("pread64", "r0", 512, 0))
+
+
+class TestSchedules:
+    def test_sequential_shape(self):
+        assert sequential_schedule(2, 3) == "SSRRR"
+
+    def test_round_robin_alternates(self):
+        assert round_robin_schedule(2, 2) == "SRSR"
+
+    def test_round_robin_receiver_lead(self):
+        assert round_robin_schedule(2, 3, receiver_leads=2) == "RRSRS"
+
+    def test_round_robin_exhausts_both_sides(self):
+        schedule = round_robin_schedule(5, 2)
+        assert schedule.count("S") == 5 and schedule.count("R") == 2
+
+    def test_default_set_contains_sequential(self):
+        schedules = default_schedules(2, 3)
+        assert schedules[0] == "SSRRR"
+        assert len(set(schedules)) == len(schedules)
+
+    def test_default_set_covers_all_leads(self):
+        schedules = default_schedules(1, 3)
+        assert "RRRS" not in schedules  # lead == receiver_calls is capped
+        assert any(s.startswith("R") for s in schedules)
+
+
+class TestConcurrentDetector:
+    def test_transient_interference_missed_sequentially(self):
+        machine = Machine(MachineConfig(bugs=linux_5_13()))
+        detector = Detector(machine, default_specification())
+        result = detector.check_case(
+            TestCase(0, 1, TRANSIENT_SENDER, DOUBLE_PROBE))
+        assert result.outcome is Outcome.PASS
+
+    def test_transient_interference_caught_interleaved(self):
+        machine = Machine(MachineConfig(bugs=linux_5_13()))
+        detector = ConcurrentDetector(machine, default_specification())
+        report = detector.check_case(TRANSIENT_SENDER, DOUBLE_PROBE)
+        assert report is not None
+        assert report.transient_only
+        # Interleaved witnesses only: the sender socket must be alive
+        # when the receiver samples.
+        for schedule in report.schedules:
+            assert schedule != sequential_schedule(2, 3)
+
+    def test_persistent_interference_witnessed_sequentially_too(self):
+        machine = Machine(MachineConfig(bugs=linux_5_13()))
+        detector = ConcurrentDetector(machine, default_specification())
+        seeds = seed_programs()
+        report = detector.check_case(seeds["packet_socket"],
+                                     seeds["read_ptype"])
+        assert report is not None
+        assert not report.transient_only
+
+    def test_fixed_kernel_reports_nothing(self):
+        machine = Machine(MachineConfig(bugs=fixed_kernel()))
+        detector = ConcurrentDetector(machine, default_specification())
+        assert detector.check_case(TRANSIENT_SENDER, DOUBLE_PROBE) is None
+
+    def test_nondet_filter_applies_per_schedule(self):
+        """A time-sensitive receiver must not produce schedule noise."""
+        machine = Machine(MachineConfig(bugs=fixed_kernel()))
+        detector = ConcurrentDetector(machine, default_specification())
+        noisy = prog(("open", "/proc/uptime", 0), ("pread64", "r0", 128, 0))
+        assert detector.check_case(seed_programs()["get_hostname"],
+                                   noisy) is None
+
+    def test_schedule_validation(self):
+        machine = Machine(MachineConfig(bugs=linux_5_13()))
+        detector = ConcurrentDetector(machine, default_specification())
+        with pytest.raises(ValueError):
+            detector.check_case(TRANSIENT_SENDER, DOUBLE_PROBE,
+                                schedules=["SSRR"])  # wrong R count
+        with pytest.raises(ValueError):
+            detector.check_case(TRANSIENT_SENDER, DOUBLE_PROBE,
+                                schedules=["SSXRR" + "R"])
+
+    def test_custom_schedule_subset(self):
+        machine = Machine(MachineConfig(bugs=linux_5_13()))
+        detector = ConcurrentDetector(machine, default_specification())
+        report = detector.check_case(TRANSIENT_SENDER, DOUBLE_PROBE,
+                                     schedules=["RSRSR"])
+        assert report is not None and report.schedules == ["RSRSR"]
+
+    def test_schedule_accounting(self):
+        machine = Machine(MachineConfig(bugs=linux_5_13()))
+        detector = ConcurrentDetector(machine, default_specification())
+        detector.check_case(TRANSIENT_SENDER, DOUBLE_PROBE,
+                            schedules=["SSRRR", "RSRSR"])
+        assert detector.schedules_executed == 2
+
+    def test_deterministic_witnesses(self):
+        machine = Machine(MachineConfig(bugs=linux_5_13()))
+        detector = ConcurrentDetector(machine, default_specification())
+        first = detector.check_case(TRANSIENT_SENDER, DOUBLE_PROBE)
+        second = detector.check_case(TRANSIENT_SENDER, DOUBLE_PROBE)
+        assert first.witnesses == second.witnesses

@@ -1,0 +1,230 @@
+"""Unit tests for profiling, the data-flow index, clustering, generation."""
+
+import pytest
+
+from repro.core.clustering import (
+    DfFullStrategy,
+    DfIaStrategy,
+    DfStStrategy,
+    strategy_by_name,
+)
+from repro.core.dataflow import AccessPoint, DataFlowIndex, stack_sha1
+from repro.core.generation import TestCaseGenerator
+from repro.core.profile import Profiler
+from repro.core.spec import default_specification
+from repro.corpus.program import prog
+from repro.corpus.seeds import seed_programs
+
+
+@pytest.fixture(scope="module")
+def profiled(machine_513_module):
+    """A small profiled corpus shared across this module's tests."""
+    seeds = seed_programs()
+    corpus = [seeds["packet_socket"], seeds["read_ptype"],
+              seeds["tcp_socket"], seeds["read_sockstat"],
+              seeds["read_protocols"], seeds["udp_send"],
+              seeds["socket_cookie"], seeds["crypto_take_ref"],
+              seeds["read_crypto"]]
+    profiler = Profiler(machine_513_module)
+    profiles = profiler.profile_corpus(corpus)
+    return corpus, profiles, profiler
+
+
+@pytest.fixture(scope="module")
+def machine_513_module():
+    from repro.kernel import linux_5_13
+    from repro.vm import Machine, MachineConfig
+
+    return Machine(MachineConfig(bugs=linux_5_13()))
+
+
+class TestProfiler:
+    def test_four_runs_per_program(self, machine_513_module):
+        profiler = Profiler(machine_513_module)
+        profiler.profile(seed_programs()["tcp_socket"])
+        assert profiler.runs_executed == 4
+
+    def test_profile_contains_both_containers(self, profiled):
+        __, profiles, __ = profiled
+        profile = profiles[0]
+        assert profile.sender.records and profile.receiver.records
+        assert profile.sender.total_accesses() > 0
+
+    def test_accesses_align_with_calls(self, profiled):
+        corpus, profiles, __ = profiled
+        for corpus_prog, profile in zip(corpus, profiles):
+            assert len(profile.sender.accesses) == len(corpus_prog)
+
+    def test_profiles_are_deterministic(self, machine_513_module):
+        profiler = Profiler(machine_513_module)
+        program = seed_programs()["tcp_socket"]
+        first = profiler.profile(program)
+        second = profiler.profile(program)
+        first_points = [(a.addr, a.ip, s)
+                        for acc in first.sender.accesses if acc
+                        for a, s in acc]
+        second_points = [(a.addr, a.ip, s)
+                         for acc in second.sender.accesses if acc
+                         for a, s in acc]
+        assert first_points == second_points
+
+
+class TestDataFlowIndex:
+    def test_ptype_flow_discovered(self, profiled):
+        """packet_socket writes the global ptype list; read_ptype reads it."""
+        corpus, profiles, __ = profiled
+        index = DataFlowIndex.build(profiles, default_specification())
+        flows = [
+            (w.prog_index, r.prog_index)
+            for addr in index.overlap_addresses()
+            for w, r in index.flows_at(addr)
+        ]
+        assert (0, 1) in flows  # packet_socket -> read_ptype
+
+    def test_per_namespace_state_never_overlaps(self, profiled):
+        """Sender writes its own-ns structures; receiver reads its own:
+        addresses must differ, so pure per-ns state yields no flows."""
+        corpus, profiles, __ = profiled
+        index = DataFlowIndex.build(profiles, default_specification())
+        # The UTS hostname is per-namespace; no seed pair flows through it.
+        # Check structurally: every overlap address has a genuine global
+        # writer (the write points come from the sender container).
+        assert index.overlap_addresses()
+
+    def test_unprotected_reader_calls_excluded(self, profiled):
+        """read_crypto's pread64 reads the global crypto table, but
+        /proc/crypto descriptors are not in the spec, so no read point may
+        come from that call.  (Its open() is still spec-selected — path
+        resolution is a mount-namespace operation.)"""
+        corpus, profiles, __ = profiled
+        index = DataFlowIndex.build(profiles, default_specification())
+        crypto_reader = corpus.index(seed_programs()["read_crypto"])
+        pread_readers = [
+            (point.prog_index, point.call_index)
+            for points in index.readers.values()
+            for point in points
+        ]
+        assert (crypto_reader, 1) not in pread_readers
+
+    def test_total_flow_count_matches_sum(self, profiled):
+        __, profiles, __ = profiled
+        index = DataFlowIndex.build(profiles, default_specification())
+        manual = sum(
+            len(index.writers[a]) * len(index.readers[a])
+            for a in index.overlap_addresses()
+        )
+        assert index.total_flow_count() == manual
+
+    def test_points_are_deduplicated(self, profiled):
+        __, profiles, __ = profiled
+        index = DataFlowIndex.build(profiles, default_specification())
+        for points in list(index.writers.values()) + list(index.readers.values()):
+            keys = [(p.prog_index, p.addr, p.ip, p.stack) for p in points]
+            assert len(keys) == len(set(keys))
+
+    def test_stack_sha1_is_stable_and_distinct(self):
+        assert stack_sha1((1, 2, 3)) == stack_sha1((1, 2, 3))
+        assert stack_sha1((1, 2, 3)) != stack_sha1((1, 2))
+        assert stack_sha1((12, 3)) != stack_sha1((1, 23))
+
+
+class TestClusteringStrategies:
+    def _point(self, ip=1, stack=(7, 8, 9)):
+        return AccessPoint(0, 0, addr=100, width=8, ip=ip, stack=stack)
+
+    def test_df_ia_keys_on_instruction_only(self):
+        strategy = DfIaStrategy()
+        assert strategy.write_key(self._point(stack=(1,))) == \
+            strategy.write_key(self._point(stack=(2,)))
+
+    def test_df_st_distinguishes_stacks(self):
+        strategy = DfStStrategy(depth=1)
+        assert strategy.write_key(self._point(stack=(1,))) != \
+            strategy.write_key(self._point(stack=(2,)))
+
+    def test_df_st_depth_limits_context(self):
+        strategy = DfStStrategy(depth=1)
+        assert strategy.write_key(self._point(stack=(1, 5))) == \
+            strategy.write_key(self._point(stack=(2, 5)))
+
+    def test_df_st_deeper_context_distinguishes(self):
+        strategy = DfStStrategy(depth=2)
+        assert strategy.write_key(self._point(stack=(1, 5))) != \
+            strategy.write_key(self._point(stack=(2, 5)))
+
+    def test_df_full_keys_on_everything(self):
+        strategy = DfFullStrategy()
+        a = AccessPoint(0, 0, 100, 8, 1, (1,))
+        b = AccessPoint(1, 0, 100, 8, 1, (1,))
+        assert strategy.write_key(a) != strategy.write_key(b)
+
+    def test_strategy_by_name(self):
+        assert strategy_by_name("df-ia").name == "df-ia"
+        assert strategy_by_name("df-st-2").name == "df-st-2"
+        assert strategy_by_name("df").name == "df"
+        with pytest.raises(ValueError):
+            strategy_by_name("rand")
+        with pytest.raises(ValueError):
+            strategy_by_name("bogus")
+
+    def test_df_st_requires_positive_depth(self):
+        with pytest.raises(ValueError):
+            DfStStrategy(depth=0)
+
+
+class TestGeneration:
+    def test_cluster_count_ordering(self, profiled):
+        """Table 4's shape: DF-IA <= DF-ST-1 <= DF-ST-2 <= DF."""
+        corpus, profiles, __ = profiled
+        generator = TestCaseGenerator(corpus, profiles, default_specification())
+        counts = [
+            generator.generate(strategy_by_name(name)).cluster_count
+            for name in ("df-ia", "df-st-1", "df-st-2", "df")
+        ]
+        assert counts == sorted(counts)
+        assert counts[-1] == generator.index.total_flow_count()
+
+    def test_representatives_cover_every_cluster(self, profiled):
+        corpus, profiles, __ = profiled
+        generator = TestCaseGenerator(corpus, profiles, default_specification())
+        result = generator.generate(strategy_by_name("df-ia"))
+        covered = sum(len(case.cluster_keys) for case in result.test_cases)
+        assert covered == result.cluster_count
+
+    def test_pairs_are_deduplicated(self, profiled):
+        corpus, profiles, __ = profiled
+        generator = TestCaseGenerator(corpus, profiles, default_specification())
+        result = generator.generate(strategy_by_name("df-ia"))
+        pairs = [case.pair for case in result.test_cases]
+        assert len(pairs) == len(set(pairs))
+
+    def test_max_clusters_caps_materialization(self, profiled):
+        corpus, profiles, __ = profiled
+        generator = TestCaseGenerator(corpus, profiles, default_specification())
+        result = generator.generate(strategy_by_name("df"), max_clusters=3)
+        assert sum(len(c.cluster_keys) for c in result.test_cases) == 3
+
+    def test_random_generation_respects_budget(self, profiled):
+        corpus, __, __ = profiled
+        generator = TestCaseGenerator(corpus, None, default_specification())
+        result = generator.generate_random(10, seed=3)
+        assert len(result.test_cases) == 10
+        assert result.strategy == "rand"
+
+    def test_random_generation_is_deterministic(self, profiled):
+        corpus, __, __ = profiled
+        generator = TestCaseGenerator(corpus, None, default_specification())
+        first = [c.pair for c in generator.generate_random(10, seed=3).test_cases]
+        second = [c.pair for c in generator.generate_random(10, seed=3).test_cases]
+        assert first == second
+
+    def test_dataflow_without_profiles_raises(self, profiled):
+        corpus, __, __ = profiled
+        generator = TestCaseGenerator(corpus, None, default_specification())
+        with pytest.raises(ValueError):
+            generator.generate(strategy_by_name("df-ia"))
+
+    def test_misaligned_profiles_rejected(self, profiled):
+        corpus, profiles, __ = profiled
+        with pytest.raises(ValueError):
+            TestCaseGenerator(corpus, profiles[:-1], default_specification())

@@ -1,0 +1,165 @@
+"""Unit tests for the strace-style decoder and the §7 bounds detector."""
+
+import pytest
+
+from repro.core.bounds import BoundsDetector, PathProfile
+from repro.core.decode import decode_record, decode_trace, side_by_side
+from repro.core.detection import Detector, Outcome
+from repro.core.generation import TestCase
+from repro.core.spec import default_specification
+from repro.core.trace_ast import TraceNode
+from repro.corpus.program import prog
+from repro.corpus.seeds import seed_programs
+from repro.kernel import fixed_kernel, known_bug_kernel, linux_5_13
+from repro.vm import Machine, MachineConfig
+from repro.vm.executor import SyscallRecord
+
+
+class TestDecode:
+    def _run(self, machine, program):
+        machine.reset()
+        return machine.run("receiver", program).records
+
+    def test_success_line(self, machine_513):
+        records = self._run(machine_513, prog(("socket", 2, 1, 6),))
+        line = decode_record(records[0])
+        assert line.startswith("socket(0x2, 0x1, 0x6) = 3")
+        assert "<sock_tcp>" in line
+
+    def test_error_line_shows_errno(self, machine_513):
+        records = self._run(machine_513, prog(("open", "/nope", 0),))
+        assert decode_record(records[0]).endswith("= -1 ENOENT")
+
+    def test_fd_argument_annotated_with_subject(self, machine_513):
+        records = self._run(machine_513, seed_programs()["read_ptype"])
+        line = decode_record(records[1])
+        assert "3</proc/net/ptype>" in line
+
+    def test_string_args_quoted(self, machine_513):
+        records = self._run(machine_513, prog(("sethostname", "kit-a"),))
+        assert 'sethostname("kit-a")' in decode_record(records[0])
+
+    def test_file_content_indented(self, machine_513):
+        records = self._run(machine_513, seed_programs()["read_sockstat"])
+        text = decode_record(records[1])
+        assert "  | sockets: used" in text
+
+    def test_long_content_truncated(self):
+        record = SyscallRecord(0, "read", (3, 4096), 4096, 0,
+                               {"data": "\n".join(str(i) for i in range(40))})
+        text = decode_record(record)
+        assert "more lines" in text
+
+    def test_struct_details_rendered(self, machine_513):
+        records = self._run(machine_513, seed_programs()["fstat_tmp"])
+        text = decode_record(records[1])
+        assert "stat = {" in text and "st_size=" in text
+
+    def test_trace_marks_removed_calls(self, machine_513):
+        program = prog(("getpid",), ("getpid",)).without_call(0)
+        records = self._run(machine_513, program)
+        text = decode_trace(records)
+        assert "# call 0 removed" in text
+
+    def test_side_by_side_marks_interference(self, machine_513):
+        records = self._run(machine_513, prog(("getpid",),))
+        text = side_by_side(records, records, interfered=[0])
+        assert ">> [0]" in text
+
+
+class TestPathProfile:
+    def test_numeric_interval_learning(self):
+        profile = PathProfile()
+        for value in ("3", "7", "5"):
+            profile.observe(TraceNode("x", value))
+        assert (profile.low, profile.high) == (3.0, 7.0)
+        assert profile.varied
+
+    def test_within_margin_is_ok(self):
+        profile = PathProfile()
+        for value in ("10", "20"):
+            profile.observe(TraceNode("x", value))
+        assert not profile.violates(TraceNode("x", "24"), margin=0.25)
+
+    def test_outside_margin_violates(self):
+        profile = PathProfile()
+        for value in ("10", "20"):
+            profile.observe(TraceNode("x", value))
+        assert profile.violates(TraceNode("x", "100"), margin=0.25)
+
+    def test_stable_value_not_varied(self):
+        profile = PathProfile()
+        profile.observe(TraceNode("x", "same"))
+        profile.observe(TraceNode("x", "same"))
+        assert not profile.varied
+
+    def test_non_numeric_set_semantics(self):
+        profile = PathProfile()
+        profile.observe(TraceNode("x", "alpha"))
+        profile.observe(TraceNode("x", "beta"))
+        assert not profile.violates(TraceNode("x", "alpha"), margin=0.25)
+        assert profile.violates(TraceNode("x", "gamma"), margin=0.25)
+
+    def test_child_count_envelope(self):
+        profile = PathProfile()
+        for count in (0, 2):
+            node = TraceNode("x", "x")
+            node.children = [TraceNode("c", "c") for __ in range(count)]
+            profile.observe(node)
+        wild = TraceNode("x", "x")
+        wild.children = [TraceNode("c", "c") for __ in range(9)]
+        assert profile.violates(wild, margin=0.25)
+
+
+class TestBoundsDetector:
+    """The §7 extension: catches bug F, stays clean on the fixed kernel."""
+
+    def test_catches_bug_f_where_baseline_cannot(self):
+        seeds = seed_programs()
+        spec = default_specification()
+
+        baseline = Detector(Machine(MachineConfig(bugs=known_bug_kernel("F"))),
+                            spec)
+        result = baseline.check_case(
+            TestCase(0, 1, seeds["udp_send"], seeds["read_nf_conntrack"]))
+        assert result.outcome is Outcome.FILTERED_NONDET
+
+        bounds = BoundsDetector(Machine(MachineConfig(
+            bugs=known_bug_kernel("F"))), spec)
+        violations = bounds.check(seeds["udp_send"],
+                                  seeds["read_nf_conntrack"])
+        assert violations
+        assert any("sport=4000" in (v.observed or "") for v in violations)
+
+    def test_clean_on_fixed_kernel(self):
+        seeds = seed_programs()
+        bounds = BoundsDetector(Machine(MachineConfig(bugs=fixed_kernel())),
+                                default_specification())
+        assert bounds.check(seeds["udp_send"],
+                            seeds["read_nf_conntrack"]) == []
+
+    def test_still_catches_deterministic_bugs(self):
+        seeds = seed_programs()
+        bounds = BoundsDetector(Machine(MachineConfig(bugs=linux_5_13())),
+                                default_specification())
+        violations = bounds.check(seeds["packet_socket"], seeds["read_ptype"])
+        assert violations
+
+    def test_learning_is_cached(self):
+        seeds = seed_programs()
+        bounds = BoundsDetector(Machine(MachineConfig(bugs=fixed_kernel())),
+                                default_specification())
+        bounds.learn(seeds["read_uptime"])
+        runs = bounds.runs_executed
+        bounds.learn(seeds["read_uptime"])
+        assert bounds.runs_executed == runs
+
+    def test_unprotected_violations_filtered(self):
+        """Bounds violations obey the same specification gate."""
+        seeds = seed_programs()
+        bounds = BoundsDetector(Machine(MachineConfig(bugs=fixed_kernel())),
+                                default_specification())
+        # /proc/crypto interference is real but unprotected.
+        violations = bounds.check(seeds["crypto_take_ref"],
+                                  seeds["read_crypto"])
+        assert violations == []

@@ -1,0 +1,156 @@
+"""Integration tests: known-bug scenarios (Table 3) and full campaigns."""
+
+import pytest
+
+from repro.core.known_bugs import (
+    SCENARIOS,
+    TABLE3_ROWS,
+    reproduce_known_bug,
+    scenario_corpus,
+    scenario_machine_config,
+)
+from repro.core.oracle import FALSE_POSITIVE, UNDER_INVESTIGATION
+from repro.core.pipeline import CampaignConfig, Kit
+from repro.corpus.generator import build_corpus
+from repro.corpus.seeds import seed_list
+from repro.kernel import fixed_kernel, linux_5_13
+from repro.kernel.namespaces import CLONE_NEWNS
+from repro.vm import MachineConfig
+
+
+class TestKnownBugScenarios:
+    @pytest.mark.parametrize("bug_id", TABLE3_ROWS)
+    def test_table3_rows_detected(self, bug_id):
+        outcome = reproduce_known_bug(bug_id)
+        assert outcome.detected, bug_id
+
+    def test_bug_f_not_detected_for_the_right_reason(self):
+        outcome = reproduce_known_bug("F")
+        assert not outcome.detected
+        # The divergence existed but was absorbed by the non-det filter.
+        assert outcome.result.stats.outcomes.get("nondet", 0) >= 1
+
+    def test_bug_g_not_detected(self):
+        outcome = reproduce_known_bug("G")
+        assert not outcome.detected
+        # No raw divergence at all: the probe misses the runtime inode.
+        assert outcome.result.stats.outcomes.get("report", 0) == 0
+
+    def test_scenario_e_sender_runs_on_host(self):
+        config = scenario_machine_config(SCENARIOS["E"])
+        assert not config.sender.unshare_flags & CLONE_NEWNS
+        assert config.receiver.unshare_flags & CLONE_NEWNS
+
+    def test_scenario_kernel_versions(self):
+        assert reproduce_known_bug("A").kernel_version == "4.4"
+
+    def test_scenario_corpus_deduplicates(self):
+        corpus = scenario_corpus(SCENARIOS["A"], extra=seed_list())
+        hashes = [p.hash_hex for p in corpus]
+        assert len(hashes) == len(set(hashes))
+
+    def test_detection_requires_the_bug(self):
+        """Running scenario A's corpus on a fixed kernel finds nothing."""
+        scenario = SCENARIOS["A"]
+        config = CampaignConfig(
+            machine=MachineConfig(bugs=fixed_kernel()),
+            corpus=scenario_corpus(scenario),
+        )
+        result = Kit(config).run()
+        assert result.bugs_found() == set()
+
+
+class TestCampaign:
+    @pytest.fixture(scope="class")
+    def seed_campaign(self):
+        config = CampaignConfig(
+            machine=MachineConfig(bugs=linux_5_13()),
+            corpus=seed_list(),
+            strategy="df-ia",
+        )
+        return Kit(config).run()
+
+    def test_all_nine_table2_bugs_found(self, seed_campaign):
+        assert set("123456789") <= seed_campaign.bugs_found()
+
+    def test_table5_counters_are_monotone(self, seed_campaign):
+        stats = seed_campaign.stats
+        assert stats.cases_total >= stats.initial_reports
+        assert stats.initial_reports >= stats.after_nondet
+        assert stats.after_nondet >= stats.after_resource
+        assert stats.after_resource == len(seed_campaign.reports)
+
+    def test_outcome_counts_sum_to_cases(self, seed_campaign):
+        stats = seed_campaign.stats
+        assert sum(stats.outcomes.values()) == stats.cases_total
+
+    def test_groups_do_not_exceed_reports(self, seed_campaign):
+        groups = seed_campaign.groups
+        reports = len(seed_campaign.reports)
+        assert groups.agg_r_count <= groups.agg_rs_count <= reports
+
+    def test_all_reports_diagnosed(self, seed_campaign):
+        assert all(r.culprit_pairs for r in seed_campaign.reports)
+
+    def test_generation_bookkeeping(self, seed_campaign):
+        generation = seed_campaign.generation
+        assert generation.strategy == "df-ia"
+        assert generation.cluster_count >= len(generation.test_cases)
+        assert generation.flow_count >= generation.cluster_count
+
+    def test_fixed_kernel_campaign_is_clean(self):
+        config = CampaignConfig(
+            machine=MachineConfig(bugs=fixed_kernel()),
+            corpus=seed_list(),
+        )
+        result = Kit(config).run()
+        assert result.bugs_found() == set()
+        # Imperfect-spec FPs (st_dev minors) may remain; that is the
+        # paper's Table 6 FP column, not a bug finding.
+        for label in result.labels():
+            assert label in (FALSE_POSITIVE, UNDER_INVESTIGATION)
+
+    def test_rand_strategy_runs_without_profiling(self):
+        config = CampaignConfig(
+            machine=MachineConfig(bugs=linux_5_13()),
+            corpus=seed_list(),
+            strategy="rand",
+            rand_budget=30,
+        )
+        result = Kit(config).run()
+        assert result.stats.profile_runs == 0
+        assert result.stats.cases_total == 30
+
+    def test_max_test_cases_cap(self):
+        config = CampaignConfig(
+            machine=MachineConfig(bugs=linux_5_13()),
+            corpus=seed_list(),
+            max_test_cases=5,
+        )
+        result = Kit(config).run()
+        assert result.stats.cases_total <= 5
+
+    def test_distributed_matches_single_machine(self):
+        base = dict(machine=MachineConfig(bugs=linux_5_13()),
+                    corpus=seed_list()[:20], strategy="df-ia")
+        single = Kit(CampaignConfig(**base, workers=0)).run()
+        distributed = Kit(CampaignConfig(**base, workers=3)).run()
+        assert single.bugs_found() == distributed.bugs_found()
+        assert single.stats.cases_total == distributed.stats.cases_total
+
+    def test_generated_corpus_campaign(self):
+        """A mixed seeds+random corpus still finds all nine bugs."""
+        config = CampaignConfig(
+            machine=MachineConfig(bugs=linux_5_13()),
+            corpus=build_corpus(80, seed=11),
+        )
+        result = Kit(config).run()
+        assert set("123456789") <= result.bugs_found()
+
+    def test_nondet_disk_cache_reused(self, tmp_path):
+        base = dict(machine=MachineConfig(bugs=linux_5_13()),
+                    corpus=seed_list()[:12], nondet_dir=str(tmp_path))
+        first = Kit(CampaignConfig(**base)).run()
+        second = Kit(CampaignConfig(**base)).run()
+        assert first.stats.nondet_runs > 0
+        assert second.stats.nondet_runs == 0

@@ -1,0 +1,105 @@
+"""Tests for report minimization."""
+
+import pytest
+
+from repro.core.detection import Detector, Outcome
+from repro.core.diagnosis import Diagnoser
+from repro.core.generation import TestCase
+from repro.core.minimize import dependency_closure, minimize_report, reduce_to
+from repro.core.spec import default_specification
+from repro.corpus.program import prog
+from repro.corpus.seeds import seed_programs
+from repro.kernel import linux_5_13
+from repro.vm import Machine, MachineConfig
+
+
+@pytest.fixture(scope="module")
+def detector():
+    machine = Machine(MachineConfig(bugs=linux_5_13()))
+    return Detector(machine, default_specification())
+
+
+def diagnosed_report(detector, sender, receiver):
+    result = detector.check_case(TestCase(0, 1, sender, receiver))
+    assert result.outcome is Outcome.REPORT
+    Diagnoser(detector).diagnose(result.report)
+    return result.report
+
+
+class TestDependencyClosure:
+    def test_direct_dependency_kept(self):
+        program = prog(("socket", 2, 1, 6), ("bind", "r0", 1, 2))
+        assert dependency_closure(program, [1]) == {0, 1}
+
+    def test_transitive_dependency_kept(self):
+        program = prog(("socket", 2, 1, 6), ("dup", "r0"), ("bind", "r1", 1, 2))
+        assert dependency_closure(program, [2]) == {0, 1, 2}
+
+    def test_unrelated_calls_excluded(self):
+        program = prog(("getpid",), ("socket", 2, 1, 6), ("bind", "r1", 1, 2))
+        assert dependency_closure(program, [2]) == {1, 2}
+
+    def test_reduce_to_holes_out_the_rest(self):
+        program = prog(("getpid",), ("socket", 2, 1, 6), ("bind", "r1", 1, 2))
+        reduced = reduce_to(program, [2])
+        assert reduced.live_call_indices() == [1, 2]
+        assert reduced.calls[0] is None
+
+
+class TestMinimizeReport:
+    def test_noise_stripped_from_sender(self, detector):
+        seeds = seed_programs()
+        noisy_sender = prog(("getpid",), ("gethostname",)).concatenate(
+            seeds["packet_socket"]).concatenate(prog(("getpid",),))
+        report = diagnosed_report(detector, noisy_sender, seeds["read_ptype"])
+        minimized = minimize_report(detector, report)
+        assert minimized.verified
+        assert minimized.sender_calls == 1
+        assert "socket" in minimized.sender.serialize()
+
+    def test_receiver_dependencies_preserved(self, detector):
+        seeds = seed_programs()
+        report = diagnosed_report(detector, seeds["packet_socket"],
+                                  seeds["read_ptype"])
+        minimized = minimize_report(detector, report)
+        assert minimized.verified
+        # The pread64 needs its open(): both calls must survive.
+        assert minimized.receiver_calls == 2
+
+    def test_minimized_pair_still_triggers(self, detector):
+        seeds = seed_programs()
+        report = diagnosed_report(
+            detector, seeds["flowlabel_register_exclusive"],
+            seeds["flowlabel_send"])
+        minimized = minimize_report(detector, report)
+        assert minimized.verified
+        outcome = detector.check_case(
+            TestCase(0, 1, minimized.sender, minimized.receiver))
+        assert outcome.outcome is Outcome.REPORT
+
+    def test_undiagnosed_report_kept_verbatim(self, detector):
+        seeds = seed_programs()
+        result = detector.check_case(
+            TestCase(0, 1, seeds["packet_socket"], seeds["read_ptype"]))
+        minimized = minimize_report(detector, result.report)  # no diagnosis
+        assert not minimized.verified
+        assert minimized.sender == seeds["packet_socket"]
+
+    def test_render_shows_both_programs(self, detector):
+        seeds = seed_programs()
+        report = diagnosed_report(detector, seeds["packet_socket"],
+                                  seeds["read_ptype"])
+        text = minimize_report(detector, report).render()
+        assert "# sender" in text and "# receiver" in text
+        assert "verified" in text
+
+    def test_multi_culprit_minimization(self, detector):
+        seeds = seed_programs()
+        sender = seeds["packet_socket"].concatenate(
+            seeds["flowlabel_register_exclusive"])
+        receiver = seeds["read_ptype"].concatenate(seeds["flowlabel_send"])
+        report = diagnosed_report(detector, sender, receiver)
+        minimized = minimize_report(detector, report)
+        assert minimized.verified
+        # Both culprit sender calls (and the flow-label socket dep) stay.
+        assert minimized.sender_calls == 3

@@ -1,0 +1,167 @@
+"""Tests for campaign regression diffing and triage sessions."""
+
+import pytest
+
+from repro.core.oracle import classify
+from repro.core.pipeline import CampaignConfig, Kit
+from repro.core.regress import diff_campaigns
+from repro.core.triage import TriageSession, Verdict
+from repro.corpus.seeds import seed_list
+from repro.kernel import BugFlags, fixed_kernel, linux_5_13
+from repro.vm import MachineConfig
+
+
+def run_campaign(bugs):
+    config = CampaignConfig(machine=MachineConfig(bugs=bugs),
+                            corpus=seed_list())
+    return Kit(config).run()
+
+
+@pytest.fixture(scope="module")
+def buggy_campaign():
+    return run_campaign(linux_5_13())
+
+
+@pytest.fixture(scope="module")
+def fixed_campaign():
+    return run_campaign(fixed_kernel())
+
+
+@pytest.fixture(scope="module")
+def partial_campaign():
+    """5.13 with the ptype bug patched but everything else intact."""
+    return run_campaign(linux_5_13().copy(ptype_leak=False))
+
+
+class TestDiffCampaigns:
+    def test_patching_everything_resolves_bug_groups(self, buggy_campaign,
+                                                     fixed_campaign):
+        diff = diff_campaigns(buggy_campaign, fixed_campaign)
+        assert diff.resolved
+        # FP groups (st_dev minors) persist on both kernels: the fix
+        # target is the bug groups, not the spec imperfection.
+        for key in diff.persisting:
+            members = diff.persisting[key]
+            assert all(classify(m) in ("FP", "UI") for m in members)
+
+    def test_nothing_introduced_by_the_fixes(self, buggy_campaign,
+                                             fixed_campaign):
+        diff = diff_campaigns(buggy_campaign, fixed_campaign)
+        assert not diff.introduced
+
+    def test_partial_patch_resolves_only_its_groups(self, buggy_campaign,
+                                                    partial_campaign):
+        diff = diff_campaigns(buggy_campaign, partial_campaign)
+        resolved_receivers = {key[0] for key in diff.resolved}
+        assert any("ptype" in sig for sig in resolved_receivers)
+        persisting_receivers = {key[0] for key in diff.persisting}
+        assert any("sockstat" in sig for sig in persisting_receivers)
+
+    def test_reverse_diff_reports_introductions(self, buggy_campaign,
+                                                partial_campaign):
+        diff = diff_campaigns(partial_campaign, buggy_campaign)
+        assert any("ptype" in key[0] for key in diff.introduced)
+
+    def test_self_diff_is_all_persisting(self, buggy_campaign):
+        diff = diff_campaigns(buggy_campaign, buggy_campaign)
+        assert not diff.introduced and not diff.resolved
+        assert len(diff.persisting) == buggy_campaign.groups.agg_r_count
+
+    def test_agg_rs_level_is_finer(self, buggy_campaign):
+        coarse = diff_campaigns(buggy_campaign, buggy_campaign)
+        fine = diff_campaigns(buggy_campaign, buggy_campaign,
+                              level="agg-rs")
+        assert len(fine.persisting) >= len(coarse.persisting)
+        assert len(fine.persisting) == buggy_campaign.groups.agg_rs_count
+
+    def test_unknown_level_rejected(self, buggy_campaign):
+        with pytest.raises(ValueError):
+            diff_campaigns(buggy_campaign, buggy_campaign, level="agg-x")
+
+    def test_render_mentions_counts(self, buggy_campaign, fixed_campaign):
+        text = diff_campaigns(buggy_campaign, fixed_campaign).render()
+        assert "resolved:" in text and "introduced: 0" in text
+
+    def test_clean_fix_predicate(self, buggy_campaign):
+        empty = run_campaign(fixed_kernel())
+        # fixed-vs-fixed persists FP groups, so not a "clean fix"…
+        assert not diff_campaigns(empty, empty).clean_fix or \
+            empty.groups.agg_rs_count == 0
+
+
+class TestTriageSession:
+    def test_pending_starts_at_group_count(self, buggy_campaign):
+        session = TriageSession(buggy_campaign.groups)
+        assert session.reports_to_examine() == \
+            buggy_campaign.groups.agg_rs_count
+
+    def test_confirm_bug_settles_the_group(self, buggy_campaign):
+        session = TriageSession(buggy_campaign.groups)
+        key = session.pending_groups()[0]
+        session.confirm_bug(key, note="matches Table 2")
+        assert key not in session.pending_groups()
+        assert key in session.confirmed()
+
+    def test_representative_is_a_group_member(self, buggy_campaign):
+        session = TriageSession(buggy_campaign.groups)
+        key = session.pending_groups()[0]
+        assert session.representative(key) in \
+            buggy_campaign.groups.agg_rs[key]
+
+    def test_fp_cascade_over_receiver_group(self, buggy_campaign):
+        session = TriageSession(buggy_campaign.groups)
+        # Find a receiver signature with >= 2 sender groups.
+        by_receiver = {}
+        for key in buggy_campaign.groups.agg_rs:
+            by_receiver.setdefault(key[0], []).append(key)
+        multi = [keys for keys in by_receiver.values() if len(keys) > 1]
+        if not multi:
+            pytest.skip("no multi-sender receiver group in this campaign")
+        keys = multi[0]
+        settled = session.drop_false_positive(keys[0], whole_receiver=True)
+        assert set(settled) == set(keys)
+        assert all(k in session.dropped() for k in keys)
+
+    def test_investigating_stays_pending(self, buggy_campaign):
+        session = TriageSession(buggy_campaign.groups)
+        key = session.pending_groups()[0]
+        session.mark_investigating(key, "odd trace")
+        assert key in session.pending_groups()
+
+    def test_unknown_group_rejected(self, buggy_campaign):
+        session = TriageSession(buggy_campaign.groups)
+        with pytest.raises(KeyError):
+            session.confirm_bug(("nope", "nope"))
+
+    def test_summary_counts(self, buggy_campaign):
+        session = TriageSession(buggy_campaign.groups)
+        key = session.pending_groups()[0]
+        session.confirm_bug(key)
+        assert "1 confirmed" in session.summary()
+
+    def test_save_and_load_decisions(self, buggy_campaign, tmp_path):
+        session = TriageSession(buggy_campaign.groups)
+        first, second = session.pending_groups()[:2]
+        session.confirm_bug(first, "yes")
+        session.drop_false_positive(second, "dev minor")
+        path = str(tmp_path / "triage.json")
+        session.save(path)
+
+        fresh = TriageSession(buggy_campaign.groups)
+        applied = fresh.load(path)
+        assert applied == 2
+        assert fresh.decisions[first].verdict is Verdict.CONFIRMED_BUG
+        assert fresh.decisions[second].verdict is Verdict.FALSE_POSITIVE
+
+    def test_decisions_survive_unrelated_campaigns(self, buggy_campaign,
+                                                   fixed_campaign, tmp_path):
+        """Loading decisions onto a campaign without those groups is a
+        no-op, not an error (kernel changed, groups moved)."""
+        session = TriageSession(buggy_campaign.groups)
+        key = session.pending_groups()[0]
+        session.confirm_bug(key)
+        path = str(tmp_path / "triage.json")
+        session.save(path)
+        other = TriageSession(fixed_campaign.groups)
+        applied = other.load(path)
+        assert applied <= 1

@@ -1,0 +1,176 @@
+"""Unit tests for trace ASTs and Algorithm 1."""
+
+import pytest
+
+from repro.core.trace_ast import (
+    TraceNode,
+    apply_nondet_marks,
+    build_trace_ast,
+    nondet_paths_from_runs,
+    syscall_trace_cmp,
+)
+from repro.vm.executor import SyscallRecord
+
+
+def record(index, name, retval=0, errno=0, details=None):
+    return SyscallRecord(index, name, (), retval, errno, details or {})
+
+
+class TestBuild:
+    def test_root_has_one_child_per_call_slot(self):
+        tree = build_trace_ast([record(0, "a"), None, record(2, "b")])
+        assert len(tree.children) == 3
+        assert tree.children[1].value == "removed"
+
+    def test_call_node_children_order(self):
+        tree = build_trace_ast([record(0, "read", 5, 0, {"data": "x"})])
+        labels = [c.label for c in tree.children[0].children]
+        assert labels == ["ret", "errno", "data"]
+
+    def test_errno_decoded_symbolically(self):
+        tree = build_trace_ast([record(0, "open", -1, 2)])
+        errno_node = tree.children[0].children[1]
+        assert errno_node.value == "ENOENT"
+
+    def test_multiline_data_split_per_line(self):
+        tree = build_trace_ast([record(0, "read", 10, 0,
+                                       {"data": "line-a\nline-b"})])
+        data_node = tree.children[0].children[2]
+        assert [c.value for c in data_node.children] == ["line-a", "line-b"]
+
+    def test_struct_details_split_per_field(self):
+        tree = build_trace_ast([record(0, "fstat", 0, 0,
+                                       {"stat": {"st_size": 5, "st_mtime": 9}})])
+        stat_node = tree.children[0].children[2]
+        assert [c.label for c in stat_node.children] == ["st_mtime", "st_size"]
+
+    def test_list_details_split_per_entry(self):
+        tree = build_trace_ast([record(0, "getdents64", 2, 0,
+                                       {"entries": ["a", "b"]})])
+        entries = tree.children[0].children[2]
+        assert [c.value for c in entries.children] == ["a", "b"]
+
+    def test_nested_dict_recursion(self):
+        tree = build_trace_ast([record(0, "x", 0, 0,
+                                       {"outer": {"inner": {"leaf": 1}}})])
+        outer = tree.children[0].children[2]
+        assert outer.children[0].children[0].value == "1"
+
+    def test_walk_and_at_agree(self):
+        tree = build_trace_ast([record(0, "read", 5, 0, {"data": "a\nb"})])
+        for path, node in tree.walk():
+            assert tree.at(path) is node
+
+    def test_at_out_of_range_returns_none(self):
+        tree = build_trace_ast([record(0, "a")])
+        assert tree.at((5, 5)) is None
+
+
+class TestAlgorithm1:
+    def test_identical_trees_have_no_diffs(self):
+        records = [record(0, "read", 5, 0, {"data": "x"})]
+        assert syscall_trace_cmp(build_trace_ast(records),
+                                 build_trace_ast(records)) == []
+
+    def test_value_mismatch_reported_once(self):
+        a = build_trace_ast([record(0, "read", 5)])
+        b = build_trace_ast([record(0, "read", 6)])
+        (diff,) = syscall_trace_cmp(a, b)
+        assert diff.label == "ret"
+        assert (diff.value_a, diff.value_b) == ("5", "6")
+
+    def test_diff_carries_call_index(self):
+        a = build_trace_ast([record(0, "a"), record(1, "read", 1)])
+        b = build_trace_ast([record(0, "a"), record(1, "read", 2)])
+        (diff,) = syscall_trace_cmp(a, b)
+        assert diff.call_index == 1
+
+    def test_child_count_mismatch_stops_descent(self):
+        a = build_trace_ast([record(0, "read", 2, 0, {"data": "x\ny"})])
+        b = build_trace_ast([record(0, "read", 2, 0, {"data": "x\ny\nz"})])
+        diffs = syscall_trace_cmp(a, b)
+        (data_diff,) = [d for d in diffs if d.label == "data"]
+        assert data_diff.path == (0, 2)
+
+    def test_nondet_flag_halts_subtree(self):
+        a = build_trace_ast([record(0, "read", 5, 0, {"data": "x"})])
+        b = build_trace_ast([record(0, "read", 5, 0, {"data": "y"})])
+        a.children[0].children[2].det = False
+        assert syscall_trace_cmp(a, b) == []
+
+    def test_nondet_leaf_keeps_siblings_comparable(self):
+        """The paper's fstat example: timestamps nondet, size still checked."""
+        a = build_trace_ast([record(0, "fstat", 0, 0,
+                                    {"stat": {"st_size": 5, "st_mtime": 1}})])
+        b = build_trace_ast([record(0, "fstat", 0, 0,
+                                    {"stat": {"st_size": 9, "st_mtime": 2}})])
+        marks = frozenset({(0, 2, 0)})  # st_mtime leaf
+        apply_nondet_marks(a, marks)
+        apply_nondet_marks(b, marks)
+        (diff,) = syscall_trace_cmp(a, b)
+        assert diff.label == "st_size"
+
+    def test_multiple_diffs_all_reported(self):
+        a = build_trace_ast([record(0, "read", 1), record(1, "read", 1)])
+        b = build_trace_ast([record(0, "read", 2), record(1, "read", 2)])
+        assert len(syscall_trace_cmp(a, b)) == 2
+
+    def test_comparison_is_symmetric_in_count(self):
+        a = build_trace_ast([record(0, "read", 1)])
+        b = build_trace_ast([record(0, "read", 2)])
+        assert len(syscall_trace_cmp(a, b)) == len(syscall_trace_cmp(b, a))
+
+
+class TestNondetMarks:
+    def test_varying_leaf_marked(self):
+        # Single-line data decodes to a leaf node; the leaf itself varies.
+        runs = [build_trace_ast([record(0, "read", 5, 0, {"data": str(i)})])
+                for i in range(3)]
+        marks = nondet_paths_from_runs(runs)
+        assert (0, 2) in marks  # the data leaf
+
+    def test_varying_multiline_leaf_marked(self):
+        runs = [build_trace_ast([record(0, "read", 5, 0,
+                                        {"data": f"{i}\nsame"})])
+                for i in range(3)]
+        marks = nondet_paths_from_runs(runs)
+        assert (0, 2, 0) in marks      # varying line
+        assert (0, 2, 1) not in marks  # stable line
+
+    def test_stable_nodes_unmarked(self):
+        runs = [build_trace_ast([record(0, "read", 5, 0, {"data": "same"})])
+                for __ in range(3)]
+        assert nondet_paths_from_runs(runs) == frozenset()
+
+    def test_varying_child_count_marks_parent_and_stops(self):
+        runs = [
+            build_trace_ast([record(0, "read", 0, 0, {"data": "a"})]),
+            build_trace_ast([record(0, "read", 0, 0, {"data": "a\nb"})]),
+        ]
+        marks = nondet_paths_from_runs(runs)
+        assert (0, 2) in marks
+        assert not any(len(p) > 2 and p[:2] == (0, 2) for p in marks)
+
+    def test_single_run_yields_no_marks(self):
+        run = build_trace_ast([record(0, "read", 1)])
+        assert nondet_paths_from_runs([run]) == frozenset()
+
+    def test_varying_value_with_stable_children_descends(self):
+        """A varying struct field must not hide its stable siblings."""
+        runs = [
+            build_trace_ast([record(0, "fstat", 0, 0,
+                                    {"stat": {"st_mtime": i, "st_size": 7}})])
+            for i in range(3)
+        ]
+        marks = nondet_paths_from_runs(runs)
+        assert (0, 2, 0) in marks      # st_mtime varies
+        assert (0, 2, 1) not in marks  # st_size stable
+
+    def test_apply_marks_sets_det_false(self):
+        tree = build_trace_ast([record(0, "read", 1)])
+        apply_nondet_marks(tree, frozenset({(0, 0)}))
+        assert tree.children[0].children[0].det is False
+
+    def test_apply_marks_ignores_missing_paths(self):
+        tree = build_trace_ast([record(0, "read", 1)])
+        apply_nondet_marks(tree, frozenset({(9, 9, 9)}))  # no crash

@@ -1,0 +1,125 @@
+"""Unit tests for the test-program model and its text format."""
+
+import pytest
+
+from repro.corpus.program import (
+    Call,
+    ConstArg,
+    ResultArg,
+    TestProgram,
+    prog,
+)
+
+
+class TestBuilding:
+    def test_prog_builder_wires_results(self):
+        program = prog(("socket", 2, 1, 6), ("bind", "r0", 0x7F000001, 80))
+        assert program.calls[1].args[0] == ResultArg(0)
+        assert program.calls[1].args[1] == ConstArg(0x7F000001)
+
+    def test_prog_builder_string_args(self):
+        program = prog(("sethostname", "kit-a"),)
+        assert program.calls[0].args[0] == ConstArg("kit-a")
+
+    def test_references(self):
+        call = Call("bind", (ResultArg(0), ConstArg(1)))
+        assert call.references() == [0]
+
+    def test_length_and_iteration(self):
+        program = prog(("getpid",), ("getpid",))
+        assert len(program) == 2
+        assert all(call is not None for call in program)
+
+
+class TestSerialization:
+    def test_roundtrip_simple(self):
+        program = prog(("socket", 2, 1, 6), ("bind", "r0", 10, 80))
+        assert TestProgram.parse(program.serialize()) == program
+
+    def test_roundtrip_strings(self):
+        program = prog(("sethostname", "kit-a"), ("write", "r0", "x y, z"))
+        assert TestProgram.parse(program.serialize()) == program
+
+    def test_roundtrip_with_removed_call(self):
+        program = prog(("socket", 2, 1, 6), ("getpid",)).without_call(0)
+        assert TestProgram.parse(program.serialize()) == program
+
+    def test_serialized_form_is_readable(self):
+        program = prog(("socket", 2, 1, 6),)
+        assert program.serialize() == "r0 = socket(0x2, 0x1, 0x6)"
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            TestProgram.parse("not a call at all!")
+
+    def test_parse_rejects_bad_argument(self):
+        with pytest.raises(ValueError):
+            TestProgram.parse("socket(banana)")
+
+    def test_parse_handles_quoted_commas(self):
+        program = TestProgram.parse('write(r0, "a,b")')
+        assert program.calls[0].args[1] == ConstArg("a,b")
+
+    def test_parse_negative_numbers(self):
+        program = TestProgram.parse("setpriority(0x0, 0x0, -5)")
+        assert program.calls[0].args[2] == ConstArg(-5)
+
+
+class TestHashing:
+    def test_hash_is_stable(self):
+        program = prog(("getpid",),)
+        assert program.hash_hex == prog(("getpid",),).hash_hex
+
+    def test_hash_distinguishes_programs(self):
+        assert prog(("getpid",),).hash_hex != prog(("gethostname",),).hash_hex
+
+    def test_equality_and_set_membership(self):
+        a = prog(("getpid",),)
+        b = prog(("getpid",),)
+        assert a == b
+        assert len({a, b}) == 1
+
+
+class TestWithoutCall:
+    def test_leaves_a_hole(self):
+        program = prog(("socket", 2, 1, 6), ("getpid",)).without_call(0)
+        assert program.calls[0] is None
+        assert program.calls[1] is not None
+
+    def test_preserves_result_numbering(self):
+        program = prog(("socket", 2, 1, 6), ("socket", 2, 2, 17),
+                       ("bind", "r1", 10, 80))
+        removed = program.without_call(0)
+        assert removed.calls[2].args[0] == ResultArg(1)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(IndexError):
+            prog(("getpid",),).without_call(5)
+
+    def test_original_is_unchanged(self):
+        program = prog(("getpid",), ("getpid",))
+        program.without_call(0)
+        assert program.calls[0] is not None
+
+    def test_live_call_indices(self):
+        program = prog(("getpid",), ("getpid",), ("getpid",)).without_call(1)
+        assert program.live_call_indices() == [0, 2]
+
+
+class TestConcatenate:
+    def test_rebases_result_references(self):
+        first = prog(("getpid",),)
+        second = prog(("socket", 2, 1, 6), ("bind", "r0", 10, 80))
+        joined = first.concatenate(second)
+        assert joined.calls[2].args[0] == ResultArg(1)
+
+    def test_preserves_holes(self):
+        first = prog(("getpid",),)
+        second = prog(("getpid",), ("getpid",)).without_call(0)
+        joined = first.concatenate(second)
+        assert joined.calls[1] is None
+
+    def test_lengths_add(self):
+        first = prog(("getpid",),)
+        second = prog(("getpid",), ("getpid",))
+        assert len(first.concatenate(second)) == 3

@@ -1,0 +1,135 @@
+"""Unit tests for the bug registry, presets, and syscall declarations."""
+
+import dataclasses
+
+import pytest
+
+from repro.kernel import Kernel, fixed_kernel, known_bug_kernel, linux_5_13
+from repro.kernel.bugs import (
+    RAND_DETECTABLE,
+    TABLE2_BUGS,
+    TABLE3_BUGS,
+    BugFlags,
+    kernel_version_for,
+    table2_flag_names,
+)
+from repro.kernel.errno import ENOSYS, SyscallError
+from repro.kernel.syscalls import DECLS, dispatch
+from repro.kernel.syscalls.decl import ArgSpec, DeclRegistry, SyscallDecl
+
+
+class TestBugFlags:
+    def test_fixed_kernel_has_no_bugs(self):
+        assert fixed_kernel().enabled() == []
+
+    def test_linux_5_13_has_the_seven_table2_flags(self):
+        enabled = set(linux_5_13().enabled())
+        assert enabled == set(table2_flag_names())
+
+    def test_table2_maps_nine_bugs(self):
+        assert sorted(TABLE2_BUGS) == list(range(1, 10))
+
+    def test_bug_2_and_4_share_a_root_cause(self):
+        assert TABLE2_BUGS[2][0] == TABLE2_BUGS[4][0] == \
+            "flowlabel_exclusive_global"
+
+    def test_bug_8_and_9_share_a_root_cause(self):
+        assert TABLE2_BUGS[8][0] == TABLE2_BUGS[9][0] == "proto_mem_global"
+
+    def test_known_bug_kernels_enable_exactly_one_flag(self):
+        for bug_id in TABLE3_BUGS:
+            flags = known_bug_kernel(bug_id)
+            assert len(flags.enabled()) == 1, bug_id
+
+    def test_kernel_versions_match_table3(self):
+        assert kernel_version_for("A") == "4.4"
+        assert kernel_version_for("B") == "3.14"
+        assert kernel_version_for("C") == "4.15"
+        assert kernel_version_for("D") == "5.13"
+        assert kernel_version_for("E") == "5.6"
+
+    def test_copy_overrides(self):
+        flags = fixed_kernel().copy(ptype_leak=True)
+        assert flags.enabled() == ["ptype_leak"]
+
+    def test_rand_detectable_is_paper_subset(self):
+        assert RAND_DETECTABLE == {1, 2, 5, 7, 9}
+
+    def test_every_flag_is_boolean_default_false(self):
+        for field in dataclasses.fields(BugFlags):
+            assert field.default is False, field.name
+
+
+class TestDeclRegistry:
+    def test_duplicate_registration_rejected(self):
+        registry = DeclRegistry()
+        registry.add(SyscallDecl("x", args=()))
+        with pytest.raises(ValueError):
+            registry.add(SyscallDecl("x", args=()))
+
+    def test_bad_arg_kind_rejected(self):
+        with pytest.raises(ValueError):
+            ArgSpec("a", "banana")
+
+    def test_fd_arg_requires_resource(self):
+        with pytest.raises(ValueError):
+            ArgSpec("fd", "fd")
+
+    def test_global_registry_is_populated(self):
+        # The syscall surface should be substantial (~35+ calls).
+        assert len(DECLS.names()) >= 35
+
+    def test_key_syscalls_present(self):
+        for name in ("socket", "bind", "connect", "sendto", "open", "read",
+                     "pread64", "unshare", "msgget", "setpriority",
+                     "io_uring_setup", "ip_link_add", "getsockopt"):
+            assert name in DECLS, name
+
+    def test_resource_args_have_resources(self):
+        for decl in DECLS.all():
+            for arg in decl.resource_args():
+                assert arg.resource
+
+    def test_producers_declare_ret_resource(self):
+        assert DECLS.get("socket").ret_resource == "sock"
+        assert DECLS.get("open").ret_resource == "fd_file"
+        assert DECLS.get("msgget").ret_resource == "msqid"
+
+    def test_value_domains_nonempty_for_value_args(self):
+        for decl in DECLS.all():
+            for arg in decl.args:
+                if arg.kind in ("int", "flags", "str", "path"):
+                    assert arg.choices, (decl.name, arg.name)
+
+
+class TestDispatch:
+    def test_unknown_syscall_is_enosys(self):
+        kernel = Kernel()
+        task = kernel.spawn_task()
+        with pytest.raises(SyscallError) as info:
+            dispatch(kernel, task, "frobnicate", [])
+        assert info.value.errno == ENOSYS
+
+    def test_wrong_arity_is_enosys(self):
+        kernel = Kernel()
+        task = kernel.spawn_task()
+        with pytest.raises(SyscallError) as info:
+            dispatch(kernel, task, "socket", [1])
+        assert info.value.errno == ENOSYS
+
+    def test_every_declared_syscall_has_a_handler(self):
+        from repro.kernel.syscalls.table import HANDLERS
+
+        assert set(DECLS.names()) == set(HANDLERS)
+
+    def test_getpid_returns_namespace_pid(self):
+        kernel = Kernel()
+        task = kernel.spawn_task()
+        result = dispatch(kernel, task, "getpid", [])
+        assert result.retval == task.pid
+
+    def test_type_confusion_is_einval_not_crash(self):
+        kernel = Kernel()
+        task = kernel.spawn_task()
+        with pytest.raises(SyscallError):
+            dispatch(kernel, task, "socket", ["a", "b", "c"])

@@ -1,0 +1,104 @@
+"""Tests for the capability model on privileged namespace operations."""
+
+import pytest
+
+from repro.kernel import Kernel
+from repro.kernel.errno import EACCES, EPERM, SyscallError
+from repro.kernel.namespaces import NamespaceType
+from repro.kernel.task import CAP_NET_ADMIN, CAP_SYS_ADMIN, CAP_SYS_NICE
+
+
+@pytest.fixture
+def kernel():
+    return Kernel()
+
+
+@pytest.fixture
+def root_task(kernel):
+    return kernel.spawn_task(uid=0)
+
+
+@pytest.fixture
+def user_task(kernel):
+    return kernel.spawn_task(uid=1000)
+
+
+class TestCapable:
+    def test_root_holds_everything(self, root_task):
+        for cap in (CAP_NET_ADMIN, CAP_SYS_ADMIN, CAP_SYS_NICE):
+            assert root_task.capable(cap)
+
+    def test_unprivileged_holds_nothing(self, user_task):
+        assert not user_task.capable(CAP_NET_ADMIN)
+
+
+class TestNetAdminGates:
+    def test_netdev_requires_cap(self, kernel, user_task):
+        ns = user_task.nsproxy.get(NamespaceType.NET)
+        with pytest.raises(SyscallError) as info:
+            kernel.netdev.register_netdev(user_task, ns, "veth9")
+        assert info.value.errno == EPERM
+
+    def test_netdev_allowed_for_root(self, kernel, root_task):
+        ns = root_task.nsproxy.get(NamespaceType.NET)
+        assert kernel.netdev.register_netdev(root_task, ns, "veth9") > 0
+
+    def test_ipvs_requires_cap(self, kernel, user_task):
+        ns = user_task.nsproxy.get(NamespaceType.NET)
+        with pytest.raises(SyscallError) as info:
+            kernel.ipvs.add_service(user_task, ns, 1, 80)
+        assert info.value.errno == EPERM
+
+    def test_conntrack_write_requires_cap(self, kernel, user_task):
+        ns = user_task.nsproxy.get(NamespaceType.NET)
+        with pytest.raises(SyscallError) as info:
+            kernel.conntrack.sysctl_write_max(user_task, ns, 5)
+        assert info.value.errno == EPERM
+
+    def test_conntrack_read_is_unprivileged(self, kernel, user_task):
+        ns = user_task.nsproxy.get(NamespaceType.NET)
+        assert kernel.conntrack.sysctl_read_max(user_task, ns) == 65536
+
+
+class TestSysAdminGates:
+    def test_mount_requires_cap(self, kernel, user_task):
+        with pytest.raises(SyscallError) as info:
+            kernel.vfs.mount(user_task, "none", "/tmp", "tmpfs")
+        assert info.value.errno == EPERM
+
+    def test_umount_requires_cap(self, kernel, user_task):
+        with pytest.raises(SyscallError) as info:
+            kernel.vfs.umount(user_task, "/tmp")
+        assert info.value.errno == EPERM
+
+    def test_sethostname_requires_cap(self, kernel, user_task):
+        with pytest.raises(SyscallError) as info:
+            kernel.syscall(user_task, "sethostname", ["x"])
+        assert info.value.errno == EPERM
+
+    def test_sethostname_allowed_for_root(self, kernel, root_task):
+        assert kernel.syscall(root_task, "sethostname", ["x"]).retval == 0
+
+
+class TestSysNiceGate:
+    def test_negative_nice_requires_cap(self, kernel, user_task):
+        with pytest.raises(SyscallError) as info:
+            kernel.sched.sys_setpriority(user_task, 0, 0, -5)
+        assert info.value.errno == EACCES
+
+    def test_lowering_priority_is_unprivileged(self, kernel, user_task):
+        assert kernel.sched.sys_setpriority(user_task, 0, 0, 10) == 0
+
+    def test_root_may_raise_priority(self, kernel, root_task):
+        assert kernel.sched.sys_setpriority(root_task, 0, 0, -5) == 0
+
+
+class TestContainersRunAsNamespaceRoot:
+    def test_default_containers_can_do_privileged_ops(self, machine_513):
+        """The paper's attack model: namespace-root inside a container can
+        still reach globally-shared kernel state (bugs C, D, ...)."""
+        machine_513.reset()
+        from repro.corpus.seeds import seed_programs
+
+        result = machine_513.run("sender", seed_programs()["ipvs_add"])
+        assert result.records[0].ok

@@ -1,0 +1,140 @@
+"""Tests for cgroup namespace virtualization and time-namespace offsets."""
+
+import pytest
+
+from repro.corpus.program import prog
+from repro.kernel import Kernel
+from repro.kernel.errno import EEXIST, EINVAL, ENOENT, SyscallError
+from repro.kernel.namespaces import (
+    CLONE_NEWCGROUP,
+    CLONE_NEWTIME,
+    NamespaceType,
+)
+from repro.vm.executor import Executor
+
+
+@pytest.fixture
+def kernel():
+    return Kernel()
+
+
+@pytest.fixture
+def task(kernel):
+    return kernel.spawn_task()
+
+
+class TestCgroupHierarchy:
+    def test_create_and_enter(self, kernel, task):
+        kernel.cgroup.create(task, "/app")
+        kernel.cgroup.enter(task, "/app")
+        assert task.cgroup_path == "/app"
+
+    def test_create_requires_parent(self, kernel, task):
+        with pytest.raises(SyscallError) as info:
+            kernel.cgroup.create(task, "/missing/web")
+        assert info.value.errno == ENOENT
+
+    def test_create_duplicate_is_eexist(self, kernel, task):
+        kernel.cgroup.create(task, "/app")
+        with pytest.raises(SyscallError) as info:
+            kernel.cgroup.create(task, "/app")
+        assert info.value.errno == EEXIST
+
+    def test_enter_missing_is_enoent(self, kernel, task):
+        with pytest.raises(SyscallError):
+            kernel.cgroup.enter(task, "/nope")
+
+    def test_task_counts_move(self, kernel, task):
+        kernel.cgroup.create(task, "/app")
+        kernel.cgroup.enter(task, "/app")
+        group = kernel.cgroup.groups.lookup("/app")
+        assert group.peek("nr_tasks") == 1
+        kernel.cgroup.enter(task, "/")
+        assert group.peek("nr_tasks") == 0
+
+
+class TestCgroupNamespaceView:
+    def test_proc_cgroup_default_root(self, kernel, task):
+        assert kernel.procfs.render(task, "self/cgroup") == "0::/\n"
+
+    def test_unshare_pins_root_to_current_cgroup(self, kernel, task):
+        kernel.cgroup.create(task, "/app")
+        kernel.cgroup.enter(task, "/app")
+        kernel.unshare(task, CLONE_NEWCGROUP)
+        # Inside the new namespace the task appears at the root.
+        assert kernel.procfs.render(task, "self/cgroup") == "0::/\n"
+
+    def test_paths_resolve_relative_to_ns_root(self, kernel, task):
+        kernel.cgroup.create(task, "/app")
+        kernel.cgroup.enter(task, "/app")
+        kernel.unshare(task, CLONE_NEWCGROUP)
+        kernel.cgroup.create(task, "/web")  # really /app/web globally
+        assert kernel.cgroup.groups.lookup("/app/web") is not None
+        kernel.cgroup.enter(task, "/web")
+        assert kernel.procfs.render(task, "self/cgroup") == "0::/web\n"
+
+    def test_outside_root_shown_as_escape_marker(self, kernel):
+        confined = kernel.spawn_task(comm="confined")
+        kernel.cgroup.create(confined, "/app")
+        kernel.cgroup.enter(confined, "/app")
+        kernel.unshare(confined, CLONE_NEWCGROUP)
+        # The init task (cgroup "/") is outside the confined root.
+        content = kernel.cgroup.render_proc_cgroup(confined, kernel.init_task)
+        assert content == "0::/..\n"
+
+    def test_host_sees_global_path(self, kernel, task):
+        kernel.cgroup.create(task, "/app")
+        kernel.cgroup.enter(task, "/app")
+        content = kernel.cgroup.render_proc_cgroup(kernel.init_task, task)
+        assert content == "0::/app\n"
+
+    def test_syscall_surface(self, kernel, task):
+        result = Executor(kernel, task).run(prog(
+            ("cgroup_create", "/app"),
+            ("cgroup_enter", "/app"),
+            ("open", "/proc/self/cgroup", 0),
+            ("read", "r2", 128),
+        ))
+        assert result.records[3].details["data"] == "0::/app\n"
+
+
+class TestTimeNamespaceOffsets:
+    def test_offsets_default_zero(self, kernel, task):
+        content = kernel.procfs.render(task, "self/timens_offsets")
+        assert "monotonic 0" in content and "boottime 0" in content
+
+    def test_write_offsets(self, kernel, task):
+        kernel.unshare(task, CLONE_NEWTIME)
+        kernel.procfs.write(task, "self/timens_offsets",
+                            "monotonic 5000000000")
+        content = kernel.procfs.render(task, "self/timens_offsets")
+        assert "monotonic 5000000000" in content
+
+    def test_offset_shifts_clock_gettime_monotonic(self, kernel, task):
+        kernel.unshare(task, CLONE_NEWTIME)
+        before = kernel.syscall(task, "clock_gettime", [1]).details["tv_sec"]
+        kernel.procfs.write(task, "self/timens_offsets",
+                            "monotonic 5000000000")
+        after = kernel.syscall(task, "clock_gettime", [1]).details["tv_sec"]
+        assert after >= before + 4  # 5 virtual seconds, minus tick noise
+
+    def test_offset_does_not_shift_realtime(self, kernel, task):
+        kernel.unshare(task, CLONE_NEWTIME)
+        kernel.procfs.write(task, "self/timens_offsets",
+                            "monotonic 5000000000")
+        realtime = kernel.syscall(task, "clock_gettime", [0]).details["tv_sec"]
+        assert realtime < 1_700_000_000  # still the virtual epoch
+
+    def test_offsets_are_per_namespace(self, kernel):
+        shifted = kernel.spawn_task()
+        kernel.unshare(shifted, CLONE_NEWTIME)
+        kernel.procfs.write(shifted, "self/timens_offsets",
+                            "monotonic 9000000000")
+        content = kernel.procfs.render(kernel.init_task,
+                                       "self/timens_offsets")
+        assert "monotonic 0" in content
+
+    def test_garbage_write_is_einval(self, kernel, task):
+        with pytest.raises(SyscallError) as info:
+            kernel.procfs.write(task, "self/timens_offsets", "what")
+        assert info.value.errno == EINVAL

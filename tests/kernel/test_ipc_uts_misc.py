@@ -1,0 +1,334 @@
+"""Unit tests for SysV IPC, UTS, crypto, io_uring, fd tables, clock, errno."""
+
+import pytest
+
+from repro.kernel import Kernel, fixed_kernel
+from repro.kernel.bugs import BugFlags
+from repro.kernel.clock import TICK_NS, VirtualClock
+from repro.kernel.errno import (
+    EBADF,
+    EEXIST,
+    EIDRM,
+    EINVAL,
+    EMFILE,
+    ENOENT,
+    ENOMSG,
+    ENOSPC,
+    SyscallError,
+    errno_name,
+)
+from repro.kernel.fdtable import FdTable, FileObject
+from repro.kernel.ipc import IPC_CREAT, IPC_EXCL, IPC_PRIVATE, IPC_RMID, IPC_STAT
+from repro.kernel.namespaces import (
+    ALL_NAMESPACE_FLAGS,
+    CLONE_NEWIPC,
+    CLONE_NEWPID,
+    CLONE_NEWUTS,
+    NamespaceType,
+)
+
+
+@pytest.fixture
+def kernel():
+    return Kernel()
+
+
+def ipc_pair(bugs=None):
+    kernel = Kernel(bugs=bugs or fixed_kernel())
+    sender = kernel.spawn_task(comm="s")
+    receiver = kernel.spawn_task(comm="r")
+    kernel.unshare(sender, CLONE_NEWIPC | CLONE_NEWPID)
+    kernel.unshare(receiver, CLONE_NEWIPC | CLONE_NEWPID)
+    return kernel, sender, receiver
+
+
+class TestMsgQueues:
+    def test_create_and_stat(self, kernel):
+        task = kernel.spawn_task()
+        msqid = kernel.ipc.msgget(task, 0xAA, IPC_CREAT)
+        stat = kernel.ipc.msgctl(task, msqid, IPC_STAT)
+        assert stat["msg_qnum"] == 0
+
+    def test_key_reuse_returns_same_queue(self, kernel):
+        task = kernel.spawn_task()
+        first = kernel.ipc.msgget(task, 0xAA, IPC_CREAT)
+        second = kernel.ipc.msgget(task, 0xAA, IPC_CREAT)
+        assert first == second
+
+    def test_excl_on_existing_key_is_eexist(self, kernel):
+        task = kernel.spawn_task()
+        kernel.ipc.msgget(task, 0xAA, IPC_CREAT)
+        with pytest.raises(SyscallError) as info:
+            kernel.ipc.msgget(task, 0xAA, IPC_CREAT | IPC_EXCL)
+        assert info.value.errno == EEXIST
+
+    def test_get_without_creat_missing_key_fails(self, kernel):
+        task = kernel.spawn_task()
+        with pytest.raises(SyscallError):
+            kernel.ipc.msgget(task, 0x77, 0)
+
+    def test_ipc_private_always_creates(self, kernel):
+        task = kernel.spawn_task()
+        first = kernel.ipc.msgget(task, IPC_PRIVATE, IPC_CREAT)
+        second = kernel.ipc.msgget(task, IPC_PRIVATE, IPC_CREAT)
+        assert first != second
+
+    def test_send_receive_fifo(self, kernel):
+        task = kernel.spawn_task()
+        msqid = kernel.ipc.msgget(task, IPC_PRIVATE, IPC_CREAT)
+        kernel.ipc.msgsnd(task, msqid, 1, "first")
+        kernel.ipc.msgsnd(task, msqid, 1, "second")
+        assert kernel.ipc.msgrcv(task, msqid) == "first"
+        assert kernel.ipc.msgrcv(task, msqid) == "second"
+
+    def test_receive_empty_is_enomsg(self, kernel):
+        task = kernel.spawn_task()
+        msqid = kernel.ipc.msgget(task, IPC_PRIVATE, IPC_CREAT)
+        with pytest.raises(SyscallError) as info:
+            kernel.ipc.msgrcv(task, msqid)
+        assert info.value.errno == ENOMSG
+
+    def test_rmid_removes_queue(self, kernel):
+        task = kernel.spawn_task()
+        msqid = kernel.ipc.msgget(task, 0xAA, IPC_CREAT)
+        kernel.ipc.msgctl(task, msqid, IPC_RMID)
+        with pytest.raises(SyscallError):
+            kernel.ipc.msgsnd(task, msqid, 1, "x")
+
+    def test_quota_enforced_per_namespace(self, kernel):
+        task = kernel.spawn_task()
+        ns = task.nsproxy.get(NamespaceType.IPC)
+        for __ in range(ns.msg_quota):
+            kernel.ipc.msgget(task, IPC_PRIVATE, IPC_CREAT)
+        with pytest.raises(SyscallError) as info:
+            kernel.ipc.msgget(task, IPC_PRIVATE, IPC_CREAT)
+        assert info.value.errno == ENOSPC
+
+    def test_queues_isolated_across_namespaces(self):
+        kernel, sender, receiver = ipc_pair()
+        msqid = kernel.ipc.msgget(sender, 0xAA, IPC_CREAT)
+        with pytest.raises(SyscallError):
+            kernel.ipc.msgsnd(receiver, msqid, 1, "x")
+
+    def test_same_key_different_namespaces_different_queues(self):
+        kernel, sender, receiver = ipc_pair()
+        kernel.ipc.msgget(sender, 0xAA, IPC_CREAT)
+        msqid = kernel.ipc.msgget(receiver, 0xAA, IPC_CREAT)
+        kernel.ipc.msgsnd(receiver, msqid, 1, "mine")
+        assert kernel.ipc.msgrcv(receiver, msqid) == "mine"
+
+
+class TestMsgStatPidLeak:
+    """The §2.1 historical bug: IPC_STAT leaking raw global PIDs."""
+
+    def test_buggy_kernel_reports_global_pid(self):
+        kernel, sender, __ = ipc_pair(BugFlags(msg_stat_global_pid=True))
+        msqid = kernel.ipc.msgget(sender, IPC_PRIVATE, IPC_CREAT)
+        kernel.ipc.msgsnd(sender, msqid, 1, "x")
+        stat = kernel.ipc.msgctl(sender, msqid, IPC_STAT)
+        # The sender's pid in its own (fresh) pid ns is 1; the raw global
+        # pid is larger.
+        assert stat["msg_lspid"] > 1
+
+    def test_fixed_kernel_translates_pid(self):
+        kernel, sender, __ = ipc_pair()
+        msqid = kernel.ipc.msgget(sender, IPC_PRIVATE, IPC_CREAT)
+        kernel.ipc.msgsnd(sender, msqid, 1, "x")
+        stat = kernel.ipc.msgctl(sender, msqid, IPC_STAT)
+        assert stat["msg_lspid"] == sender.pid == 1
+
+    def test_fixed_kernel_reports_zero_for_invisible_task(self):
+        kernel, sender, receiver = ipc_pair()
+        # Same IPC namespace for both, separate PID namespaces.
+        shared = kernel.ipc.msgget(sender, IPC_PRIVATE, IPC_CREAT)
+        kernel.ipc.msgsnd(sender, shared, 1, "x")
+        receiver.nsproxy = receiver.nsproxy.copy_with(
+            {NamespaceType.IPC: sender.nsproxy.get(NamespaceType.IPC)})
+        stat = kernel.ipc.msgctl(receiver, shared, IPC_STAT)
+        assert stat["msg_lspid"] == 0
+
+
+class TestShmSem:
+    def test_shmget_and_stat(self, kernel):
+        task = kernel.spawn_task()
+        shmid = kernel.ipc.shmget(task, 0xCC, 4096, IPC_CREAT)
+        stat = kernel.ipc.shmctl(task, shmid, IPC_STAT)
+        assert stat["shm_segsz"] == 4096
+
+    def test_shmget_zero_size_is_einval(self, kernel):
+        task = kernel.spawn_task()
+        with pytest.raises(SyscallError) as info:
+            kernel.ipc.shmget(task, 0xCC, 0, IPC_CREAT)
+        assert info.value.errno == EINVAL
+
+    def test_shm_rmid(self, kernel):
+        task = kernel.spawn_task()
+        shmid = kernel.ipc.shmget(task, IPC_PRIVATE, 4096, IPC_CREAT)
+        kernel.ipc.shmctl(task, shmid, IPC_RMID)
+        with pytest.raises(SyscallError):
+            kernel.ipc.shmctl(task, shmid, IPC_STAT)
+
+    def test_semget_bounds(self, kernel):
+        task = kernel.spawn_task()
+        assert kernel.ipc.semget(task, IPC_PRIVATE, 4, IPC_CREAT) > 0
+        with pytest.raises(SyscallError):
+            kernel.ipc.semget(task, IPC_PRIVATE, 0, IPC_CREAT)
+        with pytest.raises(SyscallError):
+            kernel.ipc.semget(task, IPC_PRIVATE, 1000, IPC_CREAT)
+
+
+class TestUts:
+    def test_hostname_isolated_after_unshare(self, kernel):
+        task = kernel.spawn_task()
+        kernel.unshare(task, CLONE_NEWUTS)
+        task.nsproxy.get(NamespaceType.UTS).set_hostname("inner")
+        assert kernel.init_nsproxy.get(NamespaceType.UTS).get_hostname() == "kit-vm"
+
+    def test_unshare_copies_current_hostname(self, kernel):
+        task = kernel.spawn_task()
+        kernel.init_nsproxy.get(NamespaceType.UTS).set_hostname("custom")
+        task2 = kernel.spawn_task()
+        kernel.unshare(task2, CLONE_NEWUTS)
+        assert task2.nsproxy.get(NamespaceType.UTS).get_hostname() == "custom"
+
+    def test_hostname_validation(self, kernel):
+        uts = kernel.init_nsproxy.get(NamespaceType.UTS)
+        with pytest.raises(SyscallError):
+            uts.set_hostname("")
+        with pytest.raises(SyscallError):
+            uts.set_hostname("x" * 100)
+
+
+class TestCrypto:
+    def test_alloc_bumps_refcnt_globally(self, kernel):
+        task = kernel.spawn_task()
+        before = kernel.crypto.render_proc_crypto(task)
+        kernel.crypto.crypto_alloc(task, "sha256")
+        after = kernel.crypto.render_proc_crypto(task)
+        assert before != after
+
+    def test_alloc_unknown_algorithm_is_enoent(self, kernel):
+        task = kernel.spawn_task()
+        with pytest.raises(SyscallError) as info:
+            kernel.crypto.crypto_alloc(task, "rot13")
+        assert info.value.errno == ENOENT
+
+    def test_proc_crypto_identical_across_namespaces(self, kernel):
+        task = kernel.spawn_task()
+        kernel.unshare(task, ALL_NAMESPACE_FLAGS)
+        assert kernel.crypto.render_proc_crypto(task) == \
+            kernel.crypto.render_proc_crypto(kernel.init_task)
+
+
+class TestFdTable:
+    def test_first_fd_is_three(self):
+        table = FdTable()
+        assert table.install(FileObject()) == 3
+
+    def test_lowest_free_slot_reused(self):
+        table = FdTable()
+        table.install(FileObject())
+        fd = table.install(FileObject())
+        table.remove(fd)
+        assert table.install(FileObject()) == fd
+
+    def test_bad_fd_is_ebadf(self):
+        table = FdTable()
+        with pytest.raises(SyscallError) as info:
+            table.get(77)
+        assert info.value.errno == EBADF
+
+    def test_non_integer_fd_is_ebadf(self):
+        table = FdTable()
+        with pytest.raises(SyscallError):
+            table.get("nope")
+
+    def test_table_full_is_emfile(self):
+        table = FdTable(max_fds=5)
+        table.install(FileObject())
+        table.install(FileObject())
+        with pytest.raises(SyscallError) as info:
+            table.install(FileObject())
+        assert info.value.errno == EMFILE
+
+    def test_get_as_enforces_type(self):
+        class Special(FileObject):
+            pass
+
+        table = FdTable()
+        fd = table.install(FileObject())
+        with pytest.raises(SyscallError):
+            table.get_as(fd, Special)
+
+
+class TestClock:
+    def test_tick_advances_time(self):
+        clock = VirtualClock()
+        start = clock.now_ns()
+        clock.tick(3)
+        assert clock.now_ns() == start + 3 * TICK_NS
+
+    def test_uptime_independent_of_boot_offset(self):
+        clock = VirtualClock(boot_offset_ns=123)
+        clock.tick(5)
+        assert clock.uptime_ns() == 5 * TICK_NS
+
+    def test_rebase_shifts_now_not_uptime(self):
+        clock = VirtualClock()
+        clock.tick(2)
+        clock.rebase(10**18)
+        assert clock.now_ns() == 10**18 + 2 * TICK_NS
+        assert clock.uptime_ns() == 2 * TICK_NS
+
+
+class TestErrno:
+    def test_known_names(self):
+        assert errno_name(1) == "EPERM"
+        assert errno_name(2) == "ENOENT"
+        assert errno_name(98) == "EADDRINUSE"
+
+    def test_unknown_name(self):
+        assert errno_name(9999) == "E?9999"
+
+    def test_syscall_error_carries_errno(self):
+        error = SyscallError(EIDRM)
+        assert error.errno == EIDRM
+        assert "EIDRM" in str(error)
+
+
+class TestIoUring:
+    def test_read_follows_own_namespace_on_fixed_kernel(self, kernel):
+        task = kernel.spawn_task()
+        open_file = kernel.vfs.open(task, "/tmp/secret", 0o100)
+        kernel.vfs.write_file(task, open_file, "data", 0)
+        assert kernel.iouring.read_path(task, "/tmp/secret", 100) == "data"
+
+    def test_buggy_kernel_escapes_mount_namespace(self):
+        kernel = Kernel(bugs=BugFlags(iouring_wrong_mnt_ns=True))
+        host = kernel.init_task
+        kernel.vfs.write_file(host, kernel.vfs.open(host, "/tmp/host-secret",
+                                                    0o100), "leak", 0)
+        container = kernel.spawn_task()
+        kernel.unshare(container, ALL_NAMESPACE_FLAGS)
+        kernel.vfs.umount(container, "/tmp")
+        assert "host-secret" in kernel.iouring.list_path(container, "/tmp")
+
+    def test_fixed_kernel_respects_umount(self):
+        kernel = Kernel()
+        host = kernel.init_task
+        kernel.vfs.open(host, "/tmp/host-secret", 0o100)
+        container = kernel.spawn_task()
+        kernel.unshare(container, ALL_NAMESPACE_FLAGS)
+        kernel.vfs.umount(container, "/tmp")
+        assert "host-secret" not in kernel.iouring.list_path(container, "/tmp")
+
+    def test_read_of_directory_is_eisdir(self, kernel):
+        task = kernel.spawn_task()
+        with pytest.raises(SyscallError):
+            kernel.iouring.read_path(task, "/tmp", 10)
+
+    def test_list_of_file_is_enotdir(self, kernel):
+        task = kernel.spawn_task()
+        kernel.vfs.open(task, "/tmp/f", 0o100)
+        with pytest.raises(SyscallError):
+            kernel.iouring.list_path(task, "/tmp/f")

@@ -1,0 +1,189 @@
+"""Unit tests for the execution tracer and instrumentation."""
+
+import pytest
+
+from repro.kernel.ktrace import (
+    FUNCTIONS,
+    FuncEnter,
+    FuncExit,
+    FunctionRegistry,
+    InstructionRegistry,
+    KernelTracer,
+    MemAccess,
+    kfunc,
+    walk_with_stack,
+)
+
+
+class Subsystem:
+    """Instrumented test double: outer() calls inner()."""
+
+    def __init__(self, tracer):
+        self.tracer = tracer
+
+    @kfunc
+    def outer(self):
+        self._emit(1)
+        return self.inner()
+
+    @kfunc
+    def inner(self):
+        self._emit(2)
+        return "done"
+
+    @kfunc(instrument=False)
+    def not_instrumented(self):
+        self._emit(3)
+        return "quiet"
+
+    def _emit(self, addr):
+        if self.tracer is not None:
+            self.tracer.on_access(addr, 8, False, ip=addr)
+
+
+class TestFunctionRegistry:
+    def test_ids_are_stable(self):
+        registry = FunctionRegistry()
+        assert registry.register("f") == registry.register("f")
+
+    def test_ids_are_dense(self):
+        registry = FunctionRegistry()
+        assert registry.register("a") == 0
+        assert registry.register("b") == 1
+
+    def test_name_roundtrip(self):
+        registry = FunctionRegistry()
+        fid = registry.register("my_func")
+        assert registry.name_of(fid) == "my_func"
+        assert registry.id_of("my_func") == fid
+
+
+class TestInstructionRegistry:
+    def test_same_location_same_address(self):
+        registry = InstructionRegistry()
+        assert registry.address_for("f.py", 10) == registry.address_for("f.py", 10)
+
+    def test_different_locations_differ(self):
+        registry = InstructionRegistry()
+        assert registry.address_for("f.py", 10) != registry.address_for("f.py", 11)
+
+    def test_location_roundtrip(self):
+        registry = InstructionRegistry()
+        ip = registry.address_for("g.py", 3)
+        assert registry.location_of(ip) == ("g.py", 3)
+
+    def test_addresses_look_like_kernel_text(self):
+        registry = InstructionRegistry()
+        assert registry.address_for("f.py", 1) >= 0xFFFFFFFF81000000
+
+
+class TestKfunc:
+    def test_enter_exit_bracket_the_call(self):
+        tracer = KernelTracer()
+        tracer.start()
+        subsystem = Subsystem(tracer)
+        subsystem.outer()
+        kinds = [type(e).__name__ for e in tracer.entries]
+        assert kinds == ["FuncEnter", "MemAccess", "FuncEnter", "MemAccess",
+                         "FuncExit", "FuncExit"]
+
+    def test_function_ids_registered_at_decoration(self):
+        assert Subsystem.outer.kit_func_id is not None
+        assert FUNCTIONS.name_of(Subsystem.outer.kit_func_id) == "Subsystem.outer"
+
+    def test_uninstrumented_functions_emit_no_brackets(self):
+        tracer = KernelTracer()
+        tracer.start()
+        subsystem = Subsystem(tracer)
+        subsystem.not_instrumented()
+        kinds = [type(e).__name__ for e in tracer.entries]
+        assert kinds == ["MemAccess"]
+        assert Subsystem.not_instrumented.kit_func_id is None
+
+    def test_no_overhead_when_tracer_disabled(self):
+        tracer = KernelTracer()
+        subsystem = Subsystem(tracer)
+        assert subsystem.outer() == "done"
+        assert tracer.entries == []
+
+    def test_works_without_tracer(self):
+        subsystem = Subsystem(None)
+        # _emit guards on None; kfunc must tolerate tracer=None too.
+        assert subsystem.inner() == "done"
+
+
+class TestInterruptContext:
+    def test_accesses_in_interrupt_context_skipped(self):
+        tracer = KernelTracer()
+        tracer.start()
+        with tracer.interrupt_context():
+            tracer.on_access(1, 8, True, ip=1)
+        tracer.on_access(2, 8, True, ip=2)
+        assert len(tracer.entries) == 1
+        assert tracer.entries[0].addr == 2
+
+    def test_interrupt_context_nests(self):
+        tracer = KernelTracer()
+        tracer.start()
+        with tracer.interrupt_context():
+            with tracer.interrupt_context():
+                pass
+            assert not tracer.in_task
+        assert tracer.in_task
+
+    def test_function_brackets_skipped_in_interrupt(self):
+        tracer = KernelTracer()
+        tracer.start()
+        with tracer.interrupt_context():
+            tracer.on_func_enter(0)
+            tracer.on_func_exit(0)
+        assert tracer.entries == []
+
+
+class TestWalkWithStack:
+    def test_stack_recovery(self):
+        tracer = KernelTracer()
+        tracer.start()
+        subsystem = Subsystem(tracer)
+        subsystem.outer()
+        pairs = list(walk_with_stack(tracer.entries))
+        assert len(pairs) == 2
+        outer_id = Subsystem.outer.kit_func_id
+        inner_id = Subsystem.inner.kit_func_id
+        assert pairs[0][1] == (outer_id,)
+        assert pairs[1][1] == (outer_id, inner_id)
+
+    def test_empty_trace(self):
+        assert list(walk_with_stack([])) == []
+
+    def test_access_outside_any_function(self):
+        entries = [MemAccess(1, 8, False, 0)]
+        ((access, stack),) = walk_with_stack(entries)
+        assert stack == ()
+
+    def test_unbalanced_exit_is_tolerated(self):
+        entries = [FuncExit(5), MemAccess(1, 8, False, 0)]
+        ((__, stack),) = walk_with_stack(entries)
+        assert stack == ()
+
+
+class TestTracerLifecycle:
+    def test_drain_clears_buffer(self):
+        tracer = KernelTracer()
+        tracer.start()
+        tracer.on_access(1, 8, False, 0)
+        assert len(tracer.drain()) == 1
+        assert tracer.entries == []
+
+    def test_disabled_records_nothing(self):
+        tracer = KernelTracer()
+        tracer.on_access(1, 8, False, 0)
+        assert tracer.entries == []
+
+    def test_current_stack_tracks_enters(self):
+        tracer = KernelTracer()
+        tracer.start()
+        tracer.on_func_enter(3)
+        assert tracer.current_stack == (3,)
+        tracer.on_func_exit(3)
+        assert tracer.current_stack == ()

@@ -1,0 +1,249 @@
+"""Unit tests for the traced kernel memory arena."""
+
+import pickle
+
+import pytest
+
+from repro.kernel.ktrace import KernelTracer, MemAccess
+from repro.kernel.memory import KCell, KDict, KernelArena, KList, KStruct
+
+
+class Sample(KStruct):
+    FIELDS = {"a": 4, "b": 8, "c": 2}
+
+
+class Untraced(KStruct):
+    FIELDS = {"x": 8}
+    TRACED = False
+
+
+@pytest.fixture
+def arena():
+    return KernelArena()
+
+
+@pytest.fixture
+def traced_arena():
+    arena = KernelArena()
+    tracer = KernelTracer()
+    tracer.start()
+    arena.tracer = tracer
+    return arena, tracer
+
+
+class TestArena:
+    def test_allocations_do_not_overlap(self, arena):
+        first = arena.alloc(40)
+        second = arena.alloc(8)
+        assert second >= first + 40
+
+    def test_allocation_alignment(self, arena):
+        addr = arena.alloc(1)
+        assert addr % 64 == 0
+
+    def test_zero_size_allocation_still_unique(self, arena):
+        assert arena.alloc(0) != arena.alloc(0)
+
+    def test_pickle_drops_tracer(self, traced_arena):
+        arena, tracer = traced_arena
+        clone = pickle.loads(pickle.dumps(arena))
+        assert clone.tracer is None
+
+    def test_pickle_preserves_cursor(self, arena):
+        arena.alloc(128)
+        clone = pickle.loads(pickle.dumps(arena))
+        assert clone.alloc(8) == arena.alloc(8)
+
+
+class TestKStruct:
+    def test_field_offsets_are_aligned(self, arena):
+        sample = Sample(arena)
+        base = sample.base_address
+        assert sample.field_address("a") == base
+        assert sample.field_address("b") == base + 8  # aligned up from 4
+        assert sample.field_address("c") == base + 16
+
+    def test_kget_returns_initial_value(self, arena):
+        sample = Sample(arena, a=42)
+        assert sample.kget("a") == 42
+
+    def test_kset_updates_value(self, arena):
+        sample = Sample(arena)
+        sample.kset("b", 7)
+        assert sample.kget("b") == 7
+
+    def test_unknown_initial_field_rejected(self, arena):
+        with pytest.raises(KeyError):
+            Sample(arena, nope=1)
+
+    def test_kget_records_read(self, traced_arena):
+        arena, tracer = traced_arena
+        sample = Sample(arena)
+        sample.kget("a")
+        (access,) = [e for e in tracer.entries if isinstance(e, MemAccess)]
+        assert not access.is_write
+        assert access.addr == sample.field_address("a")
+        assert access.width == 4
+
+    def test_kset_records_write(self, traced_arena):
+        arena, tracer = traced_arena
+        sample = Sample(arena)
+        sample.kset("c", 1)
+        (access,) = [e for e in tracer.entries if isinstance(e, MemAccess)]
+        assert access.is_write
+        assert access.width == 2
+
+    def test_peek_poke_are_untraced(self, traced_arena):
+        arena, tracer = traced_arena
+        sample = Sample(arena)
+        sample.poke("a", 5)
+        assert sample.peek("a") == 5
+        assert not tracer.entries
+
+    def test_untraced_struct_records_nothing(self, traced_arena):
+        arena, tracer = traced_arena
+        untraced = Untraced(arena)
+        untraced.kset("x", 1)
+        untraced.kget("x")
+        assert not tracer.entries
+
+    def test_instances_have_distinct_addresses(self, arena):
+        assert Sample(arena).base_address != Sample(arena).base_address
+
+    def test_instruction_addresses_differ_by_site(self, traced_arena):
+        arena, tracer = traced_arena
+        sample = Sample(arena)
+        sample.kget("a")  # site 1
+        sample.kget("a")  # site 2
+        first, second = [e for e in tracer.entries if isinstance(e, MemAccess)]
+        assert first.addr == second.addr
+        assert first.ip != second.ip
+
+    def test_same_site_has_stable_instruction_address(self, traced_arena):
+        arena, tracer = traced_arena
+        sample = Sample(arena)
+        for __ in range(2):
+            sample.kget("a")
+        first, second = [e for e in tracer.entries if isinstance(e, MemAccess)]
+        assert first.ip == second.ip
+
+
+class TestKCell:
+    def test_get_set_roundtrip(self, arena):
+        cell = KCell(arena, 4, init=3)
+        assert cell.get() == 3
+        cell.set(9)
+        assert cell.get() == 9
+
+    def test_add_is_read_modify_write(self, traced_arena):
+        arena, tracer = traced_arena
+        cell = KCell(arena)
+        cell.add(5)
+        accesses = [e for e in tracer.entries if isinstance(e, MemAccess)]
+        assert [a.is_write for a in accesses] == [False, True]
+        assert cell.peek() == 5
+
+    def test_depth_credits_callers_site(self, traced_arena):
+        arena, tracer = traced_arena
+        cell = KCell(arena)
+
+        def helper():
+            return cell.get(depth=3)
+
+        def outer_site_one():
+            return helper()
+
+        def outer_site_two():
+            return helper()
+
+        outer_site_one()
+        outer_site_two()
+        first, second = [e for e in tracer.entries if isinstance(e, MemAccess)]
+        assert first.ip != second.ip
+
+    def test_pickle_roundtrip(self, arena):
+        cell = KCell(arena, 8, init=11)
+        clone = pickle.loads(pickle.dumps(cell))
+        assert clone.peek() == 11
+        assert clone.address == cell.address
+
+
+class TestKList:
+    def test_append_and_iterate(self, arena):
+        klist = KList(arena)
+        klist.append("x")
+        klist.append("y")
+        assert list(klist) == ["x", "y"]
+
+    def test_append_writes_header(self, traced_arena):
+        arena, tracer = traced_arena
+        klist = KList(arena)
+        klist.append(1)
+        (access,) = [e for e in tracer.entries if isinstance(e, MemAccess)]
+        assert access.is_write and access.addr == klist.address
+
+    def test_iteration_reads_header(self, traced_arena):
+        arena, tracer = traced_arena
+        klist = KList(arena)
+        for __ in klist:
+            pass
+        (access,) = [e for e in tracer.entries if isinstance(e, MemAccess)]
+        assert not access.is_write
+
+    def test_remove(self, arena):
+        klist = KList(arena)
+        klist.append("a")
+        klist.remove("a")
+        assert klist.peek_items() == []
+
+    def test_pop_front_is_fifo_and_writes(self, traced_arena):
+        arena, tracer = traced_arena
+        klist = KList(arena)
+        klist.append(1)
+        klist.append(2)
+        tracer.reset()
+        assert klist.pop_front() == 1
+        (access,) = [e for e in tracer.entries if isinstance(e, MemAccess)]
+        assert access.is_write
+
+    def test_len_is_traced_read(self, traced_arena):
+        arena, tracer = traced_arena
+        klist = KList(arena)
+        assert len(klist) == 0
+        (access,) = [e for e in tracer.entries if isinstance(e, MemAccess)]
+        assert not access.is_write
+
+
+class TestKDict:
+    def test_insert_lookup_delete(self, arena):
+        kdict = KDict(arena)
+        kdict.insert("k", 1)
+        assert kdict.lookup("k") == 1
+        kdict.delete("k")
+        assert kdict.lookup("k") is None
+
+    def test_lookup_default(self, arena):
+        kdict = KDict(arena)
+        assert kdict.lookup("missing", default=-1) == -1
+
+    def test_contains_and_len(self, arena):
+        kdict = KDict(arena)
+        kdict.insert(1, "a")
+        assert 1 in kdict
+        assert len(kdict) == 1
+
+    def test_mutation_writes_lookup_reads(self, traced_arena):
+        arena, tracer = traced_arena
+        kdict = KDict(arena)
+        kdict.insert("k", 1)
+        kdict.lookup("k")
+        accesses = [e for e in tracer.entries if isinstance(e, MemAccess)]
+        assert [a.is_write for a in accesses] == [True, False]
+        assert all(a.addr == kdict.address for a in accesses)
+
+    def test_values_and_iteration(self, arena):
+        kdict = KDict(arena)
+        kdict.insert("a", 1)
+        kdict.insert("b", 2)
+        assert sorted(kdict.values()) == [1, 2]
+        assert sorted(kdict) == ["a", "b"]

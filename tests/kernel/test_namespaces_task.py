@@ -1,0 +1,182 @@
+"""Unit tests for namespaces, tasks, PID hierarchy, and priorities."""
+
+import pytest
+
+from repro.kernel import Kernel, fixed_kernel, known_bug_kernel
+from repro.kernel.errno import ESRCH, SyscallError
+from repro.kernel.namespaces import (
+    ALL_NAMESPACE_FLAGS,
+    CLONE_NEWNET,
+    CLONE_NEWPID,
+    CLONE_NEWUTS,
+    ISOLATED_RESOURCE,
+    NamespaceType,
+    NsProxy,
+    flags_to_types,
+)
+from repro.kernel.task import PRIO_PROCESS, PRIO_USER, PidNamespace
+
+
+class TestFlags:
+    def test_each_type_has_a_flag(self):
+        assert set(flags_to_types(ALL_NAMESPACE_FLAGS)) == set(NamespaceType)
+
+    def test_single_flag_decodes(self):
+        assert flags_to_types(CLONE_NEWNET) == [NamespaceType.NET]
+
+    def test_zero_decodes_empty(self):
+        assert flags_to_types(0) == []
+
+    def test_table1_covers_all_eight_types(self):
+        # Paper Table 1: eight namespace types, each isolating a resource.
+        assert len(ISOLATED_RESOURCE) == 8
+        assert ISOLATED_RESOURCE[NamespaceType.NET] == "Network stack"
+
+
+class TestNsProxy:
+    def test_requires_all_types(self, kernel_fixed):
+        proxy = kernel_fixed.init_nsproxy
+        with pytest.raises(ValueError):
+            NsProxy({NamespaceType.NET: proxy.get(NamespaceType.NET)})
+
+    def test_copy_with_replaces_only_given(self, kernel_fixed):
+        kernel = kernel_fixed
+        task = kernel.spawn_task()
+        before = task.nsproxy
+        kernel.unshare(task, CLONE_NEWUTS)
+        after = task.nsproxy
+        assert not after.shares_with(before, NamespaceType.UTS)
+        assert after.shares_with(before, NamespaceType.NET)
+        assert after.types_differing_from(before) == [NamespaceType.UTS]
+
+
+class TestUnshare:
+    def test_unshare_zero_flags_is_einval(self, kernel_fixed):
+        task = kernel_fixed.spawn_task()
+        with pytest.raises(SyscallError):
+            kernel_fixed.unshare(task, 0)
+
+    def test_unshare_all_creates_fresh_instances(self, kernel_fixed):
+        task = kernel_fixed.spawn_task()
+        kernel_fixed.unshare(task, ALL_NAMESPACE_FLAGS)
+        for ns_type in NamespaceType:
+            assert not task.nsproxy.shares_with(kernel_fixed.init_nsproxy, ns_type)
+
+    def test_new_netns_gets_loopback(self, kernel_fixed):
+        task = kernel_fixed.spawn_task()
+        kernel_fixed.unshare(task, CLONE_NEWNET)
+        net_ns = task.nsproxy.get(NamespaceType.NET)
+        assert net_ns.devices.lookup("lo") is not None
+
+    def test_namespace_inums_are_unique(self, kernel_fixed):
+        task_a = kernel_fixed.spawn_task()
+        task_b = kernel_fixed.spawn_task()
+        kernel_fixed.unshare(task_a, CLONE_NEWNET)
+        kernel_fixed.unshare(task_b, CLONE_NEWNET)
+        inum_a = task_a.nsproxy.get(NamespaceType.NET).inum
+        inum_b = task_b.nsproxy.get(NamespaceType.NET).inum
+        assert inum_a != inum_b
+
+    def test_registry_tracks_instances(self, kernel_fixed):
+        before = len(list(kernel_fixed.namespaces.live(NamespaceType.NET)))
+        task = kernel_fixed.spawn_task()
+        kernel_fixed.unshare(task, CLONE_NEWNET)
+        after = len(list(kernel_fixed.namespaces.live(NamespaceType.NET)))
+        assert after == before + 1
+
+
+class TestPidNamespaces:
+    def test_init_task_is_pid_1(self, kernel_fixed):
+        assert kernel_fixed.init_task.pid == 1
+
+    def test_pids_sequential_within_namespace(self, kernel_fixed):
+        task_a = kernel_fixed.spawn_task()
+        task_b = kernel_fixed.spawn_task()
+        assert task_b.pid == task_a.pid + 1
+
+    def test_child_namespace_restarts_numbering(self, kernel_fixed):
+        task = kernel_fixed.spawn_task()
+        kernel_fixed.unshare(task, CLONE_NEWPID)
+        assert task.pid == 1  # first pid in the fresh namespace
+
+    def test_task_visible_in_ancestor_namespaces(self, kernel_fixed):
+        task = kernel_fixed.spawn_task()
+        init_pid = task.pid
+        kernel_fixed.unshare(task, CLONE_NEWPID)
+        init_ns = kernel_fixed.init_task.pid_ns
+        assert task.vpid_in(init_ns) == init_pid
+
+    def test_task_invisible_in_sibling_namespace(self, kernel_fixed):
+        task_a = kernel_fixed.spawn_task()
+        task_b = kernel_fixed.spawn_task()
+        kernel_fixed.unshare(task_a, CLONE_NEWPID)
+        kernel_fixed.unshare(task_b, CLONE_NEWPID)
+        assert task_a.vpid_in(task_b.pid_ns) is None
+
+    def test_ancestry_levels(self, kernel_fixed):
+        task = kernel_fixed.spawn_task()
+        kernel_fixed.unshare(task, CLONE_NEWPID)
+        chain = task.pid_ns.ancestry()
+        assert len(chain) == 2
+        assert chain[0].peek("level") == 1
+        assert chain[1].peek("level") == 0
+
+    def test_find_in_ns(self, kernel_fixed):
+        task = kernel_fixed.spawn_task()
+        found = kernel_fixed.tasks.find_in_ns(task.pid_ns, task.pid)
+        assert found is task
+
+    def test_detach_removes_from_all_levels(self, kernel_fixed):
+        task = kernel_fixed.spawn_task()
+        kernel_fixed.unshare(task, CLONE_NEWPID)
+        kernel_fixed.tasks.detach(task)
+        assert kernel_fixed.tasks.find_in_ns(kernel_fixed.init_task.pid_ns,
+                                             task.pid_numbers[kernel_fixed.init_task.pid_ns]) is None
+        assert task.exited
+
+
+class TestPriorities:
+    def _kernel_pair(self, bugs):
+        kernel = Kernel(bugs=bugs)
+        sender = kernel.spawn_task(comm="sender")
+        receiver = kernel.spawn_task(comm="receiver")
+        kernel.unshare(sender, CLONE_NEWPID)
+        kernel.unshare(receiver, CLONE_NEWPID)
+        return kernel, sender, receiver
+
+    def test_setpriority_own_process(self, kernel_fixed):
+        task = kernel_fixed.spawn_task()
+        kernel_fixed.sched.sys_setpriority(task, PRIO_PROCESS, 0, 5)
+        assert kernel_fixed.sched.sys_getpriority(task, PRIO_PROCESS, 0) == 15
+
+    def test_getpriority_returns_20_minus_nice(self, kernel_fixed):
+        task = kernel_fixed.spawn_task()
+        assert kernel_fixed.sched.sys_getpriority(task, PRIO_PROCESS, 0) == 20
+
+    def test_setpriority_clamps_to_range(self, kernel_fixed):
+        task = kernel_fixed.spawn_task()
+        kernel_fixed.sched.sys_setpriority(task, PRIO_PROCESS, 0, 99)
+        assert kernel_fixed.sched.sys_getpriority(task, PRIO_PROCESS, 0) == 1
+
+    def test_unknown_pid_is_esrch(self, kernel_fixed):
+        task = kernel_fixed.spawn_task()
+        with pytest.raises(SyscallError) as info:
+            kernel_fixed.sched.sys_getpriority(task, PRIO_PROCESS, 9999)
+        assert info.value.errno == ESRCH
+
+    def test_bug_a_prio_user_crosses_pid_namespaces(self):
+        kernel, sender, receiver = self._kernel_pair(known_bug_kernel("A"))
+        kernel.sched.sys_setpriority(sender, PRIO_USER, 0, 10)
+        assert kernel.sched.sys_getpriority(receiver, PRIO_PROCESS, 0) == 10
+
+    def test_fixed_kernel_prio_user_stays_in_namespace(self):
+        kernel, sender, receiver = self._kernel_pair(fixed_kernel())
+        kernel.sched.sys_setpriority(sender, PRIO_USER, 0, 10)
+        assert kernel.sched.sys_getpriority(receiver, PRIO_PROCESS, 0) == 20
+
+    def test_prio_user_respects_uid(self):
+        kernel = Kernel(bugs=known_bug_kernel("A"))
+        sender = kernel.spawn_task(uid=1000)
+        other = kernel.spawn_task(uid=2000)
+        kernel.sched.sys_setpriority(sender, PRIO_USER, 0, 10)
+        assert kernel.sched.sys_getpriority(other, PRIO_PROCESS, 0) == 20

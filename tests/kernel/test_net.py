@@ -1,0 +1,530 @@
+"""Unit tests for the socket layer and the per-bug network subsystems.
+
+Each Table-2 bug gets a buggy-vs-fixed pair of tests asserting both the
+interference on the vulnerable kernel and its absence after the patch.
+"""
+
+import pytest
+
+from repro.kernel import Kernel, fixed_kernel, known_bug_kernel, linux_5_13
+from repro.kernel.errno import (
+    EADDRINUSE,
+    EAGAIN,
+    ECONNREFUSED,
+    EINVAL,
+    ENOENT,
+    ENOTCONN,
+    EPERM,
+    EPROTONOSUPPORT,
+    SyscallError,
+)
+from repro.kernel.namespaces import CLONE_NEWNET, NamespaceType
+from repro.kernel.net.flowlabel import FL_SHARE_ANY, FL_SHARE_EXCL
+from repro.kernel.net.packet import ETH_P_ALL
+from repro.kernel.net.socket import (
+    AF_INET,
+    AF_INET6,
+    AF_NETLINK,
+    AF_PACKET,
+    AF_RDS,
+    AF_UNIX,
+    IPPROTO_SCTP,
+    IPPROTO_TCP,
+    IPPROTO_UDP,
+    NETLINK_KOBJECT_UEVENT,
+    SOCK_DGRAM,
+    SOCK_RAW,
+    SOCK_SEQPACKET,
+    SOCK_STREAM,
+)
+
+ADDR = 0x0A000001
+
+
+def make_pair(bugs):
+    """Kernel plus two tasks in sibling net namespaces."""
+    kernel = Kernel(bugs=bugs)
+    sender = kernel.spawn_task(comm="s")
+    receiver = kernel.spawn_task(comm="r")
+    kernel.unshare(sender, CLONE_NEWNET)
+    kernel.unshare(receiver, CLONE_NEWNET)
+    return kernel, sender, receiver
+
+
+def netns(task):
+    return task.nsproxy.get(NamespaceType.NET)
+
+
+def sock(kernel, task, family, sock_type, proto=0):
+    return kernel.net.socket_create(task, family, sock_type, proto)
+
+
+class TestSocketCreation:
+    def test_unknown_family_is_einval(self):
+        kernel, sender, __ = make_pair(fixed_kernel())
+        with pytest.raises(SyscallError) as info:
+            sock(kernel, sender, 99, SOCK_STREAM)
+        assert info.value.errno == EINVAL
+
+    def test_rds_requires_seqpacket(self):
+        kernel, sender, __ = make_pair(fixed_kernel())
+        with pytest.raises(SyscallError) as info:
+            sock(kernel, sender, AF_RDS, SOCK_STREAM)
+        assert info.value.errno == EPROTONOSUPPORT
+
+    def test_resource_kinds(self):
+        kernel, sender, __ = make_pair(fixed_kernel())
+        cases = [
+            ((AF_INET, SOCK_STREAM, IPPROTO_TCP), "sock_tcp"),
+            ((AF_INET, SOCK_DGRAM, IPPROTO_UDP), "sock_udp"),
+            ((AF_INET6, SOCK_DGRAM, 0), "sock_udp6"),
+            ((AF_PACKET, SOCK_RAW, ETH_P_ALL), "sock_packet"),
+            ((AF_RDS, SOCK_SEQPACKET, 0), "sock_rds"),
+            ((AF_UNIX, SOCK_STREAM, 0), "sock_unix"),
+            ((AF_INET, SOCK_STREAM, IPPROTO_SCTP), "sock_sctp"),
+            ((AF_NETLINK, SOCK_DGRAM, NETLINK_KOBJECT_UEVENT),
+             "sock_netlink_uevent"),
+        ]
+        for triple, expected in cases:
+            assert sock(kernel, sender, *triple).resource_kind == expected
+
+    def test_release_decrements_counters(self):
+        kernel, sender, __ = make_pair(fixed_kernel())
+        socket = sock(kernel, sender, AF_INET, SOCK_STREAM, IPPROTO_TCP)
+        ns = netns(sender)
+        assert ns.sockets_used.peek() == 1
+        kernel.net.release(socket)
+        assert ns.sockets_used.peek() == 0
+
+
+class TestBindConnect:
+    def test_bind_conflict_within_namespace(self):
+        kernel, sender, __ = make_pair(fixed_kernel())
+        first = sock(kernel, sender, AF_INET, SOCK_STREAM, IPPROTO_TCP)
+        second = sock(kernel, sender, AF_INET, SOCK_STREAM, IPPROTO_TCP)
+        kernel.net.bind(sender, first, ADDR, 80)
+        with pytest.raises(SyscallError) as info:
+            kernel.net.bind(sender, second, ADDR, 80)
+        assert info.value.errno == EADDRINUSE
+
+    def test_inet_bind_is_per_namespace(self):
+        kernel, sender, receiver = make_pair(fixed_kernel())
+        kernel.net.bind(sender, sock(kernel, sender, AF_INET, SOCK_STREAM,
+                                     IPPROTO_TCP), ADDR, 80)
+        kernel.net.bind(receiver, sock(kernel, receiver, AF_INET, SOCK_STREAM,
+                                       IPPROTO_TCP), ADDR, 80)
+
+    def test_tcp_connect_needs_listener(self):
+        kernel, sender, __ = make_pair(fixed_kernel())
+        client = sock(kernel, sender, AF_INET, SOCK_STREAM, IPPROTO_TCP)
+        with pytest.raises(SyscallError) as info:
+            kernel.net.connect(sender, client, ADDR, 80)
+        assert info.value.errno == ECONNREFUSED
+
+    def test_tcp_connect_to_listener_succeeds(self):
+        kernel, sender, __ = make_pair(fixed_kernel())
+        server = sock(kernel, sender, AF_INET, SOCK_STREAM, IPPROTO_TCP)
+        kernel.net.bind(sender, server, ADDR, 80)
+        kernel.net.listen(sender, server)
+        client = sock(kernel, sender, AF_INET, SOCK_STREAM, IPPROTO_TCP)
+        assert kernel.net.connect(sender, client, ADDR, 80) == 0
+
+    def test_listener_in_other_namespace_invisible(self):
+        kernel, sender, receiver = make_pair(fixed_kernel())
+        server = sock(kernel, sender, AF_INET, SOCK_STREAM, IPPROTO_TCP)
+        kernel.net.bind(sender, server, ADDR, 80)
+        kernel.net.listen(sender, server)
+        client = sock(kernel, receiver, AF_INET, SOCK_STREAM, IPPROTO_TCP)
+        with pytest.raises(SyscallError):
+            kernel.net.connect(receiver, client, ADDR, 80)
+
+    def test_listen_unbound_is_einval(self):
+        kernel, sender, __ = make_pair(fixed_kernel())
+        socket = sock(kernel, sender, AF_INET, SOCK_STREAM, IPPROTO_TCP)
+        with pytest.raises(SyscallError) as info:
+            kernel.net.listen(sender, socket)
+        assert info.value.errno == EINVAL
+
+    def test_stream_sendto_unconnected_is_enotconn(self):
+        kernel, sender, __ = make_pair(fixed_kernel())
+        socket = sock(kernel, sender, AF_INET, SOCK_STREAM, IPPROTO_TCP)
+        with pytest.raises(SyscallError) as info:
+            kernel.net.sendto(sender, socket, 10, ADDR, 80)
+        assert info.value.errno == ENOTCONN
+
+
+class TestUdpDelivery:
+    def test_dgram_delivery_within_namespace(self):
+        kernel, sender, __ = make_pair(fixed_kernel())
+        rx = sock(kernel, sender, AF_INET, SOCK_DGRAM, IPPROTO_UDP)
+        kernel.net.bind(sender, rx, ADDR, 9000)
+        tx = sock(kernel, sender, AF_INET, SOCK_DGRAM, IPPROTO_UDP)
+        kernel.net.sendto(sender, tx, 5, ADDR, 9000)
+        assert kernel.net.recvfrom(sender, rx, 100) == "xxxxx"
+
+    def test_empty_queue_is_eagain(self):
+        kernel, sender, __ = make_pair(fixed_kernel())
+        rx = sock(kernel, sender, AF_INET, SOCK_DGRAM, IPPROTO_UDP)
+        with pytest.raises(SyscallError) as info:
+            kernel.net.recvfrom(sender, rx, 100)
+        assert info.value.errno == EAGAIN
+
+    def test_no_cross_namespace_delivery(self):
+        kernel, sender, receiver = make_pair(fixed_kernel())
+        rx = sock(kernel, receiver, AF_INET, SOCK_DGRAM, IPPROTO_UDP)
+        kernel.net.bind(receiver, rx, ADDR, 9000)
+        tx = sock(kernel, sender, AF_INET, SOCK_DGRAM, IPPROTO_UDP)
+        kernel.net.sendto(sender, tx, 5, ADDR, 9000)
+        with pytest.raises(SyscallError):
+            kernel.net.recvfrom(receiver, rx, 100)
+
+    def test_sendto_creates_conntrack_entry(self):
+        kernel, sender, __ = make_pair(fixed_kernel())
+        tx = sock(kernel, sender, AF_INET, SOCK_DGRAM, IPPROTO_UDP)
+        kernel.net.sendto(sender, tx, 5, ADDR, 9000)
+        assert any(e.proto == "udp"
+                   for e in kernel.conntrack.entries.peek_items())
+
+
+class TestBug1Ptype:
+    def test_buggy_kernel_leaks_packet_sockets(self):
+        kernel, sender, receiver = make_pair(linux_5_13())
+        sock(kernel, sender, AF_PACKET, SOCK_RAW, ETH_P_ALL)
+        content = kernel.ptype.render_proc_ptype(receiver, netns(receiver))
+        assert "packet_rcv" in content
+
+    def test_fixed_kernel_hides_foreign_packet_sockets(self):
+        kernel, sender, receiver = make_pair(fixed_kernel())
+        sock(kernel, sender, AF_PACKET, SOCK_RAW, ETH_P_ALL)
+        content = kernel.ptype.render_proc_ptype(receiver, netns(receiver))
+        assert "packet_rcv" not in content
+
+    def test_own_packet_socket_always_visible(self):
+        kernel, sender, __ = make_pair(fixed_kernel())
+        sock(kernel, sender, AF_PACKET, SOCK_RAW, ETH_P_ALL)
+        content = kernel.ptype.render_proc_ptype(sender, netns(sender))
+        assert "packet_rcv" in content
+
+    def test_builtin_handlers_visible_everywhere(self):
+        kernel, __, receiver = make_pair(fixed_kernel())
+        content = kernel.ptype.render_proc_ptype(receiver, netns(receiver))
+        assert "ip_rcv" in content
+
+    def test_close_unregisters_handler(self):
+        kernel, sender, receiver = make_pair(linux_5_13())
+        socket = sock(kernel, sender, AF_PACKET, SOCK_RAW, ETH_P_ALL)
+        kernel.net.release(socket)
+        content = kernel.ptype.render_proc_ptype(receiver, netns(receiver))
+        assert "packet_rcv" not in content
+
+
+class TestBug2And4FlowLabels:
+    def _register_exclusive(self, kernel, task, label=0xBEEF):
+        socket = sock(kernel, task, AF_INET6, SOCK_DGRAM)
+        kernel.net.setsockopt(task, socket, 41, 32, label, FL_SHARE_EXCL)
+
+    def _labelled_socket(self, kernel, task, label=0xCAFE):
+        socket = sock(kernel, task, AF_INET6, SOCK_DGRAM)
+        kernel.net.setsockopt(task, socket, 41, 33, label, 0)
+        return socket
+
+    def test_lenient_mode_allows_any_label(self):
+        kernel, __, receiver = make_pair(linux_5_13())
+        socket = self._labelled_socket(kernel, receiver)
+        assert kernel.net.sendto(receiver, socket, 10, ADDR, 80) == 10
+
+    def test_bug2_sender_flips_receiver_to_strict_send(self):
+        kernel, sender, receiver = make_pair(linux_5_13())
+        self._register_exclusive(kernel, sender)
+        socket = self._labelled_socket(kernel, receiver)
+        with pytest.raises(SyscallError) as info:
+            kernel.net.sendto(receiver, socket, 10, ADDR, 80)
+        assert info.value.errno == EPERM
+
+    def test_bug4_sender_flips_receiver_to_strict_connect(self):
+        kernel, sender, receiver = make_pair(linux_5_13())
+        self._register_exclusive(kernel, sender)
+        socket = self._labelled_socket(kernel, receiver)
+        with pytest.raises(SyscallError) as info:
+            kernel.net.connect(receiver, socket, ADDR, 80)
+        assert info.value.errno == EPERM
+
+    def test_fixed_kernel_strict_mode_is_per_namespace(self):
+        kernel, sender, receiver = make_pair(fixed_kernel())
+        self._register_exclusive(kernel, sender)
+        socket = self._labelled_socket(kernel, receiver)
+        assert kernel.net.sendto(receiver, socket, 10, ADDR, 80) == 10
+
+    def test_strict_mode_accepts_registered_label(self):
+        kernel, sender, __ = make_pair(fixed_kernel())
+        self._register_exclusive(kernel, sender, label=0xBEEF)
+        socket = sock(kernel, sender, AF_INET6, SOCK_DGRAM)
+        kernel.net.setsockopt(sender, socket, 41, 33, 0xBEEF, 0)
+        assert kernel.net.sendto(sender, socket, 10, ADDR, 80) == 10
+
+    def test_exclusive_label_collision_is_eexist(self):
+        kernel, sender, __ = make_pair(fixed_kernel())
+        self._register_exclusive(kernel, sender, label=0xBEEF)
+        with pytest.raises(SyscallError):
+            self._register_exclusive(kernel, sender, label=0xBEEF)
+
+    def test_release_restores_lenient_mode(self):
+        kernel, sender, receiver = make_pair(linux_5_13())
+        self._register_exclusive(kernel, sender, label=0xBEEF)
+        kernel.flowlabel.fl_release(sender, netns(sender), 0xBEEF)
+        socket = self._labelled_socket(kernel, receiver)
+        assert kernel.net.sendto(receiver, socket, 10, ADDR, 80) == 10
+
+    def test_label_zero_is_reserved(self):
+        kernel, sender, __ = make_pair(fixed_kernel())
+        socket = sock(kernel, sender, AF_INET6, SOCK_DGRAM)
+        with pytest.raises(SyscallError) as info:
+            kernel.net.setsockopt(sender, socket, 41, 32, 0, FL_SHARE_EXCL)
+        assert info.value.errno == EINVAL
+
+    def test_shared_label_does_not_flip_strict_mode(self):
+        kernel, sender, receiver = make_pair(linux_5_13())
+        socket = sock(kernel, sender, AF_INET6, SOCK_DGRAM)
+        kernel.net.setsockopt(sender, socket, 41, 32, 0xBEEF, FL_SHARE_ANY)
+        labelled = self._labelled_socket(kernel, receiver)
+        assert kernel.net.sendto(receiver, labelled, 10, ADDR, 80) == 10
+
+
+class TestBug3Rds:
+    def test_buggy_kernel_bind_collides_across_namespaces(self):
+        kernel, sender, receiver = make_pair(linux_5_13())
+        kernel.net.bind(sender, sock(kernel, sender, AF_RDS, SOCK_SEQPACKET),
+                        ADDR, 4000)
+        with pytest.raises(SyscallError) as info:
+            kernel.net.bind(receiver, sock(kernel, receiver, AF_RDS,
+                                           SOCK_SEQPACKET), ADDR, 4000)
+        assert info.value.errno == EADDRINUSE
+
+    def test_fixed_kernel_binds_are_per_namespace(self):
+        kernel, sender, receiver = make_pair(fixed_kernel())
+        kernel.net.bind(sender, sock(kernel, sender, AF_RDS, SOCK_SEQPACKET),
+                        ADDR, 4000)
+        kernel.net.bind(receiver, sock(kernel, receiver, AF_RDS, SOCK_SEQPACKET),
+                        ADDR, 4000)
+
+    def test_rds_release_frees_the_slot(self):
+        kernel, sender, receiver = make_pair(linux_5_13())
+        socket = sock(kernel, sender, AF_RDS, SOCK_SEQPACKET)
+        kernel.net.bind(sender, socket, ADDR, 4000)
+        kernel.net.release(socket)
+        kernel.net.bind(receiver, sock(kernel, receiver, AF_RDS, SOCK_SEQPACKET),
+                        ADDR, 4000)
+
+    def test_rds_bind_port_zero_is_einval(self):
+        kernel, sender, __ = make_pair(fixed_kernel())
+        with pytest.raises(SyscallError) as info:
+            kernel.net.bind(sender, sock(kernel, sender, AF_RDS, SOCK_SEQPACKET),
+                            ADDR, 0)
+        assert info.value.errno == EINVAL
+
+
+class TestBug6Cookies:
+    def _cookie(self, kernel, task):
+        socket = sock(kernel, task, AF_INET, SOCK_STREAM, IPPROTO_TCP)
+        return kernel.net.getsockopt(task, socket, 1, 57)
+
+    def test_buggy_kernel_shares_cookie_space(self):
+        kernel, sender, receiver = make_pair(linux_5_13())
+        assert self._cookie(kernel, sender) == 1
+        assert self._cookie(kernel, receiver) == 2
+
+    def test_fixed_kernel_cookie_space_per_namespace(self):
+        kernel, sender, receiver = make_pair(fixed_kernel())
+        assert self._cookie(kernel, sender) == 1
+        assert self._cookie(kernel, receiver) == 1
+
+    def test_cookie_is_stable_per_socket(self):
+        kernel, sender, __ = make_pair(linux_5_13())
+        socket = sock(kernel, sender, AF_INET, SOCK_STREAM, IPPROTO_TCP)
+        first = kernel.net.getsockopt(sender, socket, 1, 57)
+        second = kernel.net.getsockopt(sender, socket, 1, 57)
+        assert first == second
+
+
+class TestBug7Sctp:
+    def _assoc(self, kernel, task):
+        socket = sock(kernel, task, AF_INET, SOCK_STREAM, IPPROTO_SCTP)
+        kernel.net.connect(task, socket, ADDR, 80)
+        return kernel.net.getsockopt(task, socket, 132, 1)
+
+    def test_buggy_kernel_shares_assoc_id_space(self):
+        kernel, sender, receiver = make_pair(linux_5_13())
+        assert self._assoc(kernel, sender) == 1
+        assert self._assoc(kernel, receiver) == 2
+
+    def test_fixed_kernel_assoc_ids_per_namespace(self):
+        kernel, sender, receiver = make_pair(fixed_kernel())
+        assert self._assoc(kernel, sender) == 1
+        assert self._assoc(kernel, receiver) == 1
+
+    def test_assoc_id_before_connect_is_enotconn(self):
+        kernel, sender, __ = make_pair(fixed_kernel())
+        socket = sock(kernel, sender, AF_INET, SOCK_STREAM, IPPROTO_SCTP)
+        with pytest.raises(SyscallError) as info:
+            kernel.net.getsockopt(sender, socket, 132, 1)
+        assert info.value.errno == ENOTCONN
+
+
+class TestBugs8And9ProtoMem:
+    def _send(self, kernel, task):
+        socket = sock(kernel, task, AF_INET, SOCK_DGRAM, IPPROTO_UDP)
+        kernel.net.sendto(task, socket, 100, ADDR, 80)
+
+    def test_buggy_kernel_mem_counter_leaks_in_sockstat(self):
+        kernel, sender, receiver = make_pair(linux_5_13())
+        self._send(kernel, sender)
+        # 2 pages: one at socket allocation, one for the transmit buffer.
+        content = kernel.net.render_sockstat(receiver, netns(receiver))
+        assert "UDP: inuse 0 mem 2" in content
+
+    def test_buggy_kernel_mem_counter_leaks_in_protocols(self):
+        kernel, sender, receiver = make_pair(linux_5_13())
+        self._send(kernel, sender)
+        content = kernel.net.render_protocols(receiver, netns(receiver))
+        udp_line = [l for l in content.splitlines() if l.startswith("UDP")][0]
+        assert udp_line.split()[-1] == "2"
+
+    def test_fixed_kernel_mem_counters_are_per_namespace(self):
+        kernel, sender, receiver = make_pair(fixed_kernel())
+        self._send(kernel, sender)
+        content = kernel.net.render_sockstat(receiver, netns(receiver))
+        assert "UDP: inuse 0 mem 0" in content
+
+
+class TestKnownBugBUevents:
+    def test_buggy_kernel_broadcasts_queue_uevents(self):
+        kernel, sender, receiver = make_pair(known_bug_kernel("B"))
+        listener = sock(kernel, receiver, AF_NETLINK, SOCK_DGRAM,
+                        NETLINK_KOBJECT_UEVENT)
+        kernel.netdev.register_netdev(sender, netns(sender), "veth0")
+        message = kernel.net.recvfrom(receiver, listener, 512)
+        assert "queues/rx-0" in message
+
+    def test_fixed_kernel_queue_uevents_stay_local(self):
+        kernel, sender, receiver = make_pair(fixed_kernel())
+        listener = sock(kernel, receiver, AF_NETLINK, SOCK_DGRAM,
+                        NETLINK_KOBJECT_UEVENT)
+        kernel.netdev.register_netdev(sender, netns(sender), "veth0")
+        with pytest.raises(SyscallError) as info:
+            kernel.net.recvfrom(receiver, listener, 512)
+        assert info.value.errno == EAGAIN
+
+    def test_device_uevent_always_delivered_locally(self):
+        kernel, sender, __ = make_pair(fixed_kernel())
+        listener = sock(kernel, sender, AF_NETLINK, SOCK_DGRAM,
+                        NETLINK_KOBJECT_UEVENT)
+        kernel.netdev.register_netdev(sender, netns(sender), "veth0")
+        message = kernel.net.recvfrom(sender, listener, 512)
+        assert message == "add@/devices/virtual/net/veth0"
+
+    def test_duplicate_device_name_is_eexist(self):
+        kernel, sender, __ = make_pair(fixed_kernel())
+        kernel.netdev.register_netdev(sender, netns(sender), "veth0")
+        with pytest.raises(SyscallError):
+            kernel.netdev.register_netdev(sender, netns(sender), "veth0")
+
+    def test_ifindex_allocated_per_namespace(self):
+        kernel, sender, receiver = make_pair(fixed_kernel())
+        first = kernel.netdev.register_netdev(sender, netns(sender), "veth0")
+        second = kernel.netdev.register_netdev(receiver, netns(receiver), "veth0")
+        assert first == second  # both are ifindex 2, after loopback
+
+
+class TestKnownBugCIpvs:
+    def test_buggy_kernel_dumps_foreign_services(self):
+        kernel, sender, receiver = make_pair(known_bug_kernel("C"))
+        kernel.ipvs.add_service(sender, netns(sender), ADDR, 80)
+        content = kernel.ipvs.render_proc_ip_vs(receiver, netns(receiver))
+        assert "0A000001:0050" in content
+
+    def test_fixed_kernel_filters_by_namespace(self):
+        kernel, sender, receiver = make_pair(fixed_kernel())
+        kernel.ipvs.add_service(sender, netns(sender), ADDR, 80)
+        content = kernel.ipvs.render_proc_ip_vs(receiver, netns(receiver))
+        assert "0A000001:0050" not in content
+
+    def test_duplicate_service_is_eexist(self):
+        kernel, sender, __ = make_pair(fixed_kernel())
+        kernel.ipvs.add_service(sender, netns(sender), ADDR, 80)
+        with pytest.raises(SyscallError):
+            kernel.ipvs.add_service(sender, netns(sender), ADDR, 80)
+
+
+class TestKnownBugDConntrackMax:
+    def test_buggy_kernel_sysctl_is_global(self):
+        kernel, sender, receiver = make_pair(known_bug_kernel("D"))
+        kernel.conntrack.sysctl_write_max(sender, netns(sender), 999)
+        assert kernel.conntrack.sysctl_read_max(receiver, netns(receiver)) == 999
+
+    def test_fixed_kernel_sysctl_is_per_namespace(self):
+        kernel, sender, receiver = make_pair(fixed_kernel())
+        kernel.conntrack.sysctl_write_max(sender, netns(sender), 999)
+        assert kernel.conntrack.sysctl_read_max(receiver, netns(receiver)) == 65536
+
+
+class TestKnownBugFConntrackDump:
+    def test_buggy_kernel_dumps_foreign_entries(self):
+        kernel, sender, receiver = make_pair(known_bug_kernel("F"))
+        kernel.conntrack.track(netns(sender), "udp", 1234, 53)
+        content = kernel.conntrack.render_proc_conntrack(receiver,
+                                                         netns(receiver))
+        assert "sport=1234" in content
+
+    def test_fixed_kernel_dumps_own_entries_only(self):
+        kernel, sender, receiver = make_pair(fixed_kernel())
+        kernel.conntrack.track(netns(sender), "udp", 1234, 53)
+        content = kernel.conntrack.render_proc_conntrack(receiver,
+                                                         netns(receiver))
+        assert "sport=1234" not in content
+
+    def test_timeout_column_ticks_down(self):
+        kernel, sender, __ = make_pair(fixed_kernel())
+        kernel.conntrack.track(netns(sender), "udp", 1234, 53)
+        before = kernel.conntrack.render_proc_conntrack(sender, netns(sender))
+        kernel.clock.tick(10_000)  # 10 virtual seconds
+        after = kernel.conntrack.render_proc_conntrack(sender, netns(sender))
+        assert before != after
+
+    def test_background_churn_depends_on_boot_offset(self):
+        from repro.kernel.clock import DEFAULT_BOOT_NS
+
+        counts = []
+        for offset in (0, 1, 2):
+            kernel = Kernel(bugs=known_bug_kernel("F"))
+            kernel.clock.rebase(DEFAULT_BOOT_NS + offset * 1_000_000_000)
+            kernel.timer_tick()
+            counts.append(len(kernel.conntrack.entries.peek_items()))
+        assert len(set(counts)) > 1
+
+
+class TestKnownBugGUnixDiag:
+    def test_buggy_kernel_matches_foreign_sockets(self):
+        kernel, sender, receiver = make_pair(known_bug_kernel("G"))
+        socket = sock(kernel, sender, AF_UNIX, SOCK_STREAM)
+        result = kernel.net.unix_diag_by_ino(receiver, socket.unix_ino)
+        assert result["udiag_ino"] == socket.unix_ino
+
+    def test_fixed_kernel_rejects_foreign_sockets(self):
+        kernel, sender, receiver = make_pair(fixed_kernel())
+        socket = sock(kernel, sender, AF_UNIX, SOCK_STREAM)
+        with pytest.raises(SyscallError) as info:
+            kernel.net.unix_diag_by_ino(receiver, socket.unix_ino)
+        assert info.value.errno == ENOENT
+
+    def test_inode_numbers_are_not_guessable_small_ints(self):
+        kernel, sender, __ = make_pair(fixed_kernel())
+        socket = sock(kernel, sender, AF_UNIX, SOCK_STREAM)
+        assert socket.unix_ino > 1_000_000
+
+    def test_proc_net_unix_lists_own_namespace_only(self):
+        kernel, sender, receiver = make_pair(fixed_kernel())
+        socket = sock(kernel, sender, AF_UNIX, SOCK_STREAM)
+        own = kernel.net.render_proc_unix(sender, netns(sender))
+        other = kernel.net.render_proc_unix(receiver, netns(receiver))
+        assert str(socket.unix_ino) in own
+        assert str(socket.unix_ino) not in other

@@ -1,0 +1,248 @@
+"""Tests for the extended syscall surface: POSIX mqueues, nsfs/setns,
+accept/getsockname, dup."""
+
+import pytest
+
+from repro.corpus.program import prog
+from repro.kernel import Kernel
+from repro.kernel.errno import (
+    EAGAIN,
+    EEXIST,
+    EINVAL,
+    ENOMSG,
+    ENOSPC,
+    SyscallError,
+)
+from repro.kernel.ipc import IPC_CREAT, IPC_EXCL, MqFile
+from repro.kernel.namespaces import (
+    ALL_NAMESPACE_FLAGS,
+    CLONE_NEWIPC,
+    CLONE_NEWNET,
+    CLONE_NEWUTS,
+    NamespaceType,
+)
+from repro.kernel.nsfs import NsFile, ns_path_type, open_ns_file
+from repro.vm.executor import Executor
+
+
+@pytest.fixture
+def kernel():
+    return Kernel()
+
+
+@pytest.fixture
+def task(kernel):
+    return kernel.spawn_task()
+
+
+def run(kernel, task, program):
+    return Executor(kernel, task).run(program)
+
+
+class TestPosixMqueues:
+    def test_open_create_send_receive(self, kernel, task):
+        mq = kernel.ipc.mq_open(task, "/q", IPC_CREAT)
+        kernel.ipc.mq_send(task, mq, "hello", 0)
+        assert kernel.ipc.mq_receive(task, mq) == "hello"
+
+    def test_priority_ordering(self, kernel, task):
+        mq = kernel.ipc.mq_open(task, "/q", IPC_CREAT)
+        kernel.ipc.mq_send(task, mq, "low", 0)
+        kernel.ipc.mq_send(task, mq, "high", 9)
+        assert kernel.ipc.mq_receive(task, mq) == "high"
+
+    def test_open_missing_without_create_fails(self, kernel, task):
+        with pytest.raises(SyscallError) as info:
+            kernel.ipc.mq_open(task, "/missing", 0)
+        assert info.value.errno == ENOMSG
+
+    def test_excl_on_existing_fails(self, kernel, task):
+        kernel.ipc.mq_open(task, "/q", IPC_CREAT)
+        with pytest.raises(SyscallError) as info:
+            kernel.ipc.mq_open(task, "/q", IPC_CREAT | IPC_EXCL)
+        assert info.value.errno == EEXIST
+
+    def test_bad_name_rejected(self, kernel, task):
+        with pytest.raises(SyscallError) as info:
+            kernel.ipc.mq_open(task, "noslash", IPC_CREAT)
+        assert info.value.errno == EINVAL
+
+    def test_queue_full_is_enospc(self, kernel, task):
+        mq = kernel.ipc.mq_open(task, "/q", IPC_CREAT)
+        for i in range(mq.queue.peek("maxmsg")):
+            kernel.ipc.mq_send(task, mq, str(i), 0)
+        with pytest.raises(SyscallError) as info:
+            kernel.ipc.mq_send(task, mq, "overflow", 0)
+        assert info.value.errno == ENOSPC
+
+    def test_receive_empty_is_enomsg(self, kernel, task):
+        mq = kernel.ipc.mq_open(task, "/q", IPC_CREAT)
+        with pytest.raises(SyscallError):
+            kernel.ipc.mq_receive(task, mq)
+
+    def test_unlink_removes_name(self, kernel, task):
+        kernel.ipc.mq_open(task, "/q", IPC_CREAT)
+        kernel.ipc.mq_unlink(task, "/q")
+        with pytest.raises(SyscallError):
+            kernel.ipc.mq_open(task, "/q", 0)
+
+    def test_names_isolated_per_ipc_namespace(self, kernel):
+        first = kernel.spawn_task()
+        second = kernel.spawn_task()
+        kernel.unshare(first, CLONE_NEWIPC)
+        kernel.unshare(second, CLONE_NEWIPC)
+        mq = kernel.ipc.mq_open(first, "/shared-name", IPC_CREAT)
+        kernel.ipc.mq_send(first, mq, "secret", 0)
+        other = kernel.ipc.mq_open(second, "/shared-name", IPC_CREAT)
+        with pytest.raises(SyscallError):
+            kernel.ipc.mq_receive(second, other)
+
+    def test_mq_syscall_surface(self, kernel, task):
+        result = run(kernel, task, prog(
+            ("mq_open", "/kitq", IPC_CREAT),
+            ("mq_send", "r0", "ping", 1),
+            ("mq_receive", "r0"),
+            ("mq_unlink", "/kitq"),
+        ))
+        assert all(record.ok for record in result.live_records())
+        assert result.records[2].details["data"] == "ping"
+        assert result.records[0].ret_kind == "fd_mqueue"
+
+
+class TestNsfs:
+    def test_path_type_mapping(self):
+        assert ns_path_type("/proc/self/ns/net") == NamespaceType.NET
+        assert ns_path_type("/proc/self/ns/uts") == NamespaceType.UTS
+        with pytest.raises(SyscallError):
+            ns_path_type("/proc/self/ns/bogus")
+
+    def test_open_captures_current_instance(self, kernel, task):
+        ns_file = open_ns_file(task, "/proc/self/ns/net")
+        assert ns_file.namespace is task.nsproxy.get(NamespaceType.NET)
+        assert ns_file.resource_kind == "fd_ns"
+        assert "net:[" in ns_file.describe()
+
+    def test_save_unshare_restore(self, kernel, task):
+        result = run(kernel, task, prog(
+            ("open", "/proc/self/ns/net", 0),
+            ("unshare", CLONE_NEWNET),
+            ("setns", "r0", 0),
+        ))
+        assert all(record.ok for record in result.live_records())
+        assert task.nsproxy.get(NamespaceType.NET) is \
+            kernel.init_nsproxy.get(NamespaceType.NET)
+
+    def test_setns_hostname_follows(self, kernel, task):
+        result = run(kernel, task, prog(
+            ("open", "/proc/self/ns/uts", 0),
+            ("unshare", CLONE_NEWUTS),
+            ("sethostname", "inner"),
+            ("setns", "r0", 0),
+            ("gethostname",),
+        ))
+        assert result.records[4].details["name"] == "kit-vm"
+
+    def test_setns_pid_namespace_rejected(self, kernel, task):
+        result = run(kernel, task, prog(
+            ("open", "/proc/self/ns/pid", 0),
+            ("setns", "r0", 0),
+        ))
+        assert result.records[1].errno == EINVAL
+
+    def test_setns_on_regular_fd_rejected(self, kernel, task):
+        result = run(kernel, task, prog(
+            ("open", "/etc/hostname", 0),
+            ("setns", "r0", 0),
+        ))
+        assert result.records[1].errno == EINVAL
+
+    def test_ns_fd_keeps_instance_referenced(self, kernel, task):
+        ns_file = open_ns_file(task, "/proc/self/ns/net")
+        kernel.unshare(task, CLONE_NEWNET)
+        assert ns_file.namespace is not task.nsproxy.get(NamespaceType.NET)
+
+
+class TestAcceptAndFriends:
+    def _listener(self, kernel, task):
+        server = kernel.net.socket_create(task, 2, 1, 6)
+        kernel.net.bind(task, server, 0x0A000001, 80)
+        kernel.net.listen(task, server)
+        return server
+
+    def test_accept_returns_connected_socket(self, kernel, task):
+        server = self._listener(kernel, task)
+        client = kernel.net.socket_create(task, 2, 1, 6)
+        kernel.net.connect(task, client, 0x0A000001, 80)
+        child = kernel.net.accept(task, server)
+        assert child.connected is not None
+
+    def test_accept_empty_queue_is_eagain(self, kernel, task):
+        server = self._listener(kernel, task)
+        with pytest.raises(SyscallError) as info:
+            kernel.net.accept(task, server)
+        assert info.value.errno == EAGAIN
+
+    def test_accept_non_listener_is_einval(self, kernel, task):
+        sock = kernel.net.socket_create(task, 2, 1, 6)
+        with pytest.raises(SyscallError):
+            kernel.net.accept(task, sock)
+
+    def test_accept_fifo_order(self, kernel, task):
+        server = self._listener(kernel, task)
+        for __ in range(2):
+            client = kernel.net.socket_create(task, 2, 1, 6)
+            kernel.net.connect(task, client, 0x0A000001, 80)
+        kernel.net.accept(task, server)
+        kernel.net.accept(task, server)
+        with pytest.raises(SyscallError):
+            kernel.net.accept(task, server)
+
+    def test_getsockname(self, kernel, task):
+        result = run(kernel, task, prog(
+            ("socket", 2, 1, 6),
+            ("bind", "r0", 0x0A000001, 80),
+            ("getsockname", "r0"),
+        ))
+        assert result.records[2].details == {"addr": 0x0A000001, "port": 80}
+
+    def test_getsockname_unbound(self, kernel, task):
+        result = run(kernel, task, prog(
+            ("socket", 2, 1, 6),
+            ("getsockname", "r0"),
+        ))
+        assert result.records[1].details == {"addr": 0, "port": 0}
+
+
+class TestDup:
+    def test_dup_shares_the_open_file(self, kernel, task):
+        result = run(kernel, task, prog(
+            ("open", "/etc/hostname", 0),
+            ("dup", "r0"),
+            ("read", "r0", 3),
+            ("read", "r1", 100),
+        ))
+        # The dup'd fd shares the offset: the second read continues.
+        assert result.records[2].details["data"] == "kit"
+        assert result.records[3].details["data"] == "-vm\n"
+
+    def test_close_one_dup_keeps_state(self, kernel, task):
+        result = run(kernel, task, prog(
+            ("socket", 17, 3, 3),        # packet socket (registers ptype)
+            ("dup", "r0"),
+            ("close", "r0"),
+            ("open", "/proc/net/ptype", 0),
+            ("pread64", "r3", 4096, 0),
+        ))
+        # One reference remains: the handler must still be registered.
+        assert "packet_rcv" in result.records[4].details["data"]
+
+    def test_closing_last_dup_releases(self, kernel, task):
+        result = run(kernel, task, prog(
+            ("socket", 17, 3, 3),
+            ("dup", "r0"),
+            ("close", "r0"),
+            ("close", "r1"),
+            ("open", "/proc/net/ptype", 0),
+            ("pread64", "r4", 4096, 0),
+        ))
+        assert "packet_rcv" not in result.records[5].details["data"]

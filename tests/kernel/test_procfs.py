@@ -1,0 +1,133 @@
+"""Unit tests for procfs rendering and sysctl writes."""
+
+import pytest
+
+from repro.kernel import Kernel, linux_5_13
+from repro.kernel.errno import EACCES, EINVAL, SyscallError
+from repro.kernel.namespaces import CLONE_NEWNET, CLONE_NEWUTS, NamespaceType
+
+
+@pytest.fixture
+def kernel():
+    return Kernel()
+
+
+@pytest.fixture
+def task(kernel):
+    return kernel.spawn_task()
+
+
+class TestLayout:
+    def test_root_listing(self, kernel, task):
+        assert "net" in kernel.procfs.list_dir("")
+        assert "crypto" in kernel.procfs.list_dir("")
+
+    def test_net_listing(self, kernel):
+        names = kernel.procfs.list_dir("net")
+        for expected in ("ptype", "sockstat", "protocols", "ip_vs",
+                         "nf_conntrack", "unix", "dev"):
+            assert expected in names
+
+    def test_unknown_dir_lists_empty(self, kernel):
+        assert kernel.procfs.list_dir("bogus") == []
+
+    def test_lookup_creates_inode_once(self, kernel, task):
+        mount, __ = kernel.vfs.resolve(task, "/proc")
+        first = kernel.procfs.lookup(mount.sb, "net/ptype")
+        second = kernel.procfs.lookup(mount.sb, "net/ptype")
+        assert first is second
+
+    def test_lookup_unknown_returns_none(self, kernel, task):
+        mount, __ = kernel.vfs.resolve(task, "/proc")
+        assert kernel.procfs.lookup(mount.sb, "net/bogus") is None
+
+
+class TestRendering:
+    def test_version_mentions_kernel_version(self, kernel, task):
+        assert "5.13" in kernel.procfs.render(task, "version")
+
+    def test_uptime_advances_with_clock(self, kernel, task):
+        before = kernel.procfs.render(task, "uptime")
+        kernel.clock.tick(10_000)
+        after = kernel.procfs.render(task, "uptime")
+        assert before != after
+
+    def test_meminfo_total_is_stable_free_varies(self, kernel, task):
+        before = kernel.procfs.render(task, "meminfo")
+        kernel.clock.tick(10_000)
+        after = kernel.procfs.render(task, "meminfo")
+        assert before.splitlines()[0] == after.splitlines()[0]
+        assert before.splitlines()[1] != after.splitlines()[1]
+
+    def test_hostname_follows_uts_namespace(self, kernel):
+        task = kernel.spawn_task()
+        kernel.unshare(task, CLONE_NEWUTS)
+        uts = task.nsproxy.get(NamespaceType.UTS)
+        uts.set_hostname("inside")
+        assert kernel.procfs.render(task, "sys/kernel/hostname") == "inside\n"
+        assert kernel.procfs.render(kernel.init_task,
+                                    "sys/kernel/hostname") == "kit-vm\n"
+
+    def test_net_files_render_for_reader_namespace(self, kernel):
+        task = kernel.spawn_task()
+        kernel.unshare(task, CLONE_NEWNET)
+        content = kernel.procfs.render(task, "net/dev")
+        assert "lo" in content
+
+    def test_unknown_key_is_einval(self, kernel, task):
+        with pytest.raises(SyscallError) as info:
+            kernel.procfs.render(task, "nonsense")
+        assert info.value.errno == EINVAL
+
+
+class TestWrites:
+    def test_write_conntrack_max(self, kernel, task):
+        kernel.procfs.write(task, "sys/net/netfilter/nf_conntrack_max", "1234\n")
+        assert kernel.procfs.render(
+            task, "sys/net/netfilter/nf_conntrack_max") == "1234\n"
+
+    def test_write_conntrack_max_garbage_is_einval(self, kernel, task):
+        with pytest.raises(SyscallError) as info:
+            kernel.procfs.write(task, "sys/net/netfilter/nf_conntrack_max", "abc")
+        assert info.value.errno == EINVAL
+
+    def test_write_hostname(self, kernel, task):
+        kernel.procfs.write(task, "sys/kernel/hostname", "newname\n")
+        assert kernel.procfs.render(task, "sys/kernel/hostname") == "newname\n"
+
+    def test_write_readonly_file_is_eacces(self, kernel, task):
+        with pytest.raises(SyscallError) as info:
+            kernel.procfs.write(task, "crypto", "x")
+        assert info.value.errno == EACCES
+
+
+class TestSockstatIsolation:
+    """The sockstat counters: buggy kernel leaks, fixed kernel isolates."""
+
+    def _setup(self, bugs):
+        kernel = Kernel(bugs=bugs)
+        sender = kernel.spawn_task(comm="s")
+        receiver = kernel.spawn_task(comm="r")
+        kernel.unshare(sender, CLONE_NEWNET)
+        kernel.unshare(receiver, CLONE_NEWNET)
+        return kernel, sender, receiver
+
+    def test_buggy_used_counter_leaks(self):
+        kernel, sender, receiver = self._setup(linux_5_13())
+        kernel.syscall(sender, "socket", [2, 1, 6])
+        content = kernel.procfs.render(receiver, "net/sockstat")
+        assert "sockets: used 1" in content
+
+    def test_fixed_used_counter_is_per_namespace(self):
+        from repro.kernel import fixed_kernel
+
+        kernel, sender, receiver = self._setup(fixed_kernel())
+        kernel.syscall(sender, "socket", [2, 1, 6])
+        content = kernel.procfs.render(receiver, "net/sockstat")
+        assert "sockets: used 0" in content
+
+    def test_inuse_is_always_per_namespace(self):
+        kernel, sender, receiver = self._setup(linux_5_13())
+        kernel.syscall(sender, "socket", [2, 1, 6])
+        content = kernel.procfs.render(receiver, "net/sockstat")
+        assert "TCP: inuse 0" in content

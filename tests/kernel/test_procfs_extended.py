@@ -1,0 +1,144 @@
+"""Tests for the extended procfs surface: per-pid status, sysvipc, net/tcp."""
+
+import pytest
+
+from repro.corpus.program import prog
+from repro.kernel import Kernel
+from repro.kernel.errno import EINVAL, SyscallError
+from repro.kernel.ipc import IPC_CREAT
+from repro.kernel.namespaces import (
+    CLONE_NEWIPC,
+    CLONE_NEWNET,
+    CLONE_NEWPID,
+    NamespaceType,
+)
+from repro.vm.executor import Executor
+
+
+@pytest.fixture
+def kernel():
+    return Kernel()
+
+
+class TestProcStatus:
+    def test_self_status_basic_fields(self, kernel):
+        task = kernel.spawn_task(comm="probe", uid=1000)
+        content = kernel.procfs.render(task, "self/status")
+        assert "Name:\tprobe" in content
+        assert f"Pid:\t{task.pid}" in content
+        assert "Uid:\t1000" in content
+
+    def test_status_by_pid_in_own_namespace(self, kernel):
+        reader = kernel.spawn_task(comm="reader")
+        target = kernel.spawn_task(comm="target")
+        content = kernel.procfs.render(reader, f"{target.pid}/status")
+        assert "Name:\ttarget" in content
+
+    def test_invisible_pid_rejected(self, kernel):
+        reader = kernel.spawn_task()
+        hidden = kernel.spawn_task(comm="hidden")
+        kernel.unshare(reader, CLONE_NEWPID)
+        kernel.unshare(hidden, CLONE_NEWPID)
+        # In reader's fresh pid ns only the reader itself (pid 1) exists.
+        with pytest.raises(SyscallError):
+            kernel.procfs.render(reader, "2/status")
+
+    def test_pid_translated_into_reader_namespace(self, kernel):
+        parent_reader = kernel.init_task
+        child = kernel.spawn_task(comm="child")
+        global_pid = child.pid
+        kernel.unshare(child, CLONE_NEWPID)
+        # From the init namespace the child keeps its outer pid...
+        outer = kernel.procfs.render(parent_reader, f"{global_pid}/status")
+        assert f"Pid:\t{global_pid}" in outer
+        # ...while its own view says pid 1.
+        own = kernel.procfs.render(child, "self/status")
+        assert "Pid:\t1" in own
+
+    def test_nspid_shows_namespace_chain(self, kernel):
+        child = kernel.spawn_task(comm="child")
+        global_pid = child.pid
+        kernel.unshare(child, CLONE_NEWPID)
+        content = kernel.procfs.render(kernel.init_task,
+                                       f"{global_pid}/status")
+        assert f"NSpid:\t{global_pid} 1" in content
+
+    def test_proc_root_lists_visible_pids(self, kernel):
+        reader = kernel.spawn_task()
+        kernel.unshare(reader, CLONE_NEWPID)
+        names = kernel.procfs.list_dir("", reader)
+        assert "1" in names          # the reader itself
+        assert "2" not in names      # nobody else in the fresh ns
+
+    def test_getdents_on_proc_root_includes_pids(self, kernel):
+        task = kernel.spawn_task()
+        result = Executor(kernel, task).run(prog(
+            ("open", "/proc", 0o200000),
+            ("getdents64", "r0"),
+        ))
+        entries = result.records[1].details["entries"]
+        assert str(task.pid) in entries
+        assert "net" in entries
+
+
+class TestProcSelfNs:
+    def test_readable_ns_links(self, kernel):
+        task = kernel.spawn_task()
+        content = kernel.procfs.render(task, "self/ns/net")
+        net_ns = task.nsproxy.get(NamespaceType.NET)
+        assert content == f"net:[{net_ns.inum}]\n"
+
+    def test_ns_link_changes_after_unshare(self, kernel):
+        task = kernel.spawn_task()
+        before = kernel.procfs.render(task, "self/ns/net")
+        kernel.unshare(task, CLONE_NEWNET)
+        after = kernel.procfs.render(task, "self/ns/net")
+        assert before != after
+
+    def test_ns_dir_lists_all_types(self, kernel):
+        names = kernel.procfs.list_dir("self/ns")
+        assert len(names) == 8
+
+
+class TestSysvipcProc:
+    def test_lists_own_namespace_queues(self, kernel):
+        task = kernel.spawn_task()
+        msqid = kernel.ipc.msgget(task, 0xAA, IPC_CREAT)
+        content = kernel.procfs.render(task, "sysvipc/msg")
+        assert str(msqid) in content
+
+    def test_does_not_list_foreign_queues(self, kernel):
+        owner = kernel.spawn_task()
+        reader = kernel.spawn_task()
+        kernel.unshare(owner, CLONE_NEWIPC)
+        kernel.unshare(reader, CLONE_NEWIPC)
+        msqid = kernel.ipc.msgget(owner, 0xAA, IPC_CREAT)
+        content = kernel.procfs.render(reader, "sysvipc/msg")
+        assert str(msqid) not in content.split("\n", 1)[1]
+
+
+class TestProcNetSockets:
+    def test_bound_tcp_socket_listed(self, kernel):
+        task = kernel.spawn_task()
+        sock = kernel.net.socket_create(task, 2, 1, 6)
+        kernel.net.bind(task, sock, 0x0A000001, 80)
+        kernel.net.listen(task, sock)
+        content = kernel.procfs.render(task, "net/tcp")
+        assert "0A000001:0050 0A" in content
+
+    def test_udp_and_tcp_separated(self, kernel):
+        task = kernel.spawn_task()
+        udp = kernel.net.socket_create(task, 2, 2, 17)
+        kernel.net.bind(task, udp, 0x0A000001, 53)
+        assert "0035" in kernel.procfs.render(task, "net/udp")
+        assert "0035" not in kernel.procfs.render(task, "net/tcp")
+
+    def test_foreign_namespace_sockets_invisible(self, kernel):
+        owner = kernel.spawn_task()
+        reader = kernel.spawn_task()
+        kernel.unshare(owner, CLONE_NEWNET)
+        kernel.unshare(reader, CLONE_NEWNET)
+        sock = kernel.net.socket_create(owner, 2, 1, 6)
+        kernel.net.bind(owner, sock, 0x0A000001, 80)
+        content = kernel.procfs.render(reader, "net/tcp")
+        assert "0A000001:0050" not in content

@@ -1,0 +1,160 @@
+"""Tests for rtnetlink request/response and the extended IPC operations."""
+
+import pytest
+
+from repro.corpus.program import prog
+from repro.kernel import Kernel, fixed_kernel, known_bug_kernel
+from repro.kernel.errno import (
+    EAGAIN,
+    EINVAL,
+    ENODEV,
+    EOPNOTSUPP,
+    EPERM,
+    ERANGE,
+    SyscallError,
+)
+from repro.kernel.ipc import IPC_CREAT, IPC_PRIVATE, IPC_STAT
+from repro.kernel.namespaces import CLONE_NEWNET, NamespaceType
+from repro.kernel.net.rtnetlink import RTM_DELLINK, RTM_GETLINK, RTM_NEWLINK
+from repro.kernel.net.socket import AF_NETLINK, NETLINK_ROUTE, SOCK_RAW
+from repro.vm.executor import Executor
+
+
+@pytest.fixture
+def kernel():
+    return Kernel()
+
+
+@pytest.fixture
+def task(kernel):
+    return kernel.spawn_task()
+
+
+def route_socket(kernel, task):
+    return kernel.net.socket_create(task, AF_NETLINK, SOCK_RAW, NETLINK_ROUTE)
+
+
+class TestRtnetlink:
+    def test_getlink_dumps_namespace_devices(self, kernel, task):
+        sock = route_socket(kernel, task)
+        queued = kernel.rtnetlink.request(task, sock, RTM_GETLINK, "")
+        assert queued == 2  # loopback + NLMSG_DONE
+        assert "name=lo" in kernel.net.recvfrom(task, sock, 512)
+        assert kernel.net.recvfrom(task, sock, 512) == "NLMSG_DONE"
+
+    def test_newlink_creates_device_and_acks(self, kernel, task):
+        sock = route_socket(kernel, task)
+        kernel.rtnetlink.request(task, sock, RTM_NEWLINK, "veth0")
+        reply = kernel.net.recvfrom(task, sock, 512)
+        assert reply.startswith("RTM_NEWLINK")
+        ns = task.nsproxy.get(NamespaceType.NET)
+        assert ns.devices.lookup("veth0") is not None
+
+    def test_dellink_removes_and_emits_remove_uevent(self, kernel, task):
+        sock = route_socket(kernel, task)
+        kernel.rtnetlink.request(task, sock, RTM_NEWLINK, "veth0")
+        kernel.rtnetlink.request(task, sock, RTM_DELLINK, "veth0")
+        ns = task.nsproxy.get(NamespaceType.NET)
+        assert ns.devices.lookup("veth0") is None
+        assert "remove@/devices/virtual/net/veth0" in \
+            ns.uevent_queue.peek_items()
+
+    def test_dellink_loopback_rejected(self, kernel, task):
+        sock = route_socket(kernel, task)
+        with pytest.raises(SyscallError) as info:
+            kernel.rtnetlink.request(task, sock, RTM_DELLINK, "lo")
+        assert info.value.errno == EINVAL
+
+    def test_dellink_missing_is_enodev(self, kernel, task):
+        sock = route_socket(kernel, task)
+        with pytest.raises(SyscallError) as info:
+            kernel.rtnetlink.request(task, sock, RTM_DELLINK, "ghost")
+        assert info.value.errno == ENODEV
+
+    def test_dellink_requires_cap(self, kernel):
+        user = kernel.spawn_task(uid=1000)
+        sock = route_socket(kernel, user)
+        with pytest.raises(SyscallError) as info:
+            kernel.rtnetlink.request(user, sock, RTM_DELLINK, "veth0")
+        assert info.value.errno == EPERM
+
+    def test_unknown_message_is_eopnotsupp(self, kernel, task):
+        sock = route_socket(kernel, task)
+        with pytest.raises(SyscallError) as info:
+            kernel.rtnetlink.request(task, sock, 99, "")
+        assert info.value.errno == EOPNOTSUPP
+
+    def test_dump_is_per_namespace(self, kernel):
+        owner = kernel.spawn_task()
+        reader = kernel.spawn_task()
+        kernel.unshare(owner, CLONE_NEWNET)
+        kernel.unshare(reader, CLONE_NEWNET)
+        owner_sock = route_socket(kernel, owner)
+        kernel.rtnetlink.request(owner, owner_sock, RTM_NEWLINK, "veth0")
+        reader_sock = route_socket(kernel, reader)
+        kernel.rtnetlink.request(reader, reader_sock, RTM_GETLINK, "")
+        replies = []
+        while True:
+            try:
+                replies.append(kernel.net.recvfrom(reader, reader_sock, 512))
+            except SyscallError:
+                break
+        assert not any("veth0" in reply for reply in replies)
+
+    def test_syscall_surface(self, kernel, task):
+        result = Executor(kernel, task).run(prog(
+            ("socket", AF_NETLINK, SOCK_RAW, NETLINK_ROUTE),
+            ("nl_request", "r0", RTM_GETLINK, ""),
+            ("recvfrom", "r0", 512),
+        ))
+        assert result.records[0].ret_kind == "sock_netlink_route"
+        assert "name=lo" in result.records[2].details["data"]
+
+    def test_nl_request_on_wrong_socket_is_einval(self, kernel, task):
+        result = Executor(kernel, task).run(prog(
+            ("socket", 2, 1, 6),
+            ("nl_request", "r0", RTM_GETLINK, ""),
+        ))
+        assert result.records[1].errno == EINVAL
+
+
+class TestSemop:
+    def test_increment_and_decrement(self, kernel, task):
+        semid = kernel.ipc.semget(task, IPC_PRIVATE, 2, IPC_CREAT)
+        kernel.ipc.semop(task, semid, 0, 2)
+        kernel.ipc.semop(task, semid, 0, -1)
+        ns = task.nsproxy.get(NamespaceType.IPC)
+        assert ns.sem_sets.lookup(semid).values[0] == 1
+
+    def test_would_block_is_eagain(self, kernel, task):
+        semid = kernel.ipc.semget(task, IPC_PRIVATE, 1, IPC_CREAT)
+        with pytest.raises(SyscallError) as info:
+            kernel.ipc.semop(task, semid, 0, -1)
+        assert info.value.errno == EAGAIN
+
+    def test_bad_semnum_is_erange(self, kernel, task):
+        semid = kernel.ipc.semget(task, IPC_PRIVATE, 1, IPC_CREAT)
+        with pytest.raises(SyscallError) as info:
+            kernel.ipc.semop(task, semid, 5, 1)
+        assert info.value.errno == ERANGE
+
+    def test_bad_semid_is_einval(self, kernel, task):
+        with pytest.raises(SyscallError):
+            kernel.ipc.semop(task, 999, 0, 1)
+
+
+class TestShmAttach:
+    def test_attach_detach_counts(self, kernel, task):
+        shmid = kernel.ipc.shmget(task, IPC_PRIVATE, 4096, IPC_CREAT)
+        kernel.ipc.shmat(task, shmid)
+        kernel.ipc.shmat(task, shmid)
+        stat = kernel.ipc.shmctl(task, shmid, IPC_STAT)
+        assert stat["shm_nattch"] == 2
+        kernel.ipc.shmdt(task, shmid)
+        stat = kernel.ipc.shmctl(task, shmid, IPC_STAT)
+        assert stat["shm_nattch"] == 1
+
+    def test_detach_unattached_is_einval(self, kernel, task):
+        shmid = kernel.ipc.shmget(task, IPC_PRIVATE, 4096, IPC_CREAT)
+        with pytest.raises(SyscallError):
+            kernel.ipc.shmdt(task, shmid)

@@ -1,0 +1,248 @@
+"""Unit tests for the VFS: mounts, namespaces, IO, device numbers."""
+
+import pytest
+
+from repro.kernel import Kernel
+from repro.kernel.errno import (
+    EBUSY,
+    EEXIST,
+    EINVAL,
+    EISDIR,
+    ENOENT,
+    ENOTDIR,
+    EROFS,
+    SyscallError,
+)
+from repro.kernel.namespaces import CLONE_NEWNS, NamespaceType
+from repro.kernel.vfs import O_CREAT, O_DIRECTORY, O_EXCL, O_RDONLY, normalize_path
+
+
+@pytest.fixture
+def kernel():
+    return Kernel()
+
+
+@pytest.fixture
+def task(kernel):
+    return kernel.spawn_task()
+
+
+class TestNormalizePath:
+    def test_collapses_duplicate_slashes(self):
+        assert normalize_path("//tmp///f0") == "/tmp/f0"
+
+    def test_strips_trailing_slash(self):
+        assert normalize_path("/tmp/") == "/tmp"
+
+    def test_drops_dot_segments(self):
+        assert normalize_path("/tmp/./f0") == "/tmp/f0"
+
+    def test_relative_path_rejected(self):
+        with pytest.raises(SyscallError) as info:
+            normalize_path("tmp/f0")
+        assert info.value.errno == ENOENT
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(SyscallError):
+            normalize_path("")
+
+
+class TestLookupAndOpen:
+    def test_boot_filesystem_layout(self, kernel, task):
+        for path in ("/", "/tmp", "/etc", "/proc", "/etc/hostname"):
+            mount, inode, __ = kernel.vfs.lookup(task, path)
+            assert inode is not None
+
+    def test_missing_file_is_enoent(self, kernel, task):
+        with pytest.raises(SyscallError) as info:
+            kernel.vfs.lookup(task, "/tmp/nothing")
+        assert info.value.errno == ENOENT
+
+    def test_open_creat_creates(self, kernel, task):
+        open_file = kernel.vfs.open(task, "/tmp/new", O_CREAT)
+        assert open_file.inode.is_dir is False
+
+    def test_open_excl_on_existing_fails(self, kernel, task):
+        kernel.vfs.open(task, "/tmp/new", O_CREAT)
+        with pytest.raises(SyscallError) as info:
+            kernel.vfs.open(task, "/tmp/new", O_CREAT | O_EXCL)
+        assert info.value.errno == EEXIST
+
+    def test_open_directory_flag_on_file_fails(self, kernel, task):
+        kernel.vfs.open(task, "/tmp/new", O_CREAT)
+        with pytest.raises(SyscallError) as info:
+            kernel.vfs.open(task, "/tmp/new", O_RDONLY | O_DIRECTORY)
+        assert info.value.errno == ENOTDIR
+
+    def test_create_in_missing_parent_fails(self, kernel, task):
+        with pytest.raises(SyscallError) as info:
+            kernel.vfs.open(task, "/tmp/no/f", O_CREAT)
+        assert info.value.errno == ENOENT
+
+    def test_resource_kind_by_location(self, kernel, task):
+        assert kernel.vfs.open(task, "/tmp/x", O_CREAT).resource_kind == "fd_file"
+        assert kernel.vfs.open(task, "/proc/net/ptype", 0).resource_kind == "fd_proc_net"
+        assert kernel.vfs.open(task, "/proc/crypto", 0).resource_kind == "fd_proc"
+        assert kernel.vfs.open(
+            task, "/proc/sys/net/netfilter/nf_conntrack_max", 0
+        ).resource_kind == "fd_proc_sys_net"
+        assert kernel.vfs.open(
+            task, "/proc/sys/kernel/hostname", 0
+        ).resource_kind == "fd_proc_sys_kernel"
+
+
+class TestReadWrite:
+    def test_write_then_read(self, kernel, task):
+        open_file = kernel.vfs.open(task, "/tmp/f", O_CREAT)
+        kernel.vfs.write_file(task, open_file, "hello", 0)
+        assert kernel.vfs.read_file(task, open_file, 100, 0) == "hello"
+
+    def test_write_at_offset_pads(self, kernel, task):
+        open_file = kernel.vfs.open(task, "/tmp/f", O_CREAT)
+        kernel.vfs.write_file(task, open_file, "x", 3)
+        assert kernel.vfs.read_file(task, open_file, 100, 0) == "\0\0\0x"
+
+    def test_overwrite_middle(self, kernel, task):
+        open_file = kernel.vfs.open(task, "/tmp/f", O_CREAT)
+        kernel.vfs.write_file(task, open_file, "abcdef", 0)
+        kernel.vfs.write_file(task, open_file, "XY", 2)
+        assert kernel.vfs.read_file(task, open_file, 100, 0) == "abXYef"
+
+    def test_read_window(self, kernel, task):
+        open_file = kernel.vfs.open(task, "/tmp/f", O_CREAT)
+        kernel.vfs.write_file(task, open_file, "abcdef", 0)
+        assert kernel.vfs.read_file(task, open_file, 2, 1) == "bc"
+
+    def test_write_updates_size(self, kernel, task):
+        open_file = kernel.vfs.open(task, "/tmp/f", O_CREAT)
+        kernel.vfs.write_file(task, open_file, "hello", 0)
+        assert open_file.inode.peek("size") == 5
+
+    def test_read_directory_is_eisdir(self, kernel, task):
+        open_file = kernel.vfs.open(task, "/tmp", O_RDONLY)
+        with pytest.raises(SyscallError) as info:
+            kernel.vfs.read_file(task, open_file, 10, 0)
+        assert info.value.errno == EISDIR
+
+    def test_write_proc_readonly_file_fails(self, kernel, task):
+        open_file = kernel.vfs.open(task, "/proc/crypto", 0)
+        with pytest.raises(SyscallError):
+            kernel.vfs.write_file(task, open_file, "x", 0)
+
+
+class TestDirectories:
+    def test_mkdir_and_list(self, kernel, task):
+        kernel.vfs.mkdir(task, "/tmp/d")
+        mount, __ = kernel.vfs.resolve(task, "/tmp")
+        assert "d" in kernel.vfs.list_dir(mount, "")
+
+    def test_mkdir_existing_is_eexist(self, kernel, task):
+        kernel.vfs.mkdir(task, "/tmp/d")
+        with pytest.raises(SyscallError) as info:
+            kernel.vfs.mkdir(task, "/tmp/d")
+        assert info.value.errno == EEXIST
+
+    def test_mkdir_under_proc_is_erofs(self, kernel, task):
+        with pytest.raises(SyscallError) as info:
+            kernel.vfs.mkdir(task, "/proc/d")
+        assert info.value.errno == EROFS
+
+    def test_unlink_removes(self, kernel, task):
+        kernel.vfs.open(task, "/tmp/f", O_CREAT)
+        kernel.vfs.unlink(task, "/tmp/f")
+        with pytest.raises(SyscallError):
+            kernel.vfs.lookup(task, "/tmp/f")
+
+    def test_unlink_directory_is_eisdir(self, kernel, task):
+        kernel.vfs.mkdir(task, "/tmp/d")
+        with pytest.raises(SyscallError) as info:
+            kernel.vfs.unlink(task, "/tmp/d")
+        assert info.value.errno == EISDIR
+
+    def test_list_nested_only_direct_children(self, kernel, task):
+        kernel.vfs.mkdir(task, "/tmp/d")
+        kernel.vfs.open(task, "/tmp/d/f", O_CREAT)
+        kernel.vfs.open(task, "/tmp/g", O_CREAT)
+        mount, __ = kernel.vfs.resolve(task, "/tmp")
+        assert kernel.vfs.list_dir(mount, "") == ["d", "g"]
+        assert kernel.vfs.list_dir(mount, "d") == ["f"]
+
+
+class TestMounts:
+    def test_mount_shadows_and_umount_reveals(self, kernel, task):
+        kernel.vfs.open(task, "/tmp/old", O_CREAT)
+        kernel.vfs.mount(task, "none", "/tmp", "tmpfs")
+        with pytest.raises(SyscallError):
+            kernel.vfs.lookup(task, "/tmp/old")
+        kernel.vfs.umount(task, "/tmp")
+        kernel.vfs.lookup(task, "/tmp/old")
+
+    def test_mount_on_missing_target_fails(self, kernel, task):
+        with pytest.raises(SyscallError):
+            kernel.vfs.mount(task, "none", "/tmp/missing", "tmpfs")
+
+    def test_mount_unknown_fs_fails(self, kernel, task):
+        with pytest.raises(SyscallError):
+            kernel.vfs.mount(task, "none", "/tmp", "xfs")
+
+    def test_umount_root_is_ebusy(self, kernel, task):
+        with pytest.raises(SyscallError) as info:
+            kernel.vfs.umount(task, "/")
+        assert info.value.errno == EBUSY
+
+    def test_umount_non_mountpoint_is_einval(self, kernel, task):
+        with pytest.raises(SyscallError) as info:
+            kernel.vfs.umount(task, "/etc")
+        assert info.value.errno == EINVAL
+
+    def test_device_minors_come_from_global_allocator(self, kernel, task):
+        first = kernel.vfs.new_superblock("tmpfs").peek("s_dev")
+        second = kernel.vfs.new_superblock("ramfs").peek("s_dev")
+        assert second == first + 1
+
+
+class TestMountNamespaces:
+    def test_unshare_copies_mount_table(self, kernel):
+        task = kernel.spawn_task()
+        kernel.unshare(task, CLONE_NEWNS)
+        host_ns = kernel.init_mnt_ns
+        own_ns = task.nsproxy.get(NamespaceType.MNT)
+        assert own_ns is not host_ns
+        assert len(own_ns.mounts) == len(host_ns.mounts)
+
+    def test_copies_share_superblocks(self, kernel):
+        task = kernel.spawn_task()
+        kernel.unshare(task, CLONE_NEWNS)
+        own_ns = task.nsproxy.get(NamespaceType.MNT)
+        assert own_ns.find_mount("/tmp").sb is kernel.init_mnt_ns.find_mount("/tmp").sb
+
+    def test_umount_in_copy_does_not_affect_host(self, kernel):
+        task = kernel.spawn_task()
+        kernel.unshare(task, CLONE_NEWNS)
+        kernel.vfs.umount(task, "/tmp")
+        assert kernel.init_mnt_ns.mount_at("/tmp") is not None
+
+    def test_fresh_tmpfs_isolates_files(self, kernel):
+        host_task = kernel.init_task
+        container = kernel.spawn_task()
+        kernel.unshare(container, CLONE_NEWNS)
+        kernel.vfs.mount(container, "none", "/tmp", "tmpfs")
+        kernel.vfs.open(host_task, "/tmp/host-file", O_CREAT)
+        with pytest.raises(SyscallError):
+            kernel.vfs.lookup(container, "/tmp/host-file")
+
+    def test_stat_fills_expected_fields(self, kernel, task):
+        open_file = kernel.vfs.open(task, "/tmp/f", O_CREAT)
+        kernel.vfs.write_file(task, open_file, "abc", 0)
+        mount, inode, __ = kernel.vfs.lookup(task, "/tmp/f")
+        stat = kernel.vfs.stat_inode(task, mount, inode)
+        assert stat["st_size"] == 3
+        assert stat["st_nlink"] == 1
+        assert stat["st_dev"] == mount.sb.peek("s_dev")
+
+    def test_proc_stat_times_follow_clock(self, kernel, task):
+        mount, inode, __ = kernel.vfs.lookup(task, "/proc/uptime")
+        before = kernel.vfs.stat_inode(task, mount, inode)["st_mtime"]
+        kernel.clock.tick(5000)
+        after = kernel.vfs.stat_inode(task, mount, inode)["st_mtime"]
+        assert after > before

@@ -1,0 +1,166 @@
+"""Tests for the extended VFS surface: rename, rmdir, symlinks, statfs,
+and /proc/mounts."""
+
+import pytest
+
+from repro.corpus.program import prog
+from repro.kernel import Kernel
+from repro.kernel.errno import (
+    EBUSY,
+    EEXIST,
+    EINVAL,
+    EISDIR,
+    ENOENT,
+    ENOTDIR,
+    ENOTEMPTY,
+    EROFS,
+    EXDEV,
+    SyscallError,
+)
+from repro.kernel.namespaces import CLONE_NEWNS
+from repro.kernel.vfs import O_CREAT
+from repro.vm.executor import Executor
+
+
+@pytest.fixture
+def kernel():
+    return Kernel()
+
+
+@pytest.fixture
+def task(kernel):
+    return kernel.spawn_task()
+
+
+class TestRename:
+    def test_rename_moves_content(self, kernel, task):
+        handle = kernel.vfs.open(task, "/tmp/a", O_CREAT)
+        kernel.vfs.write_file(task, handle, "data", 0)
+        kernel.vfs.rename(task, "/tmp/a", "/tmp/b")
+        __, inode, ___ = kernel.vfs.lookup(task, "/tmp/b")
+        assert inode.content == "data"
+        with pytest.raises(SyscallError):
+            kernel.vfs.lookup(task, "/tmp/a")
+
+    def test_rename_over_existing_file_replaces(self, kernel, task):
+        kernel.vfs.open(task, "/tmp/a", O_CREAT)
+        kernel.vfs.open(task, "/tmp/b", O_CREAT)
+        assert kernel.vfs.rename(task, "/tmp/a", "/tmp/b") == 0
+
+    def test_rename_onto_directory_is_eisdir(self, kernel, task):
+        kernel.vfs.open(task, "/tmp/a", O_CREAT)
+        kernel.vfs.mkdir(task, "/tmp/d")
+        with pytest.raises(SyscallError) as info:
+            kernel.vfs.rename(task, "/tmp/a", "/tmp/d")
+        assert info.value.errno == EISDIR
+
+    def test_rename_missing_source_is_enoent(self, kernel, task):
+        with pytest.raises(SyscallError) as info:
+            kernel.vfs.rename(task, "/tmp/missing", "/tmp/b")
+        assert info.value.errno == ENOENT
+
+    def test_rename_across_mounts_is_exdev(self, kernel, task):
+        kernel.vfs.open(task, "/tmp/a", O_CREAT)
+        with pytest.raises(SyscallError) as info:
+            kernel.vfs.rename(task, "/tmp/a", "/etc/a")
+        assert info.value.errno == EXDEV
+
+    def test_rename_in_proc_is_erofs(self, kernel, task):
+        with pytest.raises(SyscallError) as info:
+            kernel.vfs.rename(task, "/proc/uptime", "/proc/x")
+        assert info.value.errno == EROFS
+
+
+class TestRmdir:
+    def test_rmdir_empty_directory(self, kernel, task):
+        kernel.vfs.mkdir(task, "/tmp/d")
+        kernel.vfs.rmdir(task, "/tmp/d")
+        with pytest.raises(SyscallError):
+            kernel.vfs.lookup(task, "/tmp/d")
+
+    def test_rmdir_nonempty_is_enotempty(self, kernel, task):
+        kernel.vfs.mkdir(task, "/tmp/d")
+        kernel.vfs.open(task, "/tmp/d/f", O_CREAT)
+        with pytest.raises(SyscallError) as info:
+            kernel.vfs.rmdir(task, "/tmp/d")
+        assert info.value.errno == ENOTEMPTY
+
+    def test_rmdir_file_is_enotdir(self, kernel, task):
+        kernel.vfs.open(task, "/tmp/f", O_CREAT)
+        with pytest.raises(SyscallError) as info:
+            kernel.vfs.rmdir(task, "/tmp/f")
+        assert info.value.errno == ENOTDIR
+
+    def test_rmdir_mount_root_is_ebusy(self, kernel, task):
+        with pytest.raises(SyscallError) as info:
+            kernel.vfs.rmdir(task, "/tmp")
+        assert info.value.errno == EBUSY
+
+
+class TestSymlinks:
+    def test_symlink_and_readlink(self, kernel, task):
+        kernel.vfs.symlink(task, "/tmp/target", "/tmp/link")
+        assert kernel.vfs.readlink(task, "/tmp/link") == "/tmp/target"
+
+    def test_symlink_over_existing_is_eexist(self, kernel, task):
+        kernel.vfs.open(task, "/tmp/x", O_CREAT)
+        with pytest.raises(SyscallError) as info:
+            kernel.vfs.symlink(task, "/anything", "/tmp/x")
+        assert info.value.errno == EEXIST
+
+    def test_readlink_on_regular_file_is_einval(self, kernel, task):
+        kernel.vfs.open(task, "/tmp/f", O_CREAT)
+        with pytest.raises(SyscallError) as info:
+            kernel.vfs.readlink(task, "/tmp/f")
+        assert info.value.errno == EINVAL
+
+    def test_symlink_size_is_target_length(self, kernel, task):
+        kernel.vfs.symlink(task, "/abc", "/tmp/link")
+        __, inode, ___ = kernel.vfs.lookup(task, "/tmp/link")
+        assert inode.peek("size") == 4
+
+    def test_syscall_surface(self, kernel, task):
+        result = Executor(kernel, task).run(prog(
+            ("symlink", "/tmp/f0", "/tmp/l0"),
+            ("readlink", "/tmp/l0"),
+        ))
+        assert result.records[1].details["target"] == "/tmp/f0"
+
+
+class TestStatfs:
+    def test_tmpfs_magic(self, kernel, task):
+        stat = kernel.vfs.statfs(task, "/tmp")
+        assert stat["f_type"] == 0x01021994
+
+    def test_proc_magic(self, kernel, task):
+        stat = kernel.vfs.statfs(task, "/proc/uptime")
+        assert stat["f_type"] == 0x9FA0
+
+    def test_dev_matches_superblock(self, kernel, task):
+        mount, __ = kernel.vfs.resolve(task, "/tmp")
+        assert kernel.vfs.statfs(task, "/tmp")["f_dev"] == \
+            mount.sb.peek("s_dev")
+
+
+class TestProcMounts:
+    def test_lists_standard_tree(self, kernel, task):
+        content = kernel.procfs.render(task, "mounts")
+        assert "none / tmpfs" in content
+        assert "none /proc proc" in content
+        assert "none /tmp tmpfs" in content
+
+    def test_reflects_own_namespace_only(self, kernel):
+        task = kernel.spawn_task()
+        kernel.unshare(task, CLONE_NEWNS)
+        kernel.vfs.mkdir(task, "/tmp/m")
+        kernel.vfs.mount(task, "none", "/tmp/m", "ramfs")
+        own = kernel.procfs.render(task, "mounts")
+        host = kernel.procfs.render(kernel.init_task, "mounts")
+        assert "/tmp/m ramfs" in own
+        assert "/tmp/m ramfs" not in host
+
+    def test_umount_disappears(self, kernel):
+        task = kernel.spawn_task()
+        kernel.unshare(task, CLONE_NEWNS)
+        kernel.vfs.umount(task, "/tmp")
+        assert "none /tmp tmpfs" not in kernel.procfs.render(task, "mounts")

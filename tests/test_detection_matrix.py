@@ -1,0 +1,144 @@
+"""The systematic detection matrix: every modelled bug, both kernel states.
+
+For each injected bug, the canonical (sender, receiver) seed pair must:
+
+* produce a REPORT on a kernel with *only* that bug enabled, labelled by
+  the oracle as that bug, and
+* produce no report on the fully fixed kernel,
+
+except for the two §6.2 bugs, whose expected outcome is the documented
+non-detection mode.  This is the single most load-bearing test in the
+repository: it pins the bug registry, the seeds, the detector, and the
+oracle against each other, bug by bug.
+"""
+
+import pytest
+
+from repro.core import Detector, Diagnoser, Outcome, TestCase, classify_all
+from repro.core.spec import default_specification
+from repro.corpus.seeds import seed_programs
+from repro.kernel import BugFlags, fixed_kernel
+from repro.vm import ContainerConfig, Machine, MachineConfig
+
+#: label -> (flag, sender seed, receiver seed, sender-on-host)
+MATRIX = {
+    "1": ("ptype_leak", "packet_socket", "read_ptype", False),
+    "2": ("flowlabel_exclusive_global", "flowlabel_register_exclusive",
+          "flowlabel_send", False),
+    "3": ("rds_bind_global", "rds_bind", "rds_bind", False),
+    "4": ("flowlabel_exclusive_global", "flowlabel_register_exclusive",
+          "flowlabel_connect", False),
+    "5": ("sockstat_used_global", "tcp_socket", "read_sockstat", False),
+    "6": ("socket_cookie_global", "socket_cookie", "socket_cookie", False),
+    "7": ("sctp_assoc_id_global", "sctp_assoc", "sctp_assoc", False),
+    "8": ("proto_mem_global", "udp_send", "read_sockstat", False),
+    "9": ("proto_mem_global", "udp_send", "read_protocols", False),
+    "A": ("prio_user_crosses_pidns", "prio_set_user", "prio_get", False),
+    "B": ("uevent_broadcast_all_ns", "netdev_add", "uevent_listen", False),
+    "C": ("ipvs_proc_no_ns_check", "ipvs_add", "read_ip_vs", False),
+    "D": ("conntrack_max_global", "conntrack_max_write",
+          "conntrack_max_read", False),
+    "E": ("iouring_wrong_mnt_ns", "tmp_write", "iouring_tmp_list", True),
+}
+
+
+def make_detector(flag=None, sender_on_host=False):
+    bugs = fixed_kernel() if flag is None else BugFlags(**{flag: True})
+    sender = ContainerConfig("sender")
+    if sender_on_host:
+        sender = sender.host_mount_ns()
+    machine = Machine(MachineConfig(bugs=bugs, sender=sender))
+    return Detector(machine, default_specification())
+
+
+class TestDetectionMatrix:
+    @pytest.mark.parametrize("label", sorted(MATRIX))
+    def test_bug_detected_and_labelled_on_its_kernel(self, label):
+        flag, sender_name, receiver_name, on_host = MATRIX[label]
+        seeds = seed_programs()
+        detector = make_detector(flag, on_host)
+        result = detector.check_case(
+            TestCase(0, 1, seeds[sender_name], seeds[receiver_name]))
+        assert result.outcome is Outcome.REPORT, label
+        Diagnoser(detector).diagnose(result.report)
+        assert label in classify_all(result.report), (
+            label, classify_all(result.report))
+
+    @pytest.mark.parametrize("label", sorted(MATRIX))
+    def test_same_pair_passes_on_fixed_kernel(self, label):
+        flag, sender_name, receiver_name, on_host = MATRIX[label]
+        seeds = seed_programs()
+        detector = make_detector(None, on_host)
+        result = detector.check_case(
+            TestCase(0, 1, seeds[sender_name], seeds[receiver_name]))
+        assert result.report is None, label
+
+    @pytest.mark.parametrize("label", sorted(MATRIX))
+    def test_single_flag_does_not_leak_other_labels(self, label):
+        """A one-bug kernel must only ever be labelled with bugs sharing
+        its root-cause flag — cross-contamination would mean the model's
+        bugs are entangled."""
+        flag, sender_name, receiver_name, on_host = MATRIX[label]
+        seeds = seed_programs()
+        detector = make_detector(flag, on_host)
+        result = detector.check_case(
+            TestCase(0, 1, seeds[sender_name], seeds[receiver_name]))
+        same_flag_labels = {
+            other for other, (other_flag, *_rest) in MATRIX.items()
+            if other_flag == flag
+        }
+        labels = classify_all(result.report) - {"FP", "UI"}
+        assert labels <= same_flag_labels, (label, labels)
+
+
+class TestHistoricalMsgStat:
+    """Bug H (§2.1) needs a special topology: shared IPC namespace,
+    separate PID namespaces — the msgctl IPC_STAT caller sees the PID of
+    a sender it cannot see as a process."""
+
+    def _detector(self, bugs):
+        from repro.kernel.namespaces import ALL_NAMESPACE_FLAGS, CLONE_NEWIPC
+
+        shared_ipc = ALL_NAMESPACE_FLAGS & ~CLONE_NEWIPC
+        machine = Machine(MachineConfig(
+            bugs=bugs,
+            sender=ContainerConfig("sender", unshare_flags=shared_ipc),
+            receiver=ContainerConfig("receiver", unshare_flags=shared_ipc),
+        ))
+        return Detector(machine, default_specification())
+
+    def test_buggy_kernel_leaks_global_pid(self):
+        seeds = seed_programs()
+        detector = self._detector(BugFlags(msg_stat_global_pid=True))
+        result = detector.check_case(
+            TestCase(0, 1, seeds["msgq_stat"], seeds["msgq_stat_probe"]))
+        assert result.outcome is Outcome.REPORT
+        Diagnoser(detector).diagnose(result.report)
+        assert "H" in classify_all(result.report)
+
+    def test_fixed_kernel_translates_to_invisible(self):
+        """The fixed kernel reports lspid 0 for the invisible sender; the
+        remaining divergence (queue contents) is legitimate shared-IPC
+        communication, never labelled as bug H."""
+        seeds = seed_programs()
+        detector = self._detector(fixed_kernel())
+        result = detector.check_case(
+            TestCase(0, 1, seeds["msgq_stat"], seeds["msgq_stat_probe"]))
+        if result.report is not None:
+            assert "H" not in classify_all(result.report)
+
+
+class TestNonDetectableMatrix:
+    def test_bug_f_nondet_filtered(self):
+        seeds = seed_programs()
+        detector = make_detector("conntrack_proc_leak")
+        result = detector.check_case(
+            TestCase(0, 1, seeds["udp_send"], seeds["read_nf_conntrack"]))
+        assert result.outcome is Outcome.FILTERED_NONDET
+
+    def test_bug_g_no_divergence(self):
+        seeds = seed_programs()
+        detector = make_detector("unix_diag_cross_ns")
+        result = detector.check_case(
+            TestCase(0, 1, seeds["unix_socket"], seeds["unix_diag_probe"]))
+        assert result.outcome is Outcome.PASS

@@ -1,0 +1,45 @@
+"""Every example script must run clean end to end.
+
+Examples are user-facing API documentation; this keeps them from rotting
+as the library evolves.  Each runs in a subprocess (its own interpreter,
+like a user would) and must exit 0 with its headline output present.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+_EXAMPLES_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "examples")
+
+#: script -> a fragment its output must contain.
+EXPECTED_OUTPUT = {
+    "quickstart.py": "bugs found (9):",
+    "known_bug_regression.py": "5/7 scenarios detected",
+    "strategy_comparison.py": "Effectiveness",
+    "custom_namespace_audit.py": "namespace bugs witnessed",
+    "jump_label_ablation.py": "missed",
+    "bounds_extension.py": "envelope violation",
+    "patch_regression_gate.py": "gate PASSED",
+    "transient_interference.py": "transient-only",
+}
+
+
+def test_every_example_is_covered():
+    scripts = sorted(name for name in os.listdir(_EXAMPLES_DIR)
+                     if name.endswith(".py"))
+    assert scripts == sorted(EXPECTED_OUTPUT), \
+        "update EXPECTED_OUTPUT when adding examples"
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED_OUTPUT))
+def test_example_runs_clean(script):
+    process = subprocess.run(
+        [sys.executable, os.path.join(_EXAMPLES_DIR, script)],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert process.returncode == 0, process.stderr[-2000:]
+    assert EXPECTED_OUTPUT[script] in process.stdout
+    assert not process.stderr.strip()

@@ -1,0 +1,306 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.clustering import DfIaStrategy, DfStStrategy
+from repro.core.dataflow import AccessPoint, stack_sha1
+from repro.core.trace_ast import (
+    TraceNode,
+    apply_nondet_marks,
+    build_trace_ast,
+    nondet_paths_from_runs,
+    syscall_trace_cmp,
+)
+from repro.corpus.generator import ProgramGenerator
+from repro.corpus.program import Call, ConstArg, ResultArg, TestProgram
+from repro.kernel.ktrace import FuncEnter, FuncExit, MemAccess, walk_with_stack
+from repro.kernel.memory import KDict, KernelArena, KList
+from repro.vm.executor import SyscallRecord
+
+# -- strategies ---------------------------------------------------------------
+
+_names = st.text(alphabet=string.ascii_lowercase + "_", min_size=1, max_size=12)
+_safe_strings = st.text(
+    alphabet=string.ascii_letters + string.digits + " _/.,:-", max_size=20)
+_const_args = st.one_of(
+    st.integers(min_value=-2**31, max_value=2**63).map(ConstArg),
+    _safe_strings.map(ConstArg),
+)
+
+
+@st.composite
+def programs(draw):
+    """Arbitrary well-formed test programs (backward result refs only)."""
+    length = draw(st.integers(min_value=1, max_value=8))
+    calls = []
+    for index in range(length):
+        arity = draw(st.integers(min_value=0, max_value=4))
+        args = []
+        for __ in range(arity):
+            if index > 0 and draw(st.booleans()):
+                args.append(ResultArg(draw(st.integers(0, index - 1))))
+            else:
+                args.append(draw(_const_args))
+        calls.append(Call(draw(_names), tuple(args)))
+    return TestProgram(calls)
+
+
+@st.composite
+def details_values(draw, depth=0):
+    leaf = st.one_of(st.integers(-1000, 1000), _safe_strings,
+                     st.text(alphabet="ab\n", max_size=12))
+    if depth >= 2:
+        return draw(leaf)
+    return draw(st.one_of(
+        leaf,
+        st.lists(leaf, max_size=4),
+        st.dictionaries(_names, leaf, max_size=4),
+    ))
+
+
+@st.composite
+def syscall_records(draw):
+    details = draw(st.dictionaries(_names, details_values(), max_size=4))
+    return SyscallRecord(
+        index=0,
+        name=draw(_names),
+        args=(),
+        retval=draw(st.integers(-1, 1000)),
+        errno=draw(st.sampled_from([0, 1, 2, 22])),
+        details=details,
+    )
+
+
+_record_lists = st.lists(
+    st.one_of(st.none(), syscall_records()), min_size=0, max_size=5)
+
+
+# -- program model properties -------------------------------------------------
+
+class TestProgramProperties:
+    @given(programs())
+    def test_serialize_parse_roundtrip(self, program):
+        assert TestProgram.parse(program.serialize()) == program
+
+    @given(programs())
+    def test_hash_stable_under_roundtrip(self, program):
+        assert TestProgram.parse(program.serialize()).hash_hex == program.hash_hex
+
+    @given(programs(), st.data())
+    def test_without_call_keeps_length_and_numbering(self, program, data):
+        index = data.draw(st.integers(0, len(program) - 1))
+        removed = program.without_call(index)
+        assert len(removed) == len(program)
+        assert removed.calls[index] is None
+        for i, call in enumerate(removed.calls):
+            if i != index:
+                assert call == program.calls[i]
+
+    @given(programs(), programs())
+    def test_concatenate_preserves_reference_targets(self, first, second):
+        joined = first.concatenate(second)
+        offset = len(first)
+        for i, call in enumerate(second.calls):
+            if call is None:
+                continue
+            joined_call = joined.calls[offset + i]
+            for orig, rebased in zip(call.args, joined_call.args):
+                if isinstance(orig, ResultArg):
+                    assert rebased == ResultArg(orig.index + offset)
+                else:
+                    assert rebased == orig
+
+    @given(programs())
+    def test_live_indices_complete_and_sorted(self, program):
+        live = program.live_call_indices()
+        assert live == sorted(live)
+        assert len(live) == sum(1 for c in program.calls if c is not None)
+
+
+# -- trace AST properties ------------------------------------------------------
+
+class TestTraceAstProperties:
+    @given(_record_lists)
+    def test_compare_is_reflexive(self, records):
+        a = build_trace_ast(records)
+        b = build_trace_ast(records)
+        assert syscall_trace_cmp(a, b) == []
+
+    @given(_record_lists, _record_lists)
+    def test_diff_count_symmetric(self, first, second):
+        a1, b1 = build_trace_ast(first), build_trace_ast(second)
+        a2, b2 = build_trace_ast(first), build_trace_ast(second)
+        assert len(syscall_trace_cmp(a1, b1)) == len(syscall_trace_cmp(b2, a2))
+
+    @given(_record_lists, _record_lists)
+    def test_diff_paths_exist_in_at_least_one_tree(self, first, second):
+        a, b = build_trace_ast(first), build_trace_ast(second)
+        for diff in syscall_trace_cmp(a, b):
+            assert a.at(diff.path) is not None
+            assert b.at(diff.path) is not None
+
+    @given(st.lists(_record_lists, min_size=2, max_size=4))
+    def test_marks_from_runs_silence_all_pairwise_diffs(self, runs):
+        """The defining property of non-determinism marks: after applying
+        them, any two of the runs compare clean."""
+        trees = [build_trace_ast(records) for records in runs]
+        marks = nondet_paths_from_runs(trees)
+        for i in range(len(runs)):
+            for j in range(len(runs)):
+                a = apply_nondet_marks(build_trace_ast(runs[i]), marks)
+                b = apply_nondet_marks(build_trace_ast(runs[j]), marks)
+                assert syscall_trace_cmp(a, b) == []
+
+    @given(_record_lists)
+    def test_identical_runs_produce_no_marks(self, records):
+        trees = [build_trace_ast(records) for __ in range(3)]
+        assert nondet_paths_from_runs(trees) == frozenset()
+
+    @given(_record_lists)
+    def test_walk_paths_are_unique(self, records):
+        tree = build_trace_ast(records)
+        paths = [path for path, __ in tree.walk()]
+        assert len(paths) == len(set(paths))
+
+
+# -- dataflow / clustering properties -----------------------------------------
+
+_points = st.builds(
+    AccessPoint,
+    prog_index=st.integers(0, 50),
+    call_index=st.integers(0, 10),
+    addr=st.integers(0, 2**40),
+    width=st.sampled_from([1, 2, 4, 8]),
+    ip=st.integers(0, 2**20),
+    stack=st.lists(st.integers(0, 500), max_size=6).map(tuple),
+)
+
+
+class TestClusteringProperties:
+    @given(st.lists(_points, min_size=1, max_size=40))
+    def test_deeper_stacks_refine_clusters(self, points):
+        """DF-IA <= DF-ST-1 <= DF-ST-2 group counts (Table 4's ordering)."""
+        ia = {DfIaStrategy().write_key(p) for p in points}
+        st1 = {DfStStrategy(1).write_key(p) for p in points}
+        st2 = {DfStStrategy(2).write_key(p) for p in points}
+        assert len(ia) <= len(st1) <= len(st2)
+
+    @given(_points, _points)
+    def test_st_key_equality_implies_ia_key_equality(self, a, b):
+        strategy = DfStStrategy(2)
+        if strategy.write_key(a) == strategy.write_key(b):
+            assert DfIaStrategy().write_key(a) == DfIaStrategy().write_key(b)
+
+    @given(st.lists(st.integers(0, 10**6), max_size=8).map(tuple))
+    def test_stack_sha1_deterministic(self, stack):
+        assert stack_sha1(stack) == stack_sha1(stack)
+        assert len(stack_sha1(stack)) == 40
+
+    @given(_points, st.integers(1, 4))
+    def test_stack_suffix_is_a_suffix(self, point, depth):
+        suffix = point.stack_suffix(depth)
+        assert len(suffix) <= depth
+        assert point.stack[len(point.stack) - len(suffix):] == suffix
+
+
+# -- traced containers vs. plain models -----------------------------------------
+
+class TestContainerModelProperties:
+    @given(st.lists(st.tuples(st.sampled_from(["append", "pop", "remove"]),
+                              st.integers(0, 5)), max_size=30))
+    def test_klist_behaves_like_list(self, operations):
+        arena = KernelArena()
+        klist = KList(arena)
+        model = []
+        for op, value in operations:
+            if op == "append":
+                klist.append(value)
+                model.append(value)
+            elif op == "pop" and model:
+                assert klist.pop_front() == model.pop(0)
+            elif op == "remove" and value in model:
+                klist.remove(value)
+                model.remove(value)
+        assert klist.peek_items() == model
+
+    @given(st.lists(st.tuples(st.sampled_from(["insert", "delete", "lookup"]),
+                              st.integers(0, 5), st.integers(0, 100)),
+                    max_size=30))
+    def test_kdict_behaves_like_dict(self, operations):
+        arena = KernelArena()
+        kdict = KDict(arena)
+        model = {}
+        for op, key, value in operations:
+            if op == "insert":
+                kdict.insert(key, value)
+                model[key] = value
+            elif op == "delete" and key in model:
+                kdict.delete(key)
+                del model[key]
+            else:
+                assert kdict.lookup(key) == model.get(key)
+        assert kdict.peek_items() == model
+
+
+# -- tracer stack recovery property ------------------------------------------------
+
+@st.composite
+def balanced_traces(draw):
+    """Well-nested enter/exit sequences with interleaved accesses."""
+    entries = []
+    expected = []  # (addr, stack) for each access
+    stack = []
+
+    def emit(depth):
+        for __ in range(draw(st.integers(0, 3))):
+            choice = draw(st.sampled_from(["access", "call"]))
+            if choice == "access" or depth >= 3:
+                addr = draw(st.integers(0, 1000))
+                entries.append(MemAccess(addr, 8, False, 0))
+                expected.append((addr, tuple(stack)))
+            else:
+                func_id = draw(st.integers(0, 20))
+                entries.append(FuncEnter(func_id))
+                stack.append(func_id)
+                emit(depth + 1)
+                entries.append(FuncExit(func_id))
+                stack.pop()
+
+    emit(0)
+    return entries, expected
+
+
+class TestTracerProperties:
+    @given(balanced_traces())
+    def test_stack_recovery_matches_construction(self, trace):
+        entries, expected = trace
+        recovered = [(a.addr, stack) for a, stack in walk_with_stack(entries)]
+        assert recovered == expected
+
+
+# -- generator properties ----------------------------------------------------------
+
+class TestGeneratorProperties:
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_generated_programs_parse_and_roundtrip(self, seed):
+        generator = ProgramGenerator(seed=seed)
+        for __ in range(5):
+            program = generator.generate()
+            assert TestProgram.parse(program.serialize()) == program
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_mutation_never_breaks_backward_references(self, seed):
+        generator = ProgramGenerator(seed=seed)
+        program = generator.generate(length=4)
+        for __ in range(10):
+            program = generator.mutate(program)
+            for index, call in enumerate(program.calls):
+                if call is None:
+                    continue
+                assert all(ref < index for ref in call.references())

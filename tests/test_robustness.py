@@ -1,0 +1,112 @@
+"""Robustness fuzzing: the kernel surface must fail only through errno.
+
+The executor's contract is that *any* program — including ones that pass
+garbage arguments, dangle descriptors, or call syscalls in nonsensical
+orders — produces a record per call, never an uncaught exception.  This
+is the property a real syzkaller campaign leans on, so it is fuzzed here
+with hypothesis over the declared surface *and* beyond it (wrong types,
+out-of-domain values).
+"""
+
+import string
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.corpus.program import Call, ConstArg, ResultArg, TestProgram
+from repro.kernel import Kernel, linux_5_13
+from repro.kernel.syscalls import DECLS
+from repro.vm import Machine, MachineConfig
+from repro.vm.executor import Executor
+
+_NAMES = sorted(DECLS.names())
+_GARBAGE_STRINGS = st.text(
+    alphabet=string.ascii_letters + string.digits + "/._-", max_size=30)
+
+
+@st.composite
+def hostile_args(draw, index):
+    """Arguments both in and out of every declared domain."""
+    choice = draw(st.integers(0, 4))
+    if choice == 0:
+        return ConstArg(draw(st.integers(-2**31, 2**63)))
+    if choice == 1:
+        return ConstArg(draw(_GARBAGE_STRINGS))
+    if choice == 2 and index > 0:
+        return ResultArg(draw(st.integers(0, index - 1)))
+    if choice == 3:
+        return ConstArg(draw(st.sampled_from([0, -1, 3, 99, 2**32])))
+    return ConstArg(draw(st.sampled_from(["/", "", "/proc", "/tmp/x", "r0"])))
+
+
+@st.composite
+def hostile_programs(draw):
+    length = draw(st.integers(1, 7))
+    calls = []
+    for index in range(length):
+        name = draw(st.sampled_from(_NAMES))
+        decl = DECLS.get(name)
+        arity = len(decl.args)
+        # Sometimes the declared arity, sometimes deliberately wrong.
+        if draw(st.booleans()):
+            count = arity
+        else:
+            count = draw(st.integers(0, arity + 2))
+        args = tuple(draw(hostile_args(index)) for __ in range(count))
+        calls.append(Call(name, args))
+    return TestProgram(calls)
+
+
+class TestExecutorRobustness:
+    @given(hostile_programs())
+    @settings(max_examples=150, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_hostile_programs_never_crash(self, program):
+        kernel = Kernel(bugs=linux_5_13())
+        task = kernel.spawn_task()
+        result = Executor(kernel, task).run(program)
+        assert len(result.records) == len(program)
+        for record in result.live_records():
+            assert record.retval >= 0 or record.errno > 0
+
+    @given(hostile_programs())
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_hostile_programs_keep_kernel_snapshotable(self, program):
+        """After arbitrary abuse, the kernel must still snapshot/restore."""
+        import pickle
+
+        kernel = Kernel(bugs=linux_5_13())
+        task = kernel.spawn_task()
+        Executor(kernel, task).run(program)
+        clone = pickle.loads(pickle.dumps(kernel))
+        assert clone.clock.ticks == kernel.clock.ticks
+
+    @given(hostile_programs(), hostile_programs())
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_hostile_pairs_survive_the_detector(self, sender, receiver):
+        """The full detection pipeline tolerates arbitrary programs."""
+        from repro.core import Detector, TestCase, default_specification
+
+        machine = Machine(MachineConfig(bugs=linux_5_13()))
+        detector = Detector(machine, default_specification())
+        result = detector.check_case(TestCase(0, 1, sender, receiver))
+        assert result.outcome is not None
+
+    @given(hostile_programs())
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_execution_is_deterministic_from_snapshot(self, program):
+        machine = Machine(MachineConfig(bugs=linux_5_13()))
+        machine.reset()
+        first = machine.run("receiver", program)
+        machine.reset()
+        second = machine.run("receiver", program)
+        for a, b in zip(first.records, second.records):
+            if a is None or b is None:
+                assert a is b
+                continue
+            assert (a.retval, a.errno, a.details) == \
+                (b.retval, b.errno, b.details)

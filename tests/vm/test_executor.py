@@ -1,0 +1,150 @@
+"""Unit tests for the test-program executor."""
+
+import pytest
+
+from repro.corpus.program import prog
+from repro.kernel import Kernel, KernelTracer
+from repro.kernel.errno import EBADF, ENOSYS
+from repro.vm.executor import Executor
+
+
+@pytest.fixture
+def kernel():
+    return Kernel()
+
+
+@pytest.fixture
+def executor(kernel):
+    return Executor(kernel, kernel.spawn_task())
+
+
+class TestBasicExecution:
+    def test_records_one_per_call(self, executor):
+        result = executor.run(prog(("getpid",), ("gethostname",)))
+        assert [r.name for r in result.records] == ["getpid", "gethostname"]
+
+    def test_successful_call_has_zero_errno(self, executor):
+        (record,) = executor.run(prog(("getpid",),)).records
+        assert record.ok and record.errno == 0
+
+    def test_failed_call_records_errno(self, executor):
+        (record,) = executor.run(prog(("read", 99, 100),)).records
+        assert record.retval == -1
+        assert record.errno == EBADF
+
+    def test_unknown_syscall_is_enosys_record(self, executor):
+        (record,) = executor.run(prog(("frobnicate",),)).records
+        assert record.errno == ENOSYS
+
+    def test_details_captured(self, executor):
+        result = executor.run(prog(
+            ("open", "/etc/hostname", 0),
+            ("read", "r0", 100),
+        ))
+        assert result.records[1].details["data"] == "kit-vm\n"
+
+    def test_execution_advances_virtual_time(self, executor, kernel):
+        before = kernel.clock.ticks
+        executor.run(prog(("getpid",), ("getpid",)))
+        # One jittered timer interrupt (1-3 ticks) per syscall.
+        assert before + 2 <= kernel.clock.ticks <= before + 6
+
+
+class TestResultResolution:
+    def test_result_arg_resolves_to_retval(self, executor):
+        result = executor.run(prog(
+            ("open", "/etc/hostname", 0),
+            ("fstat", "r0"),
+        ))
+        assert result.records[1].ok
+
+    def test_failed_result_resolves_to_zero(self, executor):
+        result = executor.run(prog(
+            ("open", "/nonexistent", 0),
+            ("fstat", "r0"),
+        ))
+        assert result.records[1].args == (0,)
+        assert result.records[1].errno == EBADF
+
+    def test_removed_result_resolves_to_zero(self, executor):
+        program = prog(
+            ("open", "/etc/hostname", 0),
+            ("fstat", "r0"),
+        ).without_call(0)
+        result = executor.run(program)
+        assert result.records[0] is None
+        assert result.records[1].args == (0,)
+
+    def test_forward_reference_resolves_to_zero(self, executor):
+        (record,) = executor.run(prog(("fstat", "r7"),)).records
+        assert record.args == (0,)
+
+
+class TestResourceKinds:
+    def test_ret_kind_from_installed_object(self, executor):
+        result = executor.run(prog(("socket", 2, 1, 6),))
+        assert result.records[0].ret_kind == "sock_tcp"
+
+    def test_arg_kind_from_fd_table(self, executor):
+        result = executor.run(prog(
+            ("open", "/proc/net/sockstat", 0),
+            ("pread64", "r0", 100, 0),
+        ))
+        assert result.records[1].arg_kinds == {"fd": "fd_proc_net"}
+
+    def test_subject_is_path_for_files(self, executor):
+        result = executor.run(prog(
+            ("open", "/proc/net/sockstat", 0),
+            ("pread64", "r0", 100, 0),
+        ))
+        assert result.records[1].subject() == "/proc/net/sockstat"
+
+    def test_static_res_kind_from_decl(self, executor):
+        result = executor.run(prog(
+            ("msgget", 0, 0o1000),
+            ("msgctl", "r0", 2),
+        ))
+        assert result.records[1].arg_kinds == {"msqid": "msqid"}
+
+    def test_failed_producer_has_no_ret_kind(self, executor):
+        result = executor.run(prog(("open", "/nope", 0),))
+        assert result.records[0].ret_kind is None
+
+    def test_resource_kinds_union(self, executor):
+        result = executor.run(prog(("socket", 2, 1, 6),))
+        assert result.records[0].resource_kinds() == ["sock_tcp"]
+
+
+class TestProfilingMode:
+    def test_accesses_collected_per_call(self, kernel):
+        task = kernel.spawn_task()
+        kernel.attach_tracer(KernelTracer())
+        executor = Executor(kernel, task)
+        result = executor.run(prog(("socket", 2, 1, 6), ("getpid",)),
+                              profile=True)
+        assert result.accesses is not None
+        assert len(result.accesses) == 2
+        assert len(result.accesses[0]) > 0  # socket touches counters
+
+    def test_accesses_have_call_stacks(self, kernel):
+        task = kernel.spawn_task()
+        kernel.attach_tracer(KernelTracer())
+        executor = Executor(kernel, task)
+        result = executor.run(prog(("socket", 2, 1, 6),), profile=True)
+        assert any(stack for __, stack in result.accesses[0])
+
+    def test_no_accesses_without_profile_flag(self, kernel):
+        task = kernel.spawn_task()
+        kernel.attach_tracer(KernelTracer())
+        executor = Executor(kernel, task)
+        result = executor.run(prog(("socket", 2, 1, 6),))
+        assert result.accesses is None
+
+    def test_removed_calls_have_none_accesses(self, kernel):
+        task = kernel.spawn_task()
+        kernel.attach_tracer(KernelTracer())
+        executor = Executor(kernel, task)
+        program = prog(("getpid",), ("getpid",)).without_call(0)
+        result = executor.run(program, profile=True)
+        assert result.accesses[0] is None
+        assert result.accesses[1] == [] or result.accesses[1] is not None
