@@ -76,6 +76,9 @@ def test_section65_throughput_summary(campaign_513, benchmark):
     profile_rate = (stats.profile_runs / stats.profile_seconds
                     if stats.profile_seconds else 0.0)
     exec_rate = stats.executions_per_second()
+    stage_restore = (f"{stats.profile_restore_seconds:.2f}/"
+                     f"{stats.execution_restore_seconds:.2f}/"
+                     f"{stats.diagnosis_restore_seconds:.2f}")
     lines = [
         f"{'Stage':<34} {'This repro':>16} {'Paper':>22}",
         "-" * 76,
@@ -93,8 +96,26 @@ def test_section65_throughput_summary(campaign_513, benchmark):
         f"{'Non-det re-runs':<34} {stats.nondet_runs:>16} {'cached on disk':>22}",
         f"{'Diagnosis re-runs (Algorithm 2)':<34} "
         f"{stats.diagnosis_reruns:>16} {'—':>22}",
+        f"{'Snapshot restores':<34} {stats.restore_count:>16} "
+        f"{'QEMU snapshot load':>22}",
+        f"{'  segmented / full':<34} "
+        f"{f'{stats.segmented_restores} / {stats.full_restores}':>16} "
+        f"{'—':>22}",
+        f"{'  segments skipped':<34} "
+        f"{f'{stats.segments_skipped_rate():.0%}':>16} {'—':>22}",
+        f"{'  restore s (prof/exec/diag)':<34} {stage_restore:>16} "
+        f"{'—':>22}",
+        f"{'Baseline cache hit rate':<34} "
+        f"{f'{stats.baseline_hit_rate():.0%}':>16} {'—':>22}",
+        f"{'Non-det cache hit rate':<34} "
+        f"{f'{stats.nondet_cache_hit_rate():.0%}':>16} {'—':>22}",
     ]
     emit_table("section65_performance", "§6.5 performance summary", lines)
 
     assert exec_rate > 0
     assert stats.profile_runs == 4 * stats.corpus_size
+    # Tentpole telemetry invariants: the campaign ran on the segmented
+    # fast path and it skipped most segments on a typical reset.
+    assert stats.restore_count > 0
+    assert stats.segmented_restores > 0 and stats.full_restores == 0
+    assert stats.segments_skipped_rate() > 0.5

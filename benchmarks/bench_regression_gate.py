@@ -4,13 +4,31 @@ Not a paper table, but the deployment the artifact enables: run one
 campaign per kernel build and diff the AGG-RS groups.  Regenerates a
 three-way comparison (buggy 5.13 → partially patched → fully patched)
 and benchmarks the diff operation itself.
+
+Also hosts the performance gates of the fast-restore engine: segmented
+restore must beat full restore by the PR's acceptance margin, the
+per-reset latency must stay within budget, and campaign execution rate
+must not regress below its floor.
 """
+
+import time
 
 from repro import CampaignConfig, Kit, MachineConfig, fixed_kernel, linux_5_13
 from repro.core import diff_campaigns
-from repro.corpus import build_corpus
+from repro.corpus import build_corpus, seed_programs
+from repro.vm import Machine
+from repro.vm.machine import RECEIVER, SENDER
 
 from benchmarks.support import emit_table
+
+#: Segmented restore must be at least this much faster than full.
+MIN_RESTORE_SPEEDUP = 2.0
+#: Per-reset latency budget for the segmented fast path (seconds).
+MAX_SEGMENTED_RESET_SECONDS = 0.002
+#: Campaign throughput floor (the seed measured ~800 cases/s on the
+#: slow path; a conservative floor catches order-of-magnitude breaks
+#: without flaking on loaded CI machines).
+MIN_EXECUTIONS_PER_SECOND = 100.0
 
 
 def test_regression_gate_three_way(bench_corpus, benchmark):
@@ -49,3 +67,46 @@ def test_regression_gate_three_way(bench_corpus, benchmark):
     # The imperfect-spec FP class survives all three kernels.
     assert any("stat" in key[0] for key in step_two.persisting) or \
         step_two.persisting
+
+
+def test_restore_performance_gate(campaign_513, benchmark):
+    """Fail the bench if segmented restore stops paying for itself."""
+    seeds = seed_programs()
+    sender, receiver = seeds["udp_send"], seeds["read_sockstat"]
+    full = Machine(MachineConfig(bugs=linux_5_13(), full_restore=True))
+    seg = Machine(MachineConfig(bugs=linux_5_13()))
+    for machine in (full, seg):
+        machine.reset()
+        machine.run(SENDER, sender)
+        machine.run(RECEIVER, receiver)
+
+    def mean_reset(machine, runs=300):
+        start = time.perf_counter()
+        for _ in range(runs):
+            machine.reset()
+        return (time.perf_counter() - start) / runs
+
+    full_reset = mean_reset(full)
+    seg_reset = mean_reset(seg)
+    benchmark(seg.reset)
+
+    speedup = full_reset / seg_reset
+    exec_rate = campaign_513.stats.executions_per_second()
+    lines = [
+        f"{'gate':<38} {'measured':>12} {'threshold':>12}",
+        "-" * 66,
+        f"{'restore speedup (full/segmented)':<38} {f'{speedup:.1f}x':>12} "
+        f"{f'>={MIN_RESTORE_SPEEDUP:.1f}x':>12}",
+        f"{'segmented reset latency (ms)':<38} {seg_reset * 1e3:>12.3f} "
+        f"{f'<={MAX_SEGMENTED_RESET_SECONDS * 1e3:.1f}':>12}",
+        f"{'campaign execution rate (cases/s)':<38} {exec_rate:>12.1f} "
+        f"{f'>={MIN_EXECUTIONS_PER_SECOND:.0f}':>12}",
+    ]
+    emit_table("restore_gate", "Fast-restore performance gate", lines)
+
+    assert speedup >= MIN_RESTORE_SPEEDUP, \
+        f"segmented restore only {speedup:.2f}x faster than full"
+    assert seg_reset <= MAX_SEGMENTED_RESET_SECONDS, \
+        f"segmented reset took {seg_reset * 1e3:.3f} ms"
+    assert exec_rate >= MIN_EXECUTIONS_PER_SECOND, \
+        f"campaign executed only {exec_rate:.1f} cases/s"

@@ -82,6 +82,18 @@ def _print_campaign(result: CampaignResult, show_reports: bool) -> None:
           + ", ".join(f"{k}={v}" for k, v in sorted(stats.outcomes.items())))
     print(f"funnel: {stats.initial_reports} candidates -> "
           f"{stats.after_nondet} -> {stats.after_resource} reports")
+    if stats.restore_count:
+        print(f"restores: {stats.restore_count} "
+              f"({stats.segmented_restores} segmented / "
+              f"{stats.full_restores} full), "
+              f"segments skipped: {stats.segments_skipped_rate():.0%}, "
+              f"restore time: {stats.restore_seconds:.2f}s")
+        print(f"caches: baselines {stats.baseline_hit_rate():.0%} hit "
+              f"({stats.baseline_hits}/"
+              f"{stats.baseline_hits + stats.baseline_misses}), "
+              f"non-det {stats.nondet_cache_hit_rate():.0%} hit "
+              f"({stats.nondet_cache_hits}/"
+              f"{stats.nondet_cache_hits + stats.nondet_cache_misses})")
     print(f"groups: {result.groups.agg_rs_count} AGG-RS / "
           f"{result.groups.agg_r_count} AGG-R")
     print(f"bugs found: {sorted(result.bugs_found()) or 'none'}")

@@ -31,7 +31,7 @@ from .dataflow import AccessPoint, DataFlowIndex, stack_sha1
 from .decode import decode_record, decode_trace, side_by_side
 from .detection import DetectionResult, Detector, Outcome
 from .diagnosis import Diagnoser
-from .execution import TestCaseRunner
+from .execution import BaselineCache, TestCaseRunner
 from .generation import GenerationResult, TestCase, TestCaseGenerator
 from .minimize import MinimizedCase, minimize_report, reduce_to
 from .nondet import NondetAnalyzer, NondetStore
@@ -43,7 +43,7 @@ from .oracle import (
     classify_all,
 )
 from .pipeline import CampaignConfig, CampaignResult, CampaignStats, Kit
-from .profile import ProgramProfile, Profiler
+from .profile import ProgramProfile, Profiler, profile_corpus_distributed
 from .profile_store import CachingProfiler, ProfileStore, machine_fingerprint
 from .regress import CampaignDiff, diff_campaigns
 from .render_md import campaign_markdown, save_campaign_markdown
@@ -62,6 +62,7 @@ from .trace_ast import (
 
 __all__ = [
     "AccessPoint",
+    "BaselineCache",
     "BoundViolation",
     "BoundsDetector",
     "CampaignConfig",
@@ -128,6 +129,7 @@ __all__ = [
     "save_campaign",
     "nondet_paths_from_runs",
     "PathProfile",
+    "profile_corpus_distributed",
     "side_by_side",
     "select_dependent_calls",
     "SpecCoverage",

@@ -22,7 +22,7 @@ from typing import List, Optional, Set, Tuple
 
 from ..corpus.program import TestProgram
 from ..vm.machine import Machine
-from .execution import TestCaseRunner
+from .execution import BaselineCache, TestCaseRunner
 from .generation import TestCase
 from .nondet import NondetAnalyzer
 from .report import TestReport
@@ -58,10 +58,13 @@ class Detector:
     """The §4.3 detection pipeline bound to one machine."""
 
     def __init__(self, machine: Machine, spec: Specification,
-                 nondet: Optional[NondetAnalyzer] = None):
+                 nondet: Optional[NondetAnalyzer] = None,
+                 baselines: Optional[BaselineCache] = None):
         self._machine = machine
         self._spec = spec
-        self._runner = TestCaseRunner(machine)
+        # *baselines* may be shared across the detectors of a worker
+        # pool: receiver-alone results depend only on the snapshot.
+        self._runner = TestCaseRunner(machine, baselines=baselines)
         self._nondet = nondet or NondetAnalyzer(machine)
 
     @property

@@ -15,11 +15,56 @@ non-determinism cache.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+import threading
+from typing import Dict, Optional, Tuple
 
 from ..corpus.program import TestProgram
 from ..vm.executor import ExecutionResult
 from ..vm.machine import RECEIVER, SENDER, Machine
+
+
+class BaselineCache:
+    """Thread-safe receiver-alone result cache, shareable across workers.
+
+    Execution results are immutable once produced, so one worker's
+    baseline serves every test case with the same receiver program —
+    including cases scheduled on *other* workers, since all cluster
+    machines restore the same snapshot.  The lock only guards the dict;
+    two workers may still race to compute the same baseline (both miss,
+    both run), which is wasteful but harmless: ``put`` keeps the first.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._results: Dict[str, ExecutionResult] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, receiver_hash: str) -> Optional[ExecutionResult]:
+        with self._lock:
+            result = self._results.get(receiver_hash)
+            if result is None:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return result
+
+    def put(self, receiver_hash: str, result: ExecutionResult) -> None:
+        with self._lock:
+            self._results.setdefault(receiver_hash, result)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._results.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._results)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
 
 
 class TestCaseRunner:
@@ -27,9 +72,10 @@ class TestCaseRunner:
 
     __test__ = False  # not a pytest class, despite the name
 
-    def __init__(self, machine: Machine):
+    def __init__(self, machine: Machine,
+                 baselines: Optional[BaselineCache] = None):
         self._machine = machine
-        self._baselines: Dict[str, ExecutionResult] = {}
+        self._baselines = baselines if baselines is not None else BaselineCache()
         #: Test-case executions performed (the §6.5 throughput unit).
         self.cases_executed = 0
 
@@ -52,8 +98,12 @@ class TestCaseRunner:
         machine = self._machine
         machine.reset()
         result = machine.run(RECEIVER, receiver)
-        self._baselines[receiver.hash_hex] = result
+        self._baselines.put(receiver.hash_hex, result)
         return result
+
+    @property
+    def baselines(self) -> BaselineCache:
+        return self._baselines
 
     def clear_caches(self) -> None:
         self._baselines.clear()

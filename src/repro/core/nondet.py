@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 from typing import Dict, FrozenSet, Optional, Sequence, Tuple
 
 from ..corpus.program import TestProgram
@@ -35,40 +36,77 @@ def offsets_to_boot_ns(offsets: Sequence[int]) -> Tuple[int, ...]:
 
 
 class NondetStore:
-    """On-disk cache of non-determinism marks, keyed by program hash."""
+    """Cache of non-determinism marks, keyed by program hash + offsets.
+
+    Thread-safe, so one store can be shared by every worker of a
+    distributed campaign: a verdict computed on any machine is valid for
+    all of them (they restore the same snapshot).  Verdicts are keyed by
+    the boot-offset schedule as well as the program hash — marks
+    computed under one offset set say nothing about another.  The empty
+    offsets key (the default) keeps the single-key API and on-disk
+    layout backward compatible.  Disk writes go through a temp file +
+    ``os.replace`` so concurrent writers can never expose a torn file.
+    """
 
     def __init__(self, directory: Optional[str] = None):
         self._directory = directory
-        self._memory: Dict[str, FrozenSet[Path]] = {}
+        self._memory: Dict[Tuple[str, str], FrozenSet[Path]] = {}
+        self._lock = threading.RLock()
+        self.hits = 0
+        self.misses = 0
         if directory is not None:
             os.makedirs(directory, exist_ok=True)
 
-    def get(self, program_hash: str) -> Optional[FrozenSet[Path]]:
-        if program_hash in self._memory:
-            return self._memory[program_hash]
+    def get(self, program_hash: str,
+            offsets_key: str = "") -> Optional[FrozenSet[Path]]:
+        key = (program_hash, offsets_key)
+        with self._lock:
+            if key in self._memory:
+                self.hits += 1
+                return self._memory[key]
+            marks = self._load(program_hash, offsets_key)
+            if marks is None:
+                self.misses += 1
+                return None
+            self._memory[key] = marks
+            self.hits += 1
+            return marks
+
+    def put(self, program_hash: str, marks: FrozenSet[Path],
+            offsets_key: str = "") -> None:
+        with self._lock:
+            self._memory[(program_hash, offsets_key)] = marks
+            if self._directory is None:
+                return
+            file_path = self._file_for(program_hash, offsets_key)
+            tmp_path = f"{file_path}.tmp.{threading.get_ident()}"
+            with open(tmp_path, "w") as handle:
+                json.dump(sorted(list(path) for path in marks), handle)
+            os.replace(tmp_path, file_path)
+
+    def _load(self, program_hash: str,
+              offsets_key: str) -> Optional[FrozenSet[Path]]:
         if self._directory is None:
             return None
-        file_path = self._file_for(program_hash)
+        file_path = self._file_for(program_hash, offsets_key)
         if not os.path.exists(file_path):
             return None
         with open(file_path) as handle:
             raw = json.load(handle)
-        marks = frozenset(tuple(path) for path in raw)
-        self._memory[program_hash] = marks
-        return marks
+        return frozenset(tuple(path) for path in raw)
 
-    def put(self, program_hash: str, marks: FrozenSet[Path]) -> None:
-        self._memory[program_hash] = marks
-        if self._directory is None:
-            return
-        with open(self._file_for(program_hash), "w") as handle:
-            json.dump(sorted(list(path) for path in marks), handle)
+    def _file_for(self, program_hash: str, offsets_key: str = "") -> str:
+        stem = program_hash if not offsets_key else f"{program_hash}.{offsets_key}"
+        return os.path.join(self._directory, f"{stem}.nondet.json")
 
-    def _file_for(self, program_hash: str) -> str:
-        return os.path.join(self._directory, f"{program_hash}.nondet.json")
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
 
     def __len__(self) -> int:
-        return len(self._memory)
+        with self._lock:
+            return len(self._memory)
 
 
 class NondetAnalyzer:
@@ -81,10 +119,19 @@ class NondetAnalyzer:
         # __len__), so ``store or NondetStore()`` would discard it.
         self._store = store if store is not None else NondetStore()
         self._boot_offsets = offsets_to_boot_ns(offsets)
+        # Verdicts depend on which boot offsets were compared, so the
+        # offset schedule is part of the cache key (empty for the
+        # default schedule, keeping the on-disk layout stable).
+        self._offsets_key = ("" if tuple(offsets) == DEFAULT_OFFSET_SECONDS
+                             else "-".join(str(s) for s in offsets))
         self.runs_executed = 0
 
+    @property
+    def store(self) -> NondetStore:
+        return self._store
+
     def nondet_paths(self, program: TestProgram) -> FrozenSet[Path]:
-        cached = self._store.get(program.hash_hex)
+        cached = self._store.get(program.hash_hex, self._offsets_key)
         if cached is not None:
             return cached
         trees = []
@@ -94,5 +141,5 @@ class NondetAnalyzer:
             trees.append(build_trace_ast(result.records))
             self.runs_executed += 1
         marks = nondet_paths_from_runs(trees)
-        self._store.put(program.hash_hex, marks)
+        self._store.put(program.hash_hex, marks, self._offsets_key)
         return marks

@@ -12,6 +12,7 @@ oracle) the set of injected bugs the campaign discovered.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set
@@ -19,15 +20,16 @@ from typing import Callable, Dict, List, Optional, Set
 from ..corpus.generator import build_corpus
 from ..corpus.program import TestProgram
 from ..vm.cluster import run_distributed
-from ..vm.machine import Machine, MachineConfig
+from ..vm.machine import Machine, MachineConfig, MachineStats
 from .aggregation import ReportGroups, aggregate
 from .clustering import strategy_by_name
 from .detection import DetectionResult, Detector, Outcome
 from .diagnosis import Diagnoser
+from .execution import BaselineCache
 from .generation import GenerationResult, TestCase, TestCaseGenerator
 from .nondet import DEFAULT_OFFSET_SECONDS, NondetAnalyzer, NondetStore
 from .oracle import FALSE_POSITIVE, UNDER_INVESTIGATION, classify_all
-from .profile import Profiler
+from .profile import Profiler, profile_corpus_distributed
 from .report import TestReport
 from .spec import Specification, default_specification
 
@@ -89,11 +91,58 @@ class CampaignStats:
     diagnosis_reruns: int = 0
     diagnosis_seconds: float = 0.0
     outcomes: Dict[str, int] = field(default_factory=dict)
+    #: §6.5 restore telemetry, summed over every machine the campaign
+    #: booted (main + profiling workers + execution workers).
+    restore_count: int = 0
+    full_restores: int = 0
+    segmented_restores: int = 0
+    segments_restored: int = 0
+    segments_skipped: int = 0
+    restore_seconds: float = 0.0
+    #: Restore time attributed to each pipeline stage.
+    profile_restore_seconds: float = 0.0
+    execution_restore_seconds: float = 0.0
+    diagnosis_restore_seconds: float = 0.0
+    #: Shared-cache effectiveness (receiver-alone baselines, §4.3.2
+    #: non-determinism verdicts).
+    baseline_hits: int = 0
+    baseline_misses: int = 0
+    nondet_cache_hits: int = 0
+    nondet_cache_misses: int = 0
 
     def executions_per_second(self) -> float:
         if self.execution_seconds <= 0:
             return 0.0
         return self.cases_executed / self.execution_seconds
+
+    def baseline_hit_rate(self) -> float:
+        total = self.baseline_hits + self.baseline_misses
+        return self.baseline_hits / total if total else 0.0
+
+    def nondet_cache_hit_rate(self) -> float:
+        total = self.nondet_cache_hits + self.nondet_cache_misses
+        return self.nondet_cache_hits / total if total else 0.0
+
+    def segments_skipped_rate(self) -> float:
+        """Fraction of snapshot segments a reset did *not* have to restore."""
+        total = self.segments_restored + self.segments_skipped
+        return self.segments_skipped / total if total else 0.0
+
+    def absorb_machine(self, machine_stats: MachineStats,
+                       stage: str = "") -> None:
+        """Fold one machine's restore counters into the campaign totals."""
+        self.restore_count += machine_stats.restores
+        self.full_restores += machine_stats.full_restores
+        self.segmented_restores += machine_stats.segmented_restores
+        self.segments_restored += machine_stats.segments_restored
+        self.segments_skipped += machine_stats.segments_skipped
+        self.restore_seconds += machine_stats.restore_seconds
+        if stage == "profile":
+            self.profile_restore_seconds += machine_stats.restore_seconds
+        elif stage == "execution":
+            self.execution_restore_seconds += machine_stats.restore_seconds
+        elif stage == "diagnosis":
+            self.diagnosis_restore_seconds += machine_stats.restore_seconds
 
 
 @dataclass
@@ -143,6 +192,12 @@ class Kit:
             config.corpus_size, seed=config.corpus_seed)
         stats.corpus_size = len(corpus)
         machine = Machine(config.machine)
+        # Caches shared by every detector this campaign builds — the
+        # sequential one, each worker's, and the diagnosis one.  Both
+        # are keyed by snapshot-relative program state, so a result
+        # computed on any machine is valid on all of them.
+        baselines = BaselineCache()
+        nondet_store = NondetStore(config.nondet_dir)
 
         generation = self._generate(machine, corpus, stats, say)
         cases = generation.test_cases
@@ -151,7 +206,7 @@ class Kit:
         stats.cases_total = len(cases)
 
         say(f"executing {len(cases)} test cases ({generation.strategy})")
-        results = self._execute(machine, cases, stats)
+        results = self._execute(machine, cases, stats, baselines, nondet_store)
 
         reports = [r.report for r in results if r.report is not None]
         stats.initial_reports = sum(
@@ -168,7 +223,12 @@ class Kit:
 
         if config.diagnose and reports:
             say(f"diagnosing {len(reports)} reports (Algorithm 2)")
-            self._diagnose(machine, reports, stats)
+            self._diagnose(machine, reports, stats, baselines, nondet_store)
+
+        stats.baseline_hits = baselines.hits
+        stats.baseline_misses = baselines.misses
+        stats.nondet_cache_hits = nondet_store.hits
+        stats.nondet_cache_misses = nondet_store.misses
 
         groups = aggregate(reports)
         say(f"done: {len(reports)} reports, "
@@ -186,16 +246,27 @@ class Kit:
             say(f"RAND: sampling {budget} random pairs")
             return generator.generate_random(budget, seed=config.rand_seed)
 
-        say(f"profiling {len(corpus)} programs (4 runs each)")
+        say(f"profiling {len(corpus)} programs (4 runs each"
+            + (f", {config.workers} workers)" if config.workers > 0 else ")"))
         start = time.monotonic()
-        if config.profile_dir is not None:
-            from .profile_store import CachingProfiler
-
-            profiler = CachingProfiler(machine, config.profile_dir)
+        before = machine.stats.copy()
+        if config.workers > 0:
+            profiles, profilers, worker_machines = profile_corpus_distributed(
+                config.machine, corpus, config.workers,
+                profile_dir=config.profile_dir)
+            stats.profile_runs = sum(p.runs_executed for p in profilers)
+            for worker_machine in worker_machines:
+                stats.absorb_machine(worker_machine.stats, stage="profile")
         else:
-            profiler = Profiler(machine)
-        profiles = profiler.profile_corpus(corpus)
-        stats.profile_runs = profiler.runs_executed
+            if config.profile_dir is not None:
+                from .profile_store import CachingProfiler
+
+                profiler = CachingProfiler(machine, config.profile_dir)
+            else:
+                profiler = Profiler(machine)
+            profiles = profiler.profile_corpus(corpus)
+            stats.profile_runs = profiler.runs_executed
+            stats.absorb_machine(machine.stats.since(before), stage="profile")
         stats.profile_seconds = time.monotonic() - start
 
         start = time.monotonic()
@@ -210,57 +281,89 @@ class Kit:
         return result
 
     def _execute(self, machine: Machine, cases: List[TestCase],
-                 stats: CampaignStats) -> List[DetectionResult]:
+                 stats: CampaignStats, baselines: BaselineCache,
+                 nondet_store: NondetStore) -> List[DetectionResult]:
         config = self.config
         start = time.monotonic()
+        before = machine.stats.copy()
         if config.workers > 0:
-            results = self._execute_distributed(cases, stats)
+            results = self._execute_distributed(cases, stats, baselines,
+                                                nondet_store)
         else:
-            detector = self._make_detector(machine)
+            detector = self._make_detector(machine, nondet_store, baselines)
             results = [detector.check_case(case) for case in cases]
             stats.cases_executed = detector.runner.cases_executed
             stats.nondet_runs = detector.nondet.runs_executed
+            stats.absorb_machine(machine.stats.since(before),
+                                 stage="execution")
         stats.execution_seconds = time.monotonic() - start
         return results
 
     def _execute_distributed(self, cases: List[TestCase],
-                             stats: CampaignStats) -> List[DetectionResult]:
+                             stats: CampaignStats, baselines: BaselineCache,
+                             nondet_store: NondetStore
+                             ) -> List[DetectionResult]:
         config = self.config
+        # One detector per *worker* (not per machine object: machine ids
+        # can be recycled by the allocator after a worker exits).
         detectors: Dict[int, Detector] = {}
+        detectors_lock = threading.Lock()
 
         def case_runner(machine: Machine, case: TestCase) -> DetectionResult:
-            detector = detectors.get(id(machine))
-            if detector is None:
-                detector = self._make_detector(machine)
-                detectors[id(machine)] = detector
+            with detectors_lock:
+                detector = detectors.get(machine.cluster_worker_id)
+                if detector is None:
+                    detector = self._make_detector(machine, nondet_store,
+                                                   baselines)
+                    detectors[machine.cluster_worker_id] = detector
             return detector.check_case(case)
 
-        job_results = run_distributed(config.machine, cases, case_runner,
-                                      workers=config.workers)
-        results = []
+        # Receiver-affinity schedule: sorting by receiver hash makes
+        # cases sharing a receiver program adjacent in the queue, so
+        # their baseline and non-determinism lookups hit the shared
+        # caches instead of recomputing per worker.  Results are mapped
+        # back through the inverse permutation, so callers still see
+        # them in the original case order.
+        order = sorted(range(len(cases)),
+                       key=lambda i: cases[i].receiver.hash_hex)
+        scheduled = [cases[i] for i in order]
+        worker_machines: List[Machine] = []
+        job_results = run_distributed(config.machine, scheduled, case_runner,
+                                      workers=config.workers,
+                                      machines_out=worker_machines)
+        results: List[Optional[DetectionResult]] = [None] * len(cases)
         for job in job_results:
             if job.error is not None:
-                raise RuntimeError(f"worker failure: {job.error}")
-            results.append(job.outcome)
+                raise RuntimeError(
+                    f"worker failure on job {job.job_id}: {job.error}")
+            results[order[job.job_id]] = job.outcome
+        for worker_machine in worker_machines:
+            stats.absorb_machine(worker_machine.stats, stage="execution")
         stats.cases_executed = sum(d.runner.cases_executed
                                    for d in detectors.values())
         stats.nondet_runs = sum(d.nondet.runs_executed
                                 for d in detectors.values())
-        return results
+        return results  # type: ignore[return-value]
 
     def _diagnose(self, machine: Machine, reports: List[TestReport],
-                  stats: CampaignStats) -> None:
+                  stats: CampaignStats, baselines: BaselineCache,
+                  nondet_store: NondetStore) -> None:
         start = time.monotonic()
-        detector = self._make_detector(machine)
+        before = machine.stats.copy()
+        detector = self._make_detector(machine, nondet_store, baselines)
         diagnoser = Diagnoser(detector)
         for report in reports:
             diagnoser.diagnose(report)
         stats.diagnosis_reruns = diagnoser.reruns
+        stats.absorb_machine(machine.stats.since(before), stage="diagnosis")
         stats.diagnosis_seconds = time.monotonic() - start
 
-    def _make_detector(self, machine: Machine) -> Detector:
+    def _make_detector(self, machine: Machine,
+                       store: Optional[NondetStore] = None,
+                       baselines: Optional[BaselineCache] = None) -> Detector:
         config = self.config
-        store = NondetStore(config.nondet_dir)
+        if store is None:
+            store = NondetStore(config.nondet_dir)
         analyzer = NondetAnalyzer(machine, store=store,
                                   offsets=config.nondet_offsets)
-        return Detector(machine, config.spec, analyzer)
+        return Detector(machine, config.spec, analyzer, baselines=baselines)

@@ -13,13 +13,15 @@ the program alone (the stable execution environment of §4.1.1).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..corpus.program import TestProgram
 from ..kernel.ktrace import KernelTracer
+from ..vm.cluster import run_distributed
 from ..vm.executor import CallAccesses, SyscallRecord
-from ..vm.machine import RECEIVER, SENDER, Machine
+from ..vm.machine import RECEIVER, SENDER, Machine, MachineConfig
 
 
 @dataclass
@@ -76,3 +78,53 @@ class Profiler:
 
     def profile_corpus(self, corpus: Sequence[TestProgram]) -> List[ProgramProfile]:
         return [self.profile(program, index) for index, program in enumerate(corpus)]
+
+
+def profile_corpus_distributed(
+        machine_config: MachineConfig, corpus: Sequence[TestProgram],
+        workers: int, profile_dir: Optional[str] = None,
+) -> Tuple[List[ProgramProfile], List[Any], List[Machine]]:
+    """Profile *corpus* on a cluster worker pool (one job per program).
+
+    Profiles are pure functions of (program, snapshot), and every worker
+    restores the same snapshot, so fanning the corpus out over the pool
+    is semantics-preserving — each worker lazily builds its own
+    :class:`Profiler` (or :class:`~repro.core.profile_store
+    .CachingProfiler` when *profile_dir* is set), keyed by the worker id
+    the cluster stamps on its machine.  Results come back in corpus
+    order regardless of scheduling.
+
+    Returns ``(profiles, profilers, machines)`` so the caller can sum
+    run counts and fold restore telemetry into the campaign stats.
+    """
+    profilers: Dict[int, Any] = {}
+    lock = threading.Lock()
+
+    def make_profiler(machine: Machine) -> Any:
+        if profile_dir is not None:
+            from .profile_store import CachingProfiler
+
+            return CachingProfiler(machine, profile_dir)
+        return Profiler(machine)
+
+    def runner(machine: Machine, payload: Tuple[int, TestProgram]
+               ) -> ProgramProfile:
+        index, program = payload
+        with lock:
+            profiler = profilers.get(machine.cluster_worker_id)
+            if profiler is None:
+                profiler = make_profiler(machine)
+                profilers[machine.cluster_worker_id] = profiler
+        return profiler.profile(program, index)
+
+    machines: List[Machine] = []
+    job_results = run_distributed(machine_config, list(enumerate(corpus)),
+                                  runner, workers=workers,
+                                  machines_out=machines)
+    profiles: List[ProgramProfile] = []
+    for job in job_results:
+        if job.error is not None:
+            raise RuntimeError(
+                f"profiling failed on job {job.job_id}: {job.error}")
+        profiles.append(job.outcome)
+    return profiles, list(profilers.values()), machines

@@ -18,6 +18,7 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import threading
 from typing import List, Optional, Sequence
 
 from ..corpus.program import TestProgram
@@ -66,8 +67,13 @@ class ProfileStore:
         return profile
 
     def put(self, profile: ProgramProfile) -> None:
-        with open(self._path(profile.program), "wb") as handle:
+        # Atomic publish: parallel profiling workers share this
+        # directory, and a reader must never see a torn pickle.
+        path = self._path(profile.program)
+        tmp_path = f"{path}.tmp.{threading.get_ident()}"
+        with open(tmp_path, "wb") as handle:
             pickle.dump(profile, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp_path, path)
 
 
 class CachingProfiler:

@@ -76,6 +76,11 @@ class Kernel:
         self.bugs = bugs if bugs is not None else fixed_kernel()
         self.arena = KernelArena()
         self.tracer: Optional[KernelTracer] = None
+        #: Objects mutated through untraced paths since the last segmented
+        #: restore (see :mod:`repro.vm.segments`): the caller task of every
+        #: syscall, plus structures marked via :meth:`mark_dirty_object`.
+        #: Runtime bookkeeping, never snapshot state.
+        self._dirty_roots: set = set()
         self.clock = VirtualClock()
         self.namespaces = NamespaceRegistry()
         self.tasks = TaskTable(self.arena)
@@ -107,12 +112,23 @@ class Kernel:
     def __getstate__(self) -> Dict[str, Any]:
         state = dict(self.__dict__)
         state["tracer"] = None
+        state["_dirty_roots"] = set()
         return state
 
     def attach_tracer(self, tracer: Optional[KernelTracer]) -> None:
         """Install (or remove, with None) the instrumentation sink."""
         self.tracer = tracer
         self.arena.tracer = tracer
+
+    def mark_dirty_object(self, obj: Any) -> None:
+        """Record an untraced structural mutation of *obj* for the
+        segmented snapshot engine.  Required wherever kernel code mutates
+        plain Python containers on objects that predate the snapshot
+        (mount tables, the namespace registry, the task table); traced
+        :mod:`~repro.kernel.memory` writes are caught by the arena's
+        write barrier and need no mark.
+        """
+        self._dirty_roots.add(obj)
 
     # -- boot -----------------------------------------------------------------
 
@@ -159,6 +175,7 @@ class Kernel:
                    comm: str = "executor") -> Task:
         task = Task(self.arena, nsproxy or self.init_nsproxy, uid=uid, comm=comm)
         self.tasks.attach(task)
+        self.mark_dirty_object(self.tasks)
         return task
 
     def unshare(self, task: Task, flags: int) -> int:
@@ -176,6 +193,7 @@ class Kernel:
         for ns_type in types:
             replacements[ns_type] = self._new_namespace(task, ns_type)
         task.nsproxy = task.nsproxy.copy_with(replacements)
+        self.mark_dirty_object(task)
         if NamespaceType.PID in replacements:
             new_pid_ns = replacements[NamespaceType.PID]
             assert isinstance(new_pid_ns, PidNamespace)
@@ -209,6 +227,7 @@ class Kernel:
         else:
             namespace = TimeNamespace(self.arena, inum)
         self.namespaces.register(namespace)
+        self.mark_dirty_object(self.namespaces)
         return namespace
 
     # -- time ---------------------------------------------------------------
@@ -246,6 +265,11 @@ class Kernel:
         from .syscalls import dispatch
 
         self.syscall_seq += 1
+        # Blanket mark: syscalls freely mutate their caller's untraced
+        # task state (fd table, nsproxy, cgroup path), so the caller is
+        # always restored.  Traced kernel memory is covered by the
+        # arena's write barrier instead.
+        self._dirty_roots.add(task)
         return dispatch(self, task, name, args)
 
 

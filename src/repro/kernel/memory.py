@@ -50,15 +50,20 @@ class KernelArena:
     def __init__(self) -> None:
         self._next_addr = self._HEAP_BASE
         self.tracer: Optional[KernelTracer] = None
+        #: Write barrier for segmented snapshots: called with the target
+        #: address of every traced store, tracer or no tracer (the
+        #: snapshot engine must see writes even in un-instrumented runs).
+        self.dirty_hook: Optional[Any] = None
 
-    # The tracer is runtime instrumentation state, never kernel state:
-    # exclude it from snapshots.
+    # The tracer and dirty hook are runtime instrumentation state, never
+    # kernel state: exclude them from snapshots.
     def __getstate__(self) -> Dict[str, Any]:
         return {"_next_addr": self._next_addr}
 
     def __setstate__(self, state: Dict[str, Any]) -> None:
         self._next_addr = state["_next_addr"]
         self.tracer = None
+        self.dirty_hook = None
 
     def alloc(self, size: int) -> int:
         """Reserve *size* bytes and return the base address."""
@@ -73,6 +78,8 @@ class KernelArena:
         instruction address — the kernel-model line that performed the
         access, not the accessor helper itself.
         """
+        if is_write and self.dirty_hook is not None:
+            self.dirty_hook(addr)
         tracer = self.tracer
         if tracer is None or not tracer.enabled:
             return

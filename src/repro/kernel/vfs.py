@@ -506,6 +506,9 @@ class Vfs:
             raise SyscallError(ENOTDIR, target)
         sb = self.new_superblock(fs_type)
         ns.mounts.append(self.new_mount(target, sb))
+        # The mount table is a plain list (untraced): tell the snapshot
+        # engine this namespace changed.
+        self._kernel.mark_dirty_object(ns)
         return 0
 
     @kfunc
@@ -522,4 +525,5 @@ class Vfs:
         if mount is None:
             raise SyscallError(EINVAL, f"{target} is not a mountpoint here")
         ns.mounts.remove(mount)
+        self._kernel.mark_dirty_object(ns)
         return 0

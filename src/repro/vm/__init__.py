@@ -2,7 +2,15 @@
 
 from .cluster import ClusterServer, ClusterWorker, Job, JobResult, run_distributed
 from .executor import ExecutionResult, Executor, SyscallRecord
-from .machine import RECEIVER, SENDER, ContainerConfig, Machine, MachineConfig
+from .machine import (
+    RECEIVER,
+    SENDER,
+    ContainerConfig,
+    Machine,
+    MachineConfig,
+    MachineStats,
+)
+from .segments import RestoreConsistencyError, SegmentedImage, state_fingerprint
 from .snapshot import Snapshot
 
 __all__ = [
@@ -15,9 +23,13 @@ __all__ = [
     "JobResult",
     "Machine",
     "MachineConfig",
+    "MachineStats",
     "RECEIVER",
+    "RestoreConsistencyError",
     "SENDER",
+    "SegmentedImage",
     "Snapshot",
     "SyscallRecord",
     "run_distributed",
+    "state_fingerprint",
 ]

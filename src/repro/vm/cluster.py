@@ -87,36 +87,73 @@ class ClusterWorker(threading.Thread):
                  case_runner: Callable[[Machine, Any], Any]):
         super().__init__(name=f"kit-worker-{worker_id}", daemon=True)
         self._server = server
-        self._worker_id = worker_id
+        self.worker_id = worker_id
         self._case_runner = case_runner
+        #: Error that killed the worker before it could drain the queue
+        #: (e.g. a Machine boot failure); inspected by run_distributed.
+        self.fatal_error: Optional[str] = None
+        #: The booted machine, exposed so callers can collect telemetry
+        #: (restore stats) after the pool joins.
+        self.machine: Optional[Machine] = None
 
     def run(self) -> None:
-        machine = Machine(self._server.fetch_machine_config())
+        try:
+            machine = Machine(self._server.fetch_machine_config())
+        except Exception as error:  # boot failure: report, leave queue alone
+            self.fatal_error = f"{type(error).__name__}: {error}"
+            return
+        machine.cluster_worker_id = self.worker_id
+        self.machine = machine
         while True:
             job = self._server.fetch_job()
             if job is None:
                 return
             try:
                 outcome = self._case_runner(machine, job.payload)
-                result = JobResult(job.job_id, outcome, self._worker_id)
+                result = JobResult(job.job_id, outcome, self.worker_id)
             except Exception as error:  # defensive: report, don't kill worker
-                result = JobResult(job.job_id, None, self._worker_id,
+                result = JobResult(job.job_id, None, self.worker_id,
                                    error=f"{type(error).__name__}: {error}")
             self._server.submit_result(result)
 
 
 def run_distributed(machine_config: MachineConfig, payloads: Iterable[Any],
                     case_runner: Callable[[Machine, Any], Any],
-                    workers: int = 2) -> List[JobResult]:
+                    workers: int = 2,
+                    machines_out: Optional[List[Machine]] = None
+                    ) -> List[JobResult]:
     """Run *payloads* through *case_runner* on a worker pool.
 
     Returns results ordered by job id, so the output is independent of
-    worker scheduling.
+    worker scheduling.  The pool is clamped to the number of jobs (never
+    below one) — booting more machines than there are jobs is pure
+    overhead.  If workers die before the queue drains (machine boot
+    failure, a crashed thread), a RuntimeError names every unfinished
+    job id instead of silently returning a short result list.
+
+    *machines_out*, if given, receives each worker's booted machine
+    after the pool joins, for restore/cache telemetry collection.
     """
     server = ClusterServer(machine_config, payloads)
-    pool = [ClusterWorker(server, i, case_runner) for i in range(max(1, workers))]
+    if server.job_count == 0:
+        return []
+    pool_size = min(max(1, workers), server.job_count)
+    pool = [ClusterWorker(server, i, case_runner) for i in range(pool_size)]
     for worker in pool:
         worker.start()
     for worker in pool:
         worker.join()
-    return server.results_in_order()
+    if machines_out is not None:
+        machines_out.extend(w.machine for w in pool if w.machine is not None)
+    results = server.results_in_order()
+    if len(results) != server.job_count:
+        finished = {result.job_id for result in results}
+        missing = [job_id for job_id in range(server.job_count)
+                   if job_id not in finished]
+        boot_errors = "; ".join(
+            f"worker {w.worker_id}: {w.fatal_error}"
+            for w in pool if w.fatal_error is not None) or "unknown cause"
+        raise RuntimeError(
+            f"cluster finished with {len(missing)} unfinished job(s) "
+            f"{missing} ({boot_errors})")
+    return results

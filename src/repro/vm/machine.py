@@ -15,6 +15,7 @@ container's flags.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
@@ -60,6 +61,50 @@ class MachineConfig:
     bugs: BugFlags = field(default_factory=BugFlags)
     sender: ContainerConfig = field(default_factory=lambda: ContainerConfig(SENDER))
     receiver: ContainerConfig = field(default_factory=lambda: ContainerConfig(RECEIVER))
+    #: Restore the whole kernel from the full pickle on every reset
+    #: instead of restoring only dirty segments in place (the slow,
+    #: trivially correct path; segmented is the default).
+    full_restore: bool = False
+    #: After every segmented reset, cross-verify the restored state
+    #: against the full snapshot byte-for-byte and fail loudly on any
+    #: divergence (opt-in: it re-pickles the whole kernel each reset).
+    verify_restore: bool = False
+
+
+@dataclass
+class MachineStats:
+    """Restore telemetry for one machine (feeds §6.5 reporting)."""
+
+    full_restores: int = 0
+    segmented_restores: int = 0
+    segments_restored: int = 0
+    segments_skipped: int = 0
+    restore_seconds: float = 0.0
+
+    @property
+    def restores(self) -> int:
+        return self.full_restores + self.segmented_restores
+
+    def merge(self, other: "MachineStats") -> None:
+        """Fold another machine's counters into this one (cluster sum)."""
+        self.full_restores += other.full_restores
+        self.segmented_restores += other.segmented_restores
+        self.segments_restored += other.segments_restored
+        self.segments_skipped += other.segments_skipped
+        self.restore_seconds += other.restore_seconds
+
+    def copy(self) -> "MachineStats":
+        return replace(self)
+
+    def since(self, earlier: "MachineStats") -> "MachineStats":
+        """Counters accumulated after *earlier* (per-stage attribution)."""
+        return MachineStats(
+            full_restores=self.full_restores - earlier.full_restores,
+            segmented_restores=self.segmented_restores - earlier.segmented_restores,
+            segments_restored=self.segments_restored - earlier.segments_restored,
+            segments_skipped=self.segments_skipped - earlier.segments_skipped,
+            restore_seconds=self.restore_seconds - earlier.restore_seconds,
+        )
 
 
 class Machine:
@@ -70,8 +115,17 @@ class Machine:
         self.kernel: Kernel = None  # type: ignore[assignment]
         self.sender_task: Task = None  # type: ignore[assignment]
         self.receiver_task: Task = None  # type: ignore[assignment]
+        self.stats = MachineStats()
+        #: Set by the cluster layer: which worker owns this machine.
+        self.cluster_worker_id: Optional[int] = None
         self.snapshot = self._boot_and_snapshot()
-        self.reset()
+        if self.snapshot.image is not None:
+            # The boot kernel stays live: segmented resets restore it in
+            # place, so it must be the kernel the image is bound to.
+            self.snapshot.image.attach()
+            self._bind(self.snapshot.image.kernel)
+        else:
+            self.reset()
 
     # -- boot ------------------------------------------------------------------
 
@@ -85,14 +139,38 @@ class Machine:
                 mnt_ns = task.nsproxy.get(NamespaceType.MNT)
                 mnt_ns.mounts.clear()
                 kernel.vfs.install_standard_tree(mnt_ns)
-        return Snapshot.take(kernel, description="post-container-setup")
+        return Snapshot.take(kernel, description="post-container-setup",
+                             segmented=not self.config.full_restore)
 
     # -- state control -----------------------------------------------------
 
     def reset(self, boot_offset_ns: Optional[int] = None) -> None:
-        """Reload the snapshot (optionally with a rebased clock)."""
-        kernel = self.snapshot.restore(boot_offset_ns)
-        self._bind(kernel)
+        """Reload the snapshot (optionally with a rebased clock).
+
+        With a segmented snapshot (the default) this restores only the
+        segments dirtied since the last reset, in place — task identity
+        is preserved across resets.  With ``full_restore`` (or when no
+        image exists) the whole kernel is deserialized afresh.
+        """
+        image = self.snapshot.image
+        start = time.perf_counter()
+        if image is None:
+            kernel = self.snapshot.restore(boot_offset_ns)
+            self._bind(kernel)
+            self.stats.full_restores += 1
+        else:
+            # Drop any leftover instrumentation first: a full restore
+            # yields a tracerless kernel, and segmented resets must too.
+            self.kernel.attach_tracer(None)
+            restored, skipped = image.restore_in_place()
+            if self.config.verify_restore:
+                image.verify()
+            if boot_offset_ns is not None:
+                self.kernel.clock.rebase(boot_offset_ns)
+            self.stats.segmented_restores += 1
+            self.stats.segments_restored += restored
+            self.stats.segments_skipped += skipped
+        self.stats.restore_seconds += time.perf_counter() - start
 
     def _bind(self, kernel: Kernel) -> None:
         self.kernel = kernel

@@ -1,0 +1,473 @@
+"""Segmented kernel snapshots — the fast-restore engine behind §6.5.
+
+A full snapshot restore deserializes the *entire* kernel before every
+run, even though a short test program mutates only a sliver of it.  This
+module decomposes one kernel into **segments** — disjoint groups of
+snapshot *roots* (the kernel shell, the arena, the clock, every
+subsystem singleton, every namespace instance, every task) — pickles
+each group into its own payload, and restores **in place**: dirty
+groups are re-materialized from their payloads while clean groups keep
+their live (still-pristine) objects.
+
+Correctness rests on three pillars:
+
+1. **Identity-stable roots.**  Restoring never replaces a root object;
+   it overwrites the root's ``__dict__``/slots from the payload.  Every
+   cross-segment reference goes through a persistent id resolved against
+   the live root table, so clean segments can never see a stale object.
+2. **Closure by construction.**  While taking the snapshot, a canonical
+   walk records every mutable interior object each root's state reaches.
+   Roots that *share* a mutable interior are merged into one group
+   (union-find) and pickled with a common memo, so a payload is always a
+   closed object graph — no restore order can split a shared object in
+   two or revive a stale alias.
+3. **Write-barrier dirty tracking.**  Traced kernel-memory writes are
+   mapped (field address → group) through a hook on the arena; untraced
+   structural mutations (nsproxy swaps, mount-table edits, task and
+   namespace creation) are marked explicitly via
+   ``Kernel.mark_dirty_object``.  An opt-in consistency check re-walks
+   every root after an incremental restore and compares its canonical
+   state against the snapshot reference, naming any divergent root — so
+   speed is never silently traded for correctness (see
+   ``MachineConfig.verify_restore``).
+
+The canonical serialization (:func:`state_fingerprint`) is deliberately
+*not* ``pickle.dumps``: pickle encodes sharing of **immutable** objects
+(interned strings, small ints) as memo back-references, so two
+semantically identical kernels — one restored in place, one freshly
+unpickled — can produce different pickles.  The canonical form encodes
+values, dict ordering, and aliasing of **mutable** objects only, which
+is exactly the state the kernel model can observe.
+
+Objects created *after* the snapshot (sockets, open files, unshared
+namespaces) are not roots: writes to their addresses are ignored, and
+they vanish when the containers that reference them are restored — the
+same lifetime they had under full restore.
+"""
+
+from __future__ import annotations
+
+import enum
+import io
+import pickle
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..kernel.kernel import Kernel
+from ..kernel.memory import KCell, KDict, KList, KStruct
+
+#: A stable, picklable identifier for one snapshot root.
+RootKey = Tuple[Any, ...]
+
+_PROTO = pickle.HIGHEST_PROTOCOL
+
+#: Kernel attributes that are runtime plumbing or dedicated roots of
+#: their own, not ``("sub", name)`` subsystem roots.
+_KERNEL_NON_SUB_ATTRS = frozenset({
+    "config", "bugs", "tracer", "syscall_seq", "_dirty_roots",
+    "arena", "clock", "namespaces", "tasks", "init_nsproxy",
+    "init_mnt_ns", "init_net", "init_task",
+})
+
+#: Root keys whose groups are restored on *every* reset: their state
+#: mutates through untraced paths on effectively every run (virtual
+#: time, the syscall sequence counter, the allocator watermark, and
+#: conntrack's per-tick background churn).
+_ALWAYS_DIRTY_KEYS = (
+    ("kernel",), ("clock",), ("arena",), ("sub", "conntrack"),
+)
+
+
+class RestoreConsistencyError(AssertionError):
+    """An incremental restore produced state diverging from the snapshot."""
+
+    def __init__(self, offenders: List[RootKey]):
+        self.offenders = offenders
+        super().__init__(
+            "segmented restore diverged from the full snapshot on root(s) "
+            + ", ".join(repr(key) for key in offenders)
+            + " — a mutation escaped dirty tracking")
+
+
+def _capture_state(key: RootKey, obj: Any) -> Dict[str, Any]:
+    """One root's restorable state, preserving ``__dict__`` key order."""
+    if key == ("arena",):
+        # The arena's only kernel state is the allocator watermark; the
+        # tracer and dirty hook are live plumbing that must survive.
+        return {"_next_addr": obj._next_addr}
+    d = getattr(obj, "__dict__", None)
+    if d is not None:
+        state = dict(d)
+        if key == ("kernel",):
+            state["tracer"] = None
+            state["_dirty_roots"] = set()
+        return state
+    state = {}
+    for cls in type(obj).__mro__:
+        for name in getattr(cls, "__slots__", ()):
+            if name != "__dict__" and hasattr(obj, name):
+                state[name] = getattr(obj, name)
+    return state
+
+
+def _apply_state(key: RootKey, obj: Any, state: Dict[str, Any]) -> None:
+    """Overwrite *obj* in place from *state*, keeping its identity."""
+    if key == ("arena",):
+        obj._next_addr = state["_next_addr"]
+        return
+    d = getattr(obj, "__dict__", None)
+    if d is not None:
+        d.clear()
+        d.update(state)
+    else:
+        for name, value in state.items():
+            setattr(obj, name, value)
+
+
+def _addresses_of(obj: Any) -> Tuple[int, ...]:
+    """Every traced kernel-memory address owned by *obj*."""
+    if isinstance(obj, KStruct):
+        base = obj._base
+        return tuple(base + off for off in type(obj)._offsets.values())
+    if isinstance(obj, (KCell, KList, KDict)):
+        return (obj._addr,)
+    return ()
+
+
+class _CanonicalWalker:
+    """Deterministic value-serializer for kernel state graphs.
+
+    Produces bytes that are equal iff two graphs carry the same values,
+    the same container orderings, and the same aliasing of mutable
+    objects; identity of immutables is deliberately ignored.  Every
+    mutable object visited is collected in :attr:`seen` — the walk
+    doubles as the closure probe for segment grouping.
+    """
+
+    def __init__(self, root_ids: Dict[int, RootKey]):
+        self._root_ids = root_ids
+        self._memo: Dict[int, int] = {}
+        self.seen: List[Any] = []
+
+    def walk_state(self, state: Dict[str, Any]) -> bytes:
+        """Canonical bytes of a root's captured state dict."""
+        chunks = [b"S%d" % len(state)]
+        for name, value in state.items():
+            chunks.append(self._w(name))
+            chunks.append(self._w(value))
+        return b"".join(chunks)
+
+    def _w(self, obj: Any) -> bytes:
+        key = self._root_ids.get(id(obj))
+        if key is not None:
+            return b"R" + repr(key).encode()
+        if obj is None or obj is True or obj is False:
+            return b"c" + repr(obj).encode()
+        kind = type(obj)
+        if kind in (int, float, complex, str, bytes):
+            return b"v" + repr(obj).encode()
+        if isinstance(obj, enum.Enum):
+            return (b"E" + type(obj).__qualname__.encode()
+                    + b"." + obj.name.encode())
+        if isinstance(obj, type):
+            return b"T%s:%s" % (obj.__module__.encode(),
+                                obj.__qualname__.encode())
+        if kind in (tuple, frozenset):
+            # Value types: encoded inline, never memoized (their sharing
+            # is unobservable).  frozensets are order-canonicalized.
+            parts = [self._w(item) for item in obj]
+            if kind is frozenset:
+                parts.sort()
+            return b"t%d(" % len(parts) + b"".join(parts) + b")"
+        index = self._memo.get(id(obj))
+        if index is not None:
+            return b"@%d" % index
+        self._memo[id(obj)] = len(self._memo)
+        self.seen.append(obj)
+        if kind is dict:
+            chunks = [b"d%d(" % len(obj)]
+            for item_key, value in obj.items():
+                chunks.append(self._w(item_key))
+                chunks.append(self._w(value))
+            return b"".join(chunks) + b")"
+        if kind is list:
+            return (b"l%d(" % len(obj)
+                    + b"".join(self._w(item) for item in obj) + b")")
+        if kind is set:
+            parts = sorted(self._w(item) for item in obj)
+            return b"s%d(" % len(parts) + b"".join(parts) + b")"
+        if callable(obj) and not hasattr(obj, "__dict__") \
+                and not hasattr(obj, "__slots__"):
+            return b"F" + getattr(obj, "__qualname__", repr(obj)).encode()
+        # Arbitrary object: class plus captured state.
+        head = b"o%s:%s{" % (kind.__module__.encode(),
+                             kind.__qualname__.encode())
+        getstate = getattr(obj, "__getstate__", None)
+        if getstate is not None:
+            return head + self._w(getstate()) + b"}"
+        d = getattr(obj, "__dict__", None)
+        if d is not None:
+            return head + self._w(d) + b"}"
+        state = {}
+        for cls in kind.__mro__:
+            for name in getattr(cls, "__slots__", ()):
+                if name != "__dict__" and hasattr(obj, name):
+                    state[name] = getattr(obj, name)
+        return head + self._w(state) + b"}"
+
+
+def state_fingerprint(kernel: Kernel) -> bytes:
+    """Canonical bytes of one kernel's complete observable state.
+
+    Two kernels with equal fingerprints are indistinguishable to any
+    test program: same values, same container orderings, same aliasing
+    of mutable kernel objects.  Used by the segmented-vs-full restore
+    equivalence tests and the benchmark regression gate.
+    """
+    return _CanonicalWalker({})._w(kernel)
+
+
+class _GroupPickler(pickle.Pickler):
+    """Payload writer: stubs roots with persistent ids."""
+
+    def __init__(self, stream: io.BytesIO, root_pids: Dict[int, RootKey]):
+        super().__init__(stream, protocol=_PROTO)
+        self._root_pids = root_pids
+
+    def persistent_id(self, obj: Any) -> Optional[Tuple[str, RootKey]]:
+        key = self._root_pids.get(id(obj))
+        if key is not None:
+            return ("r", key)
+        return None
+
+
+class _ResolvingUnpickler(pickle.Unpickler):
+    """Resolves persistent root references against the live root table."""
+
+    def __init__(self, stream: io.BytesIO, live: Dict[RootKey, Any]):
+        super().__init__(stream)
+        self._live = live
+
+    def persistent_load(self, pid: Tuple[str, RootKey]) -> Any:
+        tag, key = pid
+        if tag != "r":  # pragma: no cover - payload corruption guard
+            raise pickle.UnpicklingError(f"unknown persistent id {pid!r}")
+        return self._live[tuple(key)]
+
+
+class _UnionFind:
+    def __init__(self, count: int):
+        self._parent = list(range(count))
+
+    def find(self, index: int) -> int:
+        parent = self._parent
+        root = index
+        while parent[root] != root:
+            root = parent[root]
+        while parent[index] != root:
+            parent[index], index = root, parent[index]
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[rb] = ra
+
+
+class SegmentedImage:
+    """A segmented snapshot of one live kernel, bound to that kernel.
+
+    Build with :meth:`build`; install the write barrier with
+    :meth:`attach`; restore dirty segments with :meth:`restore_in_place`.
+    """
+
+    def __init__(self) -> None:
+        self.kernel: Kernel = None  # type: ignore[assignment]
+        #: RootKey -> live root object (identity-stable across restores).
+        self.roots: Dict[RootKey, Any] = {}
+        #: id(root) -> group index, for explicit object dirty marks.
+        self._group_of_root_id: Dict[int, int] = {}
+        #: group index -> pickled [(key, state), ...] payload.
+        self.payloads: List[bytes] = []
+        #: group index -> member root keys (diagnostics / telemetry).
+        self.group_members: List[List[RootKey]] = []
+        #: traced field address -> owning group index.
+        self._addr_to_group: Dict[int, int] = {}
+        #: per-root canonical state bytes, the consistency reference.
+        self._reference: Dict[RootKey, bytes] = {}
+        #: groups restored on every reset (untraced hot-path mutations).
+        self.always_dirty: frozenset = frozenset()
+        #: groups dirtied since the last restore (fed by the write hook
+        #: and by the kernel's explicit object marks).
+        self._dirty_groups: set = set()
+        self.attached = False
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def build(cls, kernel: Kernel) -> "SegmentedImage":
+        image = cls()
+        image.kernel = kernel
+        image._enumerate_roots(kernel)
+        root_keys = list(image.roots)
+        root_pids = {id(obj): key for key, obj in image.roots.items()}
+
+        # Probe pass: one canonical walk per root yields the consistency
+        # reference, interior-object ownership, and traced-address
+        # ownership.  ``keepalive`` pins every visited object (and the
+        # temporary state dicts) until grouping is done, so ``id()``
+        # keys cannot be recycled mid-build.
+        owner: Dict[int, int] = {}
+        uf = _UnionFind(len(root_keys))
+        addr_owner: Dict[int, int] = {}
+        keepalive: List[Any] = []
+        for index, key in enumerate(root_keys):
+            root = image.roots[key]
+            state = _capture_state(key, root)
+            walker = _CanonicalWalker(root_pids)
+            image._reference[key] = walker.walk_state(state)
+            keepalive.append((state, walker.seen))
+            for addr in _addresses_of(root):
+                addr_owner[addr] = index
+            for obj in walker.seen:
+                for addr in _addresses_of(obj):
+                    addr_owner[addr] = index
+                previous = owner.setdefault(id(obj), index)
+                if previous != index:
+                    uf.union(previous, index)
+
+        # Grouping: one payload per union-find component, pickled with a
+        # shared memo so intra-group sharing survives restore.
+        component_to_group: Dict[int, int] = {}
+        members: List[List[int]] = []
+        for index in range(len(root_keys)):
+            component = uf.find(index)
+            group = component_to_group.setdefault(component, len(members))
+            if group == len(members):
+                members.append([])
+            members[group].append(index)
+
+        for group_indices in members:
+            entries = []
+            for index in group_indices:
+                key = root_keys[index]
+                entries.append((key, _capture_state(key, image.roots[key])))
+            stream = io.BytesIO()
+            _GroupPickler(stream, root_pids).dump(entries)
+            image.payloads.append(stream.getvalue())
+            image.group_members.append([root_keys[i] for i in group_indices])
+
+        for group, group_indices in enumerate(members):
+            for index in group_indices:
+                root = image.roots[root_keys[index]]
+                image._group_of_root_id[id(root)] = group
+        image._addr_to_group = {
+            addr: image._group_of_root_id[id(image.roots[root_keys[index]])]
+            for addr, index in addr_owner.items()
+        }
+        image.always_dirty = frozenset(
+            image._group_of_root_id[id(image.roots[key])]
+            for key in _ALWAYS_DIRTY_KEYS if key in image.roots
+        )
+        del keepalive
+        return image
+
+    def _enumerate_roots(self, kernel: Kernel) -> None:
+        roots = self.roots
+        roots[("kernel",)] = kernel
+        roots[("arena",)] = kernel.arena
+        roots[("clock",)] = kernel.clock
+        roots[("nsproxy0",)] = kernel.init_nsproxy
+        roots[("registry",)] = kernel.namespaces
+        roots[("tasktable",)] = kernel.tasks
+        for name, value in kernel.__dict__.items():
+            if name in _KERNEL_NON_SUB_ATTRS:
+                continue
+            roots[("sub", name)] = value
+        for instances in kernel.namespaces.instances.values():
+            for namespace in instances:
+                roots[("ns", namespace.inum)] = namespace
+        for task in kernel.tasks.tasks:
+            roots[("task", task.base_address)] = task
+
+    # -- runtime binding -----------------------------------------------------
+
+    def attach(self) -> None:
+        """Install the write barrier and start with a clean dirty set."""
+        self.kernel.arena.dirty_hook = self.note_write
+        self.kernel._dirty_roots.clear()
+        self._dirty_groups.clear()
+        self.attached = True
+
+    def note_write(self, addr: int) -> None:
+        """Arena write barrier: map one traced store to its group."""
+        group = self._addr_to_group.get(addr)
+        if group is not None:
+            self._dirty_groups.add(group)
+
+    # -- restore -------------------------------------------------------------
+
+    def collect_dirty(self) -> set:
+        """Dirty groups = write barrier + explicit marks + always-dirty."""
+        dirty = set(self._dirty_groups)
+        group_of = self._group_of_root_id
+        for obj in self.kernel._dirty_roots:
+            group = group_of.get(id(obj))
+            if group is not None:
+                dirty.add(group)
+        dirty |= self.always_dirty
+        return dirty
+
+    def restore_in_place(self) -> Tuple[int, int]:
+        """Restore every dirty group into the live kernel.
+
+        Returns ``(restored, skipped)`` group counts.
+        """
+        if not self.attached:
+            raise RuntimeError("image not attached to its kernel")
+        dirty = self.collect_dirty()
+        live = self.roots
+        for group in dirty:
+            stream = io.BytesIO(self.payloads[group])
+            entries = _ResolvingUnpickler(stream, live).load()
+            for key, state in entries:
+                _apply_state(key, live[key], state)
+        self._dirty_groups.clear()
+        self.kernel._dirty_roots.clear()
+        return len(dirty), len(self.payloads) - len(dirty)
+
+    # -- consistency ---------------------------------------------------------
+
+    def verify(self) -> None:
+        """Re-walk every root and compare against the snapshot reference.
+
+        Raises :class:`RestoreConsistencyError` naming the divergent
+        roots if any mutation escaped dirty tracking.
+        """
+        root_pids = {id(obj): key for key, obj in self.roots.items()}
+        offenders: List[RootKey] = []
+        for key, reference in self._reference.items():
+            state = _capture_state(key, self.roots[key])
+            walker = _CanonicalWalker(root_pids)
+            if walker.walk_state(state) != reference:
+                offenders.append(key)
+        if offenders:
+            raise RestoreConsistencyError(offenders)
+
+    # -- telemetry -----------------------------------------------------------
+
+    @property
+    def group_count(self) -> int:
+        return len(self.payloads)
+
+    @property
+    def segmented_bytes(self) -> int:
+        return sum(len(payload) for payload in self.payloads)
+
+    def describe_groups(self) -> List[Tuple[List[RootKey], int]]:
+        """(member keys, payload size) per group, for benchmarks/docs."""
+        return [(list(keys), len(payload))
+                for keys, payload in zip(self.group_members, self.payloads)]
+
+
+#: Type of the arena's dirty hook, for reference by the kernel layer.
+DirtyHook = Callable[[int], None]

@@ -5,6 +5,17 @@ independent copy, so every test-case execution and profiling run starts
 from the identical machine state (§4.1.1's "systematic execution
 environment").  Tracers are excluded from snapshots by the kernel's own
 ``__getstate__``.
+
+Snapshots can additionally be taken *segmented*
+(``Snapshot.take(kernel, segmented=True)``): the same kernel state is
+also decomposed into per-root payloads by
+:class:`~repro.vm.segments.SegmentedImage`, bound to the live kernel the
+snapshot was taken from.  :class:`~repro.vm.machine.Machine` uses the
+image to restore **in place**, reloading only the segments a run
+dirtied — the fast path behind the §6.5 throughput numbers.  The full
+blob is always kept: it serves independent-copy restores (cluster
+workers, tests) and is the byte-identity reference for the segmented
+consistency check.
 """
 
 from __future__ import annotations
@@ -13,24 +24,31 @@ import pickle
 from typing import Optional
 
 from ..kernel.kernel import Kernel
+from .segments import SegmentedImage
 
 
 class Snapshot:
     """An immutable, restorable kernel state."""
 
-    __slots__ = ("blob", "description")
+    __slots__ = ("blob", "description", "image")
 
-    def __init__(self, blob: bytes, description: str = ""):
+    def __init__(self, blob: bytes, description: str = "",
+                 image: Optional[SegmentedImage] = None):
         self.blob = blob
         self.description = description
+        #: Segmented view bound to the snapshotted kernel, when taken
+        #: with ``segmented=True``; None otherwise.
+        self.image = image
 
     @classmethod
-    def take(cls, kernel: Kernel, description: str = "") -> "Snapshot":
-        return cls(pickle.dumps(kernel, protocol=pickle.HIGHEST_PROTOCOL),
-                   description)
+    def take(cls, kernel: Kernel, description: str = "",
+             segmented: bool = False) -> "Snapshot":
+        blob = pickle.dumps(kernel, protocol=pickle.HIGHEST_PROTOCOL)
+        image = SegmentedImage.build(kernel) if segmented else None
+        return cls(blob, description, image)
 
     def restore(self, boot_offset_ns: Optional[int] = None) -> Kernel:
-        """Materialize a fresh kernel from the snapshot.
+        """Materialize a fresh, independent kernel from the snapshot.
 
         *boot_offset_ns* rebases the virtual clock — the mechanism behind
         "re-runs the receiver program multiple times with different
@@ -44,3 +62,13 @@ class Snapshot:
     @property
     def size_bytes(self) -> int:
         return len(self.blob)
+
+    @property
+    def segment_count(self) -> int:
+        """Number of independently restorable segments (0 if unsegmented)."""
+        return self.image.group_count if self.image is not None else 0
+
+    @property
+    def segmented_bytes(self) -> int:
+        """Total payload size of the segmented view (0 if unsegmented)."""
+        return self.image.segmented_bytes if self.image is not None else 0

@@ -1,0 +1,109 @@
+"""Cluster edge cases: pool sizing, failure propagation, determinism."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.kernel import linux_5_13
+from repro.vm import Machine, MachineConfig, run_distributed
+from repro.vm import cluster as cluster_mod
+
+CONFIG = MachineConfig(bugs=linux_5_13())
+
+
+def test_more_workers_than_jobs():
+    """The pool clamps to the job count: no machine boots for nothing."""
+    results = run_distributed(CONFIG, ["a", "b"],
+                              lambda machine, payload: payload.upper(),
+                              workers=8)
+    assert [r.outcome for r in results] == ["A", "B"]
+    # Only as many workers as jobs ever produced results.
+    assert {r.worker for r in results} <= {0, 1}
+
+
+def test_empty_payload_list():
+    results = run_distributed(CONFIG, [],
+                              lambda machine, payload: payload, workers=3)
+    assert results == []
+
+
+def test_runner_exception_carries_job_id_and_spares_others():
+    """One raising job reports its error; every other job still runs."""
+
+    def runner(machine, payload):
+        if payload == 2:
+            raise ValueError("boom on two")
+        return payload * 10
+
+    results = run_distributed(CONFIG, [0, 1, 2, 3], runner, workers=2)
+    assert len(results) == 4
+    failed = results[2]
+    assert failed.job_id == 2
+    assert failed.outcome is None
+    assert "ValueError" in failed.error and "boom on two" in failed.error
+    assert [r.outcome for r in results if r.job_id != 2] == [0, 10, 30]
+    assert all(r.error is None for r in results if r.job_id != 2)
+
+
+def test_results_in_order_under_scheduling_jitter():
+    """Job-id ordering is independent of which worker finishes when."""
+
+    def runner(machine, payload):
+        # Earlier jobs sleep longer, so completion order inverts
+        # submission order whenever more than one worker is running.
+        time.sleep(0.02 if payload < 2 else 0.0)
+        return payload
+
+    payloads = list(range(6))
+    results = run_distributed(CONFIG, payloads, runner, workers=3)
+    assert [r.job_id for r in results] == payloads
+    assert [r.outcome for r in results] == payloads
+
+
+def test_worker_machines_get_worker_ids():
+    def runner(machine, payload):
+        return machine.cluster_worker_id
+
+    machines = []
+    results = run_distributed(CONFIG, list(range(8)), runner, workers=2,
+                              machines_out=machines)
+    assert {r.outcome for r in results} <= {0, 1}
+    assert len(machines) == 2
+    assert sorted(m.cluster_worker_id for m in machines) == [0, 1]
+
+
+def test_boot_failure_reports_unfinished_jobs(monkeypatch):
+    """A worker dying at boot raises instead of returning a short list."""
+
+    def exploding_machine(config):
+        raise RuntimeError("no memory for VM")
+
+    monkeypatch.setattr(cluster_mod, "Machine", exploding_machine)
+    with pytest.raises(RuntimeError) as excinfo:
+        run_distributed(CONFIG, ["x", "y", "z"],
+                        lambda machine, payload: payload, workers=2)
+    message = str(excinfo.value)
+    assert "3 unfinished job(s)" in message
+    assert "[0, 1, 2]" in message
+    assert "no memory for VM" in message
+
+
+def test_one_worker_booting_still_drains_queue(monkeypatch):
+    """If only some workers boot, the survivors finish every job."""
+    real_machine = cluster_mod.Machine
+    booted = []
+
+    def flaky_machine(config):
+        if not booted:
+            booted.append(True)
+            return real_machine(config)
+        raise RuntimeError("second VM failed to boot")
+
+    monkeypatch.setattr(cluster_mod, "Machine", flaky_machine)
+    results = run_distributed(CONFIG, list(range(5)),
+                              lambda machine, payload: payload, workers=2)
+    assert [r.outcome for r in results] == list(range(5))
+    # Whichever worker won the boot race did all the work alone.
+    assert len({r.worker for r in results}) == 1
