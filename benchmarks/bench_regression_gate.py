@@ -5,10 +5,12 @@ campaign per kernel build and diff the AGG-RS groups.  Regenerates a
 three-way comparison (buggy 5.13 → partially patched → fully patched)
 and benchmarks the diff operation itself.
 
-Also hosts the performance gates of the fast-restore engine: segmented
+Also hosts the performance gates of the fast-restore engine (segmented
 restore must beat full restore by the PR's acceptance margin, the
 per-reset latency must stay within budget, and campaign execution rate
-must not regress below its floor.
+must not regress below its floor) and the static-analysis gate (the
+clean kernel lints clean, the injected bugs are rediscovered without
+execution, the shared caches keep their lock discipline).
 """
 
 import time
@@ -110,3 +112,51 @@ def test_restore_performance_gate(campaign_513, benchmark):
         f"segmented reset took {seg_reset * 1e3:.3f} ms"
     assert exec_rate >= MIN_EXECUTIONS_PER_SECOND, \
         f"campaign executed only {exec_rate:.1f} cases/s"
+
+
+#: The ISSUE's acceptance bar for static bug rediscovery.
+MIN_REDISCOVERY_RATE = 0.6
+
+
+def test_static_analysis_gate(benchmark):
+    """The `analyze --check` invariants, regenerated as a results table."""
+    from repro.analysis import analyze, rediscover_bugs
+    from repro.analysis.locks import check_lock_discipline
+    from repro.analysis.sources import KernelSourceIndex
+    from repro.cli import main as cli_main
+
+    index = KernelSourceIndex()
+    clean = analyze(bugs=fixed_kernel(), kernel_name="fixed")
+    rediscovery = benchmark(rediscover_bugs, index)
+    lock_findings = check_lock_discipline()
+
+    lines = [f"{'bug flag':<28} {'expected':>9} {'found':>6} {'path hit':>9}",
+             "-" * 56]
+    for flag in sorted(rediscovery.per_bug):
+        result = rediscovery.per_bug[flag]
+        lines.append(f"{flag:<28} "
+                     f"{'static' if result.expected else 'value':>9} "
+                     f"{'yes' if result.found else 'no':>6} "
+                     f"{'yes' if result.hit_expected_path else 'no':>9}")
+    lines.append("")
+    lines.append(f"clean-kernel unsuppressed findings: "
+                 f"{len(clean.unsuppressed())} "
+                 f"(suppressed: {len(clean.escape_findings) - len(clean.unsuppressed())})")
+    lines.append(f"rediscovery rate: {len(rediscovery.found)}/"
+                 f"{len(rediscovery.per_bug)} = {rediscovery.rate():.0%} "
+                 f"(gate: >={MIN_REDISCOVERY_RATE:.0%})")
+    lines.append(f"lock-discipline findings: {len(lock_findings)}")
+    emit_table("static_analysis", "Static interference analysis gate", lines)
+
+    assert clean.unsuppressed() == [], \
+        "the patched kernel must lint clean"
+    assert rediscovery.rate() >= MIN_REDISCOVERY_RATE, \
+        f"rediscovered only {rediscovery.rate():.0%} of the injected bugs"
+    assert rediscovery.matches_expectations(), \
+        "a statically detectable bug was missed (or a value bug 'found')"
+    for flag, result in rediscovery.per_bug.items():
+        if result.expected:
+            assert result.findings, f"{flag}: no fresh static finding"
+    assert lock_findings == [], \
+        "shared pipeline caches broke the lexical lock discipline"
+    assert cli_main(["analyze", "--check"]) == 0

@@ -1,0 +1,60 @@
+"""Static interference analysis over the simulated kernel's source.
+
+KIT computes the syscall -> kernel-state access relation *dynamically*,
+by profiling memory accesses (paper §4.1).  This package computes the
+same relation *statically*: an abstract interpreter walks the ``ast`` of
+every syscall handler, resolves attribute chains to a canonical
+kernel-state location lattice, and emits per-syscall read/write sets.
+
+On top of the access maps sit three consumers:
+
+* :mod:`repro.analysis.escape` — the namespace-escape lint, which flags
+  handlers touching global state without a namespace guard and
+  statically rediscovers the injected bugs of :mod:`repro.kernel.bugs`;
+* :mod:`repro.analysis.prefilter` — a candidate-pair prior for
+  :class:`repro.core.generation.TestCaseGenerator`, pruning program
+  pairs whose static access sets are provably disjoint;
+* :mod:`repro.analysis.locks` — a lock-discipline checker for the
+  pipeline's shared concurrent structures.
+
+See docs/ANALYSIS.md for the lattice, the lint rules, and suppression.
+"""
+
+from .accessmap import AccessMap, SyscallSummary, extract_access_map
+from .escape import EscapeFinding, EscapeLinter, rediscover_bugs
+from .locations import (
+    BROADCAST,
+    GLOBAL,
+    INIT,
+    NAMESPACE,
+    TASK,
+    Access,
+    StateLocation,
+)
+from .locks import LockFinding, check_lock_discipline
+from .prefilter import PrefilterStats, StaticPreFilter
+from .report import AnalysisReport, analyze, render_json, render_text
+
+__all__ = [
+    "Access",
+    "AccessMap",
+    "AnalysisReport",
+    "BROADCAST",
+    "EscapeFinding",
+    "EscapeLinter",
+    "analyze",
+    "GLOBAL",
+    "INIT",
+    "LockFinding",
+    "NAMESPACE",
+    "PrefilterStats",
+    "StateLocation",
+    "StaticPreFilter",
+    "SyscallSummary",
+    "TASK",
+    "check_lock_discipline",
+    "extract_access_map",
+    "render_json",
+    "render_text",
+    "rediscover_bugs",
+]

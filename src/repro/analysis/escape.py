@@ -1,0 +1,306 @@
+"""The namespace-escape lint.
+
+Three rules over the static access map, each flagging an access that can
+carry state across container boundaries without namespace mediation:
+
+``E1`` — unguarded shared-scope read
+    A handler reads ``GLOBAL`` state without a namespace guard in the
+    reading function.  If the entry point is one the specification
+    selects as touching protected resources, the value can surface in a
+    cross-container trace divergence — exactly the interference class
+    KIT detects dynamically.
+``E2`` — broadcast access
+    A handler reads or writes state reached by *enumerating* namespaces
+    or tasks (``kernel.namespaces.live(...)``, ``tasks.all_tasks()``):
+    one container's syscall touches every other container's instance.
+``E3`` — init-namespace read
+    A handler resolves state through a ``kernel.init_*`` escape hatch
+    instead of ``task.nsproxy`` — it reads the init namespace's
+    instance on behalf of a task that may live in a different one.
+
+A *namespace guard* is an ``is``/``is not`` comparison between
+namespace values, a PID translation, or a namespace-membership filter
+in the accessing function (see :mod:`repro.analysis.interp`); guarded
+accesses are deliberate cross-namespace filtering, not escapes.
+
+Findings are suppressible by location path (optionally narrowed to one
+function).  The default suppressions cover the fresh-id allocator
+pattern — global counters whose values are never compared across
+namespaces, the paper's §6.4 device-number false-positive class.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .accessmap import (
+    PROC_READ_PREFIX,
+    PROC_WRITE_PREFIX,
+    AccessMap,
+    extract_access_map,
+)
+from .locations import BROADCAST, INIT, SHARED_SCOPES, Access
+from .sources import KernelSourceIndex
+
+#: Generic descriptor kinds: a declared ``fd``/``sock`` argument can
+#: hold any concrete descriptor kind at runtime, so the syscall may
+#: touch protected resources and the lint must consider it selected.
+WILDCARD_KINDS = frozenset({"fd", "sock"})
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """Silence findings on one location path (optionally one function)."""
+
+    path: str
+    function: Optional[str] = None  #: None = any function.
+    reason: str = ""
+
+    def matches(self, access: Access) -> bool:
+        if self.path != access.path:
+            return False
+        return self.function is None or self.function == access.function
+
+
+#: The allocator-pattern suppressions validated against the clean
+#: kernel: global id counters whose freshly drawn values never collide
+#: across namespaces (§6.4's device-number class), plus the close-path
+#: unbind that only deletes the closing socket's own registry entry.
+DEFAULT_SUPPRESSIONS: Tuple[Suppression, ...] = (
+    Suppression("kernel.vfs.anon_dev_next",
+                reason="global anon-dev allocator; fresh ids are never "
+                       "compared across namespaces (§6.4 FP class)"),
+    Suppression("kernel.vfs.mnt_id_next",
+                reason="global mount-id allocator; same fresh-id argument"),
+    Suppression("kernel.net.unix.ino_next",
+                reason="global unix-inode allocator; same fresh-id argument"),
+    Suppression("kernel.net.unix.by_ino", function="NetSubsystem.release",
+                reason="close-path unbind removes only the closing "
+                       "socket's own entry"),
+)
+
+
+@dataclass(frozen=True)
+class EscapeFinding:
+    """One namespace-escape lint finding."""
+
+    rule: str                       #: E1 | E2 | E3
+    entry: str                      #: syscall name or proc:<key> entry
+    access: Access
+    spec_entries: Tuple[str, ...]   #: spec entries selecting the entry
+    message: str
+    suppressed: bool = False
+
+    def key(self) -> Tuple[str, str, str, str, str]:
+        """Identity for diffing maps across kernel versions."""
+        return (self.entry, self.access.path, self.access.scope,
+                self.access.kind, self.access.site())
+
+    def render(self) -> str:
+        mark = " (suppressed)" if self.suppressed else ""
+        return f"{self.rule} {self.message}{mark}"
+
+
+class _StaticRecord:
+    """The slice of a SyscallRecord the spec checkers actually read."""
+
+    def __init__(self, name: str, kinds: Sequence[str] = ()):
+        self.name = name
+        self._kinds = list(kinds)
+
+    def resource_kinds(self) -> List[str]:
+        return self._kinds
+
+
+def proc_key_kind(key: str) -> str:
+    """Resource kind of an fd open on ``/proc/<key>`` (mirrors
+    ``OpenFile.resource_kind``)."""
+    if key.startswith("net/"):
+        return "fd_proc_net"
+    if key.startswith("sys/net/"):
+        return "fd_proc_sys_net"
+    if key.startswith("sys/kernel/"):
+        return "fd_proc_sys_kernel"
+    if key.startswith("sys/"):
+        return "fd_proc_sys"
+    return "fd_proc"
+
+
+def declared_kinds(name: str, decls=None) -> Set[str]:
+    """Statically declared resource kinds of syscall *name*."""
+    if decls is None:
+        from ..kernel.syscalls.table import DECLS as decls
+    if name not in decls:
+        return set()
+    decl = decls.get(name)
+    kinds = {arg.resource for arg in decl.args if arg.resource}
+    if decl.ret_resource:
+        kinds.add(decl.ret_resource)
+    return kinds
+
+
+class EscapeLinter:
+    """Runs the escape rules over one kernel version's access map."""
+
+    def __init__(self, access_map: AccessMap, spec=None, decls=None,
+                 suppressions: Sequence[Suppression] = DEFAULT_SUPPRESSIONS):
+        if spec is None:
+            from ..core.spec import default_specification
+            spec = default_specification()
+        if decls is None:
+            from ..kernel.syscalls.table import DECLS as decls
+        self._map = access_map
+        self._spec = spec
+        self._decls = decls
+        self._suppressions = tuple(suppressions)
+
+    # -- spec selection ----------------------------------------------------
+
+    def spec_entries_for(self, entry: str) -> Tuple[str, ...]:
+        """The spec entries selecting *entry*, empty when unprotected.
+
+        Static protectedness over-approximates the dynamic gate: a
+        generic ``fd``/``sock`` descriptor argument may refine to a
+        protected kind at runtime, so it selects the entry here.
+        """
+        if entry.startswith(PROC_READ_PREFIX):
+            kinds = {proc_key_kind(entry[len(PROC_READ_PREFIX):])}
+            name = "read"
+        elif entry.startswith(PROC_WRITE_PREFIX):
+            kinds = {proc_key_kind(entry[len(PROC_WRITE_PREFIX):])}
+            name = "write"
+        else:
+            kinds = declared_kinds(entry, self._decls)
+            name = entry
+        selected = sorted(kinds & self._spec.protected_kinds)
+        selected += sorted(f"{kind} (any descriptor)"
+                           for kind in kinds & WILDCARD_KINDS)
+        record = _StaticRecord(name)
+        selected += [checker.__name__ for checker in self._spec.checkers
+                     if checker(record)]
+        return tuple(selected)
+
+    # -- rules -------------------------------------------------------------
+
+    @staticmethod
+    def rule_for(access: Access) -> Optional[str]:
+        """Which escape rule (if any) an access is a candidate for."""
+        if access.guarded or access.scope not in SHARED_SCOPES:
+            return None
+        if access.scope == BROADCAST:
+            return "E2"
+        if access.is_write():
+            # GLOBAL/INIT writes always pair with a read candidate (the
+            # injected bugs are all observed through reads); the read
+            # side carries the finding, keeping the clean-kernel rule
+            # set exactly the validated one.
+            return None
+        return "E3" if access.scope == INIT else "E1"
+
+    def run(self) -> List[EscapeFinding]:
+        """All findings, suppressed ones flagged (not dropped)."""
+        findings: List[EscapeFinding] = []
+        for entry, summary in sorted(self._map.entries().items()):
+            spec_entries = self.spec_entries_for(entry)
+            if not spec_entries:
+                continue
+            seen: Set[Tuple[str, str, str, str, str]] = set()
+            for access in summary.accesses:
+                rule = self.rule_for(access)
+                if rule is None:
+                    continue
+                suppressed = any(s.matches(access)
+                                 for s in self._suppressions)
+                finding = EscapeFinding(
+                    rule=rule,
+                    entry=entry,
+                    access=access,
+                    spec_entries=spec_entries,
+                    message=(f"{entry}: {access.kind} of {access.path} "
+                             f"[{access.scope}] in {access.function} at "
+                             f"{access.site()} without a namespace guard "
+                             f"(spec: {', '.join(spec_entries)})"),
+                    suppressed=suppressed,
+                )
+                if finding.key() in seen:
+                    continue
+                seen.add(finding.key())
+                findings.append(finding)
+        return findings
+
+    def unsuppressed(self) -> List[EscapeFinding]:
+        return [f for f in self.run() if not f.suppressed]
+
+
+# -- bug rediscovery ---------------------------------------------------------
+
+@dataclass
+class BugRediscovery:
+    """Per-injected-bug outcome of the static differential lint."""
+
+    flag: str
+    expected: bool              #: statically detectable per the registry
+    found: bool
+    hit_expected_path: bool     #: a finding names the registered path
+    findings: Tuple[EscapeFinding, ...] = ()
+
+
+@dataclass
+class RediscoveryReport:
+    """The Table-2/3 rediscovery summary."""
+
+    per_bug: Dict[str, BugRediscovery] = field(default_factory=dict)
+
+    @property
+    def found(self) -> List[str]:
+        return sorted(f for f, r in self.per_bug.items() if r.found)
+
+    @property
+    def missed(self) -> List[str]:
+        return sorted(f for f, r in self.per_bug.items() if not r.found)
+
+    def rate(self) -> float:
+        if not self.per_bug:
+            return 0.0
+        return len(self.found) / len(self.per_bug)
+
+    def matches_expectations(self) -> bool:
+        return all(r.found == r.expected for r in self.per_bug.values())
+
+
+def rediscover_bugs(index: Optional[KernelSourceIndex] = None, spec=None,
+                    src_dir: Optional[str] = None) -> RediscoveryReport:
+    """Differentially lint every single-bug kernel against the clean one.
+
+    For each injected-bug flag, the access map of the kernel with only
+    that bug is extracted (the abstract interpreter folds the flag's
+    conditionals to the buggy branch) and linted; findings absent from
+    the clean kernel's lint are the bug's static signature.
+    """
+    from ..kernel import bugs as bugs_mod
+
+    index = index or KernelSourceIndex(src_dir)
+    clean_map = extract_access_map(bugs_mod.fixed_kernel(), index)
+    clean_keys = {f.key() for f in EscapeLinter(clean_map, spec).run()}
+
+    specs = {s.flag: s for s in bugs_mod.BUG_SPECS}
+    report = RediscoveryReport()
+    for flag_field in dataclasses.fields(bugs_mod.BugFlags):
+        flag = flag_field.name
+        buggy_map = extract_access_map(
+            bugs_mod.BugFlags(**{flag: True}), index)
+        fresh = tuple(
+            f for f in EscapeLinter(buggy_map, spec).run()
+            if f.key() not in clean_keys and not f.suppressed
+        )
+        bug_spec = specs.get(flag)
+        expected = bug_spec.statically_detectable if bug_spec else True
+        hit = bool(bug_spec) and any(
+            f.access.path == bug_spec.state_path for f in fresh)
+        report.per_bug[flag] = BugRediscovery(
+            flag=flag, expected=expected, found=bool(fresh),
+            hit_expected_path=hit, findings=fresh,
+        )
+    return report

@@ -1,0 +1,1318 @@
+"""Abstract interpretation of kernel-model handler bodies.
+
+The interpreter walks syscall-handler ``ast`` bodies with an abstract
+environment that tracks *where state lives* instead of what it holds:
+``task.nsproxy.get(NamespaceType.NET)`` evaluates to "the caller's net
+namespace", ``self.sockets_used_global`` to "the traced cell at
+``kernel.net.sockets_used_global``".  Method calls on those values emit
+:class:`~repro.analysis.locations.Access` records; calls into other
+kernel-model functions are inlined so a handler's summary covers its
+whole dynamic extent (matching what the runtime tracer would see).
+
+Precision choices mirror the runtime's aliasing semantics
+(:mod:`repro.kernel.memory`):
+
+* Bug flags (``kernel.bugs.<flag>``) fold to constants when the
+  interpreter is given a :class:`~repro.kernel.bugs.BugFlags`, so each
+  kernel version yields its own access map — the escape lint
+  rediscovers injected bugs by diffing maps across versions.
+* Branches whose condition cannot be folded are walked both ways and
+  the environments joined; the map over-approximates reachable
+  accesses, never misses them.
+* Namespace *guards* — ``is``/``is not`` tests between namespace
+  values, PID translation helpers, namespace-filtering comprehensions
+  — are detected per function and stamped onto that function's own
+  accesses only: a guard in a helper does not launder its callers.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Dict, List, Optional, Tuple
+
+from .locations import (
+    BROADCAST,
+    GLOBAL,
+    INIT,
+    NAMESPACE,
+    READ,
+    TASK,
+    WRITE,
+    Access,
+    FunctionSummary,
+    StateLocation,
+)
+from .sources import ClassInfo, KernelSourceIndex, ModuleInfo
+
+# -- method classification ----------------------------------------------------
+
+#: Traced container reads (value is returned to the caller).
+_READ_METHODS = frozenset({
+    "get", "lookup", "values", "keys", "items", "enabled", "index",
+})
+#: Untraced reads (peek family bypasses the arena tracer).
+_PEEK_METHODS = frozenset({"peek", "peek_items", "peek_count"})
+#: Container writes.
+_WRITE_METHODS = frozenset({
+    "set", "insert", "append", "remove", "delete", "clear", "extend",
+    "sort", "appendleft",
+})
+#: Writes that also return the removed value (read + write).
+_POP_METHODS = frozenset({"pop", "pop_front", "popleft"})
+#: Read-modify-write scalar ops; the read half is observable only when
+#: the result is used (a bare ``cell.add(1)`` statement is blind).
+_RMW_METHODS = frozenset({"add", "inc", "dec"})
+#: KStruct field accessors: first argument names the field.
+_KSTRUCT_READS = frozenset({"kget", "peek"})
+_KSTRUCT_WRITES = frozenset({"kset", "poke"})
+
+#: Attribute names that hold namespace references on arbitrary objects.
+_NS_ATTRS = {
+    "ns": None, "netns": "net", "net_ns": "net", "pid_ns": "pid",
+    "mnt_ns": "mnt", "ipc_ns": "ipc", "uts_ns": "uts", "time_ns": "time",
+    "namespace": None,
+}
+
+#: Calls whose presence marks a function as namespace-guarded.
+_GUARD_CALLS = frozenset({"vpid_in", "find_in_ns", "_translate_pid",
+                          "shares_with"})
+
+#: Container kinds allocated from the traced arena.
+_TRACED_KINDS = frozenset({"kcell", "klist", "kdict"})
+
+_MAX_DEPTH = 14
+
+# Abstract values are tuples tagged by their first element:
+#   ("kernel",)                      the Kernel instance
+#   ("bugs",) ("config",) ("clock",) ("arena",)
+#   ("tasktable",) ("registry",)     kernel.tasks / kernel.namespaces
+#   ("task", origin)                 origin: own|enum|init|lookup
+#   ("nsproxy", origin)
+#   ("ns", nstype|None, origin)     origin: own|param|enum|init|other
+#   ("fdtable", origin)
+#   ("loc", path, scope, kind)       a state container
+#   ("inst", cls|None, path, scope)  an object anchored at a path
+#   ("class", name)                  a class object
+#   ("nstype", name)                 a NamespaceType member
+#   ("const", value)                 a Python constant
+#   ("list", elem) ("tuple", (..))  sequences
+#   ("multi", (v, w))               join of two values
+#   None                             unknown
+
+
+def _const(value: Any) -> Tuple[str, Any]:
+    return ("const", value)
+
+
+def _is_const(value: Any) -> bool:
+    return isinstance(value, tuple) and value and value[0] == "const"
+
+
+def _join(a: Any, b: Any) -> Any:
+    """Join two abstract values after a branch merge."""
+    if a == b:
+        return a
+    if a is None or b is None:
+        return None
+    if a[0] == "list" and b[0] == "list":
+        return ("list", _join(a[1], b[1]))
+    return ("multi", (a, b))
+
+
+def _flatten(value: Any) -> List[Any]:
+    """Expand ``multi`` joins into the set of possible values."""
+    if isinstance(value, tuple) and value and value[0] == "multi":
+        out: List[Any] = []
+        for item in value[1]:
+            out.extend(_flatten(item))
+        return out
+    return [value]
+
+
+def _ns_scope(origin: str) -> str:
+    return {"enum": BROADCAST, "init": INIT}.get(origin, NAMESPACE)
+
+
+def _task_scope(origin: str) -> str:
+    return {"enum": BROADCAST, "init": INIT,
+            "lookup": NAMESPACE}.get(origin, TASK)
+
+
+class _Frame:
+    """One walked function: its environment, accesses, and guard flag."""
+
+    def __init__(self, module: ModuleInfo, qualname: str,
+                 env: Dict[str, Any]):
+        self.module = module
+        self.qualname = qualname
+        self.env = env
+        self.own: List[Access] = []
+        self.children: List[Access] = []
+        self.guarded = False
+        self.returns: Any = "__none__"  # sentinel: no return seen yet
+
+    def add_return(self, value: Any) -> None:
+        if self.returns == "__none__":
+            self.returns = value
+        else:
+            self.returns = _join(self.returns, value)
+
+    def finalize(self) -> Tuple[Access, ...]:
+        own = tuple(
+            Access(a.location, a.kind, a.file, a.line, a.function,
+                   a.traced, a.observable, True)
+            for a in self.own
+        ) if self.guarded else tuple(self.own)
+        return own + tuple(self.children)
+
+
+class AbstractInterpreter:
+    """Walks kernel-model functions and produces access summaries."""
+
+    def __init__(self, index: KernelSourceIndex, bugs: Any = None):
+        self.index = index
+        #: BugFlags instance to fold ``kernel.bugs.<flag>`` against, or
+        #: None for union mode (both branches of every bug conditional).
+        self.bugs = bugs
+        self._stack: List[int] = []
+        self.proc_wildcard = False
+
+    # -- public entry points --------------------------------------------------
+
+    def walk_handler(self, module: ModuleInfo, funcdef: ast.FunctionDef,
+                     qualname: str) -> FunctionSummary:
+        """Summarize a table.py handler ``(kernel, task, args)``."""
+        env = {"kernel": ("kernel",), "task": ("task", "own"),
+               "args": ("args",)}
+        return self._walk_entry(module, funcdef, qualname, env)
+
+    def walk_method(self, cls: ClassInfo, funcdef: ast.FunctionDef,
+                    self_value: Any, params: Dict[str, Any],
+                    qualname: Optional[str] = None) -> FunctionSummary:
+        """Summarize a method called with the given abstract arguments."""
+        module = self.index.modules[cls.module]
+        env = dict(params)
+        env.setdefault("self", self_value)
+        return self._walk_entry(module, funcdef,
+                                qualname or f"{cls.name}.{funcdef.name}", env)
+
+    def _walk_entry(self, module: ModuleInfo, funcdef: ast.FunctionDef,
+                    qualname: str, env: Dict[str, Any]) -> FunctionSummary:
+        self.proc_wildcard = False
+        self._stack = []
+        frame = _Frame(module, qualname, env)
+        self._stack.append(id(funcdef))
+        try:
+            self._walk_body(funcdef.body, frame)
+        finally:
+            self._stack.pop()
+        return FunctionSummary(qualname, frame.finalize(), frame.guarded,
+                               self.proc_wildcard)
+
+    # -- access recording -----------------------------------------------------
+
+    def _record(self, frame: _Frame, node: ast.AST, path: str, scope: str,
+                kind: str, traced: bool, observable: bool = True) -> None:
+        if path is None:
+            return
+        frame.own.append(Access(
+            StateLocation(path, scope), kind,
+            self.index.relative_path(frame.module.path),
+            getattr(node, "lineno", 0), frame.qualname,
+            traced, observable, False,
+        ))
+
+    # -- statements -----------------------------------------------------------
+
+    def _walk_body(self, body: List[ast.stmt], frame: _Frame) -> None:
+        for stmt in body:
+            self._walk_stmt(stmt, frame)
+
+    def _walk_stmt(self, stmt: ast.stmt, frame: _Frame) -> None:
+        if isinstance(stmt, ast.Assign):
+            value = self._eval(stmt.value, frame)
+            for target in stmt.targets:
+                self._assign(target, value, stmt, frame)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._assign(stmt.target, self._eval(stmt.value, frame),
+                             stmt, frame)
+        elif isinstance(stmt, ast.AugAssign):
+            self._eval(stmt.value, frame)
+            # x += n reads and writes the target location.
+            self._attr_access(stmt.target, frame, READ)
+            self._assign(stmt.target, None, stmt, frame)
+        elif isinstance(stmt, ast.Expr):
+            self._eval(stmt.value, frame, stmt_position=True)
+        elif isinstance(stmt, ast.Return):
+            frame.add_return(
+                self._eval(stmt.value, frame) if stmt.value else _const(None))
+        elif isinstance(stmt, ast.If):
+            self._walk_if(stmt, frame)
+        elif isinstance(stmt, ast.For):
+            elem = self._iterate(self._eval(stmt.iter, frame), stmt.iter,
+                                 frame)
+            self._assign(stmt.target, elem, stmt, frame)
+            self._walk_body(stmt.body, frame)
+            self._walk_body(stmt.orelse, frame)
+        elif isinstance(stmt, ast.While):
+            self._eval(stmt.test, frame)
+            self._walk_body(stmt.body, frame)
+            self._walk_body(stmt.orelse, frame)
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                value = self._eval(item.context_expr, frame)
+                if item.optional_vars is not None:
+                    self._assign(item.optional_vars, value, stmt, frame)
+            self._walk_body(stmt.body, frame)
+        elif isinstance(stmt, ast.Try):
+            self._walk_body(stmt.body, frame)
+            for handler in stmt.handlers:
+                self._walk_body(handler.body, frame)
+            self._walk_body(stmt.orelse, frame)
+            self._walk_body(stmt.finalbody, frame)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self._eval(stmt.exc, frame)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Subscript):
+                    container = self._eval(target.value, frame)
+                    self._container_effect(container, target, frame, WRITE)
+        # pass/break/continue/assert/import: nothing to track.
+
+    def _walk_if(self, stmt: ast.If, frame: _Frame) -> None:
+        test = self._eval(stmt.test, frame)
+        truth = self._truth(test)
+        if truth is True:
+            self._walk_body(stmt.body, frame)
+            return
+        if truth is False:
+            self._walk_body(stmt.orelse, frame)
+            return
+        # Unknown condition: walk both branches on copies, then join.
+        narrowed = self._isinstance_narrowing(stmt.test, frame)
+        before = dict(frame.env)
+        if narrowed:
+            frame.env.update(narrowed)
+        self._walk_body(stmt.body, frame)
+        after_body = frame.env
+        frame.env = dict(before)
+        self._walk_body(stmt.orelse, frame)
+        for name, value in after_body.items():
+            if name in narrowed:
+                frame.env[name] = before.get(name)
+                continue
+            if name not in frame.env:
+                frame.env[name] = value
+            elif frame.env[name] != value:
+                frame.env[name] = _join(frame.env[name], value)
+
+    def _isinstance_narrowing(self, test: ast.expr,
+                              frame: _Frame) -> Dict[str, Any]:
+        """``if isinstance(x, Cls):`` narrows x to Cls in the body."""
+        if not (isinstance(test, ast.Call) and isinstance(test.func, ast.Name)
+                and test.func.id == "isinstance" and len(test.args) == 2
+                and isinstance(test.args[0], ast.Name)):
+            return {}
+        cls = self._eval(test.args[1], frame)
+        value = frame.env.get(test.args[0].id)
+        if (isinstance(cls, tuple) and cls[0] == "class"
+                and isinstance(value, tuple) and value[0] == "inst"):
+            return {test.args[0].id: ("inst", cls[1], value[2], value[3])}
+        return {}
+
+    def _assign(self, target: ast.expr, value: Any, stmt: ast.stmt,
+                frame: _Frame) -> None:
+        if isinstance(target, ast.Name):
+            frame.env[target.id] = value
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            parts = (value[1] if isinstance(value, tuple) and value
+                     and value[0] == "tuple" else None)
+            for i, elt in enumerate(target.elts):
+                part = parts[i] if parts and i < len(parts) else None
+                self._assign(elt, part, stmt, frame)
+        elif isinstance(target, ast.Attribute):
+            self._attr_access(target, frame, WRITE)
+        elif isinstance(target, ast.Subscript):
+            container = self._eval(target.value, frame)
+            self._eval(target.slice, frame)
+            self._container_effect(container, target, frame, WRITE)
+
+    def _attr_access(self, target: ast.expr, frame: _Frame,
+                     kind: str) -> None:
+        """Record a plain-attribute store/load (``obj.attr = v``)."""
+        if not isinstance(target, ast.Attribute):
+            return
+        base = self._eval(target.value, frame)
+        attr = target.attr
+        if attr.startswith("_") or base is None:
+            return
+        path_scope = self._instance_path(base)
+        if path_scope is None:
+            return
+        path, scope = path_scope
+        self._record(frame, target, f"{path}.{attr}", scope, kind,
+                     traced=False)
+
+    def _instance_path(self, value: Any) -> Optional[Tuple[str, str]]:
+        """Anchor path/scope for plain-attribute access on a value."""
+        for v in _flatten(value):
+            if not isinstance(v, tuple):
+                continue
+            if v[0] == "inst":
+                return v[2], v[3]
+            if v[0] == "task":
+                return "task", _task_scope(v[1])
+            if v[0] == "ns":
+                return f"ns:{v[1] or '?'}", _ns_scope(v[2])
+            if v[0] == "kernel":
+                return "kernel", GLOBAL
+            if v[0] == "loc":
+                return v[1], v[2]
+        return None
+
+    # -- expressions ----------------------------------------------------------
+
+    def _eval(self, node: ast.expr, frame: _Frame,
+              stmt_position: bool = False) -> Any:
+        if isinstance(node, ast.Constant):
+            return _const(node.value)
+        if isinstance(node, ast.Name):
+            return self._eval_name(node.id, frame)
+        if isinstance(node, ast.Attribute):
+            return self._eval_attribute(node, frame)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, frame, stmt_position)
+        if isinstance(node, ast.Compare):
+            return self._eval_compare(node, frame)
+        if isinstance(node, ast.BoolOp):
+            return self._eval_boolop(node, frame)
+        if isinstance(node, ast.UnaryOp):
+            operand = self._eval(node.operand, frame)
+            if isinstance(node.op, ast.Not):
+                truth = self._truth(operand)
+                return _const(not truth) if truth is not None else None
+            if isinstance(node.op, ast.USub) and _is_const(operand):
+                try:
+                    return _const(-operand[1])
+                except TypeError:
+                    return None
+            return None
+        if isinstance(node, ast.BinOp):
+            left = self._eval(node.left, frame)
+            right = self._eval(node.right, frame)
+            if _is_const(left) and _is_const(right):
+                try:
+                    return _const(self._fold_binop(node.op, left[1],
+                                                   right[1]))
+                except Exception:
+                    return None
+            if (isinstance(left, tuple) and left and left[0] == "list"
+                    and isinstance(right, tuple) and right
+                    and right[0] == "list"):
+                return ("list", _join(left[1], right[1]))
+            return None
+        if isinstance(node, ast.IfExp):
+            truth = self._truth(self._eval(node.test, frame))
+            if truth is True:
+                return self._eval(node.body, frame)
+            if truth is False:
+                return self._eval(node.orelse, frame)
+            return _join(self._eval(node.body, frame),
+                         self._eval(node.orelse, frame))
+        if isinstance(node, ast.Subscript):
+            return self._eval_subscript(node, frame)
+        if isinstance(node, (ast.List, ast.Set)):
+            elem: Any = None
+            first = True
+            for elt in node.elts:
+                value = self._eval(elt, frame)
+                elem = value if first else _join(elem, value)
+                first = False
+            return ("list", elem)
+        if isinstance(node, ast.Tuple):
+            return ("tuple", tuple(self._eval(e, frame) for e in node.elts))
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                if key is not None:
+                    self._eval(key, frame)
+            for value in node.values:
+                self._eval(value, frame)
+            return None
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            return self._eval_comprehension(node, frame)
+        if isinstance(node, ast.DictComp):
+            for gen in node.generators:
+                elem = self._iterate(self._eval(gen.iter, frame), node, frame)
+                self._assign(gen.target, elem, ast.Pass(), frame)
+                for cond in gen.ifs:
+                    self._eval(cond, frame)
+            self._eval(node.key, frame)
+            self._eval(node.value, frame)
+            return None
+        if isinstance(node, ast.JoinedStr):
+            for value in node.values:
+                if isinstance(value, ast.FormattedValue):
+                    self._eval(value.value, frame)
+            return None
+        if isinstance(node, ast.FormattedValue):
+            self._eval(node.value, frame)
+            return None
+        if isinstance(node, ast.Starred):
+            return self._eval(node.value, frame)
+        if isinstance(node, ast.Lambda):
+            return None
+        if isinstance(node, ast.Slice):
+            return None
+        return None
+
+    @staticmethod
+    def _fold_binop(op: ast.operator, left: Any, right: Any) -> Any:
+        import operator
+        table = {ast.Add: operator.add, ast.Sub: operator.sub,
+                 ast.Mult: operator.mul, ast.FloorDiv: operator.floordiv,
+                 ast.Mod: operator.mod, ast.BitOr: operator.or_,
+                 ast.BitAnd: operator.and_, ast.BitXor: operator.xor}
+        return table[type(op)](left, right)
+
+    def _eval_comprehension(self, node: ast.expr, frame: _Frame) -> Any:
+        for gen in node.generators:
+            elem = self._iterate(self._eval(gen.iter, frame), node, frame)
+            self._assign(gen.target, elem, ast.Pass(), frame)
+            for cond in gen.ifs:
+                self._eval(cond, frame)
+        value = self._eval(node.elt, frame)
+        return ("list", value)
+
+    def _eval_name(self, name: str, frame: _Frame) -> Any:
+        if name in frame.env:
+            return frame.env[name]
+        const = self.index.resolve_constant(frame.module.name, name)
+        if const is not None:
+            return _const(const)
+        resolved = self._resolve_class_name(frame.module, name)
+        if resolved is not None:
+            return ("class", resolved)
+        return None
+
+    def _resolve_class_name(self, module: ModuleInfo,
+                            name: str) -> Optional[str]:
+        if name in module.classes:
+            return name
+        if name in module.imports:
+            target = module.imports[name][1]
+            if target in self.index.classes or target == "NamespaceType":
+                return target
+        if name in self.index.classes:
+            return name
+        return None
+
+    # -- attributes -----------------------------------------------------------
+
+    def _eval_attribute(self, node: ast.Attribute, frame: _Frame) -> Any:
+        base = self._eval(node.value, frame)
+        attr = node.attr
+        results = [self._attr_on(v, attr, node, frame)
+                   for v in _flatten(base)]
+        out = results[0]
+        for value in results[1:]:
+            out = _join(out, value)
+        return out
+
+    def _attr_on(self, base: Any, attr: str, node: ast.Attribute,
+                 frame: _Frame) -> Any:
+        if not isinstance(base, tuple) or not base:
+            # Unknown base: namespace-pointer attrs still resolve.
+            if attr in _NS_ATTRS:
+                return ("ns", _NS_ATTRS[attr], "other")
+            if attr == "nsproxy":
+                return ("nsproxy", "other")
+            return None
+        tag = base[0]
+        if attr == "_kernel":
+            return ("kernel",)
+        if attr.startswith("_") and tag != "class":
+            return None
+
+        if tag == "kernel":
+            return self._kernel_attr(attr, node, frame)
+        if tag == "bugs":
+            if self.bugs is not None and hasattr(self.bugs, attr):
+                return _const(getattr(self.bugs, attr))
+            return None
+        if tag == "task":
+            origin = base[1]
+            if attr == "nsproxy":
+                return ("nsproxy", origin)
+            if attr == "fdtable":
+                return ("fdtable", origin)
+            if attr == "pid_ns":
+                return ("ns", "pid",
+                        {"own": "own", "init": "init",
+                         "enum": "enum"}.get(origin, "other"))
+            scope = _task_scope(origin)
+            if attr in ("pid_numbers",):
+                return ("loc", f"task.{attr}", scope, "plain")
+            self._record(frame, node, f"task.{attr}", scope, READ,
+                         traced=False)
+            return None
+        if tag == "nsproxy":
+            return None
+        if tag == "ns":
+            return self._ns_attr(base, attr, node, frame)
+        if tag == "inst":
+            return self._inst_attr(base, attr, node, frame)
+        if tag == "loc":
+            # Attribute chase through a container value (rare).
+            if attr in _NS_ATTRS:
+                return ("ns", _NS_ATTRS[attr], "other")
+            return None
+        if tag == "class":
+            return self._class_attr(base[1], attr)
+        if tag == "const":
+            return None
+        if attr in _NS_ATTRS:
+            return ("ns", _NS_ATTRS[attr], "other")
+        return None
+
+    def _kernel_attr(self, attr: str, node: ast.Attribute,
+                     frame: _Frame) -> Any:
+        if attr == "bugs":
+            return ("bugs",)
+        if attr == "config":
+            return ("config",)
+        if attr == "clock":
+            return ("clock",)
+        if attr == "arena":
+            return ("arena",)
+        if attr == "tasks":
+            return ("tasktable",)
+        if attr == "namespaces":
+            return ("registry",)
+        if attr == "init_mnt_ns":
+            self._record(frame, node, "kernel.init_mnt_ns", INIT, READ,
+                         traced=False)
+            return ("ns", "mnt", "init")
+        if attr == "init_net":
+            self._record(frame, node, "kernel.init_net", INIT, READ,
+                         traced=False)
+            return ("ns", "net", "init")
+        if attr == "init_nsproxy":
+            return ("nsproxy", "init")
+        if attr == "init_task":
+            return ("task", "init")
+        subsys = self.index.subsystems.get(attr)
+        if subsys is not None:
+            return ("inst", subsys, f"kernel.{attr}", GLOBAL)
+        # Plain Kernel attribute (syscall_seq, ...): bookkeeping state.
+        self._record(frame, node, f"kernel.{attr}", GLOBAL, READ,
+                     traced=False)
+        return None
+
+    def _ns_attr(self, base: Any, attr: str, node: ast.Attribute,
+                 frame: _Frame) -> Any:
+        __, nstype, origin = base
+        scope = _ns_scope(origin)
+        path = f"ns:{nstype or '?'}.{attr}"
+        if attr == "parent":
+            return ("ns", nstype, "other")
+        cls = self.index.namespace_classes.get(nstype) if nstype else None
+        kind = self.index.attr_kind(cls.name, attr) if cls else None
+        if kind in _TRACED_KINDS:
+            return ("loc", path, scope, kind)
+        if kind == "field" or (cls and attr in cls.fields):
+            self._record(frame, node, path, scope, READ, traced=False)
+            return None
+        if attr == "inum":
+            self._record(frame, node, path, scope, READ, traced=False)
+            return None
+        if attr == "veth_peers":
+            self._record(frame, node, path, scope, READ, traced=False)
+            return ("list", ("ns", "net", "other"))
+        if attr == "mounts":
+            self._record(frame, node, path, scope, READ, traced=False)
+            return ("list", ("inst", "Mount", f"{path}[]", scope))
+        if kind is not None:
+            # Plain attribute container on the namespace.
+            return ("loc", path, scope, "plain")
+        return ("loc", path, scope, "plain")
+
+    def _inst_attr(self, base: Any, attr: str, node: ast.Attribute,
+                   frame: _Frame) -> Any:
+        __, cls_name, path, scope = base
+        if attr in _NS_ATTRS:
+            return ("ns", _NS_ATTRS[attr], "other")
+        if attr == "nsproxy":
+            return ("nsproxy", "other")
+        # Special anchors keeping vfs paths canonical.
+        special = {
+            ("Mount", "sb"): ("inst", "SuperBlock", "ns:mnt.sb", NAMESPACE),
+            ("OpenFile", "mount"):
+                ("inst", "Mount", "ns:mnt.mounts[]", NAMESPACE),
+            ("OpenFile", "inode"):
+                ("inst", "Inode", "ns:mnt.sb.files[]", NAMESPACE),
+        }
+        if (cls_name, attr) in special:
+            return special[(cls_name, attr)]
+        kind = self.index.attr_kind(cls_name, attr) if cls_name else None
+        sub_path = f"{path}.{attr}"
+        if kind in _TRACED_KINDS:
+            return ("loc", sub_path, scope, kind)
+        if kind == "field":
+            self._record(frame, node, sub_path, scope, READ, traced=False)
+            return None
+        if cls_name:
+            ctor = self.index.classes.get(cls_name)
+            inner = ctor.attr_classes.get(attr) if ctor else None
+            if inner and inner in self.index.classes:
+                # e.g. NetSubsystem.unix -> UnixSocketTable instance.
+                special_kind = self._pydict_kind(ctor, attr)
+                if special_kind:
+                    return ("loc", sub_path, scope, special_kind)
+                return ("inst", inner, sub_path, scope)
+            special_kind = self._pydict_kind(ctor, attr) if ctor else None
+            if special_kind:
+                return ("loc", sub_path, scope, special_kind)
+        return ("inst", None, sub_path, scope)
+
+    def _pydict_kind(self, cls: ClassInfo, attr: str) -> Optional[str]:
+        """Detect ``self.x = {...KCell(...)...}`` plain dicts of cells."""
+        init = cls.methods.get("__init__")
+        if init is None:
+            return None
+        for stmt in ast.walk(init):
+            target = None
+            value = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target, value = stmt.targets[0], stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                target, value = stmt.target, stmt.value
+            if not (isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    and target.attr == attr):
+                continue
+            if isinstance(value, ast.Dict):
+                for v in value.values:
+                    if (isinstance(v, ast.Call)
+                            and isinstance(v.func, ast.Name)
+                            and v.func.id == "KCell"):
+                        return "pydict_kcell"
+        return None
+
+    def _class_attr(self, cls_name: str, attr: str) -> Any:
+        if cls_name == "NamespaceType":
+            return ("nstype", attr.lower())
+        if attr == "NS_TYPE":
+            cls = self.index.classes.get(cls_name)
+            if cls is not None and cls.ns_type:
+                return ("nstype", cls.ns_type)
+        return None
+
+    # -- comparisons, truth, guards -------------------------------------------
+
+    def _eval_compare(self, node: ast.Compare, frame: _Frame) -> Any:
+        left = self._eval(node.left, frame)
+        values = [left] + [self._eval(c, frame) for c in node.comparators]
+        if len(node.ops) == 1:
+            op = node.ops[0]
+            a, b = values
+            self._detect_guard(op, a, b, frame)
+            if isinstance(op, (ast.Is, ast.IsNot)):
+                folded = self._fold_is(a, b)
+                if folded is not None:
+                    return _const(folded if isinstance(op, ast.Is)
+                                  else not folded)
+                return None
+            if _is_const(a) and _is_const(b):
+                try:
+                    return _const(self._fold_compare(op, a[1], b[1]))
+                except Exception:
+                    return None
+            if isinstance(op, (ast.In, ast.NotIn)):
+                # Membership in a boot-constant dict of cells is a
+                # config lookup, not a state read.
+                if not any(isinstance(v, tuple) and v and v[0] == "loc"
+                           and v[3] == "pydict_kcell"
+                           for v in _flatten(b)):
+                    self._container_effect(b, node, frame, READ)
+        return None
+
+    @staticmethod
+    def _fold_compare(op: ast.cmpop, a: Any, b: Any) -> bool:
+        import operator
+        table = {ast.Eq: operator.eq, ast.NotEq: operator.ne,
+                 ast.Lt: operator.lt, ast.LtE: operator.le,
+                 ast.Gt: operator.gt, ast.GtE: operator.ge,
+                 ast.In: lambda x, y: x in y,
+                 ast.NotIn: lambda x, y: x not in y}
+        return bool(table[type(op)](a, b))
+
+    #: Value tags that are definitely not None at runtime.
+    _DEFINITE = frozenset({"kernel", "ns", "nsproxy", "task", "tasktable",
+                           "registry", "fdtable", "loc", "class", "nstype",
+                           "list", "tuple", "bugs", "config", "clock"})
+
+    def _fold_is(self, a: Any, b: Any) -> Optional[bool]:
+        """Fold ``a is b`` where one side is the None constant."""
+        for x, y in ((a, b), (b, a)):
+            if _is_const(x) and x[1] is None:
+                if _is_const(y):
+                    return y[1] is None
+                if isinstance(y, tuple) and y and y[0] in self._DEFINITE:
+                    return False
+        return None
+
+    def _detect_guard(self, op: ast.cmpop, a: Any, b: Any,
+                      frame: _Frame) -> None:
+        if not isinstance(op, (ast.Is, ast.IsNot)):
+            return
+        if self._is_ns_value(a) and self._is_ns_value(b):
+            frame.guarded = True
+
+    @staticmethod
+    def _is_ns_value(value: Any) -> bool:
+        return any(isinstance(v, tuple) and v and v[0] == "ns"
+                   for v in _flatten(value))
+
+    def _eval_boolop(self, node: ast.BoolOp, frame: _Frame) -> Any:
+        is_and = isinstance(node.op, ast.And)
+        for value_node in node.values:
+            value = self._eval(value_node, frame)
+            truth = self._truth(value)
+            if truth is None:
+                # Unknown operand: remaining operands still evaluated
+                # (their accesses are reachable), result unknown.
+                continue
+            if is_and and truth is False:
+                return _const(False)
+            if not is_and and truth is True:
+                return _const(True)
+        return None
+
+    def _truth(self, value: Any) -> Optional[bool]:
+        if _is_const(value):
+            return bool(value[1])
+        return None
+
+    # -- subscripts and iteration ---------------------------------------------
+
+    def _eval_subscript(self, node: ast.Subscript, frame: _Frame) -> Any:
+        base = self._eval(node.value, frame)
+        index = self._eval(node.slice, frame)
+        for v in _flatten(base):
+            if not isinstance(v, tuple) or not v:
+                continue
+            if v[0] == "tuple" and _is_const(index) \
+                    and isinstance(index[1], int) and index[1] < len(v[1]):
+                return v[1][index[1]]
+            if v[0] == "list":
+                return v[1]
+            if v[0] == "loc":
+                self._record_container(v, node, frame, READ)
+                if v[3] == "pydict_kcell":
+                    return ("loc", v[1], v[2], "kcell")
+                return ("inst", None, f"{v[1]}[]", v[2])
+            if v[0] == "args":
+                return None
+        return None
+
+    def _iterate(self, value: Any, node: ast.AST, frame: _Frame) -> Any:
+        out: Any = None
+        first = True
+        for v in _flatten(value):
+            elem: Any = None
+            if isinstance(v, tuple) and v:
+                if v[0] == "list":
+                    elem = v[1]
+                elif v[0] == "tuple":
+                    elem = None
+                    for part in v[1]:
+                        elem = part if elem is None else _join(elem, part)
+                elif v[0] == "loc":
+                    self._record_container(v, node, frame, READ)
+                    elem = self._element_of(v)
+            out = elem if first else _join(out, elem)
+            first = False
+        return out
+
+    def _element_of(self, loc: Any) -> Any:
+        return ("inst", None, f"{loc[1]}[]", loc[2])
+
+    def _record_container(self, loc: Any, node: ast.AST, frame: _Frame,
+                          kind: str, observable: bool = True) -> None:
+        __, path, scope, container_kind = loc
+        traced = container_kind in _TRACED_KINDS
+        self._record(frame, node, path, scope, kind, traced, observable)
+
+    def _container_effect(self, value: Any, node: ast.AST, frame: _Frame,
+                          kind: str) -> None:
+        for v in _flatten(value):
+            if isinstance(v, tuple) and v and v[0] == "loc":
+                self._record_container(v, node, frame, kind,
+                                       observable=(kind == WRITE
+                                                   or kind == READ))
+            elif isinstance(v, tuple) and v and v[0] == "inst":
+                self._record(frame, node, v[2], v[3], kind, traced=False)
+
+    # -- calls ----------------------------------------------------------------
+
+    def _eval_call(self, node: ast.Call, frame: _Frame,
+                   stmt_position: bool = False) -> Any:
+        if isinstance(node.func, ast.Attribute):
+            return self._eval_method_call(node, frame, stmt_position)
+        if isinstance(node.func, ast.Name):
+            return self._eval_function_call(node, frame)
+        self._eval(node.func, frame)
+        self._eval_args(node, frame)
+        return None
+
+    def _eval_args(self, node: ast.Call, frame: _Frame
+                   ) -> Tuple[List[Any], Dict[str, Any]]:
+        args = [self._eval(a, frame) for a in node.args]
+        kwargs = {k.arg: self._eval(k.value, frame)
+                  for k in node.keywords if k.arg is not None}
+        return args, kwargs
+
+    def _eval_function_call(self, node: ast.Call, frame: _Frame) -> Any:
+        name = node.func.id
+        args, kwargs = self._eval_args(node, frame)
+        if name == "isinstance":
+            return self._fold_isinstance(args)
+        if name in ("len", "abs", "bool", "id", "repr", "hash"):
+            for a, value in zip(node.args, args):
+                self._container_effect(value, a, frame, READ)
+            return None
+        if name in ("int", "str", "float"):
+            return args[0] if args and _is_const(args[0]) else None
+        if name in ("list", "sorted", "set", "tuple", "reversed"):
+            if args:
+                return ("list", self._iterate(args[0], node, frame))
+            return ("list", None)
+        if name in ("min", "max", "sum", "range", "enumerate", "zip",
+                    "print", "getattr", "format"):
+            return None
+        # Local name bound to a value (e.g. a class passed as an arg)?
+        local = frame.env.get(name)
+        if isinstance(local, tuple) and local and local[0] == "class":
+            return self._construct(local[1], node, args, kwargs, frame)
+        resolved = self._resolve_class_name(frame.module, name)
+        if resolved is not None:
+            return self._construct(resolved, node, args, kwargs, frame)
+        found = self.index.function_def(frame.module.name, name)
+        if found is not None:
+            module, funcdef = found
+            return self._inline(module, funcdef, None, args, kwargs,
+                                node, frame, name)
+        # SyscallError and other unresolved callables.
+        return None
+
+    def _fold_isinstance(self, args: List[Any]) -> Any:
+        if len(args) != 2:
+            return None
+        value, cls = args
+        if not (isinstance(cls, tuple) and cls and cls[0] == "class"):
+            return None
+        for v in _flatten(value):
+            if isinstance(v, tuple) and v and v[0] == "inst" and v[1]:
+                if v[1] == cls[1]:
+                    return _const(True)
+                # Could still be a subclass instance; stay unknown when
+                # the static class is a base of the tested class.
+                if self._is_base_of(v[1], cls[1]):
+                    return None
+                if not self._is_base_of(cls[1], v[1]):
+                    return _const(False)
+        return None
+
+    def _is_base_of(self, base: str, derived: str) -> bool:
+        seen = set()
+        queue = [derived]
+        while queue:
+            name = queue.pop(0)
+            if name == base:
+                return True
+            if name in seen:
+                continue
+            seen.add(name)
+            cls = self.index.classes.get(name)
+            if cls is not None:
+                queue.extend(cls.bases)
+        return False
+
+    def _construct(self, cls_name: str, node: ast.Call, args: List[Any],
+                   kwargs: Dict[str, Any], frame: _Frame) -> Any:
+        """Instantiate a known kernel class abstractly."""
+        cls = self.index.classes.get(cls_name)
+        if cls is None:
+            return None
+        if cls.ns_type is not None:
+            value: Any = ("ns", cls.ns_type, "own")
+        elif cls_name in ("KCell", "KList", "KDict"):
+            from .sources import _ARENA_KINDS
+            return ("loc", f"new.{cls_name}", TASK,
+                    _ARENA_KINDS.get(cls_name, "plain"))
+        else:
+            value = ("inst", cls_name, f"new.{cls_name}", TASK)
+        init = self.index.method_def(cls_name, "__init__")
+        if init is not None:
+            init_cls, funcdef = init
+            self._inline(self.index.modules[init_cls.module], funcdef,
+                         value, args, kwargs, node, frame,
+                         f"{cls_name}.__init__")
+        return value
+
+    def _eval_method_call(self, node: ast.Call, frame: _Frame,
+                          stmt_position: bool) -> Any:
+        meth = node.func.attr
+        base = self._eval(node.func.value, frame)
+        args, kwargs = self._eval_args(node, frame)
+        if meth in _GUARD_CALLS:
+            frame.guarded = True
+        results = [self._method_on(v, meth, node, args, kwargs, frame,
+                                   stmt_position)
+                   for v in _flatten(base)]
+        out = results[0]
+        for value in results[1:]:
+            out = _join(out, value)
+        return out
+
+    def _method_on(self, base: Any, meth: str, node: ast.Call,
+                   args: List[Any], kwargs: Dict[str, Any], frame: _Frame,
+                   stmt_position: bool) -> Any:
+        if not isinstance(base, tuple) or not base:
+            if meth == "vpid_in":
+                return None
+            return None
+        tag = base[0]
+
+        if tag == "nsproxy":
+            return self._nsproxy_method(base, meth, args)
+        if tag == "tasktable":
+            return self._tasktable_method(meth, node, args, frame)
+        if tag == "registry":
+            return self._registry_method(meth, node, args, frame)
+        if tag == "fdtable":
+            return self._fdtable_method(meth, args)
+        if tag == "clock" or tag == "arena" or tag == "config":
+            return None
+        if tag == "task":
+            return self._task_method(base, meth, node, args, frame)
+        if tag == "ns":
+            return self._ns_method(base, meth, node, args, kwargs, frame,
+                                   stmt_position)
+        if tag == "loc":
+            return self._loc_method(base, meth, node, args, frame,
+                                    stmt_position)
+        if tag == "inst":
+            return self._inst_method(base, meth, node, args, kwargs, frame,
+                                     stmt_position)
+        if tag == "kernel":
+            return self._kernel_method(meth, node, args, kwargs, frame)
+        if tag == "list":
+            if meth in ("append", "extend", "insert", "remove", "sort"):
+                return None
+            if meth == "copy":
+                return base
+            if meth == "pop":
+                return base[1]
+            return None
+        if tag == "const" and isinstance(base[1], str):
+            return self._str_method(base[1], meth, args)
+        return None
+
+    def _str_method(self, value: str, meth: str, args: List[Any]) -> Any:
+        const_args = [a[1] for a in args if _is_const(a)]
+        if len(const_args) != len(args):
+            return None
+        try:
+            return _const(getattr(value, meth)(*const_args))
+        except Exception:
+            return None
+
+    def _nsproxy_method(self, base: Any, meth: str, args: List[Any]) -> Any:
+        origin = base[1]
+        if meth == "get":
+            nstype = None
+            for a in _flatten(args[0]) if args else [None]:
+                if isinstance(a, tuple) and a and a[0] == "nstype":
+                    nstype = a[1]
+            ns_origin = {"own": "own", "init": "init"}.get(origin, "other")
+            return ("ns", nstype, ns_origin)
+        if meth == "copy_with":
+            return ("nsproxy", origin)
+        return None
+
+    def _tasktable_method(self, meth: str, node: ast.Call, args: List[Any],
+                          frame: _Frame) -> Any:
+        if meth == "all_tasks":
+            self._record(frame, node, "kernel.tasks", BROADCAST, READ,
+                         traced=False)
+            return ("list", ("task", "enum"))
+        if meth == "find_in_ns":
+            scope = NAMESPACE
+            if args and self._is_ns_value(args[0]):
+                for v in _flatten(args[0]):
+                    if isinstance(v, tuple) and v and v[0] == "ns":
+                        scope = _ns_scope(v[2])
+            self._record(frame, node, "ns:pid.tasks", scope, READ,
+                         traced=True)
+            return ("task", "lookup")
+        if meth in ("attach", "detach"):
+            return None
+        return None
+
+    def _registry_method(self, meth: str, node: ast.Call, args: List[Any],
+                         frame: _Frame) -> Any:
+        if meth == "live":
+            nstype = None
+            for a in _flatten(args[0]) if args else [None]:
+                if isinstance(a, tuple) and a and a[0] == "nstype":
+                    nstype = a[1]
+            self._record(frame, node, "kernel.namespaces", BROADCAST, READ,
+                         traced=False)
+            return ("list", ("ns", nstype, "enum"))
+        return None
+
+    def _fdtable_method(self, meth: str, args: List[Any]) -> Any:
+        if meth in ("get", "remove"):
+            return ("inst", "FileObject", "fd", TASK)
+        if meth == "get_as":
+            cls_name = "FileObject"
+            if len(args) > 1:
+                for v in _flatten(args[1]):
+                    if isinstance(v, tuple) and v and v[0] == "class":
+                        cls_name = v[1]
+            return ("inst", cls_name, "fd", TASK)
+        if meth == "open_fds":
+            return ("list", None)
+        return None
+
+    def _task_method(self, base: Any, meth: str, node: ast.Call,
+                     args: List[Any], frame: _Frame) -> Any:
+        origin = base[1]
+        scope = _task_scope(origin)
+        if meth in _KSTRUCT_READS or meth in _KSTRUCT_WRITES:
+            field = args[0][1] if args and _is_const(args[0]) else "?"
+            kind = READ if meth in _KSTRUCT_READS else WRITE
+            self._record(frame, node, f"task.{field}", scope, kind,
+                         traced=(meth in ("kget", "kset")))
+            return None
+        if meth == "vpid_in":
+            self._record(frame, node, "task.pid_numbers", scope, READ,
+                         traced=False)
+            return None
+        if meth == "capable":
+            self._record(frame, node, "task.euid", scope, READ,
+                         traced=False)
+            return None
+        found = self.index.method_def("Task", meth)
+        if found is not None:
+            cls, funcdef = found
+            return self._inline(self.index.modules[cls.module], funcdef,
+                                base, args, {}, node, frame,
+                                f"Task.{meth}")
+        return None
+
+    def _ns_method(self, base: Any, meth: str, node: ast.Call,
+                   args: List[Any], kwargs: Dict[str, Any], frame: _Frame,
+                   stmt_position: bool) -> Any:
+        __, nstype, origin = base
+        scope = _ns_scope(origin)
+        if meth in _KSTRUCT_READS or meth in _KSTRUCT_WRITES:
+            field = args[0][1] if args and _is_const(args[0]) else "?"
+            kind = READ if meth in _KSTRUCT_READS else WRITE
+            self._record(frame, node, f"ns:{nstype or '?'}.{field}", scope,
+                         kind, traced=(meth in ("kget", "kset")))
+            return None
+        if meth == "ancestry":
+            return ("list", ("ns", nstype, "other"))
+        cls = self.index.namespace_classes.get(nstype) if nstype else None
+        if cls is not None:
+            found = self.index.method_def(cls.name, meth)
+            if found is not None:
+                method_cls, funcdef = found
+                return self._inline(
+                    self.index.modules[method_cls.module], funcdef, base,
+                    args, kwargs, node, frame, f"{cls.name}.{meth}")
+        return None
+
+    def _loc_method(self, base: Any, meth: str, node: ast.Call,
+                    args: List[Any], frame: _Frame,
+                    stmt_position: bool) -> Any:
+        __, path, scope, kind = base
+        traced = kind in _TRACED_KINDS
+        if meth in _KSTRUCT_READS and args and _is_const(args[0]) \
+                and isinstance(args[0][1], str) and kind not in _TRACED_KINDS:
+            # peek("field") on an untyped struct-like value.
+            self._record(frame, node, f"{path}.{args[0][1]}", scope, READ,
+                         traced=False)
+            return None
+        if meth in _READ_METHODS:
+            self._record(frame, node, path, scope, READ, traced)
+            if meth == "lookup":
+                return ("inst", None, f"{path}[]", scope)
+            if meth in ("values", "items"):
+                return ("list", ("inst", None, f"{path}[]", scope))
+            return None
+        if meth in _PEEK_METHODS:
+            self._record(frame, node, path, scope, READ, traced=False)
+            if meth == "peek_items":
+                return ("list", ("inst", None, f"{path}[]", scope))
+            return None
+        if meth in _WRITE_METHODS:
+            self._record(frame, node, path, scope, WRITE, traced)
+            return None
+        if meth in _POP_METHODS:
+            self._record(frame, node, path, scope, READ, traced)
+            self._record(frame, node, path, scope, WRITE, traced)
+            return ("inst", None, f"{path}[]", scope)
+        if meth in _RMW_METHODS:
+            self._record(frame, node, path, scope, READ, traced,
+                         observable=not stmt_position)
+            self._record(frame, node, path, scope, WRITE, traced)
+            return None
+        if meth in _KSTRUCT_WRITES and args and _is_const(args[0]) \
+                and isinstance(args[0][1], str):
+            self._record(frame, node, f"{path}.{args[0][1]}", scope, WRITE,
+                         traced=False)
+            return None
+        return None
+
+    def _inst_method(self, base: Any, meth: str, node: ast.Call,
+                     args: List[Any], kwargs: Dict[str, Any], frame: _Frame,
+                     stmt_position: bool) -> Any:
+        __, cls_name, path, scope = base
+        if meth in _KSTRUCT_READS or meth in _KSTRUCT_WRITES:
+            field = (args[0][1] if args and _is_const(args[0])
+                     and isinstance(args[0][1], str) else "?")
+            kind = READ if meth in _KSTRUCT_READS else WRITE
+            self._record(frame, node, f"{path}.{field}", scope, kind,
+                         traced=(meth in ("kget", "kset")))
+            return None
+        if cls_name == "ProcFs" and meth in ("render", "write"):
+            return self._procfs_call(meth, node, args, kwargs, frame)
+        if meth == "on_close":
+            return self._on_close(base, node, args, frame)
+        if cls_name is not None:
+            found = self.index.method_def(cls_name, meth)
+            if found is not None:
+                method_cls, funcdef = found
+                return self._inline(
+                    self.index.modules[method_cls.module], funcdef, base,
+                    args, kwargs, node, frame, f"{cls_name}.{meth}")
+        # Untyped object: container-style methods fall back to untraced
+        # accesses on the instance's own path.
+        if meth in _READ_METHODS or meth in _PEEK_METHODS:
+            self._record(frame, node, path, scope, READ, traced=False)
+            return None
+        if meth in _WRITE_METHODS:
+            self._record(frame, node, path, scope, WRITE, traced=False)
+            return None
+        if meth in _POP_METHODS:
+            self._record(frame, node, path, scope, READ, traced=False)
+            self._record(frame, node, path, scope, WRITE, traced=False)
+            return None
+        if meth in _RMW_METHODS:
+            self._record(frame, node, path, scope, READ, traced=False,
+                         observable=not stmt_position)
+            self._record(frame, node, path, scope, WRITE, traced=False)
+            return None
+        return None
+
+    def _kernel_method(self, meth: str, node: ast.Call, args: List[Any],
+                       kwargs: Dict[str, Any], frame: _Frame) -> Any:
+        if meth in ("mark_dirty_object", "timer_tick"):
+            return None
+        found = self.index.method_def("Kernel", meth)
+        if found is not None:
+            cls, funcdef = found
+            return self._inline(self.index.modules[cls.module], funcdef,
+                                ("kernel",), args, kwargs, node, frame,
+                                f"Kernel.{meth}")
+        return None
+
+    def _procfs_call(self, meth: str, node: ast.Call, args: List[Any],
+                     kwargs: Dict[str, Any], frame: _Frame) -> Any:
+        """procfs.render/write: fold constant keys, else mark wildcard."""
+        key = args[1] if len(args) > 1 else kwargs.get("key")
+        if not (_is_const(key) and isinstance(key[1], str)):
+            self.proc_wildcard = True
+            return None
+        found = self.index.method_def("ProcFs", meth)
+        if found is None:
+            return None
+        cls, funcdef = found
+        return self._inline(self.index.modules[cls.module], funcdef,
+                            ("inst", "ProcFs", "kernel.procfs", GLOBAL),
+                            args, kwargs, node, frame, f"ProcFs.{meth}")
+
+    def _on_close(self, base: Any, node: ast.Call, args: List[Any],
+                  frame: _Frame) -> Any:
+        """Inline every known on_close override for a generic fd object."""
+        __, cls_name, path, scope = base
+        overrides = []
+        if cls_name in (None, "FileObject"):
+            for cls in self.index.classes.values():
+                if "on_close" in cls.methods and cls.name != "FileObject":
+                    overrides.append(cls)
+        else:
+            found = self.index.method_def(cls_name, "on_close")
+            if found is not None and found[1].name == "on_close" \
+                    and found[0].name != "FileObject":
+                overrides.append(found[0])
+        out: Any = None
+        for cls in overrides:
+            funcdef = cls.methods["on_close"]
+            value = ("inst", cls.name, path, scope)
+            out = _join(out, self._inline(
+                self.index.modules[cls.module], funcdef, value, args, {},
+                node, frame, f"{cls.name}.on_close"))
+        return out
+
+    # -- inlining -------------------------------------------------------------
+
+    def _inline(self, module: ModuleInfo, funcdef: ast.FunctionDef,
+                self_value: Any, args: List[Any], kwargs: Dict[str, Any],
+                node: ast.AST, frame: _Frame, qualname: str) -> Any:
+        if id(funcdef) in self._stack or len(self._stack) >= _MAX_DEPTH:
+            return None
+        params = [a.arg for a in funcdef.args.args]
+        is_method = (self_value is not None and params
+                     and params[0] == "self"
+                     and not any(isinstance(d, ast.Name)
+                                 and d.id == "staticmethod"
+                                 for d in funcdef.decorator_list))
+        env: Dict[str, Any] = {}
+        positional = list(params)
+        if is_method:
+            env["self"] = self_value
+            positional = positional[1:]
+        defaults = funcdef.args.defaults
+        default_offset = len(positional) - len(defaults)
+        child = _Frame(module, qualname, env)
+        for i, name in enumerate(positional):
+            if i < len(args):
+                env[name] = args[i]
+            elif name in kwargs:
+                env[name] = kwargs[name]
+            elif i >= default_offset:
+                env[name] = self._eval(defaults[i - default_offset], child)
+            else:
+                env[name] = None
+        for kw_arg in funcdef.args.kwonlyargs:
+            name = kw_arg.arg
+            env[name] = kwargs.get(name)
+        for name, value in kwargs.items():
+            if name in positional:
+                env.setdefault(name, value)
+        self._stack.append(id(funcdef))
+        try:
+            self._walk_body(funcdef.body, child)
+        finally:
+            self._stack.pop()
+        frame.children.extend(child.finalize())
+        if child.returns == "__none__":
+            return _const(None)
+        return child.returns

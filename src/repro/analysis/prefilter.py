@@ -1,0 +1,296 @@
+"""The static candidate-pair pre-filter for test-case generation.
+
+Profiling runs every corpus program separately from the same snapshot
+with a deterministic bump allocator, so fresh runtime allocations from
+*different* programs land at the very same arena addresses.  The dynamic
+:class:`~repro.core.dataflow.DataFlowIndex` therefore reports candidate
+flows between program pairs that never touch common kernel state — the
+writer's freshly allocated object merely recycled the address of the
+reader's.  Real interference channels ride state that is genuinely
+shared *by name*: a global counter, a broadcast walk, an init-namespace
+escape hatch.
+
+This filter decides pair-wise, from the static access map alone,
+whether a sender program could possibly influence a receiver program:
+
+* the sender's traced write set and the receiver's traced observable
+  read set are summarized per kernel-state *path* (fresh ``new.*``
+  allocations dropped — they are private to one execution by
+  construction),
+* receiver reads are gated per call by the same specification test the
+  dynamic index applies (``spec.call_accesses_protected``), with file
+  descriptors refined through their statically known producer calls,
+* a pair *may interfere* iff some path is written and read under
+  colliding scopes: anything involving a broadcast walk; init-namespace
+  state paired with non-task state; or global meeting global.
+
+Everything unresolvable statically (unknown syscall, descriptor from a
+non-constant producer) degrades to "may interfere" — the filter only
+prunes pairs it can prove disjoint, so the detected-bug set of a
+campaign is preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .accessmap import AccessMap, SyscallSummary, extract_access_map
+from .escape import WILDCARD_KINDS, _StaticRecord, proc_key_kind
+from .locations import BROADCAST, GLOBAL, INIT, TASK
+
+#: path -> scopes it is accessed under, for one program side.
+PathScopes = Dict[str, Set[str]]
+
+
+@dataclass
+class PrefilterStats:
+    """Telemetry of the static pre-filter, for CampaignStats/Table 4."""
+
+    #: Distinct candidate (sender, receiver) pairs the generator saw.
+    pairs_total: int = 0
+    #: Of those, pairs pruned as provably disjoint.
+    pairs_pruned: int = 0
+    #: Full-corpus evaluation: pairs kept statically / seen dynamically.
+    corpus_pairs: int = 0
+    static_pairs: int = 0
+    dynamic_pairs: int = 0
+    static_and_dynamic: int = 0
+
+    def pruned_rate(self) -> float:
+        return self.pairs_pruned / self.pairs_total if self.pairs_total else 0.0
+
+    def precision(self) -> float:
+        """Fraction of statically kept pairs that have a dynamic flow."""
+        return (self.static_and_dynamic / self.static_pairs
+                if self.static_pairs else 0.0)
+
+    def recall(self) -> float:
+        """Fraction of dynamic candidate pairs kept statically."""
+        return (self.static_and_dynamic / self.dynamic_pairs
+                if self.dynamic_pairs else 1.0)
+
+
+def _scopes_collide(write_scope: str, read_scope: str) -> bool:
+    """Can a write under one scope reach a read under the other, across
+    two different containers?"""
+    if BROADCAST in (write_scope, read_scope):
+        return True
+    if INIT in (write_scope, read_scope):
+        # Init-namespace state is one concrete instance; a TASK-scoped
+        # partner stays private to its own task regardless.
+        return TASK not in (write_scope, read_scope)
+    return write_scope == GLOBAL and read_scope == GLOBAL
+
+
+class StaticPreFilter:
+    """Prunes provably disjoint sender/receiver pairs before clustering."""
+
+    def __init__(self, access_map: Optional[AccessMap] = None, spec=None,
+                 bugs=None, index=None, decls=None):
+        if access_map is None:
+            access_map = extract_access_map(bugs, index)
+        if spec is None:
+            from ..core.spec import default_specification
+            spec = default_specification()
+        if decls is None:
+            from ..kernel.syscalls.table import DECLS as decls
+        self._map = access_map
+        self._spec = spec
+        self._decls = decls
+        #: program hash -> (writes, reads, has_unknown_syscall)
+        self._summaries: Dict[str, Tuple[PathScopes, PathScopes, bool]] = {}
+        self._verdicts: Dict[Tuple[str, str], bool] = {}
+
+    def _decl(self, name: str):
+        """The declaration of *name*, or None (DECLS.get raises)."""
+        return self._decls.get(name) if name in self._decls else None
+
+    # -- descriptor refinement --------------------------------------------
+
+    def _producer_kind(self, program, producer) -> Optional[str]:
+        """Concrete resource kind of the fd/sock *producer* returns, or
+        None when it cannot be resolved statically."""
+        from ..corpus.program import ConstArg
+
+        if producer.name == "socket":
+            values = [arg.value for arg in producer.args
+                      if isinstance(arg, ConstArg)]
+            if len(values) == 3 and all(isinstance(v, int) for v in values):
+                from ..kernel.net.socket import _resource_kind
+                return _resource_kind(*values)
+            return None
+        if producer.name == "open":
+            if (producer.args and isinstance(producer.args[0], ConstArg)
+                    and isinstance(producer.args[0].value, str)):
+                path = producer.args[0].value
+                if path.startswith("/proc/self/ns/"):
+                    return "fd_ns"
+                if path.startswith("/proc/"):
+                    return proc_key_kind(path[len("/proc/"):])
+                return "fd_file"
+            return None
+        decl = self._decl(producer.name)
+        if decl is None or decl.ret_resource is None:
+            return None
+        ret = decl.ret_resource
+        # Generic descriptors need the runtime file object to refine.
+        if ret in WILDCARD_KINDS or ret == "fd_file":
+            return None
+        return ret
+
+    def _fd_kind(self, program, arg) -> Optional[str]:
+        """Kind of the descriptor an fd-valued argument carries."""
+        from ..corpus.program import ResultArg
+
+        if isinstance(arg, ResultArg) and 0 <= arg.index < len(program.calls):
+            producer = program.calls[arg.index]
+            if producer is not None:
+                return self._producer_kind(program, producer)
+        return None
+
+    def _call_protected(self, program, call) -> bool:
+        """Static version of ``spec.call_accesses_protected``: True when
+        the call may access a protected resource (conservative)."""
+        decl = self._decl(call.name)
+        if decl is None:
+            return True
+        kinds: Set[str] = set()
+        for arg_spec, arg in zip(decl.args, call.args):
+            if arg_spec.kind not in ("fd", "res"):
+                continue
+            resource = arg_spec.resource or ""
+            if resource in WILDCARD_KINDS or resource == "fd_file":
+                refined = self._fd_kind(program, arg)
+                if refined is None:
+                    return True
+                kinds.add(refined)
+            elif resource:
+                kinds.add(resource)
+        if decl.ret_resource is not None:
+            if call.name in ("socket", "open"):
+                refined = self._producer_kind(program, call)
+                if refined is None:
+                    return True
+                kinds.add(refined)
+            else:
+                kinds.add(decl.ret_resource)
+        return self._spec.call_accesses_protected(
+            _StaticRecord(call.name, sorted(kinds)))
+
+    # -- proc-wildcard resolution ------------------------------------------
+
+    def _proc_summaries(self, program, call) -> List[SyscallSummary]:
+        """The proc-file summaries a proc-wildcard call may reach."""
+        from ..corpus.program import ConstArg
+
+        table = (self._map.proc_writes if call.name == "write"
+                 else self._map.proc_reads)
+        decl = self._decl(call.name)
+        if decl is None:
+            return list(table.values())
+        keys: Set[str] = set()
+        for arg_spec, arg in zip(decl.args, call.args):
+            if arg_spec.kind in ("path", "str"):
+                # Direct path argument (io_uring_read reads by path).
+                if not (isinstance(arg, ConstArg)
+                        and isinstance(arg.value, str)):
+                    return list(table.values())
+                if arg.value.startswith("/proc/"):
+                    keys.add(arg.value[len("/proc/"):])
+                continue
+            if arg_spec.kind != "fd":
+                continue
+            resource = arg_spec.resource or ""
+            if resource not in WILDCARD_KINDS and resource != "fd_file":
+                continue  # io_uring/ns/... descriptors are never procfs
+            kind = self._fd_kind(program, arg)
+            if kind is None:
+                return list(table.values())
+            if not kind.startswith("fd_proc"):
+                continue
+            producer = program.calls[arg.index]
+            path = producer.args[0].value
+            keys.add(path[len("/proc/"):])
+        return [table[key] for key in sorted(keys) if key in table]
+
+    # -- program summaries --------------------------------------------------
+
+    def _summary(self, program) -> Tuple[PathScopes, PathScopes, bool]:
+        cached = self._summaries.get(program.hash_hex)
+        if cached is not None:
+            return cached
+        writes: PathScopes = {}
+        reads: PathScopes = {}
+        unknown = False
+        dispatch = ([self._map.dispatch]
+                    if self._map.dispatch is not None else [])
+        for call in program.calls:
+            if call is None:
+                continue
+            summary = self._map.syscalls.get(call.name)
+            if summary is None:
+                unknown = True
+                continue
+            summaries = [summary] + dispatch
+            if summary.proc_wildcard:
+                summaries += self._proc_summaries(program, call)
+            protected = self._call_protected(program, call)
+            for item in summaries:
+                for access in item.accesses:
+                    if not access.traced or access.path.startswith("new."):
+                        continue
+                    if access.is_write():
+                        writes.setdefault(access.path, set()).add(access.scope)
+                    if access.is_read() and access.observable and protected:
+                        reads.setdefault(access.path, set()).add(access.scope)
+        result = (writes, reads, unknown)
+        self._summaries[program.hash_hex] = result
+        return result
+
+    # -- the verdict --------------------------------------------------------
+
+    def may_interfere(self, sender, receiver) -> bool:
+        """False only when the pair is *provably* disjoint."""
+        key = (sender.hash_hex, receiver.hash_hex)
+        cached = self._verdicts.get(key)
+        if cached is not None:
+            return cached
+        writes, __, sender_unknown = self._summary(sender)
+        __, reads, receiver_unknown = self._summary(receiver)
+        verdict = sender_unknown or receiver_unknown
+        if not verdict:
+            for path, write_scopes in writes.items():
+                read_scopes = reads.get(path)
+                if not read_scopes:
+                    continue
+                if any(_scopes_collide(ws, rs)
+                       for ws in write_scopes for rs in read_scopes):
+                    verdict = True
+                    break
+        self._verdicts[key] = verdict
+        return verdict
+
+    # -- static-vs-dynamic evaluation ---------------------------------------
+
+    def evaluate(self, corpus: Sequence, index) -> PrefilterStats:
+        """Corpus-wide precision/recall of the filter against the
+        dynamic :class:`~repro.core.dataflow.DataFlowIndex`."""
+        dynamic: Set[Tuple[int, int]] = set()
+        for addr in index.overlap_addresses():
+            for write_point in index.writers[addr]:
+                for read_point in index.readers[addr]:
+                    dynamic.add((write_point.prog_index,
+                                 read_point.prog_index))
+        static: Set[Tuple[int, int]] = set()
+        size = len(corpus)
+        for i in range(size):
+            for j in range(size):
+                if self.may_interfere(corpus[i], corpus[j]):
+                    static.add((i, j))
+        return PrefilterStats(
+            corpus_pairs=size * size,
+            static_pairs=len(static),
+            dynamic_pairs=len(dynamic),
+            static_and_dynamic=len(static & dynamic),
+        )

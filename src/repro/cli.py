@@ -82,6 +82,12 @@ def _print_campaign(result: CampaignResult, show_reports: bool) -> None:
           + ", ".join(f"{k}={v}" for k, v in sorted(stats.outcomes.items())))
     print(f"funnel: {stats.initial_reports} candidates -> "
           f"{stats.after_nondet} -> {stats.after_resource} reports")
+    if stats.prefilter_pairs_total:
+        print(f"prefilter: {stats.prefilter_pairs_pruned}/"
+              f"{stats.prefilter_pairs_total} pairs pruned "
+              f"({stats.prefilter_pruned_rate():.0%}), static-vs-dynamic "
+              f"precision {stats.prefilter_precision:.0%} / "
+              f"recall {stats.prefilter_recall:.0%}")
     if stats.restore_count:
         print(f"restores: {stats.restore_count} "
               f"({stats.segmented_restores} segmented / "
@@ -122,6 +128,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         rand_budget=args.rand_budget,
         workers=args.workers,
         nondet_dir=args.nondet_cache,
+        static_prefilter=args.prefilter,
     )
     progress = print if args.verbose else None
     result = Kit(config).run(progress=progress)
@@ -187,6 +194,73 @@ def cmd_gate(args: argparse.Namespace) -> int:
         print("GATE FAILED: new interference introduced")
         return 1
     print("gate passed: nothing introduced")
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """Static interference analysis: access maps, escape lint, locks."""
+    from .analysis import analyze, render_json, render_text
+
+    if args.check:
+        return _analyze_check()
+
+    report = analyze(bugs=_kernel_preset(args.kernel),
+                     kernel_name=args.kernel,
+                     rediscovery=args.rediscover)
+    text = (render_json(report) if args.json
+            else render_text(report, verbose=args.verbose))
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    if not report.clean():
+        return 1
+    if args.rediscover and not report.rediscovery.matches_expectations():
+        return 1
+    return 0
+
+
+def _analyze_check() -> int:
+    """The CI gate: the clean kernel lints clean, every statically
+    detectable injected bug is rediscovered, lock discipline holds."""
+    from .analysis import analyze, rediscover_bugs
+
+    failures = 0
+    report = analyze(bugs=fixed_kernel(), kernel_name="fixed")
+    unsuppressed = report.unsuppressed()
+    if unsuppressed:
+        failures += 1
+        print(f"FAIL: clean kernel has {len(unsuppressed)} unsuppressed "
+              "escape finding(s):")
+        for finding in unsuppressed:
+            print(f"  {finding.render()}")
+    else:
+        print("ok: clean kernel lints clean "
+              f"({len(report.escape_findings)} suppressed)")
+    if report.lock_findings:
+        failures += 1
+        print(f"FAIL: {len(report.lock_findings)} lock-discipline "
+              "finding(s):")
+        for finding in report.lock_findings:
+            print(f"  {finding.render()}")
+    else:
+        print("ok: lock discipline holds")
+    rediscovery = rediscover_bugs()
+    if rediscovery.matches_expectations():
+        print(f"ok: bug rediscovery {len(rediscovery.found)}/"
+              f"{len(rediscovery.per_bug)} "
+              f"({100 * rediscovery.rate():.0f}%), matches expectations")
+    else:
+        failures += 1
+        unexpected = [flag for flag, r in rediscovery.per_bug.items()
+                      if r.found != r.expected]
+        print(f"FAIL: rediscovery deviates on {', '.join(unexpected)}")
+    if failures:
+        print(f"analyze --check: {failures} failure(s)")
+        return 1
+    print("analyze --check: all gates passed")
     return 0
 
 
@@ -292,6 +366,9 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--workers", type=int, default=0,
                      help="distributed execution worker threads")
     run.add_argument("--nondet-cache", help="directory for non-det marks")
+    run.add_argument("--prefilter", action="store_true",
+                     help="prune statically disjoint candidate pairs "
+                          "before clustering (repro.analysis)")
     run.add_argument("--reports", action="store_true",
                      help="print every report in full")
     run.add_argument("--save", help="write the campaign result to a JSON file")
@@ -346,6 +423,22 @@ def build_parser() -> argparse.ArgumentParser:
     gate.add_argument("--corpus-size", type=int, default=100)
     gate.add_argument("--seed", type=int, default=1)
     gate.set_defaults(handler=cmd_gate)
+
+    analyze = subparsers.add_parser("analyze",
+                                    help="static interference analysis: "
+                                         "access maps, escape lint, lock "
+                                         "discipline")
+    analyze.add_argument("--json", action="store_true",
+                         help="machine-readable report")
+    analyze.add_argument("--rediscover", action="store_true",
+                         help="differentially lint every single-bug kernel")
+    analyze.add_argument("--check", action="store_true",
+                         help="CI gate: clean kernel lints clean, bugs "
+                              "rediscovered, locks disciplined")
+    analyze.add_argument("--output", help="write the report to a file")
+    analyze.add_argument("--verbose", action="store_true",
+                         help="include the full access map")
+    analyze.set_defaults(handler=cmd_analyze)
 
     syscalls = subparsers.add_parser("syscalls",
                                      help="document the declared syscall "

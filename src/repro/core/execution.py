@@ -37,6 +37,9 @@ class BaselineCache:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._results: Dict[str, ExecutionResult] = {}
+        #: receiver hash -> owner tag of the worker that computed it
+        #: (None for entries from the in-process runner).
+        self._owners: Dict[str, Optional[int]] = {}
         self.hits = 0
         self.misses = 0
 
@@ -49,13 +52,28 @@ class BaselineCache:
                 self.hits += 1
             return result
 
-    def put(self, receiver_hash: str, result: ExecutionResult) -> None:
+    def put(self, receiver_hash: str, result: ExecutionResult,
+            owner: Optional[int] = None) -> None:
         with self._lock:
-            self._results.setdefault(receiver_hash, result)
+            if receiver_hash not in self._results:
+                self._results[receiver_hash] = result
+                self._owners[receiver_hash] = owner
+
+    def invalidate_owner(self, owner: int) -> int:
+        """Drop every entry computed by *owner* (a dead cluster worker
+        may have published results from a corrupted machine)."""
+        with self._lock:
+            stale = [key for key, tag in self._owners.items()
+                     if tag == owner]
+            for key in stale:
+                del self._results[key]
+                del self._owners[key]
+            return len(stale)
 
     def clear(self) -> None:
         with self._lock:
             self._results.clear()
+            self._owners.clear()
 
     def __len__(self) -> int:
         with self._lock:
@@ -63,8 +81,9 @@ class BaselineCache:
 
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
 
 
 class TestCaseRunner:
@@ -98,7 +117,8 @@ class TestCaseRunner:
         machine = self._machine
         machine.reset()
         result = machine.run(RECEIVER, receiver)
-        self._baselines.put(receiver.hash_hex, result)
+        self._baselines.put(receiver.hash_hex, result,
+                            owner=machine.cluster_worker_id)
         return result
 
     @property

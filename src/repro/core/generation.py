@@ -17,13 +17,17 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import (TYPE_CHECKING, Dict, Hashable, List, Optional, Sequence,
+                    Tuple)
 
 from ..corpus.program import TestProgram
 from .clustering import ClusteringStrategy
 from .dataflow import AccessPoint, DataFlowIndex
 from .profile import ProgramProfile
 from .spec import Specification
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..analysis.prefilter import PrefilterStats, StaticPreFilter
 
 
 @dataclass
@@ -57,6 +61,8 @@ class GenerationResult:
     flow_count: int
     #: Kernel addresses with write/read overlap.
     overlap_addresses: int
+    #: Static pre-filter telemetry, when a filter was installed.
+    prefilter: Optional["PrefilterStats"] = None
 
 
 class TestCaseGenerator:
@@ -66,12 +72,14 @@ class TestCaseGenerator:
 
     def __init__(self, corpus: Sequence[TestProgram],
                  profiles: Optional[Sequence[ProgramProfile]],
-                 spec: Specification):
+                 spec: Specification,
+                 prefilter: Optional["StaticPreFilter"] = None):
         if profiles is not None and len(corpus) != len(profiles):
             raise ValueError("corpus and profiles must align")
         self._corpus = list(corpus)
         self._profiles = list(profiles) if profiles is not None else None
         self._spec = spec
+        self._prefilter = prefilter
         self._index: Optional[DataFlowIndex] = None
 
     @property
@@ -107,6 +115,8 @@ class TestCaseGenerator:
         rng = random.Random(rep_seed)
         clusters: Dict[Hashable, Tuple[AccessPoint, AccessPoint]] = {}
         best_key: Dict[Hashable, float] = {}
+        # Pair verdicts from the static pre-filter (None = keep all).
+        verdicts: Dict[Tuple[int, int], bool] = {}
         for addr in index.overlap_addresses():
             write_groups = self._group(index.writers[addr], strategy.write_key,
                                        rng)
@@ -114,6 +124,9 @@ class TestCaseGenerator:
                                       rng)
             for write_key, write_point in write_groups.items():
                 for read_key, read_point in read_groups.items():
+                    if not self._pair_allowed(write_point, read_point,
+                                              verdicts):
+                        continue
                     key = (write_key, read_key)
                     weight = self._pair_weight(write_point, read_point)
                     # Weighted reservoir sampling (A-Res): keep the max
@@ -124,13 +137,36 @@ class TestCaseGenerator:
                         clusters[key] = (write_point, read_point)
         cluster_count = len(clusters)
         cases = self._materialize(clusters, max_clusters)
+        stats = None
+        if self._prefilter is not None:
+            from ..analysis.prefilter import PrefilterStats
+
+            stats = PrefilterStats(
+                pairs_total=len(verdicts),
+                pairs_pruned=sum(1 for kept in verdicts.values() if not kept),
+            )
         return GenerationResult(
             strategy=strategy.name,
             test_cases=cases,
             cluster_count=cluster_count,
             flow_count=index.total_flow_count(),
             overlap_addresses=len(index.overlap_addresses()),
+            prefilter=stats,
         )
+
+    def _pair_allowed(self, write_point: AccessPoint,
+                      read_point: AccessPoint,
+                      verdicts: Dict[Tuple[int, int], bool]) -> bool:
+        """Apply the static pre-filter to a candidate pair (memoized)."""
+        if self._prefilter is None:
+            return True
+        pair = (write_point.prog_index, read_point.prog_index)
+        verdict = verdicts.get(pair)
+        if verdict is None:
+            verdict = self._prefilter.may_interfere(self._corpus[pair[0]],
+                                                    self._corpus[pair[1]])
+            verdicts[pair] = verdict
+        return verdict
 
     def _pair_weight(self, write_point: AccessPoint,
                      read_point: AccessPoint) -> float:

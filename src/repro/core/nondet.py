@@ -51,6 +51,9 @@ class NondetStore:
     def __init__(self, directory: Optional[str] = None):
         self._directory = directory
         self._memory: Dict[Tuple[str, str], FrozenSet[Path]] = {}
+        #: cache key -> owner tag of the worker that computed the marks
+        #: (None for entries loaded from disk or computed in-process).
+        self._owners: Dict[Tuple[str, str], Optional[int]] = {}
         self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
@@ -73,9 +76,10 @@ class NondetStore:
             return marks
 
     def put(self, program_hash: str, marks: FrozenSet[Path],
-            offsets_key: str = "") -> None:
+            offsets_key: str = "", owner: Optional[int] = None) -> None:
         with self._lock:
             self._memory[(program_hash, offsets_key)] = marks
+            self._owners[(program_hash, offsets_key)] = owner
             if self._directory is None:
                 return
             file_path = self._file_for(program_hash, offsets_key)
@@ -83,6 +87,25 @@ class NondetStore:
             with open(tmp_path, "w") as handle:
                 json.dump(sorted(list(path) for path in marks), handle)
             os.replace(tmp_path, file_path)
+
+    def invalidate_owner(self, owner: int) -> int:
+        """Drop every verdict computed by *owner* — memory and disk.
+
+        A worker that died mid-queue may have published marks from a
+        machine in an undefined state; those verdicts cannot be trusted
+        by the surviving workers.
+        """
+        with self._lock:
+            stale = [key for key, tag in self._owners.items()
+                     if tag == owner]
+            for key in stale:
+                del self._memory[key]
+                del self._owners[key]
+                if self._directory is not None:
+                    file_path = self._file_for(*key)
+                    if os.path.exists(file_path):
+                        os.remove(file_path)
+            return len(stale)
 
     def _load(self, program_hash: str,
               offsets_key: str) -> Optional[FrozenSet[Path]]:
@@ -101,8 +124,9 @@ class NondetStore:
 
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
 
     def __len__(self) -> int:
         with self._lock:
@@ -141,5 +165,6 @@ class NondetAnalyzer:
             trees.append(build_trace_ast(result.records))
             self.runs_executed += 1
         marks = nondet_paths_from_runs(trees)
-        self._store.put(program.hash_hex, marks, self._offsets_key)
+        self._store.put(program.hash_hex, marks, self._offsets_key,
+                        owner=self._machine.cluster_worker_id)
         return marks

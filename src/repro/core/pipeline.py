@@ -67,6 +67,9 @@ class CampaignConfig:
     diagnose: bool = True
     #: Worker threads for distributed execution (0 = in-process).
     workers: int = 0
+    #: Prune candidate pairs the static analyzer proves disjoint
+    #: (see repro.analysis.prefilter) before clustering.
+    static_prefilter: bool = False
 
 
 @dataclass
@@ -109,6 +112,16 @@ class CampaignStats:
     baseline_misses: int = 0
     nondet_cache_hits: int = 0
     nondet_cache_misses: int = 0
+    #: Static pre-filter telemetry (zero unless static_prefilter is on).
+    prefilter_pairs_total: int = 0
+    prefilter_pairs_pruned: int = 0
+    prefilter_precision: float = 0.0
+    prefilter_recall: float = 0.0
+
+    def prefilter_pruned_rate(self) -> float:
+        if not self.prefilter_pairs_total:
+            return 0.0
+        return self.prefilter_pairs_pruned / self.prefilter_pairs_total
 
     def executions_per_second(self) -> float:
         if self.execution_seconds <= 0:
@@ -270,7 +283,15 @@ class Kit:
         stats.profile_seconds = time.monotonic() - start
 
         start = time.monotonic()
-        generator = TestCaseGenerator(corpus, profiles, config.spec)
+        prefilter = None
+        if config.static_prefilter:
+            from ..analysis.prefilter import StaticPreFilter
+
+            say("building static pre-filter (access-map extraction)")
+            prefilter = StaticPreFilter(bugs=config.machine.bugs,
+                                        spec=config.spec)
+        generator = TestCaseGenerator(corpus, profiles, config.spec,
+                                      prefilter=prefilter)
         result = generator.generate(strategy_by_name(config.strategy),
                                     max_clusters=config.max_test_cases,
                                     rep_seed=config.rep_seed)
@@ -278,6 +299,12 @@ class Kit:
         stats.flow_count = result.flow_count
         stats.cluster_count = result.cluster_count
         stats.overlap_addresses = result.overlap_addresses
+        if result.prefilter is not None:
+            stats.prefilter_pairs_total = result.prefilter.pairs_total
+            stats.prefilter_pairs_pruned = result.prefilter.pairs_pruned
+            evaluation = prefilter.evaluate(corpus, generator.index)
+            stats.prefilter_precision = evaluation.precision()
+            stats.prefilter_recall = evaluation.recall()
         return result
 
     def _execute(self, machine: Machine, cases: List[TestCase],
@@ -328,9 +355,18 @@ class Kit:
                        key=lambda i: cases[i].receiver.hash_hex)
         scheduled = [cases[i] for i in order]
         worker_machines: List[Machine] = []
+
+        def release_dead_worker(worker_id: int) -> None:
+            # A dead worker may have published cache entries computed on
+            # a machine left in an undefined state; drop them so the
+            # surviving workers (and the diagnosis stage) recompute.
+            baselines.invalidate_owner(worker_id)
+            nondet_store.invalidate_owner(worker_id)
+
         job_results = run_distributed(config.machine, scheduled, case_runner,
                                       workers=config.workers,
-                                      machines_out=worker_machines)
+                                      machines_out=worker_machines,
+                                      on_worker_death=release_dead_worker)
         results: List[Optional[DetectionResult]] = [None] * len(cases)
         for job in job_results:
             if job.error is not None:
@@ -339,10 +375,11 @@ class Kit:
             results[order[job.job_id]] = job.outcome
         for worker_machine in worker_machines:
             stats.absorb_machine(worker_machine.stats, stage="execution")
-        stats.cases_executed = sum(d.runner.cases_executed
-                                   for d in detectors.values())
-        stats.nondet_runs = sum(d.nondet.runs_executed
-                                for d in detectors.values())
+        with detectors_lock:
+            stats.cases_executed = sum(d.runner.cases_executed
+                                       for d in detectors.values())
+            stats.nondet_runs = sum(d.nondet.runs_executed
+                                    for d in detectors.values())
         return results  # type: ignore[return-value]
 
     def _diagnose(self, machine: Machine, reports: List[TestReport],

@@ -127,4 +127,5 @@ def profile_corpus_distributed(
             raise RuntimeError(
                 f"profiling failed on job {job.job_id}: {job.error}")
         profiles.append(job.outcome)
-    return profiles, list(profilers.values()), machines
+    with lock:
+        return profiles, list(profilers.values()), machines

@@ -74,6 +74,57 @@ class BugFlags:
         return dataclasses.replace(self, **overrides)
 
 
+@dataclass(frozen=True)
+class BugSpec:
+    """Shared metadata for one injected bug: a stable id, the canonical
+    kernel-state location it corrupts (in the static analyzer's lattice,
+    see docs/ANALYSIS.md), and whether the static escape lint is
+    expected to rediscover it.
+
+    ``table_refs`` ties the flag back to the paper's numbering: Table-2
+    bug numbers and/or Table-3 row letters ("H" is the §2.1 msgctl
+    motivation, reported in prose only).
+    """
+
+    flag: str
+    state_path: str
+    table_refs: Tuple[str, ...]
+    #: False only for value-level bugs: the buggy and patched kernels
+    #: have identical access *sets* and differ in the value written
+    #: (e.g. a raw global PID instead of a translated one), which no
+    #: access-set analysis can distinguish.
+    statically_detectable: bool = True
+
+
+#: One spec per flag; ids are the flag names (stable across releases).
+BUG_SPECS: Tuple[BugSpec, ...] = (
+    BugSpec("ptype_leak", "kernel.ptype.ptype_all", ("1",)),
+    BugSpec("flowlabel_exclusive_global",
+            "kernel.flowlabel.exclusive_global", ("2", "4")),
+    BugSpec("rds_bind_global", "kernel.rds.global_binds", ("3",)),
+    BugSpec("sockstat_used_global", "kernel.net.sockets_used_global", ("5",)),
+    BugSpec("socket_cookie_global", "kernel.net.cookie_next_global", ("6",)),
+    BugSpec("sctp_assoc_id_global", "kernel.sctp.assoc_next_global", ("7",)),
+    BugSpec("proto_mem_global", "kernel.net.proto_mem_global", ("8", "9")),
+    BugSpec("prio_user_crosses_pidns", "kernel.tasks", ("A",)),
+    BugSpec("uevent_broadcast_all_ns", "ns:net.uevent_queue", ("B",)),
+    BugSpec("ipvs_proc_no_ns_check", "kernel.ipvs.services", ("C",)),
+    BugSpec("conntrack_max_global", "kernel.conntrack.global_max", ("D",)),
+    BugSpec("iouring_wrong_mnt_ns", "kernel.init_mnt_ns", ("E",)),
+    BugSpec("conntrack_proc_leak", "kernel.conntrack.entries", ("F",)),
+    BugSpec("unix_diag_cross_ns", "kernel.net.unix.by_ino", ("G",)),
+    BugSpec("msg_stat_global_pid", "kernel.tasks", ("H",),
+            statically_detectable=False),
+)
+
+
+def bug_spec(flag: str) -> BugSpec:
+    for spec in BUG_SPECS:
+        if spec.flag == flag:
+            return spec
+    raise KeyError(flag)
+
+
 #: Paper bug number -> (flag, short description, resource column of Table 2).
 TABLE2_BUGS: Dict[int, Tuple[str, str, str]] = {
     1: ("ptype_leak", "Read /proc/net/ptype shows ptype from other ns", "ptype"),

@@ -104,23 +104,31 @@ class ClusterWorker(threading.Thread):
             return
         machine.cluster_worker_id = self.worker_id
         self.machine = machine
-        while True:
-            job = self._server.fetch_job()
-            if job is None:
-                return
-            try:
-                outcome = self._case_runner(machine, job.payload)
-                result = JobResult(job.job_id, outcome, self.worker_id)
-            except Exception as error:  # defensive: report, don't kill worker
-                result = JobResult(job.job_id, None, self.worker_id,
-                                   error=f"{type(error).__name__}: {error}")
-            self._server.submit_result(result)
+        try:
+            while True:
+                job = self._server.fetch_job()
+                if job is None:
+                    return
+                try:
+                    outcome = self._case_runner(machine, job.payload)
+                    result = JobResult(job.job_id, outcome, self.worker_id)
+                except Exception as error:  # defensive: report, keep worker
+                    result = JobResult(job.job_id, None, self.worker_id,
+                                       error=f"{type(error).__name__}: "
+                                             f"{error}")
+                self._server.submit_result(result)
+        except BaseException as error:  # worker death (SystemExit, ...)
+            # Anything escaping the per-job handler kills the worker
+            # mid-queue; record it so run_distributed can name the cause
+            # and let owners invalidate this worker's cache entries.
+            self.fatal_error = f"{type(error).__name__}: {error}"
 
 
 def run_distributed(machine_config: MachineConfig, payloads: Iterable[Any],
                     case_runner: Callable[[Machine, Any], Any],
                     workers: int = 2,
-                    machines_out: Optional[List[Machine]] = None
+                    machines_out: Optional[List[Machine]] = None,
+                    on_worker_death: Optional[Callable[[int], None]] = None
                     ) -> List[JobResult]:
     """Run *payloads* through *case_runner* on a worker pool.
 
@@ -133,6 +141,11 @@ def run_distributed(machine_config: MachineConfig, payloads: Iterable[Any],
 
     *machines_out*, if given, receives each worker's booted machine
     after the pool joins, for restore/cache telemetry collection.
+
+    *on_worker_death*, if given, is called with each dead worker's id
+    before the RuntimeError is raised — the hook for invalidating
+    shared-cache entries that the dead worker owned (it may have died
+    mid-computation, leaving partial state behind).
     """
     server = ClusterServer(machine_config, payloads)
     if server.job_count == 0:
@@ -145,6 +158,10 @@ def run_distributed(machine_config: MachineConfig, payloads: Iterable[Any],
         worker.join()
     if machines_out is not None:
         machines_out.extend(w.machine for w in pool if w.machine is not None)
+    dead = [w for w in pool if w.fatal_error is not None]
+    if dead and on_worker_death is not None:
+        for worker in dead:
+            on_worker_death(worker.worker_id)
     results = server.results_in_order()
     if len(results) != server.job_count:
         finished = {result.job_id for result in results}
@@ -152,7 +169,7 @@ def run_distributed(machine_config: MachineConfig, payloads: Iterable[Any],
                    if job_id not in finished]
         boot_errors = "; ".join(
             f"worker {w.worker_id}: {w.fatal_error}"
-            for w in pool if w.fatal_error is not None) or "unknown cause"
+            for w in dead) or "unknown cause"
         raise RuntimeError(
             f"cluster finished with {len(missing)} unfinished job(s) "
             f"{missing} ({boot_errors})")

@@ -1,0 +1,85 @@
+"""Static access-map extraction: structure and bug-flag folding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import extract_access_map
+from repro.analysis.accessmap import (
+    discover_handlers,
+    discover_proc_keys,
+)
+from repro.analysis.locations import GLOBAL, SHARED_SCOPES
+from repro.analysis.sources import KernelSourceIndex
+from repro.kernel.bugs import fixed_kernel, linux_5_13
+from repro.kernel.syscalls.table import HANDLERS
+
+
+@pytest.fixture(scope="module")
+def index():
+    return KernelSourceIndex()
+
+
+@pytest.fixture(scope="module")
+def clean_map(index):
+    return extract_access_map(fixed_kernel(), index)
+
+
+@pytest.fixture(scope="module")
+def buggy_map(index):
+    return extract_access_map(linux_5_13(), index)
+
+
+def test_discovers_every_registered_handler(index):
+    assert set(discover_handlers(index)) == set(HANDLERS)
+
+
+def test_discovers_proc_keys(index):
+    read_keys = discover_proc_keys(index, "render")
+    assert "net/ptype" in read_keys
+    assert "net/sockstat" in read_keys
+    write_keys = discover_proc_keys(index, "write")
+    assert write_keys  # at least the sysctl files
+    assert set(write_keys) <= set(read_keys) | set(write_keys)
+
+
+def test_every_entry_has_a_summary(clean_map):
+    assert set(clean_map.syscalls) == set(HANDLERS)
+    for key in discover_proc_keys(KernelSourceIndex(), "render"):
+        assert key in clean_map.proc_reads
+
+
+def test_access_fields_are_populated(clean_map):
+    summary = clean_map.syscalls["sethostname"]
+    assert summary.accesses
+    access = summary.accesses[0]
+    assert access.path
+    assert access.kind in ("read", "write")
+    assert ":" in access.site()  # file:line
+    assert access.function
+
+
+def test_bug_folding_changes_the_map(clean_map, buggy_map):
+    """The buggy kernel's sockstat render reads the global counter; the
+    fixed kernel's reads the per-namespace one."""
+    buggy_paths = {a.path
+                   for a in buggy_map.proc_reads["net/sockstat"].accesses}
+    clean_paths = {a.path
+                   for a in clean_map.proc_reads["net/sockstat"].accesses}
+    assert "kernel.net.sockets_used_global" in buggy_paths
+    assert "kernel.net.sockets_used_global" not in clean_paths
+
+
+def test_shared_scope_accesses_exist(buggy_map):
+    shared = [a for s in buggy_map.entries().values()
+              for a in s.accesses if a.scope in SHARED_SCOPES]
+    assert shared
+    assert any(a.scope == GLOBAL for a in shared)
+
+
+def test_union_mode_over_approximates_both_versions(index, clean_map,
+                                                    buggy_map):
+    union_map = extract_access_map(None, index)
+    union_paths = set(union_map.paths())
+    assert set(clean_map.paths()) <= union_paths
+    assert set(buggy_map.paths()) <= union_paths

@@ -1,0 +1,126 @@
+"""The namespace-escape lint and the differential bug rediscovery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import extract_access_map
+from repro.analysis.escape import (
+    DEFAULT_SUPPRESSIONS,
+    EscapeLinter,
+    Suppression,
+    declared_kinds,
+    proc_key_kind,
+    rediscover_bugs,
+)
+from repro.analysis.sources import KernelSourceIndex
+from repro.kernel.bugs import BUG_SPECS, BugFlags, bug_spec, fixed_kernel
+
+
+@pytest.fixture(scope="module")
+def index():
+    return KernelSourceIndex()
+
+
+@pytest.fixture(scope="module")
+def clean_map(index):
+    return extract_access_map(fixed_kernel(), index)
+
+
+def test_clean_kernel_lints_clean(clean_map):
+    """No unsuppressed findings on the fully patched kernel."""
+    linter = EscapeLinter(clean_map)
+    assert linter.unsuppressed() == []
+
+
+def test_suppressions_cover_allocator_pattern(clean_map):
+    """The clean kernel's only candidates are the documented fresh-id
+    allocators — visible when suppressions are disabled."""
+    linter = EscapeLinter(clean_map, suppressions=())
+    paths = {f.access.path for f in linter.unsuppressed()}
+    assert paths == {s.path for s in DEFAULT_SUPPRESSIONS}
+
+
+def test_findings_carry_location_and_spec_entries(index):
+    buggy = extract_access_map(BugFlags(ptype_leak=True), index)
+    findings = EscapeLinter(buggy).unsuppressed()
+    ptype = [f for f in findings
+             if f.access.path == "kernel.ptype.ptype_all"]
+    assert ptype
+    finding = ptype[0]
+    assert finding.rule in ("E1", "E2", "E3")
+    assert "src/repro/kernel" in finding.access.site()
+    assert finding.spec_entries  # why the entry is protected
+    assert finding.entry in finding.message
+
+
+def test_unprotected_entries_are_not_linted(clean_map):
+    """Rule findings require the spec to select the entry."""
+    linter = EscapeLinter(clean_map)
+    for finding in linter.run():
+        assert linter.spec_entries_for(finding.entry)
+
+
+def test_custom_suppression_narrows_by_function(index):
+    buggy = extract_access_map(BugFlags(ptype_leak=True), index)
+    base = EscapeLinter(buggy).unsuppressed()
+    target = [f for f in base if f.access.path == "kernel.ptype.ptype_all"]
+    assert target
+    extra = tuple(DEFAULT_SUPPRESSIONS) + (
+        Suppression("kernel.ptype.ptype_all",
+                    function=target[0].access.function,
+                    reason="test"),
+    )
+    silenced = EscapeLinter(buggy, suppressions=extra).unsuppressed()
+    assert not any(f.access.path == "kernel.ptype.ptype_all"
+                   for f in silenced)
+
+
+def test_proc_key_kinds():
+    assert proc_key_kind("net/ptype") == "fd_proc_net"
+    assert proc_key_kind("sys/net/ipv4/ip_forward") == "fd_proc_sys_net"
+    assert proc_key_kind("sys/kernel/hostname") == "fd_proc_sys_kernel"
+    assert proc_key_kind("sys/vm/swappiness") == "fd_proc_sys"
+    assert proc_key_kind("meminfo") == "fd_proc"
+
+
+def test_declared_kinds():
+    assert "sock" in declared_kinds("socket")
+    assert declared_kinds("getpid") == set()
+    assert declared_kinds("no_such_syscall") == set()
+
+
+# -- rediscovery (the ISSUE's >=60% acceptance bar) -------------------------
+
+@pytest.fixture(scope="module")
+def rediscovery(index):
+    return rediscover_bugs(index)
+
+
+def test_bug_specs_cover_every_flag():
+    import dataclasses
+    flags = {f.name for f in dataclasses.fields(BugFlags)}
+    assert {s.flag for s in BUG_SPECS} == flags
+    assert bug_spec("ptype_leak").state_path == "kernel.ptype.ptype_all"
+    with pytest.raises(KeyError):
+        bug_spec("no_such_bug")
+
+
+def test_rediscovery_rate_over_60_percent(rediscovery):
+    assert rediscovery.rate() >= 0.6
+
+
+def test_rediscovery_matches_registry_expectations(rediscovery):
+    """Every statically detectable bug is found; only the value-level
+    bug (msg_stat_global_pid) is missed, by design."""
+    assert rediscovery.matches_expectations()
+    assert rediscovery.missed == ["msg_stat_global_pid"]
+
+
+def test_rediscovery_hits_registered_state_paths(rediscovery):
+    """For found bugs, at least one finding names the canonical path
+    from the registry (the path-level root cause)."""
+    hits = [flag for flag, r in rediscovery.per_bug.items()
+            if r.found and r.hit_expected_path]
+    # The vast majority pinpoint the exact registered path.
+    assert len(hits) >= 10

@@ -1,0 +1,169 @@
+"""The lexical lock-discipline checker."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis.locks import check_lock_discipline
+
+
+def _check(tmp_path, source):
+    module = tmp_path / "mod.py"
+    module.write_text(textwrap.dedent(source))
+    return check_lock_discipline(modules=[str(module)])
+
+
+def test_clean_class_discipline(tmp_path):
+    findings = _check(tmp_path, """
+        import threading
+
+        class Cache:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._data = {}
+
+            def put(self, key, value):
+                with self._lock:
+                    self._data[key] = value
+
+            def get(self, key):
+                with self._lock:
+                    return self._data.get(key)
+        """)
+    assert findings == []
+
+
+def test_unlocked_read_is_flagged(tmp_path):
+    findings = _check(tmp_path, """
+        import threading
+
+        class Cache:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._data = {}
+
+            def put(self, key, value):
+                with self._lock:
+                    self._data[key] = value
+
+            def size(self):
+                return len(self._data)
+        """)
+    assert len(findings) == 1
+    finding = findings[0]
+    assert finding.name == "self._data"
+    assert finding.lock == "self._lock"
+    assert finding.function == "size"
+    assert finding.kind == "read"
+    assert "size" in finding.message
+
+
+def test_unlocked_mutation_is_flagged(tmp_path):
+    findings = _check(tmp_path, """
+        import threading
+
+        class Counter:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.count = 0
+
+            def bump(self):
+                with self._lock:
+                    self.count += 1
+
+            def race(self):
+                self.count += 1
+        """)
+    assert [f.function for f in findings] == ["race"]
+    assert findings[0].kind == "write"
+
+
+def test_init_and_fresh_containers_are_exempt(tmp_path):
+    findings = _check(tmp_path, """
+        import threading
+
+        class Store:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._data = {}
+                self._data["seed"] = 1  # pre-publication: fine
+
+            def reset(self):
+                with self._lock:
+                    self._data.clear()
+
+            def add(self, k, v):
+                with self._lock:
+                    self._data[k] = v
+        """)
+    assert findings == []
+
+
+def test_unguarded_structures_are_ignored(tmp_path):
+    """Attributes never mutated under the lock have no guard to violate."""
+    findings = _check(tmp_path, """
+        import threading
+
+        class Half:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._config = {}
+                self._data = {}
+
+            def add(self, k, v):
+                with self._lock:
+                    self._data[k] = v
+
+            def option(self, k):
+                return self._config.get(k)
+
+            def peek(self, k):
+                with self._lock:
+                    return self._data.get(k)
+        """)
+    assert findings == []
+
+
+def test_function_local_lock_with_closure(tmp_path):
+    findings = _check(tmp_path, """
+        import threading
+
+        def driver(jobs):
+            results = {}
+            lock = threading.Lock()
+
+            def worker(job):
+                with lock:
+                    results[job] = run(job)
+
+            for job in jobs:
+                worker(job)
+            return list(results.values())
+        """)
+    assert len(findings) == 1
+    assert findings[0].name == "results"
+    assert findings[0].lock == "lock"
+
+
+def test_mutating_method_establishes_guard(tmp_path):
+    findings = _check(tmp_path, """
+        import threading
+
+        class Log:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._lines = []
+
+            def add(self, line):
+                with self._lock:
+                    self._lines.append(line)
+
+            def dump(self):
+                return list(self._lines)
+        """)
+    assert [f.function for f in findings] == ["dump"]
+
+
+def test_repo_modules_are_clean():
+    """The pipeline's shared structures keep the lexical discipline."""
+    assert check_lock_discipline() == []

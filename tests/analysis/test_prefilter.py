@@ -1,0 +1,142 @@
+"""The static candidate-pair pre-filter and its generator integration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.prefilter import (
+    PrefilterStats,
+    StaticPreFilter,
+    _scopes_collide,
+)
+from repro.analysis.locations import BROADCAST, GLOBAL, INIT, NAMESPACE, TASK
+from repro.core.clustering import strategy_by_name
+from repro.core.generation import TestCaseGenerator
+from repro.core.profile import Profiler
+from repro.core.spec import default_specification
+from repro.corpus.program import prog
+from repro.corpus.seeds import seed_programs
+from repro.kernel.bugs import linux_5_13
+
+
+@pytest.fixture(scope="module")
+def prefilter():
+    return StaticPreFilter(bugs=linux_5_13())
+
+
+@pytest.fixture(scope="module")
+def seeds():
+    return seed_programs()
+
+
+class TestScopeCollision:
+    def test_broadcast_meets_anything(self):
+        assert _scopes_collide(BROADCAST, TASK)
+        assert _scopes_collide(NAMESPACE, BROADCAST)
+
+    def test_init_state_is_one_instance(self):
+        assert _scopes_collide(INIT, GLOBAL)
+        assert _scopes_collide(INIT, INIT)
+        assert not _scopes_collide(INIT, TASK)
+
+    def test_namespace_private_unless_global(self):
+        assert _scopes_collide(GLOBAL, GLOBAL)
+        assert not _scopes_collide(NAMESPACE, NAMESPACE)
+        assert not _scopes_collide(GLOBAL, NAMESPACE)
+        assert not _scopes_collide(TASK, TASK)
+
+
+class TestVerdicts:
+    def test_keeps_the_sockstat_global_channel(self, prefilter, seeds):
+        """Bug #5: socket creation bumps a global counter the sockstat
+        render reads — the pair must survive the filter."""
+        assert prefilter.may_interfere(seeds["tcp_socket"],
+                                       seeds["read_sockstat"])
+
+    def test_prunes_disjoint_pairs(self, prefilter, seeds):
+        """getpid touches only task state; no channel to sockstat."""
+        assert not prefilter.may_interfere(prog(("getpid",)),
+                                           seeds["read_sockstat"])
+        assert not prefilter.may_interfere(seeds["tcp_socket"],
+                                           prog(("getpid",)))
+
+    def test_non_constant_descriptor_is_conservative(self, prefilter, seeds):
+        """A read through a descriptor the filter cannot trace to a
+        constant producer must be kept."""
+        mystery = prog(("dup", 0), ("pread64", "r0", 4096, 0))
+        assert prefilter.may_interfere(seeds["tcp_socket"], mystery)
+
+    def test_unknown_syscall_is_conservative(self, prefilter, seeds):
+        unknown = prog(("not_a_syscall", 1))
+        assert prefilter.may_interfere(unknown, seeds["read_sockstat"])
+        assert prefilter.may_interfere(seeds["tcp_socket"], unknown)
+
+    def test_verdicts_are_memoized(self, seeds):
+        filt = StaticPreFilter(bugs=linux_5_13())
+        a, b = seeds["tcp_socket"], seeds["read_sockstat"]
+        first = filt.may_interfere(a, b)
+        assert filt._verdicts[(a.hash_hex, b.hash_hex)] == first
+        assert filt.may_interfere(a, b) == first
+
+
+class TestStats:
+    def test_rate_precision_recall(self):
+        stats = PrefilterStats(pairs_total=10, pairs_pruned=4,
+                               static_pairs=8, dynamic_pairs=5,
+                               static_and_dynamic=4)
+        assert stats.pruned_rate() == pytest.approx(0.4)
+        assert stats.precision() == pytest.approx(0.5)
+        assert stats.recall() == pytest.approx(0.8)
+
+    def test_empty_stats_are_safe(self):
+        stats = PrefilterStats()
+        assert stats.pruned_rate() == 0.0
+        assert stats.precision() == 0.0
+        assert stats.recall() == 1.0  # nothing dynamic to miss
+
+
+class TestGeneratorIntegration:
+    @pytest.fixture(scope="class")
+    def profiled(self, seeds):
+        from repro.vm import Machine, MachineConfig
+
+        machine = Machine(MachineConfig(bugs=linux_5_13()))
+        corpus = [seeds["tcp_socket"], seeds["read_sockstat"],
+                  seeds["udp_send"], seeds["socket_cookie"],
+                  seeds["packet_socket"], seeds["read_ptype"],
+                  seeds["prio_set_user"], seeds["prio_get"]]
+        profiles = Profiler(machine).profile_corpus(corpus)
+        return corpus, profiles
+
+    def test_prefiltered_generation_reports_stats(self, profiled):
+        corpus, profiles = profiled
+        generator = TestCaseGenerator(
+            corpus, profiles, default_specification(),
+            prefilter=StaticPreFilter(bugs=linux_5_13()))
+        result = generator.generate(strategy_by_name("df-ia"))
+        assert result.prefilter is not None
+        assert result.prefilter.pairs_total > 0
+        assert 0 <= result.prefilter.pairs_pruned <= result.prefilter.pairs_total
+
+    def test_prefilter_preserves_real_channels(self, profiled):
+        """Pruning only drops pairs; every kept pair also exists in the
+        unfiltered run, and the known-bug pairs all survive."""
+        corpus, profiles = profiled
+        spec = default_specification()
+        plain = TestCaseGenerator(corpus, profiles, spec)
+        filtered = TestCaseGenerator(
+            corpus, profiles, spec,
+            prefilter=StaticPreFilter(bugs=linux_5_13()))
+        strategy = strategy_by_name("df-ia")
+        plain_pairs = {c.pair for c in plain.generate(strategy).test_cases}
+        kept_pairs = {c.pair for c in filtered.generate(strategy).test_cases}
+        assert kept_pairs <= plain_pairs
+        # tcp_socket -> read_sockstat is the bug-#5 channel.
+        assert (0, 1) in kept_pairs
+
+    def test_without_prefilter_no_stats(self, profiled):
+        corpus, profiles = profiled
+        generator = TestCaseGenerator(corpus, profiles,
+                                      default_specification())
+        result = generator.generate(strategy_by_name("df-ia"))
+        assert result.prefilter is None

@@ -1,0 +1,86 @@
+"""Each specification checker function, positive and negative."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.spec import (
+    DEFAULT_CHECKERS,
+    check_dirents,
+    check_hostname,
+    check_ipvs,
+    check_mount_table,
+    check_netdev,
+    check_path_ops,
+    check_pid,
+    check_priority,
+    check_unix_diag,
+    check_unshare,
+    default_specification,
+)
+from repro.vm.executor import SyscallRecord
+
+
+def record(name, **kwargs):
+    return SyscallRecord(index=0, name=name, args=(), retval=0, errno=0,
+                         **kwargs)
+
+
+@pytest.mark.parametrize("checker,positives", [
+    (check_priority, ["getpriority", "setpriority"]),
+    (check_pid, ["getpid"]),
+    (check_hostname, ["gethostname", "sethostname"]),
+    (check_mount_table, ["mount", "umount2"]),
+    (check_path_ops, ["stat", "mkdir", "unlink", "open"]),
+    (check_dirents, ["getdents64", "io_uring_getdents"]),
+    (check_netdev, ["ip_link_add"]),
+    (check_ipvs, ["ipvs_add_service"]),
+    (check_unix_diag, ["unix_diag"]),
+    (check_unshare, ["unshare"]),
+])
+def test_checker_selects_its_syscalls(checker, positives):
+    for name in positives:
+        assert checker(record(name)), name
+    # Each checker matches nothing else.
+    assert not checker(record("getuid"))
+    assert not checker(record("close"))
+
+
+def test_every_checker_is_registered():
+    assert set(DEFAULT_CHECKERS) == {
+        check_priority, check_pid, check_hostname, check_mount_table,
+        check_path_ops, check_dirents, check_netdev, check_ipvs,
+        check_unix_diag, check_unshare,
+    }
+
+
+def test_checkers_are_disjoint():
+    """No syscall name trips two checkers — entries stay attributable."""
+    names = ["getpriority", "setpriority", "getpid", "gethostname",
+             "sethostname", "mount", "umount2", "stat", "mkdir", "unlink",
+             "open", "getdents64", "io_uring_getdents", "ip_link_add",
+             "ipvs_add_service", "unix_diag", "unshare"]
+    for name in names:
+        hits = [c.__name__ for c in DEFAULT_CHECKERS if c(record(name))]
+        assert len(hits) == 1, (name, hits)
+
+
+def test_spec_combines_kinds_and_checkers():
+    spec = default_specification()
+    # Checker-selected, no resource kinds at all.
+    assert spec.call_accesses_protected(record("getpid"))
+    # Kind-selected: a protected descriptor argument.
+    assert spec.call_accesses_protected(
+        record("pread64", arg_kinds={"fd": "fd_proc_net"}))
+    # Unprotected kind, unmatched name.
+    assert not spec.call_accesses_protected(
+        record("pread64", arg_kinds={"fd": "fd_proc"}))
+    assert not spec.call_accesses_protected(record("getuid"))
+
+
+def test_matching_entries_name_the_evidence():
+    spec = default_specification()
+    entries = spec.matching_entries(
+        record("open", ret_kind="fd_proc_net"))
+    assert "fd_proc_net" in entries
+    assert "check_path_ops" in entries

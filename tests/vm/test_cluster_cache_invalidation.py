@@ -1,0 +1,102 @@
+"""Worker death releases the dead worker's shared-cache entries."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.execution import BaselineCache
+from repro.core.nondet import NondetStore
+from repro.vm.cluster import run_distributed
+from repro.vm.machine import MachineConfig
+
+
+class TestBaselineCacheOwnership:
+    def test_invalidate_owner_drops_only_owned_entries(self):
+        cache = BaselineCache()
+        cache.put("a", object(), owner=0)
+        cache.put("b", object(), owner=1)
+        cache.put("c", object())  # in-process, unowned
+        assert cache.invalidate_owner(0) == 1
+        assert cache.get("a") is None
+        assert cache.get("b") is not None
+        assert cache.get("c") is not None
+
+    def test_first_put_keeps_its_owner(self):
+        cache = BaselineCache()
+        first = object()
+        cache.put("a", first, owner=0)
+        cache.put("a", object(), owner=1)  # lost the race: ignored
+        assert cache.invalidate_owner(1) == 0
+        assert cache.get("a") is first
+
+
+class TestNondetStoreOwnership:
+    def test_invalidate_owner_drops_memory_entries(self):
+        store = NondetStore()
+        store.put("p1", frozenset({("kernel", "x")}), owner=0)
+        store.put("p2", frozenset({("kernel", "y")}), owner=1)
+        assert store.invalidate_owner(0) == 1
+        assert store.get("p1") is None
+        assert store.get("p2") is not None
+
+    def test_invalidate_owner_removes_disk_files(self, tmp_path):
+        store = NondetStore(directory=str(tmp_path))
+        store.put("p1", frozenset({("kernel", "x")}), owner=0)
+        store.put("p2", frozenset({("kernel", "y")}), owner=1)
+        files_before = len(os.listdir(tmp_path))
+        assert files_before == 2
+        assert store.invalidate_owner(0) == 1
+        assert len(os.listdir(tmp_path)) == 1
+        # A fresh store over the same directory must not resurrect it.
+        fresh = NondetStore(directory=str(tmp_path))
+        assert fresh.get("p1") is None
+        assert fresh.get("p2") is not None
+
+
+class TestWorkerDeath:
+    def test_death_invalidates_owned_entries(self):
+        """A worker dying mid-queue triggers on_worker_death, and the
+        hook can release everything that worker published."""
+        baselines = BaselineCache()
+        store = NondetStore()
+        baselines.put("preexisting", object())  # unowned: must survive
+        dead_workers = []
+
+        def case_runner(machine, payload):
+            owner = machine.cluster_worker_id
+            baselines.put(payload, object(), owner=owner)
+            store.put(payload, frozenset({("kernel", payload)}), owner=owner)
+            if payload == "die":
+                raise SystemExit("worker crashed")
+            return payload
+
+        def on_death(worker_id):
+            dead_workers.append(worker_id)
+            baselines.invalidate_owner(worker_id)
+            store.invalidate_owner(worker_id)
+
+        with pytest.raises(RuntimeError) as failure:
+            run_distributed(MachineConfig(), ["a", "die", "unreached"],
+                            case_runner, workers=1,
+                            on_worker_death=on_death)
+        assert "SystemExit" in str(failure.value)
+        assert "unfinished" in str(failure.value)
+        assert dead_workers == [0]
+        # Everything the dead worker published is gone...
+        assert baselines.get("a") is None
+        assert baselines.get("die") is None
+        assert store.get("a") is None
+        assert store.get("die") is None
+        # ...while unowned entries survive.
+        assert baselines.get("preexisting") is not None
+
+    def test_clean_run_never_calls_the_hook(self):
+        calls = []
+        results = run_distributed(
+            MachineConfig(), ["a", "b", "c"],
+            lambda machine, payload: payload, workers=2,
+            on_worker_death=calls.append)
+        assert [r.outcome for r in results] == ["a", "b", "c"]
+        assert calls == []
