@@ -114,6 +114,63 @@ def test_restore_performance_gate(campaign_513, benchmark):
         f"campaign executed only {exec_rate:.1f} cases/s"
 
 
+#: Blanket injection rate for the chaos smoke gate.
+CHAOS_RATE = 0.15
+
+
+def test_chaos_smoke_gate(campaign_513, bench_corpus, chaos_seeds, benchmark):
+    """Seeded fault campaigns must find exactly the clean bug set.
+
+    The gate reruns the Table-2 campaign under fault injection (all
+    sites, ``--faults SEED:0.15``) and fails if any injection goes
+    unaccounted or an ``infra_failed`` case leaks into the bug reports.
+    Pass ``--chaos`` to sweep eight seeds instead of one.
+    """
+    from repro import FaultPlan
+
+    clean_bugs = sorted(campaign_513.bugs_found())
+
+    def faulted(seed):
+        plan = FaultPlan.parse(f"{seed}:{CHAOS_RATE}")
+        config = CampaignConfig(
+            machine=MachineConfig(bugs=linux_5_13()),
+            corpus=list(bench_corpus),
+            strategy="df-ia", workers=2, faults=plan)
+        return Kit(config).run()
+
+    runs = {seed: faulted(seed) for seed in chaos_seeds}
+    benchmark(faulted, chaos_seeds[0])
+
+    lines = [f"{'seed':>4} {'injected':>9} {'recovered':>10} {'infra':>6} "
+             f"{'lost cases':>11} {'bug set':>8}",
+             "-" * 54]
+    for seed, run in sorted(runs.items()):
+        stats = run.stats
+        lines.append(
+            f"{seed:>4} {stats.faults_injected_total():>9} "
+            f"{stats.faults_recovered_total():>10} "
+            f"{stats.faults_infra_total():>6} "
+            f"{stats.infra_failed_cases:>11} "
+            f"{'same' if sorted(run.bugs_found()) == clean_bugs else 'DIFF':>8}")
+    lines.append("")
+    lines.append(f"gate invariant: injected == recovered + infra_failed and "
+                 f"every faulted campaign reports the clean bug set "
+                 f"({len(clean_bugs)} bugs) at rate {CHAOS_RATE}")
+    emit_table("chaos_gate", "Chaos fault-injection smoke gate", lines)
+
+    for seed, run in runs.items():
+        assert run.stats.faults_accounted(), \
+            f"seed {seed}: injected != recovered + infra_failed"
+        assert run.stats.faults_injected_total() > 0, \
+            f"seed {seed}: the chaos campaign injected nothing"
+        # Zero infra_failed leaks into bug reports: every report carries
+        # a real divergence verdict, never an infrastructure failure.
+        assert all(r.case is not None for r in run.reports), \
+            f"seed {seed}: an infra_failed case leaked into the reports"
+        assert sorted(run.bugs_found()) == clean_bugs, \
+            f"seed {seed}: faulted bug set diverged from the clean run"
+
+
 #: The ISSUE's acceptance bar for static bug rediscovery.
 MIN_REDISCOVERY_RATE = 0.6
 

@@ -17,6 +17,20 @@ from repro.corpus import build_corpus
 from benchmarks.support import BENCH_CORPUS_SIZE
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--chaos", action="store_true", default=False,
+        help="sweep extra fault seeds in the chaos smoke gate")
+
+
+@pytest.fixture(scope="session")
+def chaos_seeds(request):
+    """One seed for the smoke gate; eight under ``--chaos``."""
+    if request.config.getoption("--chaos"):
+        return list(range(8))
+    return [3]
+
+
 @pytest.fixture(scope="session")
 def bench_corpus():
     return build_corpus(BENCH_CORPUS_SIZE, seed=1)

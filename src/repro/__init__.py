@@ -13,6 +13,8 @@ and Fonseca.  The package splits the same way the system does:
 * :mod:`repro.core` — KIT itself: data-flow-guided test case generation,
   two-execution testing, trace-AST divergence detection with non-det and
   specification filtering, Algorithm-2 diagnosis, and report aggregation.
+* :mod:`repro.faults` — deterministic, seed-driven fault injection and
+  the chaos-recovery invariants the campaign substrate is tested under.
 
 Quickstart::
 
@@ -37,6 +39,14 @@ from .core import (
     default_specification,
 )
 from .corpus import TestProgram, build_corpus, prog, seed_programs
+from .faults import (
+    ALL_SITES,
+    CacheOwnerLeakError,
+    FaultPlan,
+    FaultRetriesExhausted,
+    FaultStats,
+    verify_owner_invariant,
+)
 from .kernel import (
     BugFlags,
     Kernel,
@@ -50,13 +60,18 @@ from .vm import ContainerConfig, Machine, MachineConfig
 __version__ = "1.0.0"
 
 __all__ = [
+    "ALL_SITES",
     "BugFlags",
+    "CacheOwnerLeakError",
     "CampaignConfig",
     "CampaignResult",
     "CampaignStats",
     "ContainerConfig",
     "Detector",
     "Diagnoser",
+    "FaultPlan",
+    "FaultRetriesExhausted",
+    "FaultStats",
     "Kernel",
     "KernelConfig",
     "Kit",
@@ -74,4 +89,5 @@ __all__ = [
     "linux_5_13",
     "prog",
     "seed_programs",
+    "verify_owner_invariant",
 ]

@@ -46,6 +46,7 @@ from .core.persist import load_campaign, save_campaign
 from .core.spec import default_specification
 from .core.pipeline import CampaignConfig, CampaignResult, Kit
 from .core.profile import Profiler
+from .faults.plan import FaultPlan
 from .corpus.generator import build_corpus
 from .corpus.program import TestProgram
 from .corpus.store import load_corpus, save_corpus
@@ -100,6 +101,16 @@ def _print_campaign(result: CampaignResult, show_reports: bool) -> None:
               f"non-det {stats.nondet_cache_hit_rate():.0%} hit "
               f"({stats.nondet_cache_hits}/"
               f"{stats.nondet_cache_hits + stats.nondet_cache_misses})")
+    if stats.faults_injected_total():
+        print(f"faults: {stats.faults_injected_total()} injected / "
+              f"{stats.faults_recovered_total()} recovered / "
+              f"{stats.faults_infra_total()} infra-failed "
+              f"(accounted: {'yes' if stats.faults_accounted() else 'NO'}), "
+              f"cases lost: {stats.infra_failed_cases}, "
+              f"recovery restores: {stats.recovery_restores}")
+        print("  per site: " + ", ".join(
+            f"{site}={count}"
+            for site, count in sorted(stats.faults_injected.items())))
     print(f"groups: {result.groups.agg_rs_count} AGG-RS / "
           f"{result.groups.agg_r_count} AGG-R")
     print(f"bugs found: {sorted(result.bugs_found()) or 'none'}")
@@ -129,6 +140,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         workers=args.workers,
         nondet_dir=args.nondet_cache,
         static_prefilter=args.prefilter,
+        faults=args.faults,
     )
     progress = print if args.verbose else None
     result = Kit(config).run(progress=progress)
@@ -369,6 +381,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--prefilter", action="store_true",
                      help="prune statically disjoint candidate pairs "
                           "before clustering (repro.analysis)")
+    run.add_argument("--faults", metavar="SEED[:RATE[:SITES]]",
+                     type=FaultPlan.parse,
+                     help="chaos fault injection, e.g. 7:0.2 or "
+                          "7:0.2:worker.crash,exec.timeout "
+                          "(see docs/FAULTS.md)")
     run.add_argument("--reports", action="store_true",
                      help="print every report in full")
     run.add_argument("--save", help="write the campaign result to a JSON file")

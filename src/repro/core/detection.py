@@ -42,6 +42,10 @@ class Outcome(enum.Enum):
     FILTERED_NONDET = "nondet"        # divergence was non-deterministic
     FILTERED_RESOURCE = "resource"    # divergence on unprotected resources
     REPORT = "report"                  # functional interference detected
+    #: The case could not be executed because infrastructure faults
+    #: exhausted their retry budget; it carries no verdict about the
+    #: kernel and must never surface as a bug report.
+    INFRA_FAILED = "infra_failed"
 
 
 @dataclass

@@ -16,9 +16,15 @@ non-determinism cache.
 from __future__ import annotations
 
 import threading
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..corpus.program import TestProgram
+from ..faults.plan import (
+    SITE_CACHE_EVICT,
+    SITE_CACHE_STALE_OWNER,
+    STALE_OWNER,
+    FaultPlan,
+)
 from ..vm.executor import ExecutionResult
 from ..vm.machine import RECEIVER, SENDER, Machine
 
@@ -34,18 +40,31 @@ class BaselineCache:
     both run), which is wasteful but harmless: ``put`` keeps the first.
     """
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
+    def __init__(self, faults: Optional[FaultPlan] = None) -> None:
+        # Reentrant so _remove can take it lexically under get/purge
+        # (the lock-discipline checker reasons purely lexically).
+        self._lock = threading.RLock()
         self._results: Dict[str, ExecutionResult] = {}
         #: receiver hash -> owner tag of the worker that computed it
         #: (None for entries from the in-process runner).
         self._owners: Dict[str, Optional[int]] = {}
+        #: Chaos plan; registers the ``cache.evict`` and
+        #: ``cache.stale_owner`` injection sites on this cache.
+        self._faults = faults
         self.hits = 0
         self.misses = 0
 
     def get(self, receiver_hash: str) -> Optional[ExecutionResult]:
+        faults = self._faults
         with self._lock:
             result = self._results.get(receiver_hash)
+            if result is not None and faults is not None \
+                    and faults.should_inject(SITE_CACHE_EVICT):
+                # Spurious eviction: the caller recomputes from the same
+                # snapshot, so the fault is absorbed by construction.
+                self._remove(receiver_hash)
+                faults.record_recovered([SITE_CACHE_EVICT])
+                result = None
             if result is None:
                 self.misses += 1
             else:
@@ -54,10 +73,50 @@ class BaselineCache:
 
     def put(self, receiver_hash: str, result: ExecutionResult,
             owner: Optional[int] = None) -> None:
+        faults = self._faults
         with self._lock:
+            if faults is not None \
+                    and faults.should_inject(SITE_CACHE_STALE_OWNER):
+                if receiver_hash in self._results:
+                    # Lost the first-put race: the stale tag was never
+                    # stored, the injection is a no-op.
+                    faults.record_recovered([SITE_CACHE_STALE_OWNER])
+                    return
+                # Mis-tagged insert: owner-based invalidation can no
+                # longer find this entry; only the end-of-campaign
+                # sweep (purge_stale) repairs it.
+                owner = STALE_OWNER
             if receiver_hash not in self._results:
                 self._results[receiver_hash] = result
                 self._owners[receiver_hash] = owner
+
+    def _remove(self, key: str) -> None:
+        """Drop one entry, resolving a stale tag if it carried one."""
+        with self._lock:
+            owner = self._owners.pop(key, None)
+            del self._results[key]
+        if owner == STALE_OWNER and self._faults is not None:
+            self._faults.record_recovered([SITE_CACHE_STALE_OWNER])
+
+    def owner_tags(self) -> List[Optional[int]]:
+        """The owner tag of every live entry (invariant auditing)."""
+        with self._lock:
+            return list(self._owners.values())
+
+    def purge_stale(self) -> int:
+        """Sweep entries whose owner tag a stale-owner fault corrupted.
+
+        The repair half of the owner invariant: a mis-tagged entry can
+        never be released by ``invalidate_owner``, so the pipeline
+        sweeps the caches after every campaign stage that could have
+        planted one.  Each purge resolves its injection as recovered.
+        """
+        with self._lock:
+            stale = [key for key, tag in self._owners.items()
+                     if tag == STALE_OWNER]
+            for key in stale:
+                self._remove(key)
+            return len(stale)
 
     def invalidate_owner(self, owner: int) -> int:
         """Drop every entry computed by *owner* (a dead cluster worker

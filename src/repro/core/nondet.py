@@ -18,9 +18,15 @@ from __future__ import annotations
 import json
 import os
 import threading
-from typing import Dict, FrozenSet, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..corpus.program import TestProgram
+from ..faults.plan import (
+    SITE_CACHE_EVICT,
+    SITE_CACHE_STALE_OWNER,
+    STALE_OWNER,
+    FaultPlan,
+)
 from ..kernel.clock import DEFAULT_BOOT_NS
 from ..vm.machine import RECEIVER, Machine
 from .trace_ast import Path, build_trace_ast, nondet_paths_from_runs
@@ -48,12 +54,16 @@ class NondetStore:
     ``os.replace`` so concurrent writers can never expose a torn file.
     """
 
-    def __init__(self, directory: Optional[str] = None):
+    def __init__(self, directory: Optional[str] = None,
+                 faults: Optional[FaultPlan] = None):
         self._directory = directory
         self._memory: Dict[Tuple[str, str], FrozenSet[Path]] = {}
         #: cache key -> owner tag of the worker that computed the marks
         #: (None for entries loaded from disk or computed in-process).
         self._owners: Dict[Tuple[str, str], Optional[int]] = {}
+        #: Chaos plan; registers the ``cache.evict`` and
+        #: ``cache.stale_owner`` injection sites on this store.
+        self._faults = faults
         self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
@@ -63,11 +73,19 @@ class NondetStore:
     def get(self, program_hash: str,
             offsets_key: str = "") -> Optional[FrozenSet[Path]]:
         key = (program_hash, offsets_key)
+        faults = self._faults
         with self._lock:
-            if key in self._memory:
-                self.hits += 1
-                return self._memory[key]
-            marks = self._load(program_hash, offsets_key)
+            marks = self._memory.get(key)
+            if marks is None:
+                marks = self._load(program_hash, offsets_key)
+            if marks is not None and faults is not None \
+                    and faults.should_inject(SITE_CACHE_EVICT):
+                # Spurious eviction (memory and disk, or the disk copy
+                # would silently resurrect the entry): the caller
+                # recomputes the verdict from the same snapshot.
+                self._remove(key)
+                faults.record_recovered([SITE_CACHE_EVICT])
+                marks = None
             if marks is None:
                 self.misses += 1
                 return None
@@ -77,9 +95,21 @@ class NondetStore:
 
     def put(self, program_hash: str, marks: FrozenSet[Path],
             offsets_key: str = "", owner: Optional[int] = None) -> None:
+        key = (program_hash, offsets_key)
+        faults = self._faults
         with self._lock:
-            self._memory[(program_hash, offsets_key)] = marks
-            self._owners[(program_hash, offsets_key)] = owner
+            if faults is not None \
+                    and faults.should_inject(SITE_CACHE_STALE_OWNER):
+                # Mis-tagged insert: only the purge_stale sweep can
+                # release it (owner invalidation will never match).
+                owner = STALE_OWNER
+            if self._owners.get(key) == STALE_OWNER and faults is not None:
+                # Overwriting a stale-tagged entry resolves *that* tag in
+                # passing (even if the overwrite is itself mis-tagged —
+                # the new injection gets its own pending resolution).
+                faults.record_recovered([SITE_CACHE_STALE_OWNER])
+            self._memory[key] = marks
+            self._owners[key] = owner
             if self._directory is None:
                 return
             file_path = self._file_for(program_hash, offsets_key)
@@ -87,6 +117,32 @@ class NondetStore:
             with open(tmp_path, "w") as handle:
                 json.dump(sorted(list(path) for path in marks), handle)
             os.replace(tmp_path, file_path)
+
+    def _remove(self, key: Tuple[str, str]) -> None:
+        """Drop one entry everywhere, resolving a stale tag if present."""
+        with self._lock:
+            owner = self._owners.pop(key, None)
+            self._memory.pop(key, None)
+        if self._directory is not None:
+            file_path = self._file_for(*key)
+            if os.path.exists(file_path):
+                os.remove(file_path)
+        if owner == STALE_OWNER and self._faults is not None:
+            self._faults.record_recovered([SITE_CACHE_STALE_OWNER])
+
+    def owner_tags(self) -> List[Optional[int]]:
+        """The owner tag of every live entry (invariant auditing)."""
+        with self._lock:
+            return list(self._owners.values())
+
+    def purge_stale(self) -> int:
+        """Sweep entries whose owner tag a stale-owner fault corrupted."""
+        with self._lock:
+            stale = [key for key, tag in self._owners.items()
+                     if tag == STALE_OWNER]
+            for key in stale:
+                self._remove(key)
+            return len(stale)
 
     def invalidate_owner(self, owner: int) -> int:
         """Drop every verdict computed by *owner* — memory and disk.

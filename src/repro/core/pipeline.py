@@ -14,11 +14,17 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Set
 
 from ..corpus.generator import build_corpus
 from ..corpus.program import TestProgram
+from ..faults.invariants import verify_owner_invariant
+from ..faults.plan import (
+    FaultPlan,
+    FaultRetriesExhausted,
+    call_with_fault_retries,
+)
 from ..vm.cluster import run_distributed
 from ..vm.machine import Machine, MachineConfig, MachineStats
 from .aggregation import ReportGroups, aggregate
@@ -70,6 +76,11 @@ class CampaignConfig:
     #: Prune candidate pairs the static analyzer proves disjoint
     #: (see repro.analysis.prefilter) before clustering.
     static_prefilter: bool = False
+    #: Chaos fault plan (None = no injection).  When set, the plan is
+    #: threaded through every layer — machines, caches, cluster — and
+    #: the campaign degrades gracefully instead of aborting: a test case
+    #: whose retries are exhausted is recorded as ``infra_failed``.
+    faults: Optional[FaultPlan] = None
 
 
 @dataclass
@@ -117,6 +128,15 @@ class CampaignStats:
     prefilter_pairs_pruned: int = 0
     prefilter_precision: float = 0.0
     prefilter_recall: float = 0.0
+    #: Chaos telemetry (all zero/empty unless a fault plan was set):
+    #: per-site injected/recovered/infra-failed counts, the number of
+    #: test cases that degraded to ``infra_failed``, and how many resets
+    #: needed a recovery restore.
+    faults_injected: Dict[str, int] = field(default_factory=dict)
+    faults_recovered: Dict[str, int] = field(default_factory=dict)
+    faults_infra: Dict[str, int] = field(default_factory=dict)
+    infra_failed_cases: int = 0
+    recovery_restores: int = 0
 
     def prefilter_pruned_rate(self) -> float:
         if not self.prefilter_pairs_total:
@@ -141,6 +161,26 @@ class CampaignStats:
         total = self.segments_restored + self.segments_skipped
         return self.segments_skipped / total if total else 0.0
 
+    def faults_injected_total(self) -> int:
+        return sum(self.faults_injected.values())
+
+    def faults_recovered_total(self) -> int:
+        return sum(self.faults_recovered.values())
+
+    def faults_infra_total(self) -> int:
+        return sum(self.faults_infra.values())
+
+    def faults_accounted(self) -> bool:
+        """The chaos invariant: injected == recovered + infra, per site."""
+        sites = set(self.faults_injected) | set(self.faults_recovered) \
+            | set(self.faults_infra)
+        return all(
+            self.faults_injected.get(site, 0)
+            == self.faults_recovered.get(site, 0)
+            + self.faults_infra.get(site, 0)
+            for site in sites
+        )
+
     def absorb_machine(self, machine_stats: MachineStats,
                        stage: str = "") -> None:
         """Fold one machine's restore counters into the campaign totals."""
@@ -150,6 +190,7 @@ class CampaignStats:
         self.segments_restored += machine_stats.segments_restored
         self.segments_skipped += machine_stats.segments_skipped
         self.restore_seconds += machine_stats.restore_seconds
+        self.recovery_restores += machine_stats.recovery_restores
         if stage == "profile":
             self.profile_restore_seconds += machine_stats.restore_seconds
         elif stage == "execution":
@@ -193,13 +234,27 @@ class Kit:
 
     def __init__(self, config: Optional[CampaignConfig] = None):
         self.config = config or CampaignConfig()
+        self._retired_owners: Set[int] = set()
 
     # -- pipeline ------------------------------------------------------------
 
     def run(self, progress: Optional[Progress] = None) -> CampaignResult:
         config = self.config
+        plan = config.faults
+        if plan is not None and config.machine.fault_plan is not plan:
+            # Thread the plan into every machine the campaign boots —
+            # the in-process one and each cluster worker's (they all
+            # clone this config).
+            config = replace(config,
+                             machine=replace(config.machine,
+                                             fault_plan=plan))
+            self.config = config
         stats = CampaignStats()
         say = progress or (lambda message: None)
+        #: Worker ids retired by the execution stage (dead workers whose
+        #: cache entries were invalidated) — the owner-invariant audit
+        #: checks no live cache entry still carries one of these tags.
+        self._retired_owners: Set[int] = set()
 
         corpus = config.corpus if config.corpus is not None else build_corpus(
             config.corpus_size, seed=config.corpus_seed)
@@ -209,8 +264,8 @@ class Kit:
         # sequential one, each worker's, and the diagnosis one.  Both
         # are keyed by snapshot-relative program state, so a result
         # computed on any machine is valid on all of them.
-        baselines = BaselineCache()
-        nondet_store = NondetStore(config.nondet_dir)
+        baselines = BaselineCache(faults=plan)
+        nondet_store = NondetStore(config.nondet_dir, faults=plan)
 
         generation = self._generate(machine, corpus, stats, say)
         cases = generation.test_cases
@@ -234,6 +289,14 @@ class Kit:
             key = result.outcome.value
             stats.outcomes[key] = stats.outcomes.get(key, 0) + 1
 
+        if plan is not None:
+            # Sweep mis-tagged entries before diagnosis: a stale tag may
+            # hide an entry published by a worker that later died, and
+            # diagnosis must never consume results owner-invalidation
+            # could not reach.
+            baselines.purge_stale()
+            nondet_store.purge_stale()
+
         if config.diagnose and reports:
             say(f"diagnosing {len(reports)} reports (Algorithm 2)")
             self._diagnose(machine, reports, stats, baselines, nondet_store)
@@ -242,6 +305,20 @@ class Kit:
         stats.baseline_misses = baselines.misses
         stats.nondet_cache_hits = nondet_store.hits
         stats.nondet_cache_misses = nondet_store.misses
+
+        if plan is not None:
+            # Repair sweep + audit: purge mis-tagged cache entries (each
+            # purge resolves its stale-owner injection), then prove no
+            # live entry is owned by a retired worker or a stale tag.
+            baselines.purge_stale()
+            nondet_store.purge_stale()
+            verify_owner_invariant(self._retired_owners,
+                                   baselines=baselines,
+                                   nondet=nondet_store)
+            (stats.faults_injected, stats.faults_recovered,
+             stats.faults_infra) = plan.stats.snapshot()
+            stats.infra_failed_cases = stats.outcomes.get(
+                Outcome.INFRA_FAILED.value, 0)
 
         groups = aggregate(reports)
         say(f"done: {len(reports)} reports, "
@@ -266,7 +343,7 @@ class Kit:
         if config.workers > 0:
             profiles, profilers, worker_machines = profile_corpus_distributed(
                 config.machine, corpus, config.workers,
-                profile_dir=config.profile_dir)
+                profile_dir=config.profile_dir, faults=config.faults)
             stats.profile_runs = sum(p.runs_executed for p in profilers)
             for worker_machine in worker_machines:
                 stats.absorb_machine(worker_machine.stats, stage="profile")
@@ -277,7 +354,15 @@ class Kit:
                 profiler = CachingProfiler(machine, config.profile_dir)
             else:
                 profiler = Profiler(machine)
-            profiles = profiler.profile_corpus(corpus)
+            # Profiles feed generation, so a fault mid-profile retries
+            # the whole (pure) profiling run rather than degrading —
+            # a skipped profile would change the generated case set.
+            profiles = [
+                call_with_fault_retries(config.faults, profiler.profile,
+                                        program, index,
+                                        context=f"profile {index}")
+                for index, program in enumerate(corpus)
+            ]
             stats.profile_runs = profiler.runs_executed
             stats.absorb_machine(machine.stats.since(before), stage="profile")
         stats.profile_seconds = time.monotonic() - start
@@ -318,13 +403,30 @@ class Kit:
                                                 nondet_store)
         else:
             detector = self._make_detector(machine, nondet_store, baselines)
-            results = [detector.check_case(case) for case in cases]
+            results = [self._check_with_recovery(detector, case, index)
+                       for index, case in enumerate(cases)]
             stats.cases_executed = detector.runner.cases_executed
             stats.nondet_runs = detector.nondet.runs_executed
             stats.absorb_machine(machine.stats.since(before),
                                  stage="execution")
         stats.execution_seconds = time.monotonic() - start
         return results
+
+    def _check_with_recovery(self, detector: Detector, case: TestCase,
+                             index: int) -> DetectionResult:
+        """Check one case, absorbing injected faults within the budget.
+
+        Every check is a pure function of (case, snapshot): a faulted
+        attempt is abandoned and re-run from a fresh restore.  Exhausted
+        retries degrade to an ``infra_failed`` outcome — the case
+        carries no verdict, but the campaign completes.
+        """
+        try:
+            return call_with_fault_retries(self.config.faults,
+                                           detector.check_case, case,
+                                           context=f"case {index}")
+        except FaultRetriesExhausted:
+            return DetectionResult(case, Outcome.INFRA_FAILED)
 
     def _execute_distributed(self, cases: List[TestCase],
                              stats: CampaignStats, baselines: BaselineCache,
@@ -343,7 +445,12 @@ class Kit:
                     detector = self._make_detector(machine, nondet_store,
                                                    baselines)
                     detectors[machine.cluster_worker_id] = detector
-            return detector.check_case(case)
+            try:
+                return call_with_fault_retries(config.faults,
+                                               detector.check_case, case,
+                                               context="distributed case")
+            except FaultRetriesExhausted:
+                return DetectionResult(case, Outcome.INFRA_FAILED)
 
         # Receiver-affinity schedule: sorting by receiver hash makes
         # cases sharing a receiver program adjacent in the queue, so
@@ -360,16 +467,28 @@ class Kit:
             # A dead worker may have published cache entries computed on
             # a machine left in an undefined state; drop them so the
             # surviving workers (and the diagnosis stage) recompute.
+            self._retired_owners.add(worker_id)
             baselines.invalidate_owner(worker_id)
             nondet_store.invalidate_owner(worker_id)
 
+        plan = config.faults
         job_results = run_distributed(config.machine, scheduled, case_runner,
                                       workers=config.workers,
                                       machines_out=worker_machines,
-                                      on_worker_death=release_dead_worker)
+                                      on_worker_death=release_dead_worker,
+                                      faults=plan,
+                                      max_job_retries=(plan.max_job_retries
+                                                       if plan else 0),
+                                      strict=(plan is None))
         results: List[Optional[DetectionResult]] = [None] * len(cases)
         for job in job_results:
             if job.error is not None:
+                if plan is not None:
+                    # Retries exhausted under chaos: the case degrades
+                    # to infra_failed instead of failing the campaign.
+                    results[order[job.job_id]] = DetectionResult(
+                        scheduled[job.job_id], Outcome.INFRA_FAILED)
+                    continue
                 raise RuntimeError(
                     f"worker failure on job {job.job_id}: {job.error}")
             results[order[job.job_id]] = job.outcome
@@ -389,8 +508,15 @@ class Kit:
         before = machine.stats.copy()
         detector = self._make_detector(machine, nondet_store, baselines)
         diagnoser = Diagnoser(detector)
-        for report in reports:
-            diagnoser.diagnose(report)
+        for index, report in enumerate(reports):
+            try:
+                call_with_fault_retries(self.config.faults,
+                                        diagnoser.diagnose, report,
+                                        context=f"diagnosis {index}")
+            except FaultRetriesExhausted:
+                # The report survives undiagnosed — diagnosis enriches a
+                # report, it never decides whether one exists.
+                continue
         stats.diagnosis_reruns = diagnoser.reruns
         stats.absorb_machine(machine.stats.since(before), stage="diagnosis")
         stats.diagnosis_seconds = time.monotonic() - start

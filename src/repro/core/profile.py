@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..corpus.program import TestProgram
+from ..faults.plan import FaultPlan, call_with_fault_retries
 from ..kernel.ktrace import KernelTracer
 from ..vm.cluster import run_distributed
 from ..vm.executor import CallAccesses, SyscallRecord
@@ -83,6 +84,7 @@ class Profiler:
 def profile_corpus_distributed(
         machine_config: MachineConfig, corpus: Sequence[TestProgram],
         workers: int, profile_dir: Optional[str] = None,
+        faults: Optional[FaultPlan] = None,
 ) -> Tuple[List[ProgramProfile], List[Any], List[Machine]]:
     """Profile *corpus* on a cluster worker pool (one job per program).
 
@@ -115,12 +117,18 @@ def profile_corpus_distributed(
             if profiler is None:
                 profiler = make_profiler(machine)
                 profilers[machine.cluster_worker_id] = profiler
-        return profiler.profile(program, index)
+        # Profiles feed generation, so there is no graceful degradation
+        # here: an injected fault retries from a fresh restore (pure
+        # function of the snapshot), and exhaustion fails the job loudly.
+        return call_with_fault_retries(faults, profiler.profile, program,
+                                       index, context=f"profile {index}")
 
     machines: List[Machine] = []
     job_results = run_distributed(machine_config, list(enumerate(corpus)),
                                   runner, workers=workers,
-                                  machines_out=machines)
+                                  machines_out=machines, faults=faults,
+                                  max_job_retries=(faults.max_job_retries
+                                                   if faults else 0))
     profiles: List[ProgramProfile] = []
     for job in job_results:
         if job.error is not None:

@@ -1,0 +1,52 @@
+"""Deterministic fault injection + chaos recovery for the campaign.
+
+See :mod:`repro.faults.plan` for the injection model and
+``docs/FAULTS.md`` for the site catalogue and recovery semantics.
+"""
+
+from .invariants import CacheOwnerLeakError, verify_owner_invariant
+from .plan import (
+    ALL_SITES,
+    SITE_CACHE_EVICT,
+    SITE_CACHE_STALE_OWNER,
+    SITE_EXEC_TIMEOUT,
+    SITE_RESTORE_FAIL,
+    SITE_RESULT_DROP,
+    SITE_SEGMENT_CORRUPT,
+    SITE_WORKER_CRASH,
+    SITE_WORKER_SLOW,
+    STALE_OWNER,
+    ExecTimeoutInjected,
+    FaultInjectedError,
+    FaultPlan,
+    FaultRetriesExhausted,
+    FaultStats,
+    RestoreFaultInjected,
+    WorkerCrashInjected,
+    call_with_fault_retries,
+    decision,
+)
+
+__all__ = [
+    "ALL_SITES",
+    "CacheOwnerLeakError",
+    "ExecTimeoutInjected",
+    "FaultInjectedError",
+    "FaultPlan",
+    "FaultRetriesExhausted",
+    "FaultStats",
+    "RestoreFaultInjected",
+    "SITE_CACHE_EVICT",
+    "SITE_CACHE_STALE_OWNER",
+    "SITE_EXEC_TIMEOUT",
+    "SITE_RESTORE_FAIL",
+    "SITE_RESULT_DROP",
+    "SITE_SEGMENT_CORRUPT",
+    "SITE_WORKER_CRASH",
+    "SITE_WORKER_SLOW",
+    "STALE_OWNER",
+    "WorkerCrashInjected",
+    "call_with_fault_retries",
+    "decision",
+    "verify_owner_invariant",
+]

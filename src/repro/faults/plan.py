@@ -1,0 +1,338 @@
+"""Deterministic, seed-driven fault injection for the campaign substrate.
+
+OS-level failure-injection work (SystemTap fault seeding, eBPF-driven
+concurrency perturbation) shows two things: recovery bugs hide on the
+paths clean tests never take, and injected faults are only debuggable
+when the injection schedule is *reproducible*.  This module provides the
+reproducible half: a :class:`FaultPlan` decides, for every registered
+injection *site*, whether its *k*-th occurrence fires — as a pure
+function of ``(seed, site, k)``.  No global RNG stream is consumed, so
+the decision for one site is independent of how occurrences of other
+sites interleave; a single-threaded campaign is bit-reproducible, and a
+multi-worker campaign keeps deterministic per-``(site, k)`` decisions
+(only the *attribution* of a firing to a particular job can vary with
+thread scheduling).
+
+Every injection must eventually be accounted for: a recovery path either
+absorbs it (``recovered``) or gives up after bounded retries
+(``infra_failed``).  :meth:`FaultStats.accounted` checks the books:
+``injected == recovered + infra_failed``, per site and in total.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+#: Snapshot restore fails outright (vm/snapshot.py, vm/segments.py).
+SITE_RESTORE_FAIL = "restore.fail"
+#: A dirty segment is silently left unrestored; the canonical-form
+#: consistency check is what must catch it (vm/segments.py).
+SITE_SEGMENT_CORRUPT = "segment.corrupt"
+#: A cluster worker dies mid-job, leaving its job unfinished (vm/cluster.py).
+SITE_WORKER_CRASH = "worker.crash"
+#: A cluster worker stalls before running its job (vm/cluster.py).
+SITE_WORKER_SLOW = "worker.slow"
+#: A computed job result is lost before reaching the server (vm/cluster.py).
+SITE_RESULT_DROP = "result.drop"
+#: A syscall execution times out mid-program (vm/executor.py).
+SITE_EXEC_TIMEOUT = "exec.timeout"
+#: A shared-cache entry is spuriously evicted (BaselineCache/NondetStore).
+SITE_CACHE_EVICT = "cache.evict"
+#: A shared-cache insert is tagged with a stale owner id, so owner-based
+#: invalidation can no longer find it (BaselineCache/NondetStore).
+SITE_CACHE_STALE_OWNER = "cache.stale_owner"
+
+ALL_SITES: Tuple[str, ...] = (
+    SITE_RESTORE_FAIL,
+    SITE_SEGMENT_CORRUPT,
+    SITE_WORKER_CRASH,
+    SITE_WORKER_SLOW,
+    SITE_RESULT_DROP,
+    SITE_EXEC_TIMEOUT,
+    SITE_CACHE_EVICT,
+    SITE_CACHE_STALE_OWNER,
+)
+
+#: Owner tag written by a :data:`SITE_CACHE_STALE_OWNER` injection —
+#: never a real cluster worker id, so owner-based invalidation misses
+#: the entry until the end-of-campaign sweep repairs it.
+STALE_OWNER = -1
+
+#: Occurrence-frequency compensation applied to the blanket campaign
+#: rate.  ``exec.timeout`` fires per *syscall* — orders of magnitude
+#: more occurrences than the per-reset / per-job sites — so without
+#: scaling, one campaign rate would make nearly every multi-call run
+#: fail and bounded retries could never converge.  Explicit per-site
+#: ``rates`` overrides are taken verbatim (no scaling): the blanket
+#: rate expresses campaign intensity, an override expresses an exact
+#: per-occurrence probability.
+SITE_RATE_SCALE: Dict[str, float] = {SITE_EXEC_TIMEOUT: 0.01}
+
+
+class FaultInjectedError(Exception):
+    """Base of every exception raised *by* an injection site."""
+
+    def __init__(self, site: str, message: str = ""):
+        self.site = site
+        super().__init__(message or f"injected fault at {site}")
+
+
+class RestoreFaultInjected(FaultInjectedError):
+    """A snapshot restore was made to fail."""
+
+
+class ExecTimeoutInjected(FaultInjectedError):
+    """A syscall execution was made to time out."""
+
+
+class WorkerCrashInjected(BaseException):
+    """Kills a cluster worker thread mid-job.
+
+    Deliberately a ``BaseException``: it must escape the worker's
+    per-job ``except Exception`` handler and take the whole thread down,
+    exactly like a real crash would.
+    """
+
+    def __init__(self, message: str = "injected worker crash"):
+        self.site = SITE_WORKER_CRASH
+        super().__init__(message)
+
+
+class FaultRetriesExhausted(RuntimeError):
+    """A recovery path gave up after its bounded retries."""
+
+    def __init__(self, sites: Sequence[str], context: str = ""):
+        self.sites = list(sites)
+        detail = f" ({context})" if context else ""
+        super().__init__(
+            f"fault recovery exhausted after {len(self.sites)} injected "
+            f"fault(s) [{', '.join(self.sites)}]{detail}")
+
+
+class FaultStats:
+    """Thread-safe injected/recovered/infra-failed counters, per site."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.injected: Dict[str, int] = {}
+        self.recovered: Dict[str, int] = {}
+        self.infra_failed: Dict[str, int] = {}
+
+    def note_injected(self, site: str) -> None:
+        with self._lock:
+            self.injected[site] = self.injected.get(site, 0) + 1
+
+    def note_recovered(self, sites: Iterable[str]) -> None:
+        with self._lock:
+            for site in sites:
+                self.recovered[site] = self.recovered.get(site, 0) + 1
+
+    def note_infra_failed(self, sites: Iterable[str]) -> None:
+        with self._lock:
+            for site in sites:
+                self.infra_failed[site] = self.infra_failed.get(site, 0) + 1
+
+    @property
+    def injected_total(self) -> int:
+        with self._lock:
+            return sum(self.injected.values())
+
+    @property
+    def recovered_total(self) -> int:
+        with self._lock:
+            return sum(self.recovered.values())
+
+    @property
+    def infra_failed_total(self) -> int:
+        with self._lock:
+            return sum(self.infra_failed.values())
+
+    def accounted(self) -> bool:
+        """Every injected fault was either recovered or charged to infra."""
+        with self._lock:
+            sites = set(self.injected) | set(self.recovered) \
+                | set(self.infra_failed)
+            return all(
+                self.injected.get(site, 0)
+                == self.recovered.get(site, 0) + self.infra_failed.get(site, 0)
+                for site in sites
+            )
+
+    def snapshot(self) -> Tuple[Dict[str, int], Dict[str, int], Dict[str, int]]:
+        with self._lock:
+            return (dict(self.injected), dict(self.recovered),
+                    dict(self.infra_failed))
+
+
+def decision(seed: int, site: str, occurrence: int) -> float:
+    """The deterministic draw for one (site, occurrence) pair.
+
+    Seeding :class:`random.Random` with a string goes through SHA-512,
+    so the value is stable across processes and unaffected by
+    ``PYTHONHASHSEED`` — the reproducibility the whole design rests on.
+    """
+    return random.Random(f"{seed}:{site}:{occurrence}").random()
+
+
+class FaultPlan:
+    """One campaign's seeded injection schedule, with accounting.
+
+    Probability mode: every enabled site fires its *k*-th occurrence iff
+    ``decision(seed, site, k) < rate``.  Schedule mode: a site with an
+    explicit occurrence-index set fires exactly at those indices —
+    deterministic single-shot placement for targeted tests.
+    """
+
+    def __init__(self, seed: int = 0, rate: float = 0.0,
+                 rates: Optional[Mapping[str, float]] = None,
+                 schedule: Optional[Mapping[str, Iterable[int]]] = None,
+                 sites: Optional[Iterable[str]] = None,
+                 max_retries: int = 5,
+                 max_job_retries: int = 12,
+                 slow_seconds: float = 0.001):
+        self.seed = seed
+        enabled = tuple(sites) if sites is not None else ALL_SITES
+        for site in enabled:
+            if site not in ALL_SITES:
+                raise ValueError(f"unknown fault site {site!r} "
+                                 f"(known: {', '.join(ALL_SITES)})")
+        self._rates: Dict[str, float] = {
+            site: rate * SITE_RATE_SCALE.get(site, 1.0) for site in enabled}
+        for site, site_rate in (rates or {}).items():
+            if site not in ALL_SITES:
+                raise ValueError(f"unknown fault site {site!r}")
+            self._rates[site] = site_rate
+        self._schedule: Dict[str, frozenset] = {
+            site: frozenset(indices)
+            for site, indices in (schedule or {}).items()
+        }
+        for site in self._schedule:
+            if site not in ALL_SITES:
+                raise ValueError(f"unknown fault site {site!r}")
+        #: Bounded-retry budget shared by every recovery path.
+        self.max_retries = max_retries
+        #: Re-queue budget for cluster jobs, deliberately deeper than
+        #: ``max_retries``: a lost attempt (crashed worker, dropped
+        #: result) costs one cheap re-run, and at rate *r* with both
+        #: cluster sites enabled an attempt is lost with probability
+        #: ≈ 2r — the budget keeps exhaustion vanishingly rare at the
+        #: rates chaos campaigns actually use.
+        self.max_job_retries = max_job_retries
+        #: Stall length for :data:`SITE_WORKER_SLOW` injections.
+        self.slow_seconds = slow_seconds
+        self.stats = FaultStats()
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+
+    # -- the injection decision ---------------------------------------------
+
+    def should_inject(self, site: str) -> bool:
+        """Advance *site*'s occurrence counter and decide injection."""
+        with self._lock:
+            occurrence = self._counters.get(site, 0)
+            self._counters[site] = occurrence + 1
+        fired = self._fires(site, occurrence)
+        if fired:
+            self.stats.note_injected(site)
+        return fired
+
+    def _fires(self, site: str, occurrence: int) -> bool:
+        scheduled = self._schedule.get(site)
+        if scheduled is not None:
+            return occurrence in scheduled
+        rate = self._rates.get(site, 0.0)
+        if rate <= 0.0:
+            return False
+        if rate >= 1.0:
+            return True
+        return decision(self.seed, site, occurrence) < rate
+
+    def preview(self, site: str, count: int) -> List[bool]:
+        """The first *count* decisions for *site*, without side effects."""
+        return [self._fires(site, k) for k in range(count)]
+
+    def occurrences(self, site: str) -> int:
+        with self._lock:
+            return self._counters.get(site, 0)
+
+    # -- accounting ----------------------------------------------------------
+
+    def record_recovered(self, sites: Iterable[str]) -> None:
+        self.stats.note_recovered(sites)
+
+    def record_infra_failed(self, sites: Iterable[str]) -> None:
+        self.stats.note_infra_failed(sites)
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def parse(cls, spec: str, **kwargs) -> "FaultPlan":
+        """Build a plan from the CLI's ``seed:rate[:site,site…]`` spec.
+
+        ``7:0.2`` enables every site at rate 0.2 with seed 7;
+        ``7:0.2:worker.crash,exec.timeout`` restricts to two sites.
+        A bare ``7`` uses the default rate 0.1.
+        """
+        parts = spec.split(":")
+        try:
+            seed = int(parts[0])
+        except ValueError:
+            raise ValueError(f"bad fault spec {spec!r}: seed must be an int")
+        rate = 0.1
+        if len(parts) > 1 and parts[1]:
+            try:
+                rate = float(parts[1])
+            except ValueError:
+                raise ValueError(
+                    f"bad fault spec {spec!r}: rate must be a float")
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(
+                    f"bad fault spec {spec!r}: rate must be in [0, 1]")
+        sites = None
+        if len(parts) > 2 and parts[2]:
+            sites = tuple(part.strip() for part in parts[2].split(","))
+        if len(parts) > 3:
+            raise ValueError(f"bad fault spec {spec!r}: "
+                             "expected seed:rate[:site,site…]")
+        return cls(seed=seed, rate=rate, sites=sites, **kwargs)
+
+
+def call_with_fault_retries(plan: Optional[FaultPlan], fn, *args,
+                            budget: Optional[int] = None,
+                            context: str = ""):
+    """Run *fn*, retrying on injected faults within the plan's budget.
+
+    The universal recovery wrapper for operations that are pure
+    functions of the snapshot (profiling runs, test-case checks,
+    diagnosis re-runs): an injected fault aborts the attempt, the next
+    attempt starts from a fresh restore, and the result is provably the
+    one the clean run would have produced.  On success every absorbed
+    injection is recorded as recovered; on exhaustion they are charged
+    to infra and :class:`FaultRetriesExhausted` is raised for the caller
+    to degrade gracefully.
+    """
+    if plan is None:
+        return fn(*args)
+    limit = plan.max_retries if budget is None else budget
+    pending: List[str] = []
+    while True:
+        try:
+            value = fn(*args)
+        except FaultRetriesExhausted:
+            # A nested recovery path (e.g. the machine's restore loop)
+            # gave up and already charged its own sites; charge this
+            # wrapper's pending injections too so the books balance.
+            if pending:
+                plan.record_infra_failed(pending)
+            raise
+        except FaultInjectedError as error:
+            pending.append(error.site)
+            if len(pending) > limit:
+                plan.record_infra_failed(pending)
+                raise FaultRetriesExhausted(pending, context=context)
+            continue
+        if pending:
+            plan.record_recovered(pending)
+        return value

@@ -10,15 +10,41 @@ completion order while preserving a deterministic merge by job id.
 
 The worker body is generic over a ``case_runner`` callable so the
 cluster layer stays independent of the detection pipeline built on top.
+
+Fault tolerance
+---------------
+
+:func:`run_distributed` supervises the pool in *rounds*: workers drain
+the queue until they exit, then the server audits which jobs produced no
+result.  A missing job — its worker crashed mid-run, or its result was
+lost in transit — is re-queued with a failure count, and replacement
+workers (with fresh ids, so cache-owner tags never alias) are spawned
+for the next round.  Only when a job exhausts ``max_job_retries``
+does the run fail: loudly (the historical ``RuntimeError`` naming every
+unfinished job) under ``strict``, or gracefully (a ``JobResult``
+carrying the error, for the pipeline to record as ``infra_failed``)
+otherwise.  Jobs are pure functions of (payload, snapshot), so a re-run
+on a fresh machine is provably equivalent to the first attempt.
+
+Three chaos injection sites live in this layer (``worker.crash``,
+``worker.slow``, ``result.drop``); see :mod:`repro.faults.plan`.
 """
 
 from __future__ import annotations
 
 import queue
 import threading
-from dataclasses import dataclass
-from typing import Any, Callable, Iterable, List, Optional
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional
 
+from ..faults.plan import (
+    SITE_RESULT_DROP,
+    SITE_WORKER_CRASH,
+    SITE_WORKER_SLOW,
+    FaultPlan,
+    WorkerCrashInjected,
+)
 from .machine import Machine, MachineConfig
 
 
@@ -28,6 +54,11 @@ class Job:
 
     job_id: int
     payload: Any
+    #: Failed attempts so far (crashed worker, dropped result).
+    failures: int = 0
+    #: Injected-fault sites charged to this job, pending resolution:
+    #: recovered when a result finally lands, infra on exhaustion.
+    pending_sites: List[str] = field(default_factory=list)
 
 
 @dataclass
@@ -41,16 +72,22 @@ class JobResult:
 
 
 class ClusterServer:
-    """Job distribution and result collection."""
+    """Job distribution, result collection, and the retry ledger."""
 
-    def __init__(self, machine_config: MachineConfig, payloads: Iterable[Any]):
+    def __init__(self, machine_config: MachineConfig, payloads: Iterable[Any],
+                 faults: Optional[FaultPlan] = None):
         self._machine_config = machine_config
-        self._jobs: "queue.Queue[Optional[Job]]" = queue.Queue()
-        self._results: List[JobResult] = []
+        self.faults = faults
+        self._jobs: "queue.Queue[Job]" = queue.Queue()
+        self._by_id: Dict[int, Job] = {}
+        self._completed: Dict[int, JobResult] = {}
+        self._failed: Dict[int, JobResult] = {}
         self._lock = threading.Lock()
         self._count = 0
         for payload in payloads:
-            self._jobs.put(Job(self._count, payload))
+            job = Job(self._count, payload)
+            self._by_id[self._count] = job
+            self._jobs.put(job)
             self._count += 1
 
     # -- "RPC" surface ---------------------------------------------------------
@@ -65,15 +102,99 @@ class ClusterServer:
         except queue.Empty:
             return None
 
-    def submit_result(self, result: JobResult) -> None:
+    def submit_result(self, job: Job, result: JobResult) -> None:
+        """Record one finished job — unless the transfer is faulted away.
+
+        A ``result.drop`` injection loses the result in transit; the
+        round audit will notice the gap and re-queue the job.  The first
+        result to land for a job id wins (a re-run after a dropped
+        result is the same pure computation).
+        """
+        faults = self.faults
+        if faults is not None and faults.should_inject(SITE_RESULT_DROP):
+            job.pending_sites.append(SITE_RESULT_DROP)
+            return
         with self._lock:
-            self._results.append(result)
+            if result.job_id not in self._completed:
+                self._completed[result.job_id] = result
+        # Any landed result proves the faults previously charged to this
+        # job were absorbed — resolve them even if another attempt's
+        # result won the first-to-land race.
+        if faults is not None and job.pending_sites:
+            faults.record_recovered(job.pending_sites)
+            job.pending_sites = []
+
+    # -- round audit -------------------------------------------------------------
+
+    def audit_round(self, max_job_retries: int, cause: str,
+                    charge_queued: bool = False) -> List[Job]:
+        """Settle the round: re-queue each missing job or mark it failed.
+
+        Must only run while no worker is live (between rounds).  Jobs
+        still sitting in the queue — the dead pool never fetched them —
+        are normally not failures; they are drained and re-put (draining
+        first is what prevents duplicate queue entries, which would let
+        one job run twice and strand its fault accounting).  A job that
+        was fetched but produced no result — its worker crashed, or the
+        result was dropped in transit — is charged a failed attempt.
+        When *charge_queued* is set (no worker in the round even booted,
+        so the queue could never drain), the still-queued jobs are
+        charged too — otherwise a pool that can never boot would respawn
+        forever.
+
+        Returns the jobs carried into the next round (empty means every
+        job is settled: completed, or failed with retries exhausted).
+        """
+        requeued: List[Job] = []
+        still_queued: List[Job] = []
+        while True:
+            try:
+                still_queued.append(self._jobs.get_nowait())
+            except queue.Empty:
+                break
+        with self._lock:
+            settled = set(self._completed) | set(self._failed)
+            queued_ids = {job.job_id for job in still_queued}
+            missing = [self._by_id[job_id] for job_id in range(self._count)
+                       if job_id not in settled
+                       and job_id not in queued_ids]
+        if charge_queued:
+            missing = still_queued + missing
+        else:
+            for job in still_queued:
+                self._jobs.put(job)
+                requeued.append(job)
+        for job in missing:
+            job.failures += 1
+            if job.failures <= max_job_retries:
+                self._jobs.put(job)
+                requeued.append(job)
+                continue
+            failure = JobResult(
+                job.job_id, None, worker=-1,
+                error=f"retries exhausted after {job.failures} "
+                      f"failed attempt(s) ({cause})")
+            with self._lock:
+                self._failed[job.job_id] = failure
+            if self.faults is not None and job.pending_sites:
+                self.faults.record_infra_failed(job.pending_sites)
+                job.pending_sites = []
+        return requeued
 
     # -- results -----------------------------------------------------------------
 
     def results_in_order(self) -> List[JobResult]:
         with self._lock:
-            return sorted(self._results, key=lambda r: r.job_id)
+            merged = {**self._completed, **self._failed}
+            return [merged[job_id] for job_id in sorted(merged)]
+
+    def failed_results(self) -> List[JobResult]:
+        with self._lock:
+            return [self._failed[job_id] for job_id in sorted(self._failed)]
+
+    def unfinished_count(self) -> int:
+        with self._lock:
+            return self._count - len(self._completed) - len(self._failed)
 
     @property
     def job_count(self) -> int:
@@ -104,11 +225,23 @@ class ClusterWorker(threading.Thread):
             return
         machine.cluster_worker_id = self.worker_id
         self.machine = machine
+        faults = self._server.faults
         try:
             while True:
                 job = self._server.fetch_job()
                 if job is None:
                     return
+                if faults is not None:
+                    if faults.should_inject(SITE_WORKER_SLOW):
+                        # A stalled worker only costs wall clock; the
+                        # job-id merge keeps results order-independent.
+                        time.sleep(faults.slow_seconds)
+                        faults.record_recovered([SITE_WORKER_SLOW])
+                    if faults.should_inject(SITE_WORKER_CRASH):
+                        job.pending_sites.append(SITE_WORKER_CRASH)
+                        raise WorkerCrashInjected(
+                            f"injected crash on worker {self.worker_id} "
+                            f"holding job {job.job_id}")
                 try:
                     outcome = self._case_runner(machine, job.payload)
                     result = JobResult(job.job_id, outcome, self.worker_id)
@@ -116,7 +249,7 @@ class ClusterWorker(threading.Thread):
                     result = JobResult(job.job_id, None, self.worker_id,
                                        error=f"{type(error).__name__}: "
                                              f"{error}")
-                self._server.submit_result(result)
+                self._server.submit_result(job, result)
         except BaseException as error:  # worker death (SystemExit, ...)
             # Anything escaping the per-job handler kills the worker
             # mid-queue; record it so run_distributed can name the cause
@@ -128,49 +261,74 @@ def run_distributed(machine_config: MachineConfig, payloads: Iterable[Any],
                     case_runner: Callable[[Machine, Any], Any],
                     workers: int = 2,
                     machines_out: Optional[List[Machine]] = None,
-                    on_worker_death: Optional[Callable[[int], None]] = None
-                    ) -> List[JobResult]:
-    """Run *payloads* through *case_runner* on a worker pool.
+                    on_worker_death: Optional[Callable[[int], None]] = None,
+                    faults: Optional[FaultPlan] = None,
+                    max_job_retries: int = 0,
+                    strict: bool = True) -> List[JobResult]:
+    """Run *payloads* through *case_runner* on a supervised worker pool.
 
     Returns results ordered by job id, so the output is independent of
     worker scheduling.  The pool is clamped to the number of jobs (never
     below one) — booting more machines than there are jobs is pure
-    overhead.  If workers die before the queue drains (machine boot
-    failure, a crashed thread), a RuntimeError names every unfinished
-    job id instead of silently returning a short result list.
+    overhead.
 
-    *machines_out*, if given, receives each worker's booted machine
-    after the pool joins, for restore/cache telemetry collection.
+    When workers die before the queue drains (machine boot failure, a
+    crashed thread, an injected fault), their unfinished jobs are
+    re-queued up to *max_job_retries* times and replacement workers with
+    fresh ids are spawned.  *on_worker_death* is called with each dead
+    worker's id as soon as its round settles — the hook for invalidating
+    shared-cache entries the dead worker owned — and always before any
+    replacement can re-publish under a different id.  Only a job whose
+    retries are exhausted fails the run: with *strict* (the default) a
+    RuntimeError names every unfinished job, matching the historical
+    contract; with ``strict=False`` the job's ``JobResult`` carries the
+    error instead, so a chaos campaign can degrade gracefully.
 
-    *on_worker_death*, if given, is called with each dead worker's id
-    before the RuntimeError is raised — the hook for invalidating
-    shared-cache entries that the dead worker owned (it may have died
-    mid-computation, leaving partial state behind).
+    *machines_out*, if given, receives every worker's booted machine
+    (including replacements) after the pool retires, for restore/cache
+    telemetry collection.
     """
-    server = ClusterServer(machine_config, payloads)
+    server = ClusterServer(machine_config, payloads, faults=faults)
     if server.job_count == 0:
         return []
     pool_size = min(max(1, workers), server.job_count)
-    pool = [ClusterWorker(server, i, case_runner) for i in range(pool_size)]
-    for worker in pool:
-        worker.start()
-    for worker in pool:
-        worker.join()
-    if machines_out is not None:
-        machines_out.extend(w.machine for w in pool if w.machine is not None)
-    dead = [w for w in pool if w.fatal_error is not None]
-    if dead and on_worker_death is not None:
-        for worker in dead:
-            on_worker_death(worker.worker_id)
-    results = server.results_in_order()
-    if len(results) != server.job_count:
-        finished = {result.job_id for result in results}
-        missing = [job_id for job_id in range(server.job_count)
-                   if job_id not in finished]
-        boot_errors = "; ".join(
-            f"worker {w.worker_id}: {w.fatal_error}"
-            for w in dead) or "unknown cause"
+    next_worker_id = 0
+    dead: List[ClusterWorker] = []
+    while True:
+        spawn = min(pool_size, max(1, server.unfinished_count()))
+        pool = [ClusterWorker(server, next_worker_id + i, case_runner)
+                for i in range(spawn)]
+        next_worker_id += spawn
+        for worker in pool:
+            worker.start()
+        for worker in pool:
+            worker.join()
+        if machines_out is not None:
+            machines_out.extend(w.machine for w in pool
+                                if w.machine is not None)
+        round_dead = [w for w in pool if w.fatal_error is not None]
+        dead.extend(round_dead)
+        # Retire the dead workers' cache ownership *now*: a replacement
+        # must never observe (or re-compute around) entries published
+        # from a machine that died in an undefined state.
+        if on_worker_death is not None:
+            for worker in round_dead:
+                on_worker_death(worker.worker_id)
+        cause = "; ".join(f"worker {w.worker_id}: {w.fatal_error}"
+                          for w in dead) or "result lost in transit"
+        # A round where not a single worker booted can never drain the
+        # queue — charge the queued jobs so retries stay bounded.
+        round_booted = any(w.machine is not None for w in pool)
+        requeued = server.audit_round(max_job_retries, cause,
+                                      charge_queued=not round_booted)
+        if not requeued:
+            break
+    failed = server.failed_results()
+    if failed and strict:
+        missing = [result.job_id for result in failed]
+        boot_errors = "; ".join(f"worker {w.worker_id}: {w.fatal_error}"
+                                for w in dead) or "unknown cause"
         raise RuntimeError(
             f"cluster finished with {len(missing)} unfinished job(s) "
             f"{missing} ({boot_errors})")
-    return results
+    return server.results_in_order()

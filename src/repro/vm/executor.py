@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..corpus.program import ConstArg, ResultArg, TestProgram
+from ..faults.plan import SITE_EXEC_TIMEOUT, ExecTimeoutInjected, FaultPlan
 from ..kernel.errno import SyscallError
 from ..kernel.kernel import Kernel
 from ..kernel.ktrace import MemAccess, walk_with_stack
@@ -89,9 +90,13 @@ class ExecutionResult:
 class Executor:
     """Runs test programs for one container task."""
 
-    def __init__(self, kernel: Kernel, task: Task):
+    def __init__(self, kernel: Kernel, task: Task,
+                 faults: Optional[FaultPlan] = None):
         self.kernel = kernel
         self.task = task
+        #: Campaign fault plan; every issued syscall is an occurrence of
+        #: the ``exec.timeout`` injection site.
+        self.faults = faults
 
     def run(self, program: TestProgram, profile: bool = False) -> ExecutionResult:
         session = SteppedExecution(self, program, profile=profile)
@@ -113,6 +118,16 @@ class Executor:
             if accesses is not None:
                 accesses.append(None)
             return
+        if self.faults is not None \
+                and self.faults.should_inject(SITE_EXEC_TIMEOUT):
+            # A hung syscall: the execution cannot produce a trustworthy
+            # trace, so the whole run is abandoned.  Recovery re-runs the
+            # case from a fresh snapshot restore (see
+            # repro.faults.plan.call_with_fault_retries), which is
+            # exactly the clean run — no partial record survives.
+            raise ExecTimeoutInjected(
+                SITE_EXEC_TIMEOUT,
+                f"injected timeout at call {index} ({call.name})")
         resolved = tuple(self._resolve(arg, records) for arg in call.args)
         record = SyscallRecord(index, call.name, resolved, retval=0, errno=0)
         self._collect_arg_kinds(record)

@@ -17,15 +17,22 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Optional, Tuple
 
 from ..corpus.program import TestProgram
+from ..faults.plan import (
+    SITE_SEGMENT_CORRUPT,
+    FaultPlan,
+    FaultRetriesExhausted,
+    RestoreFaultInjected,
+)
 from ..kernel.bugs import BugFlags
 from ..kernel.kernel import Kernel, KernelConfig
 from ..kernel.ktrace import KernelTracer
 from ..kernel.namespaces import ALL_NAMESPACE_FLAGS, CLONE_NEWNS, NamespaceType
 from ..kernel.task import Task
 from .executor import ExecutionResult, Executor
+from .segments import RestoreConsistencyError
 from .snapshot import Snapshot
 
 SENDER = "sender"
@@ -69,6 +76,11 @@ class MachineConfig:
     #: against the full snapshot byte-for-byte and fail loudly on any
     #: divergence (opt-in: it re-pickles the whole kernel each reset).
     verify_restore: bool = False
+    #: Shared fault-injection plan (chaos campaigns); every machine
+    #: booted from this config registers its restore/execution sites
+    #: against the same plan, so accounting is campaign-global.  Not
+    #: part of config identity: the same machine boots either way.
+    fault_plan: Optional[FaultPlan] = field(default=None, compare=False)
 
 
 @dataclass
@@ -80,6 +92,9 @@ class MachineStats:
     segments_restored: int = 0
     segments_skipped: int = 0
     restore_seconds: float = 0.0
+    #: Resets that had to take a fault-recovery path (retried full
+    #: restore, or restore-all after an injected segment corruption).
+    recovery_restores: int = 0
 
     @property
     def restores(self) -> int:
@@ -92,6 +107,7 @@ class MachineStats:
         self.segments_restored += other.segments_restored
         self.segments_skipped += other.segments_skipped
         self.restore_seconds += other.restore_seconds
+        self.recovery_restores += other.recovery_restores
 
     def copy(self) -> "MachineStats":
         return replace(self)
@@ -104,6 +120,7 @@ class MachineStats:
             segments_restored=self.segments_restored - earlier.segments_restored,
             segments_skipped=self.segments_skipped - earlier.segments_skipped,
             restore_seconds=self.restore_seconds - earlier.restore_seconds,
+            recovery_restores=self.recovery_restores - earlier.recovery_restores,
         )
 
 
@@ -116,6 +133,8 @@ class Machine:
         self.sender_task: Task = None  # type: ignore[assignment]
         self.receiver_task: Task = None  # type: ignore[assignment]
         self.stats = MachineStats()
+        #: The campaign-wide injection plan (None = clean machine).
+        self.faults: Optional[FaultPlan] = self.config.fault_plan
         #: Set by the cluster layer: which worker owns this machine.
         self.cluster_worker_id: Optional[int] = None
         self.snapshot = self._boot_and_snapshot()
@@ -155,14 +174,14 @@ class Machine:
         image = self.snapshot.image
         start = time.perf_counter()
         if image is None:
-            kernel = self.snapshot.restore(boot_offset_ns)
+            kernel = self._restore_full(boot_offset_ns)
             self._bind(kernel)
             self.stats.full_restores += 1
         else:
             # Drop any leftover instrumentation first: a full restore
             # yields a tracerless kernel, and segmented resets must too.
             self.kernel.attach_tracer(None)
-            restored, skipped = image.restore_in_place()
+            restored, skipped = self._restore_segmented(image)
             if self.config.verify_restore:
                 image.verify()
             if boot_offset_ns is not None:
@@ -171,6 +190,57 @@ class Machine:
             self.stats.segments_restored += restored
             self.stats.segments_skipped += skipped
         self.stats.restore_seconds += time.perf_counter() - start
+
+    def _restore_full(self, boot_offset_ns: Optional[int]) -> Kernel:
+        """Full deserialization, retrying injected restore failures."""
+        failures = []
+        while True:
+            try:
+                kernel = self.snapshot.restore(boot_offset_ns,
+                                               faults=self.faults)
+            except RestoreFaultInjected as error:
+                failures.append(error.site)
+                budget = self.faults.max_retries if self.faults else 0
+                if len(failures) > budget:
+                    self.faults.record_infra_failed(failures)
+                    raise FaultRetriesExhausted(failures,
+                                                context="full restore")
+                continue
+            if failures:
+                self.faults.record_recovered(failures)
+                self.stats.recovery_restores += 1
+            return kernel
+
+    def _restore_segmented(self, image) -> Tuple[int, int]:
+        """Incremental restore with the two fault-recovery paths.
+
+        A failed restore attempt falls back to restoring every group —
+        slower, but provably equivalent to a fresh full deserialization
+        (root identity is preserved either way).  An injected corruption
+        is detected by the canonical-form check and repaired the same
+        way; a corruption the check cannot observe (the skipped group
+        happened to be byte-identical to the snapshot) is benign by
+        definition.  Either way the injection is absorbed.
+        """
+        faults = self.faults
+        try:
+            restored, skipped = image.restore_in_place(faults=faults)
+        except RestoreFaultInjected as error:
+            restored = image.restore_all_in_place()
+            skipped = 0
+            faults.record_recovered([error.site])
+            self.stats.recovery_restores += 1
+            return restored, skipped
+        if faults is not None and image.corruption_pending:
+            image.corruption_pending = False
+            try:
+                image.verify()
+            except RestoreConsistencyError:
+                restored = image.restore_all_in_place()
+                skipped = 0
+                self.stats.recovery_restores += 1
+            faults.record_recovered([SITE_SEGMENT_CORRUPT])
+        return restored, skipped
 
     def _bind(self, kernel: Kernel) -> None:
         self.kernel = kernel
@@ -193,5 +263,6 @@ class Machine:
     def run(self, container: str, program: TestProgram,
             profile: bool = False) -> ExecutionResult:
         """Execute *program* in *container* against the current state."""
-        executor = Executor(self.kernel, self.task_for(container))
+        executor = Executor(self.kernel, self.task_for(container),
+                            faults=self.faults)
         return executor.run(program, profile=profile)

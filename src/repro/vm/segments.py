@@ -52,6 +52,12 @@ import io
 import pickle
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from ..faults.plan import (
+    SITE_RESTORE_FAIL,
+    SITE_SEGMENT_CORRUPT,
+    FaultPlan,
+    RestoreFaultInjected,
+)
 from ..kernel.kernel import Kernel
 from ..kernel.memory import KCell, KDict, KList, KStruct
 
@@ -300,6 +306,9 @@ class SegmentedImage:
         #: and by the kernel's explicit object marks).
         self._dirty_groups: set = set()
         self.attached = False
+        #: set when a ``segment.corrupt`` injection dropped a group from
+        #: the last incremental restore; cleared by recovery.
+        self.corruption_pending = False
 
     # -- construction -------------------------------------------------------
 
@@ -417,14 +426,31 @@ class SegmentedImage:
         dirty |= self.always_dirty
         return dirty
 
-    def restore_in_place(self) -> Tuple[int, int]:
+    def restore_in_place(self, faults: Optional[FaultPlan] = None
+                         ) -> Tuple[int, int]:
         """Restore every dirty group into the live kernel.
 
         Returns ``(restored, skipped)`` group counts.
+
+        Two injection sites live here.  ``restore.fail`` raises before
+        any group is touched (a failed payload load); the caller retries
+        or falls back to :meth:`restore_all_in_place`.  A
+        ``segment.corrupt`` firing silently drops one dirty group from
+        the restore set — exactly the torn restore the canonical-form
+        consistency check (:meth:`verify`) exists to catch — and sets
+        :attr:`corruption_pending` so the machine knows to run that
+        check and repair.
         """
         if not self.attached:
             raise RuntimeError("image not attached to its kernel")
+        if faults is not None and faults.should_inject(SITE_RESTORE_FAIL):
+            raise RestoreFaultInjected(
+                SITE_RESTORE_FAIL, "injected segmented restore failure")
         dirty = self.collect_dirty()
+        if faults is not None and dirty \
+                and faults.should_inject(SITE_SEGMENT_CORRUPT):
+            dirty.discard(max(dirty))
+            self.corruption_pending = True
         live = self.roots
         for group in dirty:
             stream = io.BytesIO(self.payloads[group])
@@ -434,6 +460,26 @@ class SegmentedImage:
         self._dirty_groups.clear()
         self.kernel._dirty_roots.clear()
         return len(dirty), len(self.payloads) - len(dirty)
+
+    def restore_all_in_place(self) -> int:
+        """Restore *every* group, dirty or not — the recovery path.
+
+        Injection-free by design: after a failed or corrupted
+        incremental restore, this re-materializes the full snapshot
+        state while preserving root identity, which is state-equivalent
+        to a fresh full deserialization (the clean run's behaviour).
+        Returns the number of groups restored.
+        """
+        live = self.roots
+        for payload in self.payloads:
+            stream = io.BytesIO(payload)
+            entries = _ResolvingUnpickler(stream, live).load()
+            for key, state in entries:
+                _apply_state(key, live[key], state)
+        self._dirty_groups.clear()
+        self.kernel._dirty_roots.clear()
+        self.corruption_pending = False
+        return len(self.payloads)
 
     # -- consistency ---------------------------------------------------------
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 import pickle
 from typing import Optional
 
+from ..faults.plan import SITE_RESTORE_FAIL, FaultPlan, RestoreFaultInjected
 from ..kernel.kernel import Kernel
 from .segments import SegmentedImage
 
@@ -47,13 +48,24 @@ class Snapshot:
         image = SegmentedImage.build(kernel) if segmented else None
         return cls(blob, description, image)
 
-    def restore(self, boot_offset_ns: Optional[int] = None) -> Kernel:
+    def restore(self, boot_offset_ns: Optional[int] = None,
+                faults: Optional[FaultPlan] = None) -> Kernel:
         """Materialize a fresh, independent kernel from the snapshot.
 
         *boot_offset_ns* rebases the virtual clock — the mechanism behind
         "re-runs the receiver program multiple times with different
         starting times" (§4.3.2).
+
+        *faults* registers this full deserialization as a
+        ``restore.fail`` injection site: a firing raises
+        :class:`RestoreFaultInjected` before any state is produced, the
+        stand-in for a QMP ``loadvm`` that errors out.  The caller
+        (:meth:`Machine.reset <repro.vm.machine.Machine.reset>`) owns
+        the bounded-retry recovery.
         """
+        if faults is not None and faults.should_inject(SITE_RESTORE_FAIL):
+            raise RestoreFaultInjected(
+                SITE_RESTORE_FAIL, "injected full-snapshot restore failure")
         kernel: Kernel = pickle.loads(self.blob)
         if boot_offset_ns is not None:
             kernel.clock.rebase(boot_offset_ns)

@@ -1,0 +1,109 @@
+"""Chaos property: a faulted campaign finds the same bugs (satellite 3).
+
+For every seed, every injection site, and every kernel: running the
+campaign under fault injection must report exactly the bug set the
+fault-free campaign reports, with every injection accounted for.  A
+light slice runs in tier-1; the full sweep is behind ``-m chaos``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.known_bugs import SCENARIOS, TABLE3_ROWS, scenario_machine_config
+from repro.core.pipeline import CampaignConfig, Kit
+from repro.faults.plan import ALL_SITES, SITE_WORKER_CRASH, FaultPlan
+from repro.kernel import linux_5_13
+from repro.vm.machine import MachineConfig
+
+CORPUS_SIZE = 16
+MAX_CASES = 16
+
+KERNELS = {"5.13": MachineConfig(bugs=linux_5_13())}
+KERNELS.update({row: scenario_machine_config(SCENARIOS[row])
+                for row in TABLE3_ROWS})
+
+
+def _campaign(kernel_name, faults=None, workers=0, **overrides):
+    config = CampaignConfig(machine=KERNELS[kernel_name],
+                            corpus_size=CORPUS_SIZE,
+                            max_test_cases=MAX_CASES,
+                            workers=workers, faults=faults, **overrides)
+    return Kit(config).run()
+
+
+@pytest.fixture(scope="module")
+def clean_bugs():
+    cache = {}
+
+    def bugs_for(kernel_name):
+        if kernel_name not in cache:
+            cache[kernel_name] = sorted(_campaign(kernel_name).bugs_found())
+        return cache[kernel_name]
+
+    return bugs_for
+
+
+def _assert_equivalent(result, plan, expected_bugs):
+    assert sorted(result.bugs_found()) == expected_bugs
+    assert result.stats.faults_accounted(), plan.stats.snapshot()
+    assert result.stats.faults_injected_total() \
+        == result.stats.faults_recovered_total() \
+        + result.stats.faults_infra_total()
+    # No infra failure may masquerade as a bug report.
+    assert all(r.case is not None for r in result.reports)
+
+
+# -- tier-1 slice -------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_chaos_campaign_reports_same_bugs(seed, clean_bugs):
+    plan = FaultPlan(seed=seed, rate=0.15)
+    result = _campaign("5.13", faults=plan, workers=2)
+    _assert_equivalent(result, plan, clean_bugs("5.13"))
+    assert result.stats.faults_injected_total() > 0
+
+
+def test_chaos_in_process_campaign(clean_bugs):
+    plan = FaultPlan(seed=2, rate=0.2)
+    result = _campaign("5.13", faults=plan, workers=0)
+    _assert_equivalent(result, plan, clean_bugs("5.13"))
+
+
+def test_graceful_degradation_when_cluster_unusable():
+    """Every worker crashes on every fetch: the campaign still completes,
+    each case degrades to infra_failed, and nothing leaks into reports."""
+    plan = FaultPlan(seed=0, rates={SITE_WORKER_CRASH: 1.0},
+                     max_job_retries=1)
+    # rand has no profiling stage, so the crash storm hits execution only.
+    config = CampaignConfig(machine=KERNELS["5.13"], corpus_size=6,
+                            strategy="rand", rand_budget=6, workers=2,
+                            faults=plan, diagnose=False)
+    result = Kit(config).run()
+    assert result.reports == []
+    assert result.stats.outcomes == {"infra_failed": 6}
+    assert result.stats.infra_failed_cases == 6
+    assert result.stats.faults_accounted(), plan.stats.snapshot()
+    assert result.bugs_found() == set()
+
+
+# -- the full sweep (deselected by default; run with -m chaos) ----------------
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("site", ALL_SITES)
+def test_single_site_sweep(site, seed, clean_bugs):
+    plan = FaultPlan(seed=seed, rate=0.3, sites=(site,))
+    result = _campaign("5.13", faults=plan, workers=2)
+    _assert_equivalent(result, plan, clean_bugs("5.13"))
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("seed", [0, 1])
+@pytest.mark.parametrize("kernel_name", sorted(KERNELS))
+def test_all_sites_all_kernels_sweep(kernel_name, seed, clean_bugs):
+    plan = FaultPlan(seed=seed, rate=0.15)
+    result = _campaign(kernel_name, faults=plan, workers=2)
+    _assert_equivalent(result, plan, clean_bugs(kernel_name))

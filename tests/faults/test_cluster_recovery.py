@@ -1,0 +1,136 @@
+"""Cluster supervision: job re-queue, worker death, the owner-tag leak
+(ISSUE 4, satellites 1 and 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.execution import BaselineCache
+from repro.faults.invariants import CacheOwnerLeakError, verify_owner_invariant
+from repro.faults.plan import (
+    SITE_RESULT_DROP,
+    SITE_WORKER_CRASH,
+    FaultPlan,
+)
+from repro.kernel import linux_5_13
+from repro.vm import MachineConfig, run_distributed
+
+CONFIG = MachineConfig(bugs=linux_5_13())
+
+
+def test_single_worker_death_then_recovery():
+    """Satellite 1 regression: one crash, one re-queue, full results."""
+    plan = FaultPlan(seed=0, schedule={SITE_WORKER_CRASH: {0}})
+    dead = []
+    results = run_distributed(CONFIG, list(range(4)),
+                              lambda machine, payload: payload + 100,
+                              workers=1, faults=plan, max_job_retries=1,
+                              on_worker_death=dead.append)
+    assert [r.outcome for r in results] == [100, 101, 102, 103]
+    assert dead == [0]
+    # The replacement got a fresh id — dead ids are never recycled, so
+    # cache owner tags cannot alias across the death.
+    assert all(r.worker != 0 for r in results)
+    assert plan.stats.recovered.get(SITE_WORKER_CRASH) == 1
+    assert plan.stats.accounted()
+
+
+def test_death_with_no_retries_raises_by_default():
+    """The historical contract: an unfinished job fails the run loudly."""
+    plan = FaultPlan(seed=0, schedule={SITE_WORKER_CRASH: {0}})
+    with pytest.raises(RuntimeError) as excinfo:
+        run_distributed(CONFIG, list(range(3)),
+                        lambda machine, payload: payload,
+                        workers=1, faults=plan, max_job_retries=0)
+    assert "unfinished job(s)" in str(excinfo.value)
+    assert plan.stats.accounted()
+
+
+def test_exhausted_retries_degrade_gracefully_when_not_strict():
+    # Every fetch crashes the worker: the first-queued job burns one
+    # failed attempt per round until its budget is gone.
+    plan = FaultPlan(seed=0, rates={SITE_WORKER_CRASH: 1.0})
+    results = run_distributed(CONFIG, ["only-job"],
+                              lambda machine, payload: payload,
+                              workers=1, faults=plan, max_job_retries=2,
+                              strict=False)
+    assert len(results) == 1
+    assert results[0].outcome is None
+    assert "retries exhausted after 3 failed attempt(s)" in results[0].error
+    assert plan.stats.infra_failed.get(SITE_WORKER_CRASH) == 3
+    assert plan.stats.accounted()
+
+
+def test_dropped_result_is_requeued_and_recovered():
+    plan = FaultPlan(seed=0, schedule={SITE_RESULT_DROP: {0}})
+    results = run_distributed(CONFIG, list(range(3)),
+                              lambda machine, payload: payload * 3,
+                              workers=1, faults=plan, max_job_retries=1)
+    assert [r.outcome for r in results] == [0, 3, 6]
+    assert plan.stats.recovered.get(SITE_RESULT_DROP) == 1
+    assert plan.stats.accounted()
+
+
+def test_genuine_job_exception_is_not_retried():
+    """Retries cover infrastructure faults, not deterministic job bugs."""
+    plan = FaultPlan(seed=0)  # no sites enabled
+    calls = []
+
+    def runner(machine, payload):
+        calls.append(payload)
+        if payload == 1:
+            raise ValueError("deterministic bug")
+        return payload
+
+    results = run_distributed(CONFIG, [0, 1, 2], runner, workers=1,
+                              faults=plan, max_job_retries=5, strict=False)
+    assert calls.count(1) == 1  # exactly one attempt
+    assert "ValueError" in results[1].error
+    assert results[0].outcome == 0 and results[2].outcome == 2
+
+
+# -- satellite 2: the owner-tagged cache-entry leak ---------------------------
+
+
+def _run_leak_scenario(with_death_hook: bool):
+    """A worker publishes a baseline, then dies before its next insert.
+
+    Crash scheduled at occurrence 1: the worker completes job 0 (its
+    baseline insert lands in the shared cache under its owner id), then
+    dies fetching job 1 — between inserts, exactly the leak window.
+    """
+    plan = FaultPlan(seed=0, schedule={SITE_WORKER_CRASH: {1}})
+    baselines = BaselineCache()
+    dead = []
+
+    def runner(machine, payload):
+        baselines.put(f"receiver-{payload}", f"result-{payload}",
+                      owner=machine.cluster_worker_id)
+        return payload
+
+    def on_death(worker_id):
+        dead.append(worker_id)
+        if with_death_hook:
+            baselines.invalidate_owner(worker_id)
+
+    results = run_distributed(CONFIG, [0, 1], runner, workers=1,
+                              faults=plan, max_job_retries=1,
+                              on_worker_death=on_death)
+    assert [r.outcome for r in results] == [0, 1]
+    assert dead == [0]
+    assert plan.stats.accounted()
+    return baselines, dead
+
+
+def test_leak_reproduced_without_death_hook():
+    baselines, dead = _run_leak_scenario(with_death_hook=False)
+    with pytest.raises(CacheOwnerLeakError) as excinfo:
+        verify_owner_invariant(dead, baselines=baselines)
+    assert "baselines" in str(excinfo.value)
+
+
+def test_death_hook_closes_the_leak():
+    baselines, dead = _run_leak_scenario(with_death_hook=True)
+    verify_owner_invariant(dead, baselines=baselines)  # must not raise
+    # The survivor's (replacement's) entries are untouched.
+    assert any(tag not in dead for tag in baselines.owner_tags())

@@ -1,0 +1,190 @@
+"""Per-site injection + recovery semantics (ISSUE 4 tentpole).
+
+Each test drives exactly one site through its recovery path and checks
+the two things that matter: the recovered state is equivalent to the
+clean run's, and the books balance (injected == recovered + infra).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.execution import BaselineCache
+from repro.core.nondet import NondetStore
+from repro.corpus.seeds import seed_programs
+from repro.faults.plan import (
+    SITE_CACHE_EVICT,
+    SITE_CACHE_STALE_OWNER,
+    SITE_EXEC_TIMEOUT,
+    SITE_RESTORE_FAIL,
+    SITE_SEGMENT_CORRUPT,
+    SITE_WORKER_SLOW,
+    STALE_OWNER,
+    ExecTimeoutInjected,
+    FaultPlan,
+    FaultRetriesExhausted,
+    call_with_fault_retries,
+)
+from repro.kernel import linux_5_13
+from repro.vm import Machine, MachineConfig, run_distributed, state_fingerprint
+from repro.vm.machine import RECEIVER
+
+
+def _machine(plan, **config_kwargs):
+    return Machine(MachineConfig(bugs=linux_5_13(), fault_plan=plan,
+                                 **config_kwargs))
+
+
+def test_full_restore_failure_recovers_to_identical_state():
+    clean = Machine(MachineConfig(bugs=linux_5_13(), full_restore=True))
+    clean.reset()
+    reference = state_fingerprint(clean.kernel)
+
+    # Occurrence 0 is the boot reset; fire on the explicit reset.
+    plan = FaultPlan(seed=0, schedule={SITE_RESTORE_FAIL: {1}})
+    machine = _machine(plan, full_restore=True)
+    machine.reset()
+    assert state_fingerprint(machine.kernel) == reference
+    assert machine.stats.recovery_restores == 1
+    assert plan.stats.injected == {SITE_RESTORE_FAIL: 1}
+    assert plan.stats.accounted()
+
+
+def test_full_restore_exhaustion_charges_infra():
+    plan = FaultPlan(seed=0, max_retries=2,
+                     schedule={SITE_RESTORE_FAIL: set(range(1, 30))})
+    machine = _machine(plan, full_restore=True)
+    with pytest.raises(FaultRetriesExhausted):
+        machine.reset()
+    assert plan.stats.infra_failed.get(SITE_RESTORE_FAIL) == 3
+    assert plan.stats.accounted()
+
+
+def test_segmented_restore_failure_falls_back_to_restore_all():
+    reference_machine = Machine(MachineConfig(bugs=linux_5_13()))
+    reference = state_fingerprint(reference_machine.snapshot.restore())
+
+    plan = FaultPlan(seed=0, schedule={SITE_RESTORE_FAIL: {0}})
+    machine = _machine(plan)
+    machine.run(RECEIVER, seed_programs()["read_uptime"])
+    machine.reset()  # injected failure -> restore_all_in_place fallback
+    assert state_fingerprint(machine.kernel) == reference
+    assert machine.stats.recovery_restores == 1
+    assert plan.stats.recovered == {SITE_RESTORE_FAIL: 1}
+    assert plan.stats.accounted()
+
+
+def test_segment_corruption_detected_and_repaired():
+    reference_machine = Machine(MachineConfig(bugs=linux_5_13()))
+    reference = state_fingerprint(reference_machine.snapshot.restore())
+
+    plan = FaultPlan(seed=0, schedule={SITE_SEGMENT_CORRUPT: {0}})
+    machine = _machine(plan)
+    machine.run(RECEIVER, seed_programs()["udp_send"])
+    machine.reset()  # drops one dirty group; verify() must catch it
+    assert not machine.snapshot.image.corruption_pending
+    assert state_fingerprint(machine.kernel) == reference
+    assert plan.stats.recovered == {SITE_SEGMENT_CORRUPT: 1}
+    assert plan.stats.accounted()
+
+
+def test_exec_timeout_rerun_matches_clean_run():
+    program = seed_programs()["read_uptime"]
+    clean = Machine(MachineConfig(bugs=linux_5_13()))
+    clean.reset()
+    clean_records = clean.run(RECEIVER, program).records
+
+    plan = FaultPlan(seed=0, schedule={SITE_EXEC_TIMEOUT: {0}})
+    machine = _machine(plan)
+
+    def run_case():
+        machine.reset()
+        return machine.run(RECEIVER, program)
+
+    with pytest.raises(ExecTimeoutInjected):
+        run_case()  # first attempt aborts mid-program
+    plan.record_recovered([SITE_EXEC_TIMEOUT])  # manual resolution here
+    result = run_case()  # fresh restore -> the clean execution
+    assert [(r.name, r.retval, r.errno) for r in result.records] \
+        == [(r.name, r.retval, r.errno) for r in clean_records]
+    assert plan.stats.accounted()
+
+
+def test_exec_timeout_with_retry_wrapper():
+    program = seed_programs()["read_uptime"]
+    plan = FaultPlan(seed=0, schedule={SITE_EXEC_TIMEOUT: {0}})
+    machine = _machine(plan)
+
+    def run_case():
+        machine.reset()
+        return machine.run(RECEIVER, program)
+
+    result = call_with_fault_retries(plan, run_case)
+    assert result.live_records()
+    assert plan.stats.recovered == {SITE_EXEC_TIMEOUT: 1}
+    assert plan.stats.accounted()
+
+
+def test_baseline_cache_spurious_eviction_recomputes():
+    plan = FaultPlan(seed=0, schedule={SITE_CACHE_EVICT: {0}})
+    cache = BaselineCache(faults=plan)
+    cache.put("recv-hash", "result")
+    assert cache.get("recv-hash") is None  # evicted under the reader
+    assert cache.get("recv-hash") is None  # genuinely gone, recompute
+    cache.put("recv-hash", "result")
+    assert cache.get("recv-hash") == "result"
+    assert plan.stats.recovered == {SITE_CACHE_EVICT: 1}
+    assert plan.stats.accounted()
+
+
+def test_nondet_store_eviction_removes_disk_copy(tmp_path):
+    plan = FaultPlan(seed=0, schedule={SITE_CACHE_EVICT: {0}})
+    store = NondetStore(str(tmp_path), faults=plan)
+    marks = frozenset({("calls", 0, "retval")})
+    store.put("prog-hash", marks)
+    assert store.get("prog-hash") is None
+    # The disk copy must not silently resurrect the entry.
+    assert NondetStore(str(tmp_path)).get("prog-hash") is None
+    assert plan.stats.recovered == {SITE_CACHE_EVICT: 1}
+    assert plan.stats.accounted()
+
+
+def test_stale_owner_tag_survives_owner_invalidation_until_sweep():
+    plan = FaultPlan(seed=0, schedule={SITE_CACHE_STALE_OWNER: {0}})
+    cache = BaselineCache(faults=plan)
+    cache.put("recv-hash", "result", owner=3)
+    assert cache.owner_tags() == [STALE_OWNER]
+    # Owner-based invalidation can no longer find the entry: the leak.
+    assert cache.invalidate_owner(3) == 0
+    assert len(cache) == 1
+    # The sweep is the repair path — and resolves the injection.
+    assert cache.purge_stale() == 1
+    assert len(cache) == 0
+    assert plan.stats.recovered == {SITE_CACHE_STALE_OWNER: 1}
+    assert plan.stats.accounted()
+
+
+def test_nondet_store_stale_tag_resolved_by_overwrite():
+    plan = FaultPlan(seed=0, schedule={SITE_CACHE_STALE_OWNER: {0}})
+    store = NondetStore(faults=plan)
+    marks = frozenset({("calls", 1, "retval")})
+    store.put("prog-hash", marks, owner=2)
+    assert store.owner_tags() == [STALE_OWNER]
+    store.put("prog-hash", marks, owner=4)  # clean overwrite repairs it
+    assert store.owner_tags() == [4]
+    assert store.purge_stale() == 0
+    assert plan.stats.recovered == {SITE_CACHE_STALE_OWNER: 1}
+    assert plan.stats.accounted()
+
+
+def test_worker_slow_is_absorbed_by_construction():
+    plan = FaultPlan(seed=0, rates={SITE_WORKER_SLOW: 1.0},
+                     slow_seconds=0.0001)
+    results = run_distributed(MachineConfig(bugs=linux_5_13()),
+                              list(range(6)),
+                              lambda machine, payload: payload * 2,
+                              workers=2, faults=plan)
+    assert [r.outcome for r in results] == [0, 2, 4, 6, 8, 10]
+    assert plan.stats.injected.get(SITE_WORKER_SLOW, 0) == 6
+    assert plan.stats.recovered.get(SITE_WORKER_SLOW, 0) == 6
+    assert plan.stats.accounted()
