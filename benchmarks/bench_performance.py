@@ -109,6 +109,13 @@ def test_section65_throughput_summary(campaign_513, benchmark):
         f"{f'{stats.baseline_hit_rate():.0%}':>16} {'—':>22}",
         f"{'Non-det cache hit rate':<34} "
         f"{f'{stats.nondet_cache_hit_rate():.0%}':>16} {'—':>22}",
+        f"{'Sender-cache hit rate':<34} "
+        f"{f'{stats.sender_cache_hit_rate():.0%}':>16} {'—':>22}",
+        f"{'  deltas held / bytes':<34} "
+        f"{f'{stats.sender_cache_entries} / {stats.sender_cache_bytes}':>16} "
+        f"{'—':>22}",
+        f"{'  diagnosis prefix reuses':<34} "
+        f"{stats.diagnosis_prefix_reuses:>16} {'—':>22}",
     ]
     emit_table("section65_performance", "§6.5 performance summary", lines)
 
@@ -119,3 +126,8 @@ def test_section65_throughput_summary(campaign_513, benchmark):
     assert stats.restore_count > 0
     assert stats.segmented_restores > 0 and stats.full_restores == 0
     assert stats.segments_skipped_rate() > 0.5
+    # Sender-state memoization served the campaign: the memoized deltas
+    # took hits and every Algorithm 2 re-run replayed a prefix state.
+    assert stats.sender_cache_hits > 0
+    assert stats.sender_cache_entries > 0
+    assert stats.diagnosis_prefix_reuses == stats.diagnosis_reruns

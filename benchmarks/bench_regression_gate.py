@@ -171,6 +171,73 @@ def test_chaos_smoke_gate(campaign_513, bench_corpus, chaos_seeds, benchmark):
             f"seed {seed}: faulted bug set diverged from the clean run"
 
 
+#: Sender-state memoization must beat re-execution by this factor on
+#: workloads where senders average >= 4 paired receivers.
+MIN_SENDER_CACHE_SPEEDUP = 1.5
+#: Gate workload shape: expensive senders (concatenated seed programs)
+#: each paired with this many receivers.
+GATE_SENDER_WIDTH = 14
+GATE_FAN_OUT = 8
+
+
+def test_sender_cache_performance_gate(benchmark):
+    """Fail the bench if sender-state memoization stops paying for itself.
+
+    The workload mirrors the affinity-batched campaign's sweet spot:
+    a few expensive senders, each paired with ``GATE_FAN_OUT`` (>= 4)
+    receivers, so each memoized delta is restored fan-out − 1 times.
+    Measured best-of-reps on fully warmed runners (see
+    ``bench_sender_cache.measure_workload``).
+    """
+    from repro.core import SenderStateCache, TestCaseRunner
+
+    from benchmarks.bench_sender_cache import measure_workload
+
+    programs = [program for _, program in sorted(seed_programs().items())]
+
+    def wide(start):
+        sender = programs[start % len(programs)]
+        for step in range(1, GATE_SENDER_WIDTH):
+            sender = sender.concatenate(
+                programs[(start + step) % len(programs)])
+        return sender
+
+    senders = [wide(start) for start in range(4)]
+    receivers = programs[:GATE_FAN_OUT]
+    config = MachineConfig(bugs=linux_5_13())
+    uncached_s, cached_s, cache = measure_workload(
+        senders, receivers, config)
+    speedup = uncached_s / cached_s
+
+    runner = TestCaseRunner(Machine(config),
+                            sender_states=SenderStateCache())
+    runner.run_with_sender(senders[0], receivers[0])
+    benchmark(runner.run_with_sender, senders[0], receivers[1])
+
+    cases = len(senders) * len(receivers)
+    lines = [
+        f"{'gate':<38} {'measured':>12} {'threshold':>12}",
+        "-" * 66,
+        f"{'sender-cache speedup (uncached/cached)':<38} "
+        f"{f'{speedup:.2f}x':>12} {f'>={MIN_SENDER_CACHE_SPEEDUP:.1f}x':>12}",
+        f"{'receivers paired per sender':<38} "
+        f"{cases // len(senders):>12} {'>=4':>12}",
+        "",
+        f"workload: {len(senders)} senders x {GATE_SENDER_WIDTH} "
+        f"concatenated seed programs, {GATE_FAN_OUT} receivers each "
+        f"({cases} cases); uncached {uncached_s * 1e3:.1f} ms, "
+        f"cached {cached_s * 1e3:.1f} ms, "
+        f"{cache.bytes_held} delta bytes held",
+    ]
+    emit_table("sender_cache_gate", "Sender-state cache performance gate",
+               lines)
+
+    assert cases // len(senders) >= 4, \
+        "gate workload must average >= 4 receivers per sender"
+    assert speedup >= MIN_SENDER_CACHE_SPEEDUP, \
+        f"sender-state cache only {speedup:.2f}x faster than re-execution"
+
+
 #: The ISSUE's acceptance bar for static bug rediscovery.
 MIN_REDISCOVERY_RATE = 0.6
 

@@ -101,6 +101,15 @@ def _print_campaign(result: CampaignResult, show_reports: bool) -> None:
               f"non-det {stats.nondet_cache_hit_rate():.0%} hit "
               f"({stats.nondet_cache_hits}/"
               f"{stats.nondet_cache_hits + stats.nondet_cache_misses})")
+    if stats.sender_cache_hits + stats.sender_cache_misses:
+        print(f"sender cache: {stats.sender_cache_hit_rate():.0%} hit "
+              f"({stats.sender_cache_hits}/"
+              f"{stats.sender_cache_hits + stats.sender_cache_misses}), "
+              f"{stats.sender_cache_entries} deltas / "
+              f"{stats.sender_cache_bytes} bytes held, "
+              f"{stats.sender_cache_evictions} evicted, "
+              f"diagnosis prefix reuses: {stats.diagnosis_prefix_reuses}/"
+              f"{stats.diagnosis_reruns}")
     if stats.faults_injected_total():
         print(f"faults: {stats.faults_injected_total()} injected / "
               f"{stats.faults_recovered_total()} recovered / "
@@ -118,6 +127,32 @@ def _print_campaign(result: CampaignResult, show_reports: bool) -> None:
         for report in result.reports:
             print()
             print(report.render())
+
+
+def _print_cache_report(result: CampaignResult) -> None:
+    """The --cache-report breakdown: hit rates and bytes held per worker."""
+    stats = result.stats
+    print("cache report:")
+    print(f"  baselines:    {stats.baseline_hit_rate():.0%} hit "
+          f"({stats.baseline_hits}/"
+          f"{stats.baseline_hits + stats.baseline_misses})")
+    print(f"  non-det:      {stats.nondet_cache_hit_rate():.0%} hit "
+          f"({stats.nondet_cache_hits}/"
+          f"{stats.nondet_cache_hits + stats.nondet_cache_misses})")
+    total = stats.sender_cache_hits + stats.sender_cache_misses
+    if not total:
+        print("  sender-state: disabled")
+        return
+    print(f"  sender-state: {stats.sender_cache_hit_rate():.0%} hit "
+          f"({stats.sender_cache_hits}/{total}), "
+          f"{stats.sender_cache_entries} deltas, "
+          f"{stats.sender_cache_evictions} evicted")
+    for owner, held in stats.sender_cache_bytes_by_owner.items():
+        print(f"    {owner}: {held} bytes")
+    if stats.diagnosis_reruns:
+        print(f"  diagnosis:    {stats.diagnosis_prefix_reuses}/"
+              f"{stats.diagnosis_reruns} re-runs served from "
+              "memoized sender prefixes")
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -141,10 +176,13 @@ def cmd_run(args: argparse.Namespace) -> int:
         nondet_dir=args.nondet_cache,
         static_prefilter=args.prefilter,
         faults=args.faults,
+        sender_cache=not args.no_sender_cache,
     )
     progress = print if args.verbose else None
     result = Kit(config).run(progress=progress)
     _print_campaign(result, show_reports=args.reports)
+    if args.cache_report:
+        _print_cache_report(result)
     if args.minimize and result.reports:
         machine = Machine(config.machine)
         detector = Detector(machine, config.spec, NondetAnalyzer(machine))
@@ -386,6 +424,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="chaos fault injection, e.g. 7:0.2 or "
                           "7:0.2:worker.crash,exec.timeout "
                           "(see docs/FAULTS.md)")
+    run.add_argument("--no-sender-cache", action="store_true",
+                     help="disable post-sender state memoization "
+                          "(re-execute every sender from the snapshot)")
+    run.add_argument("--cache-report", action="store_true",
+                     help="print per-cache hit rates and bytes held "
+                          "per worker after the campaign")
     run.add_argument("--reports", action="store_true",
                      help="print every report in full")
     run.add_argument("--save", help="write the campaign result to a JSON file")

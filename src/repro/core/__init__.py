@@ -31,7 +31,13 @@ from .dataflow import AccessPoint, DataFlowIndex, stack_sha1
 from .decode import decode_record, decode_trace, side_by_side
 from .detection import DetectionResult, Detector, Outcome
 from .diagnosis import Diagnoser
-from .execution import BaselineCache, TestCaseRunner
+from .execution import (
+    BaselineCache,
+    PreparedSenderState,
+    SenderState,
+    SenderStateCache,
+    TestCaseRunner,
+)
 from .generation import GenerationResult, TestCase, TestCaseGenerator
 from .minimize import MinimizedCase, minimize_report, reduce_to
 from .nondet import NondetAnalyzer, NondetStore
@@ -106,7 +112,10 @@ __all__ = [
     "ProgramProfile",
     "Profiler",
     "REAL_BUG_LABELS",
+    "PreparedSenderState",
     "ReportGroups",
+    "SenderState",
+    "SenderStateCache",
     "Specification",
     "TestCase",
     "TestCaseGenerator",

@@ -22,7 +22,12 @@ from typing import List, Optional, Set, Tuple
 
 from ..corpus.program import TestProgram
 from ..vm.machine import Machine
-from .execution import BaselineCache, TestCaseRunner
+from .execution import (
+    BaselineCache,
+    PreparedSenderState,
+    SenderStateCache,
+    TestCaseRunner,
+)
 from .generation import TestCase
 from .nondet import NondetAnalyzer
 from .report import TestReport
@@ -63,13 +68,20 @@ class Detector:
 
     def __init__(self, machine: Machine, spec: Specification,
                  nondet: Optional[NondetAnalyzer] = None,
-                 baselines: Optional[BaselineCache] = None):
+                 baselines: Optional[BaselineCache] = None,
+                 sender_states: Optional[SenderStateCache] = None):
         self._machine = machine
         self._spec = spec
-        # *baselines* may be shared across the detectors of a worker
-        # pool: receiver-alone results depend only on the snapshot.
-        self._runner = TestCaseRunner(machine, baselines=baselines)
+        # *baselines* and *sender_states* may be shared across the
+        # detectors of a worker pool: both are keyed by
+        # snapshot-relative program state.
+        self._runner = TestCaseRunner(machine, baselines=baselines,
+                                      sender_states=sender_states)
         self._nondet = nondet or NondetAnalyzer(machine)
+
+    @property
+    def machine(self) -> Machine:
+        return self._machine
 
     @property
     def runner(self) -> TestCaseRunner:
@@ -105,22 +117,31 @@ class Detector:
         return DetectionResult(case, Outcome.REPORT, report=report,
                                raw_diff_count=raw_count)
 
-    def interference_set(self, sender: TestProgram,
-                         receiver: TestProgram) -> Set[int]:
+    def interference_set(self, sender: TestProgram, receiver: TestProgram,
+                         prepared: Optional[PreparedSenderState] = None
+                         ) -> Set[int]:
         """Protected-interfered receiver call indices for (sender, receiver).
 
         This is ``TestFuncI`` in Algorithm 2 — diagnosis re-runs modified
-        senders through the same full filter chain.
+        senders through the same full filter chain.  When *prepared*
+        carries that sender variant's memoized prefix state, the sender
+        is not replayed: the machine restores the prefix delta instead.
         """
-        interfered, *_ = self._analyze(sender, receiver)
+        interfered, *_ = self._analyze(sender, receiver, prepared=prepared)
         return interfered
 
     # -- internals ----------------------------------------------------------------
 
-    def _analyze(self, sender: TestProgram, receiver: TestProgram
+    def _analyze(self, sender: TestProgram, receiver: TestProgram,
+                 prepared: Optional[PreparedSenderState] = None
                  ) -> Tuple[Set[int], List[NodeDiff], int, object, object, object]:
         alone_result = self._runner.receiver_alone(receiver)
-        sender_result, with_result = self._runner.run_with_sender(sender, receiver)
+        if prepared is not None:
+            sender_result, with_result = self._runner.run_prepared(
+                prepared, receiver)
+        else:
+            sender_result, with_result = self._runner.run_with_sender(
+                sender, receiver)
 
         tree_alone = build_trace_ast(alone_result.records)
         tree_with = build_trace_ast(with_result.records)

@@ -25,13 +25,17 @@ from ..faults.plan import (
     FaultRetriesExhausted,
     call_with_fault_retries,
 )
-from ..vm.cluster import run_distributed
+from ..vm.cluster import affinity_order, run_distributed
 from ..vm.machine import Machine, MachineConfig, MachineStats
 from .aggregation import ReportGroups, aggregate
 from .clustering import strategy_by_name
 from .detection import DetectionResult, Detector, Outcome
 from .diagnosis import Diagnoser
-from .execution import BaselineCache
+from .execution import (
+    DEFAULT_SENDER_CACHE_BYTES,
+    BaselineCache,
+    SenderStateCache,
+)
 from .generation import GenerationResult, TestCase, TestCaseGenerator
 from .nondet import DEFAULT_OFFSET_SECONDS, NondetAnalyzer, NondetStore
 from .oracle import FALSE_POSITIVE, UNDER_INVESTIGATION, classify_all
@@ -76,6 +80,12 @@ class CampaignConfig:
     #: Prune candidate pairs the static analyzer proves disjoint
     #: (see repro.analysis.prefilter) before clustering.
     static_prefilter: bool = False
+    #: Memoize post-sender machine state (segmented delta per sender)
+    #: so test cases sharing a sender restore it instead of re-running
+    #: it; off falls back to re-executing every sender.
+    sender_cache: bool = True
+    #: Byte budget for memoized post-sender deltas (LRU beyond it).
+    sender_cache_bytes: int = DEFAULT_SENDER_CACHE_BYTES
     #: Chaos fault plan (None = no injection).  When set, the plan is
     #: threaded through every layer — machines, caches, cluster — and
     #: the campaign degrades gracefully instead of aborting: a test case
@@ -123,6 +133,19 @@ class CampaignStats:
     baseline_misses: int = 0
     nondet_cache_hits: int = 0
     nondet_cache_misses: int = 0
+    #: Sender-state memoization effectiveness: cache hits serve a test
+    #: case by restoring base + post-sender delta instead of re-running
+    #: the sender; prefix reuses are diagnosis re-runs served from a
+    #: memoized sender prefix state (Algorithm 2).
+    sender_cache_hits: int = 0
+    sender_cache_misses: int = 0
+    sender_cache_evictions: int = 0
+    sender_cache_bytes: int = 0
+    sender_cache_entries: int = 0
+    #: Bytes held per publishing worker ("main" = the in-process
+    #: machine, "worker-N" = cluster worker N) — the --cache-report view.
+    sender_cache_bytes_by_owner: Dict[str, int] = field(default_factory=dict)
+    diagnosis_prefix_reuses: int = 0
     #: Static pre-filter telemetry (zero unless static_prefilter is on).
     prefilter_pairs_total: int = 0
     prefilter_pairs_pruned: int = 0
@@ -155,6 +178,10 @@ class CampaignStats:
     def nondet_cache_hit_rate(self) -> float:
         total = self.nondet_cache_hits + self.nondet_cache_misses
         return self.nondet_cache_hits / total if total else 0.0
+
+    def sender_cache_hit_rate(self) -> float:
+        total = self.sender_cache_hits + self.sender_cache_misses
+        return self.sender_cache_hits / total if total else 0.0
 
     def segments_skipped_rate(self) -> float:
         """Fraction of snapshot segments a reset did *not* have to restore."""
@@ -266,6 +293,9 @@ class Kit:
         # computed on any machine is valid on all of them.
         baselines = BaselineCache(faults=plan)
         nondet_store = NondetStore(config.nondet_dir, faults=plan)
+        sender_states = SenderStateCache(
+            max_bytes=config.sender_cache_bytes,
+            faults=plan) if config.sender_cache else None
 
         generation = self._generate(machine, corpus, stats, say)
         cases = generation.test_cases
@@ -274,7 +304,8 @@ class Kit:
         stats.cases_total = len(cases)
 
         say(f"executing {len(cases)} test cases ({generation.strategy})")
-        results = self._execute(machine, cases, stats, baselines, nondet_store)
+        results = self._execute(machine, cases, stats, baselines,
+                                nondet_store, sender_states)
 
         reports = [r.report for r in results if r.report is not None]
         stats.initial_reports = sum(
@@ -296,10 +327,13 @@ class Kit:
             # could not reach.
             baselines.purge_stale()
             nondet_store.purge_stale()
+            if sender_states is not None:
+                sender_states.purge_stale()
 
         if config.diagnose and reports:
             say(f"diagnosing {len(reports)} reports (Algorithm 2)")
-            self._diagnose(machine, reports, stats, baselines, nondet_store)
+            self._diagnose(machine, reports, stats, baselines, nondet_store,
+                           sender_states)
 
         stats.baseline_hits = baselines.hits
         stats.baseline_misses = baselines.misses
@@ -312,13 +346,30 @@ class Kit:
             # live entry is owned by a retired worker or a stale tag.
             baselines.purge_stale()
             nondet_store.purge_stale()
-            verify_owner_invariant(self._retired_owners,
-                                   baselines=baselines,
-                                   nondet=nondet_store)
+            caches = dict(baselines=baselines, nondet=nondet_store)
+            if sender_states is not None:
+                sender_states.purge_stale()
+                caches["sender_states"] = sender_states
+            verify_owner_invariant(self._retired_owners, **caches)
             (stats.faults_injected, stats.faults_recovered,
              stats.faults_infra) = plan.stats.snapshot()
             stats.infra_failed_cases = stats.outcomes.get(
                 Outcome.INFRA_FAILED.value, 0)
+
+        if sender_states is not None:
+            # Captured after the repair sweep so the byte/entry figures
+            # describe the cache's settled end-of-campaign state.
+            stats.sender_cache_hits = sender_states.hits
+            stats.sender_cache_misses = sender_states.misses
+            stats.sender_cache_evictions = sender_states.evictions
+            stats.sender_cache_bytes = sender_states.bytes_held
+            stats.sender_cache_entries = len(sender_states)
+            stats.sender_cache_bytes_by_owner = {
+                ("main" if owner is None else f"worker-{owner}"): held
+                for owner, held in sorted(
+                    sender_states.bytes_by_owner().items(),
+                    key=lambda item: (item[0] is not None, item[0]))
+            }
 
         groups = aggregate(reports)
         say(f"done: {len(reports)} reports, "
@@ -394,15 +445,18 @@ class Kit:
 
     def _execute(self, machine: Machine, cases: List[TestCase],
                  stats: CampaignStats, baselines: BaselineCache,
-                 nondet_store: NondetStore) -> List[DetectionResult]:
+                 nondet_store: NondetStore,
+                 sender_states: Optional[SenderStateCache]
+                 ) -> List[DetectionResult]:
         config = self.config
         start = time.monotonic()
         before = machine.stats.copy()
         if config.workers > 0:
             results = self._execute_distributed(cases, stats, baselines,
-                                                nondet_store)
+                                                nondet_store, sender_states)
         else:
-            detector = self._make_detector(machine, nondet_store, baselines)
+            detector = self._make_detector(machine, nondet_store, baselines,
+                                           sender_states)
             results = [self._check_with_recovery(detector, case, index)
                        for index, case in enumerate(cases)]
             stats.cases_executed = detector.runner.cases_executed
@@ -430,7 +484,8 @@ class Kit:
 
     def _execute_distributed(self, cases: List[TestCase],
                              stats: CampaignStats, baselines: BaselineCache,
-                             nondet_store: NondetStore
+                             nondet_store: NondetStore,
+                             sender_states: Optional[SenderStateCache]
                              ) -> List[DetectionResult]:
         config = self.config
         # One detector per *worker* (not per machine object: machine ids
@@ -443,7 +498,7 @@ class Kit:
                 detector = detectors.get(machine.cluster_worker_id)
                 if detector is None:
                     detector = self._make_detector(machine, nondet_store,
-                                                   baselines)
+                                                   baselines, sender_states)
                     detectors[machine.cluster_worker_id] = detector
             try:
                 return call_with_fault_retries(config.faults,
@@ -452,14 +507,17 @@ class Kit:
             except FaultRetriesExhausted:
                 return DetectionResult(case, Outcome.INFRA_FAILED)
 
-        # Receiver-affinity schedule: sorting by receiver hash makes
-        # cases sharing a receiver program adjacent in the queue, so
-        # their baseline and non-determinism lookups hit the shared
-        # caches instead of recomputing per worker.  Results are mapped
+        # Two-level affinity schedule: the sender-major level batches
+        # every case sharing a sender consecutively (the first case of
+        # a batch populates the sender-state cache, the rest restore
+        # the memoized delta); the receiver-minor level clusters shared
+        # receivers for the baseline and non-determinism caches.  Ties
+        # break by original index inside affinity_order, so equal-hash
+        # cases can never be reordered between runs; results are mapped
         # back through the inverse permutation, so callers still see
         # them in the original case order.
-        order = sorted(range(len(cases)),
-                       key=lambda i: cases[i].receiver.hash_hex)
+        order = affinity_order([(case.sender.hash_hex,
+                                 case.receiver.hash_hex) for case in cases])
         scheduled = [cases[i] for i in order]
         worker_machines: List[Machine] = []
 
@@ -470,6 +528,8 @@ class Kit:
             self._retired_owners.add(worker_id)
             baselines.invalidate_owner(worker_id)
             nondet_store.invalidate_owner(worker_id)
+            if sender_states is not None:
+                sender_states.invalidate_owner(worker_id)
 
         plan = config.faults
         job_results = run_distributed(config.machine, scheduled, case_runner,
@@ -503,11 +563,16 @@ class Kit:
 
     def _diagnose(self, machine: Machine, reports: List[TestReport],
                   stats: CampaignStats, baselines: BaselineCache,
-                  nondet_store: NondetStore) -> None:
+                  nondet_store: NondetStore,
+                  sender_states: Optional[SenderStateCache]) -> None:
         start = time.monotonic()
         before = machine.stats.copy()
-        detector = self._make_detector(machine, nondet_store, baselines)
-        diagnoser = Diagnoser(detector)
+        detector = self._make_detector(machine, nondet_store, baselines,
+                                       sender_states)
+        # The prefix memo rides on the same segmented-delta machinery as
+        # the sender cache, so the sender_cache switch governs both.
+        diagnoser = Diagnoser(detector,
+                              prefix_memo=self.config.sender_cache)
         for index, report in enumerate(reports):
             try:
                 call_with_fault_retries(self.config.faults,
@@ -518,15 +583,19 @@ class Kit:
                 # report, it never decides whether one exists.
                 continue
         stats.diagnosis_reruns = diagnoser.reruns
+        stats.diagnosis_prefix_reuses = diagnoser.prefix_reuses
         stats.absorb_machine(machine.stats.since(before), stage="diagnosis")
         stats.diagnosis_seconds = time.monotonic() - start
 
     def _make_detector(self, machine: Machine,
                        store: Optional[NondetStore] = None,
-                       baselines: Optional[BaselineCache] = None) -> Detector:
+                       baselines: Optional[BaselineCache] = None,
+                       sender_states: Optional[SenderStateCache] = None
+                       ) -> Detector:
         config = self.config
         if store is None:
             store = NondetStore(config.nondet_dir)
         analyzer = NondetAnalyzer(machine, store=store,
                                   offsets=config.nondet_offsets)
-        return Detector(machine, config.spec, analyzer, baselines=baselines)
+        return Detector(machine, config.spec, analyzer, baselines=baselines,
+                        sender_states=sender_states)

@@ -43,6 +43,13 @@ SITE_CACHE_EVICT = "cache.evict"
 #: A shared-cache insert is tagged with a stale owner id, so owner-based
 #: invalidation can no longer find it (BaselineCache/NondetStore).
 SITE_CACHE_STALE_OWNER = "cache.stale_owner"
+#: A memoized post-sender state delta is spuriously evicted
+#: (SenderStateCache); the caller re-executes the sender from the base
+#: snapshot, so the fault is absorbed by construction.
+SITE_SENDER_CACHE_EVICT = "sender_cache.evict"
+#: A sender-state insert is tagged with a stale owner id, so owner-based
+#: invalidation can no longer find it (SenderStateCache).
+SITE_SENDER_CACHE_STALE_OWNER = "sender_cache.stale_owner"
 
 ALL_SITES: Tuple[str, ...] = (
     SITE_RESTORE_FAIL,
@@ -53,6 +60,8 @@ ALL_SITES: Tuple[str, ...] = (
     SITE_EXEC_TIMEOUT,
     SITE_CACHE_EVICT,
     SITE_CACHE_STALE_OWNER,
+    SITE_SENDER_CACHE_EVICT,
+    SITE_SENDER_CACHE_STALE_OWNER,
 )
 
 #: Owner tag written by a :data:`SITE_CACHE_STALE_OWNER` injection —

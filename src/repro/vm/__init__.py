@@ -1,7 +1,14 @@
 """VM layer: machines, snapshots, executors, and the distributed cluster."""
 
-from .cluster import ClusterServer, ClusterWorker, Job, JobResult, run_distributed
-from .executor import ExecutionResult, Executor, SyscallRecord
+from .cluster import (
+    ClusterServer,
+    ClusterWorker,
+    Job,
+    JobResult,
+    affinity_order,
+    run_distributed,
+)
+from .executor import ExecutionResult, Executor, SteppedExecution, SyscallRecord
 from .machine import (
     RECEIVER,
     SENDER,
@@ -10,7 +17,12 @@ from .machine import (
     MachineConfig,
     MachineStats,
 )
-from .segments import RestoreConsistencyError, SegmentedImage, state_fingerprint
+from .segments import (
+    RestoreConsistencyError,
+    SegmentedImage,
+    StateDelta,
+    state_fingerprint,
+)
 from .snapshot import Snapshot
 
 __all__ = [
@@ -29,7 +41,10 @@ __all__ = [
     "SENDER",
     "SegmentedImage",
     "Snapshot",
+    "StateDelta",
+    "SteppedExecution",
     "SyscallRecord",
+    "affinity_order",
     "run_distributed",
     "state_fingerprint",
 ]

@@ -48,6 +48,26 @@ from ..faults.plan import (
 from .machine import Machine, MachineConfig
 
 
+def affinity_order(keys: List[Any]) -> List[int]:
+    """Schedule permutation grouping equal affinity keys adjacently.
+
+    Returns the job order (a permutation of ``range(len(keys))``) that
+    sorts by *keys* with ties broken **by original index** — the
+    tie-break is explicit in the sort key, not an artifact of sort
+    stability, so equal-key payloads can never be reordered between
+    runs and the inverse permutation (``results[order[i]] = ...``)
+    always reproduces the caller's original order deterministically.
+
+    The pipeline uses two-level keys ``(sender hash, receiver hash)``:
+    the major level lands every test case sharing a sender in one
+    consecutive batch (so a worker's first case populates the sender
+    state cache and the rest of the batch hits it), and the minor level
+    clusters shared receivers within the batch for the baseline and
+    non-determinism caches.
+    """
+    return sorted(range(len(keys)), key=lambda i: (keys[i], i))
+
+
 @dataclass
 class Job:
     """One unit of distributed work."""

@@ -228,6 +228,10 @@ class SteppedExecution:
         self._next += 1
         return True
 
+    def records_so_far(self) -> List[Optional[SyscallRecord]]:
+        """Snapshot of the record slots executed so far (prefix memo)."""
+        return list(self._records)
+
     def result(self) -> ExecutionResult:
         return ExecutionResult(list(self._records),
                                list(self._accesses)

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, replace
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 from ..corpus.program import TestProgram
 from ..faults.plan import (
@@ -31,8 +31,13 @@ from ..kernel.kernel import Kernel, KernelConfig
 from ..kernel.ktrace import KernelTracer
 from ..kernel.namespaces import ALL_NAMESPACE_FLAGS, CLONE_NEWNS, NamespaceType
 from ..kernel.task import Task
-from .executor import ExecutionResult, Executor
-from .segments import RestoreConsistencyError
+from .executor import (
+    ExecutionResult,
+    Executor,
+    SteppedExecution,
+    SyscallRecord,
+)
+from .segments import RestoreConsistencyError, StateDelta
 from .snapshot import Snapshot
 
 SENDER = "sender"
@@ -163,13 +168,17 @@ class Machine:
 
     # -- state control -----------------------------------------------------
 
-    def reset(self, boot_offset_ns: Optional[int] = None) -> None:
+    def reset(self, boot_offset_ns: Optional[int] = None,
+              skip_groups: Optional[frozenset] = None) -> None:
         """Reload the snapshot (optionally with a rebased clock).
 
         With a segmented snapshot (the default) this restores only the
         segments dirtied since the last reset, in place — task identity
         is preserved across resets.  With ``full_restore`` (or when no
         image exists) the whole kernel is deserialized afresh.
+        *skip_groups* is the delta fast path's contract (see
+        :meth:`restore_state_delta`): those dirty groups stay untouched
+        because the caller overwrites them immediately.
         """
         image = self.snapshot.image
         start = time.perf_counter()
@@ -181,8 +190,11 @@ class Machine:
             # Drop any leftover instrumentation first: a full restore
             # yields a tracerless kernel, and segmented resets must too.
             self.kernel.attach_tracer(None)
-            restored, skipped = self._restore_segmented(image)
-            if self.config.verify_restore:
+            restored, skipped = self._restore_segmented(image, skip_groups)
+            if self.config.verify_restore and skip_groups is None:
+                # Skipped groups legitimately diverge from the snapshot
+                # (the caller overwrites them next), so the blanket
+                # base-state check only applies to plain resets.
                 image.verify()
             if boot_offset_ns is not None:
                 self.kernel.clock.rebase(boot_offset_ns)
@@ -211,7 +223,9 @@ class Machine:
                 self.stats.recovery_restores += 1
             return kernel
 
-    def _restore_segmented(self, image) -> Tuple[int, int]:
+    def _restore_segmented(self, image,
+                           skip_groups: Optional[frozenset] = None
+                           ) -> Tuple[int, int]:
         """Incremental restore with the two fault-recovery paths.
 
         A failed restore attempt falls back to restoring every group —
@@ -224,7 +238,8 @@ class Machine:
         """
         faults = self.faults
         try:
-            restored, skipped = image.restore_in_place(faults=faults)
+            restored, skipped = image.restore_in_place(faults=faults,
+                                                       skip=skip_groups)
         except RestoreFaultInjected as error:
             restored = image.restore_all_in_place()
             skipped = 0
@@ -251,6 +266,56 @@ class Machine:
     def attach_tracer(self, tracer: Optional[KernelTracer]) -> None:
         self.kernel.attach_tracer(tracer)
 
+    # -- derived-state deltas -----------------------------------------------
+
+    @property
+    def snapshot_id(self) -> str:
+        """Content id of the base snapshot (the delta-compatibility key)."""
+        return self.snapshot.content_id
+
+    @property
+    def supports_state_deltas(self) -> bool:
+        """Delta capture needs the segmented image's dirty tracking."""
+        return self.snapshot.image is not None
+
+    def capture_state_delta(self) -> StateDelta:
+        """Capture the current divergence from the base snapshot.
+
+        Call after executing a program from a fresh reset; the delta
+        holds exactly the segments that execution dirtied and can be
+        re-applied — here or on another machine with the same
+        :attr:`snapshot_id` — via :meth:`restore_state_delta`.
+        """
+        image = self.snapshot.image
+        if image is None:
+            raise RuntimeError(
+                "state deltas require a segmented snapshot "
+                "(full_restore machines re-execute instead)")
+        return image.capture_delta()
+
+    def restore_state_delta(self, delta: StateDelta) -> None:
+        """Reset to the base snapshot, then overlay *delta*.
+
+        State-equivalent to resetting and re-executing the program the
+        delta was captured from (the sender-cache equivalence property);
+        the reset itself takes the normal fault-recovery paths.  Dirty
+        groups the delta covers are not base-restored first — the delta
+        replaces every root state in them, so that restore would be
+        dead work on the cache's hottest path.  Under ``verify_restore``
+        the exact reset-then-apply sequence runs instead, keeping the
+        blanket base-state check meaningful.
+        """
+        image = self.snapshot.image
+        if image is None:
+            raise RuntimeError(
+                "state deltas require a segmented snapshot "
+                "(full_restore machines re-execute instead)")
+        if self.config.verify_restore:
+            self.reset()
+        else:
+            self.reset(skip_groups=frozenset(delta.groups))
+        image.apply_delta(delta)
+
     # -- execution ----------------------------------------------------------
 
     def task_for(self, container: str) -> Task:
@@ -266,3 +331,33 @@ class Machine:
         executor = Executor(self.kernel, self.task_for(container),
                             faults=self.faults)
         return executor.run(program, profile=profile)
+
+    def begin_stepped(self, container: str,
+                      program: TestProgram) -> SteppedExecution:
+        """Start a one-call-at-a-time execution of *program*.
+
+        The diagnosis prefix memo advances the sender this way, capturing
+        a state delta before each live call (§4.4's Algorithm 2 reuses
+        those intermediate states instead of replaying prefixes).
+        """
+        executor = Executor(self.kernel, self.task_for(container),
+                            faults=self.faults)
+        return SteppedExecution(executor, program)
+
+    def replay_slots(self, container: str, program: TestProgram,
+                     start: int, stop: int,
+                     prior: List[Optional["SyscallRecord"]]) -> None:
+        """Re-execute slots ``[start, stop)`` against the current state.
+
+        The diagnosis prefix memo checkpoints machine state every few
+        live calls; a variant between checkpoints restores the nearest
+        one and replays the remaining slots, which is deterministic
+        from the same state.  *prior* supplies the records of slots
+        below *start* — result-argument references resolve by absolute
+        record index, so the replayed calls need them for dataflow.
+        """
+        executor = Executor(self.kernel, self.task_for(container),
+                            faults=self.faults)
+        records: List[Optional["SyscallRecord"]] = list(prior[:start])
+        for slot in range(start, stop):
+            executor.execute_slot(program, slot, records, None, False)

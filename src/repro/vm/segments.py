@@ -50,6 +50,7 @@ from __future__ import annotations
 import enum
 import io
 import pickle
+import threading
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..faults.plan import (
@@ -137,6 +138,20 @@ def _addresses_of(obj: Any) -> Tuple[int, ...]:
     if isinstance(obj, (KCell, KList, KDict)):
         return (obj._addr,)
     return ()
+
+
+#: class -> whether instances own traced kernel memory.  The delta
+#: pickler consults this for *every* object it serializes; a dict probe
+#: beats two isinstance checks on the (overwhelmingly common) scalars.
+_OWNS_ADDRESSES: Dict[type, bool] = {}
+
+
+def _owns_addresses(cls: type) -> bool:
+    owns = _OWNS_ADDRESSES.get(cls)
+    if owns is None:
+        owns = issubclass(cls, (KStruct, KCell, KList, KDict))
+        _OWNS_ADDRESSES[cls] = owns
+    return owns
 
 
 class _CanonicalWalker:
@@ -233,13 +248,13 @@ def state_fingerprint(kernel: Kernel) -> bytes:
 
 
 class _GroupPickler(pickle.Pickler):
-    """Payload writer: stubs roots with persistent ids."""
+    """Base-payload writer: stubs snapshot roots with persistent ids."""
 
     def __init__(self, stream: io.BytesIO, root_pids: Dict[int, RootKey]):
         super().__init__(stream, protocol=_PROTO)
         self._root_pids = root_pids
 
-    def persistent_id(self, obj: Any) -> Optional[Tuple[str, RootKey]]:
+    def persistent_id(self, obj: Any) -> Optional[Tuple]:
         key = self._root_pids.get(id(obj))
         if key is not None:
             return ("r", key)
@@ -253,11 +268,90 @@ class _ResolvingUnpickler(pickle.Unpickler):
         super().__init__(stream)
         self._live = live
 
-    def persistent_load(self, pid: Tuple[str, RootKey]) -> Any:
+    def persistent_load(self, pid: Tuple) -> Any:
         tag, key = pid
-        if tag != "r":  # pragma: no cover - payload corruption guard
-            raise pickle.UnpicklingError(f"unknown persistent id {pid!r}")
-        return self._live[tuple(key)]
+        if tag == "r":
+            return self._live[tuple(key)]
+        # pragma: no cover - payload corruption guard
+        raise pickle.UnpicklingError(f"unknown persistent id {pid!r}")
+
+
+#: Thread-local binding of the image a delta is being applied to, so the
+#: module-level resolvers below (pickled *by reference* into delta
+#: payloads) can find the applier's live objects.
+_DELTA_CONTEXT = threading.local()
+
+
+def _resolve_root(key: RootKey) -> Any:
+    """Delta-payload stub: a snapshot root, resolved by root key."""
+    return _DELTA_CONTEXT.image.roots[key]
+
+
+def _resolve_interior(addrs: Tuple[int, ...]) -> Any:
+    """Delta-payload stub: a clean-group traced interior object,
+    resolved by its kernel-memory address tuple."""
+    image = _DELTA_CONTEXT.image
+    return image._interior_addr_map(image._addr_to_group[addrs[0]])[addrs]
+
+
+class _DeltaDispatch:
+    """``Pickler.dispatch_table`` for :meth:`SegmentedImage.capture_delta`.
+
+    Deltas are captured on the execution hot path, so they avoid the
+    ``persistent_id`` callback that base payloads use: the C pickler
+    invokes ``persistent_id`` once per pickled object, and ~90% of a
+    root state's objects are ints and strings that could never be stubs.
+    A dispatch table is consulted only for custom-class instances —
+    builtins keep the interpreter's fast path — and every snapshot root
+    is a custom-class instance, so no stub can be missed.  The per-class
+    reducer stubs roots (by key) and clean-group traced interior objects
+    (by address) as calls to the module-level resolvers above; anything
+    else falls through to the object's ordinary reduction.
+    """
+
+    def __init__(self, image: "SegmentedImage", dirty: set):
+        self._root_pids = image._root_pids
+        self._addr_to_group = image._addr_to_group
+        self._dirty = dirty
+        self._reducers: Dict[type, Callable[[Any], Tuple]] = {}
+
+    def __getitem__(self, cls: type) -> Callable[[Any], Tuple]:
+        reducer = self._reducers.get(cls)
+        if reducer is None:
+            if issubclass(cls, type):
+                # *cls* is a metaclass, the objects are classes: let the
+                # pickler fall back to its own by-reference save.
+                raise KeyError(cls)
+            reducer = self._make_reducer(cls)
+            self._reducers[cls] = reducer
+        return reducer
+
+    def _make_reducer(self, cls: type) -> Callable[[Any], Tuple]:
+        root_pids = self._root_pids
+        if not _owns_addresses(cls):
+            def reducer(obj: Any) -> Tuple:
+                key = root_pids.get(id(obj))
+                if key is not None:
+                    return (_resolve_root, (key,))
+                return obj.__reduce_ex__(_PROTO)
+            return reducer
+
+        addr_to_group = self._addr_to_group
+        dirty = self._dirty
+
+        def reducer(obj: Any) -> Tuple:
+            key = root_pids.get(id(obj))
+            if key is not None:
+                return (_resolve_root, (key,))
+            addrs = _addresses_of(obj)
+            if addrs:
+                group = addr_to_group.get(addrs[0])
+                if group is not None and group not in dirty:
+                    return (_resolve_interior, (addrs,))
+            # Post-snapshot object (by value) or part of the delta
+            # payload itself (aliased through the shared memo).
+            return obj.__reduce_ex__(_PROTO)
+        return reducer
 
 
 class _UnionFind:
@@ -279,17 +373,61 @@ class _UnionFind:
             self._parent[rb] = ra
 
 
+class StateDelta:
+    """A portable diff between the snapshot and a derived kernel state.
+
+    Captures, for every group dirtied since the last restore, the
+    group's *current* (post-execution) root states — pickled with
+    cross-group references (roots and clean-group traced interior
+    objects alike) stubbed as resolver calls, so they re-bind to the
+    live objects of whichever image the delta is later
+    applied to.  A delta captured on
+    one machine is therefore valid on any machine restoring an
+    *identical* snapshot (same config, hence same root enumeration and
+    group layout); the sender-state cache enforces that by keying deltas
+    on the snapshot's content id.
+
+    Deltas are immutable once captured and carry no references into the
+    kernel they were captured from.
+    """
+
+    __slots__ = ("groups", "payload", "group_count")
+
+    def __init__(self, groups: Tuple[int, ...], payload: bytes,
+                 group_count: int):
+        #: Indices of the groups this delta overwrites.
+        self.groups = groups
+        #: Pickled ``[(root key, state), ...]`` for every root in those
+        #: groups, sharing one memo so intra-delta aliasing survives.
+        self.payload = payload
+        #: Group count of the image the delta was captured from — a
+        #: cheap layout-compatibility check at apply time.
+        self.group_count = group_count
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.payload)
+
+
 class SegmentedImage:
     """A segmented snapshot of one live kernel, bound to that kernel.
 
     Build with :meth:`build`; install the write barrier with
     :meth:`attach`; restore dirty segments with :meth:`restore_in_place`.
+    Derived states (e.g. post-sender kernel state) can be captured as
+    portable :class:`StateDelta` objects with :meth:`capture_delta` and
+    re-materialized — on this image or an identically-built one — with
+    :meth:`apply_delta`.
     """
 
     def __init__(self) -> None:
         self.kernel: Kernel = None  # type: ignore[assignment]
         #: RootKey -> live root object (identity-stable across restores).
         self.roots: Dict[RootKey, Any] = {}
+        #: id(root) -> RootKey — the persistent-id table.  Roots keep
+        #: their identity for the image's lifetime, so this is built
+        #: once instead of per capture/walk.
+        self._root_pids: Dict[int, RootKey] = {}
         #: id(root) -> group index, for explicit object dirty marks.
         self._group_of_root_id: Dict[int, int] = {}
         #: group index -> pickled [(key, state), ...] payload.
@@ -305,6 +443,14 @@ class SegmentedImage:
         #: groups dirtied since the last restore (fed by the write hook
         #: and by the kernel's explicit object marks).
         self._dirty_groups: set = set()
+        #: per-group re-materialization counter: bumped whenever a
+        #: group's payload (or a delta) replaces its interior objects,
+        #: invalidating any cached address map for that group.
+        self._generation: List[int] = []
+        #: group -> (generation, address tuple -> live interior object),
+        #: the delta persistent-id resolution table (lazily rebuilt).
+        self._interior_cache: Dict[int, Tuple[int, Dict[Tuple[int, ...],
+                                                        Any]]] = {}
         self.attached = False
         #: set when a ``segment.corrupt`` injection dropped a group from
         #: the last incremental restore; cleared by recovery.
@@ -319,6 +465,7 @@ class SegmentedImage:
         image._enumerate_roots(kernel)
         root_keys = list(image.roots)
         root_pids = {id(obj): key for key, obj in image.roots.items()}
+        image._root_pids = root_pids
 
         # Probe pass: one canonical walk per root yields the consistency
         # reference, interior-object ownership, and traced-address
@@ -377,6 +524,7 @@ class SegmentedImage:
             image._group_of_root_id[id(image.roots[key])]
             for key in _ALWAYS_DIRTY_KEYS if key in image.roots
         )
+        image._generation = [0] * len(image.payloads)
         del keepalive
         return image
 
@@ -426,11 +574,17 @@ class SegmentedImage:
         dirty |= self.always_dirty
         return dirty
 
-    def restore_in_place(self, faults: Optional[FaultPlan] = None
+    def restore_in_place(self, faults: Optional[FaultPlan] = None,
+                         skip: Optional[frozenset] = None
                          ) -> Tuple[int, int]:
         """Restore every dirty group into the live kernel.
 
-        Returns ``(restored, skipped)`` group counts.
+        Returns ``(restored, skipped)`` group counts.  *skip* names
+        dirty groups to leave untouched — the delta fast path passes the
+        groups a :class:`StateDelta` is about to overwrite wholesale, so
+        their base-state restore would be pure waste.  A skipped group
+        is left unmarked; the caller must immediately re-cover it
+        (apply_delta marks every delta group dirty again).
 
         Two injection sites live here.  ``restore.fail`` raises before
         any group is touched (a failed payload load); the caller retries
@@ -447,6 +601,8 @@ class SegmentedImage:
             raise RestoreFaultInjected(
                 SITE_RESTORE_FAIL, "injected segmented restore failure")
         dirty = self.collect_dirty()
+        if skip:
+            dirty -= skip
         if faults is not None and dirty \
                 and faults.should_inject(SITE_SEGMENT_CORRUPT):
             dirty.discard(max(dirty))
@@ -457,6 +613,7 @@ class SegmentedImage:
             entries = _ResolvingUnpickler(stream, live).load()
             for key, state in entries:
                 _apply_state(key, live[key], state)
+            self._generation[group] += 1
         self._dirty_groups.clear()
         self.kernel._dirty_roots.clear()
         return len(dirty), len(self.payloads) - len(dirty)
@@ -476,10 +633,102 @@ class SegmentedImage:
             entries = _ResolvingUnpickler(stream, live).load()
             for key, state in entries:
                 _apply_state(key, live[key], state)
+        self._generation = [count + 1 for count in self._generation]
         self._dirty_groups.clear()
         self.kernel._dirty_roots.clear()
         self.corruption_pending = False
         return len(self.payloads)
+
+    # -- derived-state deltas ------------------------------------------------
+
+    def _interior_addr_map(self, group: int) -> Dict[Tuple[int, ...], Any]:
+        """Address tuple -> live interior object, for one *clean* group.
+
+        Resolution table for the delta persistent-id scheme: a canonical
+        walk of the group's roots (with every root stubbed, so the walk
+        never crosses into another group) enumerates its mutable interior
+        objects; those owning traced kernel memory are keyed by their
+        full address tuple.  Cached per group and invalidated by the
+        re-materialization counter, so the (rare) groups a run actually
+        restores are re-walked while everything else stays amortized.
+        """
+        generation = self._generation[group]
+        cached = self._interior_cache.get(group)
+        if cached is not None and cached[0] == generation:
+            return cached[1]
+        walker = _CanonicalWalker(self._root_pids)
+        for key in self.group_members[group]:
+            walker.walk_state(_capture_state(key, self.roots[key]))
+        addr_map: Dict[Tuple[int, ...], Any] = {}
+        for obj in walker.seen:
+            addrs = _addresses_of(obj)
+            if addrs:
+                addr_map[addrs] = obj
+        self._interior_cache[group] = (generation, addr_map)
+        return addr_map
+
+    def capture_delta(self) -> StateDelta:
+        """Capture the current divergence from the snapshot as a delta.
+
+        Pickles the live state of every root in every *dirty* group
+        (write barrier + explicit marks + always-dirty) into a single
+        payload with a shared memo.  Cross-group references are
+        stubbed (see :class:`_DeltaDispatch`): roots by key, and traced
+        interior objects
+        of *clean* groups by kernel-memory address — so an execution
+        that linked a new object into clean state (an open file pinning
+        a mount, say) re-links to the applier's *live* object instead of
+        a detached copy, exactly as re-execution would.  Objects created
+        since the snapshot (new namespaces, tasks, sockets) own no
+        snapshot-traced memory and are serialized by value — a later
+        :meth:`apply_delta` re-materializes fresh copies, which is
+        exactly the lifetime they have under a segmented restore.
+
+        The dirty set is left untouched: the capturing machine usually
+        keeps executing from this state, and the next reset must still
+        restore everything the producer dirtied.
+        """
+        if not self.attached:
+            raise RuntimeError("image not attached to its kernel")
+        groups = tuple(sorted(self.collect_dirty()))
+        entries = []
+        for group in groups:
+            for key in self.group_members[group]:
+                entries.append((key, _capture_state(key, self.roots[key])))
+        stream = io.BytesIO()
+        pickler = pickle.Pickler(stream, protocol=_PROTO)
+        pickler.dispatch_table = _DeltaDispatch(self, set(groups))
+        pickler.dump(entries)
+        return StateDelta(groups, stream.getvalue(), len(self.payloads))
+
+    def apply_delta(self, delta: StateDelta) -> int:
+        """Overlay *delta* onto the live kernel; returns roots touched.
+
+        The kernel must already hold base-snapshot state (i.e. call this
+        right after a reset), so interior address references resolve
+        against the same (snapshot) state they were captured against.
+        Every group the delta covers is marked dirty so the *next* reset
+        restores it back to the snapshot — from the dirty tracker's
+        point of view an applied delta is indistinguishable from the
+        producer's own execution.
+        """
+        if not self.attached:
+            raise RuntimeError("image not attached to its kernel")
+        if delta.group_count != len(self.payloads):
+            raise ValueError(
+                "state delta captured from an incompatible image "
+                f"({delta.group_count} groups vs {len(self.payloads)})")
+        _DELTA_CONTEXT.image = self
+        try:
+            entries = pickle.loads(delta.payload)
+        finally:
+            _DELTA_CONTEXT.image = None
+        for key, state in entries:
+            _apply_state(key, self.roots[key], state)
+        for group in delta.groups:
+            self._generation[group] += 1
+        self._dirty_groups.update(delta.groups)
+        return len(entries)
 
     # -- consistency ---------------------------------------------------------
 
@@ -489,7 +738,7 @@ class SegmentedImage:
         Raises :class:`RestoreConsistencyError` naming the divergent
         roots if any mutation escaped dirty tracking.
         """
-        root_pids = {id(obj): key for key, obj in self.roots.items()}
+        root_pids = self._root_pids
         offenders: List[RootKey] = []
         for key, reference in self._reference.items():
             state = _capture_state(key, self.roots[key])

@@ -20,6 +20,7 @@ consistency check.
 
 from __future__ import annotations
 
+import hashlib
 import pickle
 from typing import Optional
 
@@ -31,7 +32,7 @@ from .segments import SegmentedImage
 class Snapshot:
     """An immutable, restorable kernel state."""
 
-    __slots__ = ("blob", "description", "image")
+    __slots__ = ("blob", "description", "image", "_content_id")
 
     def __init__(self, blob: bytes, description: str = "",
                  image: Optional[SegmentedImage] = None):
@@ -40,6 +41,22 @@ class Snapshot:
         #: Segmented view bound to the snapshotted kernel, when taken
         #: with ``segmented=True``; None otherwise.
         self.image = image
+        self._content_id: Optional[str] = None
+
+    @property
+    def content_id(self) -> str:
+        """Digest of the snapshot blob — the cache key for derived state.
+
+        Machines booted from the same :class:`MachineConfig` in the same
+        process produce identical pickles (same construction order, same
+        hash seed), hence the same content id and the same segmented
+        group layout — which is exactly the compatibility a
+        :class:`~repro.vm.segments.StateDelta` needs to move between
+        cluster workers.
+        """
+        if self._content_id is None:
+            self._content_id = hashlib.sha256(self.blob).hexdigest()
+        return self._content_id
 
     @classmethod
     def take(cls, kernel: Kernel, description: str = "",

@@ -65,9 +65,47 @@ class TestRestoreTelemetry:
         assert stats.baseline_hits + stats.baseline_misses > 0
 
 
+class TestSenderCacheTelemetry:
+    def test_sender_cache_stats_populated(self):
+        stats = Kit(small_config()).run().stats
+        assert stats.sender_cache_hits + stats.sender_cache_misses > 0
+        # Repeated senders in a 16-program corpus guarantee hits.
+        assert stats.sender_cache_hits > 0
+        assert 0.0 < stats.sender_cache_hit_rate() <= 1.0
+        assert stats.sender_cache_entries > 0
+        assert stats.sender_cache_bytes > 0
+        # In-process runs attribute every delta to the main process.
+        assert set(stats.sender_cache_bytes_by_owner) == {"main"}
+        assert sum(stats.sender_cache_bytes_by_owner.values()) \
+            == stats.sender_cache_bytes
+
+    def test_disabled_cache_reports_zeros(self):
+        stats = Kit(small_config(sender_cache=False)).run().stats
+        assert stats.sender_cache_hits == 0
+        assert stats.sender_cache_misses == 0
+        assert stats.sender_cache_entries == 0
+        assert stats.sender_cache_bytes == 0
+        assert stats.sender_cache_bytes_by_owner == {}
+        assert stats.diagnosis_prefix_reuses == 0
+        assert stats.sender_cache_hit_rate() == 0.0
+
+    def test_distributed_bytes_attributed_to_workers(self):
+        stats = Kit(small_config(workers=2, diagnose=False)).run().stats
+        assert stats.sender_cache_hits + stats.sender_cache_misses > 0
+        assert stats.sender_cache_bytes > 0
+        owners = set(stats.sender_cache_bytes_by_owner)
+        assert owners and all(o.startswith("worker-") for o in owners)
+
+    def test_prefix_memo_serves_diagnosis_reruns(self):
+        stats = Kit(small_config()).run().stats
+        assert stats.diagnosis_reruns > 0
+        assert stats.diagnosis_prefix_reuses == stats.diagnosis_reruns
+
+
 class TestDistributedOrdering:
     def test_reports_keep_case_order_under_affinity_schedule(self):
-        """The receiver-hash sort must be invisible in the output order."""
+        """The two-level (sender hash, receiver hash) sort must be
+        invisible in the output order."""
         single = Kit(small_config(workers=0, diagnose=False)).run()
         distributed = Kit(small_config(workers=3, diagnose=False)).run()
 

@@ -1,0 +1,159 @@
+"""SenderStateCache unit behaviour: LRU budget, owners, chaos sites."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.execution import SenderState, SenderStateCache
+from repro.faults.invariants import CacheOwnerLeakError, verify_owner_invariant
+from repro.faults.plan import (
+    SITE_SENDER_CACHE_EVICT,
+    SITE_SENDER_CACHE_STALE_OWNER,
+    STALE_OWNER,
+    FaultPlan,
+)
+from repro.vm.executor import ExecutionResult
+from repro.vm.segments import StateDelta
+
+SNAP = "snap0"
+
+
+def entry(size):
+    return SenderState(StateDelta((), b"x" * size, 0), ExecutionResult([]))
+
+
+class TestByteBudget:
+    def test_lru_evicts_oldest_unused_entry(self):
+        cache = SenderStateCache(max_bytes=30)
+        cache.put(SNAP, "a", entry(10))
+        cache.put(SNAP, "b", entry(10))
+        cache.put(SNAP, "c", entry(10))
+        assert cache.get(SNAP, "a") is not None  # refresh: b is now oldest
+        cache.put(SNAP, "d", entry(10))
+        assert cache.evictions == 1
+        assert cache.get(SNAP, "b") is None
+        assert cache.get(SNAP, "a") is not None
+        assert cache.get(SNAP, "c") is not None
+        assert cache.get(SNAP, "d") is not None
+        assert cache.bytes_held == 30
+
+    def test_eviction_loop_frees_enough_bytes(self):
+        cache = SenderStateCache(max_bytes=30)
+        for name in "abc":
+            cache.put(SNAP, name, entry(10))
+        cache.put(SNAP, "big", entry(25))
+        # Only the 25-byte newcomer fits under the 30-byte cap, so all
+        # three 10-byte residents are evicted oldest-first.
+        assert cache.evictions == 3
+        assert len(cache) == 1
+        assert cache.bytes_held == 25
+        assert cache.get(SNAP, "big") is not None
+
+    def test_oversize_entry_is_never_admitted(self):
+        cache = SenderStateCache(max_bytes=10)
+        cache.put(SNAP, "huge", entry(11))
+        assert len(cache) == 0
+        assert cache.bytes_held == 0
+        assert cache.evictions == 0
+
+    def test_last_resident_entry_is_not_evicted_by_itself(self):
+        """The budget never thrashes the only entry: an admitted entry
+        at/below max_bytes stays resident even if a later admission
+        leaves the pair momentarily over budget."""
+        cache = SenderStateCache(max_bytes=10)
+        cache.put(SNAP, "a", entry(9))
+        cache.put(SNAP, "b", entry(9))
+        assert len(cache) == 1
+        assert cache.get(SNAP, "b") is not None
+
+    def test_snapshot_id_is_part_of_the_key(self):
+        cache = SenderStateCache()
+        first = entry(4)
+        cache.put("snapA", "s", first)
+        cache.put("snapB", "s", entry(4))
+        assert cache.get("snapA", "s") is first
+        assert cache.get("snapB", "s") is not first
+        assert len(cache) == 2
+
+
+class TestOwnership:
+    def test_first_put_wins_and_keeps_its_owner(self):
+        cache = SenderStateCache()
+        first = entry(4)
+        cache.put(SNAP, "s", first, owner=0)
+        cache.put(SNAP, "s", entry(4), owner=1)  # lost the race: ignored
+        assert cache.invalidate_owner(1) == 0
+        assert cache.get(SNAP, "s") is first
+
+    def test_invalidate_owner_drops_only_owned_deltas(self):
+        cache = SenderStateCache()
+        cache.put(SNAP, "a", entry(10), owner=0)
+        cache.put(SNAP, "b", entry(10), owner=1)
+        cache.put(SNAP, "c", entry(10))  # in-process, unowned
+        assert cache.invalidate_owner(0) == 1
+        assert cache.get(SNAP, "a") is None
+        assert cache.get(SNAP, "b") is not None
+        assert cache.get(SNAP, "c") is not None
+        assert cache.bytes_held == 20
+
+    def test_bytes_by_owner_breakdown(self):
+        cache = SenderStateCache()
+        cache.put(SNAP, "a", entry(10), owner=0)
+        cache.put(SNAP, "b", entry(20), owner=0)
+        cache.put(SNAP, "c", entry(5), owner=1)
+        cache.put(SNAP, "d", entry(3))
+        assert cache.bytes_by_owner() == {0: 30, 1: 5, None: 3}
+
+    def test_owner_leak_trips_the_shared_invariant(self):
+        cache = SenderStateCache()
+        cache.put(SNAP, "a", entry(4), owner=7)
+        with pytest.raises(CacheOwnerLeakError) as leak:
+            verify_owner_invariant([7], sender_states=cache)
+        assert "sender_states" in str(leak.value)
+        cache.invalidate_owner(7)
+        verify_owner_invariant([7], sender_states=cache)  # clean now
+
+
+class TestChaosSites:
+    def test_evict_injection_is_absorbed_as_a_miss(self):
+        plan = FaultPlan(seed=0, schedule={SITE_SENDER_CACHE_EVICT: [0]})
+        cache = SenderStateCache(faults=plan)
+        cache.put(SNAP, "s", entry(4))
+        assert cache.get(SNAP, "s") is None  # injected eviction
+        assert cache.get(SNAP, "s") is None  # genuinely gone
+        assert cache.misses == 2
+        assert plan.stats.accounted()
+        assert plan.stats.injected[SITE_SENDER_CACHE_EVICT] == 1
+
+    def test_stale_owner_injection_survives_invalidation(self):
+        plan = FaultPlan(seed=0,
+                         schedule={SITE_SENDER_CACHE_STALE_OWNER: [0]})
+        cache = SenderStateCache(faults=plan)
+        cache.put(SNAP, "s", entry(4), owner=3)
+        # The mis-tagged entry is unreachable by owner invalidation...
+        assert cache.invalidate_owner(3) == 0
+        assert STALE_OWNER in cache.owner_tags()
+        with pytest.raises(CacheOwnerLeakError):
+            verify_owner_invariant([], sender_states=cache)
+        # ...and the sweep both reclaims it and settles the accounting.
+        assert not plan.stats.accounted()
+        assert cache.purge_stale() == 1
+        assert len(cache) == 0
+        assert cache.bytes_held == 0
+        assert plan.stats.accounted()
+        verify_owner_invariant([], sender_states=cache)
+
+    def test_stale_owner_injection_on_lost_race_is_a_noop(self):
+        # The injection fires on the *second* put, which loses the
+        # first-put race anyway: no stale tag is stored, and the fault
+        # is recovered on the spot.
+        plan = FaultPlan(seed=0,
+                         schedule={SITE_SENDER_CACHE_STALE_OWNER: [1]})
+        cache = SenderStateCache(faults=plan)
+        first = entry(4)
+        cache.put(SNAP, "s", first, owner=0)
+        cache.put(SNAP, "s", entry(4), owner=1)
+        assert cache.get(SNAP, "s") is first
+        assert cache.owner_tags() == [0]
+        assert plan.stats.accounted()
+        assert plan.stats.injected[SITE_SENDER_CACHE_STALE_OWNER] == 1

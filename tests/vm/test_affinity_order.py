@@ -1,0 +1,57 @@
+"""affinity_order: sender-major batching with a stable tie-break."""
+
+from __future__ import annotations
+
+import random
+
+from repro.vm.cluster import affinity_order
+
+
+def test_returns_a_permutation():
+    keys = [("s2", "r1"), ("s1", "r9"), ("s2", "r0"), ("s1", "r1")]
+    order = affinity_order(keys)
+    assert sorted(order) == list(range(len(keys)))
+
+
+def test_groups_by_sender_then_receiver():
+    keys = [("s2", "r1"), ("s1", "r9"), ("s2", "r0"), ("s1", "r1")]
+    order = affinity_order(keys)
+    assert [keys[i] for i in order] == [
+        ("s1", "r1"), ("s1", "r9"), ("s2", "r0"), ("s2", "r1")]
+
+
+def test_equal_keys_keep_original_submission_order():
+    """The documented tie-break: identical (sender, receiver) hash pairs
+    stay in submission order, so the schedule is a *stable* sort and the
+    inverse permutation is well-defined even with duplicate cases."""
+    keys = [("s", "r")] * 5 + [("a", "r")] + [("s", "r")] * 3
+    order = affinity_order(keys)
+    assert order[0] == 5  # the lone ("a", "r") leads
+    # All ("s", "r") duplicates follow in their original positions.
+    assert order[1:] == [0, 1, 2, 3, 4, 6, 7, 8]
+
+
+def test_matches_pythons_stable_sort():
+    rng = random.Random(7)
+    keys = [(rng.choice("abc"), rng.choice("xy")) for _ in range(64)]
+    order = affinity_order(keys)
+    expected = [index for index, _ in
+                sorted(enumerate(keys), key=lambda pair: pair[1])]
+    assert order == expected
+
+
+def test_deterministic_across_calls():
+    keys = [("s%d" % (i % 3), "r%d" % (i % 5)) for i in range(30)]
+    assert affinity_order(keys) == affinity_order(list(keys))
+
+
+def test_inverse_permutation_restores_submission_order():
+    keys = [("s2", "rA"), ("s1", "rB"), ("s1", "rA"), ("s2", "rB")]
+    order = affinity_order(keys)
+    # Schedule in affinity order, then scatter results back the way the
+    # pipeline does: results[order[job_id]] = outcome of scheduled job.
+    scheduled = [keys[i] for i in order]
+    results = [None] * len(keys)
+    for job_id, outcome in enumerate(scheduled):
+        results[order[job_id]] = outcome
+    assert results == keys

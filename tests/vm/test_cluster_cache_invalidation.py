@@ -6,10 +6,16 @@ import os
 
 import pytest
 
-from repro.core.execution import BaselineCache
+from repro.core.execution import (
+    BaselineCache,
+    SenderState,
+    SenderStateCache,
+)
 from repro.core.nondet import NondetStore
 from repro.vm.cluster import run_distributed
+from repro.vm.executor import ExecutionResult
 from repro.vm.machine import MachineConfig
+from repro.vm.segments import StateDelta
 
 
 class TestBaselineCacheOwnership:
@@ -55,19 +61,26 @@ class TestNondetStoreOwnership:
         assert fresh.get("p2") is not None
 
 
+def _sender_entry(size=8):
+    return SenderState(StateDelta((), b"x" * size, 0), ExecutionResult([]))
+
+
 class TestWorkerDeath:
     def test_death_invalidates_owned_entries(self):
         """A worker dying mid-queue triggers on_worker_death, and the
         hook can release everything that worker published."""
         baselines = BaselineCache()
         store = NondetStore()
+        sender_states = SenderStateCache()
         baselines.put("preexisting", object())  # unowned: must survive
+        sender_states.put("snap", "preexisting", _sender_entry())
         dead_workers = []
 
         def case_runner(machine, payload):
             owner = machine.cluster_worker_id
             baselines.put(payload, object(), owner=owner)
             store.put(payload, frozenset({("kernel", payload)}), owner=owner)
+            sender_states.put("snap", payload, _sender_entry(), owner=owner)
             if payload == "die":
                 raise SystemExit("worker crashed")
             return payload
@@ -76,6 +89,7 @@ class TestWorkerDeath:
             dead_workers.append(worker_id)
             baselines.invalidate_owner(worker_id)
             store.invalidate_owner(worker_id)
+            sender_states.invalidate_owner(worker_id)
 
         with pytest.raises(RuntimeError) as failure:
             run_distributed(MachineConfig(), ["a", "die", "unreached"],
@@ -89,8 +103,13 @@ class TestWorkerDeath:
         assert baselines.get("die") is None
         assert store.get("a") is None
         assert store.get("die") is None
-        # ...while unowned entries survive.
+        assert sender_states.get("snap", "a") is None
+        assert sender_states.get("snap", "die") is None
+        # ...while unowned entries survive (a replacement worker may
+        # have published entries of its own — those are legitimate).
         assert baselines.get("preexisting") is not None
+        assert sender_states.get("snap", "preexisting") is not None
+        assert 0 not in sender_states.owner_tags()
 
     def test_clean_run_never_calls_the_hook(self):
         calls = []
