@@ -171,6 +171,119 @@ def test_chaos_smoke_gate(campaign_513, bench_corpus, chaos_seeds, benchmark):
             f"seed {seed}: faulted bug set diverged from the clean run"
 
 
+#: Process shards must beat a single shard by this factor at 4 shards
+#: on CPU-bound work (enforced only on hosts with >= 4 CPUs).
+MIN_SHARD_SPEEDUP_4X = 2.5
+#: CPU-bound gate workload: jobs x spin iterations per job.
+SHARD_GATE_JOBS = 48
+SHARD_GATE_SPIN = 120_000
+
+
+def _shard_gate_burn(machine, payload):
+    """Pure-CPU job body: what the GIL serializes and fork does not."""
+    value = payload
+    for step in range(SHARD_GATE_SPIN):
+        value = (value * 1103515245 + 12345 + step) % (2 ** 31)
+    return value
+
+
+def test_shard_pool_gate(bench_corpus, benchmark):
+    """Fail the bench if the process shard pool stops paying for itself.
+
+    Speedup thresholds are hardware-conditional — a 1-CPU container
+    cannot parallelize CPU-bound work, so those rows are recorded but
+    waived below the required core counts.  The correctness half of the
+    gate always runs: every mode reports the identical bug set, a
+    faulted process campaign keeps balanced books, and no shared-memory
+    segment survives any run.
+    """
+    import os
+
+    from repro import FaultPlan
+    from repro.vm import fork_available, run_distributed, run_sharded
+
+    if not fork_available():  # pragma: no cover - non-fork platforms
+        import pytest
+        pytest.skip("process shards require fork")
+
+    cpus = os.cpu_count() or 1
+    config = MachineConfig(bugs=linux_5_13())
+    jobs = list(range(SHARD_GATE_JOBS))
+
+    def timed_sharded(workers):
+        start = time.perf_counter()
+        report = run_sharded(config, jobs, _shard_gate_burn, workers=workers)
+        elapsed = time.perf_counter() - start
+        assert [r.outcome for r in report.results] \
+            == [_shard_gate_burn(None, job) for job in jobs]
+        return elapsed
+
+    one_shard = timed_sharded(1)
+    four_shards = timed_sharded(4)
+    start = time.perf_counter()
+    thread_results = run_distributed(config, jobs, _shard_gate_burn,
+                                     workers=4)
+    four_threads = time.perf_counter() - start
+    assert [r.outcome for r in thread_results] \
+        == [_shard_gate_burn(None, job) for job in jobs]
+    benchmark.pedantic(timed_sharded, args=(4,), rounds=1, iterations=1)
+
+    speedup = one_shard / four_shards
+    vs_threads = four_threads / four_shards
+
+    def campaign(**overrides):
+        return Kit(CampaignConfig(machine=MachineConfig(bugs=linux_5_13()),
+                                  corpus=list(bench_corpus),
+                                  strategy="df-ia", **overrides)).run()
+
+    threaded = campaign(workers=4)
+    sharded = campaign(workers=4, shard_mode="process")
+    chaos_plan = FaultPlan.parse(f"3:{CHAOS_RATE}")
+    chaos = campaign(workers=4, shard_mode="process", faults=chaos_plan)
+    leftovers = [entry for entry in os.listdir("/dev/shm")
+                 if entry.startswith("kitshm")] \
+        if os.path.isdir("/dev/shm") else []
+
+    waiver_4x = "enforced" if cpus >= 4 else f"waived ({cpus} cpu)"
+    waiver_thread = "enforced" if cpus >= 2 else f"waived ({cpus} cpu)"
+    lines = [
+        f"{'gate':<40} {'measured':>10} {'threshold':>10} {'status':>14}",
+        "-" * 78,
+        f"{'4-shard speedup vs 1 shard':<40} {f'{speedup:.2f}x':>10} "
+        f"{f'>={MIN_SHARD_SPEEDUP_4X:.1f}x':>10} {waiver_4x:>14}",
+        f"{'4 shards vs 4 threads (CPU-bound)':<40} "
+        f"{f'{vs_threads:.2f}x':>10} {'>=1.0x':>10} {waiver_thread:>14}",
+        f"{'campaign bug-set parity (proc==thread)':<40} "
+        f"{'same' if sorted(sharded.bugs_found()) == sorted(threaded.bugs_found()) else 'DIFF':>10} "
+        f"{'same':>10} {'enforced':>14}",
+        f"{'faulted process campaign accounted':<40} "
+        f"{'yes' if chaos.stats.faults_accounted() else 'NO':>10} "
+        f"{'yes':>10} {'enforced':>14}",
+        f"{'leaked /dev/shm segments':<40} {len(leftovers):>10} "
+        f"{'0':>10} {'enforced':>14}",
+        "",
+        f"workload: {SHARD_GATE_JOBS} jobs x {SHARD_GATE_SPIN} spins; "
+        f"1 shard {one_shard * 1e3:.0f} ms, 4 shards "
+        f"{four_shards * 1e3:.0f} ms, 4 threads {four_threads * 1e3:.0f} ms "
+        f"on {cpus} cpu(s)",
+    ]
+    emit_table("shard_gate", "Process shard pool gate", lines)
+
+    assert sorted(sharded.bugs_found()) == sorted(threaded.bugs_found())
+    assert sorted(chaos.bugs_found()) == sorted(threaded.bugs_found())
+    assert chaos.stats.faults_accounted()
+    assert chaos.stats.faults_injected_total() > 0
+    assert all(r.case is not None for r in chaos.reports)
+    assert not leftovers, f"leaked shm segments: {leftovers}"
+    if cpus >= 4:
+        assert speedup >= MIN_SHARD_SPEEDUP_4X, \
+            f"4 shards only {speedup:.2f}x faster than one"
+    if cpus >= 2:
+        assert vs_threads >= 1.0, \
+            f"process pool slower than threads on CPU-bound work " \
+            f"({vs_threads:.2f}x)"
+
+
 #: Sender-state memoization must beat re-execution by this factor on
 #: workloads where senders average >= 4 paired receivers.
 MIN_SENDER_CACHE_SPEEDUP = 1.5

@@ -1,4 +1,5 @@
-"""Corpus-size scaling: how analysis artifacts grow with corpus size.
+"""Corpus-size scaling: how analysis artifacts grow with corpus size,
+and how the execution stage scales with the shard pool.
 
 Not a paper table, but the scaling behaviour behind the paper's §6.5
 numbers: candidate flows grow roughly quadratically with the corpus
@@ -7,10 +8,13 @@ clustered test-case counts grow far slower — that gap *is* the value of
 clustering (the 234M -> 1.13M compression of Table 4).
 
 The benchmark times the full generation stage (profiling + analysis) at
-the middle corpus size.
+the middle corpus size.  ``test_shard_scaling`` sweeps the execution
+stage over worker counts and shard modes (ISSUE 6, satellite 2).
 """
 
-from repro import MachineConfig, linux_5_13
+import os
+
+from repro import CampaignConfig, Kit, MachineConfig, linux_5_13
 from repro.core import (
     Profiler,
     TestCaseGenerator,
@@ -18,7 +22,7 @@ from repro.core import (
     strategy_by_name,
 )
 from repro.corpus import build_corpus
-from repro.vm import Machine
+from repro.vm import Machine, fork_available
 
 from benchmarks.support import emit_table
 
@@ -60,3 +64,56 @@ def test_scaling_corpus_size(benchmark):
     assert clusters[-1] <= clusters[0] * 3
     # The compression ratio must widen as the corpus grows.
     assert flows[-1] / clusters[-1] > flows[0] / clusters[0]
+
+
+def test_shard_scaling(bench_corpus, benchmark):
+    """Execution-stage sweep: worker counts by shard modes.
+
+    Descriptive, not a gate (the hardware-conditional assertions live in
+    ``bench_regression_gate.test_shard_pool_gate``): records how the
+    execution stage responds to the pool on *this* host, and always
+    asserts every configuration finds the same bugs and leaks nothing.
+    At simulated-kernel case costs (~1 ms/case) fork startup dominates,
+    so process rows only pull ahead on workloads whose cases dwarf the
+    ~10 ms/shard spawn+boot cost — exactly what the table makes visible.
+    """
+    cpus = os.cpu_count() or 1
+    counts = sorted({1, 2, 4, cpus})
+    modes = ["thread"] + (["process"] if fork_available() else [])
+
+    def campaign(mode, workers):
+        config = CampaignConfig(machine=MachineConfig(bugs=linux_5_13()),
+                                corpus=list(bench_corpus), strategy="df-ia",
+                                workers=workers, shard_mode=mode)
+        return Kit(config).run()
+
+    runs = {(mode, workers): campaign(mode, workers)
+            for mode in modes for workers in counts}
+    benchmark.pedantic(campaign, args=(modes[-1], counts[-1]),
+                       rounds=1, iterations=1)
+
+    lines = [f"{'mode':<9} {'workers':>7} {'exec (ms)':>10} "
+             f"{'cases/s':>9} {'stolen':>7} {'shards':>7}",
+             "-" * 56]
+    for (mode, workers), run in sorted(runs.items()):
+        stats = run.stats
+        lines.append(
+            f"{mode:<9} {stats.execution_workers:>7} "
+            f"{stats.execution_seconds * 1e3:>10.1f} "
+            f"{stats.executions_per_second():>9.0f} "
+            f"{stats.jobs_stolen:>7} {stats.shards_spawned:>7}")
+    lines.append("")
+    lines.append(f"host: {cpus} cpu(s); every configuration must report "
+                 f"the identical bug set and leave /dev/shm empty")
+    emit_table("shard_scaling",
+               "Execution-stage scaling: workers x shard mode", lines)
+
+    reference = sorted(runs[("thread", counts[0])].bugs_found())
+    for (mode, workers), run in runs.items():
+        assert sorted(run.bugs_found()) == reference, \
+            f"{mode} x{workers} diverged from the reference bug set"
+        assert run.stats.cases_executed \
+            == runs[("thread", counts[0])].stats.cases_executed
+    if os.path.isdir("/dev/shm"):
+        assert not [entry for entry in os.listdir("/dev/shm")
+                    if entry.startswith("kitshm")], "leaked shm segments"

@@ -33,6 +33,7 @@ Subcommands
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -83,6 +84,17 @@ def _print_campaign(result: CampaignResult, show_reports: bool) -> None:
           + ", ".join(f"{k}={v}" for k, v in sorted(stats.outcomes.items())))
     print(f"funnel: {stats.initial_reports} candidates -> "
           f"{stats.after_nondet} -> {stats.after_resource} reports")
+    if stats.execution_workers:
+        line = (f"execution: {stats.execution_workers} "
+                f"{stats.shard_mode} worker(s)")
+        if stats.shard_mode == "process":
+            line += (f", {stats.shards_spawned} shard(s) spawned"
+                     f" ({stats.shards_died} died), "
+                     f"{stats.steals_granted}/{stats.steals_attempted} "
+                     f"steals granted ({stats.jobs_stolen} jobs), "
+                     f"shm: {stats.shm_segments} segment(s) / "
+                     f"{stats.shm_bytes} bytes")
+        print(line)
     if stats.prefilter_pairs_total:
         print(f"prefilter: {stats.prefilter_pairs_pruned}/"
               f"{stats.prefilter_pairs_total} pairs pruned "
@@ -102,9 +114,12 @@ def _print_campaign(result: CampaignResult, show_reports: bool) -> None:
               f"({stats.nondet_cache_hits}/"
               f"{stats.nondet_cache_hits + stats.nondet_cache_misses})")
     if stats.sender_cache_hits + stats.sender_cache_misses:
+        shared = (f" ({stats.sender_cache_shared_hits} from shared tier)"
+                  if stats.sender_cache_shared_hits else "")
         print(f"sender cache: {stats.sender_cache_hit_rate():.0%} hit "
               f"({stats.sender_cache_hits}/"
-              f"{stats.sender_cache_hits + stats.sender_cache_misses}), "
+              f"{stats.sender_cache_hits + stats.sender_cache_misses})"
+              f"{shared}, "
               f"{stats.sender_cache_entries} deltas / "
               f"{stats.sender_cache_bytes} bytes held, "
               f"{stats.sender_cache_evictions} evicted, "
@@ -155,6 +170,22 @@ def _print_cache_report(result: CampaignResult) -> None:
               "memoized sender prefixes")
 
 
+def _resolve_workers(requested: Optional[int]) -> int:
+    """Map the --workers flag onto the campaign's pool size.
+
+    Omitted means in-process execution (the historical default);
+    ``--workers 0`` means auto — every core, with the pipeline clamping
+    to the job count; an explicit N is taken verbatim.
+    """
+    if requested is None:
+        return 0
+    if requested == 0:
+        return os.cpu_count() or 1
+    if requested < 0:
+        raise SystemExit(f"--workers must be >= 0 (got {requested})")
+    return requested
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     if args.corpus_dir:
         loaded = load_corpus(args.corpus_dir)
@@ -172,7 +203,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         corpus_seed=args.seed,
         strategy=args.strategy,
         rand_budget=args.rand_budget,
-        workers=args.workers,
+        workers=_resolve_workers(args.workers),
+        shard_mode=args.shard_mode,
         nondet_dir=args.nondet_cache,
         static_prefilter=args.prefilter,
         faults=args.faults,
@@ -413,8 +445,18 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--strategy", default="df-ia",
                      choices=["df-ia", "df-st-1", "df-st-2", "df", "rand"])
     run.add_argument("--rand-budget", type=int)
-    run.add_argument("--workers", type=int, default=0,
-                     help="distributed execution worker threads")
+    run.add_argument("--workers", type=int, default=None,
+                     help="distributed execution workers: omit for "
+                          "in-process execution, 0 for auto "
+                          "(os.cpu_count(), clamped to the job count), "
+                          "N for an explicit pool size")
+    run.add_argument("--shard-mode", default="thread",
+                     choices=["thread", "process"],
+                     help="how execution workers shard: GIL-bound "
+                          "threads sharing one cache tier, or "
+                          "shared-nothing forked processes with a "
+                          "shared-memory snapshot and work stealing "
+                          "(see docs/SHARDING.md)")
     run.add_argument("--nondet-cache", help="directory for non-det marks")
     run.add_argument("--prefilter", action="store_true",
                      help="prune statically disjoint candidate pairs "

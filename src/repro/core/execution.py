@@ -15,10 +15,11 @@ non-determinism cache.
 
 from __future__ import annotations
 
+import pickle
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..corpus.program import TestProgram
 from ..faults.plan import (
@@ -227,8 +228,18 @@ class SenderStateCache:
         self._owners: Dict[Tuple[str, str], Optional[int]] = {}
         self._faults = faults
         self.max_bytes = max_bytes
+        #: Optional shared tier (a :class:`~repro.vm.shm.DeltaStore`-like
+        #: object with ``fetch(key) -> bytes | None`` and
+        #: ``publish(key, payload)``).  When set, the cache becomes a
+        #: two-tier read-through: a local miss consults the shared tier
+        #: and admits the deserialized entry; a fresh local insert is
+        #: written through so sibling shard processes can hit it.
+        self.backing: Optional[Any] = None
         self.hits = 0
         self.misses = 0
+        #: Hits served by deserializing a shared-tier blob (a subset of
+        #: ``hits``): another shard executed this sender first.
+        self.shared_hits = 0
         #: Entries dropped by the byte budget (not by faults or owners).
         self.evictions = 0
         self._bytes = 0
@@ -239,19 +250,34 @@ class SenderStateCache:
         key = (snapshot_id, sender_hash)
         with self._lock:
             entry = self._entries.get(key)
+            evicted = False
             if entry is not None and faults is not None \
                     and faults.should_inject(SITE_SENDER_CACHE_EVICT):
                 # Spurious eviction: the caller re-executes the sender
-                # from the base snapshot, absorbing the fault.
+                # from the base snapshot, absorbing the fault.  The
+                # shared tier is deliberately not consulted on this
+                # path, so the injected eviction keeps its real cost.
                 self._remove(key)
                 faults.record_recovered([SITE_SENDER_CACHE_EVICT])
                 entry = None
-            if entry is None:
-                self.misses += 1
-            else:
+                evicted = True
+            if entry is not None:
                 self._entries.move_to_end(key)
                 self.hits += 1
-            return entry
+                return entry
+            if self.backing is not None and not evicted:
+                payload = self.backing.fetch(key)
+                if payload is not None:
+                    entry = pickle.loads(payload)
+                    # Admitted ownerless: the publishing shard's death
+                    # is handled by the supervisor unlinking its shared
+                    # blobs, not by local owner invalidation.
+                    self._admit(key, entry, None)
+                    self.hits += 1
+                    self.shared_hits += 1
+                    return entry
+            self.misses += 1
+            return None
 
     def put(self, snapshot_id: str, sender_hash: str, entry: SenderState,
             owner: Optional[int] = None) -> None:
@@ -272,8 +298,22 @@ class SenderStateCache:
                 # Mis-tagged insert: owner-based invalidation can no
                 # longer find this entry; only purge_stale repairs it.
                 owner = STALE_OWNER
-            if key in self._entries:
+            if not self._admit(key, entry, owner):
                 return
+            if self.backing is not None:
+                # Write-through on fresh inserts only; the shared tier
+                # deduplicates by deterministic name, so a racing
+                # sibling's publish simply wins.
+                self.backing.publish(
+                    key, pickle.dumps(entry,
+                                      protocol=pickle.HIGHEST_PROTOCOL))
+
+    def _admit(self, key: Tuple[str, str], entry: SenderState,
+               owner: Optional[int]) -> bool:
+        """Insert under the byte budget; False if present or oversized."""
+        with self._lock:
+            if entry.size_bytes > self.max_bytes or key in self._entries:
+                return False
             self._entries[key] = entry
             self._owners[key] = owner
             self._bytes += entry.size_bytes
@@ -281,6 +321,7 @@ class SenderStateCache:
                 oldest = next(iter(self._entries))
                 self._remove(oldest)
                 self.evictions += 1
+            return True
 
     def _remove(self, key: Tuple[str, str]) -> None:
         """Drop one entry, resolving a stale tag if it carried one."""

@@ -15,7 +15,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Set
+from typing import Any, Callable, Dict, List, Optional, Set
 
 from ..corpus.generator import build_corpus
 from ..corpus.program import TestProgram
@@ -27,6 +27,8 @@ from ..faults.plan import (
 )
 from ..vm.cluster import affinity_order, run_distributed
 from ..vm.machine import Machine, MachineConfig, MachineStats
+from ..vm.shardpool import run_sharded
+from ..vm.shm import DeltaStore, SegmentStore, SharedSnapshot
 from .aggregation import ReportGroups, aggregate
 from .clustering import strategy_by_name
 from .detection import DetectionResult, Detector, Outcome
@@ -77,6 +79,11 @@ class CampaignConfig:
     diagnose: bool = True
     #: Worker threads for distributed execution (0 = in-process).
     workers: int = 0
+    #: How distributed execution shards: ``thread`` (GIL-bound workers
+    #: sharing the parent's caches) or ``process`` (shared-nothing
+    #: forked shards booting from a shared-memory snapshot, with a
+    #: work-stealing dispatcher and a two-tier sender cache).
+    shard_mode: str = "thread"
     #: Prune candidate pairs the static analyzer proves disjoint
     #: (see repro.analysis.prefilter) before clustering.
     static_prefilter: bool = False
@@ -107,6 +114,19 @@ class CampaignStats:
     cases_total: int = 0
     cases_executed: int = 0
     execution_seconds: float = 0.0
+    #: How the execution stage actually ran: ``in-process`` (workers=0)
+    #: or the configured shard mode, plus the resolved pool size.
+    shard_mode: str = "in-process"
+    execution_workers: int = 0
+    #: Work-stealing dispatcher telemetry (process mode only).
+    steals_attempted: int = 0
+    steals_granted: int = 0
+    jobs_stolen: int = 0
+    shards_spawned: int = 0
+    shards_died: int = 0
+    #: Shared-memory segment store telemetry (process mode only).
+    shm_segments: int = 0
+    shm_bytes: int = 0
     #: Table 5 counters.
     initial_reports: int = 0
     after_nondet: int = 0
@@ -139,6 +159,9 @@ class CampaignStats:
     #: memoized sender prefix state (Algorithm 2).
     sender_cache_hits: int = 0
     sender_cache_misses: int = 0
+    #: Hits served from the shared shm tier (process mode): another
+    #: shard executed the sender first.  A subset of the hits above.
+    sender_cache_shared_hits: int = 0
     sender_cache_evictions: int = 0
     sender_cache_bytes: int = 0
     sender_cache_entries: int = 0
@@ -361,6 +384,7 @@ class Kit:
             # describe the cache's settled end-of-campaign state.
             stats.sender_cache_hits = sender_states.hits
             stats.sender_cache_misses = sender_states.misses
+            stats.sender_cache_shared_hits = sender_states.shared_hits
             stats.sender_cache_evictions = sender_states.evictions
             stats.sender_cache_bytes = sender_states.bytes_held
             stats.sender_cache_entries = len(sender_states)
@@ -452,8 +476,16 @@ class Kit:
         start = time.monotonic()
         before = machine.stats.copy()
         if config.workers > 0:
-            results = self._execute_distributed(cases, stats, baselines,
-                                                nondet_store, sender_states)
+            stats.shard_mode = config.shard_mode
+            stats.execution_workers = min(config.workers, max(1, len(cases)))
+            if config.shard_mode == "process":
+                results = self._execute_process(machine, cases, stats,
+                                                baselines, nondet_store,
+                                                sender_states)
+            else:
+                results = self._execute_distributed(cases, stats, baselines,
+                                                    nondet_store,
+                                                    sender_states)
         else:
             detector = self._make_detector(machine, nondet_store, baselines,
                                            sender_states)
@@ -540,7 +572,28 @@ class Kit:
                                       max_job_retries=(plan.max_job_retries
                                                        if plan else 0),
                                       strict=(plan is None))
-        results: List[Optional[DetectionResult]] = [None] * len(cases)
+        results = self._merge_job_results(job_results, order, scheduled,
+                                          len(cases))
+        for worker_machine in worker_machines:
+            stats.absorb_machine(worker_machine.stats, stage="execution")
+        with detectors_lock:
+            stats.cases_executed = sum(d.runner.cases_executed
+                                       for d in detectors.values())
+            stats.nondet_runs = sum(d.nondet.runs_executed
+                                    for d in detectors.values())
+        return results
+
+    def _merge_job_results(self, job_results, order: List[int],
+                           scheduled: List[TestCase],
+                           case_count: int) -> List[DetectionResult]:
+        """Inverse-permutation merge back to original case order.
+
+        Independent of which worker (thread or process shard, stolen
+        range or not) executed each job: job ids index the affinity
+        schedule, and the inverse permutation restores caller order.
+        """
+        plan = self.config.faults
+        results: List[Optional[DetectionResult]] = [None] * case_count
         for job in job_results:
             if job.error is not None:
                 if plan is not None:
@@ -552,14 +605,148 @@ class Kit:
                 raise RuntimeError(
                     f"worker failure on job {job.job_id}: {job.error}")
             results[order[job.job_id]] = job.outcome
-        for worker_machine in worker_machines:
-            stats.absorb_machine(worker_machine.stats, stage="execution")
-        with detectors_lock:
-            stats.cases_executed = sum(d.runner.cases_executed
-                                       for d in detectors.values())
-            stats.nondet_runs = sum(d.nondet.runs_executed
-                                    for d in detectors.values())
         return results  # type: ignore[return-value]
+
+    def _execute_process(self, machine: Machine, cases: List[TestCase],
+                         stats: CampaignStats, baselines: BaselineCache,
+                         nondet_store: NondetStore,
+                         sender_states: Optional[SenderStateCache]
+                         ) -> List[DetectionResult]:
+        """Execution on shared-nothing process shards.
+
+        The parent publishes the base snapshot into a shared-memory
+        segment; every forked shard boots its machine straight from the
+        mapped bytes and runs its granted (and stolen) job ranges.  The
+        forked copies of the campaign caches become each shard's local
+        tier — the sender cache additionally reads through to the
+        shared :class:`DeltaStore`, so one shard's post-sender delta
+        serves every sibling.  Telemetry and fault-counter deltas
+        travel back in the shard protocol's retirement messages; the
+        segment store is swept clean no matter how shards die.
+        """
+        config = self.config
+        plan = config.faults
+        detectors: Dict[int, Detector] = {}
+        detectors_lock = threading.Lock()
+        store = SegmentStore()
+        delta_store = DeltaStore(store) if sender_states is not None else None
+        if sender_states is not None:
+            sender_states.backing = delta_store
+        shared = SharedSnapshot.publish(store, machine.snapshot)
+
+        def boot() -> Machine:
+            # Runs inside the freshly forked shard process.
+            return Machine(config.machine, shared_snapshot=shared.attach())
+
+        def case_runner(worker_machine: Machine,
+                        case: TestCase) -> DetectionResult:
+            with detectors_lock:
+                detector = detectors.get(worker_machine.cluster_worker_id)
+                if detector is None:
+                    detector = self._make_detector(worker_machine,
+                                                   nondet_store, baselines,
+                                                   sender_states)
+                    detectors[worker_machine.cluster_worker_id] = detector
+            try:
+                return call_with_fault_retries(plan, detector.check_case,
+                                               case, context="sharded case")
+            except FaultRetriesExhausted:
+                return DetectionResult(case, Outcome.INFRA_FAILED)
+
+        def settle_books() -> None:
+            # Shard-local stale-owner repairs must land before the final
+            # stats delta ships, or a crashed shard's books arrive
+            # unbalanced.
+            baselines.purge_stale()
+            nondet_store.purge_stale()
+            if sender_states is not None:
+                sender_states.purge_stale()
+
+        def shard_telemetry(worker_machine: Machine) -> Dict[str, Any]:
+            # Runs in the shard at clean retirement.  Every counter here
+            # started at the parent's pre-fork value (all zero during
+            # execution), so the values ship as absolute and merge by
+            # addition.
+            with detectors_lock:
+                live = list(detectors.values())
+            data: Dict[str, Any] = {
+                "machine": worker_machine.stats,
+                "cases_executed": sum(d.runner.cases_executed
+                                      for d in live),
+                "nondet_runs": sum(d.nondet.runs_executed for d in live),
+                "baselines": (baselines.hits, baselines.misses),
+                "nondet": (nondet_store.hits, nondet_store.misses),
+            }
+            if sender_states is not None:
+                data["sender"] = (sender_states.hits, sender_states.misses,
+                                  sender_states.shared_hits,
+                                  sender_states.evictions)
+            return data
+
+        def release_dead_worker(worker_id: int) -> None:
+            # Parent-tier parity with thread mode: the audit set and the
+            # parent caches (used later by diagnosis) must never retain
+            # a dead worker's entries.
+            self._retired_owners.add(worker_id)
+            baselines.invalidate_owner(worker_id)
+            nondet_store.invalidate_owner(worker_id)
+            if sender_states is not None:
+                sender_states.invalidate_owner(worker_id)
+
+        def retire_segments(names: List[str]) -> None:
+            # The shared-tier owner invalidation: a dead shard's
+            # published deltas may describe a corrupted machine, so
+            # their names are unlinked — survivors' open mappings stay
+            # valid (POSIX), but no shard can fetch them anew.
+            for suffix in names:
+                store.unlink(suffix)
+
+        order = affinity_order([(case.sender.hash_hex,
+                                 case.receiver.hash_hex) for case in cases])
+        scheduled = [cases[i] for i in order]
+        try:
+            report = run_sharded(
+                config.machine, scheduled, case_runner,
+                workers=config.workers, boot=boot, faults=plan,
+                max_job_retries=(plan.max_job_retries if plan else 0),
+                strict=(plan is None),
+                on_worker_death=release_dead_worker,
+                on_owner_segments=retire_segments,
+                telemetry_hook=shard_telemetry,
+                published_names=(delta_store.take_published
+                                 if delta_store is not None else None),
+                flush_hook=settle_books)
+        finally:
+            if sender_states is not None:
+                sender_states.backing = None
+            stats.shm_segments = store.created
+            stats.shm_bytes = store.created_bytes
+            store.cleanup()
+        stats.steals_attempted = report.steals_attempted
+        stats.steals_granted = report.steals_granted
+        stats.jobs_stolen = report.jobs_stolen
+        stats.shards_spawned = report.shards_spawned
+        stats.shards_died = report.shards_died
+        results = self._merge_job_results(report.results, order, scheduled,
+                                          len(cases))
+        for data in report.telemetry:
+            # Counters a killed shard never shipped are lost with it —
+            # telemetry only, never correctness (its jobs re-ran
+            # elsewhere and their results merged above).
+            stats.absorb_machine(data["machine"], stage="execution")
+            stats.cases_executed += data["cases_executed"]
+            stats.nondet_runs += data["nondet_runs"]
+            baselines.hits += data["baselines"][0]
+            baselines.misses += data["baselines"][1]
+            nondet_store.hits += data["nondet"][0]
+            nondet_store.misses += data["nondet"][1]
+            if sender_states is not None and "sender" in data:
+                hits, misses, shared_hits, evictions = data["sender"]
+                sender_states.hits += hits
+                sender_states.misses += misses
+                sender_states.shared_hits += shared_hits
+                sender_states.evictions += evictions
+        return results
 
     def _diagnose(self, machine: Machine, reports: List[TestReport],
                   stats: CampaignStats, baselines: BaselineCache,

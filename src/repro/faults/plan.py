@@ -36,6 +36,10 @@ SITE_WORKER_CRASH = "worker.crash"
 SITE_WORKER_SLOW = "worker.slow"
 #: A computed job result is lost before reaching the server (vm/cluster.py).
 SITE_RESULT_DROP = "result.drop"
+#: A shard process is SIGKILLed mid-job — no unwinding, no cleanup
+#: handlers, the hardest death the supervisor must absorb
+#: (vm/shardpool.py; process shard mode only).
+SITE_WORKER_KILL = "worker.kill"
 #: A syscall execution times out mid-program (vm/executor.py).
 SITE_EXEC_TIMEOUT = "exec.timeout"
 #: A shared-cache entry is spuriously evicted (BaselineCache/NondetStore).
@@ -57,6 +61,7 @@ ALL_SITES: Tuple[str, ...] = (
     SITE_WORKER_CRASH,
     SITE_WORKER_SLOW,
     SITE_RESULT_DROP,
+    SITE_WORKER_KILL,
     SITE_EXEC_TIMEOUT,
     SITE_CACHE_EVICT,
     SITE_CACHE_STALE_OWNER,
@@ -174,6 +179,25 @@ class FaultStats:
             return (dict(self.injected), dict(self.recovered),
                     dict(self.infra_failed))
 
+    def merge_delta(self, injected: Mapping[str, int],
+                    recovered: Mapping[str, int],
+                    infra_failed: Mapping[str, int]) -> None:
+        """Fold another process's counter growth into these books.
+
+        Shard processes each carry a forked copy of the plan; they ship
+        per-site counter *deltas* (growth since fork) back to the
+        supervisor, which merges them here so :meth:`accounted` sees one
+        campaign-wide ledger.
+        """
+        with self._lock:
+            for site, count in injected.items():
+                self.injected[site] = self.injected.get(site, 0) + count
+            for site, count in recovered.items():
+                self.recovered[site] = self.recovered.get(site, 0) + count
+            for site, count in infra_failed.items():
+                self.infra_failed[site] = \
+                    self.infra_failed.get(site, 0) + count
+
 
 def decision(seed: int, site: str, occurrence: int) -> float:
     """The deterministic draw for one (site, occurrence) pair.
@@ -261,6 +285,18 @@ class FaultPlan:
     def preview(self, site: str, count: int) -> List[bool]:
         """The first *count* decisions for *site*, without side effects."""
         return [self._fires(site, k) for k in range(count)]
+
+    def fires_at(self, site: str, occurrence: int) -> bool:
+        """Decision for an explicit occurrence index — no counter, no books.
+
+        Process shards each fork a copy of the plan, so per-site counter
+        streams would restart identically in every shard (a scheduled
+        occurrence would fire in all of them, every round).  Sites
+        consulted inside shards therefore key the decision on a globally
+        meaningful index — ``job_id + attempt * stride`` — and the caller
+        does its own accounting.
+        """
+        return self._fires(site, occurrence)
 
     def occurrences(self, site: str) -> int:
         with self._lock:

@@ -23,14 +23,24 @@ from .segments import (
     StateDelta,
     state_fingerprint,
 )
+from .shardpool import ShardRunReport, fork_available, run_sharded
+from .shm import (
+    HAVE_SHM,
+    DeltaStore,
+    SegmentStore,
+    SharedSnapshot,
+    SharedSnapshotView,
+)
 from .snapshot import Snapshot
 
 __all__ = [
     "ClusterServer",
     "ClusterWorker",
     "ContainerConfig",
+    "DeltaStore",
     "ExecutionResult",
     "Executor",
+    "HAVE_SHM",
     "Job",
     "JobResult",
     "Machine",
@@ -39,12 +49,18 @@ __all__ = [
     "RECEIVER",
     "RestoreConsistencyError",
     "SENDER",
+    "SegmentStore",
     "SegmentedImage",
+    "ShardRunReport",
+    "SharedSnapshot",
+    "SharedSnapshotView",
     "Snapshot",
     "StateDelta",
     "SteppedExecution",
     "SyscallRecord",
     "affinity_order",
+    "fork_available",
     "run_distributed",
+    "run_sharded",
     "state_fingerprint",
 ]

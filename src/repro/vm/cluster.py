@@ -284,7 +284,8 @@ def run_distributed(machine_config: MachineConfig, payloads: Iterable[Any],
                     on_worker_death: Optional[Callable[[int], None]] = None,
                     faults: Optional[FaultPlan] = None,
                     max_job_retries: int = 0,
-                    strict: bool = True) -> List[JobResult]:
+                    strict: bool = True,
+                    mode: str = "thread") -> List[JobResult]:
     """Run *payloads* through *case_runner* on a supervised worker pool.
 
     Returns results ordered by job id, so the output is independent of
@@ -307,7 +308,27 @@ def run_distributed(machine_config: MachineConfig, payloads: Iterable[Any],
     *machines_out*, if given, receives every worker's booted machine
     (including replacements) after the pool retires, for restore/cache
     telemetry collection.
+
+    ``mode="process"`` delegates to the shared-nothing process pool
+    (:func:`~repro.vm.shardpool.run_sharded`) with the same retry,
+    strictness, and death-hook contracts; *machines_out* is unsupported
+    there (shard machines live and die in their own processes).  The
+    pipeline's process path calls ``run_sharded`` directly for its
+    extra hooks — this switch is the drop-in form.
     """
+    if mode == "process":
+        from .shardpool import run_sharded
+        if machines_out is not None:
+            raise ValueError("machines_out is not available in process "
+                             "mode: shard machines are per-process")
+        report = run_sharded(machine_config, list(payloads), case_runner,
+                             workers=workers, faults=faults,
+                             max_job_retries=max_job_retries,
+                             strict=strict, on_worker_death=on_worker_death)
+        return report.results
+    if mode != "thread":
+        raise ValueError(f"unknown cluster mode {mode!r} "
+                         "(expected 'thread' or 'process')")
     server = ClusterServer(machine_config, payloads, faults=faults)
     if server.job_count == 0:
         return []

@@ -1,0 +1,628 @@
+"""The multiprocess shard pool: shared-nothing workers, stolen ranges.
+
+The thread cluster (:mod:`repro.vm.cluster`) reproduces KIT's job
+protocol but stays GIL-bound; this module is the same protocol across
+*processes*.  Each shard is forked from the supervisor, boots its own
+:class:`~repro.vm.machine.Machine` (from the shared-memory base
+snapshot when one is provided), and owns a contiguous, affinity-ordered
+*range* of the round's jobs instead of pulling from a single queue.
+
+Work stealing
+-------------
+
+A single shared queue would serialize shards on a lock; static ranges
+alone would strand a fast shard while a slow one drags its tail.  The
+dispatcher splits the difference with victim-acknowledged stealing:
+
+1. A shard that exhausts its range reports ``idle``.
+2. The supervisor picks the victim with the most unfinished jobs and
+   sends it a ``steal`` request (at most one outstanding per victim).
+3. The victim — the only authority on its own cursor — answers at its
+   next job boundary with the tail half of its remaining range (possibly
+   empty), which the supervisor grants to the thief.
+
+The split is at job-range granularity and never includes the victim's
+in-flight job, so a job runs on exactly one shard per round and the
+inverse-permutation merge by job id stays byte-deterministic regardless
+of who executed what.
+
+Supervision
+-----------
+
+Rounds mirror ``run_distributed``: shards run until they exit, the
+supervisor settles the round (dead shard's *held* job charged a failed
+attempt, the rest of its range re-queued uncharged), and fresh worker
+ids are spawned for whatever remains.  Process death is observed via
+``multiprocessing.connection.wait`` on the process sentinels, so a
+SIGKILLed shard — the ``worker.kill`` chaos site announces itself, then
+kills its own process — is detected without polling.  Fault accounting
+crosses the process boundary as counter *deltas* shipped in each
+shard's final message; a shard that dies silently loses only
+locally-balanced counters, so the campaign invariant
+``injected == recovered + infra_failed`` holds regardless.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from multiprocessing.connection import wait as _wait_ready
+
+from ..faults.plan import (
+    SITE_RESULT_DROP,
+    SITE_WORKER_CRASH,
+    SITE_WORKER_KILL,
+    SITE_WORKER_SLOW,
+    FaultPlan,
+    WorkerCrashInjected,
+)
+from .cluster import Job, JobResult
+from .machine import Machine, MachineConfig
+
+
+#: Occurrence key for worker-site decisions inside a shard is
+#: ``job_id + attempt * _ATTEMPT_STRIDE``: globally deterministic (no
+#: per-process counter stream), unique per (job, retry attempt), and a
+#: retried job draws a fresh decision so scheduled faults fire once.
+_ATTEMPT_STRIDE = 1_000_003
+
+
+def fork_available() -> bool:
+    """Process shards need ``fork`` (closures cross via inherited memory)."""
+    try:
+        return "fork" in multiprocessing.get_all_start_methods()
+    except Exception:  # pragma: no cover
+        return False
+
+
+@dataclass
+class ShardRunReport:
+    """Everything one ``run_sharded`` call produced."""
+
+    #: Results ordered by job id (inverse-permutation merge input).
+    results: List[JobResult] = field(default_factory=list)
+    #: One entry per cleanly-retired shard: whatever the caller's
+    #: ``telemetry_hook(machine)`` returned in that shard process.
+    telemetry: List[Any] = field(default_factory=list)
+    steals_attempted: int = 0
+    steals_granted: int = 0
+    jobs_stolen: int = 0
+    rounds: int = 0
+    shards_spawned: int = 0
+    shards_died: int = 0
+    #: Shared-segment names announced by shards that later died; the
+    #: supervisor passed each batch to ``on_owner_segments``.
+    retired_segments: List[str] = field(default_factory=list)
+
+
+def _stats_delta(faults: Optional[FaultPlan],
+                 base: Optional[Tuple[Dict[str, int], ...]]
+                 ) -> Optional[Tuple[Dict[str, int], ...]]:
+    """Per-site counter growth in this process since *base*."""
+    if faults is None or base is None:
+        return None
+    now = faults.stats.snapshot()
+    return tuple(
+        {site: count - earlier.get(site, 0)
+         for site, count in current.items()
+         if count - earlier.get(site, 0)}
+        for current, earlier in zip(now, base)
+    )
+
+
+def _merge_stats_delta(faults: Optional[FaultPlan],
+                       delta: Optional[Tuple[Dict[str, int], ...]]) -> None:
+    if faults is None or delta is None:
+        return
+    injected, recovered, infra = delta
+    faults.stats.merge_delta(injected, recovered, infra)
+
+
+def _shard_main(worker_id: int, ctrl, out, boot: Callable[[], Machine],
+                round_jobs: Sequence[Tuple[int, Any]],
+                case_runner: Callable[[Machine, Any], Any],
+                faults: Optional[FaultPlan],
+                telemetry_hook: Optional[Callable[[Machine], Any]],
+                published_names: Optional[Callable[[], List[str]]],
+                flush_hook: Optional[Callable[[], None]],
+                start: int, end: int) -> None:
+    """One shard process: run ranges, answer steals, report, retire.
+
+    All messages go child -> parent on *out*; the parent commands via
+    *ctrl* (``("steal", id)``, ``("range", start, end)``, ``("stop",)``).
+    Ranges index into *round_jobs*, the round-local job list inherited
+    through fork.  *flush_hook* runs before the final stats delta is
+    computed on every messaged exit (done and fatal alike), so
+    shard-local recovery paths — e.g. purging stale-tagged cache
+    entries — settle their books before they are shipped.
+    """
+    names = published_names or (lambda: [])
+    base = faults.stats.snapshot() if faults is not None else None
+
+    def flush() -> None:
+        if flush_hook is not None:
+            try:
+                flush_hook()
+            except Exception:  # pragma: no cover - best-effort settle
+                pass
+    try:
+        machine = boot()
+    except Exception as error:
+        out.send(("fatal", worker_id, None,
+                  f"{type(error).__name__}: {error}", [],
+                  _stats_delta(faults, base), names()))
+        return
+    machine.cluster_worker_id = worker_id
+    cursor, limit = start, end
+    held: Optional[int] = None
+    stopping = False
+
+    def handle(command: tuple) -> bool:
+        """Apply one control message; False means stop."""
+        nonlocal cursor, limit
+        kind = command[0]
+        if kind == "steal":
+            remaining = limit - cursor
+            give = remaining // 2
+            out.send(("steal_ack", worker_id, command[1],
+                      limit - give, limit))
+            limit -= give
+            return True
+        if kind == "range":
+            cursor, limit = command[1], command[2]
+            return True
+        return False  # "stop"
+
+    try:
+        while True:
+            while ctrl.poll():
+                if not handle(ctrl.recv()):
+                    stopping = True
+                    break
+            if stopping:
+                break
+            if cursor >= limit:
+                out.send(("idle", worker_id, names()))
+                while cursor >= limit:
+                    if not handle(ctrl.recv()):
+                        stopping = True
+                        break
+                if stopping:
+                    break
+                continue
+            index = cursor
+            held = index
+            job_id, payload, attempt = round_jobs[index]
+            if faults is not None:
+                occurrence = job_id + attempt * _ATTEMPT_STRIDE
+                if faults.fires_at(SITE_WORKER_SLOW, occurrence):
+                    faults.stats.note_injected(SITE_WORKER_SLOW)
+                    time.sleep(faults.slow_seconds)
+                    faults.record_recovered([SITE_WORKER_SLOW])
+                if faults.fires_at(SITE_WORKER_CRASH, occurrence):
+                    faults.stats.note_injected(SITE_WORKER_CRASH)
+                    raise WorkerCrashInjected(
+                        f"injected crash on shard {worker_id} "
+                        f"holding job {job_id}")
+                if faults.fires_at(SITE_WORKER_KILL, occurrence):
+                    # Announce, flush, die: the supervisor accounts the
+                    # injection (this process's counters die with it)
+                    # and charges exactly the announced job.
+                    out.send(("killing", worker_id, index, names()))
+                    os.kill(os.getpid(), signal.SIGKILL)
+            try:
+                outcome = case_runner(machine, payload)
+                error = None
+            except Exception as failure:  # defensive: report, keep shard
+                outcome = None
+                error = f"{type(failure).__name__}: {failure}"
+            out.send(("result", worker_id, index, outcome, error, names()))
+            held = None
+            cursor += 1
+    except WorkerCrashInjected as error:
+        flush()
+        out.send(("fatal", worker_id, held,
+                  f"{type(error).__name__}: {error}", [SITE_WORKER_CRASH],
+                  _stats_delta(faults, base), names()))
+        return
+    except BaseException as error:  # genuine shard death
+        flush()
+        out.send(("fatal", worker_id, held,
+                  f"{type(error).__name__}: {error}", [],
+                  _stats_delta(faults, base), names()))
+        return
+    flush()
+    telemetry = telemetry_hook(machine) if telemetry_hook is not None else None
+    out.send(("done", worker_id, telemetry,
+              _stats_delta(faults, base), names()))
+
+
+@dataclass
+class _Shard:
+    """Supervisor-side state of one live shard process."""
+
+    worker_id: int
+    proc: Any
+    ctrl: Any
+    out: Any
+    #: Round-local indices granted and not yet executed, in order.
+    remaining: List[int]
+    state: str = "running"  # running | waiting | granted | stopping
+    booted: bool = False
+    steal_pending: bool = False
+    exit_kind: Optional[str] = None  # done | fatal | killed | died
+    fatal_error: Optional[str] = None
+    held_index: Optional[int] = None
+    pending_sites: List[str] = field(default_factory=list)
+    published: List[str] = field(default_factory=list)
+    telemetry: Any = None
+
+
+def run_sharded(machine_config: MachineConfig, payloads: Sequence[Any],
+                case_runner: Callable[[Machine, Any], Any],
+                workers: int = 2, *,
+                boot: Optional[Callable[[], Machine]] = None,
+                faults: Optional[FaultPlan] = None,
+                max_job_retries: int = 0,
+                strict: bool = True,
+                on_worker_death: Optional[Callable[[int], None]] = None,
+                on_owner_segments: Optional[Callable[[List[str]],
+                                                     None]] = None,
+                telemetry_hook: Optional[Callable[[Machine], Any]] = None,
+                published_names: Optional[Callable[[],
+                                                   List[str]]] = None,
+                flush_hook: Optional[Callable[[], None]] = None
+                ) -> ShardRunReport:
+    """Run *payloads* through *case_runner* on a process shard pool.
+
+    The process-mode counterpart of
+    :func:`~repro.vm.cluster.run_distributed`, with the same retry,
+    strictness, and ``on_worker_death`` contracts.  Extra hooks:
+
+    * *boot* builds each shard's machine inside the shard process
+      (default: ``Machine(machine_config)``; the pipeline passes a
+      shared-snapshot boot closure).
+    * *telemetry_hook* runs in the shard at clean retirement; its
+      (picklable) return value lands in ``report.telemetry``.
+    * *published_names* is polled in the shard for shared-segment names
+      it published since last poll; *on_owner_segments* receives a dead
+      shard's announced names so the caller can unlink them (the
+      process-mode owner invalidation).
+    """
+    report = ShardRunReport()
+    payloads = list(payloads)
+    if not payloads:
+        return report
+    if not fork_available():
+        raise RuntimeError(
+            "process shard mode requires the fork start method; "
+            "use mode='thread' on this platform")
+    ctx = multiprocessing.get_context("fork")
+    boot = boot or (lambda: Machine(machine_config))
+    jobs: Dict[int, Job] = {job_id: Job(job_id, payload)
+                            for job_id, payload in enumerate(payloads)}
+    completed: Dict[int, JobResult] = {}
+    failed: Dict[int, JobResult] = {}
+    pool_size = min(max(1, workers), len(jobs))
+    next_worker_id = 0
+    dead_descriptions: List[str] = []
+    steal_seq = 0
+
+    while True:
+        outstanding = [job_id for job_id in sorted(jobs)
+                       if job_id not in completed and job_id not in failed]
+        if not outstanding:
+            break
+        round_jobs = [(job_id, jobs[job_id].payload, jobs[job_id].failures)
+                      for job_id in outstanding]
+        spawn = min(pool_size, len(round_jobs))
+        report.rounds += 1
+        report.shards_spawned += spawn
+        shards: Dict[int, _Shard] = {}
+        quotient, remainder = divmod(len(round_jobs), spawn)
+        position = 0
+        for slot in range(spawn):
+            size = quotient + (1 if slot < remainder else 0)
+            start, end = position, position + size
+            position = end
+            worker_id = next_worker_id
+            next_worker_id += 1
+            ctrl_recv, ctrl_send = ctx.Pipe(duplex=False)
+            out_recv, out_send = ctx.Pipe(duplex=False)
+            proc = ctx.Process(
+                target=_shard_main,
+                args=(worker_id, ctrl_recv, out_send, boot, round_jobs,
+                      case_runner, faults, telemetry_hook, published_names,
+                      flush_hook, start, end),
+                name=f"kit-shard-{worker_id}", daemon=True)
+            proc.start()
+            # The parent's copies of the child-side ends must close so
+            # the pipes belong to exactly one process each.
+            ctrl_recv.close()
+            out_send.close()
+            shards[worker_id] = _Shard(worker_id, proc, ctrl_send, out_recv,
+                                       remaining=list(range(start, end)))
+
+        dropped: set = set()
+        waiting: List[int] = []
+        #: steal id -> (thief, victim) worker ids, for grant routing.
+        grants_pending: Dict[int, Tuple[int, int]] = {}
+
+        def send_stop(shard: _Shard) -> None:
+            if shard.state != "stopping" and shard.exit_kind is None:
+                shard.state = "stopping"
+                try:
+                    shard.ctrl.send(("stop",))
+                except (BrokenPipeError, OSError):
+                    pass
+
+        def match_thieves() -> None:
+            """Pair waiting thieves with the longest-running victims."""
+            nonlocal steal_seq
+            while waiting:
+                potential = [s for s in shards.values()
+                             if s.exit_kind is None and s.state == "running"
+                             and len(s.remaining) >= 2]
+                if not potential:
+                    if grants_pending:
+                        # A split is in flight; its ack may still feed
+                        # the queue, so thieves keep waiting for it.
+                        return
+                    for thief_id in waiting:
+                        send_stop(shards[thief_id])
+                    waiting.clear()
+                    return
+                available = [s for s in potential if not s.steal_pending]
+                if not available:
+                    return  # all victims mid-split; acks re-match
+                victim = max(available, key=lambda s: (len(s.remaining),
+                                                       -s.worker_id))
+                thief_id = waiting.pop(0)
+                steal_seq += 1
+                grants_pending[steal_seq] = (thief_id, victim.worker_id)
+                victim.steal_pending = True
+                shards[thief_id].state = "granted"
+                report.steals_attempted += 1
+                try:
+                    victim.ctrl.send(("steal", steal_seq))
+                except (BrokenPipeError, OSError):
+                    victim.steal_pending = False
+                    del grants_pending[steal_seq]
+                    waiting.insert(0, thief_id)
+                    return
+
+        def handle_message(message: tuple) -> None:
+            kind = message[0]
+            shard = shards[message[1]]
+            if kind == "result":
+                _, worker_id, index, outcome, error, names = message
+                shard.booted = True
+                shard.published.extend(names)
+                if index in shard.remaining:
+                    shard.remaining.remove(index)
+                job_id = round_jobs[index][0]
+                job = jobs[job_id]
+                if faults is not None \
+                        and faults.should_inject(SITE_RESULT_DROP):
+                    # Lost in transit: the round settlement notices the
+                    # gap and charges a failed attempt, as in thread
+                    # mode's fetched-but-unfinished audit.
+                    job.pending_sites.append(SITE_RESULT_DROP)
+                    dropped.add(index)
+                    return
+                if job_id not in completed and job_id not in failed:
+                    completed[job_id] = JobResult(job_id, outcome,
+                                                  worker_id, error=error)
+                if faults is not None and job.pending_sites:
+                    faults.record_recovered(job.pending_sites)
+                    job.pending_sites = []
+            elif kind == "idle":
+                _, worker_id, names = message
+                shard.booted = True
+                shard.published.extend(names)
+                if shard.state in ("running", "granted"):
+                    shard.state = "waiting"
+                    waiting.append(worker_id)
+                match_thieves()
+            elif kind == "steal_ack":
+                _, _worker_id, steal_id, give_start, give_end = message
+                shard.steal_pending = False
+                stolen = [index for index in range(give_start, give_end)
+                          if index in shard.remaining]
+                for index in stolen:
+                    shard.remaining.remove(index)
+                routed = grants_pending.pop(steal_id, None)
+                thief = shards.get(routed[0]) if routed is not None else None
+                if thief is not None and thief.exit_kind is None \
+                        and stolen and thief.state == "granted":
+                    thief.remaining = stolen
+                    thief.state = "running"
+                    report.steals_granted += 1
+                    report.jobs_stolen += len(stolen)
+                    try:
+                        thief.ctrl.send(("range", give_start, give_end))
+                    except (BrokenPipeError, OSError):
+                        pass  # thief died: round settlement re-queues
+                else:
+                    if stolen:
+                        # Thief vanished between request and grant: the
+                        # jobs belong to no shard now; the settlement
+                        # re-queues them uncharged.
+                        pass
+                    if thief is not None and thief.exit_kind is None:
+                        thief.state = "waiting"
+                        waiting.append(thief.worker_id)
+                match_thieves()
+            elif kind == "killing":
+                _, worker_id, index, names = message
+                shard.booted = True
+                shard.published.extend(names)
+                shard.exit_kind = "killed"
+                shard.held_index = index
+                shard.pending_sites = [SITE_WORKER_KILL]
+                shard.fatal_error = (f"injected SIGKILL holding job "
+                                     f"{round_jobs[index][0]}")
+                if faults is not None:
+                    # The shard's own counters die with it; the
+                    # supervisor keeps the campaign ledger.
+                    faults.stats.note_injected(SITE_WORKER_KILL)
+            elif kind == "fatal":
+                (_, _worker_id, held, error, pending, delta,
+                 names) = message
+                shard.published.extend(names)
+                shard.exit_kind = "fatal"
+                shard.fatal_error = error
+                shard.held_index = held
+                shard.pending_sites = list(pending)
+                if held is not None:
+                    shard.booted = True
+                _merge_stats_delta(faults, delta)
+            elif kind == "done":
+                _, _worker_id, telemetry, delta, names = message
+                shard.booted = True
+                shard.published.extend(names)
+                shard.exit_kind = "done"
+                shard.telemetry = telemetry
+                _merge_stats_delta(faults, delta)
+
+        def finalize(shard: _Shard) -> None:
+            if shard.exit_kind is None:
+                shard.exit_kind = "died"
+                shard.fatal_error = shard.fatal_error or \
+                    f"process exited (code {shard.proc.exitcode})"
+            if shard.worker_id in waiting:
+                waiting.remove(shard.worker_id)
+            if shard.steal_pending:
+                # Its ack will never come; un-route the thief parked on
+                # this victim so it can re-match or stop.
+                shard.steal_pending = False
+                for steal_id, (thief_id, victim_id) \
+                        in list(grants_pending.items()):
+                    if victim_id != shard.worker_id:
+                        continue
+                    thief = shards.get(thief_id)
+                    del grants_pending[steal_id]
+                    if thief is not None and thief.exit_kind is None \
+                            and thief.state == "granted":
+                        thief.state = "waiting"
+                        waiting.append(thief_id)
+
+        live: Dict[int, _Shard] = dict(shards)
+        while live:
+            by_conn = {shard.out: shard for shard in live.values()}
+            by_sentinel = {shard.proc.sentinel: shard
+                           for shard in live.values()}
+            ready = _wait_ready(list(by_conn) + list(by_sentinel))
+            exited: List[_Shard] = []
+            for item in ready:
+                shard = by_sentinel.get(item)
+                if shard is not None:
+                    exited.append(shard)
+                    continue
+                connection = item
+                try:
+                    while connection.poll():
+                        handle_message(connection.recv())
+                except (EOFError, OSError):
+                    pass
+            for shard in exited:
+                # Drain anything the shard flushed before exiting.
+                try:
+                    while shard.out.poll():
+                        handle_message(shard.out.recv())
+                except (EOFError, OSError):
+                    pass
+                shard.proc.join()
+                del live[shard.worker_id]
+                finalize(shard)
+            if live:
+                match_thieves()
+
+        # -- round settlement ----------------------------------------------
+        round_dead = [shard for shard in shards.values()
+                      if shard.exit_kind != "done"]
+        report.shards_died += len(round_dead)
+        for shard in shards.values():
+            if shard.exit_kind == "done" and shard.telemetry is not None:
+                report.telemetry.append(shard.telemetry)
+        for shard in round_dead:
+            dead_descriptions.append(
+                f"worker {shard.worker_id}: {shard.fatal_error}")
+            if on_worker_death is not None:
+                on_worker_death(shard.worker_id)
+            if shard.published:
+                report.retired_segments.extend(shard.published)
+                if on_owner_segments is not None:
+                    on_owner_segments(list(shard.published))
+        cause = "; ".join(dead_descriptions) or "result lost in transit"
+
+        def charge(job: Job) -> None:
+            job.failures += 1
+            if job.failures <= max_job_retries:
+                return  # stays outstanding: next round re-runs it
+            failure = JobResult(
+                job.job_id, None, worker=-1,
+                error=f"retries exhausted after {job.failures} "
+                      f"failed attempt(s) ({cause})")
+            failed[job.job_id] = failure
+            if faults is not None and job.pending_sites:
+                faults.record_infra_failed(job.pending_sites)
+                job.pending_sites = []
+
+        round_booted = any(shard.booted for shard in shards.values())
+        if not round_booted:
+            # No shard in the round ever booted: charge everything still
+            # open, or a pool that can never boot would respawn forever.
+            for job_id in outstanding:
+                if job_id not in completed and job_id not in failed:
+                    charge(jobs[job_id])
+            continue
+        charged: set = set()
+        for shard in round_dead:
+            held = shard.held_index
+            if held is None and shard.remaining \
+                    and (shard.booted or shard.exit_kind == "died"):
+                # A silent death mid-range: charge the first unfinished
+                # grant, the process analogue of fetched-but-unfinished.
+                # A boot failure (fatal with no held job) charges
+                # nothing — its untouched range just re-queues, the
+                # still-queued semantics of the thread-mode audit.
+                held = shard.remaining[0]
+            if held is None or held in dropped or held in charged:
+                continue
+            job_id = round_jobs[held][0]
+            if job_id in completed:
+                continue  # its result landed before the death
+            charged.add(held)
+            job = jobs[job_id]
+            job.pending_sites.extend(shard.pending_sites)
+            charge(job)
+        for index in dropped:
+            job_id = round_jobs[index][0]
+            if job_id not in completed and index not in charged:
+                charged.add(index)
+                charge(jobs[job_id])
+        # Everything else unfinished — the tail of a dead shard's range,
+        # a grant stranded by a dead thief — re-queues uncharged, the
+        # still-queued semantics of the thread-mode audit.
+        for shard in shards.values():
+            for connection in (shard.ctrl, shard.out):
+                try:
+                    connection.close()
+                except OSError:  # pragma: no cover
+                    pass
+
+    if failed and strict:
+        missing = sorted(failed)
+        boot_errors = "; ".join(dead_descriptions) or "unknown cause"
+        raise RuntimeError(
+            f"cluster finished with {len(missing)} unfinished job(s) "
+            f"{missing} ({boot_errors})")
+    merged = {**completed, **failed}
+    report.results = [merged[job_id] for job_id in sorted(merged)]
+    return report

@@ -35,13 +35,18 @@ class Snapshot:
     __slots__ = ("blob", "description", "image", "_content_id")
 
     def __init__(self, blob: bytes, description: str = "",
-                 image: Optional[SegmentedImage] = None):
+                 image: Optional[SegmentedImage] = None,
+                 content_id: Optional[str] = None):
         self.blob = blob
         self.description = description
         #: Segmented view bound to the snapshotted kernel, when taken
         #: with ``segmented=True``; None otherwise.
         self.image = image
-        self._content_id: Optional[str] = None
+        #: *content_id* pre-seeds the digest — a shard booting from a
+        #: shared-memory snapshot view inherits the publisher's id
+        #: instead of re-hashing the (borrowed) blob, so derived-state
+        #: cache keys agree across processes by construction.
+        self._content_id: Optional[str] = content_id
 
     @property
     def content_id(self) -> str:

@@ -1,0 +1,107 @@
+"""Process-shard campaigns are bit-equivalent to the other modes
+(ISSUE 6, satellite 4).
+
+Work stealing redistributes *where* test cases execute; the inverse-
+permutation merge guarantees the campaign cannot tell.  These tests pin
+the strongest form of that claim: identical bug sets, identical
+outcomes, identical culprit pairs, and byte-identical rendered reports
+across in-process, thread, and process execution.  A light slice runs
+in tier-1; the seeds-by-kernels sweep is behind ``-m chaos``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.known_bugs import SCENARIOS, TABLE3_ROWS, scenario_machine_config
+from repro.core.pipeline import CampaignConfig, Kit
+from repro.kernel import linux_5_13
+from repro.vm import MachineConfig, fork_available
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="process shards require fork")
+
+KERNELS = {"5.13": MachineConfig(bugs=linux_5_13())}
+KERNELS.update({row: scenario_machine_config(SCENARIOS[row])
+                for row in TABLE3_ROWS})
+
+
+def _campaign(kernel_name, seed=3, **overrides):
+    config = CampaignConfig(machine=KERNELS[kernel_name], corpus_size=16,
+                            corpus_seed=seed, max_test_cases=16,
+                            diagnose=True, **overrides)
+    return Kit(config).run()
+
+
+def _signature(result):
+    """Everything execution order could conceivably perturb."""
+    return {
+        "bugs": sorted(result.bugs_found()),
+        "outcomes": sorted(result.stats.outcomes.items()),
+        "culprits": sorted(
+            (report.case.sender.hash_hex, report.case.receiver.hash_hex,
+             tuple(report.interfered_indices),
+             tuple((pair.sender_index, pair.receiver_index)
+                   for pair in report.culprit_pairs))
+            for report in result.reports),
+        "renders": sorted(report.render() for report in result.reports),
+    }
+
+
+def _no_shm_leaks():
+    if not os.path.isdir("/dev/shm"):  # pragma: no cover - non-Linux
+        return True
+    return not [entry for entry in os.listdir("/dev/shm")
+                if entry.startswith("kitshm")]
+
+
+# -- tier-1 slice -------------------------------------------------------------
+
+
+def test_process_mode_matches_thread_and_in_process():
+    in_process = _campaign("5.13", workers=0)
+    threaded = _campaign("5.13", workers=2)
+    sharded = _campaign("5.13", workers=2, shard_mode="process")
+    assert _signature(sharded) == _signature(threaded) == \
+        _signature(in_process)
+    assert _no_shm_leaks()
+
+
+def test_process_mode_telemetry_accounts_for_the_pool():
+    in_process = _campaign("5.13", workers=0)
+    sharded = _campaign("5.13", workers=2, shard_mode="process")
+    stats = sharded.stats
+    assert stats.shard_mode == "process"
+    assert stats.execution_workers == 2
+    assert stats.shards_spawned >= 2 and stats.shards_died == 0
+    # The base snapshot is always published to shared memory; the
+    # campaign-end sweep reclaims every segment it created.
+    assert stats.shm_segments >= 1 and stats.shm_bytes > 0
+    assert _no_shm_leaks()
+    # Shard-local execution telemetry merges losslessly: the §6.5
+    # funnel sees exactly the cases the in-process run executed.
+    assert stats.cases_executed == in_process.stats.cases_executed
+    assert stats.shard_mode != in_process.stats.shard_mode
+
+
+def test_thread_mode_reports_no_process_telemetry():
+    threaded = _campaign("5.13", workers=2)
+    assert threaded.stats.shard_mode == "thread"
+    assert threaded.stats.shm_segments == 0
+    assert threaded.stats.shards_spawned == 0
+
+
+# -- the seeds-by-kernels sweep (deselected; run with -m chaos) ---------------
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("kernel_name", sorted(KERNELS))
+def test_process_parity_sweep(kernel_name, seed):
+    threaded = _campaign(kernel_name, seed=seed, workers=2)
+    sharded = _campaign(kernel_name, seed=seed, workers=2,
+                        shard_mode="process")
+    assert _signature(sharded) == _signature(threaded)
+    assert _no_shm_leaks()

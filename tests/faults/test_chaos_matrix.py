@@ -12,8 +12,14 @@ import pytest
 
 from repro.core.known_bugs import SCENARIOS, TABLE3_ROWS, scenario_machine_config
 from repro.core.pipeline import CampaignConfig, Kit
-from repro.faults.plan import ALL_SITES, SITE_WORKER_CRASH, FaultPlan
+from repro.faults.plan import (
+    ALL_SITES,
+    SITE_WORKER_CRASH,
+    SITE_WORKER_KILL,
+    FaultPlan,
+)
 from repro.kernel import linux_5_13
+from repro.vm import fork_available
 from repro.vm.machine import MachineConfig
 
 CORPUS_SIZE = 16
@@ -88,6 +94,47 @@ def test_graceful_degradation_when_cluster_unusable():
     assert result.bugs_found() == set()
 
 
+needs_fork = pytest.mark.skipif(not fork_available(),
+                                reason="process shards require fork")
+
+
+@needs_fork
+@pytest.mark.parametrize("seed", [0, 1])
+def test_chaos_process_campaign_reports_same_bugs(seed, clean_bugs):
+    """The tier-1 process-mode slice: forked shards under blanket
+    injection (worker.kill included) find exactly the clean bug set."""
+    plan = FaultPlan(seed=seed, rate=0.15)
+    result = _campaign("5.13", faults=plan, workers=2,
+                       shard_mode="process")
+    _assert_equivalent(result, plan, clean_bugs("5.13"))
+    assert result.stats.faults_injected_total() > 0
+
+
+@needs_fork
+def test_graceful_degradation_when_every_shard_is_killed():
+    """The process-mode twin of the crash-storm test: every job attempt
+    SIGKILLs its shard, yet the campaign completes with every case
+    degraded to infra_failed, balanced books, and no /dev/shm leak."""
+    import os
+
+    plan = FaultPlan(seed=0, rates={SITE_WORKER_KILL: 1.0},
+                     max_job_retries=1)
+    config = CampaignConfig(machine=KERNELS["5.13"], corpus_size=6,
+                            strategy="rand", rand_budget=6, workers=2,
+                            shard_mode="process", faults=plan,
+                            diagnose=False)
+    result = Kit(config).run()
+    assert result.reports == []
+    assert result.stats.outcomes == {"infra_failed": 6}
+    assert result.stats.infra_failed_cases == 6
+    assert result.stats.faults_accounted(), plan.stats.snapshot()
+    assert result.bugs_found() == set()
+    assert result.stats.shards_died > 0
+    if os.path.isdir("/dev/shm"):
+        assert not [entry for entry in os.listdir("/dev/shm")
+                    if entry.startswith("kitshm")]
+
+
 # -- the full sweep (deselected by default; run with -m chaos) ----------------
 
 
@@ -106,4 +153,28 @@ def test_single_site_sweep(site, seed, clean_bugs):
 def test_all_sites_all_kernels_sweep(kernel_name, seed, clean_bugs):
     plan = FaultPlan(seed=seed, rate=0.15)
     result = _campaign(kernel_name, faults=plan, workers=2)
+    _assert_equivalent(result, plan, clean_bugs(kernel_name))
+
+
+@needs_fork
+@pytest.mark.chaos
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("site", ALL_SITES)
+def test_process_single_site_sweep(site, seed, clean_bugs):
+    """Every injection site, one at a time, against forked shards —
+    including worker.kill, which only exists in process mode."""
+    plan = FaultPlan(seed=seed, rate=0.3, sites=(site,))
+    result = _campaign("5.13", faults=plan, workers=2,
+                       shard_mode="process")
+    _assert_equivalent(result, plan, clean_bugs("5.13"))
+
+
+@needs_fork
+@pytest.mark.chaos
+@pytest.mark.parametrize("seed", [0, 1])
+@pytest.mark.parametrize("kernel_name", sorted(KERNELS))
+def test_process_all_sites_all_kernels_sweep(kernel_name, seed, clean_bugs):
+    plan = FaultPlan(seed=seed, rate=0.15)
+    result = _campaign(kernel_name, faults=plan, workers=2,
+                       shard_mode="process")
     _assert_equivalent(result, plan, clean_bugs(kernel_name))

@@ -1,0 +1,233 @@
+"""Multiprocess shard pool: work stealing, supervision, determinism
+(ISSUE 6 tentpole, satellites 3 and 4).
+
+Mirrors the thread-cluster contracts of
+``tests/faults/test_cluster_recovery.py`` across real forked processes.
+Process-mode fault schedules key on ``job_id + attempt * 1_000_003``
+(no per-process counter stream — forked children inherit the parent's
+counters, so occurrence indexing is what keeps scheduled faults firing
+exactly once across shards); ``schedule={SITE: {0}}`` therefore means
+"while running job 0, attempt 0".
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.faults.plan import (
+    SITE_RESULT_DROP,
+    SITE_WORKER_CRASH,
+    SITE_WORKER_KILL,
+    FaultPlan,
+)
+from repro.kernel import linux_5_13
+from repro.vm import MachineConfig, Machine, fork_available, run_sharded
+from repro.vm.shardpool import _ATTEMPT_STRIDE
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="process shards require fork")
+
+CONFIG = MachineConfig(bugs=linux_5_13())
+
+
+def test_results_merge_in_job_order():
+    report = run_sharded(CONFIG, list(range(8)),
+                         lambda machine, payload: payload + 100, workers=2)
+    assert [r.outcome for r in report.results] == [i + 100 for i in range(8)]
+    assert [r.job_id for r in report.results] == list(range(8))
+    assert report.rounds == 1
+    assert report.shards_spawned == 2 and report.shards_died == 0
+
+
+def test_pool_never_exceeds_job_count():
+    report = run_sharded(CONFIG, [1, 2], lambda machine, payload: payload,
+                         workers=8)
+    assert report.shards_spawned == 2
+    assert [r.outcome for r in report.results] == [1, 2]
+
+
+def test_empty_payloads_short_circuit():
+    report = run_sharded(CONFIG, [], lambda machine, payload: payload,
+                         workers=2)
+    assert report.results == [] and report.rounds == 0
+
+
+def test_idle_shard_steals_from_loaded_victim():
+    """Half of shard 0's slow tail migrates to shard 1 once it drains
+    its own fast range; the merged results stay in job order."""
+
+    def skewed(machine, payload):
+        if payload < 6:
+            time.sleep(0.05)
+        return payload * 2
+
+    report = run_sharded(CONFIG, list(range(12)), skewed, workers=2)
+    assert [r.outcome for r in report.results] == [i * 2 for i in range(12)]
+    assert report.steals_attempted >= 1
+    assert report.steals_granted >= 1
+    assert report.jobs_stolen >= 1
+    assert report.shards_died == 0
+
+
+def test_stolen_ranges_preserve_result_identity():
+    """Satellite 4: stealing redistributes *where* jobs run, never what
+    they produce — byte-identical outcomes to the no-steal pool."""
+
+    def skewed(machine, payload):
+        if payload % 3 == 0:
+            time.sleep(0.02)
+        return (payload, payload * payload)
+
+    single = run_sharded(CONFIG, list(range(10)), skewed, workers=1)
+    pooled = run_sharded(CONFIG, list(range(10)), skewed, workers=3)
+    assert [r.outcome for r in single.results] \
+        == [r.outcome for r in pooled.results]
+    assert single.steals_granted == 0  # a lone shard has nobody to rob
+
+
+def test_crash_schedule_recovery():
+    plan = FaultPlan(seed=0, schedule={SITE_WORKER_CRASH: {0}})
+    dead = []
+    report = run_sharded(CONFIG, list(range(4)),
+                         lambda machine, payload: payload + 1, workers=1,
+                         faults=plan, max_job_retries=1,
+                         on_worker_death=dead.append)
+    assert [r.outcome for r in report.results] == [1, 2, 3, 4]
+    assert dead == [0]
+    assert report.shards_died == 1 and report.rounds == 2
+    # The replacement shard got a fresh worker id (ids never recycle).
+    assert all(r.worker != 0 for r in report.results)
+    assert plan.stats.recovered.get(SITE_WORKER_CRASH) == 1
+    assert plan.stats.accounted()
+
+
+def test_kill_schedule_recovery_and_accounting():
+    """worker.kill SIGKILLs the shard mid-job; the supervisor charges
+    exactly the announced job and keeps the campaign ledger balanced
+    (the dead process's own counters are lost with it)."""
+    plan = FaultPlan(seed=0, schedule={SITE_WORKER_KILL: {1}})
+    dead = []
+    report = run_sharded(CONFIG, list(range(4)),
+                         lambda machine, payload: payload * 10, workers=2,
+                         faults=plan, max_job_retries=1,
+                         on_worker_death=dead.append)
+    assert [r.outcome for r in report.results] == [0, 10, 20, 30]
+    assert len(dead) == 1
+    assert report.shards_died == 1
+    assert plan.stats.injected.get(SITE_WORKER_KILL) == 1
+    assert plan.stats.recovered.get(SITE_WORKER_KILL) == 1
+    assert plan.stats.accounted()
+
+
+def test_retried_attempt_draws_a_fresh_fault_decision():
+    # Schedule the crash for job 0 on attempt 0 AND attempt 1: both
+    # occurrences fire, the third attempt completes.
+    plan = FaultPlan(seed=0, schedule={
+        SITE_WORKER_CRASH: {0, _ATTEMPT_STRIDE}})
+    report = run_sharded(CONFIG, [7], lambda machine, payload: payload,
+                         workers=1, faults=plan, max_job_retries=2)
+    assert report.results[0].outcome == 7
+    assert report.shards_died == 2 and report.rounds == 3
+    assert plan.stats.recovered.get(SITE_WORKER_CRASH) == 2
+    assert plan.stats.accounted()
+
+
+def test_death_with_no_retries_raises_by_default():
+    plan = FaultPlan(seed=0, schedule={SITE_WORKER_CRASH: {0}})
+    with pytest.raises(RuntimeError) as excinfo:
+        run_sharded(CONFIG, list(range(3)),
+                    lambda machine, payload: payload,
+                    workers=1, faults=plan, max_job_retries=0)
+    assert "unfinished job(s)" in str(excinfo.value)
+    assert plan.stats.accounted()
+
+
+def test_kill_storm_degrades_gracefully_when_not_strict():
+    plan = FaultPlan(seed=0, rates={SITE_WORKER_KILL: 1.0})
+    report = run_sharded(CONFIG, ["only-job"],
+                         lambda machine, payload: payload, workers=1,
+                         faults=plan, max_job_retries=2, strict=False)
+    assert len(report.results) == 1
+    assert report.results[0].outcome is None
+    assert "retries exhausted after 3 failed attempt(s)" \
+        in report.results[0].error
+    assert plan.stats.infra_failed.get(SITE_WORKER_KILL) == 3
+    assert plan.stats.accounted()
+
+
+def test_dropped_result_is_requeued_and_recovered():
+    plan = FaultPlan(seed=0, schedule={SITE_RESULT_DROP: {0}})
+    report = run_sharded(CONFIG, list(range(3)),
+                         lambda machine, payload: payload * 3, workers=1,
+                         faults=plan, max_job_retries=1)
+    assert [r.outcome for r in report.results] == [0, 3, 6]
+    assert plan.stats.recovered.get(SITE_RESULT_DROP) == 1
+    assert plan.stats.accounted()
+
+
+def test_genuine_job_exception_is_not_retried():
+    """Retries cover infrastructure faults, not deterministic job bugs;
+    a single round proves no retry round ever ran."""
+
+    def runner(machine, payload):
+        if payload == 1:
+            raise ValueError("deterministic bug")
+        return payload
+
+    report = run_sharded(CONFIG, [0, 1, 2], runner, workers=1,
+                         faults=FaultPlan(seed=0), max_job_retries=5,
+                         strict=False)
+    assert report.rounds == 1
+    assert "ValueError" in report.results[1].error
+    assert report.results[0].outcome == 0
+    assert report.results[2].outcome == 2
+
+
+def test_boot_failure_charges_nothing_until_pool_cannot_boot(tmp_path):
+    """A shard that dies *booting* never touched its range: the jobs
+    re-queue and the respawned shard (whose boot succeeds) runs them."""
+    flag = tmp_path / "boot-failed-once"
+
+    def flaky_boot():
+        if not flag.exists():
+            flag.write_text("x")
+            raise RuntimeError("transient boot failure")
+        return Machine(CONFIG)
+
+    report = run_sharded(CONFIG, list(range(3)),
+                         lambda machine, payload: payload + 5, workers=1,
+                         boot=flaky_boot, max_job_retries=1)
+    assert [r.outcome for r in report.results] == [5, 6, 7]
+    assert report.rounds == 2 and report.shards_died == 1
+
+
+def test_pool_that_can_never_boot_raises():
+    def broken_boot():
+        raise RuntimeError("no machine for you")
+
+    with pytest.raises(RuntimeError) as excinfo:
+        run_sharded(CONFIG, list(range(2)),
+                    lambda machine, payload: payload, workers=2,
+                    boot=broken_boot, max_job_retries=1)
+    assert "unfinished job(s)" in str(excinfo.value)
+    assert "no machine for you" in str(excinfo.value)
+
+
+def test_telemetry_hook_collects_from_retired_shards():
+    report = run_sharded(CONFIG, list(range(6)),
+                         lambda machine, payload: payload, workers=2,
+                         telemetry_hook=lambda m: m.cluster_worker_id)
+    assert sorted(report.telemetry) == [0, 1]
+
+
+def test_killed_shard_ships_no_telemetry():
+    plan = FaultPlan(seed=0, schedule={SITE_WORKER_KILL: {0}})
+    report = run_sharded(CONFIG, list(range(4)),
+                         lambda machine, payload: payload, workers=2,
+                         faults=plan, max_job_retries=1,
+                         telemetry_hook=lambda m: m.cluster_worker_id)
+    # Worker 0 was SIGKILLed; only cleanly-retired shards report.
+    assert 0 not in report.telemetry
+    assert len(report.telemetry) >= 1

@@ -1,0 +1,197 @@
+"""Shared-memory segment store lifecycle (ISSUE 6, satellite 3).
+
+Covers the refcounted attach/detach protocol, the torn-write header
+guard, unlink idempotence, and the end-of-campaign cleanup sweep that
+guarantees no ``/dev/shm`` entry outlives a campaign.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel import linux_5_13
+from repro.vm import HAVE_SHM, Machine, MachineConfig
+from repro.vm import shm as shm_mod
+from repro.vm.shm import (
+    DeltaStore,
+    SegmentStore,
+    SharedSnapshot,
+    pack_segments,
+    unpack_views,
+)
+
+pytestmark = pytest.mark.skipif(
+    not HAVE_SHM, reason="multiprocessing.shared_memory unavailable")
+
+
+@pytest.fixture
+def store():
+    segment_store = SegmentStore()
+    yield segment_store
+    segment_store.cleanup()
+    assert segment_store.active_segments() == []
+
+
+def test_create_fetch_roundtrip(store):
+    payload = b"post-sender delta bytes" * 10
+    assert store.create("blob", payload) is True
+    assert store.fetch("blob") == payload
+    assert store.created == 1
+    assert store.created_bytes == len(payload)
+
+
+def test_create_is_dedup_not_overwrite(store):
+    assert store.create("blob", b"first") is True
+    # Second create under the same name loses the race: the segment
+    # keeps the first writer's bytes (the DeltaStore dedup contract).
+    assert store.create("blob", b"second") is False
+    assert store.fetch("blob") == b"first"
+    assert store.created == 1
+
+
+def test_attach_refcounts_until_last_detach(store):
+    store.create("blob", b"shared pages")
+    first = store.attach_view("blob")
+    second = store.attach_view("blob")
+    assert bytes(first) == bytes(second) == b"shared pages"
+    assert store.refcount("blob") == 2
+    assert store.open_mappings() == 1  # one mapping, two references
+    store.detach("blob")
+    assert store.refcount("blob") == 1
+    store.detach("blob")
+    assert store.refcount("blob") == 0
+    assert store.open_mappings() == 0
+    store.detach("blob")  # extra detach is a no-op
+    assert store.refcount("blob") == 0
+
+
+def test_attached_views_are_readonly(store):
+    store.create("blob", b"immutable")
+    view = store.attach_view("blob")
+    with pytest.raises(TypeError):
+        view[0] = 0
+    store.detach("blob")
+
+
+def test_missing_segment_is_a_miss(store):
+    assert store.attach_view("nope") is None
+    assert store.fetch("nope") is None
+
+
+def test_uncommitted_segment_is_a_miss_and_reclaimed(store):
+    # Simulate a writer SIGKILLed between create and the header write:
+    # the segment exists but its committed length is still zero.
+    name = store.name_of("torn")
+    raw = shm_mod.shared_memory.SharedMemory(name=name, create=True, size=64)
+    shm_mod._untrack(name)
+    raw.close()
+    assert store.attach_view("torn") is None
+    assert store.fetch("torn") is None
+    # The leak audit still sees the orphan, and cleanup reclaims it.
+    assert name in store.active_segments()
+    assert store.cleanup() >= 1
+    assert store.active_segments() == []
+
+
+def test_corrupt_header_is_a_miss(store):
+    # A committed length larger than the segment means a torn header.
+    name = store.name_of("corrupt")
+    raw = shm_mod.shared_memory.SharedMemory(name=name, create=True, size=32)
+    shm_mod._untrack(name)
+    raw.buf[:shm_mod._HEADER.size] = shm_mod._HEADER.pack(10_000)
+    raw.close()
+    assert store.attach_view("corrupt") is None
+
+
+def test_unlink_is_idempotent(store):
+    store.create("blob", b"bytes")
+    assert store.unlink("blob") is True
+    assert store.unlink("blob") is False
+    assert store.unlink("never-created") is False
+    assert store.fetch("blob") is None
+
+
+def test_unlink_keeps_other_attachments_readable(store):
+    """POSIX semantics: unlink removes the name, not the mapped pages."""
+    store.create("blob", b"still mapped elsewhere")
+    reader = SegmentStore(prefix=store.prefix)  # another shard's view
+    view = reader.attach_view("blob")
+    assert store.unlink("blob") is True
+    assert bytes(view) == b"still mapped elsewhere"  # pages outlive the name
+    assert store.fetch("blob") is None  # but attach-by-name now misses
+    reader.detach("blob")
+
+
+def test_cleanup_reclaims_every_segment(store):
+    for index in range(4):
+        store.create(f"seg-{index}", bytes([index]) * 16)
+    store.attach_view("seg-0")  # a still-open mapping must not block it
+    assert store.cleanup() == 4
+    assert store.active_segments() == []
+    assert store.open_mappings() == 0
+
+
+def test_pack_unpack_roundtrip():
+    parts = [b"", b"a", b"bc" * 100, b"\x00\xff"]
+    views = unpack_views(memoryview(pack_segments(parts)))
+    assert [bytes(view) for view in views] == parts
+    assert unpack_views(memoryview(pack_segments([]))) == []
+
+
+# -- the published base snapshot ----------------------------------------------
+
+
+CONFIG = MachineConfig(bugs=linux_5_13())
+
+
+def test_shared_snapshot_roundtrip_preserves_identity(store):
+    machine = Machine(CONFIG)
+    shared = SharedSnapshot.publish(store, machine.snapshot)
+    view = shared.attach()
+    assert view.content_id == machine.snapshot.content_id
+    assert view.payloads is not None
+    assert len(view.payloads) == len(machine.snapshot.image.payloads)
+
+    shard_machine = Machine(CONFIG, shared_snapshot=view)
+    # The inherited content id is the compatibility key every shared
+    # sender-state delta relies on: it must match without re-hashing.
+    assert shard_machine.snapshot.content_id == machine.snapshot.content_id
+    shard_machine.reset()
+    shared.detach()
+
+
+def test_shared_snapshot_publishes_once(store):
+    machine = Machine(CONFIG)
+    SharedSnapshot.publish(store, machine.snapshot)
+    with pytest.raises(RuntimeError, match="already published"):
+        SharedSnapshot.publish(store, machine.snapshot)
+
+
+# -- the delta store ----------------------------------------------------------
+
+
+def test_delta_store_publish_fetch(store):
+    deltas = DeltaStore(store)
+    key = ("snapshot-id", "sender-hash")
+    assert deltas.publish(key, b"delta bytes") is not None
+    assert deltas.publish(key, b"delta bytes") is None  # idempotent
+    assert deltas.fetch(key) == b"delta bytes"
+    assert deltas.fetch(("snapshot-id", "other")) is None
+    assert (deltas.publishes, deltas.fetch_hits, deltas.fetch_misses) \
+        == (1, 1, 1)
+
+
+def test_delta_store_names_are_deterministic():
+    key = ("snapshot-id", "sender-hash")
+    assert DeltaStore.suffix_of(key) == DeltaStore.suffix_of(key)
+    assert DeltaStore.suffix_of(key) != DeltaStore.suffix_of(("a", "b"))
+
+
+def test_delta_store_take_published_drains(store):
+    deltas = DeltaStore(store)
+    suffix = deltas.publish(("k", 1), b"one")
+    assert deltas.take_published() == [suffix]
+    assert deltas.take_published() == []
+    # The supervisor unlinks a dead shard's announced names.
+    assert deltas.unlink(suffix) is True
+    assert deltas.fetch(("k", 1)) is None
