@@ -397,3 +397,82 @@ def test_static_analysis_gate(benchmark):
     assert lock_findings == [], \
         "shared pipeline caches broke the lexical lock discipline"
     assert cli_main(["analyze", "--check"]) == 0
+
+
+#: Frozen race-pair candidate counts for the two kernel presets.  The
+#: join is deterministic, so any drift means the interpreter, the
+#: lockset annotations, or the kernel model changed — re-freeze
+#: deliberately, never silently.
+FROZEN_RACE_CANDIDATES = {"5.13": 427, "fixed": 466}
+#: Warm incremental analysis must beat a cold run by this factor.
+MIN_WARM_SPEEDUP = 5.0
+
+
+def test_race_analysis_gate(tmp_path, benchmark):
+    """The lockset race analyzer's gate.
+
+    Three invariants: the repo's own concurrency lint is clean (zero
+    unsuppressed L1/L2/S1 findings over ``src/``), the kernel race-pair
+    candidate counts match their frozen values per preset, and the
+    incremental cache makes a warm ``analyze --races`` run at least
+    ``MIN_WARM_SPEEDUP``x faster than a cold one.
+    """
+    from repro.analysis import analyze, rediscover_races
+    from repro.analysis.cache import AnalysisCache
+    from repro.analysis.locks import check_lock_discipline
+
+    lint = check_lock_discipline()
+    by_code = {}
+    for finding in lint:
+        by_code.setdefault(finding.code, []).append(finding)
+
+    counts = {}
+    for preset, bugs in (("5.13", linux_5_13()), ("fixed", fixed_kernel())):
+        report = analyze(bugs=bugs, kernel_name=preset, races=True)
+        counts[preset] = len(report.races)
+
+    cache = AnalysisCache(str(tmp_path / "cache"))
+
+    def timed(label):
+        start = time.perf_counter()
+        analyze(bugs=linux_5_13(), kernel_name="5.13", races=True,
+                cache=cache)
+        return time.perf_counter() - start
+
+    cold = timed("cold")
+    warm = min(timed("warm") for _ in range(3))
+    benchmark.pedantic(timed, args=("warm",), rounds=1, iterations=1)
+    speedup = cold / warm
+
+    rediscovery = rediscover_races()
+
+    lines = [
+        f"{'gate':<42} {'measured':>10} {'threshold':>10}",
+        "-" * 66,
+        f"{'unsuppressed L1/L2/S1 findings (src/)':<42} "
+        f"{len(lint):>10} {'0':>10}",
+        f"{'race candidates, kernel 5.13':<42} {counts['5.13']:>10} "
+        f"{FROZEN_RACE_CANDIDATES['5.13']:>10}",
+        f"{'race candidates, kernel fixed':<42} {counts['fixed']:>10} "
+        f"{FROZEN_RACE_CANDIDATES['fixed']:>10}",
+        f"{'warm/cold incremental speedup':<42} {f'{speedup:.1f}x':>10} "
+        f"{f'>={MIN_WARM_SPEEDUP:.0f}x':>10}",
+        f"{'race rediscovery (vs injected bugs)':<42} "
+        f"{f'{len(rediscovery.found)}/{len(rediscovery.per_bug)}':>10} "
+        f"{'expected':>10}",
+        "",
+        f"cold {cold * 1e3:.0f} ms, warm {warm * 1e3:.0f} ms; "
+        "candidate counts are frozen — re-freeze deliberately on any "
+        "intentional analyzer or kernel-model change",
+    ]
+    emit_table("race_gate", "Lockset race analysis gate", lines)
+
+    assert lint == [], "unsuppressed concurrency-lint findings: " + \
+        "; ".join(f.render() for f in lint)
+    assert not by_code.get("L2") and not by_code.get("S1")
+    assert counts == FROZEN_RACE_CANDIDATES, \
+        f"race candidate counts drifted: {counts}"
+    assert speedup >= MIN_WARM_SPEEDUP, \
+        f"warm incremental analysis only {speedup:.1f}x faster than cold"
+    assert rediscovery.matches_expectations(), \
+        "race rediscovery deviates from the bug registry's expectations"

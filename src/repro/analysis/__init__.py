@@ -14,13 +14,21 @@ On top of the access maps sit three consumers:
 * :mod:`repro.analysis.prefilter` — a candidate-pair prior for
   :class:`repro.core.generation.TestCaseGenerator`, pruning program
   pairs whose static access sets are provably disjoint;
-* :mod:`repro.analysis.locks` — a lock-discipline checker for the
-  pipeline's shared concurrent structures.
+* :mod:`repro.analysis.races` — the lockset race analyzer, joining
+  held-lockset-annotated access maps across syscall pairs into ranked
+  static race-pair candidates;
+* :mod:`repro.analysis.locks` — the concurrency lint (L1/L2/S1) for
+  the pipeline's shared structures, built on the flow- and
+  alias-aware engine in :mod:`repro.analysis.locksets`.
+
+Results cache incrementally on disk via
+:class:`repro.analysis.cache.AnalysisCache`, keyed by source digests.
 
 See docs/ANALYSIS.md for the lattice, the lint rules, and suppression.
 """
 
 from .accessmap import AccessMap, SyscallSummary, extract_access_map
+from .cache import AnalysisCache
 from .escape import EscapeFinding, EscapeLinter, rediscover_bugs
 from .locations import (
     BROADCAST,
@@ -33,11 +41,18 @@ from .locations import (
 )
 from .locks import LockFinding, check_lock_discipline
 from .prefilter import PrefilterStats, StaticPreFilter
+from .races import (
+    RaceCandidate,
+    RaceRediscoveryReport,
+    find_race_candidates,
+    rediscover_races,
+)
 from .report import AnalysisReport, analyze, render_json, render_text
 
 __all__ = [
     "Access",
     "AccessMap",
+    "AnalysisCache",
     "AnalysisReport",
     "BROADCAST",
     "EscapeFinding",
@@ -48,13 +63,17 @@ __all__ = [
     "LockFinding",
     "NAMESPACE",
     "PrefilterStats",
+    "RaceCandidate",
+    "RaceRediscoveryReport",
     "StateLocation",
     "StaticPreFilter",
     "SyscallSummary",
     "TASK",
     "check_lock_discipline",
     "extract_access_map",
+    "find_race_candidates",
     "render_json",
     "render_text",
     "rediscover_bugs",
+    "rediscover_races",
 ]

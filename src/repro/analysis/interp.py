@@ -28,6 +28,7 @@ Precision choices mirror the runtime's aliasing semantics
 from __future__ import annotations
 
 import ast
+from dataclasses import replace
 from typing import Any, Dict, List, Optional, Tuple
 
 from .locations import (
@@ -129,6 +130,31 @@ def _flatten(value: Any) -> List[Any]:
     return [value]
 
 
+def _narrow_enum(value: Any) -> Any:
+    """Narrow enumeration-origin values to namespace scope.
+
+    Applied to the return value of a *namespace-guarded* helper: a
+    function that enumerates tasks/namespaces but filters them through
+    a guard (``vpid_in``, membership tests) returns the caller-visible
+    subset, so consumers touch NAMESPACE-scoped instances, not a
+    broadcast.  The helper's own accesses keep their broadcast scope
+    (plus the guard stamp) — only what it hands back is narrowed.
+    """
+    if not isinstance(value, tuple) or not value:
+        return value
+    if value[0] == "task" and value[1] == "enum":
+        return ("task", "lookup")
+    if value[0] == "ns" and value[2] == "enum":
+        return ("ns", value[1], "other")
+    if value[0] == "list":
+        return ("list", _narrow_enum(value[1]))
+    if value[0] == "tuple":
+        return ("tuple", tuple(_narrow_enum(v) for v in value[1]))
+    if value[0] == "multi":
+        return ("multi", tuple(_narrow_enum(v) for v in value[1]))
+    return value
+
+
 def _ns_scope(origin: str) -> str:
     return {"enum": BROADCAST, "init": INIT}.get(origin, NAMESPACE)
 
@@ -159,9 +185,7 @@ class _Frame:
 
     def finalize(self) -> Tuple[Access, ...]:
         own = tuple(
-            Access(a.location, a.kind, a.file, a.line, a.function,
-                   a.traced, a.observable, True)
-            for a in self.own
+            replace(a, guarded=True) for a in self.own
         ) if self.guarded else tuple(self.own)
         return own + tuple(self.children)
 
@@ -176,6 +200,18 @@ class AbstractInterpreter:
         self.bugs = bugs
         self._stack: List[int] = []
         self.proc_wildcard = False
+        #: Must-held lockset stack: canonical paths of the KLock
+        #: instances whose ``with`` blocks enclose the current point.
+        self._held_locks: List[str] = []
+        #: Interprocedural summary cache, keyed by (function identity,
+        #: abstract arguments, entry-held lockset).  Persists across
+        #: entry points so shared helpers are walked once per calling
+        #: context; only truncation-free walks are cached, so cached
+        #: summaries are exact and position-independent.
+        self._summaries: Dict[Any, Tuple[Tuple[Access, ...], Any, bool]] = {}
+        #: Depth/recursion truncation events — walks during which the
+        #: counter moves are incomplete and must not populate the cache.
+        self._truncations = 0
 
     # -- public entry points --------------------------------------------------
 
@@ -200,6 +236,7 @@ class AbstractInterpreter:
                     qualname: str, env: Dict[str, Any]) -> FunctionSummary:
         self.proc_wildcard = False
         self._stack = []
+        self._held_locks = []
         frame = _Frame(module, qualname, env)
         self._stack.append(id(funcdef))
         try:
@@ -220,6 +257,7 @@ class AbstractInterpreter:
             self.index.relative_path(frame.module.path),
             getattr(node, "lineno", 0), frame.qualname,
             traced, observable, False,
+            tuple(sorted(set(self._held_locks))),
         ))
 
     # -- statements -----------------------------------------------------------
@@ -260,11 +298,26 @@ class AbstractInterpreter:
             self._walk_body(stmt.body, frame)
             self._walk_body(stmt.orelse, frame)
         elif isinstance(stmt, ast.With):
+            pushed = 0
             for item in stmt.items:
                 value = self._eval(item.context_expr, frame)
+                # A ``with <KLock>:`` adds the lock to the must-held
+                # set for the (lexical) body.  Joined values only count
+                # when every branch resolves to the same lock — must-
+                # held may never over-claim protection.
+                options = _flatten(value)
+                paths = [opt[2] for opt in options
+                         if isinstance(opt, tuple) and len(opt) == 4
+                         and opt[0] == "inst" and opt[1] == "KLock"]
+                if (paths and len(paths) == len(options)
+                        and len(set(paths)) == 1):
+                    self._held_locks.append(paths[0])
+                    pushed += 1
                 if item.optional_vars is not None:
                     self._assign(item.optional_vars, value, stmt, frame)
             self._walk_body(stmt.body, frame)
+            if pushed:
+                del self._held_locks[-pushed:]
         elif isinstance(stmt, ast.Try):
             self._walk_body(stmt.body, frame)
             for handler in stmt.handlers:
@@ -970,6 +1023,20 @@ class AbstractInterpreter:
         args, kwargs = self._eval_args(node, frame)
         if meth in _GUARD_CALLS:
             frame.guarded = True
+        # Accumulate elements into locally-built lists: ``xs.append(v)``
+        # on a name bound to ("list", elem) rebinds it with v joined in,
+        # so ``for x in helper_returning_accumulated_list():`` sees the
+        # element values (the PRIO_USER pattern: collect enum tasks,
+        # mutate each).  A None elem means "empty so far", not unknown.
+        if (isinstance(node.func.value, ast.Name)
+                and meth in ("append", "insert", "extend") and args
+                and isinstance(base, tuple) and base and base[0] == "list"
+                and frame.env.get(node.func.value.id) == base):
+            item = (self._iterate(args[-1], node, frame)
+                    if meth == "extend" else args[-1])
+            elem = base[1]
+            frame.env[node.func.value.id] = (
+                "list", item if elem is None else _join(elem, item))
         results = [self._method_on(v, meth, node, args, kwargs, frame,
                                    stmt_position)
                    for v in _flatten(base)]
@@ -1276,7 +1343,25 @@ class AbstractInterpreter:
     def _inline(self, module: ModuleInfo, funcdef: ast.FunctionDef,
                 self_value: Any, args: List[Any], kwargs: Dict[str, Any],
                 node: ast.AST, frame: _Frame, qualname: str) -> Any:
+        # Summary cache: a finished, truncation-free walk of this
+        # function under the same abstract arguments and entry-held
+        # lockset is exact — replay its accesses and return value.
+        held_entry = tuple(sorted(set(self._held_locks)))
+        try:
+            key = (id(funcdef), self_value, tuple(args),
+                   tuple(sorted(kwargs.items())), held_entry)
+        except TypeError:  # unhashable abstract value: walk uncached
+            key = None
+        if key is not None:
+            hit = self._summaries.get(key)
+            if hit is not None:
+                accesses, returns, wildcard = hit
+                if wildcard:
+                    self.proc_wildcard = True
+                frame.children.extend(accesses)
+                return returns
         if id(funcdef) in self._stack or len(self._stack) >= _MAX_DEPTH:
+            self._truncations += 1
             return None
         params = [a.arg for a in funcdef.args.args]
         is_method = (self_value is not None and params
@@ -1308,11 +1393,21 @@ class AbstractInterpreter:
             if name in positional:
                 env.setdefault(name, value)
         self._stack.append(id(funcdef))
+        prev_wildcard = self.proc_wildcard
+        self.proc_wildcard = False
+        before_truncations = self._truncations
         try:
             self._walk_body(funcdef.body, child)
         finally:
             self._stack.pop()
-        frame.children.extend(child.finalize())
-        if child.returns == "__none__":
-            return _const(None)
-        return child.returns
+        child_wildcard = self.proc_wildcard
+        self.proc_wildcard = prev_wildcard or child_wildcard
+        accesses = child.finalize()
+        returns = (child.returns if child.returns != "__none__"
+                   else _const(None))
+        if child.guarded:
+            returns = _narrow_enum(returns)
+        if key is not None and self._truncations == before_truncations:
+            self._summaries[key] = (accesses, returns, child_wildcard)
+        frame.children.extend(accesses)
+        return returns

@@ -49,7 +49,7 @@ carry inter-container interference.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import FrozenSet, Optional, Tuple
 
 GLOBAL = "global"
@@ -100,6 +100,12 @@ class Access:
         PID translation, or a namespace-filtering comprehension) —
         the lint's evidence that a global read is deliberate
         filtering rather than an escape.
+    ``locks``
+        The *must-held* lockset at the access: canonical paths of
+        every kernel lock object (``KLock``) whose ``with`` block
+        lexically or interprocedurally encloses this program point.
+        Exact (not may-held): ``with`` is lexically scoped, so a lock
+        pushed on entry to the block is guaranteed held throughout.
     """
 
     location: StateLocation
@@ -110,6 +116,7 @@ class Access:
     traced: bool = True
     observable: bool = True
     guarded: bool = False
+    locks: Tuple[str, ...] = ()
 
     @property
     def path(self) -> str:
@@ -135,8 +142,9 @@ class Access:
             "g" if self.guarded else "",
         ))
         suffix = f" ({flags})" if flags else ""
+        held = f" <{','.join(self.locks)}>" if self.locks else ""
         return (f"{self.kind:<5} {self.location} in {self.function} "
-                f"at {self.site()}{suffix}")
+                f"at {self.site()}{suffix}{held}")
 
 
 @dataclass
@@ -157,8 +165,4 @@ def merge_guard(summary: FunctionSummary) -> Tuple[Access, ...]:
     """Finalize a summary: stamp the function-level guard onto accesses."""
     if not summary.guarded:
         return summary.accesses
-    return tuple(
-        Access(a.location, a.kind, a.file, a.line, a.function,
-               a.traced, a.observable, True)
-        for a in summary.accesses
-    )
+    return tuple(replace(a, guarded=True) for a in summary.accesses)

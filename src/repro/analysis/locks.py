@@ -2,50 +2,47 @@
 
 The distributed campaign shares a handful of mutable structures across
 worker threads — the baseline cache, the non-determinism store, the
-cluster server's result list, the per-worker detector/profiler maps.
-Each is guarded by a ``threading.Lock``/``RLock``, and the discipline is
-purely lexical: every access to a guarded structure happens inside a
-``with <lock>:`` block.
+cluster server's result list, the per-worker detector/profiler maps,
+the shared-memory segment store.  Each is guarded by a
+``threading.Lock``/``RLock``, and every access to a guarded structure
+must hold one of its guard locks.
 
-This checker verifies that discipline over the AST, with no aliasing or
-interprocedural reasoning — which is exactly why the codebase keeps the
-discipline lexical:
+The checking core lives in :mod:`repro.analysis.locksets` — a flow-
+and alias-aware lockset walk that subsumes the original lexical rule:
 
-1. A *lock* is ``self.X = threading.Lock()`` (or ``RLock``) in a class
-   ``__init__``, or ``X = threading.Lock()`` bound to a function local.
-2. A structure is *guarded by* a lock if it is **mutated** (assigned,
-   aug-assigned, subscript-stored, deleted, or passed through a mutating
-   method such as ``append``/``setdefault``/``clear``) under a ``with``
-   on that lock, anywhere in the lock's scope (the class body, or the
-   defining function and its nested functions).
-3. Every other access to a guarded structure — read or write, in any
-   method of the class / any nested function — must also sit under a
-   ``with`` on one of its locks.  ``__init__`` is exempt (the object is
-   not yet published), as are initializing assignments of fresh
-   container literals.
+``L1``
+    Direct access to a guarded structure without the lock (the
+    original lexical finding, now also discharged by
+    ``acquire()``/``release()`` flow and by helper entry contexts —
+    a private helper whose every intra-class call site holds the lock
+    is clean without retaking it).
+``L2``
+    A guarded structure reached *around* the discipline: through a
+    local alias (``view = self._results``) or through a private helper
+    that some call path enters without the lock.
+``S1``
+    Shared-memory segment lifecycle: a ``SharedMemory(create=True)``
+    that an exception path can leak before it is closed, unlinked, or
+    handed off to a tracked owner.
 
-Violations carry file:line and render as ``L1`` findings.
+This module keeps the stable entry point and the default scan set.
 """
 
 from __future__ import annotations
 
-import ast
 import os
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence
 
-#: Constructors recognized as lock objects.
-_LOCK_CTORS = {"Lock", "RLock"}
-
-#: Method names that mutate their receiver (enough for this codebase's
-#: containers: dict/list/set/deque plus the cache APIs built on them).
-_MUTATING_METHODS = {
-    "append", "appendleft", "add", "insert", "extend", "remove", "discard",
-    "pop", "popleft", "popitem", "clear", "update", "setdefault", "sort",
-}
+from .locksets import (          # noqa: F401  (re-exported API)
+    DEFAULT_LINT_SUPPRESSIONS,
+    LintSuppression,
+    LockFinding,
+    lint_modules,
+)
 
 #: Default scan set, relative to the source dir: the modules hosting the
-#: pipeline's cross-thread shared state.
+#: pipeline's cross-thread shared state (plus the shard-pool supervisor
+#: and the shared-memory store, which own the process-shared segments).
 DEFAULT_LOCK_MODULES = (
     os.path.join("repro", "core", "pipeline.py"),
     os.path.join("repro", "core", "execution.py"),
@@ -53,287 +50,24 @@ DEFAULT_LOCK_MODULES = (
     os.path.join("repro", "core", "profile.py"),
     os.path.join("repro", "core", "concurrent.py"),
     os.path.join("repro", "vm", "cluster.py"),
+    os.path.join("repro", "vm", "shardpool.py"),
+    os.path.join("repro", "vm", "shm.py"),
 )
 
 
-@dataclass(frozen=True)
-class LockFinding:
-    """One access to a lock-guarded structure outside its lock."""
-
-    file: str
-    line: int
-    function: str
-    lock: str       #: the guarding lock ("self._lock", "detectors_lock")
-    name: str       #: the guarded structure ("self._results", "detectors")
-    kind: str       #: "read" | "write"
-    message: str
-
-    def render(self) -> str:
-        return f"L1 {self.message}"
-
-
-def _is_lock_ctor(value: ast.AST) -> bool:
-    if not isinstance(value, ast.Call):
-        return False
-    func = value.func
-    if isinstance(func, ast.Name):
-        return func.id in _LOCK_CTORS
-    if isinstance(func, ast.Attribute):
-        return func.attr in _LOCK_CTORS
-    return False
-
-
-def _is_fresh_container(value: ast.AST) -> bool:
-    """A container literal/constructor: initializing, not publishing."""
-    if isinstance(value, (ast.Dict, ast.List, ast.Set, ast.ListComp,
-                          ast.DictComp, ast.SetComp, ast.Constant)):
-        return True
-    if isinstance(value, ast.Call) and isinstance(value.func, ast.Name):
-        return value.func.id in {"dict", "list", "set", "defaultdict",
-                                 "deque", "Queue"} | _LOCK_CTORS
-    return False
-
-
-class _Access:
-    __slots__ = ("name", "line", "kind", "function", "under", "init",
-                 "mutation")
-
-    def __init__(self, name: str, line: int, kind: str, function: str,
-                 under: Tuple[str, ...], init: bool, mutation: bool):
-        self.name = name
-        self.line = line
-        self.kind = kind              # read | write
-        self.function = function
-        self.under = under            # locks lexically held at the access
-        self.init = init              # __init__ / fresh-container store
-        self.mutation = mutation
-
-
-class _ScopeWalker(ast.NodeVisitor):
-    """Collects lock definitions and accesses within one lock scope.
-
-    A scope is either a class (tracking ``self.<attr>`` names across all
-    its methods) or a function with its nested functions (tracking
-    local names closed over by workers).
-    """
-
-    def __init__(self, self_attrs: bool):
-        self._self_attrs = self_attrs
-        self.locks: Set[str] = set()
-        self.accesses: List[_Access] = []
-        self._held: List[str] = []
-        self._function = "<module>"
-        self._in_init = False
-
-    # -- naming ------------------------------------------------------------
-
-    def _target_name(self, node: ast.AST) -> Optional[str]:
-        if self._self_attrs:
-            if (isinstance(node, ast.Attribute)
-                    and isinstance(node.value, ast.Name)
-                    and node.value.id == "self"):
-                return f"self.{node.attr}"
-            return None
-        if isinstance(node, ast.Name):
-            return node.id
-        return None
-
-    def _record(self, name: str, line: int, kind: str,
-                mutation: bool, init: bool = False) -> None:
-        self.accesses.append(_Access(
-            name, line, kind, self._function, tuple(self._held),
-            init or self._in_init, mutation))
-
-    # -- structure ---------------------------------------------------------
-
-    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
-        previous, self._function = self._function, node.name
-        was_init = self._in_init
-        if self._self_attrs and node.name == "__init__":
-            self._in_init = True
-        self.generic_visit(node)
-        self._function, self._in_init = previous, was_init
-
-    visit_AsyncFunctionDef = visit_FunctionDef
-
-    def visit_With(self, node: ast.With) -> None:
-        entered: List[str] = []
-        for item in node.items:
-            name = self._target_name(item.context_expr)
-            if name is not None:
-                entered.append(name)
-            else:
-                self.visit(item.context_expr)
-        self._held.extend(entered)
-        for stmt in node.body:
-            self.visit(stmt)
-        if entered:
-            del self._held[-len(entered):]
-
-    # -- definitions and accesses -----------------------------------------
-
-    def visit_Assign(self, node: ast.Assign) -> None:
-        for target in node.targets:
-            name = self._target_name(target)
-            if name is not None:
-                if _is_lock_ctor(node.value):
-                    self.locks.add(name)
-                elif self._self_attrs:
-                    self._record(name, node.lineno, "write", mutation=True,
-                                 init=_is_fresh_container(node.value))
-                # A bare-name store in function scope is a local
-                # rebinding — thread-confined, neither a guard-defining
-                # mutation nor a checkable access.
-            else:
-                self._visit_store_target(target)
-        self.visit(node.value)
-
-    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
-        name = self._target_name(node.target)
-        if name is not None and node.value is not None:
-            if _is_lock_ctor(node.value):
-                self.locks.add(name)
-            elif self._self_attrs:
-                self._record(name, node.lineno, "write", mutation=True,
-                             init=_is_fresh_container(node.value))
-        elif node.value is not None:
-            self._visit_store_target(node.target)
-        if node.value is not None:
-            self.visit(node.value)
-
-    def visit_AugAssign(self, node: ast.AugAssign) -> None:
-        name = self._target_name(node.target)
-        if name is not None:
-            self._record(name, node.lineno, "write", mutation=True)
-        else:
-            self._visit_store_target(node.target)
-        self.visit(node.value)
-
-    def visit_Delete(self, node: ast.Delete) -> None:
-        for target in node.targets:
-            self._visit_store_target(target)
-
-    def _visit_store_target(self, target: ast.AST) -> None:
-        # Subscript stores mutate the *base* structure and establish its
-        # guard: ``detectors[k] = v`` / ``del self._memory[k]``.  An
-        # attribute store (``stats.count = n``) is a write the guard
-        # must cover if one exists, but incidental writes inside a lock
-        # block must not claim the structure for that lock.
-        if isinstance(target, (ast.Subscript, ast.Attribute)):
-            name = self._target_name(target.value)
-            if name is not None:
-                self._record(name, target.lineno, "write",
-                             mutation=isinstance(target, ast.Subscript))
-                if isinstance(target, ast.Subscript):
-                    self.visit(target.slice)
-                return
-        self.visit(target)
-
-    def visit_Attribute(self, node: ast.Attribute) -> None:
-        name = self._target_name(node)
-        if name is not None:
-            if name not in self.locks:
-                self._record(name, node.lineno, "read", mutation=False)
-            return
-        base = self._target_name(node.value)
-        if base is not None and base not in self.locks:
-            # ``<name>.attr`` — a load through the structure.
-            self._record(base, node.lineno, "read", mutation=False)
-            return
-        self.generic_visit(node)
-
-    def visit_Name(self, node: ast.Name) -> None:
-        if self._self_attrs:
-            return
-        if isinstance(node.ctx, ast.Load) and node.id not in self.locks:
-            self._record(node.id, node.lineno, "read", mutation=False)
-
-    def visit_Call(self, node: ast.Call) -> None:
-        if isinstance(node.func, ast.Attribute):
-            base = self._target_name(node.func.value)
-            if base is not None and base not in self.locks:
-                mutation = node.func.attr in _MUTATING_METHODS
-                self._record(base, node.lineno,
-                             "write" if mutation else "read", mutation)
-                for arg in list(node.args) + [kw.value for kw in
-                                              node.keywords]:
-                    self.visit(arg)
-                return
-        self.generic_visit(node)
-
-
-def _check_scope(walker: _ScopeWalker, file: str,
-                 findings: List[LockFinding]) -> None:
-    if not walker.locks:
-        return
-    # name -> locks it was mutated under (its guard set).
-    guards: Dict[str, Set[str]] = {}
-    for access in walker.accesses:
-        if access.mutation and not access.init:
-            held = set(access.under) & walker.locks
-            if held:
-                guards.setdefault(access.name, set()).update(held)
-    for access in walker.accesses:
-        guard_locks = guards.get(access.name)
-        if not guard_locks or access.init:
-            continue
-        if set(access.under) & guard_locks:
-            continue
-        lock = sorted(guard_locks)[0]
-        findings.append(LockFinding(
-            file=file, line=access.line, function=access.function,
-            lock=lock, name=access.name, kind=access.kind,
-            message=(f"{file}:{access.line}: {access.kind} of "
-                     f"{access.name} in {access.function} outside "
-                     f"'with {lock}:' (structure is guarded elsewhere)"),
-        ))
-
-
-def _check_module(path: str, rel: str,
-                  findings: List[LockFinding]) -> None:
-    with open(path) as handle:
-        tree = ast.parse(handle.read(), filename=path)
-    for node in ast.walk(tree):
-        if isinstance(node, ast.ClassDef):
-            walker = _ScopeWalker(self_attrs=True)
-            for item in node.body:
-                walker.visit(item)
-            _check_scope(walker, rel, findings)
-        elif isinstance(node, ast.FunctionDef):
-            # Function-local locks shared with nested closures
-            # (``detectors_lock`` in the distributed executor).
-            if not any(_is_lock_ctor(stmt.value)
-                       for stmt in node.body
-                       if isinstance(stmt, ast.Assign)):
-                continue
-            walker = _ScopeWalker(self_attrs=False)
-            walker._function = node.name
-            for stmt in node.body:
-                walker.visit(stmt)
-            _check_scope(walker, rel, findings)
-
-
 def check_lock_discipline(src_dir: Optional[str] = None,
-                          modules: Sequence[str] = DEFAULT_LOCK_MODULES
-                          ) -> List[LockFinding]:
-    """Check the lexical lock discipline of the given modules.
+                          modules: Sequence[str] = DEFAULT_LOCK_MODULES,
+                          suppressions: Sequence[LintSuppression]
+                          = DEFAULT_LINT_SUPPRESSIONS,
+                          cache=None) -> List[LockFinding]:
+    """Check the lock discipline of the given modules.
 
     *modules* are paths relative to *src_dir* (default: this repo's
     ``src``); absolute paths are taken as-is so tests can point the
-    checker at synthetic files.
+    checker at synthetic files.  Findings suppressed as vetted false
+    positives are dropped.  *cache* (an
+    :class:`~repro.analysis.cache.AnalysisCache`) makes the scan
+    incremental: unchanged modules reuse their cached findings.
     """
-    if src_dir is None:
-        from .sources import _repo_src_dir
-        src_dir = _repo_src_dir()
-    findings: List[LockFinding] = []
-    for module in modules:
-        if os.path.isabs(module):
-            path, rel = module, os.path.basename(module)
-        else:
-            path = os.path.join(src_dir, module)
-            rel = os.path.join("src", module)
-        if not os.path.exists(path):
-            continue
-        _check_module(path, rel, findings)
-    findings.sort(key=lambda f: (f.file, f.line))
-    return findings
+    return lint_modules(src_dir=src_dir, modules=modules,
+                        suppressions=suppressions, cache=cache)

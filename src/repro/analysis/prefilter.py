@@ -87,7 +87,7 @@ class StaticPreFilter:
     """Prunes provably disjoint sender/receiver pairs before clustering."""
 
     def __init__(self, access_map: Optional[AccessMap] = None, spec=None,
-                 bugs=None, index=None, decls=None):
+                 bugs=None, index=None, decls=None, races=None):
         if access_map is None:
             access_map = extract_access_map(bugs, index)
         if spec is None:
@@ -101,6 +101,26 @@ class StaticPreFilter:
         #: program hash -> (writes, reads, has_unknown_syscall)
         self._summaries: Dict[str, Tuple[PathScopes, PathScopes, bool]] = {}
         self._verdicts: Dict[Tuple[str, str], bool] = {}
+        #: (entry_a, entry_b) sorted -> race candidates, the ``race``
+        #: fact channel (see :meth:`race_facts`).
+        self._races: Dict[Tuple[str, str], list] = {}
+        if races:
+            for candidate in races:
+                self._races.setdefault(
+                    (candidate.entry_a, candidate.entry_b),
+                    []).append(candidate)
+
+    @classmethod
+    def with_races(cls, access_map: Optional[AccessMap] = None, spec=None,
+                   bugs=None, index=None, decls=None) -> "StaticPreFilter":
+        """Build the filter with the race fact channel populated from
+        the same access map (one join, shared with reporting)."""
+        from .races import find_race_candidates
+
+        if access_map is None:
+            access_map = extract_access_map(bugs, index)
+        return cls(access_map=access_map, spec=spec, decls=decls,
+                   races=find_race_candidates(access_map))
 
     def _decl(self, name: str):
         """The declaration of *name*, or None (DECLS.get raises)."""
@@ -270,6 +290,35 @@ class StaticPreFilter:
                     break
         self._verdicts[key] = verdict
         return verdict
+
+    # -- the race fact channel ----------------------------------------------
+
+    def race_facts(self, sender, receiver) -> list:
+        """Race-pair candidates linking any sender call to any receiver
+        call, best (lowest) rank first.
+
+        This is an *evidence* channel, not a pruning channel: a
+        candidate means two concurrent invocations can interleave on
+        the named path, which prioritizes the pair for interleaved
+        scheduling — but its absence proves nothing about sequential
+        sender-then-receiver data flow, so :meth:`may_interfere` never
+        consults it.
+        """
+        if not self._races:
+            return []
+        sender_calls = {c.name for c in sender.calls if c is not None}
+        receiver_calls = {c.name for c in receiver.calls if c is not None}
+        facts = []
+        seen = set()
+        for a in sender_calls:
+            for b in receiver_calls:
+                key = (a, b) if a <= b else (b, a)
+                if key in seen:
+                    continue
+                seen.add(key)
+                facts.extend(self._races.get(key, ()))
+        facts.sort(key=lambda c: (c.rank, c.path, c.entry_a, c.entry_b))
+        return facts
 
     # -- static-vs-dynamic evaluation ---------------------------------------
 

@@ -1,10 +1,14 @@
 """Human-readable and JSON reports for ``repro analyze``.
 
 :func:`analyze` runs the full static pipeline for one kernel version —
-access-map extraction, the namespace-escape lint, the lock-discipline
-checker, and (optionally) the differential bug rediscovery — and the two
-renderers turn the result into a terminal report or a JSON document for
-tooling.
+access-map extraction, the namespace-escape lint, the concurrency
+lint, optionally the race-pair join, and (optionally) the differential
+bug rediscovery — and the two renderers turn the result into a
+terminal report or a JSON document for tooling.
+
+Finding order is fully deterministic — escape findings sort by
+(rule, file, line, entry) and lock findings by (code, file, line,
+name) — so two ``--json`` reports from the same tree diff empty.
 """
 
 from __future__ import annotations
@@ -22,6 +26,7 @@ from .escape import (
     rediscover_bugs,
 )
 from .locks import LockFinding, check_lock_discipline
+from .races import RaceCandidate, find_race_candidates
 from .sources import KernelSourceIndex
 
 
@@ -34,6 +39,7 @@ class AnalysisReport:
     escape_findings: List[EscapeFinding]
     lock_findings: List[LockFinding]
     rediscovery: Optional[RediscoveryReport] = None
+    races: Optional[List[RaceCandidate]] = None
 
     def unsuppressed(self) -> List[EscapeFinding]:
         return [f for f in self.escape_findings if not f.suppressed]
@@ -43,24 +49,69 @@ class AnalysisReport:
         return not self.unsuppressed() and not self.lock_findings
 
 
+def _escape_sort_key(finding: EscapeFinding):
+    return (finding.rule, finding.access.file, finding.access.line,
+            finding.entry)
+
+
+def _lock_sort_key(finding: LockFinding):
+    return (finding.code, finding.file, finding.line, finding.name)
+
+
 def analyze(bugs=None, kernel_name: str = "", spec=None,
             src_dir: Optional[str] = None,
             rediscovery: bool = False,
-            suppressions=DEFAULT_SUPPRESSIONS) -> AnalysisReport:
-    """Run the static analyses for the kernel version *bugs* selects."""
-    index = KernelSourceIndex(src_dir)
-    access_map = extract_access_map(bugs, index)
+            races: bool = False,
+            suppressions=DEFAULT_SUPPRESSIONS,
+            cache=None) -> AnalysisReport:
+    """Run the static analyses for the kernel version *bugs* selects.
+
+    *races* adds the lockset race-pair join; *cache* (an
+    :class:`~repro.analysis.cache.AnalysisCache`) makes every kernel-
+    wide result incremental across runs — a warm run with unchanged
+    kernel sources deserializes the access map instead of re-walking
+    the handler bodies, and never builds the source index at all.
+    """
+    kernel = kernel_name or (", ".join(bugs.enabled()) if bugs is not None
+                             and bugs.enabled() else "fixed")
+    index: Optional[KernelSourceIndex] = None
+    access_map: Optional[AccessMap] = None
+    paths: List[str] = []
+    if cache is not None:
+        from .cache import kernel_paths
+        paths = kernel_paths(src_dir)
+        access_map = cache.get_access_map(kernel, paths)
+    if access_map is None:
+        index = KernelSourceIndex(src_dir)
+        access_map = extract_access_map(bugs, index)
+        if cache is not None:
+            cache.put_access_map(kernel, paths, access_map)
     linter = EscapeLinter(access_map, spec, suppressions=suppressions)
     report = AnalysisReport(
-        kernel=kernel_name or (", ".join(bugs.enabled()) if bugs is not None
-                               and bugs.enabled() else "fixed"),
+        kernel=kernel,
         access_map=access_map,
-        escape_findings=linter.run(),
-        lock_findings=check_lock_discipline(),
+        escape_findings=sorted(linter.run(), key=_escape_sort_key),
+        lock_findings=sorted(check_lock_discipline(cache=cache),
+                             key=_lock_sort_key),
     )
+    if races:
+        report.races = _race_candidates(kernel, access_map, paths, cache)
     if rediscovery:
-        report.rediscovery = rediscover_bugs(index, spec)
+        report.rediscovery = rediscover_bugs(
+            index or KernelSourceIndex(src_dir), spec)
     return report
+
+
+def _race_candidates(kernel: str, access_map: AccessMap,
+                     paths: List[str], cache) -> List[RaceCandidate]:
+    if cache is None:
+        return find_race_candidates(access_map)
+    cached = cache.get_races(kernel, paths)
+    if cached is not None:
+        return cached
+    candidates = find_race_candidates(access_map)
+    cache.put_races(kernel, paths, candidates)
+    return candidates
 
 
 # -- text -------------------------------------------------------------------
@@ -99,6 +150,23 @@ def render_text(report: AnalysisReport, verbose: bool = False) -> str:
               f"lock discipline: {len(report.lock_findings)} finding(s)"]
     for finding in report.lock_findings:
         lines.append(f"  {finding.render()}")
+
+    if report.races is not None:
+        by_rank: Dict[str, int] = {}
+        for candidate in report.races:
+            by_rank[candidate.code] = by_rank.get(candidate.code, 0) + 1
+        summary = ", ".join(f"{code}={count}"
+                            for code, count in sorted(by_rank.items()))
+        lines += ["",
+                  f"race-pair candidates: {len(report.races)}"
+                  + (f" ({summary})" if summary else "")]
+        shown = (report.races if verbose
+                 else [c for c in report.races if c.rank == 0])
+        for candidate in shown:
+            lines.append(f"  {candidate.render()}")
+        hidden = len(report.races) - len(shown)
+        if hidden:
+            lines.append(f"  ... {hidden} more (use --verbose)")
 
     if report.rediscovery is not None:
         r = report.rediscovery
@@ -158,6 +226,7 @@ def render_json(report: AnalysisReport, indent: int = 2) -> str:
         "escape_findings": [_finding_json(f) for f in report.escape_findings],
         "lock_findings": [
             {
+                "code": f.code,
                 "file": f.file, "line": f.line, "function": f.function,
                 "lock": f.lock, "name": f.name, "kind": f.kind,
                 "message": f.message,
@@ -166,6 +235,22 @@ def render_json(report: AnalysisReport, indent: int = 2) -> str:
         ],
         "clean": report.clean(),
     }
+    if report.races is not None:
+        doc["races"] = [
+            {
+                "code": c.code,
+                "path": c.path,
+                "scope": c.scope,
+                "entries": [c.entry_a, c.entry_b],
+                "rule": c.rule,
+                "evidence": [
+                    {"kind": a.kind, "site": a.site(),
+                     "locks": list(a.locks)}
+                    for a in (c.access_a, c.access_b)
+                ],
+            }
+            for c in report.races
+        ]
     if report.rediscovery is not None:
         doc["rediscovery"] = {
             "rate": report.rediscovery.rate(),

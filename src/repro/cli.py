@@ -282,13 +282,17 @@ def cmd_gate(args: argparse.Namespace) -> int:
 def cmd_analyze(args: argparse.Namespace) -> int:
     """Static interference analysis: access maps, escape lint, locks."""
     from .analysis import analyze, render_json, render_text
+    from .analysis.cache import AnalysisCache
 
     if args.check:
         return _analyze_check()
 
+    cache = None if args.no_cache else AnalysisCache(args.cache_dir)
     report = analyze(bugs=_kernel_preset(args.kernel),
                      kernel_name=args.kernel,
-                     rediscovery=args.rediscover)
+                     rediscovery=args.rediscover,
+                     races=args.races,
+                     cache=cache)
     text = (render_json(report) if args.json
             else render_text(report, verbose=args.verbose))
     if args.output:
@@ -535,6 +539,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="machine-readable report")
     analyze.add_argument("--rediscover", action="store_true",
                          help="differentially lint every single-bug kernel")
+    analyze.add_argument("--races", action="store_true",
+                         help="join lockset-annotated access maps into "
+                              "ranked race-pair candidates (R0 crosses a "
+                              "namespace boundary)")
+    analyze.add_argument("--no-cache", action="store_true",
+                         help="disable the incremental analysis cache")
+    analyze.add_argument("--cache-dir",
+                         help="analysis cache directory (default: "
+                              ".kit-analysis-cache at the repo root)")
     analyze.add_argument("--check", action="store_true",
                          help="CI gate: clean kernel lints clean, bugs "
                               "rediscovered, locks disciplined")

@@ -1,0 +1,41 @@
+"""Kernel lock objects for the simulated kernel.
+
+The model runs single-threaded — a syscall executes atomically — so a
+:class:`KLock` never blocks.  It exists so the kernel source *states*
+its locking discipline the way the real kernel does: critical sections
+are wrapped in ``with self.lock:`` and the static lockset analysis
+(:mod:`repro.analysis.races`) reads those blocks as must-held facts.
+Two syscalls whose accesses to a shared location are both under the
+same ``KLock`` are provably ordered on a real kernel and drop out of
+the race-pair candidate set; an access outside any common lock stays a
+candidate.
+
+The lock is reentrant (a depth counter, like the real kernel's nested
+``lock_sock``/``release_sock`` idiom) and carries only plain attributes
+so kernel snapshots deep-copy and pickle it for free.
+"""
+
+from __future__ import annotations
+
+
+class KLock:
+    """No-op reentrant lock marking a critical section in the model."""
+
+    def __init__(self, name: str):
+        #: Canonical name, for diagnostics only — the static analysis
+        #: identifies the lock by the state path it hangs off, not this.
+        self.name = name
+        self.depth = 0
+
+    def __enter__(self) -> "KLock":
+        self.depth += 1
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.depth -= 1
+
+    def held(self) -> bool:
+        return self.depth > 0
+
+    def __repr__(self) -> str:
+        return f"KLock({self.name!r}, depth={self.depth})"

@@ -35,6 +35,7 @@ from ..errno import (
     SyscallError,
 )
 from ..fdtable import FileObject
+from ..klock import KLock
 from ..ktrace import kfunc
 from ..memory import KCell, KDict
 from ..namespaces import NamespaceType
@@ -172,6 +173,13 @@ class UnixSocketTable:
         # pre-written test program would guess (the crux of bug G's
         # non-detectability, §6.2).
         self.ino_next = KCell(kernel.arena, 8, init=0xBEEF0000)
+        # unix_table_lock: the real kernel holds it while allocating an
+        # inode and linking the socket into the table.  The diag lookup
+        # and /proc walk read the table *without* it (RCU-side in the
+        # real kernel) — so bug G's cross-namespace reads stay visible
+        # to the race analysis while the create path's write pair does
+        # not race with itself.
+        self.lock = KLock("unix_table_lock")
 
 
 class NetSubsystem:
@@ -217,8 +225,9 @@ class NetSubsystem:
         if family == AF_PACKET:
             sock.ptype_entry = self._kernel.ptype.dev_add_pack(sock, proto)
         if family == AF_UNIX:
-            sock.unix_ino = self.unix.ino_next.add(1)
-            self.unix.by_ino.insert(sock.unix_ino, sock)
+            with self.unix.lock:
+                sock.unix_ino = self.unix.ino_next.add(1)
+                self.unix.by_ino.insert(sock.unix_ino, sock)
         return sock
 
     def _validate_triple(self, family: int, sock_type: int, proto: int) -> None:

@@ -180,10 +180,18 @@ class Vfs:
         self._kernel = kernel
         arena = kernel.arena
         # Global anonymous-device minor allocator (get_anon_bdev).
+        from .klock import KLock
         from .memory import KCell
 
         self.anon_dev_next = KCell(arena, 4, init=0x10)
         self.mnt_id_next = KCell(arena, 4, init=1)
+        # sb_lock: serializes the id allocators (real kernel takes it in
+        # get_anon_bdev / alloc_mnt_ns).  Both allocators are global by
+        # design — §6.4 suppresses them as benign — and the lock makes
+        # that explicit: every touch is under it, so no syscall pair can
+        # race here and the lockset analysis drops them from the
+        # candidate set.
+        self.lock = KLock("sb_lock")
 
     @property
     def tracer(self):
@@ -195,11 +203,13 @@ class Vfs:
         """Create a superblock, drawing a minor from the global allocator."""
         if fs_type not in _SUPPORTED_FS:
             raise SyscallError(ENOENT, f"unknown fs {fs_type!r}")
-        s_dev = self.anon_dev_next.add(1)
+        with self.lock:
+            s_dev = self.anon_dev_next.add(1)
         return SuperBlock(self._kernel.arena, fs_type, s_dev)
 
     def new_mount(self, mountpoint: str, sb: SuperBlock) -> Mount:
-        mnt_id = self.mnt_id_next.add(1)
+        with self.lock:
+            mnt_id = self.mnt_id_next.add(1)
         return Mount(self._kernel.arena, mnt_id, mountpoint, sb)
 
     def copy_mnt_ns(self, source: MntNamespace, inum: int) -> MntNamespace:

@@ -140,14 +140,18 @@ class SegmentStore:
                 name=name, create=True, size=_HEADER.size + len(payload))
         except FileExistsError:
             return False
-        _untrack(name)
         try:
+            _untrack(name)
+            # Registered before the commit: if the copy below fails,
+            # cleanup() can still find the name on platforms without a
+            # globbable /dev/shm (the known set is its only fallback).
+            with self._lock:
+                self._known.add(name)
             segment.buf[_HEADER.size:_HEADER.size + len(payload)] = payload
             segment.buf[:_HEADER.size] = _HEADER.pack(len(payload))
         finally:
             segment.close()
         with self._lock:
-            self._known.add(name)
             self.created += 1
             self.created_bytes += len(payload)
         return True

@@ -1,10 +1,11 @@
-"""The lexical lock-discipline checker."""
+"""The flow- and alias-aware lock-discipline checker (L1/L2/S1)."""
 
 from __future__ import annotations
 
 import textwrap
 
 from repro.analysis.locks import check_lock_discipline
+from repro.analysis.locksets import LintSuppression
 
 
 def _check(tmp_path, source):
@@ -165,5 +166,285 @@ def test_mutating_method_establishes_guard(tmp_path):
 
 
 def test_repo_modules_are_clean():
-    """The pipeline's shared structures keep the lexical discipline."""
+    """The pipeline's shared structures keep the lock discipline —
+    including the shard-pool supervisor and the shared-memory store."""
     assert check_lock_discipline() == []
+
+
+# -- flow: acquire()/release() ------------------------------------------------
+
+def test_acquire_release_flow_counts_as_held(tmp_path):
+    findings = _check(tmp_path, """
+        import threading
+
+        class Cache:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._data = {}
+
+            def put(self, key, value):
+                with self._lock:
+                    self._data[key] = value
+
+            def flush(self):
+                self._lock.acquire()
+                self._data.clear()
+                self._lock.release()
+                return None
+        """)
+    assert findings == []
+
+
+def test_access_after_release_is_flagged(tmp_path):
+    findings = _check(tmp_path, """
+        import threading
+
+        class Cache:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._data = {}
+
+            def put(self, key, value):
+                with self._lock:
+                    self._data[key] = value
+
+            def flush(self):
+                self._lock.acquire()
+                self._data.clear()
+                self._lock.release()
+                return len(self._data)
+        """)
+    assert [f.code for f in findings] == ["L1"]
+    assert findings[0].function == "flush"
+
+
+# -- L2: aliases and helpers --------------------------------------------------
+
+def test_alias_access_without_lock_is_l2(tmp_path):
+    findings = _check(tmp_path, """
+        import threading
+
+        class Cache:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._data = {}
+
+            def put(self, key, value):
+                with self._lock:
+                    self._data[key] = value
+
+            def drain(self):
+                view = self._data
+                return view.pop("k")
+        """)
+    codes = {(f.code, f.name) for f in findings}
+    assert ("L2", "self._data") in codes
+    alias = next(f for f in findings if f.code == "L2")
+    assert "alias 'view'" in alias.message
+    assert alias.lock == "self._lock"
+
+
+def test_copy_does_not_alias(tmp_path):
+    findings = _check(tmp_path, """
+        import threading
+
+        class Cache:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._data = {}
+
+            def put(self, key, value):
+                with self._lock:
+                    self._data[key] = value
+
+            def snapshot(self):
+                with self._lock:
+                    copy = dict(self._data)
+                return copy.keys()
+        """)
+    assert findings == []
+
+
+def test_helper_covered_by_all_call_sites_is_clean(tmp_path):
+    """A private helper whose every caller holds the lock does not
+    need to retake it — the flow-aware relaxation of the lexical rule."""
+    findings = _check(tmp_path, """
+        import threading
+
+        class Cache:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._data = {}
+
+            def put(self, key, value):
+                with self._lock:
+                    self._data[key] = value
+                    self._evict()
+
+            def purge(self):
+                with self._lock:
+                    self._evict()
+
+            def _evict(self):
+                while len(self._data) > 8:
+                    self._data.popitem()
+        """)
+    assert findings == []
+
+
+def test_helper_reached_without_lock_is_l2(tmp_path):
+    findings = _check(tmp_path, """
+        import threading
+
+        class Cache:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._data = {}
+
+            def put(self, key, value):
+                with self._lock:
+                    self._data[key] = value
+                    self._evict()
+
+            def racy(self):
+                self._evict()
+
+            def _evict(self):
+                while len(self._data) > 8:
+                    self._data.popitem()
+        """)
+    assert findings and all(f.code == "L2" for f in findings)
+    assert {f.function for f in findings} == {"_evict"}
+    assert "helper" in findings[0].message
+
+
+def test_lock_context_propagates_through_helper_chains(tmp_path):
+    """Entry contexts reach a fixpoint through helper-to-helper calls."""
+    findings = _check(tmp_path, """
+        import threading
+
+        class Cache:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._data = {}
+
+            def put(self, key, value):
+                with self._lock:
+                    self._data[key] = value
+                    self._trim()
+
+            def _trim(self):
+                self._drop_one()
+
+            def _drop_one(self):
+                self._data.popitem()
+        """)
+    assert findings == []
+
+
+# -- suppressions -------------------------------------------------------------
+
+def test_vetted_suppression_drops_the_finding(tmp_path):
+    source = """
+        import threading
+
+        class Cache:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._data = {}
+
+            def put(self, key, value):
+                with self._lock:
+                    self._data[key] = value
+
+            def size(self):
+                return len(self._data)
+        """
+    module = tmp_path / "mod.py"
+    module.write_text(textwrap.dedent(source))
+    flagged = check_lock_discipline(modules=[str(module)])
+    assert len(flagged) == 1
+    silenced = check_lock_discipline(
+        modules=[str(module)],
+        suppressions=(LintSuppression(file="mod.py", name="self._data",
+                                      function="size", code="L1",
+                                      reason="test"),))
+    assert silenced == []
+
+
+# -- S1: shared-memory segment lifecycle --------------------------------------
+
+def test_s1_flags_unprotected_creation(tmp_path):
+    findings = _check(tmp_path, """
+        from multiprocessing import shared_memory
+
+        def publish(name, payload):
+            seg = shared_memory.SharedMemory(name=name, create=True,
+                                             size=len(payload))
+            seg.buf[:len(payload)] = payload
+            seg.close()
+        """)
+    assert [f.code for f in findings] == ["S1"]
+    assert findings[0].name == "seg"
+    assert "may leak" in findings[0].message
+
+
+def test_s1_accepts_try_finally_lifecycle(tmp_path):
+    findings = _check(tmp_path, """
+        from multiprocessing import shared_memory
+
+        def publish(name, payload):
+            try:
+                seg = shared_memory.SharedMemory(name=name, create=True,
+                                                 size=len(payload))
+            except FileExistsError:
+                return False
+            try:
+                seg.buf[:len(payload)] = payload
+            finally:
+                seg.close()
+            return True
+        """)
+    assert findings == []
+
+
+def test_s1_flags_never_settled_segment(tmp_path):
+    findings = _check(tmp_path, """
+        from multiprocessing import shared_memory
+
+        def leak(name):
+            seg = shared_memory.SharedMemory(name=name, create=True,
+                                             size=64)
+        """)
+    assert [f.code for f in findings] == ["S1"]
+    assert "never closed" in findings[0].message
+
+
+def test_s1_accepts_handoff_to_tracked_owner(tmp_path):
+    findings = _check(tmp_path, """
+        from multiprocessing import shared_memory
+
+        class Store:
+            def __init__(self):
+                self._open = {}
+
+            def create(self, name):
+                seg = shared_memory.SharedMemory(name=name, create=True,
+                                                 size=64)
+                self._open[name] = seg
+                return seg
+        """)
+    assert findings == []
+
+
+def test_s1_ignores_attach_without_create(tmp_path):
+    findings = _check(tmp_path, """
+        from multiprocessing import shared_memory
+
+        def attach(name):
+            seg = shared_memory.SharedMemory(name=name)
+            value = bytes(seg.buf[:4])
+            seg.close()
+            return value
+        """)
+    assert findings == []
