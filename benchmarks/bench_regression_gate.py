@@ -171,6 +171,94 @@ def test_chaos_smoke_gate(campaign_513, bench_corpus, chaos_seeds, benchmark):
             f"seed {seed}: faulted bug set diverged from the clean run"
 
 
+#: The resume gate interrupts the stored campaign once this fraction of
+#: its pairs has been journaled...
+RESUME_KILL_FRACTION = 0.8
+#: ...and the resumed run may re-execute at most this fraction of the
+#: campaign's pairs (the lost tail plus any in-flight work).
+MAX_RESUME_REEXECUTION = 0.25
+
+
+def test_resume_gate(bench_corpus, tmp_path, benchmark):
+    """Fail the bench if crash-resume stops being cheap or exact.
+
+    Runs the Table-2 campaign with a durable store, truncates the
+    write-ahead journal at ~80% of its committed case records (the
+    moral equivalent of SIGKILL at 80% progress), and resumes.  The
+    resumed campaign must re-execute at most 25% of the pairs and
+    reproduce the uninterrupted run's bug set, rendered reports, and
+    AGG-RS groups byte-for-byte.
+    """
+    import os
+
+    from repro.store import RECORD_CASE, decode_line
+
+    store_dir = str(tmp_path / "store")
+
+    def campaign(resume=False):
+        config = CampaignConfig(
+            machine=MachineConfig(bugs=linux_5_13()),
+            corpus=list(bench_corpus), strategy="df-ia",
+            store_dir=store_dir, resume=resume)
+        return Kit(config).run()
+
+    clean = campaign()
+    cases_total = clean.stats.cases_total
+    journal_path = os.path.join(store_dir, clean.stats.campaign_id,
+                                "journal.jsonl")
+    with open(journal_path, "rb") as handle:
+        journal = handle.read()
+
+    # Truncate right after the journal commits 80% of the case records.
+    keep_cases = int(cases_total * RESUME_KILL_FRACTION)
+    kept, committed = [], 0
+    for line in journal.splitlines(keepends=True):
+        record = decode_line(line.decode("utf-8"))
+        if record is not None and record.get("t") == RECORD_CASE:
+            committed += 1
+        kept.append(line)
+        if committed >= keep_cases:
+            break
+    with open(journal_path, "wb") as handle:
+        handle.write(b"".join(kept))
+
+    resumed = campaign(resume=True)
+    reexecuted = resumed.stats.cases_total - resumed.stats.resumed_cases
+    fraction = reexecuted / cases_total
+    matches = (sorted(resumed.bugs_found()) == sorted(clean.bugs_found())
+               and [r.render() for r in resumed.reports]
+               == [r.render() for r in clean.reports]
+               and resumed.groups.agg_rs_count == clean.groups.agg_rs_count)
+    # Benchmark the pure-replay path: resuming the now-complete journal.
+    replay = benchmark.pedantic(campaign, kwargs={"resume": True},
+                                rounds=1, iterations=1)
+    assert replay.stats.resumed_cases == cases_total
+
+    lines = [
+        f"{'gate':<42} {'measured':>10} {'threshold':>10}",
+        "-" * 66,
+        f"{'pairs re-executed after 80% kill':<42} "
+        f"{f'{reexecuted}/{cases_total}':>10} "
+        f"{f'<={MAX_RESUME_REEXECUTION:.0%}':>10}",
+        f"{'re-execution fraction':<42} {f'{fraction:.0%}':>10} "
+        f"{f'<={MAX_RESUME_REEXECUTION:.0%}':>10}",
+        f"{'bug set / reports / AGG-RS parity':<42} "
+        f"{'same' if matches else 'DIFF':>10} {'same':>10}",
+        f"{'cases restored from the journal':<42} "
+        f"{resumed.stats.resumed_cases:>10} {keep_cases:>10}",
+        "",
+        f"journal: {len(kept)} of {len(journal.splitlines())} records kept "
+        f"at the kill point; campaign {clean.stats.campaign_id}",
+    ]
+    emit_table("resume_gate", "Crash-resume campaign gate", lines)
+
+    assert matches, "the resumed campaign diverged from the clean run"
+    assert resumed.stats.resumed_cases >= keep_cases
+    assert fraction <= MAX_RESUME_REEXECUTION, \
+        f"resume re-executed {fraction:.0%} of the campaign " \
+        f"(max {MAX_RESUME_REEXECUTION:.0%})"
+
+
 #: Process shards must beat a single shard by this factor at 4 shards
 #: on CPU-bound work (enforced only on hosts with >= 4 CPUs).
 MIN_SHARD_SPEEDUP_4X = 2.5

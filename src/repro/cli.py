@@ -23,6 +23,9 @@ Subcommands
     Profile a corpus and report kernel coverage.
 ``spec``
     Print the default protected-resource specification.
+``store``
+    Inspect a durable campaign store (``--store DIR``): list campaigns
+    and their completion status, or show one campaign in detail.
 ``gate``
     Run one campaign per kernel preset, diff at the AGG-R level, and
     fail when the transition introduces interference.
@@ -52,6 +55,7 @@ from .corpus.generator import build_corpus
 from .corpus.program import TestProgram
 from .corpus.store import load_corpus, save_corpus
 from .kernel.bugs import BugFlags, fixed_kernel, known_bug_kernel, linux_5_13
+from .store import StoreError
 from .kernel.kernel import KernelConfig
 from .vm.machine import Machine, MachineConfig, RECEIVER
 
@@ -128,13 +132,28 @@ def _print_campaign(result: CampaignResult, show_reports: bool) -> None:
     if stats.faults_injected_total():
         print(f"faults: {stats.faults_injected_total()} injected / "
               f"{stats.faults_recovered_total()} recovered / "
-              f"{stats.faults_infra_total()} infra-failed "
+              f"{stats.faults_infra_total()} infra-failed / "
+              f"{stats.faults_poisoned_total()} poisoned "
               f"(accounted: {'yes' if stats.faults_accounted() else 'NO'}), "
               f"cases lost: {stats.infra_failed_cases}, "
               f"recovery restores: {stats.recovery_restores}")
         print("  per site: " + ", ".join(
             f"{site}={count}"
             for site, count in sorted(stats.faults_injected.items())))
+    if stats.campaign_id:
+        line = f"store: campaign {stats.campaign_id}"
+        if stats.resumed_cases:
+            line += (f", {stats.resumed_cases} case(s) restored from the "
+                     f"journal ({stats.journal_records_replayed} records)")
+        if stats.journal_torn_bytes:
+            line += f", {stats.journal_torn_bytes} torn byte(s) repaired"
+        if stats.journal_fsync_degraded:
+            line += (f", {stats.journal_fsync_degraded} append(s) degraded "
+                     "to flushed-only durability")
+        print(line)
+    if stats.poisoned_cases or stats.worker_hangs:
+        print(f"supervision: {stats.poisoned_cases} pair(s) quarantined "
+              f"as poison, {stats.worker_hangs} hung worker(s) reaped")
     print(f"groups: {result.groups.agg_rs_count} AGG-RS / "
           f"{result.groups.agg_r_count} AGG-R")
     print(f"bugs found: {sorted(result.bugs_found()) or 'none'}")
@@ -209,9 +228,17 @@ def cmd_run(args: argparse.Namespace) -> int:
         static_prefilter=args.prefilter,
         faults=args.faults,
         sender_cache=not args.no_sender_cache,
+        store_dir=args.store,
+        resume=args.resume,
+        hang_timeout=args.hang_timeout,
     )
+    if args.resume and not args.store:
+        raise SystemExit("--resume requires --store DIR")
     progress = print if args.verbose else None
-    result = Kit(config).run(progress=progress)
+    try:
+        result = Kit(config).run(progress=progress)
+    except StoreError as error:
+        raise SystemExit(f"store error: {error}")
     _print_campaign(result, show_reports=args.reports)
     if args.cache_report:
         _print_cache_report(result)
@@ -415,6 +442,57 @@ def cmd_corpus(args: argparse.Namespace) -> int:
     return 0 if loaded.ok else 1
 
 
+def cmd_store(args: argparse.Namespace) -> int:
+    """Inspect a durable campaign store: ``store ls`` / ``store show``."""
+    from .store import CampaignStore, StoreError
+
+    store = CampaignStore(args.store)
+    if args.store_command == "ls":
+        entries = store.list_campaigns()
+        if not entries:
+            print(f"no campaigns under {args.store}")
+            return 0
+        for entry in entries:
+            summary = entry.summary
+            kernel = summary.get("kernel_version", "?")
+            bugs = len(summary.get("bugs_enabled", []))
+            line = (f"{entry.campaign_id}  {entry.status():<11} "
+                    f"kernel={kernel} bugs={bugs} "
+                    f"strategy={summary.get('strategy', '?')} "
+                    f"cases={entry.cases_done}")
+            if entry.poisoned:
+                line += f" poisoned={entry.poisoned}"
+            if entry.attempts:
+                line += f" worker-deaths={entry.attempts}"
+            print(line)
+        return 0
+    # store show <campaign-id>
+    try:
+        entry = store.entry(args.campaign)
+    except StoreError as error:
+        print(f"store error: {error}", file=sys.stderr)
+        return 1
+    print(f"campaign {entry.campaign_id} ({entry.status()})")
+    print(f"  path: {entry.path}")
+    print(f"  fingerprint: {entry.fingerprint}")
+    for knob, value in sorted(entry.summary.items()):
+        if knob == "corpus_hashes" and value:
+            value = f"<{len(value)} pinned programs>"
+        if knob == "spec":
+            value = f"<{len(str(value))} chars>"
+        print(f"  config.{knob}: {value}")
+    print(f"  journal: {entry.cases_done} case(s) committed, "
+          f"{entry.attempts} worker death(s), "
+          f"{entry.poisoned} poison quarantine(s)")
+    if entry.accounting:
+        print("  accounting: " + ", ".join(
+            f"{name}={count}"
+            for name, count in sorted(entry.accounting.items())))
+    result = store.result_path(entry.campaign_id)
+    print(f"  result: {result if result else 'not yet published'}")
+    return 0
+
+
 def cmd_show(args: argparse.Namespace) -> int:
     with open(args.program) as handle:
         program = TestProgram.parse(handle.read())
@@ -470,6 +548,20 @@ def build_parser() -> argparse.ArgumentParser:
                      help="chaos fault injection, e.g. 7:0.2 or "
                           "7:0.2:worker.crash,exec.timeout "
                           "(see docs/FAULTS.md)")
+    run.add_argument("--store", metavar="DIR",
+                     help="durable campaign store: write-ahead journal "
+                          "every result as it lands and publish the "
+                          "final result document "
+                          "(see docs/CAMPAIGN_STORE.md)")
+    run.add_argument("--resume", action="store_true",
+                     help="replay the journal under --store and "
+                          "re-execute only the pairs it does not cover "
+                          "(requires an identical result-affecting "
+                          "configuration)")
+    run.add_argument("--hang-timeout", type=float, metavar="SECONDS",
+                     help="self-healing watchdog: reap any execution "
+                          "worker silent for this long and retry its "
+                          "job elsewhere")
     run.add_argument("--no-sender-cache", action="store_true",
                      help="disable post-sender state memoization "
                           "(re-execute every sender from the snapshot)")
@@ -561,6 +653,18 @@ def build_parser() -> argparse.ArgumentParser:
                                           "surface")
     syscalls.add_argument("--output", help="write to a file instead of stdout")
     syscalls.set_defaults(handler=cmd_syscalls)
+
+    store = subparsers.add_parser("store",
+                                  help="inspect a durable campaign store")
+    store.add_argument("store", metavar="DIR",
+                       help="the --store directory to inspect")
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    store_ls = store_sub.add_parser("ls", help="list campaigns and status")
+    store_ls.set_defaults(handler=cmd_store)
+    store_show = store_sub.add_parser("show",
+                                      help="show one campaign in detail")
+    store_show.add_argument("campaign", help="campaign id (store ls)")
+    store_show.set_defaults(handler=cmd_store)
 
     show = subparsers.add_parser("show",
                                  help="decode and execute one .prog file")

@@ -51,6 +51,11 @@ class Outcome(enum.Enum):
     #: exhausted their retry budget; it carries no verdict about the
     #: kernel and must never surface as a bug report.
     INFRA_FAILED = "infra_failed"
+    #: The case was quarantined as a poison pair: it killed the worker
+    #: running it ``poison_after`` times and is never retried — not in
+    #: this run and (via the campaign journal) not in a resumed one.
+    #: Like ``INFRA_FAILED`` it carries no verdict about the kernel.
+    POISONED = "poisoned"
 
 
 @dataclass

@@ -17,59 +17,21 @@ from __future__ import annotations
 
 import dataclasses
 import json
-from typing import Any, Dict, Optional
+from typing import Any, Dict
 
-from ..corpus.program import TestProgram
-from ..vm.executor import SyscallRecord
 from .aggregation import aggregate
-from .generation import GenerationResult, TestCase
+from .generation import GenerationResult
 from .pipeline import CampaignConfig, CampaignResult, CampaignStats
-from .report import CulpritPair, TestReport
-from .trace_ast import NodeDiff
+from .report import TestReport
+from .reportcodec import decode_report, encode_report
 
 FORMAT_VERSION = 1
 
 
 # -- encoding -------------------------------------------------------------------
 
-def _encode_record(record: Optional[SyscallRecord]) -> Optional[Dict[str, Any]]:
-    if record is None:
-        return None
-    return {
-        "index": record.index,
-        "name": record.name,
-        "args": list(record.args),
-        "retval": record.retval,
-        "errno": record.errno,
-        "details": record.details,
-        "arg_kinds": record.arg_kinds,
-        "ret_kind": record.ret_kind,
-        "subjects": record.subjects,
-    }
-
-
-def _encode_report(report: TestReport) -> Dict[str, Any]:
-    return {
-        "sender": report.case.sender.serialize(),
-        "receiver": report.case.receiver.serialize(),
-        "sender_index": report.case.sender_index,
-        "receiver_index": report.case.receiver_index,
-        "interfered_indices": report.interfered_indices,
-        "diffs": [
-            {"path": list(d.path), "label": d.label,
-             "value_a": d.value_a, "value_b": d.value_b}
-            for d in report.diffs
-        ],
-        "sender_records": [_encode_record(r) for r in report.sender_records],
-        "receiver_alone_records": [
-            _encode_record(r) for r in report.receiver_alone_records],
-        "receiver_with_records": [
-            _encode_record(r) for r in report.receiver_with_records],
-        "culprit_pairs": [
-            {"sender_index": p.sender_index, "receiver_index": p.receiver_index}
-            for p in report.culprit_pairs
-        ],
-    }
+def _encode_report(report: TestReport):
+    return encode_report(report)
 
 
 def campaign_to_dict(result: CampaignResult) -> Dict[str, Any]:
@@ -102,47 +64,8 @@ def save_campaign(result: CampaignResult, path: str) -> None:
 
 # -- decoding -------------------------------------------------------------------
 
-def _decode_record(data: Optional[Dict[str, Any]]) -> Optional[SyscallRecord]:
-    if data is None:
-        return None
-    return SyscallRecord(
-        index=data["index"],
-        name=data["name"],
-        args=tuple(data["args"]),
-        retval=data["retval"],
-        errno=data["errno"],
-        details=data["details"],
-        arg_kinds=data["arg_kinds"],
-        ret_kind=data["ret_kind"],
-        subjects=data["subjects"],
-    )
-
-
-def _decode_report(data: Dict[str, Any]) -> TestReport:
-    case = TestCase(
-        sender_index=data["sender_index"],
-        receiver_index=data["receiver_index"],
-        sender=TestProgram.parse(data["sender"]),
-        receiver=TestProgram.parse(data["receiver"]),
-    )
-    report = TestReport(
-        case=case,
-        interfered_indices=list(data["interfered_indices"]),
-        diffs=[
-            NodeDiff(tuple(d["path"]), d["label"], d["value_a"], d["value_b"])
-            for d in data["diffs"]
-        ],
-        sender_records=[_decode_record(r) for r in data["sender_records"]],
-        receiver_alone_records=[
-            _decode_record(r) for r in data["receiver_alone_records"]],
-        receiver_with_records=[
-            _decode_record(r) for r in data["receiver_with_records"]],
-    )
-    report.culprit_pairs = [
-        CulpritPair(p["sender_index"], p["receiver_index"])
-        for p in data["culprit_pairs"]
-    ]
-    return report
+def _decode_report(data):
+    return decode_report(data)
 
 
 def campaign_from_dict(data: Dict[str, Any]) -> CampaignResult:

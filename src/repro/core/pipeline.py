@@ -25,6 +25,14 @@ from ..faults.plan import (
     FaultRetriesExhausted,
     call_with_fault_retries,
 )
+from ..faults.retry import RetryPolicy, describe_failures
+from ..store import (
+    RECORD_END,
+    CampaignHandle,
+    CampaignStore,
+    case_key,
+    summarize_config,
+)
 from ..vm.cluster import affinity_order, run_distributed
 from ..vm.machine import Machine, MachineConfig, MachineStats
 from ..vm.shardpool import run_sharded
@@ -43,6 +51,7 @@ from .nondet import DEFAULT_OFFSET_SECONDS, NondetAnalyzer, NondetStore
 from .oracle import FALSE_POSITIVE, UNDER_INVESTIGATION, classify_all
 from .profile import Profiler, profile_corpus_distributed
 from .report import TestReport
+from .reportcodec import decode_report, encode_report
 from .spec import Specification, default_specification
 
 Progress = Callable[[str], None]
@@ -98,6 +107,26 @@ class CampaignConfig:
     #: the campaign degrades gracefully instead of aborting: a test case
     #: whose retries are exhausted is recorded as ``infra_failed``.
     faults: Optional[FaultPlan] = None
+    #: Durable result store root (None = no persistence).  When set the
+    #: campaign appends every landed pair outcome to a write-ahead
+    #: journal under ``store_dir/<campaign-id>/`` and publishes the
+    #: final result document there — see ``docs/CAMPAIGN_STORE.md``.
+    store_dir: Optional[str] = None
+    #: Resume the campaign whose fingerprint matches this config from
+    #: its journal in ``store_dir``: already-journaled pairs are
+    #: restored instead of re-executed, in-flight pairs re-run.
+    resume: bool = False
+    #: Heartbeat watchdog timeout in seconds for distributed execution:
+    #: a worker (thread mode) or shard (process mode) silent — or stuck
+    #: on one job — longer than this is written off as dead and its job
+    #: re-queued.  None disables the watchdog.
+    hang_timeout: Optional[float] = None
+    #: Self-healing retry policy (per-cause budgets, backoff, poison
+    #: quarantine) for distributed execution.  None keeps the flat
+    #: ``faults.max_job_retries`` budget — except when ``store_dir`` is
+    #: set, which enables a default policy so quarantine decisions can
+    #: be journaled.
+    retry_policy: Optional[RetryPolicy] = None
 
 
 @dataclass
@@ -181,8 +210,19 @@ class CampaignStats:
     faults_injected: Dict[str, int] = field(default_factory=dict)
     faults_recovered: Dict[str, int] = field(default_factory=dict)
     faults_infra: Dict[str, int] = field(default_factory=dict)
+    #: Injections settled by poison-pair quarantine, per site.
+    faults_poisoned: Dict[str, int] = field(default_factory=dict)
     infra_failed_cases: int = 0
     recovery_restores: int = 0
+    #: Campaign-store telemetry (all zero/empty unless store_dir set).
+    campaign_id: str = ""
+    resumed_cases: int = 0
+    poisoned_cases: int = 0
+    journal_records_replayed: int = 0
+    journal_torn_bytes: int = 0
+    journal_fsync_degraded: int = 0
+    #: Workers/shards the heartbeat watchdog wrote off as hung.
+    worker_hangs: int = 0
 
     def prefilter_pruned_rate(self) -> float:
         if not self.prefilter_pairs_total:
@@ -220,14 +260,19 @@ class CampaignStats:
     def faults_infra_total(self) -> int:
         return sum(self.faults_infra.values())
 
+    def faults_poisoned_total(self) -> int:
+        return sum(self.faults_poisoned.values())
+
     def faults_accounted(self) -> bool:
-        """The chaos invariant: injected == recovered + infra, per site."""
+        """The chaos invariant, per site:
+        ``injected == recovered + infra_failed + poisoned``."""
         sites = set(self.faults_injected) | set(self.faults_recovered) \
-            | set(self.faults_infra)
+            | set(self.faults_infra) | set(self.faults_poisoned)
         return all(
             self.faults_injected.get(site, 0)
             == self.faults_recovered.get(site, 0)
             + self.faults_infra.get(site, 0)
+            + self.faults_poisoned.get(site, 0)
             for site in sites
         )
 
@@ -285,6 +330,8 @@ class Kit:
     def __init__(self, config: Optional[CampaignConfig] = None):
         self.config = config or CampaignConfig()
         self._retired_owners: Set[int] = set()
+        #: Open campaign-store handle while a stored run is in flight.
+        self._store_handle: Optional[CampaignHandle] = None
 
     # -- pipeline ------------------------------------------------------------
 
@@ -309,6 +356,19 @@ class Kit:
         corpus = config.corpus if config.corpus is not None else build_corpus(
             config.corpus_size, seed=config.corpus_seed)
         stats.corpus_size = len(corpus)
+        self._open_store(stats)
+        try:
+            return self._run_stages(config, plan, stats, corpus, say)
+        finally:
+            handle = self._store_handle
+            if handle is not None:
+                stats.journal_fsync_degraded = handle.journal.fsync_degraded
+                handle.close()
+                self._store_handle = None
+
+    def _run_stages(self, config: CampaignConfig, plan: Optional[FaultPlan],
+                    stats: CampaignStats, corpus: List[TestProgram],
+                    say: Progress) -> CampaignResult:
         machine = Machine(config.machine)
         # Caches shared by every detector this campaign builds — the
         # sequential one, each worker's, and the diagnosis one.  Both
@@ -342,6 +402,7 @@ class Kit:
         for result in results:
             key = result.outcome.value
             stats.outcomes[key] = stats.outcomes.get(key, 0) + 1
+        stats.poisoned_cases = stats.outcomes.get(Outcome.POISONED.value, 0)
 
         if plan is not None:
             # Sweep mis-tagged entries before diagnosis: a stale tag may
@@ -373,9 +434,19 @@ class Kit:
             if sender_states is not None:
                 sender_states.purge_stale()
                 caches["sender_states"] = sender_states
+            # Re-run owner invalidation for every retired worker before
+            # the audit: an abandoned (hung) thread the watchdog wrote
+            # off cannot be killed, only flagged — it may have published
+            # one last entry after its owner id was first invalidated.
+            for owner in self._retired_owners:
+                baselines.invalidate_owner(owner)
+                nondet_store.invalidate_owner(owner)
+                if sender_states is not None:
+                    sender_states.invalidate_owner(owner)
             verify_owner_invariant(self._retired_owners, **caches)
             (stats.faults_injected, stats.faults_recovered,
-             stats.faults_infra) = plan.stats.snapshot()
+             stats.faults_infra,
+             stats.faults_poisoned) = plan.stats.snapshot()
             stats.infra_failed_cases = stats.outcomes.get(
                 Outcome.INFRA_FAILED.value, 0)
 
@@ -398,7 +469,156 @@ class Kit:
         groups = aggregate(reports)
         say(f"done: {len(reports)} reports, "
             f"{groups.agg_rs_count} AGG-RS / {groups.agg_r_count} AGG-R groups")
-        return CampaignResult(config, stats, generation, reports, groups)
+        result = CampaignResult(config, stats, generation, reports, groups)
+        if self._store_handle is not None:
+            self._finish_store(result, stats, say)
+        return result
+
+    # -- campaign store --------------------------------------------------------
+
+    def _open_store(self, stats: CampaignStats) -> None:
+        config = self.config
+        if config.store_dir is None:
+            return
+        store = CampaignStore(config.store_dir)
+        handle = store.open_campaign(summarize_config(config),
+                                     resume=config.resume,
+                                     faults=config.faults)
+        self._store_handle = handle
+        stats.campaign_id = handle.campaign_id
+        stats.journal_records_replayed = handle.resume_state.records
+        stats.journal_torn_bytes = handle.resume_state.torn_bytes
+
+    def _finish_store(self, result: CampaignResult, stats: CampaignStats,
+                      say: Progress) -> None:
+        """Seal the campaign: end record, then the result document."""
+        from .persist import campaign_to_dict
+
+        handle = self._store_handle
+        infra = stats.outcomes.get(Outcome.INFRA_FAILED.value, 0)
+        poisoned = stats.outcomes.get(Outcome.POISONED.value, 0)
+        accounting = {
+            "cases_total": stats.cases_total,
+            "completed": stats.cases_total - infra - poisoned,
+            "infra_failed": infra,
+            "poisoned": poisoned,
+            "resumed": stats.resumed_cases,
+            "worker_hangs": stats.worker_hangs,
+            "reports": len(result.reports),
+            "agg_rs": result.groups.agg_rs_count,
+            "bugs": sorted(result.bugs_found()),
+        }
+        handle.journal.append({"t": RECORD_END, "accounting": accounting})
+        path = handle.write_result(campaign_to_dict(result))
+        say(f"campaign {handle.campaign_id}: "
+            f"{accounting['completed']}/{stats.cases_total} completed, "
+            f"{infra} infra_failed, {poisoned} poisoned "
+            f"({stats.resumed_cases} resumed); result at {path}")
+
+    def _effective_retry_policy(self) -> Optional[RetryPolicy]:
+        if self.config.retry_policy is not None:
+            return self.config.retry_policy
+        if self.config.store_dir is not None:
+            # Stored campaigns default to self-healing supervision so
+            # quarantine decisions exist to journal.
+            return RetryPolicy()
+        return None
+
+    @staticmethod
+    def _case_journal_key(case: TestCase) -> str:
+        return case_key(case.sender.hash_hex, case.receiver.hash_hex)
+
+    def _journal_detection(self, detection: DetectionResult) -> None:
+        """Commit one landed outcome to the write-ahead journal."""
+        handle = self._store_handle
+        if handle is None:
+            return
+        report_data = (encode_report(detection.report)
+                       if detection.report is not None else None)
+        handle.journal.append_case(self._case_journal_key(detection.case),
+                                   detection.outcome.value,
+                                   detection.raw_diff_count, report_data)
+
+    def _journal_job_result(self, job, result) -> None:
+        """Supervisor on_result hook: journal each committed result."""
+        if isinstance(result.outcome, DetectionResult):
+            self._journal_detection(result.outcome)
+
+    def _journal_job_failure(self, job, settlement: str) -> None:
+        """Supervisor on_job_failure hook: attempts and quarantines.
+
+        Worker deaths become ``attempt`` records (they seed quarantine
+        counts across resumed runs); a ``poisoned`` settlement is
+        journaled durably so the pair is never retried again.
+        """
+        handle = self._store_handle
+        if handle is None:
+            return
+        key = self._case_journal_key(job.payload)
+        if job.death_attributed:
+            handle.journal.append_attempt(key, [job.last_cause])
+        if settlement == "poisoned":
+            handle.journal.append_poisoned(
+                key, job.worker_deaths, describe_failures(job.site_failures))
+
+    def _prior_deaths(self, scheduled: List[TestCase]
+                      ) -> Optional[Dict[int, int]]:
+        """Journal-replayed worker deaths, keyed by this run's job ids."""
+        handle = self._store_handle
+        if handle is None or not handle.resume_state.deaths:
+            return None
+        deaths = handle.resume_state.deaths
+        mapping: Dict[int, int] = {}
+        for job_id, case in enumerate(scheduled):
+            count = deaths.get(self._case_journal_key(case), 0)
+            if count:
+                mapping[job_id] = count
+        return mapping or None
+
+    def _partition_resume(self, cases: List[TestCase], stats: CampaignStats
+                          ) -> tuple:
+        """Split cases into journal-restored results and work to run.
+
+        Returns ``(results, todo_map, todo)``: *results* has a restored
+        :class:`DetectionResult` at each terminal pair's index and None
+        elsewhere; *todo* lists the cases still to execute and
+        *todo_map* their indices in the original order.
+        """
+        results: List[Optional[DetectionResult]] = [None] * len(cases)
+        handle = self._store_handle
+        state = handle.resume_state if handle is not None else None
+        if state is None or (not state.cases and not state.poisoned):
+            return results, list(range(len(cases))), list(cases)
+        todo_map: List[int] = []
+        todo: List[TestCase] = []
+        for index, case in enumerate(cases):
+            key = self._case_journal_key(case)
+            record = state.cases.get(key)
+            if record is not None:
+                results[index] = self._restore_detection(case, record)
+                stats.resumed_cases += 1
+                continue
+            if key in state.poisoned:
+                # Quarantine is durable: a poison pair is never offered
+                # to a worker again, in any resumed run.
+                results[index] = DetectionResult(case, Outcome.POISONED)
+                stats.resumed_cases += 1
+                continue
+            todo_map.append(index)
+            todo.append(case)
+        return results, todo_map, todo
+
+    @staticmethod
+    def _restore_detection(case: TestCase,
+                           record: Dict[str, Any]) -> DetectionResult:
+        report = None
+        if record.get("report") is not None:
+            # Alias the freshly regenerated case object so aggregation
+            # cannot tell a restored report from a fresh one.
+            report = decode_report(record["report"], case=case)
+        return DetectionResult(case, Outcome(record["outcome"]),
+                               report=report,
+                               raw_diff_count=record.get("raw", 0))
 
     # -- stages ----------------------------------------------------------------
 
@@ -475,26 +695,44 @@ class Kit:
         config = self.config
         start = time.monotonic()
         before = machine.stats.copy()
+        results, todo_map, todo = self._partition_resume(cases, stats)
         if config.workers > 0:
             stats.shard_mode = config.shard_mode
-            stats.execution_workers = min(config.workers, max(1, len(cases)))
-            if config.shard_mode == "process":
-                results = self._execute_process(machine, cases, stats,
-                                                baselines, nondet_store,
-                                                sender_states)
+            stats.execution_workers = min(config.workers, max(1, len(todo)))
+            if not todo:
+                fresh: List[DetectionResult] = []
+            elif config.shard_mode == "process":
+                fresh = self._execute_process(machine, todo, stats,
+                                              baselines, nondet_store,
+                                              sender_states)
             else:
-                results = self._execute_distributed(cases, stats, baselines,
-                                                    nondet_store,
-                                                    sender_states)
+                fresh = self._execute_distributed(todo, stats, baselines,
+                                                  nondet_store,
+                                                  sender_states)
         else:
             detector = self._make_detector(machine, nondet_store, baselines,
                                            sender_states)
-            results = [self._check_with_recovery(detector, case, index)
-                       for index, case in enumerate(cases)]
+            fresh = []
+            for index, case in enumerate(todo):
+                outcome = self._check_with_recovery(detector, case, index)
+                # Commit as it lands: a crash after this append never
+                # re-executes the pair.
+                self._journal_detection(outcome)
+                fresh.append(outcome)
             stats.cases_executed = detector.runner.cases_executed
             stats.nondet_runs = detector.nondet.runs_executed
             stats.absorb_machine(machine.stats.since(before),
                                  stage="execution")
+        for position, outcome in zip(todo_map, fresh):
+            results[position] = outcome
+        if self._store_handle is not None:
+            # Post-merge sweep: journal outcomes that never reached a
+            # commit hook (retry-exhausted infra, poisoned settlements).
+            # Appends deduplicate by key, so re-offering results that
+            # already committed is a no-op.
+            for outcome in results:
+                if outcome is not None:
+                    self._journal_detection(outcome)
         stats.execution_seconds = time.monotonic() - start
         return results
 
@@ -564,6 +802,8 @@ class Kit:
                 sender_states.invalidate_owner(worker_id)
 
         plan = config.faults
+        stored = self._store_handle is not None
+        hung: List[int] = []
         job_results = run_distributed(config.machine, scheduled, case_runner,
                                       workers=config.workers,
                                       machines_out=worker_machines,
@@ -571,7 +811,19 @@ class Kit:
                                       faults=plan,
                                       max_job_retries=(plan.max_job_retries
                                                        if plan else 0),
-                                      strict=(plan is None))
+                                      strict=(plan is None),
+                                      retry_policy=(
+                                          self._effective_retry_policy()),
+                                      hang_timeout=config.hang_timeout,
+                                      on_result=(self._journal_job_result
+                                                 if stored else None),
+                                      on_job_failure=(
+                                          self._journal_job_failure
+                                          if stored else None),
+                                      prior_deaths=(
+                                          self._prior_deaths(scheduled)),
+                                      hung_out=hung)
+        stats.worker_hangs += len(hung)
         results = self._merge_job_results(job_results, order, scheduled,
                                           len(cases))
         for worker_machine in worker_machines:
@@ -595,6 +847,12 @@ class Kit:
         plan = self.config.faults
         results: List[Optional[DetectionResult]] = [None] * case_count
         for job in job_results:
+            if job.poisoned:
+                # Quarantined poison pair: no verdict about the kernel,
+                # but the campaign completes and the books balance.
+                results[order[job.job_id]] = DetectionResult(
+                    scheduled[job.job_id], Outcome.POISONED)
+                continue
             if job.error is not None:
                 if plan is not None:
                     # Retries exhausted under chaos: the case degrades
@@ -704,6 +962,7 @@ class Kit:
         order = affinity_order([(case.sender.hash_hex,
                                  case.receiver.hash_hex) for case in cases])
         scheduled = [cases[i] for i in order]
+        stored = self._store_handle is not None
         try:
             report = run_sharded(
                 config.machine, scheduled, case_runner,
@@ -715,7 +974,13 @@ class Kit:
                 telemetry_hook=shard_telemetry,
                 published_names=(delta_store.take_published
                                  if delta_store is not None else None),
-                flush_hook=settle_books)
+                flush_hook=settle_books,
+                retry_policy=self._effective_retry_policy(),
+                hang_timeout=config.hang_timeout,
+                on_result=(self._journal_job_result if stored else None),
+                on_job_failure=(self._journal_job_failure
+                                if stored else None),
+                prior_deaths=self._prior_deaths(scheduled))
         finally:
             if sender_states is not None:
                 sender_states.backing = None
@@ -727,6 +992,7 @@ class Kit:
         stats.jobs_stolen = report.jobs_stolen
         stats.shards_spawned = report.shards_spawned
         stats.shards_died = report.shards_died
+        stats.worker_hangs += len(report.hung_shards)
         results = self._merge_job_results(report.results, order, scheduled,
                                           len(cases))
         for data in report.telemetry:

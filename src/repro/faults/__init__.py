@@ -10,9 +10,11 @@ from .plan import (
     SITE_CACHE_EVICT,
     SITE_CACHE_STALE_OWNER,
     SITE_EXEC_TIMEOUT,
+    SITE_JOURNAL_TORN,
     SITE_RESTORE_FAIL,
     SITE_RESULT_DROP,
     SITE_SEGMENT_CORRUPT,
+    SITE_STORE_FSYNC_FAIL,
     SITE_WORKER_CRASH,
     SITE_WORKER_SLOW,
     STALE_OWNER,
@@ -21,30 +23,40 @@ from .plan import (
     FaultPlan,
     FaultRetriesExhausted,
     FaultStats,
+    JournalTornInjected,
     RestoreFaultInjected,
+    StoreFsyncInjected,
     WorkerCrashInjected,
     call_with_fault_retries,
     decision,
 )
+from .retry import CAUSE_TRANSIT, CAUSE_WORKER_DEATH, RetryPolicy
 
 __all__ = [
     "ALL_SITES",
+    "CAUSE_TRANSIT",
+    "CAUSE_WORKER_DEATH",
     "CacheOwnerLeakError",
     "ExecTimeoutInjected",
     "FaultInjectedError",
     "FaultPlan",
     "FaultRetriesExhausted",
     "FaultStats",
+    "JournalTornInjected",
     "RestoreFaultInjected",
+    "RetryPolicy",
     "SITE_CACHE_EVICT",
     "SITE_CACHE_STALE_OWNER",
     "SITE_EXEC_TIMEOUT",
+    "SITE_JOURNAL_TORN",
     "SITE_RESTORE_FAIL",
     "SITE_RESULT_DROP",
     "SITE_SEGMENT_CORRUPT",
+    "SITE_STORE_FSYNC_FAIL",
     "SITE_WORKER_CRASH",
     "SITE_WORKER_SLOW",
     "STALE_OWNER",
+    "StoreFsyncInjected",
     "WorkerCrashInjected",
     "call_with_fault_retries",
     "decision",

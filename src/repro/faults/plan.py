@@ -23,7 +23,8 @@ from __future__ import annotations
 
 import random
 import threading
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import (Any, Dict, Iterable, List, Mapping, Optional, Sequence,
+                    Tuple)
 
 #: Snapshot restore fails outright (vm/snapshot.py, vm/segments.py).
 SITE_RESTORE_FAIL = "restore.fail"
@@ -54,6 +55,15 @@ SITE_SENDER_CACHE_EVICT = "sender_cache.evict"
 #: A sender-state insert is tagged with a stale owner id, so owner-based
 #: invalidation can no longer find it (SenderStateCache).
 SITE_SENDER_CACHE_STALE_OWNER = "sender_cache.stale_owner"
+#: A campaign-journal append is torn mid-record — only a prefix of the
+#: line reaches the file, simulating a crash between ``write`` and the
+#: trailing newline; the journal's tail-repair path must truncate the
+#: torn bytes before the record is re-written (repro.store.journal).
+SITE_JOURNAL_TORN = "journal.torn"
+#: An ``fsync`` on the durable campaign store fails (repro.store); the
+#: store retries within the plan budget and degrades to flushed-only
+#: durability when the budget is exhausted.
+SITE_STORE_FSYNC_FAIL = "store.fsync_fail"
 
 ALL_SITES: Tuple[str, ...] = (
     SITE_RESTORE_FAIL,
@@ -67,6 +77,8 @@ ALL_SITES: Tuple[str, ...] = (
     SITE_CACHE_STALE_OWNER,
     SITE_SENDER_CACHE_EVICT,
     SITE_SENDER_CACHE_STALE_OWNER,
+    SITE_JOURNAL_TORN,
+    SITE_STORE_FSYNC_FAIL,
 )
 
 #: Owner tag written by a :data:`SITE_CACHE_STALE_OWNER` injection —
@@ -101,6 +113,14 @@ class ExecTimeoutInjected(FaultInjectedError):
     """A syscall execution was made to time out."""
 
 
+class JournalTornInjected(FaultInjectedError):
+    """A journal append was torn after writing a partial record."""
+
+
+class StoreFsyncInjected(FaultInjectedError):
+    """A durable-store fsync was made to fail."""
+
+
 class WorkerCrashInjected(BaseException):
     """Kills a cluster worker thread mid-job.
 
@@ -126,13 +146,19 @@ class FaultRetriesExhausted(RuntimeError):
 
 
 class FaultStats:
-    """Thread-safe injected/recovered/infra-failed counters, per site."""
+    """Thread-safe injected/recovered/infra-failed/poisoned counters.
+
+    ``poisoned`` is the quarantine column: injections charged to a job
+    that killed its workers often enough to be quarantined as a poison
+    pair (see :mod:`repro.faults.retry`) land here instead of infra.
+    """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self.injected: Dict[str, int] = {}
         self.recovered: Dict[str, int] = {}
         self.infra_failed: Dict[str, int] = {}
+        self.poisoned: Dict[str, int] = {}
 
     def note_injected(self, site: str) -> None:
         with self._lock:
@@ -147,6 +173,11 @@ class FaultStats:
         with self._lock:
             for site in sites:
                 self.infra_failed[site] = self.infra_failed.get(site, 0) + 1
+
+    def note_poisoned(self, sites: Iterable[str]) -> None:
+        with self._lock:
+            for site in sites:
+                self.poisoned[site] = self.poisoned.get(site, 0) + 1
 
     @property
     def injected_total(self) -> int:
@@ -163,25 +194,34 @@ class FaultStats:
         with self._lock:
             return sum(self.infra_failed.values())
 
+    @property
+    def poisoned_total(self) -> int:
+        with self._lock:
+            return sum(self.poisoned.values())
+
     def accounted(self) -> bool:
-        """Every injected fault was either recovered or charged to infra."""
+        """Every injection was recovered, charged to infra, or poisoned."""
         with self._lock:
             sites = set(self.injected) | set(self.recovered) \
-                | set(self.infra_failed)
+                | set(self.infra_failed) | set(self.poisoned)
             return all(
                 self.injected.get(site, 0)
-                == self.recovered.get(site, 0) + self.infra_failed.get(site, 0)
+                == self.recovered.get(site, 0)
+                + self.infra_failed.get(site, 0)
+                + self.poisoned.get(site, 0)
                 for site in sites
             )
 
-    def snapshot(self) -> Tuple[Dict[str, int], Dict[str, int], Dict[str, int]]:
+    def snapshot(self) -> Tuple[Dict[str, int], Dict[str, int],
+                                Dict[str, int], Dict[str, int]]:
         with self._lock:
             return (dict(self.injected), dict(self.recovered),
-                    dict(self.infra_failed))
+                    dict(self.infra_failed), dict(self.poisoned))
 
     def merge_delta(self, injected: Mapping[str, int],
                     recovered: Mapping[str, int],
-                    infra_failed: Mapping[str, int]) -> None:
+                    infra_failed: Mapping[str, int],
+                    poisoned: Optional[Mapping[str, int]] = None) -> None:
         """Fold another process's counter growth into these books.
 
         Shard processes each carry a forked copy of the plan; they ship
@@ -197,6 +237,8 @@ class FaultStats:
             for site, count in infra_failed.items():
                 self.infra_failed[site] = \
                     self.infra_failed.get(site, 0) + count
+            for site, count in (poisoned or {}).items():
+                self.poisoned[site] = self.poisoned.get(site, 0) + count
 
 
 def decision(seed: int, site: str, occurrence: int) -> float:
@@ -309,6 +351,26 @@ class FaultPlan:
 
     def record_infra_failed(self, sites: Iterable[str]) -> None:
         self.stats.note_infra_failed(sites)
+
+    def record_poisoned(self, sites: Iterable[str]) -> None:
+        self.stats.note_poisoned(sites)
+
+    def signature(self) -> Dict[str, Any]:
+        """The plan's result-affecting identity, for config fingerprints.
+
+        Two plans with equal signatures make identical injection
+        decisions, so a resumed campaign replays the same chaos schedule
+        an uninterrupted run would have seen.
+        """
+        return {
+            "seed": self.seed,
+            "rates": {site: rate for site, rate
+                      in sorted(self._rates.items()) if rate > 0.0},
+            "schedule": {site: sorted(indices) for site, indices
+                         in sorted(self._schedule.items())},
+            "max_retries": self.max_retries,
+            "max_job_retries": self.max_job_retries,
+        }
 
     # -- construction helpers ------------------------------------------------
 

@@ -1,0 +1,280 @@
+"""The append-only campaign journal: checksummed JSONL with tail repair.
+
+One campaign writes one journal.  Every record is a single line::
+
+    {"c": <crc32 of the payload json>, "r": {<payload>}}\\n
+
+The payload checksum is computed over the canonical (sorted-keys,
+compact-separators) JSON encoding of the record body, so a record
+re-encoded by any writer produces the same line and a torn or corrupted
+line can never masquerade as a valid record.
+
+Crash model
+-----------
+
+The journal is designed around SIGKILL-anywhere semantics:
+
+* **Torn tail** — a crash between ``write`` and the trailing newline
+  leaves a partial line at the end of the file.  Opening the journal
+  (for replay or append) scans it and truncates everything from the
+  first invalid line onward, so the journal always re-converges to its
+  longest valid prefix.  Records after a mid-file corruption are
+  discarded too: a journal is an ordered log, and trusting records that
+  follow bytes we cannot parse would re-order history.
+* **At-least-once commits** — the same logical record may be appended
+  twice (a result recomputed after a dropped transfer, a resumed run
+  re-executing an in-flight pair).  Appends deduplicate by the record's
+  ``key`` when one is present — first write wins — and replay applies
+  the same rule, so duplicated commits are harmless.
+* **Durability** — every append flushes; ``fsync`` runs through the
+  :data:`~repro.faults.plan.SITE_STORE_FSYNC_FAIL` chaos site with
+  bounded retries and degrades to flushed-only durability (charged to
+  the infra column) when the budget is exhausted.
+
+The :data:`~repro.faults.plan.SITE_JOURNAL_TORN` chaos site exercises
+the torn-write path in-process: the append writes a partial line,
+then runs the same tail repair a crashed writer's successor would run,
+and re-writes the record — injected == recovered by construction, and
+the repair code is exercised on every chaos campaign, not only on real
+crashes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Set
+
+from ..faults.plan import (
+    SITE_JOURNAL_TORN,
+    SITE_STORE_FSYNC_FAIL,
+    FaultPlan,
+)
+
+#: Record types understood by the campaign pipeline.
+RECORD_BEGIN = "begin"        # campaign config fingerprint + summary
+RECORD_CASE = "case"          # one pair's terminal outcome (maybe report)
+RECORD_ATTEMPT = "attempt"    # a worker died holding the pair
+RECORD_POISONED = "poisoned"  # pair quarantined after repeated kills
+RECORD_END = "end"            # campaign completed; final accounting
+
+
+def _canonical(record: Dict[str, Any]) -> str:
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def encode_line(record: Dict[str, Any]) -> str:
+    payload = _canonical(record)
+    crc = zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF
+    return json.dumps({"c": crc, "r": json.loads(payload)},
+                      sort_keys=True, separators=(",", ":")) + "\n"
+
+
+def decode_line(line: str) -> Optional[Dict[str, Any]]:
+    """The record carried by one journal line, or None if invalid."""
+    if not line.endswith("\n"):
+        return None  # torn: the newline is the commit marker
+    try:
+        envelope = json.loads(line)
+    except ValueError:
+        return None
+    if not isinstance(envelope, dict) or "c" not in envelope \
+            or "r" not in envelope:
+        return None
+    record = envelope["r"]
+    if not isinstance(record, dict):
+        return None
+    crc = zlib.crc32(_canonical(record).encode("utf-8")) & 0xFFFFFFFF
+    if crc != envelope["c"]:
+        return None
+    return record
+
+
+@dataclass
+class JournalReplay:
+    """Everything a journal scan recovered."""
+
+    records: List[Dict[str, Any]] = field(default_factory=list)
+    #: Byte offset of the end of the longest valid prefix.
+    valid_bytes: int = 0
+    #: Bytes discarded past the valid prefix (torn tail, corruption).
+    torn_bytes: int = 0
+    #: Duplicate keyed records dropped by first-write-wins dedup.
+    duplicates: int = 0
+
+    def by_type(self, record_type: str) -> List[Dict[str, Any]]:
+        return [r for r in self.records if r.get("t") == record_type]
+
+
+def scan(path: str) -> JournalReplay:
+    """Replay a journal file: longest valid prefix, first-wins dedup."""
+    replay = JournalReplay()
+    if not os.path.exists(path):
+        return replay
+    seen: Set[str] = set()
+    offset = 0
+    with open(path, "r", encoding="utf-8", newline="\n") as handle:
+        for line in handle:
+            record = decode_line(line)
+            if record is None:
+                break
+            offset += len(line.encode("utf-8"))
+            key = record.get("k")
+            if key is not None and record.get("t") in (RECORD_CASE,
+                                                       RECORD_POISONED):
+                dedup_key = f"{record.get('t')}:{key}"
+                if dedup_key in seen:
+                    replay.duplicates += 1
+                    continue
+                seen.add(dedup_key)
+            replay.records.append(record)
+    replay.valid_bytes = offset
+    replay.torn_bytes = os.path.getsize(path) - offset
+    return replay
+
+
+class CampaignJournal:
+    """Append-only write-ahead journal for one campaign.
+
+    Thread-safe: execution workers commit results concurrently.  Opening
+    an existing journal repairs its tail (truncating torn bytes) before
+    the first append, so a journal is always in its longest-valid-prefix
+    state while a writer owns it.
+    """
+
+    def __init__(self, path: str, faults: Optional[FaultPlan] = None,
+                 fsync: bool = True):
+        self.path = path
+        self.faults = faults
+        self._fsync_enabled = fsync
+        self._lock = threading.Lock()
+        self._seen_keys: Set[str] = set()
+        self.appended = 0
+        self.fsync_degraded = 0
+        #: Torn bytes truncated away when this writer opened the file.
+        self.torn_bytes_repaired = 0
+        replay = self.repair_tail()
+        self.torn_bytes_repaired = replay.torn_bytes
+        for record in replay.records:
+            key = record.get("k")
+            if key is not None and record.get("t") in (RECORD_CASE,
+                                                       RECORD_POISONED):
+                self._seen_keys.add(f"{record.get('t')}:{key}")
+        self._handle = open(self.path, "a", encoding="utf-8", newline="\n")
+
+    # -- tail repair ---------------------------------------------------------
+
+    def repair_tail(self) -> JournalReplay:
+        """Truncate the file back to its longest valid prefix."""
+        replay = scan(self.path)
+        if replay.torn_bytes:
+            with open(self.path, "r+b") as handle:
+                handle.truncate(replay.valid_bytes)
+        return replay
+
+    # -- appending -----------------------------------------------------------
+
+    def append(self, record: Dict[str, Any]) -> bool:
+        """Durably append one record; False if deduplicated away.
+
+        Records carrying a ``k`` key commit at most once per (type, key)
+        — the at-least-once execution layer may offer the same result
+        twice (re-run after a dropped transfer, a resumed in-flight
+        pair) and the first commit wins.
+        """
+        with self._lock:
+            key = record.get("k")
+            dedup_key = None
+            if key is not None and record.get("t") in (RECORD_CASE,
+                                                       RECORD_POISONED):
+                dedup_key = f"{record.get('t')}:{key}"
+                if dedup_key in self._seen_keys:
+                    return False
+            line = encode_line(record)
+            self._write_line(line)
+            if dedup_key is not None:
+                self._seen_keys.add(dedup_key)
+            self.appended += 1
+            return True
+
+    def _write_line(self, line: str) -> None:
+        faults = self.faults
+        if faults is not None and faults.should_inject(SITE_JOURNAL_TORN):
+            # Tear the write: a strict prefix of the line reaches the
+            # file with no newline, exactly what a crash between write()
+            # and the commit marker leaves behind.  Then run the same
+            # tail repair a successor process would run on open, and
+            # fall through to the real append — the fault is absorbed
+            # by the repair path it exists to exercise.
+            torn = line[:max(1, len(line) // 2)].rstrip("\n")
+            self._handle.write(torn)
+            self._handle.flush()
+            self._handle.close()
+            self.repair_tail()
+            self._handle = open(self.path, "a", encoding="utf-8",
+                                newline="\n")
+            faults.record_recovered([SITE_JOURNAL_TORN])
+        self._handle.write(line)
+        self._handle.flush()
+        self._sync()
+
+    def _sync(self) -> None:
+        if not self._fsync_enabled:
+            return
+        faults = self.faults
+        pending: List[str] = []
+        budget = faults.max_retries if faults is not None else 0
+        while True:
+            if faults is not None \
+                    and faults.should_inject(SITE_STORE_FSYNC_FAIL):
+                pending.append(SITE_STORE_FSYNC_FAIL)
+                if len(pending) > budget:
+                    # Durability degrades to flushed-only for this
+                    # record; the campaign continues and the books
+                    # charge the failed syncs to infra.
+                    faults.record_infra_failed(pending)
+                    self.fsync_degraded += 1
+                    return
+                continue
+            os.fsync(self._handle.fileno())
+            if faults is not None and pending:
+                faults.record_recovered(pending)
+            return
+
+    # -- record constructors ---------------------------------------------------
+
+    def append_case(self, key: str, outcome: str, raw_diff_count: int,
+                    report: Optional[Dict[str, Any]]) -> bool:
+        return self.append({
+            "t": RECORD_CASE, "k": key, "outcome": outcome,
+            "raw": raw_diff_count, "report": report,
+        })
+
+    def append_attempt(self, key: str, sites: List[str]) -> bool:
+        return self.append({"t": RECORD_ATTEMPT, "k": key, "sites": sites})
+
+    def append_poisoned(self, key: str, deaths: int, error: str) -> bool:
+        return self.append({"t": RECORD_POISONED, "k": key,
+                            "deaths": deaths, "error": error})
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.flush()
+                self._handle.close()
+
+    def __enter__(self) -> "CampaignJournal":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def iter_records(path: str) -> Iterator[Dict[str, Any]]:
+    """Valid records of a journal file, deduplicated, in order."""
+    return iter(scan(path).records)

@@ -45,6 +45,13 @@ from ..faults.plan import (
     FaultPlan,
     WorkerCrashInjected,
 )
+from ..faults.retry import (
+    CAUSE_TRANSIT,
+    CAUSE_WORKER_DEATH,
+    RetryPolicy,
+    describe_failures,
+    tally,
+)
 from .machine import Machine, MachineConfig
 
 
@@ -79,6 +86,17 @@ class Job:
     #: Injected-fault sites charged to this job, pending resolution:
     #: recovered when a result finally lands, infra on exhaustion.
     pending_sites: List[str] = field(default_factory=list)
+    #: Failed attempts attributed per cause (fault site or the
+    #: synthetic worker-death / transit causes) — the retry-policy and
+    #: error-message ledger; survives pending-site resolution.
+    site_failures: Dict[str, int] = field(default_factory=dict)
+    #: Workers this job took down with it (crash, SIGKILL, watchdog
+    #: kill); reaching the policy's ``poison_after`` quarantines it.
+    worker_deaths: int = 0
+    #: Cause charged by the most recent failed attempt.
+    last_cause: Optional[str] = None
+    #: Set for the current audit when a dead worker held this job.
+    death_attributed: bool = field(default=False, repr=False)
 
 
 @dataclass
@@ -89,15 +107,34 @@ class JobResult:
     outcome: Any
     worker: int
     error: Optional[str] = None
+    #: Failed attempts the job survived before this result (or before
+    #: exhausting its budget).
+    attempts: int = 0
+    #: The cause charged by the last failed attempt, when any.
+    last_fault_site: Optional[str] = None
+    #: The job was quarantined as a poison pair: it killed its worker
+    #: once too often and will never be retried again.
+    poisoned: bool = False
 
 
 class ClusterServer:
     """Job distribution, result collection, and the retry ledger."""
 
     def __init__(self, machine_config: MachineConfig, payloads: Iterable[Any],
-                 faults: Optional[FaultPlan] = None):
+                 faults: Optional[FaultPlan] = None,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 on_result: Optional[Callable[[Job, JobResult], None]] = None,
+                 on_job_failure: Optional[Callable[[Job, str], None]] = None,
+                 prior_deaths: Optional[Dict[int, int]] = None):
         self._machine_config = machine_config
         self.faults = faults
+        self.retry_policy = retry_policy
+        #: Called once per *committed* result (first-to-land dedup has
+        #: already happened) — the pipeline's journal-commit hook.
+        self.on_result = on_result
+        #: Called when a job is charged a failed attempt, with the kind
+        #: of settlement: ``retry`` | ``infra`` | ``poisoned``.
+        self.on_job_failure = on_job_failure
         self._jobs: "queue.Queue[Job]" = queue.Queue()
         self._by_id: Dict[int, Job] = {}
         self._completed: Dict[int, JobResult] = {}
@@ -106,6 +143,10 @@ class ClusterServer:
         self._count = 0
         for payload in payloads:
             job = Job(self._count, payload)
+            if prior_deaths:
+                # Worker deaths journaled by earlier (crashed) runs of
+                # the same campaign keep counting toward quarantine.
+                job.worker_deaths = prior_deaths.get(self._count, 0)
             self._by_id[self._count] = job
             self._jobs.put(job)
             self._count += 1
@@ -134,15 +175,21 @@ class ClusterServer:
         if faults is not None and faults.should_inject(SITE_RESULT_DROP):
             job.pending_sites.append(SITE_RESULT_DROP)
             return
+        result.attempts = job.failures
+        result.last_fault_site = job.last_cause
+        committed = False
         with self._lock:
             if result.job_id not in self._completed:
                 self._completed[result.job_id] = result
+                committed = True
         # Any landed result proves the faults previously charged to this
         # job were absorbed — resolve them even if another attempt's
         # result won the first-to-land race.
         if faults is not None and job.pending_sites:
             faults.record_recovered(job.pending_sites)
             job.pending_sites = []
+        if committed and self.on_result is not None:
+            self.on_result(job, result)
 
     # -- round audit -------------------------------------------------------------
 
@@ -186,20 +233,74 @@ class ClusterServer:
                 requeued.append(job)
         for job in missing:
             job.failures += 1
+            # Attribute a cause to this failed attempt: the fault site
+            # charged most recently, a real worker death, or (when the
+            # ledger has nothing to pin it on) a lost transfer.
+            if job.pending_sites:
+                attempt_cause = job.pending_sites[-1]
+            elif job.death_attributed:
+                attempt_cause = CAUSE_WORKER_DEATH
+            else:
+                attempt_cause = CAUSE_TRANSIT
+            job.last_cause = attempt_cause
+            tally(job.site_failures, attempt_cause)
+            settlement = self._settle(job, max_job_retries, cause, requeued)
+            if self.on_job_failure is not None:
+                self.on_job_failure(job, settlement)
+            job.death_attributed = False
+        return requeued
+
+    def _settle(self, job: Job, max_job_retries: int, cause: str,
+                requeued: List[Job]) -> str:
+        """Settle one charged job: ``retry`` | ``infra`` | ``poisoned``."""
+        policy = self.retry_policy
+        if policy is None:
+            # Historical flat budget: every failure counts the same.
             if job.failures <= max_job_retries:
                 self._jobs.put(job)
                 requeued.append(job)
-                continue
-            failure = JobResult(
+                return "retry"
+            return self._fail(job, JobResult(
                 job.job_id, None, worker=-1,
                 error=f"retries exhausted after {job.failures} "
-                      f"failed attempt(s) ({cause})")
+                      f"failed attempt(s) ({cause})",
+                attempts=job.failures, last_fault_site=job.last_cause))
+        if policy.should_poison(job.worker_deaths):
+            # Poison-pair quarantine: this job keeps taking its worker
+            # down with it.  Stop feeding it workers — report it as
+            # poisoned, never to be retried (journal durability extends
+            # the quarantine across resumed runs).
+            result = JobResult(
+                job.job_id, None, worker=-1,
+                error=f"poisoned: killed {job.worker_deaths} worker(s) "
+                      f"({describe_failures(job.site_failures)})",
+                attempts=job.failures, last_fault_site=job.last_cause,
+                poisoned=True)
             with self._lock:
-                self._failed[job.job_id] = failure
-            if self.faults is not None and job.pending_sites:
-                self.faults.record_infra_failed(job.pending_sites)
+                self._failed[job.job_id] = result
+            if self.faults is not None:
+                self.faults.record_poisoned(job.pending_sites)
                 job.pending_sites = []
-        return requeued
+            return "poisoned"
+        exhausted = policy.exhausted_cause(job.site_failures)
+        if exhausted is None:
+            self._jobs.put(job)
+            requeued.append(job)
+            return "retry"
+        return self._fail(job, JobResult(
+            job.job_id, None, worker=-1,
+            error=f"retry budget for {exhausted!r} exhausted after "
+                  f"{job.failures} failed attempt(s) "
+                  f"({describe_failures(job.site_failures)})",
+            attempts=job.failures, last_fault_site=job.last_cause))
+
+    def _fail(self, job: Job, result: JobResult) -> str:
+        with self._lock:
+            self._failed[job.job_id] = result
+        if self.faults is not None and job.pending_sites:
+            self.faults.record_infra_failed(job.pending_sites)
+            job.pending_sites = []
+        return "infra"
 
     # -- results -----------------------------------------------------------------
 
@@ -236,6 +337,15 @@ class ClusterWorker(threading.Thread):
         #: The booted machine, exposed so callers can collect telemetry
         #: (restore stats) after the pool joins.
         self.machine: Optional[Machine] = None
+        #: Last sign of life, for the hang watchdog (monotonic seconds).
+        self.heartbeat: float = time.monotonic()
+        #: The job this worker is holding right now — worker-death
+        #: attribution reads it when the thread dies mid-run.
+        self.current_job: Optional[Job] = None
+        #: Set by the watchdog when this worker stopped beating: the
+        #: supervisor has written it off, so it must take no more work
+        #: (a late result for the held job is deduplicated first-wins).
+        self.abandoned = False
 
     def run(self) -> None:
         try:
@@ -248,9 +358,13 @@ class ClusterWorker(threading.Thread):
         faults = self._server.faults
         try:
             while True:
+                if self.abandoned:
+                    return
                 job = self._server.fetch_job()
                 if job is None:
                     return
+                self.current_job = job
+                self.heartbeat = time.monotonic()
                 if faults is not None:
                     if faults.should_inject(SITE_WORKER_SLOW):
                         # A stalled worker only costs wall clock; the
@@ -270,6 +384,8 @@ class ClusterWorker(threading.Thread):
                                        error=f"{type(error).__name__}: "
                                              f"{error}")
                 self._server.submit_result(job, result)
+                self.current_job = None
+                self.heartbeat = time.monotonic()
         except BaseException as error:  # worker death (SystemExit, ...)
             # Anything escaping the per-job handler kills the worker
             # mid-queue; record it so run_distributed can name the cause
@@ -285,7 +401,15 @@ def run_distributed(machine_config: MachineConfig, payloads: Iterable[Any],
                     faults: Optional[FaultPlan] = None,
                     max_job_retries: int = 0,
                     strict: bool = True,
-                    mode: str = "thread") -> List[JobResult]:
+                    mode: str = "thread",
+                    retry_policy: Optional[RetryPolicy] = None,
+                    hang_timeout: Optional[float] = None,
+                    on_result: Optional[Callable[[Job, JobResult],
+                                                 None]] = None,
+                    on_job_failure: Optional[Callable[[Job, str],
+                                                      None]] = None,
+                    prior_deaths: Optional[Dict[int, int]] = None,
+                    hung_out: Optional[List[int]] = None) -> List[JobResult]:
     """Run *payloads* through *case_runner* on a supervised worker pool.
 
     Returns results ordered by job id, so the output is independent of
@@ -309,6 +433,23 @@ def run_distributed(machine_config: MachineConfig, payloads: Iterable[Any],
     (including replacements) after the pool retires, for restore/cache
     telemetry collection.
 
+    Self-healing extensions (all opt-in, defaults preserve the
+    historical behaviour exactly):
+
+    * *retry_policy* replaces the flat budget with per-cause budgets,
+      exponential backoff between rounds, and poison-pair quarantine
+      (see :class:`~repro.faults.retry.RetryPolicy`);
+    * *hang_timeout* arms a heartbeat watchdog: a worker silent for
+      longer than this many seconds is abandoned (treated as dead — its
+      machine is excluded from *machines_out*, its caches retired, its
+      held job re-queued) and its id appended to *hung_out*;
+    * *on_result* fires once per committed (first-to-land) result and
+      *on_job_failure* once per charged failed attempt with its
+      settlement (``retry`` / ``infra`` / ``poisoned``) — the campaign
+      journal's commit hooks;
+    * *prior_deaths* (job id → worker deaths journaled by earlier runs)
+      lets quarantine counts survive a crash-and-resume.
+
     ``mode="process"`` delegates to the shared-nothing process pool
     (:func:`~repro.vm.shardpool.run_sharded`) with the same retry,
     strictness, and death-hook contracts; *machines_out* is unsupported
@@ -324,12 +465,22 @@ def run_distributed(machine_config: MachineConfig, payloads: Iterable[Any],
         report = run_sharded(machine_config, list(payloads), case_runner,
                              workers=workers, faults=faults,
                              max_job_retries=max_job_retries,
-                             strict=strict, on_worker_death=on_worker_death)
+                             strict=strict, on_worker_death=on_worker_death,
+                             retry_policy=retry_policy,
+                             hang_timeout=hang_timeout,
+                             on_result=on_result,
+                             on_job_failure=on_job_failure,
+                             prior_deaths=prior_deaths)
+        if hung_out is not None:
+            hung_out.extend(report.hung_shards)
         return report.results
     if mode != "thread":
         raise ValueError(f"unknown cluster mode {mode!r} "
                          "(expected 'thread' or 'process')")
-    server = ClusterServer(machine_config, payloads, faults=faults)
+    server = ClusterServer(machine_config, payloads, faults=faults,
+                           retry_policy=retry_policy, on_result=on_result,
+                           on_job_failure=on_job_failure,
+                           prior_deaths=prior_deaths)
     if server.job_count == 0:
         return []
     pool_size = min(max(1, workers), server.job_count)
@@ -342,13 +493,24 @@ def run_distributed(machine_config: MachineConfig, payloads: Iterable[Any],
         next_worker_id += spawn
         for worker in pool:
             worker.start()
-        for worker in pool:
-            worker.join()
+        hung = _join_round(pool, hang_timeout)
+        if hung:
+            if hung_out is not None:
+                hung_out.extend(w.worker_id for w in hung)
         if machines_out is not None:
+            # A hung worker's machine is written off with it — its state
+            # is unknown, so its telemetry must not be trusted either.
             machines_out.extend(w.machine for w in pool
-                                if w.machine is not None)
+                                if w.machine is not None and not w.abandoned)
         round_dead = [w for w in pool if w.fatal_error is not None]
         dead.extend(round_dead)
+        # Worker-death attribution: each dead (or hung) worker's held
+        # job took a worker down — the quarantine ledger counts it.
+        for worker in round_dead:
+            held = worker.current_job
+            if held is not None:
+                held.worker_deaths += 1
+                held.death_attributed = True
         # Retire the dead workers' cache ownership *now*: a replacement
         # must never observe (or re-compute around) entries published
         # from a machine that died in an undefined state.
@@ -364,12 +526,53 @@ def run_distributed(machine_config: MachineConfig, payloads: Iterable[Any],
                                       charge_queued=not round_booted)
         if not requeued:
             break
+        if retry_policy is not None:
+            delay = retry_policy.backoff_seconds(
+                max(job.failures for job in requeued))
+            if delay > 0.0:
+                time.sleep(delay)
     failed = server.failed_results()
     if failed and strict:
         missing = [result.job_id for result in failed]
         boot_errors = "; ".join(f"worker {w.worker_id}: {w.fatal_error}"
                                 for w in dead) or "unknown cause"
+        details = "; ".join(
+            f"job {r.job_id}: {r.attempts} attempt(s), last cause "
+            f"{r.last_fault_site or 'unknown'}" for r in failed)
         raise RuntimeError(
             f"cluster finished with {len(missing)} unfinished job(s) "
-            f"{missing} ({boot_errors})")
+            f"{missing} ({boot_errors}) [{details}]")
     return server.results_in_order()
+
+
+def _join_round(pool: List[ClusterWorker],
+                hang_timeout: Optional[float]) -> List[ClusterWorker]:
+    """Join one round of workers, abandoning any that stop beating.
+
+    Without a *hang_timeout* this is a plain join.  With one, workers
+    are polled: a worker whose heartbeat is older than the timeout is
+    marked abandoned (it exits at its next loop check — Python threads
+    cannot be killed) and written off as dead with its held job still
+    attributed, exactly like a crash.  Returns the hung workers.
+    """
+    if hang_timeout is None:
+        for worker in pool:
+            worker.join()
+        return []
+    hung: List[ClusterWorker] = []
+    active = list(pool)
+    while active:
+        for worker in list(active):
+            worker.join(timeout=min(0.02, hang_timeout / 4))
+            if not worker.is_alive():
+                active.remove(worker)
+                continue
+            silent = time.monotonic() - worker.heartbeat
+            if silent > hang_timeout:
+                worker.abandoned = True
+                worker.fatal_error = (
+                    f"hung: worker {worker.worker_id} silent for "
+                    f"{silent:.3f}s (> {hang_timeout:.3f}s watchdog)")
+                hung.append(worker)
+                active.remove(worker)
+    return hung

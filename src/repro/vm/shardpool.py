@@ -47,6 +47,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import signal
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -60,6 +61,13 @@ from ..faults.plan import (
     SITE_WORKER_SLOW,
     FaultPlan,
     WorkerCrashInjected,
+)
+from ..faults.retry import (
+    CAUSE_TRANSIT,
+    CAUSE_WORKER_DEATH,
+    RetryPolicy,
+    describe_failures,
+    tally,
 )
 from .cluster import Job, JobResult
 from .machine import Machine, MachineConfig
@@ -95,6 +103,10 @@ class ShardRunReport:
     rounds: int = 0
     shards_spawned: int = 0
     shards_died: int = 0
+    #: Worker ids of shards the heartbeat watchdog SIGKILLed (they went
+    #: silent, or sat on one job, longer than ``hang_timeout``).  Hung
+    #: shards also count in ``shards_died``.
+    hung_shards: List[int] = field(default_factory=list)
     #: Shared-segment names announced by shards that later died; the
     #: supervisor passed each batch to ``on_owner_segments``.
     retired_segments: List[str] = field(default_factory=list)
@@ -119,8 +131,12 @@ def _merge_stats_delta(faults: Optional[FaultPlan],
                        delta: Optional[Tuple[Dict[str, int], ...]]) -> None:
     if faults is None or delta is None:
         return
-    injected, recovered, infra = delta
-    faults.stats.merge_delta(injected, recovered, infra)
+    if len(delta) == 4:
+        injected, recovered, infra, poisoned = delta
+    else:  # a 3-column delta from an older shard snapshot shape
+        injected, recovered, infra = delta
+        poisoned = None
+    faults.stats.merge_delta(injected, recovered, infra, poisoned)
 
 
 def _shard_main(worker_id: int, ctrl, out, boot: Callable[[], Machine],
@@ -130,7 +146,8 @@ def _shard_main(worker_id: int, ctrl, out, boot: Callable[[], Machine],
                 telemetry_hook: Optional[Callable[[Machine], Any]],
                 published_names: Optional[Callable[[], List[str]]],
                 flush_hook: Optional[Callable[[], None]],
-                start: int, end: int) -> None:
+                start: int, end: int,
+                heartbeat_interval: Optional[float] = None) -> None:
     """One shard process: run ranges, answer steals, report, retire.
 
     All messages go child -> parent on *out*; the parent commands via
@@ -140,9 +157,20 @@ def _shard_main(worker_id: int, ctrl, out, boot: Callable[[], Machine],
     computed on every messaged exit (done and fatal alike), so
     shard-local recovery paths — e.g. purging stale-tagged cache
     entries — settle their books before they are shipped.
+
+    With a *heartbeat_interval*, a background thread sends
+    ``("hb", worker_id, held_index)`` on that cadence after boot — the
+    supervisor's watchdog input.  The heartbeat thread shares *out* with
+    the main thread, so every send goes through one lock: pipe writes
+    from two threads must never interleave mid-message.
     """
     names = published_names or (lambda: [])
     base = faults.stats.snapshot() if faults is not None else None
+    send_lock = threading.Lock()
+
+    def send(message: tuple) -> None:
+        with send_lock:
+            out.send(message)
 
     def flush() -> None:
         if flush_hook is not None:
@@ -153,14 +181,27 @@ def _shard_main(worker_id: int, ctrl, out, boot: Callable[[], Machine],
     try:
         machine = boot()
     except Exception as error:
-        out.send(("fatal", worker_id, None,
-                  f"{type(error).__name__}: {error}", [],
-                  _stats_delta(faults, base), names()))
+        send(("fatal", worker_id, None,
+              f"{type(error).__name__}: {error}", [],
+              _stats_delta(faults, base), names()))
         return
     machine.cluster_worker_id = worker_id
     cursor, limit = start, end
     held: Optional[int] = None
     stopping = False
+
+    if heartbeat_interval is not None:
+        beat_stop = threading.Event()
+
+        def beat() -> None:
+            while not beat_stop.wait(heartbeat_interval):
+                try:
+                    send(("hb", worker_id, held))
+                except (BrokenPipeError, OSError):
+                    return
+
+        threading.Thread(target=beat, name=f"kit-shard-{worker_id}-hb",
+                         daemon=True).start()
 
     def handle(command: tuple) -> bool:
         """Apply one control message; False means stop."""
@@ -169,8 +210,8 @@ def _shard_main(worker_id: int, ctrl, out, boot: Callable[[], Machine],
         if kind == "steal":
             remaining = limit - cursor
             give = remaining // 2
-            out.send(("steal_ack", worker_id, command[1],
-                      limit - give, limit))
+            send(("steal_ack", worker_id, command[1],
+                  limit - give, limit))
             limit -= give
             return True
         if kind == "range":
@@ -187,7 +228,7 @@ def _shard_main(worker_id: int, ctrl, out, boot: Callable[[], Machine],
             if stopping:
                 break
             if cursor >= limit:
-                out.send(("idle", worker_id, names()))
+                send(("idle", worker_id, names()))
                 while cursor >= limit:
                     if not handle(ctrl.recv()):
                         stopping = True
@@ -213,7 +254,7 @@ def _shard_main(worker_id: int, ctrl, out, boot: Callable[[], Machine],
                     # Announce, flush, die: the supervisor accounts the
                     # injection (this process's counters die with it)
                     # and charges exactly the announced job.
-                    out.send(("killing", worker_id, index, names()))
+                    send(("killing", worker_id, index, names()))
                     os.kill(os.getpid(), signal.SIGKILL)
             try:
                 outcome = case_runner(machine, payload)
@@ -221,25 +262,25 @@ def _shard_main(worker_id: int, ctrl, out, boot: Callable[[], Machine],
             except Exception as failure:  # defensive: report, keep shard
                 outcome = None
                 error = f"{type(failure).__name__}: {failure}"
-            out.send(("result", worker_id, index, outcome, error, names()))
+            send(("result", worker_id, index, outcome, error, names()))
             held = None
             cursor += 1
     except WorkerCrashInjected as error:
         flush()
-        out.send(("fatal", worker_id, held,
-                  f"{type(error).__name__}: {error}", [SITE_WORKER_CRASH],
-                  _stats_delta(faults, base), names()))
+        send(("fatal", worker_id, held,
+              f"{type(error).__name__}: {error}", [SITE_WORKER_CRASH],
+              _stats_delta(faults, base), names()))
         return
     except BaseException as error:  # genuine shard death
         flush()
-        out.send(("fatal", worker_id, held,
-                  f"{type(error).__name__}: {error}", [],
-                  _stats_delta(faults, base), names()))
+        send(("fatal", worker_id, held,
+              f"{type(error).__name__}: {error}", [],
+              _stats_delta(faults, base), names()))
         return
     flush()
     telemetry = telemetry_hook(machine) if telemetry_hook is not None else None
-    out.send(("done", worker_id, telemetry,
-              _stats_delta(faults, base), names()))
+    send(("done", worker_id, telemetry,
+          _stats_delta(faults, base), names()))
 
 
 @dataclass
@@ -255,12 +296,17 @@ class _Shard:
     state: str = "running"  # running | waiting | granted | stopping
     booted: bool = False
     steal_pending: bool = False
-    exit_kind: Optional[str] = None  # done | fatal | killed | died
+    exit_kind: Optional[str] = None  # done | fatal | killed | died | hung
     fatal_error: Optional[str] = None
     held_index: Optional[int] = None
     pending_sites: List[str] = field(default_factory=list)
     published: List[str] = field(default_factory=list)
     telemetry: Any = None
+    #: Watchdog inputs: time of the last message received from this
+    #: shard, and how long it has reported the same held job.
+    last_message: float = 0.0
+    last_held: Optional[int] = None
+    held_since: float = 0.0
 
 
 def run_sharded(machine_config: MachineConfig, payloads: Sequence[Any],
@@ -276,7 +322,14 @@ def run_sharded(machine_config: MachineConfig, payloads: Sequence[Any],
                 telemetry_hook: Optional[Callable[[Machine], Any]] = None,
                 published_names: Optional[Callable[[],
                                                    List[str]]] = None,
-                flush_hook: Optional[Callable[[], None]] = None
+                flush_hook: Optional[Callable[[], None]] = None,
+                retry_policy: Optional[RetryPolicy] = None,
+                hang_timeout: Optional[float] = None,
+                on_result: Optional[Callable[[Job, JobResult],
+                                             None]] = None,
+                on_job_failure: Optional[Callable[[Job, str],
+                                                  None]] = None,
+                prior_deaths: Optional[Dict[int, int]] = None
                 ) -> ShardRunReport:
     """Run *payloads* through *case_runner* on a process shard pool.
 
@@ -293,6 +346,14 @@ def run_sharded(machine_config: MachineConfig, payloads: Sequence[Any],
       it published since last poll; *on_owner_segments* receives a dead
       shard's announced names so the caller can unlink them (the
       process-mode owner invalidation).
+
+    Self-healing extensions mirror ``run_distributed``: *retry_policy*
+    (per-cause budgets, backoff, poison quarantine), *hang_timeout*
+    (shards heartbeat every ``hang_timeout / 4`` seconds; one silent —
+    or stuck on the same held job — longer than the timeout is SIGKILLed
+    and settled like any other dead shard, with its id recorded in
+    ``report.hung_shards``), *on_result* / *on_job_failure* commit
+    hooks, and *prior_deaths* quarantine seeding for resumed campaigns.
     """
     report = ShardRunReport()
     payloads = list(payloads)
@@ -306,6 +367,13 @@ def run_sharded(machine_config: MachineConfig, payloads: Sequence[Any],
     boot = boot or (lambda: Machine(machine_config))
     jobs: Dict[int, Job] = {job_id: Job(job_id, payload)
                             for job_id, payload in enumerate(payloads)}
+    if prior_deaths:
+        # Worker deaths journaled by earlier (crashed) runs of the same
+        # campaign keep counting toward quarantine.
+        for job_id, deaths in prior_deaths.items():
+            if job_id in jobs:
+                jobs[job_id].worker_deaths = deaths
+    heartbeat_interval = hang_timeout / 4 if hang_timeout else None
     completed: Dict[int, JobResult] = {}
     failed: Dict[int, JobResult] = {}
     pool_size = min(max(1, workers), len(jobs))
@@ -338,15 +406,17 @@ def run_sharded(machine_config: MachineConfig, payloads: Sequence[Any],
                 target=_shard_main,
                 args=(worker_id, ctrl_recv, out_send, boot, round_jobs,
                       case_runner, faults, telemetry_hook, published_names,
-                      flush_hook, start, end),
+                      flush_hook, start, end, heartbeat_interval),
                 name=f"kit-shard-{worker_id}", daemon=True)
             proc.start()
             # The parent's copies of the child-side ends must close so
             # the pipes belong to exactly one process each.
             ctrl_recv.close()
             out_send.close()
+            now = time.monotonic()
             shards[worker_id] = _Shard(worker_id, proc, ctrl_send, out_recv,
-                                       remaining=list(range(start, end)))
+                                       remaining=list(range(start, end)),
+                                       last_message=now, held_since=now)
 
         dropped: set = set()
         waiting: List[int] = []
@@ -399,12 +469,21 @@ def run_sharded(machine_config: MachineConfig, payloads: Sequence[Any],
         def handle_message(message: tuple) -> None:
             kind = message[0]
             shard = shards[message[1]]
-            if kind == "result":
+            shard.last_message = time.monotonic()
+            if kind == "hb":
+                _, _worker_id, held = message
+                shard.booted = True
+                if held != shard.last_held:
+                    shard.last_held = held
+                    shard.held_since = shard.last_message
+            elif kind == "result":
                 _, worker_id, index, outcome, error, names = message
                 shard.booted = True
                 shard.published.extend(names)
                 if index in shard.remaining:
                     shard.remaining.remove(index)
+                if shard.last_held == index:
+                    shard.last_held = None
                 job_id = round_jobs[index][0]
                 job = jobs[job_id]
                 if faults is not None \
@@ -415,12 +494,18 @@ def run_sharded(machine_config: MachineConfig, payloads: Sequence[Any],
                     job.pending_sites.append(SITE_RESULT_DROP)
                     dropped.add(index)
                     return
+                committed = None
                 if job_id not in completed and job_id not in failed:
-                    completed[job_id] = JobResult(job_id, outcome,
-                                                  worker_id, error=error)
+                    committed = JobResult(job_id, outcome, worker_id,
+                                          error=error,
+                                          attempts=job.failures,
+                                          last_fault_site=job.last_cause)
+                    completed[job_id] = committed
                 if faults is not None and job.pending_sites:
                     faults.record_recovered(job.pending_sites)
                     job.pending_sites = []
+                if committed is not None and on_result is not None:
+                    on_result(job, committed)
             elif kind == "idle":
                 _, worker_id, names = message
                 shard.booted = True
@@ -512,12 +597,42 @@ def run_sharded(machine_config: MachineConfig, payloads: Sequence[Any],
                         thief.state = "waiting"
                         waiting.append(thief_id)
 
+        def watchdog_sweep(live: Dict[int, _Shard]) -> None:
+            """SIGKILL shards that stopped beating or sat on one job."""
+            now = time.monotonic()
+            for shard in live.values():
+                if shard.exit_kind is not None:
+                    continue
+                silent = now - shard.last_message
+                stuck = (now - shard.held_since
+                         if shard.last_held is not None else 0.0)
+                if silent <= hang_timeout and stuck <= hang_timeout:
+                    continue
+                shard.exit_kind = "hung"
+                shard.held_index = shard.last_held
+                if stuck > hang_timeout:
+                    shard.fatal_error = (
+                        f"hung: shard {shard.worker_id} stuck on job "
+                        f"{round_jobs[shard.last_held][0]} for "
+                        f"{stuck:.3f}s (> {hang_timeout:.3f}s watchdog)")
+                else:
+                    shard.fatal_error = (
+                        f"hung: shard {shard.worker_id} silent for "
+                        f"{silent:.3f}s (> {hang_timeout:.3f}s watchdog)")
+                report.hung_shards.append(shard.worker_id)
+                try:
+                    shard.proc.kill()
+                except (OSError, AttributeError):  # pragma: no cover
+                    pass
+
         live: Dict[int, _Shard] = dict(shards)
+        poll_timeout = hang_timeout / 4 if hang_timeout else None
         while live:
             by_conn = {shard.out: shard for shard in live.values()}
             by_sentinel = {shard.proc.sentinel: shard
                            for shard in live.values()}
-            ready = _wait_ready(list(by_conn) + list(by_sentinel))
+            ready = _wait_ready(list(by_conn) + list(by_sentinel),
+                                timeout=poll_timeout)
             exited: List[_Shard] = []
             for item in ready:
                 shard = by_sentinel.get(item)
@@ -540,6 +655,8 @@ def run_sharded(machine_config: MachineConfig, payloads: Sequence[Any],
                 shard.proc.join()
                 del live[shard.worker_id]
                 finalize(shard)
+            if hang_timeout is not None:
+                watchdog_sweep(live)
             if live:
                 match_thieves()
 
@@ -561,18 +678,65 @@ def run_sharded(machine_config: MachineConfig, payloads: Sequence[Any],
                     on_owner_segments(list(shard.published))
         cause = "; ".join(dead_descriptions) or "result lost in transit"
 
-        def charge(job: Job) -> None:
-            job.failures += 1
-            if job.failures <= max_job_retries:
-                return  # stays outstanding: next round re-runs it
-            failure = JobResult(
+        def settle(job: Job) -> str:
+            """Settle one charged job: ``retry`` | ``infra`` | ``poisoned``."""
+            if retry_policy is None:
+                # Historical flat budget: every failure counts the same.
+                if job.failures <= max_job_retries:
+                    return "retry"  # stays outstanding: next round re-runs
+                failed[job.job_id] = JobResult(
+                    job.job_id, None, worker=-1,
+                    error=f"retries exhausted after {job.failures} "
+                          f"failed attempt(s) ({cause})",
+                    attempts=job.failures, last_fault_site=job.last_cause)
+                if faults is not None and job.pending_sites:
+                    faults.record_infra_failed(job.pending_sites)
+                    job.pending_sites = []
+                return "infra"
+            if retry_policy.should_poison(job.worker_deaths):
+                # Poison-pair quarantine: this job keeps taking shards
+                # down with it — stop feeding it workers, forever.
+                failed[job.job_id] = JobResult(
+                    job.job_id, None, worker=-1,
+                    error=f"poisoned: killed {job.worker_deaths} worker(s) "
+                          f"({describe_failures(job.site_failures)})",
+                    attempts=job.failures, last_fault_site=job.last_cause,
+                    poisoned=True)
+                if faults is not None:
+                    faults.record_poisoned(job.pending_sites)
+                    job.pending_sites = []
+                return "poisoned"
+            exhausted = retry_policy.exhausted_cause(job.site_failures)
+            if exhausted is None:
+                return "retry"
+            failed[job.job_id] = JobResult(
                 job.job_id, None, worker=-1,
-                error=f"retries exhausted after {job.failures} "
-                      f"failed attempt(s) ({cause})")
-            failed[job.job_id] = failure
+                error=f"retry budget for {exhausted!r} exhausted after "
+                      f"{job.failures} failed attempt(s) "
+                      f"({describe_failures(job.site_failures)})",
+                attempts=job.failures, last_fault_site=job.last_cause)
             if faults is not None and job.pending_sites:
                 faults.record_infra_failed(job.pending_sites)
                 job.pending_sites = []
+            return "infra"
+
+        def charge(job: Job) -> None:
+            job.failures += 1
+            # Attribute a cause to this failed attempt: the fault site
+            # charged most recently, a real shard death, or a lost
+            # transfer (mirrors the thread-mode audit).
+            if job.pending_sites:
+                attempt_cause = job.pending_sites[-1]
+            elif job.death_attributed:
+                attempt_cause = CAUSE_WORKER_DEATH
+            else:
+                attempt_cause = CAUSE_TRANSIT
+            job.last_cause = attempt_cause
+            tally(job.site_failures, attempt_cause)
+            settlement = settle(job)
+            if on_job_failure is not None:
+                on_job_failure(job, settlement)
+            job.death_attributed = False
 
         round_booted = any(shard.booted for shard in shards.values())
         if not round_booted:
@@ -586,7 +750,8 @@ def run_sharded(machine_config: MachineConfig, payloads: Sequence[Any],
         for shard in round_dead:
             held = shard.held_index
             if held is None and shard.remaining \
-                    and (shard.booted or shard.exit_kind == "died"):
+                    and (shard.booted
+                         or shard.exit_kind in ("died", "hung")):
                 # A silent death mid-range: charge the first unfinished
                 # grant, the process analogue of fetched-but-unfinished.
                 # A boot failure (fatal with no held job) charges
@@ -601,6 +766,10 @@ def run_sharded(machine_config: MachineConfig, payloads: Sequence[Any],
             charged.add(held)
             job = jobs[job_id]
             job.pending_sites.extend(shard.pending_sites)
+            # The shard died (or was watchdog-killed) holding this job:
+            # the quarantine ledger counts the taken-down worker.
+            job.worker_deaths += 1
+            job.death_attributed = True
             charge(job)
         for index in dropped:
             job_id = round_jobs[index][0]
@@ -616,13 +785,25 @@ def run_sharded(machine_config: MachineConfig, payloads: Sequence[Any],
                     connection.close()
                 except OSError:  # pragma: no cover
                     pass
+        if retry_policy is not None:
+            open_failures = [job.failures for job_id, job in jobs.items()
+                             if job_id not in completed
+                             and job_id not in failed and job.failures > 0]
+            if open_failures:
+                delay = retry_policy.backoff_seconds(max(open_failures))
+                if delay > 0.0:
+                    time.sleep(delay)
 
     if failed and strict:
         missing = sorted(failed)
         boot_errors = "; ".join(dead_descriptions) or "unknown cause"
+        details = "; ".join(
+            f"job {job_id}: {failed[job_id].attempts} attempt(s), "
+            f"last cause {failed[job_id].last_fault_site or 'unknown'}"
+            for job_id in missing)
         raise RuntimeError(
             f"cluster finished with {len(missing)} unfinished job(s) "
-            f"{missing} ({boot_errors})")
+            f"{missing} ({boot_errors}) [{details}]")
     merged = {**completed, **failed}
     report.results = [merged[job_id] for job_id in sorted(merged)]
     return report

@@ -55,7 +55,8 @@ def _assert_equivalent(result, plan, expected_bugs):
     assert result.stats.faults_accounted(), plan.stats.snapshot()
     assert result.stats.faults_injected_total() \
         == result.stats.faults_recovered_total() \
-        + result.stats.faults_infra_total()
+        + result.stats.faults_infra_total() \
+        + result.stats.faults_poisoned_total()
     # No infra failure may masquerade as a bug report.
     assert all(r.case is not None for r in result.reports)
 

@@ -1,0 +1,260 @@
+"""Self-healing supervision: retry budgets, poison pairs, hang watchdog.
+
+Covers the :class:`~repro.faults.retry.RetryPolicy` configuration
+itself, the thread-mode supervisor (:mod:`repro.vm.cluster`), the
+process-mode supervisor (:mod:`repro.vm.shardpool`), and the pipeline
+wiring that turns a quarantined job into ``Outcome.POISONED``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.core.pipeline import CampaignConfig, Kit
+from repro.faults.plan import (
+    SITE_WORKER_CRASH,
+    SITE_WORKER_KILL,
+    FaultPlan,
+)
+from repro.faults.retry import (
+    CAUSE_TRANSIT,
+    CAUSE_WORKER_DEATH,
+    RetryPolicy,
+    describe_failures,
+    tally,
+)
+from repro.kernel import linux_5_13
+from repro.vm import fork_available
+from repro.vm.cluster import run_distributed
+from repro.vm.machine import MachineConfig
+from repro.vm.shardpool import run_sharded
+
+needs_fork = pytest.mark.skipif(not fork_available(),
+                                reason="process shards require fork")
+
+MACHINE = MachineConfig(bugs=linux_5_13())
+
+
+class TestRetryPolicy:
+    def test_budget_lookup_falls_back_to_default(self):
+        policy = RetryPolicy(site_budgets={"worker.crash": 3},
+                             default_budget=7)
+        assert policy.budget_for("worker.crash") == 3
+        assert policy.budget_for("result.drop") == 7
+
+    def test_exhausted_cause(self):
+        policy = RetryPolicy(site_budgets={"worker.crash": 2},
+                             default_budget=5)
+        assert policy.exhausted_cause({"worker.crash": 2}) is None
+        assert policy.exhausted_cause({"worker.crash": 3}) == "worker.crash"
+        assert policy.exhausted_cause({"result.drop": 5}) is None
+        assert policy.exhausted_cause({"result.drop": 6}) == "result.drop"
+
+    def test_backoff_is_exponential_and_capped(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_factor=2.0,
+                             backoff_max=0.5)
+        assert policy.backoff_seconds(0) == 0.0
+        assert policy.backoff_seconds(1) == pytest.approx(0.1)
+        assert policy.backoff_seconds(2) == pytest.approx(0.2)
+        assert policy.backoff_seconds(3) == pytest.approx(0.4)
+        assert policy.backoff_seconds(10) == pytest.approx(0.5)
+
+    def test_backoff_disabled_by_default(self):
+        assert RetryPolicy().backoff_seconds(10) == 0.0
+
+    def test_poison_threshold(self):
+        policy = RetryPolicy(poison_after=3)
+        assert not policy.should_poison(2)
+        assert policy.should_poison(3)
+        assert not RetryPolicy(poison_after=0).should_poison(100)
+
+    def test_describe_and_tally(self):
+        ledger = {}
+        tally(ledger, CAUSE_WORKER_DEATH)
+        tally(ledger, CAUSE_WORKER_DEATH)
+        tally(ledger, CAUSE_TRANSIT)
+        assert describe_failures(ledger) == "transitx1, worker.deathx2"
+        assert describe_failures({}) == "no attributed causes"
+
+
+def _deadly_runner(kill_payloads, attempts=None):
+    """A case runner that kills its worker on selected payloads.
+
+    *kill_payloads* maps payload -> how many attempts die before one
+    succeeds (None = every attempt dies).  *attempts*, when given,
+    receives the per-payload attempt count.
+    """
+    counts = attempts if attempts is not None else {}
+
+    def runner(machine, payload):
+        counts[payload] = counts.get(payload, 0) + 1
+        budget = kill_payloads.get(payload, 0)
+        if payload in kill_payloads and (
+                budget is None or counts[payload] <= budget):
+            raise SystemExit(f"worker shot by {payload!r}")
+        return f"done:{payload}"
+
+    return runner
+
+
+class TestThreadSupervision:
+    def test_poison_pair_quarantined(self):
+        policy = RetryPolicy(poison_after=2, default_budget=50)
+        results = run_distributed(
+            MACHINE, ["ok", "poison"], _deadly_runner({"poison": None}),
+            workers=2, retry_policy=policy, strict=False)
+        assert results[0].outcome == "done:ok"
+        poisoned = results[1]
+        assert poisoned.poisoned
+        assert poisoned.outcome is None
+        assert "poisoned: killed 2 worker(s)" in poisoned.error
+        assert f"{CAUSE_WORKER_DEATH}x2" in poisoned.error
+
+    def test_per_site_budget_exhausts_to_infra(self):
+        policy = RetryPolicy(site_budgets={CAUSE_WORKER_DEATH: 1},
+                             poison_after=0)
+        results = run_distributed(
+            MACHINE, ["victim"], _deadly_runner({"victim": None}),
+            workers=1, retry_policy=policy, strict=False)
+        assert not results[0].poisoned
+        assert f"retry budget for {CAUSE_WORKER_DEATH!r} exhausted" \
+            in results[0].error
+        assert results[0].last_fault_site == CAUSE_WORKER_DEATH
+
+    def test_result_carries_attempts_and_cause(self):
+        results = run_distributed(
+            MACHINE, ["flaky", "ok"], _deadly_runner({"flaky": 1}),
+            workers=2, max_job_retries=3)
+        flaky, ok = results
+        assert flaky.outcome == "done:flaky"
+        assert flaky.attempts == 1
+        assert flaky.last_fault_site == CAUSE_WORKER_DEATH
+        assert ok.attempts == 0
+        assert ok.last_fault_site is None
+
+    def test_strict_error_names_attempts_and_cause(self):
+        with pytest.raises(RuntimeError) as excinfo:
+            run_distributed(MACHINE, ["victim"],
+                            _deadly_runner({"victim": None}),
+                            workers=1, max_job_retries=1)
+        message = str(excinfo.value)
+        assert "unfinished job(s)" in message
+        assert f"last cause {CAUSE_WORKER_DEATH}" in message
+        assert "attempt(s)" in message
+
+    def test_prior_deaths_seed_quarantine(self):
+        """Deaths journaled by earlier runs keep counting: one more
+        kill tips an almost-quarantined pair over the edge."""
+        policy = RetryPolicy(poison_after=5, default_budget=50)
+        results = run_distributed(
+            MACHINE, ["poison"], _deadly_runner({"poison": None}),
+            workers=1, retry_policy=policy, strict=False,
+            prior_deaths={0: 4})
+        assert results[0].poisoned
+        assert "killed 5 worker(s)" in results[0].error
+
+    def test_hang_watchdog_abandons_silent_worker(self):
+        """A worker stuck in one case past the timeout is written off;
+        its job is retried on a replacement and still completes."""
+        attempts = {}
+
+        def runner(machine, payload):
+            attempts[payload] = attempts.get(payload, 0) + 1
+            if payload == "hang" and attempts[payload] == 1:
+                time.sleep(0.8)
+            return f"done:{payload}"
+
+        hung = []
+        results = run_distributed(
+            MACHINE, ["a", "hang", "b"], runner, workers=2,
+            max_job_retries=3, hang_timeout=0.15, hung_out=hung)
+        assert [r.outcome for r in results] == ["done:a", "done:hang",
+                                                "done:b"]
+        assert len(hung) == 1
+        hang_result = results[1]
+        assert hang_result.attempts == 1
+        assert hang_result.last_fault_site == CAUSE_WORKER_DEATH
+
+    def test_no_hang_timeout_means_no_watchdog(self):
+        results = run_distributed(MACHINE, ["a", "b"],
+                                  lambda machine, payload: payload,
+                                  workers=2)
+        assert [r.outcome for r in results] == ["a", "b"]
+
+
+@needs_fork
+class TestProcessSupervision:
+    def test_poison_pair_quarantined(self):
+        plan = FaultPlan(seed=0, rates={SITE_WORKER_KILL: 1.0})
+        policy = RetryPolicy(poison_after=2, default_budget=50)
+        report = run_sharded(MACHINE, ["only"],
+                             lambda machine, payload: payload,
+                             workers=1, faults=plan, retry_policy=policy,
+                             strict=False)
+        result = report.results[0]
+        assert result.poisoned
+        assert "poisoned: killed 2 worker(s)" in result.error
+        assert plan.stats.accounted()
+        assert plan.stats.poisoned_total > 0
+
+    def test_hung_shard_reaped_and_job_retried(self, tmp_path):
+        """A shard stuck on one job past the timeout is SIGKILLed; the
+        job completes on a respawned shard."""
+        flag = str(tmp_path / "already-hung")
+
+        def runner(machine, payload):
+            if payload == "hang" and not os.path.exists(flag):
+                with open(flag, "w") as handle:
+                    handle.write("x")
+                time.sleep(30.0)
+            return f"done:{payload}"
+
+        report = run_sharded(MACHINE, ["a", "hang", "b"], runner,
+                             workers=2, max_job_retries=3,
+                             hang_timeout=0.5)
+        assert [r.outcome for r in report.results] \
+            == ["done:a", "done:hang", "done:b"]
+        assert len(report.hung_shards) == 1
+        hang_result = report.results[1]
+        assert hang_result.attempts == 1
+        assert hang_result.last_fault_site == CAUSE_WORKER_DEATH
+
+
+KERNEL_5_13 = MachineConfig(bugs=linux_5_13())
+
+
+class TestPipelinePoisonAccounting:
+    def test_crash_storm_quarantines_every_pair(self):
+        """Thread-mode graceful degradation under quarantine: every job
+        kills its worker, the policy poisons each pair after two deaths,
+        and the campaign completes with balanced books."""
+        plan = FaultPlan(seed=0, rates={SITE_WORKER_CRASH: 1.0})
+        config = CampaignConfig(
+            machine=KERNEL_5_13, corpus_size=6, strategy="rand",
+            rand_budget=6, workers=2, faults=plan, diagnose=False,
+            retry_policy=RetryPolicy(poison_after=2, default_budget=50))
+        result = Kit(config).run()
+        assert result.reports == []
+        assert result.stats.outcomes == {"poisoned": 6}
+        assert result.stats.poisoned_cases == 6
+        assert result.stats.faults_poisoned_total() > 0
+        assert result.stats.faults_accounted(), plan.stats.snapshot()
+        assert result.bugs_found() == set()
+
+    @needs_fork
+    def test_kill_storm_quarantines_every_pair_process_mode(self):
+        plan = FaultPlan(seed=0, rates={SITE_WORKER_KILL: 1.0})
+        config = CampaignConfig(
+            machine=KERNEL_5_13, corpus_size=6, strategy="rand",
+            rand_budget=6, workers=2, shard_mode="process", faults=plan,
+            diagnose=False,
+            retry_policy=RetryPolicy(poison_after=2, default_budget=50))
+        result = Kit(config).run()
+        assert result.reports == []
+        assert result.stats.outcomes == {"poisoned": 6}
+        assert result.stats.poisoned_cases == 6
+        assert result.stats.faults_accounted(), plan.stats.snapshot()
+        assert result.bugs_found() == set()
