@@ -439,6 +439,39 @@ def test_sender_cache_performance_gate(benchmark):
         f"sender-state cache only {speedup:.2f}x faster than re-execution"
 
 
+def test_schedule_replay_gate(benchmark):
+    """The controlled-interleaving gate (see also bench_schedules.py).
+
+    Three invariants: the sequential harness stays structurally blind
+    to the race-only bugs T1-T3, the default schedule configuration
+    finds every one, and each culprit ``ScheduleId`` replays the
+    receiver's records byte-for-byte on a fresh machine.
+    """
+    from repro.core.race_scenarios import race_machine_config, reproduce_races
+    from repro.core.reportcodec import encode_record
+    from repro.core.schedule import replay_schedule
+
+    sequential = reproduce_races(interleave=False)
+    assert sequential.reports == [] and sequential.bugs_found() == set(), \
+        "the two-phase harness found a race-only bug sequentially"
+
+    interleaved = reproduce_races()
+    assert sorted(interleaved.bugs_found()) == ["T1", "T2", "T3"], \
+        f"default schedule budget missed: {sorted(interleaved.bugs_found())}"
+
+    machine = Machine(race_machine_config())
+    for report in interleaved.reports:
+        replayed = replay_schedule(machine, report.case.sender,
+                                   report.case.receiver,
+                                   report.culprit_schedule)
+        assert [encode_record(r) for r in replayed.records] \
+            == [encode_record(r) for r in report.receiver_with_records], \
+            f"culprit {report.culprit_schedule} did not replay byte-for-byte"
+    culprit = interleaved.reports[0]
+    benchmark(replay_schedule, machine, culprit.case.sender,
+              culprit.case.receiver, culprit.culprit_schedule)
+
+
 #: The ISSUE's acceptance bar for static bug rediscovery.
 MIN_REDISCOVERY_RATE = 0.6
 
@@ -491,7 +524,9 @@ def test_static_analysis_gate(benchmark):
 #: join is deterministic, so any drift means the interpreter, the
 #: lockset annotations, or the kernel model changed — re-freeze
 #: deliberately, never silently.
-FROZEN_RACE_CANDIDATES = {"5.13": 427, "fixed": 466}
+#: Re-frozen when the T1-T3 race-window kernel code landed (+24 pairs
+#: per preset from the new global counters and pending tables).
+FROZEN_RACE_CANDIDATES = {"5.13": 451, "fixed": 490}
 #: Warm incremental analysis must beat a cold run by this factor.
 MIN_WARM_SPEEDUP = 5.0
 

@@ -26,6 +26,9 @@ Subcommands
 ``store``
     Inspect a durable campaign store (``--store DIR``): list campaigns
     and their completion status, or show one campaign in detail.
+``repro``
+    Replay every culprit schedule journaled by an interleaved campaign
+    and verify the receiver's trace reproduces byte-for-byte.
 ``gate``
     Run one campaign per kernel preset, diff at the AGG-R level, and
     fail when the transition introduces interference.
@@ -54,7 +57,15 @@ from .faults.plan import FaultPlan
 from .corpus.generator import build_corpus
 from .corpus.program import TestProgram
 from .corpus.store import load_corpus, save_corpus
-from .kernel.bugs import BugFlags, fixed_kernel, known_bug_kernel, linux_5_13
+from .kernel.bugs import (
+    RACE_BUGS,
+    BugFlags,
+    fixed_kernel,
+    known_bug_kernel,
+    known_race_kernel,
+    linux_5_13,
+    race_kernel,
+)
 from .store import StoreError
 from .kernel.kernel import KernelConfig
 from .vm.machine import Machine, MachineConfig, RECEIVER
@@ -68,8 +79,13 @@ def _kernel_preset(name: str) -> BugFlags:
         return fixed_kernel()
     if name.upper() in SCENARIOS:
         return known_bug_kernel(name.upper())
+    if normalized == "race":
+        return race_kernel()
+    if name.upper() in RACE_BUGS:
+        return known_race_kernel(name.upper())
     raise SystemExit(f"unknown kernel preset {name!r} "
-                     "(try: 5.13, fixed, or a known-bug id A-G)")
+                     "(try: 5.13, fixed, a known-bug id A-G, race, "
+                     "or a race-bug id T1-T3)")
 
 
 def _machine_config(args: argparse.Namespace) -> MachineConfig:
@@ -154,6 +170,10 @@ def _print_campaign(result: CampaignResult, show_reports: bool) -> None:
     if stats.poisoned_cases or stats.worker_hangs:
         print(f"supervision: {stats.poisoned_cases} pair(s) quarantined "
               f"as poison, {stats.worker_hangs} hung worker(s) reaped")
+    if stats.schedules_executed:
+        print(f"schedules: {stats.schedules_executed} interleaving(s) "
+              f"executed, {stats.interleaved_reports} report(s) witnessed "
+              "only under interleaving")
     print(f"groups: {result.groups.agg_rs_count} AGG-RS / "
           f"{result.groups.agg_r_count} AGG-R")
     print(f"bugs found: {sorted(result.bugs_found()) or 'none'}")
@@ -231,6 +251,13 @@ def cmd_run(args: argparse.Namespace) -> int:
         store_dir=args.store,
         resume=args.resume,
         hang_timeout=args.hang_timeout,
+        interleave=args.interleave,
+        schedule_strategy=args.schedule_strategy,
+        schedule_budget=args.schedule_budget,
+        schedule_seed=args.schedule_seed,
+        schedule_depth=args.schedule_depth,
+        schedule_points=args.schedule_points,
+        schedule_pairs=args.schedule_pairs,
     )
     if args.resume and not args.store:
         raise SystemExit("--resume requires --store DIR")
@@ -493,6 +520,64 @@ def cmd_store(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_repro(args: argparse.Namespace) -> int:
+    """Replay journaled culprit schedules and verify byte-exact parity.
+
+    For every interleaved report in the campaign's journal, rebuild the
+    machine from the stored configuration summary, re-derive the culprit
+    schedule's preemption points from its id, re-execute the
+    interleaving, and compare the receiver's records against the
+    journaled ones.  Any divergence exits 1 — a failed replay means the
+    schedule id no longer names the same interleaving (kernel drift).
+    """
+    import os
+
+    from .core.reportcodec import decode_report, encode_record
+    from .core.schedule import replay_schedule
+    from .store import RECORD_CASE, CampaignStore, scan
+
+    store_obj = CampaignStore(args.store)
+    try:
+        entry = store_obj.entry(args.campaign)
+    except StoreError as error:
+        raise SystemExit(f"store error: {error}")
+    summary = entry.summary
+    machine = Machine(MachineConfig(
+        kernel=KernelConfig(version=summary.get("kernel_version", "5.13"),
+                            jump_label=summary.get("jump_label", False)),
+        bugs=BugFlags(**{flag: True
+                         for flag in summary.get("bugs_enabled", [])}),
+    ))
+    replay = scan(os.path.join(entry.path, "journal.jsonl"))
+    checked = mismatched = 0
+    for record in replay.records:
+        if record.get("t") != RECORD_CASE or not record.get("report"):
+            continue
+        data = record["report"]
+        if not data.get("culprit_schedule"):
+            continue
+        key = record.get("k", "")
+        if args.case and args.case not in key:
+            continue
+        report = decode_report(data)
+        result = replay_schedule(machine, report.case.sender,
+                                 report.case.receiver,
+                                 report.culprit_schedule)
+        fresh = [encode_record(r) for r in result.records]
+        stored = [encode_record(r) for r in report.receiver_with_records]
+        ok = fresh == stored
+        checked += 1
+        mismatched += not ok
+        print(f"{key[:24]}: {report.culprit_schedule} "
+              f"{'ok' if ok else 'MISMATCH'}")
+    if not checked:
+        print("no interleaved reports in this campaign's journal")
+        return 0
+    print(f"repro: {checked - mismatched}/{checked} culprit schedule(s) "
+          "replayed byte-identically")
+    return 1 if mismatched else 0
+
+
 def cmd_show(args: argparse.Namespace) -> int:
     with open(args.program) as handle:
         program = TestProgram.parse(handle.read())
@@ -513,8 +598,8 @@ def build_parser() -> argparse.ArgumentParser:
                     "testing for OS-level virtualization.",
     )
     parser.add_argument("--kernel", default="5.13",
-                        help="kernel preset: 5.13, fixed, or A-G "
-                             "(default: 5.13)")
+                        help="kernel preset: 5.13, fixed, A-G, race, "
+                             "or T1-T3 (default: 5.13)")
     parser.add_argument("--jump-label", action="store_true",
                         help="enable CONFIG_JUMP_LABEL (blinds data-flow "
                              "analysis to static keys, §6.1)")
@@ -562,6 +647,29 @@ def build_parser() -> argparse.ArgumentParser:
                      help="self-healing watchdog: reap any execution "
                           "worker silent for this long and retry its "
                           "job elsewhere")
+    run.add_argument("--interleave", action="store_true",
+                     help="controlled-concurrency mode: re-run passing "
+                          "pairs under deterministically scheduled "
+                          "interleavings to expose race-only interference "
+                          "(see docs/SCHEDULING.md)")
+    run.add_argument("--schedule-strategy", default="pct",
+                     choices=["pct", "sys", "rand"],
+                     help="how preemption points are chosen: PCT-style "
+                          "random priority points, systematic "
+                          "enumeration, or per-event coin flips")
+    run.add_argument("--schedule-budget", type=int, default=24,
+                     help="schedules explored per candidate pair")
+    run.add_argument("--schedule-seed", type=int, default=11,
+                     help="schedule RNG seed (part of every ScheduleId)")
+    run.add_argument("--schedule-depth", type=int, default=3,
+                     help="preemption points per schedule (PCT d)")
+    run.add_argument("--schedule-points", default="kfunc",
+                     choices=["kfunc", "syscall"],
+                     help="preemption granularity: every traced kernel "
+                          "function boundary, or syscall boundaries only")
+    run.add_argument("--schedule-pairs", type=int, default=0,
+                     help="only interleave pairs matching the top-N "
+                          "static race candidates (0 = all pairs)")
     run.add_argument("--no-sender-cache", action="store_true",
                      help="disable post-sender state memoization "
                           "(re-execute every sender from the snapshot)")
@@ -665,6 +773,17 @@ def build_parser() -> argparse.ArgumentParser:
                                       help="show one campaign in detail")
     store_show.add_argument("campaign", help="campaign id (store ls)")
     store_show.set_defaults(handler=cmd_store)
+
+    repro = subparsers.add_parser("repro",
+                                  help="replay a campaign's culprit "
+                                       "schedules and verify byte parity")
+    repro.add_argument("store", metavar="DIR",
+                       help="the --store directory the campaign ran under")
+    repro.add_argument("campaign", help="campaign id (store ls)")
+    repro.add_argument("--case", metavar="SUBSTR",
+                       help="only replay case keys containing this "
+                            "substring")
+    repro.set_defaults(handler=cmd_repro)
 
     show = subparsers.add_parser("show",
                                  help="decode and execute one .prog file")

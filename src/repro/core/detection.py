@@ -31,6 +31,7 @@ from .execution import (
 from .generation import TestCase
 from .nondet import NondetAnalyzer
 from .report import TestReport
+from .schedule import ScheduleExplorer
 from .spec import Specification
 from .trace_ast import (
     NodeDiff,
@@ -66,6 +67,10 @@ class DetectionResult:
     outcome: Outcome
     report: Optional[TestReport] = None
     raw_diff_count: int = 0
+    #: Interleaved schedules executed for this case (0 when the case was
+    #: not explored — sequential report, unselected pair, or a campaign
+    #: without ``--interleave``).
+    schedules_run: int = 0
 
 
 class Detector:
@@ -74,7 +79,8 @@ class Detector:
     def __init__(self, machine: Machine, spec: Specification,
                  nondet: Optional[NondetAnalyzer] = None,
                  baselines: Optional[BaselineCache] = None,
-                 sender_states: Optional[SenderStateCache] = None):
+                 sender_states: Optional[SenderStateCache] = None,
+                 explorer: Optional[ScheduleExplorer] = None):
         self._machine = machine
         self._spec = spec
         # *baselines* and *sender_states* may be shared across the
@@ -83,6 +89,10 @@ class Detector:
         self._runner = TestCaseRunner(machine, baselines=baselines,
                                       sender_states=sender_states)
         self._nondet = nondet or NondetAnalyzer(machine)
+        # Optional controlled-interleaving exploration: cases that are
+        # clean sequentially get their bounded schedule set run too,
+        # and any witnessing schedule upgrades them to a report.
+        self._explorer = explorer
 
     @property
     def machine(self) -> Machine:
@@ -102,25 +112,59 @@ class Detector:
         (interfered, diffs, raw_count,
          sender_result, alone_result, with_result) = self._analyze(
             case.sender, case.receiver)
+        if interfered:
+            protected_diffs = [d for d in diffs if d.call_index in interfered]
+            report = TestReport(
+                case=case,
+                interfered_indices=sorted(interfered),
+                diffs=protected_diffs,
+                sender_records=sender_result.records,
+                receiver_alone_records=alone_result.records,
+                receiver_with_records=with_result.records,
+            )
+            return DetectionResult(case, Outcome.REPORT, report=report,
+                                   raw_diff_count=raw_count)
         if raw_count == 0:
-            return DetectionResult(case, Outcome.PASS)
-        if not diffs:
-            return DetectionResult(case, Outcome.FILTERED_NONDET,
-                                   raw_diff_count=raw_count)
-        if not interfered:
-            return DetectionResult(case, Outcome.FILTERED_RESOURCE,
-                                   raw_diff_count=raw_count)
-        protected_diffs = [d for d in diffs if d.call_index in interfered]
+            sequential = DetectionResult(case, Outcome.PASS)
+        elif not diffs:
+            sequential = DetectionResult(case, Outcome.FILTERED_NONDET,
+                                         raw_diff_count=raw_count)
+        else:
+            sequential = DetectionResult(case, Outcome.FILTERED_RESOURCE,
+                                         raw_diff_count=raw_count)
+        return self._explore_schedules(case, sequential, sender_result,
+                                       alone_result)
+
+    def _explore_schedules(self, case: TestCase, sequential: DetectionResult,
+                           sender_result, alone_result) -> DetectionResult:
+        """Quantify Algorithm 1 over the bounded schedule set (§7).
+
+        Runs only for sequentially-clean cases the policy selects; a
+        witnessing schedule upgrades the case to ``REPORT`` with the
+        culprit :class:`~repro.core.schedule.ScheduleId` recorded for
+        replay.
+        """
+        if self._explorer is None or \
+                not self._explorer.selects(case.sender, case.receiver):
+            return sequential
+        exploration = self._explorer.explore(case.sender, case.receiver,
+                                             alone_result.records)
+        sequential.schedules_run = exploration.schedules_run
+        if not exploration.found:
+            return sequential
         report = TestReport(
             case=case,
-            interfered_indices=sorted(interfered),
-            diffs=protected_diffs,
+            interfered_indices=exploration.interfered,
+            diffs=exploration.culprit_diffs,
             sender_records=sender_result.records,
             receiver_alone_records=alone_result.records,
-            receiver_with_records=with_result.records,
+            receiver_with_records=exploration.culprit_records,
+            witnesses=exploration.witnesses,
+            culprit_schedule=exploration.culprit,
         )
         return DetectionResult(case, Outcome.REPORT, report=report,
-                               raw_diff_count=raw_count)
+                               raw_diff_count=sequential.raw_diff_count,
+                               schedules_run=exploration.schedules_run)
 
     def interference_set(self, sender: TestProgram, receiver: TestProgram,
                          prepared: Optional[PreparedSenderState] = None

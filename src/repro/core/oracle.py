@@ -30,8 +30,11 @@ from .trace_ast import NodeDiff
 FALSE_POSITIVE = "FP"
 UNDER_INVESTIGATION = "UI"
 
-#: Labels that correspond to real protected-resource bugs.
-REAL_BUG_LABELS = tuple("123456789") + ("A", "B", "C", "D", "E", "F", "G", "H")
+#: Labels that correspond to real protected-resource bugs.  ``T1``–``T3``
+#: are the race-only bugs of the concurrency extension (docs/SCHEDULING.md):
+#: only witnessed under controlled interleaving, never sequentially.
+REAL_BUG_LABELS = tuple("123456789") + ("A", "B", "C", "D", "E", "F", "G", "H",
+                                        "T1", "T2", "T3")
 
 #: Preference order for picking one primary label per report.
 _PRIORITY = list(REAL_BUG_LABELS) + [FALSE_POSITIVE, UNDER_INVESTIGATION]
@@ -74,7 +77,13 @@ def _classify_record(record: SyscallRecord, diffs: List[NodeDiff]) -> Set[str]:
             labels.add("5")
         if " mem " in diff_text:
             labels.add("8")
+        if "FRAG" in diff_text:
+            labels.add("T1")
         return labels or {UNDER_INVESTIGATION}
+    if "/proc/sysvipc/msg" in subject:
+        return {"T2"}
+    if "/proc/net/dev" in subject:
+        return {"T3"}
     if "/proc/net/protocols" in subject:
         return {"9"}
     if "/proc/net/ip_vs" in subject:

@@ -52,6 +52,13 @@ from .oracle import FALSE_POSITIVE, UNDER_INVESTIGATION, classify_all
 from .profile import Profiler, profile_corpus_distributed
 from .report import TestReport
 from .reportcodec import decode_report, encode_report
+from .schedule import (
+    GRANULARITY_KFUNC,
+    STRATEGY_PCT,
+    ScheduleExplorer,
+    SchedulePolicy,
+    ranked_pair_names,
+)
 from .spec import Specification, default_specification
 
 Progress = Callable[[str], None]
@@ -127,6 +134,24 @@ class CampaignConfig:
     #: set, which enables a default policy so quarantine decisions can
     #: be journaled.
     retry_policy: Optional[RetryPolicy] = None
+    #: Controlled-interleaving exploration (docs/SCHEDULING.md): run a
+    #: bounded, deterministically replayable schedule set for every
+    #: sequentially-clean case and report cases any schedule diverges
+    #: on.  Off by default — sequential campaigns are byte-identical to
+    #: the pre-scheduling pipeline.
+    interleave: bool = False
+    #: Schedule strategy: ``pct`` | ``sys`` | ``rand``.
+    schedule_strategy: str = STRATEGY_PCT
+    #: Schedules explored per selected case.
+    schedule_budget: int = 24
+    schedule_seed: int = 11
+    #: PCT preemption-change points / systematic preemption bound.
+    schedule_depth: int = 3
+    #: Preemption granularity: ``kfunc`` | ``syscall``.
+    schedule_points: str = GRANULARITY_KFUNC
+    #: Explore only cases matching the top-N ranked R0/R1 race-candidate
+    #: pairs from the static analyzer (0 = explore every case).
+    schedule_pairs: int = 0
 
 
 @dataclass
@@ -223,6 +248,11 @@ class CampaignStats:
     journal_fsync_degraded: int = 0
     #: Workers/shards the heartbeat watchdog wrote off as hung.
     worker_hangs: int = 0
+    #: Controlled-interleaving telemetry (zero unless interleave is on):
+    #: schedules executed across all explored cases, and how many
+    #: reports were witnessed only under interleaving.
+    schedules_executed: int = 0
+    interleaved_reports: int = 0
 
     def prefilter_pruned_rate(self) -> float:
         if not self.prefilter_pairs_total:
@@ -332,6 +362,9 @@ class Kit:
         self._retired_owners: Set[int] = set()
         #: Open campaign-store handle while a stored run is in flight.
         self._store_handle: Optional[CampaignHandle] = None
+        #: Shared schedule policy when interleaving is on (built once
+        #: per run; every detector's explorer references it).
+        self._sched_policy: Optional[SchedulePolicy] = None
 
     # -- pipeline ------------------------------------------------------------
 
@@ -356,6 +389,7 @@ class Kit:
         corpus = config.corpus if config.corpus is not None else build_corpus(
             config.corpus_size, seed=config.corpus_seed)
         stats.corpus_size = len(corpus)
+        self._sched_policy = self._build_schedule_policy()
         self._open_store(stats)
         try:
             return self._run_stages(config, plan, stats, corpus, say)
@@ -402,7 +436,10 @@ class Kit:
         for result in results:
             key = result.outcome.value
             stats.outcomes[key] = stats.outcomes.get(key, 0) + 1
+            stats.schedules_executed += result.schedules_run
         stats.poisoned_cases = stats.outcomes.get(Outcome.POISONED.value, 0)
+        stats.interleaved_reports = sum(
+            1 for report in reports if report.culprit_schedule is not None)
 
         if plan is not None:
             # Sweep mis-tagged entries before diagnosis: a stale tag may
@@ -1027,6 +1064,12 @@ class Kit:
         diagnoser = Diagnoser(detector,
                               prefix_memo=self.config.sender_cache)
         for index, report in enumerate(reports):
+            if report.culprit_schedule is not None:
+                # Algorithm 2 replays sender variants *sequentially*; an
+                # interleaving-only report would just vanish under every
+                # variant.  Its culprit evidence is the witnessing
+                # schedule itself.
+                continue
             try:
                 call_with_fault_retries(self.config.faults,
                                         diagnoser.diagnose, report,
@@ -1040,6 +1083,25 @@ class Kit:
         stats.absorb_machine(machine.stats.since(before), stage="diagnosis")
         stats.diagnosis_seconds = time.monotonic() - start
 
+    def _build_schedule_policy(self) -> Optional[SchedulePolicy]:
+        config = self.config
+        if not config.interleave:
+            return None
+        pair_names = None
+        if config.schedule_pairs > 0:
+            from ..analysis.accessmap import extract_access_map
+            from ..analysis.races import find_race_candidates
+
+            candidates = find_race_candidates(
+                extract_access_map(config.machine.bugs))
+            pair_names = ranked_pair_names(candidates, config.schedule_pairs)
+        return SchedulePolicy(strategy=config.schedule_strategy,
+                              budget=config.schedule_budget,
+                              seed=config.schedule_seed,
+                              depth=config.schedule_depth,
+                              granularity=config.schedule_points,
+                              pair_names=pair_names)
+
     def _make_detector(self, machine: Machine,
                        store: Optional[NondetStore] = None,
                        baselines: Optional[BaselineCache] = None,
@@ -1050,5 +1112,9 @@ class Kit:
             store = NondetStore(config.nondet_dir)
         analyzer = NondetAnalyzer(machine, store=store,
                                   offsets=config.nondet_offsets)
+        explorer = None
+        if self._sched_policy is not None:
+            explorer = ScheduleExplorer(machine, config.spec, analyzer,
+                                        self._sched_policy)
         return Detector(machine, config.spec, analyzer, baselines=baselines,
-                        sender_states=sender_states)
+                        sender_states=sender_states, explorer=explorer)

@@ -1,0 +1,123 @@
+"""Race-only bug scenarios (T1-T3): interference two-phase testing misses.
+
+Each scenario pairs a sender whose syscall opens a *transient* global
+window — shared kernel state perturbed and restored within one call —
+with a receiver that can observe the window mid-flight.  Sequentially
+the window is always closed by the time the receiver runs, so the
+two-phase harness reports nothing on any corpus; only a controlled
+interleaving (docs/SCHEDULING.md) that preempts the sender inside the
+window exposes the bug.  This is the concurrency direction the paper's
+§7 points at, packaged exactly like the Table-3 reproductions in
+:mod:`repro.core.known_bugs`.
+
+The windows (see :mod:`repro.kernel.bugs` ``RACE_BUGS``):
+
+* **T1** — ``sendto`` charges in-flight fragment memory to a global
+  counter and releases it after delivery; ``/proc/net/sockstat``'s
+  ``FRAG`` line reads the counter.
+* **T2** — ``msgget`` publishes the new key in a global pending table
+  (``ipc_addid``-style early publish) before registration commits;
+  ``/proc/sysvipc/msg`` lists pending entries.
+* **T3** — ``register_netdev`` keeps the device name in a global
+  pending set while delivering uevents; ``/proc/net/dev`` lists
+  in-flight registrations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional
+
+from ..corpus.program import TestProgram, prog
+from ..corpus.seeds import seed_programs
+from ..kernel.bugs import RACE_BUGS, known_race_kernel, race_kernel
+from ..kernel.ipc import IPC_CREAT
+from ..kernel.vfs import O_RDONLY
+from ..vm.machine import MachineConfig
+from .pipeline import CampaignConfig, CampaignResult, Kit
+
+
+@dataclass(frozen=True)
+class RaceScenario:
+    """One race-only bug's reproduction setup."""
+
+    bug_id: str
+    description: str
+    sender: TestProgram
+    receiver: TestProgram
+    #: The procfs surface the receiver observes the window through.
+    observed_via: str
+
+
+def race_scenarios() -> Dict[str, RaceScenario]:
+    seeds = seed_programs()
+    return {
+        "T1": RaceScenario(
+            "T1",
+            "UDP send charges global fragment memory in flight",
+            sender=seeds["udp_send"],
+            receiver=seeds["read_sockstat"],
+            observed_via=RACE_BUGS["T1"][2],
+        ),
+        "T2": RaceScenario(
+            "T2",
+            "msgget publishes the key globally before registration commits",
+            sender=prog(("msgget", 0xAB, IPC_CREAT)),
+            receiver=prog(
+                ("open", "/proc/sysvipc/msg", O_RDONLY),
+                ("pread64", "r0", 4096, 0),
+            ),
+            observed_via=RACE_BUGS["T2"][2],
+        ),
+        "T3": RaceScenario(
+            "T3",
+            "register_netdev keeps a global pending entry while delivering",
+            sender=seeds["netdev_add"],
+            receiver=seeds["read_net_dev"],
+            observed_via=RACE_BUGS["T3"][2],
+        ),
+    }
+
+
+def race_corpus(bug_ids: Optional[List[str]] = None) -> List[TestProgram]:
+    """The campaign corpus for the selected scenarios (deduplicated)."""
+    scenarios = race_scenarios()
+    ids = bug_ids or sorted(scenarios)
+    corpus: List[TestProgram] = []
+    seen = set()
+    for bug_id in ids:
+        scenario = scenarios[bug_id.upper()]
+        for program in (scenario.sender, scenario.receiver):
+            if program.hash_hex not in seen:
+                seen.add(program.hash_hex)
+                corpus.append(program)
+    return corpus
+
+
+def race_machine_config(bug_id: Optional[str] = None) -> MachineConfig:
+    """A machine with every race bug (default) or exactly one."""
+    bugs = race_kernel() if bug_id is None else known_race_kernel(bug_id)
+    return MachineConfig(bugs=bugs)
+
+
+def race_campaign_config(bug_id: Optional[str] = None,
+                         interleave: bool = True,
+                         **knobs) -> CampaignConfig:
+    """A ready-to-run campaign over the race corpus.
+
+    Sequential by construction when ``interleave=False`` — the baseline
+    every schedule-gate comparison starts from.  Extra *knobs* override
+    any :class:`~repro.core.pipeline.CampaignConfig` field.
+    """
+    config = CampaignConfig(
+        machine=race_machine_config(bug_id),
+        corpus=race_corpus([bug_id] if bug_id is not None else None),
+        interleave=interleave,
+    )
+    return replace(config, **knobs) if knobs else config
+
+
+def reproduce_races(bug_id: Optional[str] = None, interleave: bool = True,
+                    **knobs) -> CampaignResult:
+    """Run the race-scenario campaign and return its result."""
+    return Kit(race_campaign_config(bug_id, interleave, **knobs)).run()

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from ..kernel.errno import errno_name
 from ..vm.executor import SyscallRecord
@@ -36,6 +36,15 @@ class TestReport:
     receiver_with_records: List[Optional[SyscallRecord]]
     #: Filled in by diagnosis (Algorithm 2).
     culprit_pairs: List[CulpritPair] = field(default_factory=list)
+    #: Controlled-interleaving evidence (docs/SCHEDULING.md): encoded
+    #: :class:`~repro.core.schedule.ScheduleId` -> interfered receiver
+    #: call indices witnessed under that schedule.  Empty for
+    #: sequential reports.
+    witnesses: Dict[str, List[int]] = field(default_factory=dict)
+    #: The first witnessing schedule — ``receiver_with_records`` and
+    #: ``diffs`` come from its run, and ``kit-repro repro`` replays it.
+    #: None for sequential reports.
+    culprit_schedule: Optional[str] = None
 
     def record_for(self, records: List[Optional[SyscallRecord]],
                    index: int) -> Optional[SyscallRecord]:
@@ -75,6 +84,12 @@ class TestReport:
             for diff in self.diffs[:16]:
                 lines.append(f"  {'/'.join(map(str, diff.path))} {diff.label}: "
                              f"{diff.value_a!r} != {diff.value_b!r}")
+        if self.culprit_schedule is not None:
+            lines.append("--- witnessing schedules ---")
+            lines.append(f"  culprit: {self.culprit_schedule}")
+            for encoded in sorted(self.witnesses):
+                indices = ",".join(map(str, self.witnesses[encoded]))
+                lines.append(f"  {encoded}: receiver calls {indices}")
         if self.culprit_pairs:
             lines.append("--- culprit syscall pairs (sender -> receiver) ---")
             for pair in self.culprit_pairs:

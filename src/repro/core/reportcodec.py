@@ -73,6 +73,9 @@ def encode_report(report: TestReport) -> Dict[str, Any]:
             {"sender_index": p.sender_index, "receiver_index": p.receiver_index}
             for p in report.culprit_pairs
         ],
+        "witnesses": {encoded: list(indices)
+                      for encoded, indices in report.witnesses.items()},
+        "culprit_schedule": report.culprit_schedule,
     }
 
 
@@ -109,4 +112,9 @@ def decode_report(data: Dict[str, Any],
         CulpritPair(p["sender_index"], p["receiver_index"])
         for p in data["culprit_pairs"]
     ]
+    # Schedule evidence postdates the first journal format: tolerate its
+    # absence so pre-existing journals still replay.
+    report.witnesses = {encoded: list(indices) for encoded, indices
+                        in (data.get("witnesses") or {}).items()}
+    report.culprit_schedule = data.get("culprit_schedule")
     return report

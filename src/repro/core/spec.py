@@ -43,7 +43,7 @@ DEFAULT_PROTECTED_KINDS: FrozenSet[str] = frozenset({
     "sock_rds", "sock_sctp", "sock_unix", "sock_netlink_uevent",
     "fd_proc_net", "fd_proc_sys_net",
     # ipc namespace
-    "msqid", "shmid", "semid", "fd_mqueue",
+    "msqid", "shmid", "semid", "fd_mqueue", "fd_proc_sysvipc",
     # mount namespace
     "fd_file", "fd_io_uring",
     # namespace references themselves (nsfs)

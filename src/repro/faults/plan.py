@@ -64,6 +64,11 @@ SITE_JOURNAL_TORN = "journal.torn"
 #: store retries within the plan budget and degrades to flushed-only
 #: durability when the budget is exhausted.
 SITE_STORE_FSYNC_FAIL = "store.fsync_fail"
+#: A controlled-interleaving schedule execution dies mid-run — the
+#: machine state is torn between sender and receiver progress, so the
+#: whole test case must be retried from the snapshot
+#: (repro.core.schedule).
+SITE_SCHED_PREEMPT = "sched.preempt"
 
 ALL_SITES: Tuple[str, ...] = (
     SITE_RESTORE_FAIL,
@@ -79,6 +84,7 @@ ALL_SITES: Tuple[str, ...] = (
     SITE_SENDER_CACHE_STALE_OWNER,
     SITE_JOURNAL_TORN,
     SITE_STORE_FSYNC_FAIL,
+    SITE_SCHED_PREEMPT,
 )
 
 #: Owner tag written by a :data:`SITE_CACHE_STALE_OWNER` injection —
@@ -94,7 +100,12 @@ STALE_OWNER = -1
 #: ``rates`` overrides are taken verbatim (no scaling): the blanket
 #: rate expresses campaign intensity, an override expresses an exact
 #: per-occurrence probability.
-SITE_RATE_SCALE: Dict[str, float] = {SITE_EXEC_TIMEOUT: 0.01}
+SITE_RATE_SCALE: Dict[str, float] = {
+    SITE_EXEC_TIMEOUT: 0.01,
+    # sched.preempt fires once per explored schedule — dozens of
+    # occurrences per interleaved case vs. one per-reset occurrence.
+    SITE_SCHED_PREEMPT: 0.02,
+}
 
 
 class FaultInjectedError(Exception):
@@ -119,6 +130,10 @@ class JournalTornInjected(FaultInjectedError):
 
 class StoreFsyncInjected(FaultInjectedError):
     """A durable-store fsync was made to fail."""
+
+
+class SchedulePreemptInjected(FaultInjectedError):
+    """A controlled-interleaving schedule execution was made to die."""
 
 
 class WorkerCrashInjected(BaseException):

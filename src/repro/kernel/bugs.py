@@ -67,6 +67,24 @@ class BugFlags:
     #: msgctl(IPC_STAT) reports raw global PIDs across PID namespaces.
     msg_stat_global_pid: bool = False
 
+    # -- race-only bugs (§7 concurrency extension) -------------------------
+    # Each perturbs global state *within one syscall* and restores it
+    # before returning: the two-phase (sequential) pipeline can never
+    # observe the window, only a controlled interleaving can
+    # (docs/SCHEDULING.md).
+    #: T1 — in-flight send memory charged to a global counter and
+    #: released before sendto returns; /proc/net/sockstat's FRAG line
+    #: exposes the transient value to other namespaces.
+    frag_inflight_global: bool = False
+    #: T2 — msgget publishes the new queue into a global pending table
+    #: before binding it to the namespace (the ipc_addid early-publish
+    #: pattern); /proc/sysvipc/msg lists the half-initialized entry.
+    msg_pending_global: bool = False
+    #: T3 — register_netdev publishes the device name into a global
+    #: pending-registration table until registration commits;
+    #: /proc/net/dev lists in-flight registrations of every namespace.
+    netdev_pending_global: bool = False
+
     def enabled(self) -> List[str]:
         return [f.name for f in dataclasses.fields(self) if getattr(self, f.name)]
 
@@ -115,6 +133,10 @@ BUG_SPECS: Tuple[BugSpec, ...] = (
     BugSpec("unix_diag_cross_ns", "kernel.net.unix.by_ino", ("G",)),
     BugSpec("msg_stat_global_pid", "kernel.tasks", ("H",),
             statically_detectable=False),
+    BugSpec("frag_inflight_global", "kernel.net.frag_inflight_global",
+            ("T1",)),
+    BugSpec("msg_pending_global", "kernel.ipc.msg_pending_global", ("T2",)),
+    BugSpec("netdev_pending_global", "kernel.netdev.pending_global", ("T3",)),
 )
 
 
@@ -155,6 +177,21 @@ TABLE3_BUGS: Dict[str, Tuple[str, str, str]] = {
     "G": ("unix_diag_cross_ns", "4.13", "net"),
 }
 
+#: Race-only bug label -> (flag, short description, observing file).
+#: These are invisible to sequential two-phase execution by
+#: construction; see docs/SCHEDULING.md.
+RACE_BUGS: Dict[str, Tuple[str, str, str]] = {
+    "T1": ("frag_inflight_global",
+           "Transient FRAG counter in /proc/net/sockstat visible cross-ns",
+           "/proc/net/sockstat"),
+    "T2": ("msg_pending_global",
+           "Half-initialized msg queue listed in /proc/sysvipc/msg",
+           "/proc/sysvipc/msg"),
+    "T3": ("netdev_pending_global",
+           "In-flight netdev registration listed in /proc/net/dev",
+           "/proc/net/dev"),
+}
+
 #: The bug IDs the paper says plain random generation (RAND) still found.
 RAND_DETECTABLE = {1, 2, 5, 7, 9}
 
@@ -180,6 +217,17 @@ def linux_5_13() -> BugFlags:
 def known_bug_kernel(bug_id: str) -> BugFlags:
     """The historical kernel containing exactly one Table-3/§6.2 bug."""
     flag, __, __ = TABLE3_BUGS[bug_id.upper()]
+    return BugFlags(**{flag: True})
+
+
+def race_kernel() -> BugFlags:
+    """A kernel with every race-only (transient-window) bug present."""
+    return BugFlags(**{flag: True for flag, __, __ in RACE_BUGS.values()})
+
+
+def known_race_kernel(bug_id: str) -> BugFlags:
+    """A kernel containing exactly one race-only bug (T1-T3)."""
+    flag, __, __ = RACE_BUGS[bug_id.upper()]
     return BugFlags(**{flag: True})
 
 

@@ -56,6 +56,8 @@ class IpcNamespace(Namespace):
         self.shm_keys = KDict(arena)
         self.sem_sets = KDict(arena)  # id -> SemSet
         self.sem_keys = KDict(arena)
+        #: in-flight msgget registrations (race bug T2's fixed twin).
+        self.msg_pending = KDict(arena)
         self.msg_quota = msg_quota
         #: POSIX message queues: name -> PosixMqueue (Table 1 places
         #: these under the IPC namespace as well).
@@ -127,6 +129,11 @@ class IpcSubsystem:
 
     def __init__(self, kernel: "Kernel"):
         self._kernel = kernel
+        #: key -> in-flight msgget registration.  Global on the buggy
+        #: kernel (race bug T2): while a registration is in flight,
+        #: /proc/sysvipc/msg lists the half-initialized entry to readers
+        #: in *every* IPC namespace.
+        self.msg_pending_global = KDict(kernel.arena)
 
     @property
     def tracer(self):
@@ -153,12 +160,37 @@ class IpcSubsystem:
                 raise SyscallError(ENOMSG)
         if len(ns.msg_queues) >= ns.msg_quota:
             raise SyscallError(ENOSPC, "per-namespace msg quota")
-        queue = MsgQueue(self._kernel.arena, key, self._kernel.clock.now_sec())
-        msqid = ns.next_id("msg")
-        ns.msg_queues.insert(msqid, queue)
-        if key != IPC_PRIVATE:
-            ns.msg_keys.insert(key, msqid)
+        # ipc_addid-style early publish: the entry is visible in the
+        # pending table until registration commits below.  The window
+        # opens and closes within this one syscall — race bug T2.
+        self._publish_msg_pending(ns, key)
+        try:
+            queue = MsgQueue(self._kernel.arena, key, self._kernel.clock.now_sec())
+            msqid = ns.next_id("msg")
+            ns.msg_queues.insert(msqid, queue)
+            if key != IPC_PRIVATE:
+                ns.msg_keys.insert(key, msqid)
+        finally:
+            self._commit_msg_pending(ns, key)
         return msqid
+
+    @kfunc
+    def _publish_msg_pending(self, ns: IpcNamespace, key: int) -> None:
+        """``ipc_addid`` early publish — global on the buggy kernel (T2)."""
+        if self._kernel.bugs.msg_pending_global:
+            self.msg_pending_global.insert(key, key)
+        else:
+            ns.msg_pending.insert(key, key)
+
+    @kfunc
+    def _commit_msg_pending(self, ns: IpcNamespace, key: int) -> None:
+        """The commit half of the T2 window."""
+        if self._kernel.bugs.msg_pending_global:
+            if self.msg_pending_global.lookup(key) is not None:
+                self.msg_pending_global.delete(key)
+        else:
+            if ns.msg_pending.lookup(key) is not None:
+                ns.msg_pending.delete(key)
 
     def _queue(self, ns: IpcNamespace, msqid: int) -> MsgQueue:
         queue = ns.msg_queues.lookup(msqid)

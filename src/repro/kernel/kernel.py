@@ -25,7 +25,7 @@ from .crypto import CryptoSubsystem
 from .errno import EINVAL, SyscallError
 from .iouring import IoUringSubsystem
 from .ipc import IpcNamespace, IpcSubsystem
-from .ktrace import KernelTracer
+from .ktrace import KernelTracer, preemption_suspended
 from .memory import KernelArena
 from .namespaces import (
     CgroupNamespace,
@@ -248,11 +248,14 @@ class Kernel:
         if count is None:
             boot_sec = self.clock.boot_offset_ns // 1_000_000_000
             count = 1 + (boot_sec * 31 + self.syscall_seq * 17) % 3
-        if self.tracer is not None:
-            with self.tracer.interrupt_context():
+        # Interrupt context: neither traced (in_task check) nor a source
+        # of controlled-scheduling preemption points.
+        with preemption_suspended():
+            if self.tracer is not None:
+                with self.tracer.interrupt_context():
+                    self._tick_work(count)
+            else:
                 self._tick_work(count)
-        else:
-            self._tick_work(count)
 
     def _tick_work(self, count: int) -> None:
         self.clock.tick(count)

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import functools
 import sys
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
@@ -143,6 +144,56 @@ FUNCTIONS = FunctionRegistry()
 INSTRUCTIONS = InstructionRegistry()
 
 
+#: Thread-local preemption-hook slot.  Thread-local (not kernel state)
+#: because thread-mode shards run concurrent machines in one process:
+#: each worker's controlled-interleaving run must only observe its own
+#: machine's instrumentation points.
+_PREEMPTION = threading.local()
+
+#: A preemption hook receives ``(func_id, kind)`` at every instrumented
+#: kernel-function boundary, where *kind* is FUNC_ENTER or FUNC_EXIT.
+PreemptionHook = Callable[[int, int], None]
+
+
+def preemption_hook() -> Optional[PreemptionHook]:
+    """The hook active on this thread, or None."""
+    return getattr(_PREEMPTION, "hook", None)
+
+
+@contextmanager
+def preemption_scope(hook: PreemptionHook) -> Iterator[None]:
+    """Install *hook* at every ``@kfunc`` boundary for the dynamic extent.
+
+    Unlike the tracer the hook fires regardless of tracer enablement —
+    the controlled scheduler (:mod:`repro.core.schedule`) needs boundary
+    events during plain detection runs, which never trace.
+    """
+    previous = preemption_hook()
+    _PREEMPTION.hook = hook
+    try:
+        yield
+    finally:
+        _PREEMPTION.hook = previous
+
+
+@contextmanager
+def preemption_suspended() -> Iterator[None]:
+    """Mask boundary events for the dynamic extent.
+
+    The kernel wraps interrupt-context work (timer ticks) in this: like
+    the tracer's ``in_task()`` check, preemption points belong to the
+    task's own syscall execution, not to background interrupts — and
+    masking them keeps the event stream a pure function of the executed
+    programs.
+    """
+    previous = preemption_hook()
+    _PREEMPTION.hook = None
+    try:
+        yield
+    finally:
+        _PREEMPTION.hook = previous
+
+
 class KernelTracer:
     """Runtime sink for kernel execution traces.
 
@@ -239,14 +290,22 @@ def kfunc(func: Optional[Callable] = None, *, instrument: bool = True) -> Callab
 
         @functools.wraps(fn)
         def wrapper(self, *args, **kwargs):
+            hook = getattr(_PREEMPTION, "hook", None)
             tracer = self.tracer
-            if tracer is None or not tracer.enabled:
+            traced = tracer is not None and tracer.enabled
+            if hook is None and not traced:
                 return fn(self, *args, **kwargs)
-            tracer.on_func_enter(func_id)
+            if hook is not None:
+                hook(func_id, FUNC_ENTER)
+            if traced:
+                tracer.on_func_enter(func_id)
             try:
                 return fn(self, *args, **kwargs)
             finally:
-                tracer.on_func_exit(func_id)
+                if traced:
+                    tracer.on_func_exit(func_id)
+                if hook is not None:
+                    hook(func_id, FUNC_EXIT)
 
         wrapper.kit_func_id = func_id
         return wrapper

@@ -22,7 +22,7 @@ from typing import TYPE_CHECKING, List
 
 from ..errno import EEXIST, EINVAL, EPERM, SyscallError
 from ..ktrace import kfunc
-from ..memory import KStruct
+from ..memory import KDict, KStruct
 from ..task import Task
 from .netns import NetNamespace
 
@@ -47,6 +47,10 @@ class NetDevSubsystem:
 
     def __init__(self, kernel: "Kernel"):
         self._kernel = kernel
+        #: name -> in-flight device registration.  Global on the buggy
+        #: kernel (race bug T3): while a registration is in flight,
+        #: /proc/net/dev lists it to readers in *every* namespace.
+        self.pending_global = KDict(kernel.arena)
 
     @property
     def tracer(self):
@@ -69,19 +73,44 @@ class NetDevSubsystem:
             raise SyscallError(EINVAL, "bad interface name")
         if ns.devices.lookup(name) is not None:
             raise SyscallError(EEXIST, f"device {name} exists")
-        device = NetDevice(self._kernel, name, ns.alloc_ifindex())
-        ns.devices.insert(name, device)
-        # The device kobject is namespace-tagged: own namespace only.
-        self._deliver(ns, f"add@/devices/virtual/net/{name}", everywhere=False)
-        # Queue kobjects: namespace-tagged only on the fixed kernel.
-        everywhere = self._kernel.bugs.uevent_broadcast_all_ns
-        for index in range(device.kget("num_rx_queues")):
-            self._deliver(ns, f"add@/devices/virtual/net/{name}/queues/rx-{index}",
-                          everywhere=everywhere)
-        for index in range(device.kget("num_tx_queues")):
-            self._deliver(ns, f"add@/devices/virtual/net/{name}/queues/tx-{index}",
-                          everywhere=everywhere)
+        # The name is published to the pending-registration table until
+        # registration commits below.  The window opens and closes within
+        # this one syscall — race bug T3.
+        self._publish_pending(ns, name)
+        try:
+            device = NetDevice(self._kernel, name, ns.alloc_ifindex())
+            ns.devices.insert(name, device)
+            # The device kobject is namespace-tagged: own namespace only.
+            self._deliver(ns, f"add@/devices/virtual/net/{name}", everywhere=False)
+            # Queue kobjects: namespace-tagged only on the fixed kernel.
+            everywhere = self._kernel.bugs.uevent_broadcast_all_ns
+            for index in range(device.kget("num_rx_queues")):
+                self._deliver(ns, f"add@/devices/virtual/net/{name}/queues/rx-{index}",
+                              everywhere=everywhere)
+            for index in range(device.kget("num_tx_queues")):
+                self._deliver(ns, f"add@/devices/virtual/net/{name}/queues/tx-{index}",
+                              everywhere=everywhere)
+        finally:
+            self._commit_pending(ns, name)
         return device.kget("ifindex")
+
+    @kfunc
+    def _publish_pending(self, ns: NetNamespace, name: str) -> None:
+        """``list_netdevice``-style early publish — global when buggy (T3)."""
+        if self._kernel.bugs.netdev_pending_global:
+            self.pending_global.insert(name, name)
+        else:
+            ns.netdev_pending.insert(name, name)
+
+    @kfunc
+    def _commit_pending(self, ns: NetNamespace, name: str) -> None:
+        """The commit half of the T3 window."""
+        if self._kernel.bugs.netdev_pending_global:
+            if self.pending_global.lookup(name) is not None:
+                self.pending_global.delete(name)
+        else:
+            if ns.netdev_pending.lookup(name) is not None:
+                ns.netdev_pending.delete(name)
 
     def _deliver(self, origin: NetNamespace, payload: str, everywhere: bool) -> None:
         if everywhere:
@@ -135,4 +164,12 @@ class NetDevSubsystem:
         for name in sorted(ns.devices.peek_items()):
             device = ns.devices.lookup(name)
             lines.append(f"{name:>6}: {0:8d} {device.kget('mtu'):8d}")
+        # In-flight registrations: always empty between syscalls, but a
+        # controlled interleaving can observe the T3 window mid-syscall.
+        if self._kernel.bugs.netdev_pending_global:
+            pending = sorted(self.pending_global)
+        else:
+            pending = sorted(ns.netdev_pending)
+        for name in pending:
+            lines.append(f"{name:>6}: registration pending")
         return "\n".join(lines) + "\n"

@@ -36,6 +36,10 @@ class NetNamespace(Namespace):
         self.proto_inuse = KDict(arena)
         #: per-protocol memory pages (bugs #8/#9's fixed twin).
         self.proto_mem = KDict(arena)
+        #: in-flight fragment memory (race bug T1's fixed twin).
+        self.frag_inflight = KCell(arena, 8)
+        #: in-flight device registrations (race bug T3's fixed twin).
+        self.netdev_pending = KDict(arena)
 
         # -- IPv6 flow labels ------------------------------------------
         #: label -> FlowLabel struct, per-ns as documented.

@@ -198,6 +198,10 @@ class NetSubsystem:
             "UDP": KCell(arena, 8),
             "SCTP": KCell(arena, 8),
         }
+        #: In-flight fragment memory of sends being assembled (race bug
+        #: T1; fixed twin is per-ns).  Charged and released within one
+        #: sendto, so only a concurrent reader can see it non-zero.
+        self.frag_inflight_global = KCell(arena, 8)
         self.unix = UnixSocketTable(kernel)
 
     @property
@@ -369,23 +373,47 @@ class NetSubsystem:
                 and sock.family in (AF_INET, AF_INET6):
             raise SyscallError(ENOTCONN)
         self._charge_memory(ns, sock, _PAGES_PER_SEND)
-        if sock.proto == IPPROTO_UDP or (sock.family in (AF_INET, AF_INET6)
-                                         and sock.type == SOCK_DGRAM):
-            src_port = sock.bound[1] if sock.bound else 0
-            self._kernel.conntrack.track(ns, "udp", src_port, port)
-            peer = ns.port_table.lookup((sock.proto_name, addr, port))
-            if peer is None:
-                # Authorized cross-namespace route: a veth pair wires
-                # this namespace to others (paper §2's "valid
-                # communication channels").
-                for linked_ns in ns.veth_peers:
-                    peer = linked_ns.port_table.lookup(
-                        (sock.proto_name, addr, port))
-                    if peer is not None:
-                        break
-            if peer is not None:
-                peer.rx_queue.append("x" * size)
+        # Fragment assembly: in-flight memory is charged while the
+        # datagram is built and released before sendto returns (race
+        # bug T1 — the global counter is only ever non-zero *inside*
+        # this window).
+        self._charge_frag(ns, _PAGES_PER_SEND)
+        try:
+            if sock.proto == IPPROTO_UDP or (sock.family in (AF_INET, AF_INET6)
+                                             and sock.type == SOCK_DGRAM):
+                src_port = sock.bound[1] if sock.bound else 0
+                self._kernel.conntrack.track(ns, "udp", src_port, port)
+                peer = ns.port_table.lookup((sock.proto_name, addr, port))
+                if peer is None:
+                    # Authorized cross-namespace route: a veth pair wires
+                    # this namespace to others (paper §2's "valid
+                    # communication channels").
+                    for linked_ns in ns.veth_peers:
+                        peer = linked_ns.port_table.lookup(
+                            (sock.proto_name, addr, port))
+                        if peer is not None:
+                            break
+                if peer is not None:
+                    peer.rx_queue.append("x" * size)
+        finally:
+            self._release_frag(ns, _PAGES_PER_SEND)
         return size
+
+    @kfunc
+    def _charge_frag(self, ns: NetNamespace, pages: int) -> None:
+        """``frag_mem_add`` — global on the buggy kernel (race bug T1)."""
+        if self._kernel.bugs.frag_inflight_global:
+            self.frag_inflight_global.add(pages)
+        else:
+            ns.frag_inflight.add(pages)
+
+    @kfunc
+    def _release_frag(self, ns: NetNamespace, pages: int) -> None:
+        """``frag_mem_sub`` — the release half of the T1 window."""
+        if self._kernel.bugs.frag_inflight_global:
+            self.frag_inflight_global.add(-pages)
+        else:
+            ns.frag_inflight.add(-pages)
 
     @kfunc
     def _charge_memory(self, ns: NetNamespace, sock: Socket, pages: int) -> None:
@@ -492,6 +520,13 @@ class NetSubsystem:
             else:
                 mem = ns.proto_mem_cell(self._kernel.arena, proto).get()
             lines.append(f"{proto}: inuse {inuse} mem {mem}")
+        # sockstat's FRAG line reads in-flight fragment memory: always 0
+        # between syscalls, transiently non-zero inside a send (T1).
+        if self._kernel.bugs.frag_inflight_global:
+            frag = self.frag_inflight_global.get()
+        else:
+            frag = ns.frag_inflight.get()
+        lines.append(f"FRAG: inflight {frag}")
         return "\n".join(lines) + "\n"
 
     @kfunc

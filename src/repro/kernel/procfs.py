@@ -217,6 +217,16 @@ class ProcFs:
             lines.append(f"{queue.kget('key'):>10} {msqid:>10} "
                          f"{queue.kget('qnum'):>5} {queue.kget('lspid'):>6} "
                          f"{queue.kget('lrpid'):>6}")
+        # In-flight msgget registrations: always empty between syscalls,
+        # but a controlled interleaving can observe the T2 window
+        # mid-syscall (the half-initialized entry has no msqid yet).
+        ipc = self._kernel.ipc
+        if self._kernel.bugs.msg_pending_global:
+            pending = sorted(ipc.msg_pending_global)
+        else:
+            pending = sorted(ipc_ns.msg_pending)
+        for key in pending:
+            lines.append(f"{key:>10} {'-':>10} {0:>5} {0:>6} {0:>6}")
         return "\n".join(lines) + "\n"
 
     def _render_net_sockets(self, task: Task, proto: str) -> str:

@@ -166,6 +166,8 @@ class OpenFile(FileObject):
                 return "fd_proc_sys_kernel"
             if key.startswith("sys/"):
                 return "fd_proc_sys"
+            if key.startswith("sysvipc/"):
+                return "fd_proc_sysvipc"
             return "fd_proc"
         return "fd_file"
 

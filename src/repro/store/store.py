@@ -72,7 +72,7 @@ def summarize_config(config: Any) -> Dict[str, Any]:
     if config.corpus is not None:
         corpus = [program.hash_hex for program in config.corpus]
     faults: Optional[FaultPlan] = config.faults
-    return {
+    summary = {
         "kernel_version": machine.kernel.version,
         "jump_label": machine.kernel.jump_label,
         "bugs_enabled": sorted(machine.bugs.enabled()),
@@ -90,6 +90,18 @@ def summarize_config(config: Any) -> Dict[str, Any]:
         "diagnose": config.diagnose,
         "faults": faults.signature() if faults is not None else None,
     }
+    if getattr(config, "interleave", False):
+        # Present only for interleaved campaigns, so every sequential
+        # fingerprint (including pre-scheduling journals) is unchanged.
+        summary["schedule"] = {
+            "strategy": config.schedule_strategy,
+            "budget": config.schedule_budget,
+            "seed": config.schedule_seed,
+            "depth": config.schedule_depth,
+            "points": config.schedule_points,
+            "pairs": config.schedule_pairs,
+        }
+    return summary
 
 
 def campaign_fingerprint(summary: Dict[str, Any]) -> str:

@@ -12,8 +12,10 @@ import pytest
 
 from repro.core.known_bugs import SCENARIOS, TABLE3_ROWS, scenario_machine_config
 from repro.core.pipeline import CampaignConfig, Kit
+from repro.core.race_scenarios import race_campaign_config
 from repro.faults.plan import (
     ALL_SITES,
+    SITE_SCHED_PREEMPT,
     SITE_WORKER_CRASH,
     SITE_WORKER_KILL,
     FaultPlan,
@@ -76,6 +78,26 @@ def test_chaos_in_process_campaign(clean_bugs):
     plan = FaultPlan(seed=2, rate=0.2)
     result = _campaign("5.13", faults=plan, workers=0)
     _assert_equivalent(result, plan, clean_bugs("5.13"))
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_chaos_interleaved_campaign_reports_race_bugs(seed):
+    """The interleaving leg: schedule exploration under blanket fault
+    injection — including ``sched.preempt`` deaths mid-interleaving —
+    still converges on the full race-bug set with balanced books."""
+    plan = FaultPlan(seed=seed, rate=0.15)
+    result = Kit(race_campaign_config(faults=plan, workers=2)).run()
+    _assert_equivalent(result, plan, ["T1", "T2", "T3"])
+    assert result.stats.faults_injected_total() > 0
+
+
+def test_sched_preempt_site_alone():
+    """Every injection at the schedule-execution site recovers via the
+    whole-case retry and no witness is lost."""
+    plan = FaultPlan(seed=3, rate=0.5, sites=(SITE_SCHED_PREEMPT,))
+    result = Kit(race_campaign_config(faults=plan)).run()
+    _assert_equivalent(result, plan, ["T1", "T2", "T3"])
+    assert result.stats.faults_injected.get(SITE_SCHED_PREEMPT, 0) > 0
 
 
 def test_graceful_degradation_when_cluster_unusable():

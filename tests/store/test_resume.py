@@ -132,6 +132,31 @@ class TestResumeEverywhere:
             assert _signature(resumed) == expected, shape
 
 
+class TestResumeInterleaved:
+    def test_kill_and_resume_interleaved_campaign(self, tmp_path):
+        """Byte parity for interleaved campaigns: culprit schedules and
+        witness lists survive the journal, so a killed-and-resumed run
+        renders the exact reports of the uninterrupted one."""
+        from repro.core.race_scenarios import race_campaign_config
+
+        store_dir = str(tmp_path)
+        clean = Kit(race_campaign_config(store_dir=store_dir)).run()
+        expected = _signature(clean)
+        assert sorted(clean.bugs_found()) == ["T1", "T2", "T3"]
+        assert all(report.culprit_schedule is not None
+                   for report in clean.reports)
+        path = _journal_path(store_dir, clean.stats.campaign_id)
+        with open(path, "rb") as handle:
+            journal = handle.read()
+        lines = journal.splitlines(keepends=True)
+        for keep in (1, len(lines) // 2, len(lines) - 1):
+            with open(path, "wb") as handle:
+                handle.write(b"".join(lines[:keep]))
+            resumed = Kit(race_campaign_config(store_dir=store_dir,
+                                               resume=True)).run()
+            assert _signature(resumed) == expected, f"boundary {keep}"
+
+
 class TestResumeChaos:
     def test_chaos_resume_finds_same_bugs(self, tmp_path):
         """Interrupt a faulted campaign and resume it under a fresh plan
