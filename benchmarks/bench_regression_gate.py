@@ -599,3 +599,155 @@ def test_race_analysis_gate(tmp_path, benchmark):
         f"warm incremental analysis only {speedup:.1f}x faster than cold"
     assert rediscovery.matches_expectations(), \
         "race rediscovery deviates from the bug registry's expectations"
+
+
+#: The paper's syzkaller corpus (§6.1) — the scale the streaming
+#: pipeline must support within a 30-minute generation+indexing budget.
+PAPER_CORPUS_SIZE = 98_853
+MAX_PAPER_CORPUS_SECONDS = 1800.0
+#: Throughput floors, an order of magnitude under measured rates
+#: (generation ~26k/s, dedup screen ~10k cand/s, indexing ~128k pts/s)
+#: so loaded CI machines never flake while real regressions still trip.
+MIN_GENERATION_RATE = 2000.0
+MIN_DEDUP_SCREEN_RATE = 500.0
+MIN_INDEX_POINT_RATE = 10_000.0
+#: Streamed generation→disk must hold peak traced memory well under the
+#: materialized ``build_corpus`` list (measured ~11% at 4000 programs).
+MAX_STREAM_PEAK_FRACTION = 0.5
+STREAM_MEMORY_PROBE_SIZE = 4000
+
+
+def test_corpus_scale_gate(bench_corpus, tmp_path, benchmark):
+    """Paper-scale corpus pipeline gate (ISSUE 10 acceptance).
+
+    Four invariants: generation, dedup screening, and columnar indexing
+    hold their throughput floors and together extrapolate a 98,853-
+    program run under the 30-minute budget; streamed generation→disk
+    keeps peak memory bounded (a fraction of the materialized build);
+    and — the load-bearing one — the streamed merge-join backend is
+    pair-for-pair identical to the in-memory index at the 200-program
+    bench scale, down to the campaign's bug set and reports.
+    """
+    import tracemalloc
+
+    from repro.core.accessindex import ColumnarAccessIndex
+    from repro.core.dataflow import DataFlowIndex
+    from repro.core.profile import Profiler
+    from repro.core.spec import default_specification
+    from repro.corpus import CorpusWriter, CoverageDeduper, StreamStats, \
+        stream_corpus
+
+    # 1. Generation throughput: streamed, written to disk as it goes.
+    gen_stats = StreamStats()
+    start = time.monotonic()
+    with CorpusWriter(str(tmp_path / "gen")) as writer:
+        for program in stream_corpus(2000, seed=1, stats=gen_stats):
+            writer.add(program)
+    gen_rate = gen_stats.emitted / (time.monotonic() - start)
+
+    # 2. Dedup screening throughput (candidates examined per second).
+    dedup_stats = StreamStats()
+    start = time.monotonic()
+    for __ in stream_corpus(300, seed=1, deduper=CoverageDeduper(),
+                            stats=dedup_stats):
+        pass
+    screen_rate = dedup_stats.candidates / (time.monotonic() - start)
+
+    # 3. Bounded peak memory: streamed writer vs materialized list.
+    def stream_peak():
+        tracemalloc.start()
+        with CorpusWriter(str(tmp_path / "mem")) as writer:
+            for program in stream_corpus(STREAM_MEMORY_PROBE_SIZE, seed=2,
+                                         stats=None):
+                writer.add(program)
+        __, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        return peak
+
+    def materialized_peak():
+        tracemalloc.start()
+        corpus = build_corpus(STREAM_MEMORY_PROBE_SIZE, seed=2)
+        __, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        del corpus
+        return peak
+
+    streamed_peak, full_peak = stream_peak(), materialized_peak()
+    peak_fraction = streamed_peak / full_peak
+
+    # 4. Pair-for-pair parity at bench scale: profiles → both backends.
+    machine = Machine(MachineConfig(bugs=linux_5_13()))
+    profiles = Profiler(machine).profile_corpus(list(bench_corpus))
+    spec = default_specification()
+    start = time.monotonic()
+    with ColumnarAccessIndex.build(iter(profiles), spec,
+                                   run_points=4096) as col:
+        index_seconds = time.monotonic() - start
+        points = col.write_points + col.read_points
+        run_segments, disk_bytes = col.run_segments, col.bytes_on_disk()
+        mem_index = DataFlowIndex.build(profiles, spec)
+        assert list(mem_index.iter_overlaps()) == list(col.iter_overlaps()), \
+            "merge-join overlap rows diverge from the in-memory index"
+    index_rate = points / index_seconds
+
+    def campaign(backend):
+        return Kit(CampaignConfig(machine=MachineConfig(bugs=linux_5_13()),
+                                  corpus=list(bench_corpus),
+                                  index_backend=backend)).run()
+
+    mem_run = campaign("memory")
+    col_run = benchmark.pedantic(campaign, args=("columnar",), rounds=1,
+                                 iterations=1)
+    pair_parity = [c.pair for c in mem_run.generation.test_cases] \
+        == [c.pair for c in col_run.generation.test_cases]
+    bug_parity = sorted(mem_run.bugs_found()) == sorted(col_run.bugs_found())
+
+    # 5. Extrapolate the paper-scale run from the slowest stage rates.
+    paper_points = points / len(bench_corpus) * PAPER_CORPUS_SIZE
+    paper_seconds = PAPER_CORPUS_SIZE / gen_rate \
+        + PAPER_CORPUS_SIZE / screen_rate \
+        + paper_points / index_rate
+
+    lines = [
+        f"{'gate':<44} {'measured':>12} {'threshold':>12}",
+        "-" * 70,
+        f"{'streamed generation (prog/s)':<44} {gen_rate:>12.0f} "
+        f"{f'>={MIN_GENERATION_RATE:.0f}':>12}",
+        f"{'coverage-dedup screen (cand/s)':<44} {screen_rate:>12.0f} "
+        f"{f'>={MIN_DEDUP_SCREEN_RATE:.0f}':>12}",
+        f"{'columnar indexing (points/s)':<44} {index_rate:>12.0f} "
+        f"{f'>={MIN_INDEX_POINT_RATE:.0f}':>12}",
+        f"{'streamed/materialized peak memory':<44} "
+        f"{f'{peak_fraction:.2f}':>12} "
+        f"{f'<{MAX_STREAM_PEAK_FRACTION:.2f}':>12}",
+        f"{'extrapolated 98,853-program run (s)':<44} "
+        f"{paper_seconds:>12.1f} {f'<{MAX_PAPER_CORPUS_SECONDS:.0f}':>12}",
+        f"{'merge-join pair parity at 200':<44} "
+        f"{'identical' if pair_parity else 'DIVERGED':>12} {'identical':>12}",
+        f"{'bug-set parity at 200':<44} "
+        f"{'identical' if bug_parity else 'DIVERGED':>12} {'identical':>12}",
+        "",
+        f"columnar index at {len(bench_corpus)} programs: {points} points, "
+        f"{run_segments} run segments, {disk_bytes} bytes on disk; "
+        f"campaign bugs on both backends: "
+        f"{'/'.join(sorted(col_run.bugs_found()))}",
+        f"streamed peak {streamed_peak / 1024:.0f} KiB vs materialized "
+        f"{full_peak / 1024:.0f} KiB at {STREAM_MEMORY_PROBE_SIZE} programs",
+    ]
+    emit_table("corpus_gate", "Paper-scale corpus pipeline gate", lines)
+
+    assert gen_rate >= MIN_GENERATION_RATE, \
+        f"streamed generation regressed to {gen_rate:.0f} prog/s"
+    assert screen_rate >= MIN_DEDUP_SCREEN_RATE, \
+        f"dedup screening regressed to {screen_rate:.0f} cand/s"
+    assert index_rate >= MIN_INDEX_POINT_RATE, \
+        f"columnar indexing regressed to {index_rate:.0f} points/s"
+    assert peak_fraction < MAX_STREAM_PEAK_FRACTION, \
+        f"streamed generation peak is {peak_fraction:.2f}x the " \
+        f"materialized build — the stream is buffering"
+    assert paper_seconds < MAX_PAPER_CORPUS_SECONDS, \
+        f"extrapolated paper-scale run takes {paper_seconds:.0f}s"
+    assert pair_parity, \
+        "columnar campaign generated a different Table-4 pair sequence"
+    assert bug_parity, "columnar campaign found a different bug set"
+    assert len(mem_run.reports) == len(col_run.reports)

@@ -326,9 +326,9 @@ class StaticPreFilter:
         """Corpus-wide precision/recall of the filter against the
         dynamic :class:`~repro.core.dataflow.DataFlowIndex`."""
         dynamic: Set[Tuple[int, int]] = set()
-        for addr in index.overlap_addresses():
-            for write_point in index.writers[addr]:
-                for read_point in index.readers[addr]:
+        for __, writers, readers in index.iter_overlaps():
+            for write_point in writers:
+                for read_point in readers:
                     dynamic.add((write_point.prog_index,
                                  read_point.prog_index))
         static: Set[Tuple[int, int]] = set()

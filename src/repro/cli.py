@@ -115,6 +115,16 @@ def _print_campaign(result: CampaignResult, show_reports: bool) -> None:
                      f"shm: {stats.shm_segments} segment(s) / "
                      f"{stats.shm_bytes} bytes")
         print(line)
+    if stats.profile_store_hits + stats.profile_store_misses:
+        total = stats.profile_store_hits + stats.profile_store_misses
+        print(f"profile store: {stats.profile_store_hits / total:.0%} hit "
+              f"({stats.profile_store_hits}/{total}), "
+              f"{stats.profile_store_entries_written} entries / "
+              f"{stats.profile_store_bytes_written} bytes written")
+    if stats.index_run_segments:
+        print(f"pairing index: columnar, {stats.index_run_segments} "
+              f"run segment(s) / {stats.index_bytes} bytes, "
+              f"{stats.index_points} access points")
     if stats.prefilter_pairs_total:
         print(f"prefilter: {stats.prefilter_pairs_pruned}/"
               f"{stats.prefilter_pairs_total} pairs pruned "
@@ -245,6 +255,9 @@ def cmd_run(args: argparse.Namespace) -> int:
         workers=_resolve_workers(args.workers),
         shard_mode=args.shard_mode,
         nondet_dir=args.nondet_cache,
+        profile_dir=args.profile_cache,
+        index_backend=args.index_backend,
+        index_dir=args.index_dir,
         static_prefilter=args.prefilter,
         faults=args.faults,
         sender_cache=not args.no_sender_cache,
@@ -456,7 +469,72 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _corpus_gen(args: argparse.Namespace) -> int:
+    """``corpus gen DIR``: stream a generation run into a directory.
+
+    Deterministic and resumable: re-running with the same parameters
+    regenerates the same stream and the writer skips everything already
+    on disk, so an interrupted run finishes into a byte-identical
+    directory.
+    """
+    from .corpus.generator import (CoverageDeduper, StreamStats,
+                                   stream_corpus_batches)
+    from .corpus.store import CorpusWriter
+
+    stats = StreamStats()
+    deduper = CoverageDeduper() if args.dedup else None
+    with CorpusWriter(args.directory) as writer:
+        for batch in stream_corpus_batches(
+                args.corpus_size, args.batch_size, seed=args.seed,
+                deduper=deduper, diversify=args.diversify, stats=stats):
+            for program in batch:
+                writer.add(program)
+    drops = (f"{stats.duplicate_drops} duplicate / "
+             f"{stats.coverage_drops} coverage drops")
+    if stats.diversified:
+        drops += f", {stats.diversified} from the syscall diversifier"
+    print(f"admitted {stats.emitted} of {stats.candidates} candidates "
+          f"({drops})")
+    line = f"wrote {writer.added} programs to {args.directory}"
+    if writer.skipped:
+        line += f" ({writer.skipped} already present, resumed)"
+    print(line)
+    return 0
+
+
+def _corpus_stats(args: argparse.Namespace) -> int:
+    """``corpus stats DIR``: stream a corpus directory and summarize it."""
+    from collections import Counter
+
+    from .corpus.store import iter_corpus
+
+    errors: List = []
+    programs = calls = prog_bytes = 0
+    syscalls: Counter = Counter()
+    for program in iter_corpus(args.directory, errors=errors):
+        programs += 1
+        calls += len(program)
+        prog_bytes += len(program.serialize()) + 1
+        syscalls.update(call.name for call in program.calls
+                        if call is not None)
+    print(f"{programs} programs, {calls} calls, {prog_bytes} bytes, "
+          f"{len(errors)} errors")
+    if syscalls:
+        top = ", ".join(f"{name}={count}"
+                        for name, count in syscalls.most_common(8))
+        print(f"syscalls: {len(syscalls)} distinct; top: {top}")
+    for name, error in errors:
+        print(f"  {name}: {error}", file=sys.stderr)
+    return 0 if not errors else 1
+
+
 def cmd_corpus(args: argparse.Namespace) -> int:
+    if args.target in ("gen", "stats"):
+        if not args.directory:
+            raise SystemExit(f"corpus {args.target} requires a directory")
+        return (_corpus_gen if args.target == "gen" else _corpus_stats)(args)
+    # Legacy form: the first positional is the directory itself.
+    args.directory = args.target
     if args.generate:
         corpus = build_corpus(args.corpus_size, seed=args.seed)
         written = save_corpus(args.directory, corpus)
@@ -625,6 +703,19 @@ def build_parser() -> argparse.ArgumentParser:
                           "shared-memory snapshot and work stealing "
                           "(see docs/SHARDING.md)")
     run.add_argument("--nondet-cache", help="directory for non-det marks")
+    run.add_argument("--profile-cache", metavar="DIR",
+                     help="directory for the sharded on-disk profile "
+                          "cache (reused across campaigns on the same "
+                          "kernel fingerprint)")
+    run.add_argument("--index-backend", default="memory",
+                     choices=["memory", "columnar"],
+                     help="pairing-index backend: the in-memory dict "
+                          "product, or on-disk sorted columnar runs with "
+                          "merge-join pairing (identical pair sets, "
+                          "bounded memory — see docs/CORPUS.md)")
+    run.add_argument("--index-dir", metavar="DIR",
+                     help="keep columnar index run segments under DIR "
+                          "instead of a private temp directory")
     run.add_argument("--prefilter", action="store_true",
                      help="prune statically disjoint candidate pairs "
                           "before clustering (repro.analysis)")
@@ -710,11 +801,28 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--seed", type=int, default=1)
     compare.set_defaults(handler=cmd_compare)
 
-    corpus = subparsers.add_parser("corpus", help="manage corpus directories")
-    corpus.add_argument("directory")
-    corpus.add_argument("--generate", action="store_true")
+    corpus = subparsers.add_parser(
+        "corpus",
+        help="manage corpus directories: 'corpus gen DIR' streams a "
+             "generation run to disk, 'corpus stats DIR' summarizes one, "
+             "and the legacy 'corpus DIR [--generate]' form still works")
+    corpus.add_argument("target",
+                        help="'gen', 'stats', or a corpus directory "
+                             "(legacy form)")
+    corpus.add_argument("directory", nargs="?",
+                        help="corpus directory for gen/stats")
+    corpus.add_argument("--generate", action="store_true",
+                        help="legacy form: generate into DIR")
     corpus.add_argument("--corpus-size", type=int, default=200)
     corpus.add_argument("--seed", type=int, default=1)
+    corpus.add_argument("--batch-size", type=int, default=64,
+                        help="programs per streamed generation batch")
+    corpus.add_argument("--dedup", action="store_true",
+                        help="drop programs whose static access map adds "
+                             "no new (location, r/w) coverage fact")
+    corpus.add_argument("--diversify", action="store_true",
+                        help="mine admitted programs' syscall profiles and "
+                             "generate focused programs for unused syscalls")
     corpus.set_defaults(handler=cmd_corpus)
 
     spec = subparsers.add_parser("spec",

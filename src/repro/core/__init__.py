@@ -27,7 +27,14 @@ from .clustering import (
     DfStStrategy,
     strategy_by_name,
 )
-from .dataflow import AccessPoint, DataFlowIndex, stack_sha1
+from .accessindex import ColumnarAccessIndex
+from .dataflow import (
+    AccessPoint,
+    DataFlowIndex,
+    iter_read_points,
+    iter_write_points,
+    stack_sha1,
+)
 from .decode import decode_record, decode_trace, side_by_side
 from .detection import DetectionResult, Detector, Outcome
 from .diagnosis import Diagnoser
@@ -94,8 +101,11 @@ __all__ = [
     "campaign_to_dict",
     "coverage_of_profiles",
     "ClusteringStrategy",
+    "ColumnarAccessIndex",
     "CulpritPair",
     "DataFlowIndex",
+    "iter_read_points",
+    "iter_write_points",
     "DetectionResult",
     "Detector",
     "DfFullStrategy",

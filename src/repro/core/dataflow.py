@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
 
 from .profile import ProgramProfile
 from .spec import Specification
@@ -53,6 +53,58 @@ class AccessPoint:
         return self.stack[-depth:]
 
 
+def iter_write_points(profile: ProgramProfile) -> Iterator[AccessPoint]:
+    """One profile's deduplicated sender-side write points, in trace order.
+
+    The canonical extraction: both the in-memory :class:`DataFlowIndex`
+    and the on-disk :class:`~repro.core.accessindex.ColumnarAccessIndex`
+    consume this iterator, so the two backends see byte-identical point
+    sets by construction.
+    """
+    seen: Set[Tuple[int, int, Stack, int]] = set()
+    for call_index, accesses in enumerate(profile.sender.accesses):
+        if accesses is None:
+            continue
+        for access, stack in accesses:
+            if not access.is_write:
+                continue
+            key = (access.addr, access.ip, stack, access.width)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield AccessPoint(profile.index, call_index, access.addr,
+                              access.width, access.ip, stack)
+
+
+def iter_read_points(profile: ProgramProfile,
+                     spec: Specification) -> Iterator[AccessPoint]:
+    """One profile's deduplicated, spec-gated receiver read points."""
+    seen: Set[Tuple[int, int, Stack, int]] = set()
+    for call_index, accesses in enumerate(profile.receiver.accesses):
+        if accesses is None:
+            continue
+        record = (profile.receiver.records[call_index]
+                  if call_index < len(profile.receiver.records) else None)
+        # §4.1.1's gate: the reader syscall must access a protected
+        # resource, otherwise it cannot detect namespace interference.
+        if record is None or not spec.call_accesses_protected(record):
+            continue
+        for access, stack in accesses:
+            if access.is_write:
+                continue
+            key = (access.addr, access.ip, stack, access.width)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield AccessPoint(profile.index, call_index, access.addr,
+                              access.width, access.ip, stack)
+
+
+#: (address, write points at it, read points at it) — the join row both
+#: index backends produce for generation.
+Overlap = Tuple[int, List[AccessPoint], List[AccessPoint]]
+
+
 class DataFlowIndex:
     """Write/read points per kernel address, across a profiled corpus."""
 
@@ -65,55 +117,27 @@ class DataFlowIndex:
               spec: Specification) -> "DataFlowIndex":
         index = cls()
         for profile in profiles:
-            index._add_writes(profile)
-            index._add_reads(profile, spec)
+            for point in iter_write_points(profile):
+                index.writers.setdefault(point.addr, []).append(point)
+            for point in iter_read_points(profile, spec):
+                index.readers.setdefault(point.addr, []).append(point)
         return index
-
-    def _add_writes(self, profile: ProgramProfile) -> None:
-        seen: Set[Tuple[int, int, Stack, int]] = set()
-        for call_index, accesses in enumerate(profile.sender.accesses):
-            if accesses is None:
-                continue
-            for access, stack in accesses:
-                if not access.is_write:
-                    continue
-                key = (access.addr, access.ip, stack, access.width)
-                if key in seen:
-                    continue
-                seen.add(key)
-                self.writers.setdefault(access.addr, []).append(AccessPoint(
-                    profile.index, call_index, access.addr, access.width,
-                    access.ip, stack,
-                ))
-
-    def _add_reads(self, profile: ProgramProfile, spec: Specification) -> None:
-        seen: Set[Tuple[int, int, Stack, int]] = set()
-        for call_index, accesses in enumerate(profile.receiver.accesses):
-            if accesses is None:
-                continue
-            record = (profile.receiver.records[call_index]
-                      if call_index < len(profile.receiver.records) else None)
-            # §4.1.1's gate: the reader syscall must access a protected
-            # resource, otherwise it cannot detect namespace interference.
-            if record is None or not spec.call_accesses_protected(record):
-                continue
-            for access, stack in accesses:
-                if access.is_write:
-                    continue
-                key = (access.addr, access.ip, stack, access.width)
-                if key in seen:
-                    continue
-                seen.add(key)
-                self.readers.setdefault(access.addr, []).append(AccessPoint(
-                    profile.index, call_index, access.addr, access.width,
-                    access.ip, stack,
-                ))
 
     # -- queries ------------------------------------------------------------
 
     def overlap_addresses(self) -> List[int]:
         """Addresses written by some sender and read by some receiver."""
         return sorted(set(self.writers) & set(self.readers))
+
+    def iter_overlaps(self) -> Iterator[Overlap]:
+        """Join rows in ascending address order.
+
+        Point lists keep insertion order (corpus order, then trace
+        order) — the order generation's reservoir sampling consumes its
+        RNG in, so every backend must reproduce it exactly.
+        """
+        for addr in self.overlap_addresses():
+            yield addr, self.writers[addr], self.readers[addr]
 
     def total_flow_count(self) -> int:
         """Candidate data flows = Σ_addr |writers| × |readers|.

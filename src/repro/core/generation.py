@@ -73,21 +73,27 @@ class TestCaseGenerator:
     def __init__(self, corpus: Sequence[TestProgram],
                  profiles: Optional[Sequence[ProgramProfile]],
                  spec: Specification,
-                 prefilter: Optional["StaticPreFilter"] = None):
+                 prefilter: Optional["StaticPreFilter"] = None,
+                 index=None):
         if profiles is not None and len(corpus) != len(profiles):
             raise ValueError("corpus and profiles must align")
         self._corpus = list(corpus)
         self._profiles = list(profiles) if profiles is not None else None
         self._spec = spec
         self._prefilter = prefilter
-        self._index: Optional[DataFlowIndex] = None
+        #: Any object with the DataFlowIndex query surface
+        #: (iter_overlaps/overlap_addresses/total_flow_count) — the
+        #: in-memory index by default, a ColumnarAccessIndex when the
+        #: caller streams profiles through the on-disk backend.
+        self._index = index
 
     @property
-    def index(self) -> DataFlowIndex:
+    def index(self):
         if self._index is None:
             if self._profiles is None:
-                raise ValueError("data-flow strategies need corpus profiles; "
-                                 "only generate_random works without them")
+                raise ValueError("data-flow strategies need corpus profiles "
+                                 "or an injected index; only generate_random "
+                                 "works without them")
             self._index = DataFlowIndex.build(self._profiles, self._spec)
         return self._index
 
@@ -117,11 +123,13 @@ class TestCaseGenerator:
         best_key: Dict[Hashable, float] = {}
         # Pair verdicts from the static pre-filter (None = keep all).
         verdicts: Dict[Tuple[int, int], bool] = {}
-        for addr in index.overlap_addresses():
-            write_groups = self._group(index.writers[addr], strategy.write_key,
-                                       rng)
-            read_groups = self._group(index.readers[addr], strategy.read_key,
-                                      rng)
+        overlap_count = 0
+        # Stream join rows: with the columnar backend only one address's
+        # points are resident at a time.
+        for __, writers, readers in index.iter_overlaps():
+            overlap_count += 1
+            write_groups = self._group(writers, strategy.write_key, rng)
+            read_groups = self._group(readers, strategy.read_key, rng)
             for write_key, write_point in write_groups.items():
                 for read_key, read_point in read_groups.items():
                     if not self._pair_allowed(write_point, read_point,
@@ -150,7 +158,7 @@ class TestCaseGenerator:
             test_cases=cases,
             cluster_count=cluster_count,
             flow_count=index.total_flow_count(),
-            overlap_addresses=len(index.overlap_addresses()),
+            overlap_addresses=overlap_count,
             prefilter=stats,
         )
 

@@ -49,7 +49,12 @@ from .execution import (
 from .generation import GenerationResult, TestCase, TestCaseGenerator
 from .nondet import DEFAULT_OFFSET_SECONDS, NondetAnalyzer, NondetStore
 from .oracle import FALSE_POSITIVE, UNDER_INVESTIGATION, classify_all
-from .profile import Profiler, profile_corpus_distributed
+from .accessindex import ColumnarAccessIndex
+from .profile import (
+    Profiler,
+    iter_profiles_batched,
+    profile_corpus_distributed,
+)
 from .report import TestReport
 from .reportcodec import decode_report, encode_report
 from .schedule import (
@@ -62,6 +67,23 @@ from .schedule import (
 from .spec import Specification, default_specification
 
 Progress = Callable[[str], None]
+
+
+class _FaultRetryProfiler:
+    """Profiler adapter retrying each (pure) profiling run under faults."""
+
+    def __init__(self, profiler, faults: Optional[FaultPlan]):
+        self._profiler = profiler
+        self._faults = faults
+
+    @property
+    def runs_executed(self) -> int:
+        return self._profiler.runs_executed
+
+    def profile(self, program: TestProgram, index: int = 0):
+        return call_with_fault_retries(self._faults, self._profiler.profile,
+                                       program, index,
+                                       context=f"profile {index}")
 
 
 @dataclass
@@ -91,6 +113,19 @@ class CampaignConfig:
     nondet_dir: Optional[str] = None
     #: Directory for the on-disk profile cache (None = profile every run).
     profile_dir: Optional[str] = None
+    #: Pairing-index backend: ``memory`` (the classic in-memory
+    #: :class:`~repro.core.dataflow.DataFlowIndex` dict product) or
+    #: ``columnar`` (the on-disk sorted-run merge-join of
+    #: :class:`~repro.core.accessindex.ColumnarAccessIndex` — identical
+    #: pair sets, peak memory bounded by one address group; see
+    #: docs/CORPUS.md).
+    index_backend: str = "memory"
+    #: Directory for columnar index run segments (None = private temp
+    #: directory, deleted after generation).
+    index_dir: Optional[str] = None
+    #: Programs profiled per batch on the streaming path; inside a batch
+    #: executions run in program-hash order for cache affinity.
+    profile_batch: int = 64
     #: Run Algorithm 2 on each report.
     diagnose: bool = True
     #: Worker threads for distributed execution (0 = in-process).
@@ -223,6 +258,15 @@ class CampaignStats:
     #: machine, "worker-N" = cluster worker N) — the --cache-report view.
     sender_cache_bytes_by_owner: Dict[str, int] = field(default_factory=dict)
     diagnosis_prefix_reuses: int = 0
+    #: Profile-store telemetry (zero unless profile_dir is set).
+    profile_store_hits: int = 0
+    profile_store_misses: int = 0
+    profile_store_entries_written: int = 0
+    profile_store_bytes_written: int = 0
+    #: Columnar pairing-index telemetry (zero on the memory backend).
+    index_run_segments: int = 0
+    index_bytes: int = 0
+    index_points: int = 0
     #: Static pre-filter telemetry (zero unless static_prefilter is on).
     prefilter_pairs_total: int = 0
     prefilter_pairs_pruned: int = 0
@@ -322,6 +366,13 @@ class CampaignStats:
             self.execution_restore_seconds += machine_stats.restore_seconds
         elif stage == "diagnosis":
             self.diagnosis_restore_seconds += machine_stats.restore_seconds
+
+    def absorb_profile_store(self, store) -> None:
+        """Fold one :class:`ProfileStore`'s counters into the totals."""
+        self.profile_store_hits += store.hits
+        self.profile_store_misses += store.misses
+        self.profile_store_entries_written += store.entries_written
+        self.profile_store_bytes_written += store.bytes_written
 
 
 @dataclass
@@ -668,17 +719,26 @@ class Kit:
             say(f"RAND: sampling {budget} random pairs")
             return generator.generate_random(budget, seed=config.rand_seed)
 
+        columnar = config.index_backend == "columnar"
         say(f"profiling {len(corpus)} programs (4 runs each"
             + (f", {config.workers} workers)" if config.workers > 0 else ")"))
         start = time.monotonic()
         before = machine.stats.copy()
+        index = None
         if config.workers > 0:
             profiles, profilers, worker_machines = profile_corpus_distributed(
                 config.machine, corpus, config.workers,
                 profile_dir=config.profile_dir, faults=config.faults)
             stats.profile_runs = sum(p.runs_executed for p in profilers)
+            for worker_profiler in profilers:
+                store = getattr(worker_profiler, "store", None)
+                if store is not None:
+                    stats.absorb_profile_store(store)
             for worker_machine in worker_machines:
                 stats.absorb_machine(worker_machine.stats, stage="profile")
+            if columnar:
+                index = ColumnarAccessIndex.build(iter(profiles), config.spec,
+                                                  directory=config.index_dir)
         else:
             if config.profile_dir is not None:
                 from .profile_store import CachingProfiler
@@ -689,15 +749,29 @@ class Kit:
             # Profiles feed generation, so a fault mid-profile retries
             # the whole (pure) profiling run rather than degrading —
             # a skipped profile would change the generated case set.
-            profiles = [
-                call_with_fault_retries(config.faults, profiler.profile,
-                                        program, index,
-                                        context=f"profile {index}")
-                for index, program in enumerate(corpus)
-            ]
+            retrying = _FaultRetryProfiler(profiler, config.faults)
+            if columnar:
+                # Streaming path: profiles flow batch-wise (hash-ordered
+                # inside a batch for cache affinity) straight into the
+                # on-disk index — the profile list is never materialized.
+                profiles = None
+                index = ColumnarAccessIndex.build(
+                    iter_profiles_batched(retrying, corpus,
+                                          batch_size=config.profile_batch),
+                    config.spec, directory=config.index_dir)
+            else:
+                profiles = [retrying.profile(program, i)
+                            for i, program in enumerate(corpus)]
             stats.profile_runs = profiler.runs_executed
+            store = getattr(profiler, "store", None)
+            if store is not None:
+                stats.absorb_profile_store(store)
             stats.absorb_machine(machine.stats.since(before), stage="profile")
         stats.profile_seconds = time.monotonic() - start
+        if index is not None:
+            stats.index_run_segments = index.run_segments
+            stats.index_bytes = index.bytes_on_disk()
+            stats.index_points = index.write_points + index.read_points
 
         start = time.monotonic()
         prefilter = None
@@ -708,20 +782,24 @@ class Kit:
             prefilter = StaticPreFilter(bugs=config.machine.bugs,
                                         spec=config.spec)
         generator = TestCaseGenerator(corpus, profiles, config.spec,
-                                      prefilter=prefilter)
-        result = generator.generate(strategy_by_name(config.strategy),
-                                    max_clusters=config.max_test_cases,
-                                    rep_seed=config.rep_seed)
-        stats.analysis_seconds = time.monotonic() - start
-        stats.flow_count = result.flow_count
-        stats.cluster_count = result.cluster_count
-        stats.overlap_addresses = result.overlap_addresses
-        if result.prefilter is not None:
-            stats.prefilter_pairs_total = result.prefilter.pairs_total
-            stats.prefilter_pairs_pruned = result.prefilter.pairs_pruned
-            evaluation = prefilter.evaluate(corpus, generator.index)
-            stats.prefilter_precision = evaluation.precision()
-            stats.prefilter_recall = evaluation.recall()
+                                      prefilter=prefilter, index=index)
+        try:
+            result = generator.generate(strategy_by_name(config.strategy),
+                                        max_clusters=config.max_test_cases,
+                                        rep_seed=config.rep_seed)
+            stats.analysis_seconds = time.monotonic() - start
+            stats.flow_count = result.flow_count
+            stats.cluster_count = result.cluster_count
+            stats.overlap_addresses = result.overlap_addresses
+            if result.prefilter is not None:
+                stats.prefilter_pairs_total = result.prefilter.pairs_total
+                stats.prefilter_pairs_pruned = result.prefilter.pairs_pruned
+                evaluation = prefilter.evaluate(corpus, generator.index)
+                stats.prefilter_precision = evaluation.precision()
+                stats.prefilter_recall = evaluation.recall()
+        finally:
+            if index is not None and config.index_dir is None:
+                index.close()  # temp-owned run segments
         return result
 
     def _execute(self, machine: Machine, cases: List[TestCase],

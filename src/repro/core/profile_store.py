@@ -41,19 +41,34 @@ def machine_fingerprint(config: MachineConfig) -> str:
 
 
 class ProfileStore:
-    """Directory-backed cache of :class:`ProgramProfile` objects."""
+    """Directory-backed cache of :class:`ProgramProfile` objects.
+
+    Entries fan out into 256 subdirectories keyed by the first two hex
+    digits of the program hash, so a 100k-profile cache never piles into
+    one directory.  Old flat-layout caches keep working: ``get`` falls
+    back to the legacy path, and ``put`` always writes the sharded one.
+    """
 
     def __init__(self, directory: str, fingerprint: str):
         self._directory = os.path.join(directory, fingerprint)
         os.makedirs(self._directory, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        #: Entries/bytes this store wrote (CampaignStats telemetry).
+        self.entries_written = 0
+        self.bytes_written = 0
 
     def _path(self, program: TestProgram) -> str:
+        return os.path.join(self._directory, program.hash_hex[:2],
+                            f"{program.hash_hex}.profile")
+
+    def _legacy_path(self, program: TestProgram) -> str:
         return os.path.join(self._directory, f"{program.hash_hex}.profile")
 
     def get(self, program: TestProgram) -> Optional[ProgramProfile]:
         path = self._path(program)
+        if not os.path.exists(path):
+            path = self._legacy_path(program)  # pre-sharding caches
         if not os.path.exists(path):
             self.misses += 1
             return None
@@ -70,10 +85,13 @@ class ProfileStore:
         # Atomic publish: parallel profiling workers share this
         # directory, and a reader must never see a torn pickle.
         path = self._path(profile.program)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
         tmp_path = f"{path}.tmp.{threading.get_ident()}"
         with open(tmp_path, "wb") as handle:
             pickle.dump(profile, handle, protocol=pickle.HIGHEST_PROTOCOL)
         os.replace(tmp_path, path)
+        self.entries_written += 1
+        self.bytes_written += os.path.getsize(path)
 
 
 class CachingProfiler:

@@ -1,21 +1,40 @@
 """Test-program corpus: program model, seeds, and the random generator."""
 
-from .generator import ProgramGenerator, build_corpus
+from .generator import (
+    CoverageDeduper,
+    ProgramGenerator,
+    StreamStats,
+    build_corpus,
+    stream_corpus,
+    stream_corpus_batches,
+)
 from .program import Arg, Call, ConstArg, ResultArg, TestProgram, prog
 from .seeds import seed_list, seed_programs
-from .store import LoadReport, load_corpus, save_corpus
+from .store import (
+    CorpusWriter,
+    LoadReport,
+    iter_corpus,
+    load_corpus,
+    save_corpus,
+)
 
 __all__ = [
     "Arg",
     "Call",
     "ConstArg",
+    "CorpusWriter",
+    "CoverageDeduper",
     "ProgramGenerator",
     "ResultArg",
+    "StreamStats",
     "TestProgram",
     "LoadReport",
     "build_corpus",
+    "iter_corpus",
     "load_corpus",
     "save_corpus",
+    "stream_corpus",
+    "stream_corpus_batches",
     "prog",
     "seed_list",
     "seed_programs",
